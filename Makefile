@@ -1,0 +1,28 @@
+# Convenience targets for the PalimpChat reproduction.
+
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/scientific_discovery.py
+	python examples/chat_scientific_discovery.py
+	python examples/legal_discovery.py
+	python examples/real_estate_search.py
+	python examples/policy_tradeoffs.py
+	python examples/dataset_catalog_join.py
+	python examples/advanced_features.py
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

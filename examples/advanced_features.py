@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Power-user tour: EXPLAIN, caching, depends_on, and parallelism.
+
+Walks through the operational features a production deployment leans on:
+inspect the plan space before paying for it, cache semantic calls across
+runs, restrict prompts to the relevant fields, and parallelize execution.
+
+Run:  python examples/advanced_features.py
+"""
+
+import repro as pz
+from repro.corpora import register_demo_datasets
+from repro.corpora.papers import CLINICAL_FIELDS, PAPERS_PREDICATE
+
+
+def build_pipeline():
+    ClinicalData = pz.make_schema(
+        "ClinicalData", "Datasets referenced by papers.", CLINICAL_FIELDS
+    )
+    return (
+        pz.Dataset(source="sigmod-demo")
+        .filter(PAPERS_PREDICATE)
+        .convert(ClinicalData, cardinality=pz.Cardinality.ONE_TO_MANY)
+    )
+
+
+def main():
+    register_demo_datasets()
+
+    print("=== 1. EXPLAIN before executing ===")
+    print(build_pipeline().explain(policy="quality"))
+
+    print("\n=== 2. Cold vs warm execution with a call cache ===")
+    cache = pz.CallCache()
+    _, cold = pz.Execute(build_pipeline(), policy=pz.MaxQuality(),
+                         cache=cache)
+    records, warm = pz.Execute(build_pipeline(), policy=pz.MaxQuality(),
+                               cache=cache)
+    print(f"cold: ${cold.total_cost_usd:.4f} / "
+          f"{cold.total_time_seconds:.0f}s")
+    print(f"warm: ${warm.total_cost_usd:.4f} / "
+          f"{warm.total_time_seconds:.1f}s "
+          f"(cache hit rate {cache.stats.hit_rate:.0%}, "
+          f"{len(records)} identical records)")
+
+    print("\n=== 3. depends_on: judge only the relevant field ===")
+    Note = pz.make_schema(
+        "Note", "A tagged note.",
+        {"tag": "The tag", "content": "The content"},
+    )
+    notes = pz.Dataset(
+        [{"tag": "oncology", "content": "long unrelated prose " * 60},
+         {"tag": "gardening", "content": "long unrelated prose " * 60}],
+        schema=Note,
+    )
+    narrow = notes.filter("about oncology", depends_on=["tag"])
+    kept, stats = pz.Execute(narrow, policy=pz.MaxQuality())
+    filter_tokens = stats.plan_stats.operator_stats[1].input_tokens
+    print(f"kept {len(kept)} of 2 notes (the oncology one); filter "
+          f"consumed only {filter_tokens} prompt tokens thanks to "
+          "depends_on")
+    assert len(kept) == 1 and kept[0].tag == "oncology"
+
+    print("\n=== 4. Parallel execution ===")
+    for workers in (1, 4):
+        _, run_stats = pz.Execute(
+            build_pipeline(), policy=pz.MaxQuality(), max_workers=workers
+        )
+        print(f"{workers} worker(s): "
+              f"{run_stats.total_time_seconds:.0f}s simulated "
+              f"(${run_stats.total_cost_usd:.4f})")
+
+
+if __name__ == "__main__":
+    main()

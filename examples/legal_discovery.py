@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Legal discovery: responsive-document review + deal-term extraction.
+
+A litigation team reviews a document production for materials responsive to
+the "Project Harbor" merger investigation, extracts the deal terms from the
+responsive documents, and compares what different optimization policies
+cost — the quality gap between model tiers is clearly visible on this
+harder corpus.
+
+Run:  python examples/legal_discovery.py
+"""
+
+import repro as pz
+from repro.corpora import register_demo_datasets
+from repro.corpora.legal import CONTRACT_FIELDS, LEGAL_PREDICATE
+from repro.evaluation.metrics import filter_quality
+
+
+def build_pipeline():
+    Contract = pz.make_schema(
+        "Contract",
+        "Deal terms extracted from responsive documents.",
+        CONTRACT_FIELDS,
+    )
+    return (
+        pz.Dataset(source="legal-demo")
+        .filter(LEGAL_PREDICATE)
+        .convert(Contract)
+    )
+
+
+def main():
+    register_demo_datasets()
+
+    print("=== Responsive review under MaxQuality ===")
+    records, stats = pz.Execute(build_pipeline(), policy=pz.MaxQuality())
+    print(stats.summary())
+    print()
+    for record in records:
+        print(
+            f"  {record.seller} -> {record.buyer} "
+            f"({record.deal_value}, effective {record.effective_date})"
+        )
+
+    print("\n=== Review quality per policy (vs ground truth) ===")
+    source = pz.Dataset(source="legal-demo").source
+    for policy in (pz.MaxQuality(), pz.MinCost(), pz.MinTime()):
+        review = pz.Dataset(source="legal-demo").filter(LEGAL_PREDICATE)
+        kept, run_stats = pz.Execute(review, policy=policy)
+        card = filter_quality(kept, list(source), LEGAL_PREDICATE)
+        print(
+            f"  {policy.describe():<12} responsive={len(kept):>2} "
+            f"F1={card.f1:.3f} cost=${run_stats.total_cost_usd:.4f} "
+            f"time={run_stats.total_time_seconds:.0f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: a semantic pipeline over an in-memory dataset.
+
+Build a tiny pipeline with the public API — filter documents with a
+natural-language predicate, extract structured fields with a dynamically
+created schema, and let the optimizer pick the physical plan.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro as pz
+
+
+def main():
+    notes = [
+        "Reminder: the oncology seminar on colorectal cancer is Tuesday. "
+        "Slides at https://seminars.example.edu/crc-2024.",
+        "Grocery list: coffee beans, oat milk, rye bread.",
+        "The colorectal cancer screening cohort report is finalized; "
+        "read it at https://reports.example.org/screening-q2.",
+        "Gym schedule changed to Thursday evenings.",
+    ]
+
+    # 1. Any iterable can be a dataset: every item becomes a record.
+    dataset = pz.Dataset(notes, schema=pz.TextFile)
+
+    # 2. Filter with plain English.
+    dataset = dataset.filter("The notes are about colorectal cancer")
+
+    # 3. Describe what to extract; a schema is a named set of fields.
+    Link = pz.make_schema(
+        "Link",
+        "A link referenced by a note.",
+        {"url": "The URL mentioned in the note"},
+    )
+    dataset = dataset.convert(Link)
+
+    # 4. Execute under a policy; the optimizer picks models and strategies.
+    records, stats = pz.Execute(dataset, policy=pz.MaxQuality())
+
+    print(stats.summary())
+    print()
+    for record in records:
+        print("extracted:", record.to_dict())
+
+    assert len(records) == 2, "both cancer-related notes should survive"
+
+
+if __name__ == "__main__":
+    main()

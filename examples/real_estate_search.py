@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Real-estate search: semantic filters meet classic analytics.
+
+A buyer searches free-text listings with a semantic criterion
+("waterfront"), extracts structured attributes, and runs conventional
+aggregations over the result — average asking price, per-city inventory —
+plus a semantic top-k retrieval.
+
+Run:  python examples/real_estate_search.py
+"""
+
+import repro as pz
+from repro.corpora import register_demo_datasets
+from repro.corpora.realestate import LISTING_FIELDS, REALESTATE_PREDICATE
+
+
+def listing_schema(name="Listing"):
+    return pz.make_schema(name, "A structured property listing.",
+                          LISTING_FIELDS)
+
+
+def main():
+    register_demo_datasets()
+
+    print("=== Average waterfront asking price ===")
+    pipeline = (
+        pz.Dataset(source="realestate-demo")
+        .filter(REALESTATE_PREDICATE)
+        .convert(listing_schema())
+        .average("price")
+    )
+    records, stats = pz.Execute(pipeline, policy=pz.MaxQuality())
+    print(f"  ${records[0].average_price:,.0f} "
+          f"(pipeline cost ${stats.total_cost_usd:.4f}, "
+          f"{stats.total_time_seconds:.0f}s simulated)")
+
+    print("\n=== Inventory and price by city ===")
+    by_city = (
+        pz.Dataset(source="realestate-demo")
+        .convert(listing_schema("Listing2"))
+        .groupby(["city"], [("count", None), ("avg", "price")])
+    )
+    rows, _ = pz.Execute(by_city, policy=pz.MaxQuality())
+    for row in rows:
+        print(f"  {row.city:<12} listings={row.count:>2.0f} "
+              f"avg=${row.average_price:,.0f}")
+
+    print("\n=== Top-3 listings for 'waterfront home with a dock' ===")
+    top = pz.Dataset(source="realestate-demo").retrieve(
+        "waterfront home with a private dock", k=3
+    )
+    hits, _ = pz.Execute(top)
+    for hit in hits:
+        first_line = hit.text_contents.splitlines()[0]
+        print(f"  {hit.filename}: {first_line}")
+
+
+if __name__ == "__main__":
+    main()

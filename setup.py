@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with pyproject-only metadata)
+fail while building the editable wheel.  This shim lets pip fall back to the
+legacy ``setup.py develop`` code path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""PalimpChat reproduction: declarative and interactive AI analytics.
+
+This package reimplements, from scratch and fully offline, the three systems
+the SIGMOD'25 demo paper "PalimpChat: Declarative and Interactive AI
+analytics" integrates:
+
+* **Palimpzest** (``repro.core``, ``repro.physical``, ``repro.optimizer``,
+  ``repro.execution``) — a declarative AI analytics framework with logical
+  semantic operators, a per-model physical plan space, policy-driven
+  optimization, and metered execution.
+* **Archytas** (``repro.agent``) — a ReAct agent toolbox with a ``@tool``
+  decorator, docstring-driven tool specs, and ``{{variable}}`` templating.
+* **PalimpChat** (``repro.chat``) — the chat layer: Palimpzest tools for the
+  agent, a conversational session, and a Beaker-like notebook substrate.
+
+The hosted LLM APIs the paper depends on are replaced by a deterministic
+simulated runtime (``repro.llm``); synthetic corpora for the three demo
+scenarios live in ``repro.corpora``.
+
+Quickstart (mirrors the paper's Fig. 6)::
+
+    import repro as pz
+
+    dataset = pz.Dataset(source="sigmod-demo", schema=pz.PDFFile)
+    dataset = dataset.filter("The papers are about colorectal cancer")
+    ClinicalData = pz.make_schema(
+        "ClinicalData",
+        "A schema for extracting clinical data datasets from papers.",
+        {"name": "The name of the clinical data dataset",
+         "description": "A short description of the content of the dataset",
+         "url": "The public URL where the dataset can be accessed"},
+    )
+    dataset = dataset.convert(
+        ClinicalData, cardinality=pz.Cardinality.ONE_TO_MANY
+    )
+    records, stats = pz.Execute(dataset, policy=pz.MaxQuality())
+    print(stats.summary())
+"""
+
+from repro.core.fields import (
+    Field,
+    StringField,
+    NumericField,
+    BooleanField,
+    ListField,
+    BytesField,
+    UrlField,
+)
+from repro.core.schemas import Schema, make_schema
+from repro.core.builtin_schemas import (
+    File,
+    TextFile,
+    PDFFile,
+    HTMLFile,
+    CSVFile,
+    Email,
+    WebPage,
+)
+from repro.core.records import DataRecord
+from repro.core.cardinality import Cardinality
+from repro.core.dataset import Dataset
+from repro.core.sources import (
+    DataSource,
+    DirectorySource,
+    FileSource,
+    MemorySource,
+    CallbackSource,
+    register_datasource,
+    global_source_registry,
+)
+from repro.execution.execute import Execute, ExecutionEngine
+from repro.execution.stats import ExecutionStats
+from repro.optimizer.policies import (
+    Policy,
+    MaxQuality,
+    MinCost,
+    MinTime,
+    MaxQualityAtFixedCost,
+    MaxQualityAtFixedTime,
+    MinCostAtFixedQuality,
+    WeightedBlend,
+)
+from repro.llm.models import ModelCard, register_model, available_models
+from repro.llm.cache import CallCache
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Field",
+    "StringField",
+    "NumericField",
+    "BooleanField",
+    "ListField",
+    "BytesField",
+    "UrlField",
+    "Schema",
+    "make_schema",
+    "File",
+    "TextFile",
+    "PDFFile",
+    "HTMLFile",
+    "CSVFile",
+    "Email",
+    "WebPage",
+    "DataRecord",
+    "Cardinality",
+    "Dataset",
+    "DataSource",
+    "DirectorySource",
+    "FileSource",
+    "MemorySource",
+    "CallbackSource",
+    "register_datasource",
+    "global_source_registry",
+    "Execute",
+    "ExecutionEngine",
+    "ExecutionStats",
+    "Policy",
+    "MaxQuality",
+    "MinCost",
+    "MinTime",
+    "MaxQualityAtFixedCost",
+    "MaxQualityAtFixedTime",
+    "MinCostAtFixedQuality",
+    "WeightedBlend",
+    "ModelCard",
+    "register_model",
+    "available_models",
+    "CallCache",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Archytas reproduction: a ReAct agent toolbox.
+
+"Archytas is a toolbox for enabling LLM agents to interact with various tools
+in order to solve tasks more effectively, following the ReAct (Reason &
+Action) paradigm. ... By implementing ReAct, an agent can decompose a user
+request into smaller steps, decide which tools to invoke for each step,
+provide corresponding input to those tools, and iterate until the task is
+complete." (§2.2)
+
+Pieces:
+
+* :mod:`repro.agent.templating` — the ``{{variable}}`` injection syntax used
+  inside tool code (Fig. 2).
+* :mod:`repro.agent.tools` — the ``@tool()`` decorator, docstring-driven tool
+  specs, and the tool registry.
+* :mod:`repro.agent.react` — the Thought -> Action -> Observation loop, agent
+  traces, and pluggable "brains" (the reasoning policy).
+"""
+
+from repro.agent.templating import render_template, TemplateError
+from repro.agent.tools import (
+    tool,
+    Tool,
+    ToolSpec,
+    ToolParameter,
+    ToolRegistry,
+    ToolError,
+    AgentRef,
+)
+from repro.agent.code_tools import (
+    CodeTool,
+    CodeInvocation,
+    code_tool,
+    fig2_create_schema_tool,
+)
+from repro.agent.react import (
+    ReActAgent,
+    AgentResult,
+    AgentStep,
+    AgentTrace,
+    Brain,
+    Decision,
+    ToolCall,
+    FinalAnswer,
+    ScriptedBrain,
+)
+
+__all__ = [
+    "render_template",
+    "TemplateError",
+    "tool",
+    "Tool",
+    "ToolSpec",
+    "ToolParameter",
+    "ToolRegistry",
+    "ToolError",
+    "AgentRef",
+    "CodeTool",
+    "CodeInvocation",
+    "code_tool",
+    "fig2_create_schema_tool",
+    "ReActAgent",
+    "AgentResult",
+    "AgentStep",
+    "AgentTrace",
+    "Brain",
+    "Decision",
+    "ToolCall",
+    "FinalAnswer",
+    "ScriptedBrain",
+]

@@ -1,0 +1,209 @@
+"""Templated code tools — the paper's Fig. 2 tool style.
+
+"Essentially, these tools correspond to templated code snippets ... The code
+of each tool is a Python function with the @tool() annotation, and a
+Jinja-based templated syntax can be used to inject run-time variables."
+(§2.3)
+
+A :class:`CodeTool` is defined by a *source template*: Python code with
+``{{variable}}`` placeholders.  Invoking the tool renders the template with
+the call arguments (list/dict arguments inject as ``repr`` so the rendered
+code is valid Python), executes it in the session's Python environment (the
+Beaker notebook kernel, in the demo), and returns the template's ``result``
+variable.  The rendered source is kept on the invocation record so the
+notebook can show the exact code each chat turn executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.agent.templating import render_template, template_variables
+from repro.agent.tools import Tool, ToolError, ToolParameter, ToolSpec
+
+
+@dataclass
+class CodeInvocation:
+    """One rendered + executed template (what a notebook cell records)."""
+
+    tool_name: str
+    rendered_source: str
+    result: Any
+
+
+class CodeTool(Tool):
+    """A tool whose body is a rendered-and-executed code template.
+
+    Args:
+        name: tool name.
+        summary: the docstring summary the reasoning agent reads.
+        template: Python source with ``{{argument}}`` placeholders.  The
+            template must assign its answer to a variable named ``result``.
+        parameters: model-visible parameters (all template variables must be
+            covered by parameters or by the environment).
+        environment: the Python namespace the code runs in (shared across
+            invocations — like one notebook kernel); defaults to a fresh
+            dict.
+        examples: usage examples appended to the spec.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        template: str,
+        parameters: List[ToolParameter],
+        environment: Optional[Dict[str, Any]] = None,
+        examples: Optional[List[str]] = None,
+    ):
+        if "result" not in template:
+            raise ToolError(
+                f"code tool {name!r}: the template must assign a "
+                "'result' variable"
+            )
+        param_names = {p.name for p in parameters}
+        unknown = [
+            v for v in template_variables(template)
+            if v not in param_names
+        ]
+        spec = ToolSpec(
+            name=name,
+            summary=summary,
+            parameters=list(parameters),
+            returns="the template's `result` value",
+            examples=list(examples or []),
+        )
+        # Tool.__init__ inspects a callable; give it the invoke shim.
+        super().__init__(self._noop, spec)
+        self.template = template
+        self.environment = environment if environment is not None else {}
+        self._free_variables = unknown
+        self.invocations: List[CodeInvocation] = []
+
+    @staticmethod
+    def _noop() -> None:  # pragma: no cover - never called directly
+        """Placeholder callable (CodeTool overrides invoke)."""
+
+    def render(self, arguments: Dict[str, Any]) -> str:
+        """Render the template with call arguments (repr-injected)."""
+        variables = {
+            name: repr(value) for name, value in arguments.items()
+        }
+        # Apply parameter defaults for omitted optionals.
+        for parameter in self.spec.parameters:
+            if parameter.name not in variables and not parameter.required:
+                variables[parameter.name] = repr(parameter.default)
+        return render_template(self.template, variables)
+
+    def invoke(self, arguments: Dict[str, Any], agent: Any = None) -> Any:
+        self.validate_arguments(arguments)
+        missing_free = [
+            v for v in self._free_variables if v not in self.environment
+        ]
+        if missing_free:
+            raise ToolError(
+                f"code tool {self.name!r}: template variables "
+                f"{missing_free} are neither parameters nor present in the "
+                "execution environment"
+            )
+        source = self.render(arguments)
+        namespace = self.environment
+        namespace["agent"] = agent
+        try:
+            exec(compile(source, f"<tool:{self.name}>", "exec"), namespace)
+        except ToolError:
+            raise
+        except Exception as exc:
+            raise ToolError(
+                f"code tool {self.name!r} failed while executing its "
+                f"template: {type(exc).__name__}: {exc}"
+            ) from exc
+        if "result" not in namespace:
+            raise ToolError(
+                f"code tool {self.name!r} finished without setting 'result'"
+            )
+        result = namespace.pop("result")
+        self.invocations.append(
+            CodeInvocation(
+                tool_name=self.name, rendered_source=source, result=result
+            )
+        )
+        return result
+
+
+def code_tool(
+    name: str,
+    summary: str,
+    template: str,
+    parameters: List[ToolParameter],
+    environment: Optional[Dict[str, Any]] = None,
+    examples: Optional[List[str]] = None,
+) -> CodeTool:
+    """Factory matching the ``@tool()`` ergonomics for code templates."""
+    return CodeTool(
+        name=name,
+        summary=summary,
+        template=template,
+        parameters=parameters,
+        environment=environment,
+        examples=examples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The paper's Fig. 2 tool, verbatim in spirit: generate an extraction schema
+# by executing a rendered code template against the repro API.
+# ---------------------------------------------------------------------------
+
+FIG2_CREATE_SCHEMA_TEMPLATE = '''\
+import repro as pz
+
+class_name = {{ schema_name }}
+schema_description = {{ schema_description }}
+field_names = {{ field_names }}
+field_descriptions = {{ field_descriptions }}
+
+fields = {}
+for idx, field in enumerate(field_names):
+    desc = field_descriptions[idx]
+    fields[field] = desc
+
+result = pz.make_schema(class_name, schema_description, fields)
+'''
+
+
+def fig2_create_schema_tool(
+    environment: Optional[Dict[str, Any]] = None,
+) -> CodeTool:
+    """The Fig. 2 ``create_schema`` tool as a templated code snippet.
+
+    "This tool should be used to generate a new extraction schema.  The
+    inputs are a schema name and a set of fields. ... Field names cannot
+    have spaces or special characters."
+    """
+    return code_tool(
+        name="create_schema_code",
+        summary=(
+            "Generate a new extraction schema from a name, a description, "
+            "and parallel lists of field names and field descriptions. "
+            "Field names cannot have spaces or special characters."
+        ),
+        template=FIG2_CREATE_SCHEMA_TEMPLATE,
+        parameters=[
+            ToolParameter("schema_name", "str",
+                          "the class name of the schema"),
+            ToolParameter("schema_description", "str",
+                          "one sentence describing the schema"),
+            ToolParameter("field_names", "list",
+                          "the field identifiers"),
+            ToolParameter("field_descriptions", "list",
+                          "one description per field"),
+        ],
+        environment=environment,
+        examples=[
+            "create_schema_code(schema_name='Author', "
+            "schema_description='Paper author', field_names=['name'], "
+            "field_descriptions=['The full name'])",
+        ],
+    )

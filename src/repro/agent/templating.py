@@ -1,0 +1,96 @@
+"""Minimal Jinja-style template rendering.
+
+Fig. 2 of the paper: "a Jinja-based templated syntax can be used to inject
+run-time variables.  Within the tool code, if a variable is expressed in
+round brackets as {{variable}}, the Archytas agent will fill the variable
+with a variable available at run-time in the Python execution environment."
+
+Supported syntax:
+
+* ``{{ name }}`` — variable substitution (str()).
+* ``{{ name.attr }}`` — dotted attribute / dict-key access.
+* ``{{ name | repr }}`` — filters: ``repr``, ``json``, ``upper``, ``lower``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, Mapping
+
+_PLACEHOLDER_RE = re.compile(r"\{\{\s*([^{}]+?)\s*\}\}")
+
+_FILTERS: Dict[str, Callable[[Any], str]] = {
+    "repr": repr,
+    "json": lambda value: json.dumps(value, default=str),
+    "upper": lambda value: str(value).upper(),
+    "lower": lambda value: str(value).lower(),
+    "str": str,
+}
+
+
+class TemplateError(ValueError):
+    """A template referenced a missing variable or unknown filter."""
+
+
+def _resolve_path(path: str, variables: Mapping[str, Any]) -> Any:
+    parts = path.split(".")
+    head = parts[0]
+    if head not in variables:
+        raise TemplateError(
+            f"template variable {head!r} is not defined; available: "
+            f"{sorted(variables)}"
+        )
+    value = variables[head]
+    for part in parts[1:]:
+        if isinstance(value, Mapping) and part in value:
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(
+                f"cannot resolve {path!r}: {type(value).__name__} has no "
+                f"attribute or key {part!r}"
+            )
+    return value
+
+
+def render_template(template: str, variables: Mapping[str, Any]) -> str:
+    """Render ``{{...}}`` placeholders in ``template`` from ``variables``.
+
+    >>> render_template("hello {{ who }}", {"who": "world"})
+    'hello world'
+    >>> render_template("x = {{ xs | repr }}", {"xs": [1, 2]})
+    'x = [1, 2]'
+    """
+
+    def substitute(match: re.Match) -> str:
+        expression = match.group(1)
+        if "|" in expression:
+            path, _, filter_name = expression.partition("|")
+            path, filter_name = path.strip(), filter_name.strip()
+            try:
+                filter_fn = _FILTERS[filter_name]
+            except KeyError:
+                raise TemplateError(
+                    f"unknown template filter {filter_name!r}; "
+                    f"available: {sorted(_FILTERS)}"
+                ) from None
+        else:
+            path, filter_fn = expression.strip(), str
+        value = _resolve_path(path, variables)
+        return filter_fn(value)
+
+    return _PLACEHOLDER_RE.sub(substitute, template)
+
+
+def template_variables(template: str) -> list:
+    """The root variable names a template references (deduplicated, ordered)."""
+    seen = []
+    for match in _PLACEHOLDER_RE.finditer(template):
+        expression = match.group(1)
+        path = expression.partition("|")[0].strip()
+        root = path.split(".")[0]
+        if root not in seen:
+            seen.append(root)
+    return seen

@@ -1,0 +1,276 @@
+"""The ``@tool()`` decorator, tool specs, and the tool registry.
+
+"The Archytas agent will read tool code as natural language, and consider its
+doc-string and input/output parameters in order to decide whether to use it
+to satisfy the user requests. ... The general docstring of a tool summarizes
+what each tool accomplishes and when it is appropriate to use.  The Args
+section of the docstring can be used to describe the input and output
+arguments expected for each tool." (§2.3)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+class ToolError(Exception):
+    """Invalid tool definition or invocation."""
+
+
+class AgentRef:
+    """Annotation marker: a tool parameter that receives the running agent.
+
+    Parameters annotated ``AgentRef`` are invisible to the reasoning model
+    and are injected by the loop (Fig. 2's ``agent: AgentRef``).
+    """
+
+
+@dataclass(frozen=True)
+class ToolParameter:
+    """One model-visible input of a tool."""
+
+    name: str
+    type_name: str
+    description: str = ""
+    required: bool = True
+    default: Any = None
+
+
+@dataclass
+class ToolSpec:
+    """The natural-language contract the reasoning model sees."""
+
+    name: str
+    summary: str
+    parameters: List[ToolParameter] = field(default_factory=list)
+    returns: str = ""
+    examples: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """One tool's block in the agent prompt."""
+        params = ", ".join(
+            p.name if p.required else f"{p.name}={p.default!r}"
+            for p in self.parameters
+        )
+        lines = [f"- {self.name}({params}): {self.summary}"]
+        for p in self.parameters:
+            if p.description:
+                lines.append(f"    {p.name} ({p.type_name}): {p.description}")
+        if self.returns:
+            lines.append(f"    returns: {self.returns}")
+        for example in self.examples:
+            lines.append(f"    example: {example}")
+        return "\n".join(lines)
+
+
+_ARGS_SECTION_RE = re.compile(
+    r"^\s*(Args|Arguments|Parameters)\s*:\s*$", re.M
+)
+_RETURNS_SECTION_RE = re.compile(r"^\s*Returns?\s*:\s*$", re.M)
+_EXAMPLES_SECTION_RE = re.compile(r"^\s*Examples?\s*:\s*$", re.M)
+_PARAM_LINE_RE = re.compile(
+    r"^\s*(\w+)\s*(?:\(([^)]*)\))?\s*:\s*(.+)$"
+)
+
+
+def _split_sections(docstring: str) -> Dict[str, str]:
+    """Split a docstring into summary/args/returns/examples sections."""
+    sections = {"summary": "", "args": "", "returns": "", "examples": ""}
+    markers = []
+    for name, pattern in (
+        ("args", _ARGS_SECTION_RE),
+        ("returns", _RETURNS_SECTION_RE),
+        ("examples", _EXAMPLES_SECTION_RE),
+    ):
+        match = pattern.search(docstring)
+        if match:
+            markers.append((match.start(), match.end(), name))
+    markers.sort()
+    if not markers:
+        sections["summary"] = docstring.strip()
+        return sections
+    sections["summary"] = docstring[: markers[0][0]].strip()
+    for index, (start, end, name) in enumerate(markers):
+        stop = markers[index + 1][0] if index + 1 < len(markers) else len(docstring)
+        sections[name] = docstring[end:stop].strip()
+    return sections
+
+
+def _annotation_name(annotation: Any) -> str:
+    if annotation is inspect.Parameter.empty:
+        return "any"
+    if annotation is AgentRef or (
+        isinstance(annotation, type) and issubclass(annotation, AgentRef)
+    ):
+        return "AgentRef"
+    return getattr(annotation, "__name__", str(annotation))
+
+
+def _parse_spec(fn: Callable, name: Optional[str]) -> ToolSpec:
+    docstring = inspect.getdoc(fn) or ""
+    if not docstring.strip():
+        raise ToolError(
+            f"tool {fn.__name__!r} needs a docstring: the reasoning agent "
+            "reads it to decide when to use the tool"
+        )
+    sections = _split_sections(docstring)
+    arg_docs: Dict[str, str] = {}
+    for line in sections["args"].splitlines():
+        match = _PARAM_LINE_RE.match(line)
+        if match:
+            arg_docs[match.group(1)] = match.group(3).strip()
+
+    signature = inspect.signature(fn)
+    parameters: List[ToolParameter] = []
+    for param in signature.parameters.values():
+        if param.name in ("self", "cls"):
+            continue
+        if _annotation_name(param.annotation) == "AgentRef":
+            continue  # injected by the loop, not model-visible
+        parameters.append(
+            ToolParameter(
+                name=param.name,
+                type_name=_annotation_name(param.annotation),
+                description=arg_docs.get(param.name, ""),
+                required=param.default is inspect.Parameter.empty,
+                default=(
+                    None
+                    if param.default is inspect.Parameter.empty
+                    else param.default
+                ),
+            )
+        )
+    examples = [
+        line.strip()
+        for line in sections["examples"].splitlines()
+        if line.strip()
+    ]
+    return ToolSpec(
+        name=name or fn.__name__,
+        summary=sections["summary"],
+        parameters=parameters,
+        returns=sections["returns"],
+        examples=examples,
+    )
+
+
+class Tool:
+    """A callable plus its model-facing spec."""
+
+    def __init__(self, fn: Callable, spec: ToolSpec):
+        self.fn = fn
+        self.spec = spec
+        self._signature = inspect.signature(fn)
+        self._agent_params = [
+            p.name
+            for p in self._signature.parameters.values()
+            if _annotation_name(p.annotation) == "AgentRef"
+        ]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def validate_arguments(self, arguments: Dict[str, Any]) -> None:
+        known = {p.name for p in self.spec.parameters}
+        unexpected = sorted(set(arguments) - known)
+        if unexpected:
+            raise ToolError(
+                f"tool {self.name!r} got unexpected arguments {unexpected}; "
+                f"expected {sorted(known)}"
+            )
+        missing = sorted(
+            p.name
+            for p in self.spec.parameters
+            if p.required and p.name not in arguments
+        )
+        if missing:
+            raise ToolError(
+                f"tool {self.name!r} is missing required arguments {missing}"
+            )
+
+    def invoke(self, arguments: Dict[str, Any], agent: Any = None) -> Any:
+        """Call the tool, injecting the agent into AgentRef parameters.
+
+        Async tools (the paper's tools are ``async def``) are driven to
+        completion with a private event loop.
+        """
+        self.validate_arguments(arguments)
+        call_args = dict(arguments)
+        for param_name in self._agent_params:
+            call_args[param_name] = agent
+        result = self.fn(**call_args)
+        if inspect.iscoroutine(result):
+            result = asyncio.new_event_loop().run_until_complete(result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Tool({self.name!r})"
+
+
+def tool(name: Optional[str] = None) -> Callable[[Callable], Tool]:
+    """Decorator: turn a documented function into an agent tool.
+
+    >>> @tool()
+    ... def add(a: int, b: int) -> int:
+    ...     '''Add two integers.
+    ...
+    ...     Args:
+    ...         a: first addend
+    ...         b: second addend
+    ...     '''
+    ...     return a + b
+    >>> add.spec.name
+    'add'
+    """
+
+    def decorate(fn: Callable) -> Tool:
+        return Tool(fn, _parse_spec(fn, name))
+
+    return decorate
+
+
+class ToolRegistry:
+    """The set of tools an agent can reach."""
+
+    def __init__(self, tools: Optional[Sequence[Tool]] = None):
+        self._tools: Dict[str, Tool] = {}
+        for t in tools or []:
+            self.register(t)
+
+    def register(self, tool_obj: Tool, overwrite: bool = False) -> None:
+        if not isinstance(tool_obj, Tool):
+            raise ToolError(
+                f"expected a Tool (did you forget @tool()?); got "
+                f"{type(tool_obj).__name__}"
+            )
+        if tool_obj.name in self._tools and not overwrite:
+            raise ToolError(f"tool {tool_obj.name!r} is already registered")
+        self._tools[tool_obj.name] = tool_obj
+
+    def get(self, name: str) -> Tool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise ToolError(
+                f"unknown tool {name!r}; available: {sorted(self._tools)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def __len__(self) -> int:
+        return len(self._tools)
+
+    def names(self) -> List[str]:
+        return sorted(self._tools)
+
+    def render_block(self) -> str:
+        """All tool specs, as the agent prompt's tools section."""
+        return "\n".join(
+            self._tools[name].spec.render() for name in sorted(self._tools)
+        )

@@ -1,0 +1,109 @@
+"""Render a conversation's pipeline as a runnable Palimpzest program.
+
+Reproduces Fig. 6: "the final code generated can be seen in Figure 6 ...
+users may continue to iterate on the code produced either through the chat
+interface or by downloading a Jupyter notebook that contains all inputs and
+generated snippets of code."
+
+The emitted source uses only the public ``repro`` API and is executable with
+:func:`exec_program` (benchmark E6 re-runs it and compares results).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chat.workspace import PipelineWorkspace
+
+_POLICY_EXPR = {
+    "quality": "pz.MaxQuality()",
+    "cost": "pz.MinCost()",
+    "runtime": "pz.MinTime()",
+}
+
+_CARDINALITY_EXPR = {
+    "one_to_one": "pz.Cardinality.ONE_TO_ONE",
+    "one_to_many": "pz.Cardinality.ONE_TO_MANY",
+}
+
+
+def generate_program(workspace: PipelineWorkspace) -> str:
+    """Emit the Fig. 6-style program for the steps logged so far."""
+    lines: List[str] = [
+        "import repro as pz",
+        "",
+    ]
+    policy_expr = "pz.MaxQuality()"
+    emitted_pipeline = False
+
+    for step in workspace.steps:
+        if step.kind == "load":
+            lines.append("# Set input dataset")
+            lines.append(
+                f"dataset = pz.Dataset(source={step.params['source']!r})"
+            )
+            lines.append("")
+            emitted_pipeline = True
+        elif step.kind == "filter":
+            lines.append("# Filter dataset")
+            lines.append(
+                f"dataset = dataset.filter({step.params['predicate']!r})"
+            )
+            lines.append("")
+        elif step.kind == "schema":
+            name = step.params["name"]
+            lines.append("# Create new schema")
+            lines.append(f"{name} = pz.make_schema(")
+            lines.append(f"    {name!r},")
+            lines.append(f"    {step.params['description']!r},")
+            lines.append(f"    {step.params['field_names']!r},")
+            lines.append(
+                "    field_descriptions="
+                f"{step.params['field_descriptions']!r},"
+            )
+            lines.append(")")
+            lines.append("")
+        elif step.kind == "convert":
+            cardinality = _CARDINALITY_EXPR.get(
+                str(step.params.get("cardinality", "one_to_one")).lower(),
+                "pz.Cardinality.ONE_TO_ONE",
+            )
+            lines.append("# Perform conversion")
+            lines.append(
+                f"dataset = dataset.convert({step.params['schema']}, "
+                f"cardinality={cardinality})"
+            )
+            lines.append("")
+        elif step.kind == "policy":
+            policy_expr = _POLICY_EXPR.get(
+                str(step.params.get("target", "quality")).lower(),
+                "pz.MaxQuality()",
+            )
+        elif step.kind == "execute":
+            lines.append("# Execute workload")
+            lines.append(f"policy = {policy_expr}")
+            lines.append(
+                "records, execution_stats = pz.Execute(dataset, "
+                "policy=policy)"
+            )
+            lines.append("")
+
+    if not emitted_pipeline:
+        return (
+            "# No pipeline has been built yet.\n"
+            "# Load a dataset through the chat to generate code.\n"
+        )
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def exec_program(source: str) -> Dict[str, Any]:
+    """Execute a generated program; return its namespace.
+
+    The namespace exposes ``records`` and ``execution_stats`` when the
+    program contains an execute step.
+    """
+    import repro as pz
+
+    namespace: Dict[str, Any] = {"pz": pz}
+    exec(compile(source, "<generated-pipeline>", "exec"), namespace)
+    return namespace

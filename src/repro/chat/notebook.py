@@ -1,0 +1,133 @@
+"""The Beaker-like notebook substrate.
+
+"Beaker is an implementation of computational notebooks that integrates AI
+capabilities into the interactive coding environment ... along with
+comprehensive state management that allows users to restore previous
+notebook states." (§2.3)
+
+This module provides the pieces PalimpChat needs from Beaker: an ordered
+cell document (chat turns, generated code, outputs), per-turn state
+snapshots with restore, and export to a Jupyter ``.ipynb`` file a user can
+download and keep iterating on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.chat.workspace import PipelineWorkspace
+
+NBFORMAT_VERSION = 4
+
+
+@dataclass
+class NotebookCell:
+    """One notebook cell.
+
+    ``kind`` is ``"markdown"`` (chat turns render as markdown) or
+    ``"code"`` (generated pipeline snippets); ``outputs`` holds the textual
+    results attached to code cells.
+    """
+
+    kind: str
+    source: str
+    outputs: List[str] = field(default_factory=list)
+
+    def to_ipynb(self) -> Dict[str, Any]:
+        if self.kind == "markdown":
+            return {
+                "cell_type": "markdown",
+                "metadata": {},
+                "source": self.source.splitlines(keepends=True),
+            }
+        return {
+            "cell_type": "code",
+            "execution_count": None,
+            "metadata": {},
+            "source": self.source.splitlines(keepends=True),
+            "outputs": [
+                {
+                    "output_type": "stream",
+                    "name": "stdout",
+                    "text": output.splitlines(keepends=True),
+                }
+                for output in self.outputs
+            ],
+        }
+
+
+class Notebook:
+    """Cells + state snapshots for one chat session."""
+
+    def __init__(self, title: str = "PalimpChat session"):
+        self.title = title
+        self.cells: List[NotebookCell] = []
+        self._snapshots: List[Dict[str, Any]] = []
+
+    # -- cells --------------------------------------------------------------
+
+    def add_markdown(self, source: str) -> NotebookCell:
+        cell = NotebookCell(kind="markdown", source=source)
+        self.cells.append(cell)
+        return cell
+
+    def add_code(self, source: str,
+                 outputs: Optional[List[str]] = None) -> NotebookCell:
+        cell = NotebookCell(kind="code", source=source,
+                            outputs=list(outputs or []))
+        self.cells.append(cell)
+        return cell
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # -- state management ---------------------------------------------------
+
+    def snapshot_state(self, workspace: PipelineWorkspace) -> int:
+        """Capture the workspace after a turn; returns the snapshot index."""
+        self._snapshots.append(workspace.snapshot())
+        return len(self._snapshots) - 1
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._snapshots)
+
+    def restore_state(self, index: int, workspace: PipelineWorkspace) -> None:
+        """Restore the workspace to a previous snapshot (Beaker's rewind)."""
+        if not -len(self._snapshots) <= index < len(self._snapshots):
+            raise IndexError(
+                f"snapshot index {index} out of range "
+                f"[0, {len(self._snapshots)})"
+            )
+        workspace.restore(self._snapshots[index])
+        # Snapshots after the restore point no longer describe the timeline.
+        if index >= 0:
+            del self._snapshots[index + 1:]
+
+    # -- export -------------------------------------------------------------
+
+    def to_ipynb(self) -> Dict[str, Any]:
+        header = NotebookCell(kind="markdown", source=f"# {self.title}")
+        return {
+            "nbformat": NBFORMAT_VERSION,
+            "nbformat_minor": 5,
+            "metadata": {
+                "kernelspec": {
+                    "display_name": "Python 3",
+                    "language": "python",
+                    "name": "python3",
+                },
+                "palimpchat": {"generator": "repro", "title": self.title},
+            },
+            "cells": [header.to_ipynb()]
+            + [cell.to_ipynb() for cell in self.cells],
+        }
+
+    def save(self, path) -> Path:
+        """Write the notebook as a ``.ipynb`` JSON document."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_ipynb(), indent=1))
+        return path

@@ -1,0 +1,163 @@
+"""The PalimpChat session: agent + tools + workspace + notebook."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.agent.react import AgentResult, ReActAgent
+from repro.chat.codegen import generate_program
+from repro.chat.intent import PalimpChatBrain
+from repro.chat.notebook import Notebook
+from repro.chat.tools_pz import build_pz_tools
+from repro.chat.workspace import PipelineWorkspace
+from repro.llm.clock import VirtualClock
+from repro.llm.models import ModelCard, get_model
+from repro.llm.usage import UsageLedger
+
+
+@dataclass
+class ChatResponse:
+    """What one chat turn returns to the caller/UI."""
+
+    text: str
+    tool_sequence: List[str] = field(default_factory=list)
+    result: Optional[AgentResult] = None
+    snapshot_index: int = -1
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class PalimpChatSession:
+    """A conversational session for building and running AI pipelines.
+
+    >>> session = PalimpChatSession()
+    >>> reply = session.chat("load the papers from ./papers")  # doctest: +SKIP
+
+    Args:
+        agent_model: model card (or name) metering the agent's reasoning
+            steps; must be reasoning-capable.
+        max_workers: execution parallelism for pipelines run via chat.
+        sample_size: optimizer sentinel sample size for chat-run pipelines.
+        title: notebook title.
+    """
+
+    def __init__(
+        self,
+        agent_model: Optional[str] = "gpt-4o",
+        max_workers: int = 1,
+        sample_size: int = 0,
+        title: str = "PalimpChat session",
+    ):
+        self.workspace = PipelineWorkspace()
+        self.workspace.max_workers = max_workers
+        self.workspace.sample_size = sample_size
+        self.registry = build_pz_tools(self.workspace)
+        self.brain = PalimpChatBrain(self.workspace)
+        self.agent_ledger = UsageLedger()
+        self.agent_clock = VirtualClock()
+        model: Optional[ModelCard] = (
+            get_model(agent_model) if agent_model else None
+        )
+        self.agent = ReActAgent(
+            registry=self.registry,
+            brain=self.brain,
+            model=model,
+            clock=self.agent_clock,
+            ledger=self.agent_ledger,
+            max_steps=16,
+        )
+        self.notebook = Notebook(title=title)
+        self.turns: List[ChatResponse] = []
+        # The Beaker-style notebook kernel: a persistent namespace where
+        # expert users iterate on the generated code directly.
+        import repro as _pz
+
+        self.kernel: Dict[str, Any] = {"pz": _pz}
+
+    # -- conversation -----------------------------------------------------
+
+    def chat(self, message: str) -> ChatResponse:
+        """Process one user message through the ReAct agent."""
+        self.notebook.add_markdown(f"**User:** {message}")
+        result = self.agent.run(message, state={})
+
+        # Record generated code for pipeline-building turns.
+        code = generate_program(self.workspace)
+        tool_sequence = result.trace.tool_sequence()
+        built_pipeline = any(
+            name in ("load_dataset", "filter_dataset", "convert_dataset",
+                     "create_schema", "execute_pipeline")
+            for name in tool_sequence
+        )
+        if built_pipeline:
+            self.notebook.add_code(code, outputs=[result.answer])
+        else:
+            self.notebook.add_markdown(f"**PalimpChat:** {result.answer}")
+
+        snapshot_index = self.notebook.snapshot_state(self.workspace)
+        response = ChatResponse(
+            text=result.answer,
+            tool_sequence=tool_sequence,
+            result=result,
+            snapshot_index=snapshot_index,
+        )
+        self.turns.append(response)
+        return response
+
+    def restore(self, snapshot_index: int) -> None:
+        """Rewind the workspace to an earlier turn (Beaker state restore)."""
+        self.notebook.restore_state(snapshot_index, self.workspace)
+
+    def run_code(self, source: str) -> str:
+        """Execute Python in the session's notebook kernel.
+
+        "Expert users can either further iterate on the code produced using
+        the chat interface, or program their pipelines directly" (§1) —
+        this is that path: the kernel namespace persists across calls, has
+        ``pz`` (the repro API) preloaded, and each execution is recorded as
+        a notebook code cell with its captured stdout.
+
+        Returns the captured stdout (empty string if the code printed
+        nothing).  Exceptions propagate to the caller after the failed
+        cell is recorded.
+        """
+        stdout = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(stdout):
+                exec(compile(source, "<palimpchat-kernel>", "exec"),
+                     self.kernel)
+        except Exception as exc:
+            self.notebook.add_code(
+                source, outputs=[f"{type(exc).__name__}: {exc}"]
+            )
+            raise
+        output = stdout.getvalue()
+        self.notebook.add_code(source, outputs=[output] if output else [])
+        return output
+
+    # -- artifacts ---------------------------------------------------------
+
+    def generated_code(self) -> str:
+        """The Fig. 6-style program for the pipeline built so far."""
+        return generate_program(self.workspace)
+
+    def export_notebook(self, path) -> Path:
+        """Save the session as a Jupyter notebook the user can download."""
+        return self.notebook.save(path)
+
+    def agent_cost_usd(self) -> float:
+        """Simulated spend of the agent's own reasoning calls."""
+        return self.agent_ledger.total().cost_usd
+
+    @property
+    def last_records(self):
+        return self.workspace.last_records
+
+    @property
+    def last_stats(self):
+        return self.workspace.last_stats

@@ -1,0 +1,348 @@
+"""The Palimpzest tool suite exposed to the Archytas agent.
+
+Each tool is a documented function (the docstring is the contract the
+reasoning agent sees, exactly as in Fig. 2) closed over a
+:class:`~repro.chat.workspace.PipelineWorkspace`.  The ``create_schema`` tool
+reproduces the paper's Fig. 2 example — including the dynamic
+``type(class_name, (Schema,), attributes)`` construction, here delegated to
+:func:`repro.core.schemas.make_schema`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.agent.tools import AgentRef, Tool, ToolError, ToolRegistry, tool
+from repro.chat.workspace import PipelineWorkspace
+from repro.core.cardinality import Cardinality
+from repro.core.dataset import Dataset
+from repro.core.schemas import make_schema
+from repro.core.sources import global_source_registry
+from repro.execution.execute import Execute
+from repro.optimizer.policies import parse_policy
+
+
+def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
+    """Construct the tool registry bound to ``workspace``."""
+
+    @tool()
+    def load_dataset(source: str, agent: AgentRef = None) -> str:
+        """Set the input dataset of the pipeline.
+
+        Use this tool first, before filtering or converting.  The source may
+        be the path of a local folder (every file becomes one record, with
+        the native schema chosen from the file extension — PDFs become
+        PDFFile records) or the name of a registered dataset.
+
+        Args:
+            source: a folder path or a registered dataset id.
+
+        Examples:
+            load_dataset(source="./papers")
+            load_dataset(source="sigmod-demo")
+        """
+        dataset = Dataset(source=source)
+        workspace.current = dataset
+        workspace.log_step(
+            "load",
+            source=source,
+            schema=dataset.schema.schema_name(),
+            records=len(dataset.source),
+        )
+        return (
+            f"Loaded dataset {dataset.source.dataset_id!r}: "
+            f"{len(dataset.source)} records with schema "
+            f"{dataset.schema.schema_name()}."
+        )
+
+    @tool()
+    def create_schema(
+        schema_name: str,
+        schema_description: str,
+        field_names: list,
+        field_descriptions: list,
+        agent: AgentRef = None,
+    ) -> str:
+        """Generate a new extraction schema.
+
+        This tool should be used to generate a new extraction schema.  The
+        inputs are a schema name and a set of fields.  For example, if the
+        user is interested in extracting author information from a paper,
+        the schema name might be 'Author' and the fields may be 'name',
+        'email', 'affiliation'.  You should provide a short description for
+        each field.  Field names cannot have spaces or special characters.
+
+        Args:
+            schema_name: the class name of the new schema.
+            schema_description: one sentence describing the schema.
+            field_names: list of field identifiers.
+            field_descriptions: one description per field, same order.
+
+        Examples:
+            create_schema(schema_name="Author", schema_description="Paper author", field_names=["name"], field_descriptions=["The author's name"])
+        """
+        schema = make_schema(
+            schema_name,
+            schema_description,
+            field_names,
+            field_descriptions=field_descriptions,
+        )
+        workspace.add_schema(schema)
+        workspace.log_step(
+            "schema",
+            name=schema_name,
+            description=schema_description,
+            field_names=list(field_names),
+            field_descriptions=list(field_descriptions),
+        )
+        return (
+            f"Created schema {schema_name} with fields "
+            f"{list(field_names)}."
+        )
+
+    @tool()
+    def filter_dataset(predicate: str, agent: AgentRef = None) -> str:
+        """Filter the current dataset with a natural-language predicate.
+
+        Keeps only the records that satisfy the predicate.  Use after
+        load_dataset.
+
+        Args:
+            predicate: the condition records must satisfy, in plain English.
+
+        Examples:
+            filter_dataset(predicate="The papers are about colorectal cancer")
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        workspace.current = workspace.current.filter(predicate)
+        workspace.log_step("filter", predicate=predicate)
+        return f"Added filter: {predicate!r}."
+
+    @tool()
+    def convert_dataset(
+        schema_name: str,
+        cardinality: str = "one_to_one",
+        agent: AgentRef = None,
+    ) -> str:
+        """Convert the current dataset to a previously created schema.
+
+        Computes the new schema's fields from each record (LLM extraction).
+        Use cardinality "one_to_many" when one input record can describe
+        several output objects (e.g. several datasets per paper).
+
+        Args:
+            schema_name: name of a schema made with create_schema.
+            cardinality: "one_to_one" or "one_to_many".
+
+        Examples:
+            convert_dataset(schema_name="ClinicalData", cardinality="one_to_many")
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        schema = workspace.get_schema(schema_name)
+        workspace.current = workspace.current.convert(
+            schema, cardinality=Cardinality.parse(cardinality)
+        )
+        workspace.log_step(
+            "convert", schema=schema_name, cardinality=cardinality
+        )
+        return (
+            f"Added convert to {schema_name} "
+            f"(cardinality: {cardinality})."
+        )
+
+    @tool()
+    def set_optimization_target(target: str, agent: AgentRef = None) -> str:
+        """Choose the optimization goal for plan selection.
+
+        Args:
+            target: "quality" (maximize output quality), "cost" (minimize
+                dollar cost), or "runtime" (minimize execution time).
+
+        Examples:
+            set_optimization_target(target="quality")
+        """
+        workspace.policy = parse_policy(target)
+        workspace.log_step("policy", target=target)
+        return f"Optimization target set to {workspace.policy.describe()}."
+
+    @tool()
+    def execute_pipeline(agent: AgentRef = None) -> str:
+        """Optimize and run the pipeline built so far.
+
+        Palimpzest enumerates the physical plans implementing the logical
+        pipeline, picks the best one under the chosen optimization target,
+        executes it, and stores the output records and statistics.
+
+        Examples:
+            execute_pipeline()
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        records, stats = Execute(
+            workspace.current,
+            policy=workspace.policy,
+            max_workers=workspace.max_workers,
+            sample_size=workspace.sample_size,
+        )
+        workspace.last_records = records
+        workspace.last_stats = stats
+        workspace.log_step(
+            "execute",
+            policy=workspace.policy.describe(),
+            records=len(records),
+            cost_usd=round(stats.total_cost_usd, 4),
+            time_seconds=round(stats.total_time_seconds, 1),
+        )
+        return (
+            f"Executed pipeline: {len(records)} records produced in "
+            f"{stats.total_time_seconds:.0f}s at a cost of "
+            f"${stats.total_cost_usd:.2f} "
+            f"(plan: {stats.plan_stats.plan_describe})."
+        )
+
+    @tool()
+    def get_execution_stats(agent: AgentRef = None) -> str:
+        """Report runtime, cost, and per-operator statistics of the last run.
+
+        Use when the user asks how long the workload took or how much the
+        LLM invocations costed.
+
+        Examples:
+            get_execution_stats()
+        """
+        if workspace.last_stats is None:
+            raise ToolError("nothing has been executed yet")
+        return workspace.last_stats.summary()
+
+    @tool()
+    def show_records(limit: int = 10, agent: AgentRef = None) -> str:
+        """Show the output records of the last execution.
+
+        Args:
+            limit: maximum number of records to display.
+
+        Examples:
+            show_records(limit=5)
+        """
+        if workspace.last_records is None:
+            raise ToolError("nothing has been executed yet")
+        if not workspace.last_records:
+            return "The last execution produced no records."
+        lines = []
+        for record in workspace.last_records[: max(1, int(limit))]:
+            fields = record.to_dict()
+            rendered = ", ".join(f"{k}: {v}" for k, v in fields.items())
+            lines.append(f"- {rendered}")
+        remaining = len(workspace.last_records) - len(lines)
+        if remaining > 0:
+            lines.append(f"... and {remaining} more")
+        return "\n".join(lines)
+
+    @tool()
+    def describe_pipeline(agent: AgentRef = None) -> str:
+        """Describe the logical pipeline built so far and the chosen policy.
+
+        Examples:
+            describe_pipeline()
+        """
+        return workspace.describe_pipeline()
+
+    @tool()
+    def list_datasets(agent: AgentRef = None) -> str:
+        """List the registered dataset ids available to load_dataset.
+
+        Examples:
+            list_datasets()
+        """
+        ids = global_source_registry().list_ids()
+        if not ids:
+            return "No datasets registered; load a folder path instead."
+        return "Registered datasets: " + ", ".join(ids)
+
+    @tool()
+    def generate_code(agent: AgentRef = None) -> str:
+        """Produce the runnable Palimpzest program for this pipeline.
+
+        Returns Python source equivalent to the conversation so far (the
+        code an expert user could iterate on directly).
+
+        Examples:
+            generate_code()
+        """
+        from repro.chat.codegen import generate_program
+
+        return generate_program(workspace)
+
+    @tool()
+    def set_parallelism(workers: int, agent: AgentRef = None) -> str:
+        """Set how many workers run LLM calls concurrently.
+
+        More workers reduce wall-clock time of a pipeline execution without
+        changing its cost.
+
+        Args:
+            workers: number of parallel workers (1 = sequential).
+
+        Examples:
+            set_parallelism(workers=4)
+        """
+        workers = int(workers)
+        if workers < 1:
+            raise ToolError("workers must be >= 1")
+        workspace.max_workers = workers
+        workspace.log_step("parallelism", workers=workers)
+        return f"Pipelines will now execute with {workers} workers."
+
+    @tool()
+    def explain_plans(agent: AgentRef = None) -> str:
+        """Show the physical plans the optimizer is considering.
+
+        Prints the enumerated plan space, the Pareto frontier with
+        estimated cost/time/quality, and which plan the current
+        optimization target would pick — without executing anything.
+
+        Examples:
+            explain_plans()
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        from repro.execution.execute import ExecutionEngine
+
+        engine = ExecutionEngine(
+            policy=workspace.policy,
+            max_workers=workspace.max_workers,
+        )
+        return engine.explain(workspace.current)
+
+    @tool()
+    def reset_pipeline(agent: AgentRef = None) -> str:
+        """Discard the pipeline built so far and start over.
+
+        Examples:
+            reset_pipeline()
+        """
+        workspace.reset()
+        return "Pipeline reset; load a dataset to start again."
+
+    registry = ToolRegistry()
+    for tool_obj in (
+        load_dataset,
+        create_schema,
+        filter_dataset,
+        convert_dataset,
+        set_optimization_target,
+        execute_pipeline,
+        get_execution_stats,
+        show_records,
+        describe_pipeline,
+        list_datasets,
+        generate_code,
+        set_parallelism,
+        explain_plans,
+        reset_pipeline,
+    ):
+        registry.register(tool_obj)
+    return registry

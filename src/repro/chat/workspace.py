@@ -1,0 +1,107 @@
+"""The pipeline workspace: state a chat conversation builds up."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.cardinality import Cardinality
+from repro.core.dataset import Dataset
+from repro.core.records import DataRecord
+from repro.core.schemas import Schema
+from repro.execution.stats import ExecutionStats
+from repro.optimizer.policies import MaxQuality, Policy
+
+
+@dataclass
+class PipelineStep:
+    """One logical step the conversation added (used for codegen/replay)."""
+
+    kind: str  # "load" | "filter" | "schema" | "convert" | "policy" | ...
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{self.kind}({inner})"
+
+
+class PipelineWorkspace:
+    """Mutable state shared by the PalimpChat tools.
+
+    Tracks the dataset pipeline under construction, the dynamically created
+    schemas, the optimization policy, and the latest execution results.
+    Snapshots support the Beaker-style "restore previous notebook state"
+    feature.
+    """
+
+    def __init__(self):
+        self.current: Optional[Dataset] = None
+        self.schemas: Dict[str, Type[Schema]] = {}
+        self.policy: Policy = MaxQuality()
+        self.max_workers: int = 1
+        self.sample_size: int = 0
+        self.steps: List[PipelineStep] = []
+        self.last_records: Optional[List[DataRecord]] = None
+        self.last_stats: Optional[ExecutionStats] = None
+
+    # -- step log ----------------------------------------------------------
+
+    def log_step(self, kind: str, **params) -> PipelineStep:
+        step = PipelineStep(kind=kind, params=params)
+        self.steps.append(step)
+        return step
+
+    def steps_of_kind(self, kind: str) -> List[PipelineStep]:
+        return [s for s in self.steps if s.kind == kind]
+
+    # -- schema registry -------------------------------------------------
+
+    def add_schema(self, schema: Type[Schema]) -> None:
+        self.schemas[schema.schema_name()] = schema
+
+    def get_schema(self, name: str) -> Type[Schema]:
+        try:
+            return self.schemas[name]
+        except KeyError:
+            raise KeyError(
+                f"no schema named {name!r} has been created in this session; "
+                f"known schemas: {sorted(self.schemas)}"
+            ) from None
+
+    # -- snapshots (Beaker-style state restore) ---------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture enough state to restore this point of the conversation."""
+        return {
+            "current": self.current,          # Datasets are immutable chains
+            "schemas": dict(self.schemas),
+            "policy": self.policy,
+            "max_workers": self.max_workers,
+            "sample_size": self.sample_size,
+            "steps": copy.deepcopy(self.steps),
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        self.current = snapshot["current"]
+        self.schemas = dict(snapshot["schemas"])
+        self.policy = snapshot["policy"]
+        self.max_workers = snapshot["max_workers"]
+        self.sample_size = snapshot["sample_size"]
+        self.steps = copy.deepcopy(snapshot["steps"])
+        self.last_records = None
+        self.last_stats = None
+
+    def reset(self) -> None:
+        self.current = None
+        self.schemas = {}
+        self.policy = MaxQuality()
+        self.steps = []
+        self.last_records = None
+        self.last_stats = None
+
+    def describe_pipeline(self) -> str:
+        if self.current is None:
+            return "(no pipeline yet — load a dataset first)"
+        plan = self.current.logical_plan().describe()
+        return f"{plan}  [policy: {self.policy.describe()}]"

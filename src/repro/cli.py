@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``models`` — list the registered model cards (the physical plan space).
+* ``demo`` — run one of the three demonstration scenarios end-to-end.
+* ``run`` — build and execute a pipeline over a folder from the shell.
+* ``chat`` — an interactive PalimpChat REPL (the demo's chat box, in a
+  terminal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro as pz
+from repro.llm.models import default_registry
+
+
+def _cmd_models(args) -> int:
+    header = (
+        f"{'model':<24} {'provider':<10} {'$/1M in':>8} {'$/1M out':>9} "
+        f"{'quality':>8} {'context':>9} {'reasoning':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for card in default_registry().all_cards():
+        print(
+            f"{card.name:<24} {card.provider:<10} "
+            f"{card.usd_per_1m_input:>8.2f} {card.usd_per_1m_output:>9.2f} "
+            f"{card.quality:>8.2f} {card.context_window:>9} "
+            f"{'yes' if card.supports_reasoning else 'no':>10}"
+        )
+    return 0
+
+
+_SCENARIOS = {
+    "sci": "scientific discovery (papers -> datasets)",
+    "legal": "legal discovery (responsive review)",
+    "realestate": "real-estate search (semantic + analytics)",
+}
+
+
+def _cmd_demo(args) -> int:
+    from repro.corpora import register_demo_datasets
+    from repro.corpora.legal import CONTRACT_FIELDS, LEGAL_PREDICATE
+    from repro.corpora.papers import CLINICAL_FIELDS, PAPERS_PREDICATE
+    from repro.corpora.realestate import (
+        LISTING_FIELDS,
+        REALESTATE_PREDICATE,
+    )
+
+    register_demo_datasets(args.data_dir)
+    if args.scenario == "sci":
+        schema = pz.make_schema(
+            "ClinicalData", "Datasets from papers.", CLINICAL_FIELDS
+        )
+        dataset = (
+            pz.Dataset(source="sigmod-demo")
+            .filter(PAPERS_PREDICATE)
+            .convert(schema, cardinality=pz.Cardinality.ONE_TO_MANY)
+        )
+    elif args.scenario == "legal":
+        schema = pz.make_schema("Contract", "Deal terms.", CONTRACT_FIELDS)
+        dataset = (
+            pz.Dataset(source="legal-demo")
+            .filter(LEGAL_PREDICATE)
+            .convert(schema)
+        )
+    else:
+        schema = pz.make_schema("Listing", "A listing.", LISTING_FIELDS)
+        dataset = (
+            pz.Dataset(source="realestate-demo")
+            .filter(REALESTATE_PREDICATE)
+            .convert(schema)
+        )
+    records, stats = pz.Execute(
+        dataset, policy=args.policy, max_workers=args.workers
+    )
+    print(stats.summary())
+    print()
+    for record in records[: args.limit]:
+        print(f"- {record.to_dict()}")
+    remaining = len(records) - args.limit
+    if remaining > 0:
+        print(f"... and {remaining} more records")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    dataset = pz.Dataset(source=args.source)
+    if args.filter:
+        dataset = dataset.filter(args.filter)
+    if args.extract:
+        fields = [f.strip() for f in args.extract.split(",") if f.strip()]
+        if not fields:
+            print("error: --extract needs field names", file=sys.stderr)
+            return 2
+        schema = pz.make_schema(
+            "Extracted",
+            "Fields extracted by the command line.",
+            {name: f"The {name.replace('_', ' ')}" for name in fields},
+        )
+        cardinality = (
+            pz.Cardinality.ONE_TO_MANY if args.one_to_many
+            else pz.Cardinality.ONE_TO_ONE
+        )
+        dataset = dataset.convert(schema, cardinality=cardinality)
+    if args.limit:
+        dataset = dataset.limit(args.limit)
+    if args.explain:
+        engine = pz.ExecutionEngine(
+            policy=args.policy, max_workers=args.workers
+        )
+        print(engine.explain(dataset))
+        return 0
+    records, stats = pz.Execute(
+        dataset, policy=args.policy, max_workers=args.workers
+    )
+    print(stats.summary())
+    print()
+    for record in records:
+        print(record.to_json())
+    return 0
+
+
+def _cmd_chat(args) -> int:
+    from repro.chat import PalimpChatSession
+    from repro.corpora import register_demo_datasets
+
+    register_demo_datasets(args.data_dir)
+    session = PalimpChatSession()
+    print(
+        "PalimpChat — describe a data pipeline in plain English.\n"
+        "Datasets registered: sigmod-demo, legal-demo, realestate-demo.\n"
+        "Type 'exit' to leave.\n"
+    )
+    while True:
+        try:
+            message = input("you> ").strip()
+        except EOFError:
+            break
+        if not message:
+            continue
+        if message.lower() in ("exit", "quit", "bye"):
+            break
+        reply = session.chat(message)
+        if reply.tool_sequence:
+            print(f"[tools: {' -> '.join(reply.tool_sequence)}]")
+        print(f"palimpchat> {reply.text}\n")
+    if args.export:
+        path = session.export_notebook(args.export)
+        print(f"session notebook saved to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PalimpChat reproduction: declarative AI analytics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list registered model cards")
+
+    demo = sub.add_parser("demo", help="run a demonstration scenario")
+    demo.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                      default="sci",
+                      help="; ".join(f"{k}: {v}" for k, v in
+                                     _SCENARIOS.items()))
+    demo.add_argument("--policy", default="quality",
+                      help="quality | cost | runtime")
+    demo.add_argument("--workers", type=int, default=1)
+    demo.add_argument("--limit", type=int, default=10,
+                      help="records to print")
+    demo.add_argument("--data-dir", default=None,
+                      help="where to generate/reuse the demo corpora")
+
+    run = sub.add_parser("run", help="run a pipeline over a folder")
+    run.add_argument("--source", required=True,
+                     help="folder path or registered dataset id")
+    run.add_argument("--filter", default=None,
+                     help="natural-language predicate")
+    run.add_argument("--extract", default=None,
+                     help="comma-separated field names to extract")
+    run.add_argument("--one-to-many", action="store_true")
+    run.add_argument("--policy", default="quality")
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument("--limit", type=int, default=0)
+    run.add_argument("--explain", action="store_true",
+                     help="print the plan space and exit without executing")
+
+    chat = sub.add_parser("chat", help="interactive PalimpChat REPL")
+    chat.add_argument("--data-dir", default=None)
+    chat.add_argument("--export", default=None,
+                      help="save the session notebook here on exit")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "demo": _cmd_demo,
+        "run": _cmd_run,
+        "chat": _cmd_chat,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Palimpzest core: schemas, records, data sources, and the Dataset API.
+
+This package implements the declarative surface of the system described in
+§2.1 of the paper: users define *schemas* (named, described fields over
+unstructured data), register *datasets* (folders, in-memory collections, or
+custom marshalers), and compose *logical plans* from relational and semantic
+operators — ``filter`` with natural-language predicates or UDFs, ``convert``
+between schemas (one-to-one or one-to-many), plus projection, aggregation,
+group-by, limit, and semantic top-k retrieval.
+"""
+
+from repro.core.fields import (
+    Field,
+    StringField,
+    NumericField,
+    BooleanField,
+    ListField,
+    BytesField,
+    UrlField,
+)
+from repro.core.schemas import Schema, make_schema, schema_signature
+from repro.core.builtin_schemas import (
+    File,
+    TextFile,
+    PDFFile,
+    HTMLFile,
+    CSVFile,
+    Email,
+    SCHEMA_BY_EXTENSION,
+)
+from repro.core.records import DataRecord
+from repro.core.cardinality import Cardinality
+from repro.core.sources import (
+    DataSource,
+    DirectorySource,
+    FileSource,
+    MemorySource,
+    CallbackSource,
+    DataSourceRegistry,
+    global_source_registry,
+    register_datasource,
+)
+from repro.core.dataset import Dataset
+from repro.core.errors import SchemaError, DatasetError, PlanError
+
+__all__ = [
+    "Field",
+    "StringField",
+    "NumericField",
+    "BooleanField",
+    "ListField",
+    "BytesField",
+    "UrlField",
+    "Schema",
+    "make_schema",
+    "schema_signature",
+    "File",
+    "TextFile",
+    "PDFFile",
+    "HTMLFile",
+    "CSVFile",
+    "Email",
+    "SCHEMA_BY_EXTENSION",
+    "DataRecord",
+    "Cardinality",
+    "DataSource",
+    "DirectorySource",
+    "FileSource",
+    "MemorySource",
+    "CallbackSource",
+    "DataSourceRegistry",
+    "global_source_registry",
+    "register_datasource",
+    "Dataset",
+    "SchemaError",
+    "DatasetError",
+    "PlanError",
+]

@@ -1,0 +1,84 @@
+"""Built-in schemas shipped with the core (mirroring ``pz``'s natives).
+
+The demo relies on a "native PDFfile schema, which is automatically chosen to
+parse the files in this dataset given their extension" (§3); the extension
+dispatch table lives at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import (
+    BytesField,
+    ListField,
+    NumericField,
+    StringField,
+)
+from repro.core.schemas import Schema
+
+
+class File(Schema):
+    """A file on disk: its name and raw contents."""
+
+    filename = StringField(desc="The name of the file", required=True)
+    contents = BytesField(desc="The raw bytes of the file")
+
+
+class TextFile(File):
+    """A plain-text file."""
+
+    text_contents = StringField(desc="The full text content of the file")
+
+
+class PDFFile(File):
+    """A PDF document: the filename plus the extracted text layer."""
+
+    text_contents = StringField(
+        desc="The raw textual content extracted from the PDF"
+    )
+    page_count = NumericField(desc="Number of pages in the document")
+
+
+class HTMLFile(File):
+    """An HTML page, with markup stripped into plain text."""
+
+    text_contents = StringField(desc="The visible text of the page")
+    title = StringField(desc="The page title")
+
+
+class CSVFile(File):
+    """A CSV file parsed into a header and rows."""
+
+    header = ListField(desc="The column names of the CSV file")
+    rows = ListField(desc="The data rows of the CSV file")
+    text_contents = StringField(desc="The raw CSV text")
+
+
+class Email(Schema):
+    """An e-mail message (used by the legal-discovery scenario)."""
+
+    sender = StringField(desc="The e-mail address of the sender")
+    recipient = StringField(desc="The e-mail address of the recipient")
+    subject = StringField(desc="The subject line")
+    body = StringField(desc="The full body text of the message")
+    sent_date = StringField(desc="The date the message was sent")
+
+
+class WebPage(Schema):
+    """A fetched web page (text + URL)."""
+
+    url = StringField(desc="The URL of the page")
+    text_contents = StringField(desc="The visible text of the page")
+
+
+#: File-extension -> schema dispatch used by directory data sources.
+SCHEMA_BY_EXTENSION = {
+    ".txt": TextFile,
+    ".md": TextFile,
+    ".text": TextFile,
+    ".pdf": PDFFile,
+    ".html": HTMLFile,
+    ".htm": HTMLFile,
+    ".csv": CSVFile,
+    ".json": TextFile,
+    ".eml": Email,
+}

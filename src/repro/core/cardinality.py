@@ -1,0 +1,27 @@
+"""Conversion cardinality (§3: ``pz.Cardinality.ONE_TO_MANY``)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cardinality(enum.Enum):
+    """How many output records a convert produces per input record."""
+
+    ONE_TO_ONE = "one_to_one"
+    ONE_TO_MANY = "one_to_many"
+
+    @classmethod
+    def parse(cls, value) -> "Cardinality":
+        """Accept enum members, value strings, or names (case-insensitive)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            needle = value.strip().lower()
+            for member in cls:
+                if needle in (member.value, member.name.lower()):
+                    return member
+        raise ValueError(
+            f"cannot parse cardinality from {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )

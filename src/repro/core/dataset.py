@@ -1,0 +1,270 @@
+"""The fluent Dataset API — the user-facing surface of the core library.
+
+Mirrors the programming model of Fig. 6::
+
+    dataset = Dataset(source="sigmod-demo", schema=PDFFile)
+    dataset = dataset.filter("The papers are about colorectal cancer")
+    dataset = dataset.convert(ClinicalData, cardinality=Cardinality.ONE_TO_MANY)
+    records, stats = Execute(dataset, policy=MaxQuality())
+
+Each method returns a *new* Dataset wrapping the upstream one, so pipelines
+are immutable values that can be branched and reused.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Type, Union
+
+from repro.core.cardinality import Cardinality
+from repro.core.errors import DatasetError, PlanError
+from repro.core.logical import (
+    AggFunc,
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilterSpec,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    LogicalOperator,
+    LogicalPlan,
+    Project,
+    RetrieveScan,
+)
+from repro.core.records import DataRecord
+from repro.core.schemas import Schema
+from repro.core.sources import (
+    DataSource,
+    DirectorySource,
+    FileSource,
+    MemorySource,
+    global_source_registry,
+)
+
+
+def _resolve_source(
+    source: Union[str, DataSource, Path, Iterable[Any]],
+    schema: Optional[Type[Schema]],
+) -> DataSource:
+    """Turn any accepted ``source`` argument into a DataSource."""
+    if isinstance(source, DataSource):
+        return source
+    if isinstance(source, str):
+        registry = global_source_registry()
+        if source in registry:
+            return registry.get(source)
+        path = Path(source)
+        if path.is_dir():
+            return DirectorySource(path, schema=schema)
+        if path.is_file():
+            return FileSource(path, schema=schema)
+        return registry.get(source)  # raises with the registered ids listed
+    if isinstance(source, Path):
+        if source.is_dir():
+            return DirectorySource(source, schema=schema)
+        if source.is_file():
+            return FileSource(source, schema=schema)
+        raise DatasetError(f"path {source} does not exist")
+    if isinstance(source, Iterable):
+        return MemorySource(source, dataset_id="memory", schema=schema)
+    raise DatasetError(
+        f"cannot build a dataset from {type(source).__name__}"
+    )
+
+
+class Dataset:
+    """A (possibly transformed) collection of records.
+
+    Construct a root dataset from a source, then chain transformations; the
+    chain *is* the logical plan.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, DataSource, Path, Iterable[Any], None] = None,
+        schema: Optional[Type[Schema]] = None,
+        _upstream: Optional["Dataset"] = None,
+        _operator: Optional[LogicalOperator] = None,
+    ):
+        if _upstream is not None:
+            if _operator is None:
+                raise PlanError("derived datasets need an operator")
+            self._source: Optional[DataSource] = None
+            self._upstream = _upstream
+            self._operator: Optional[LogicalOperator] = _operator
+            self.schema = _operator.output_schema
+        else:
+            if source is None:
+                raise DatasetError("a root dataset needs a source")
+            resolved = _resolve_source(source, schema)
+            self._source = resolved
+            self._upstream = None
+            self.schema = schema or resolved.schema
+            self._operator = BaseScan(resolved.dataset_id, self.schema)
+
+    # -- plan construction ------------------------------------------------
+
+    @property
+    def source(self) -> DataSource:
+        """The root data source of this pipeline."""
+        node = self
+        while node._upstream is not None:
+            node = node._upstream
+        assert node._source is not None
+        return node._source
+
+    def logical_plan(self) -> LogicalPlan:
+        """Collect the operator chain, scan first."""
+        operators = []
+        node: Optional[Dataset] = self
+        while node is not None:
+            if node._operator is not None:
+                operators.append(node._operator)
+            node = node._upstream
+        return LogicalPlan(list(reversed(operators)))
+
+    def _derive(self, operator: LogicalOperator) -> "Dataset":
+        return Dataset(_upstream=self, _operator=operator)
+
+    # -- transformations ----------------------------------------------------
+
+    def filter(
+        self,
+        predicate: Union[str, Callable[[DataRecord], bool]],
+        depends_on: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Keep records satisfying a natural-language predicate or a UDF.
+
+        >>> papers.filter("The papers are about colorectal cancer")
+        >>> papers.filter(lambda r: r.page_count > 3)
+        """
+        if callable(predicate):
+            spec = FilterSpec(udf=predicate, depends_on=depends_on)
+        else:
+            spec = FilterSpec(predicate=str(predicate), depends_on=depends_on)
+        return self._derive(FilteredScan(self.schema, spec))
+
+    def convert(
+        self,
+        output_schema: Type[Schema],
+        desc: str = "",
+        cardinality: Union[Cardinality, str] = Cardinality.ONE_TO_ONE,
+        udf: Optional[Callable[[DataRecord], Any]] = None,
+        depends_on: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Transform records into ``output_schema``, computing new fields.
+
+        With ``udf`` the new fields come from Python code; otherwise an LLM
+        extraction computes them.  ``cardinality=ONE_TO_MANY`` lets one
+        input yield several outputs.  ``depends_on`` restricts the text the
+        model sees to the named input fields (smaller prompts).
+        """
+        return self._derive(
+            ConvertScan(
+                self.schema,
+                output_schema,
+                cardinality=Cardinality.parse(cardinality),
+                desc=desc,
+                udf=udf,
+                depends_on=depends_on,
+            )
+        )
+
+    def project(self, fields: Sequence[str]) -> "Dataset":
+        """Keep only the named fields."""
+        return self._derive(Project(self.schema, fields))
+
+    def limit(self, n: int) -> "Dataset":
+        """Pass through at most ``n`` records."""
+        return self._derive(LimitScan(self.schema, n))
+
+    def retrieve(self, query: str, k: int = 5) -> "Dataset":
+        """Semantic top-k: the ``k`` records most similar to ``query``."""
+        return self._derive(RetrieveScan(self.schema, query, k))
+
+    # -- binary and set operators -----------------------------------------
+
+    def join(
+        self,
+        right: "Dataset",
+        predicate: Optional[str] = None,
+        udf: Optional[Callable[[DataRecord, DataRecord], bool]] = None,
+    ) -> "Dataset":
+        """Join against another dataset.
+
+        Pass ``predicate`` (natural language, judged per record pair by a
+        model — a *semantic join*) or ``udf`` (``fn(left, right) -> bool``).
+        The right-hand pipeline is optimized and materialized when the join
+        executes; its costs are accounted to the join operator.
+
+        >>> papers.join(datasets_list, "The paper uses the dataset")
+        """
+        from repro.core.logical_ext import JoinScan  # local: optional ext
+
+        return self._derive(
+            JoinScan(self.schema, right, predicate=predicate, udf=udf)
+        )
+
+    def union(self, right: "Dataset") -> "Dataset":
+        """Concatenate another dataset with the same fields."""
+        from repro.core.logical_ext import UnionScan
+
+        return self._derive(UnionScan(self.schema, right))
+
+    def distinct(self, fields: Optional[Sequence[str]] = None) -> "Dataset":
+        """Drop duplicate records (by ``fields``, or all fields)."""
+        from repro.core.logical_ext import Distinct
+
+        return self._derive(Distinct(self.schema, fields))
+
+    def sort(self, field: str, descending: bool = False) -> "Dataset":
+        """Order records by ``field`` (blocking; None values last)."""
+        from repro.core.logical_ext import Sort
+
+        return self._derive(Sort(self.schema, field, descending=descending))
+
+    # -- aggregates -----------------------------------------------------
+
+    def count(self) -> "Dataset":
+        return self._derive(Aggregate(self.schema, AggFunc.COUNT))
+
+    def average(self, field: str) -> "Dataset":
+        return self._derive(Aggregate(self.schema, AggFunc.AVERAGE, field))
+
+    def sum(self, field: str) -> "Dataset":
+        return self._derive(Aggregate(self.schema, AggFunc.SUM, field))
+
+    def min(self, field: str) -> "Dataset":
+        return self._derive(Aggregate(self.schema, AggFunc.MIN, field))
+
+    def max(self, field: str) -> "Dataset":
+        return self._derive(Aggregate(self.schema, AggFunc.MAX, field))
+
+    def groupby(
+        self,
+        group_fields: Sequence[str],
+        aggregates: Sequence[Tuple[Union[AggFunc, str], Optional[str]]],
+    ) -> "Dataset":
+        """GROUP BY with aggregates, e.g. ``groupby(["city"], [("count", None)])``."""
+        parsed = [(AggFunc.parse(func), field) for func, field in aggregates]
+        return self._derive(
+            GroupByAggregate(self.schema, group_fields, parsed)
+        )
+
+    # -- execution sugar -----------------------------------------------
+
+    def run(self, policy=None, **kwargs):
+        """Execute this pipeline; see :func:`repro.execution.execute.Execute`."""
+        from repro.execution.execute import Execute  # deferred: avoids cycle
+
+        return Execute(self, policy=policy, **kwargs)
+
+    def explain(self, policy=None, **kwargs) -> str:
+        """EXPLAIN this pipeline: plan space + Pareto frontier + choice."""
+        from repro.execution.execute import ExecutionEngine
+
+        return ExecutionEngine(policy=policy, **kwargs).explain(self)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.logical_plan().describe()})"

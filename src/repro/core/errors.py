@@ -1,0 +1,23 @@
+"""Exception hierarchy for the Palimpzest core."""
+
+from __future__ import annotations
+
+
+class PalimpzestError(Exception):
+    """Base class for all core errors."""
+
+
+class SchemaError(PalimpzestError):
+    """Invalid schema definition or schema mismatch."""
+
+
+class DatasetError(PalimpzestError):
+    """Invalid dataset construction or unknown data source."""
+
+
+class PlanError(PalimpzestError):
+    """Invalid logical or physical plan."""
+
+
+class ExecutionError(PalimpzestError):
+    """A failure while executing a physical plan."""

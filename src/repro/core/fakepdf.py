@@ -1,0 +1,132 @@
+"""The fake-PDF container format.
+
+The paper's demo ingests real PDFs of scientific papers; offline we need a
+binary document format that (a) requires a real parsing step, (b) carries a
+text layer and page structure, and (c) is deterministic to generate.  The
+``%FPDF`` format below is a simplified PDF-like container:
+
+.. code-block:: text
+
+    %FPDF-1.0
+    %%META {json metadata}
+    %%PAGE 1
+    <base64-ish obfuscated text stream>
+    %%PAGE 2
+    ...
+    %%EOF
+
+Text streams are reversibly obfuscated (rot13 + hex framing) so that the
+text layer genuinely has to be *decoded*, exercising the same "extract text
+from an opaque file" code path that real PDF parsing does.
+"""
+
+from __future__ import annotations
+
+import codecs
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MAGIC = "%FPDF-1.0"
+_META_PREFIX = "%%META "
+_PAGE_PREFIX = "%%PAGE "
+_EOF = "%%EOF"
+
+#: Approximate words per rendered page, used to split text into pages.
+WORDS_PER_PAGE = 400
+
+
+class FakePDFError(ValueError):
+    """Raised when bytes do not parse as a fake-PDF document."""
+
+
+def _encode_stream(text: str) -> str:
+    rot = codecs.encode(text, "rot13")
+    return rot.encode("utf-8").hex()
+
+
+def _decode_stream(stream: str) -> str:
+    try:
+        rot = bytes.fromhex(stream.strip()).decode("utf-8")
+    except ValueError as exc:
+        raise FakePDFError(f"corrupt text stream: {exc}") from exc
+    return codecs.decode(rot, "rot13")
+
+
+@dataclass
+class FakePDFDocument:
+    """Parsed form of a fake-PDF: metadata plus per-page text."""
+
+    pages: List[str]
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+def paginate(text: str, words_per_page: int = WORDS_PER_PAGE) -> List[str]:
+    """Split ``text`` into page-sized chunks on word boundaries."""
+    words = [w for w in text.split(" ") if w]
+    if not words:
+        return [""]
+    pages = []
+    for start in range(0, len(words), words_per_page):
+        pages.append(" ".join(words[start:start + words_per_page]))
+    return pages or [""]
+
+
+def write_fake_pdf(text: str, metadata: Optional[Dict[str, str]] = None,
+                   words_per_page: int = WORDS_PER_PAGE) -> bytes:
+    """Serialize ``text`` (+ optional metadata) into fake-PDF bytes."""
+    lines = [MAGIC]
+    lines.append(_META_PREFIX + json.dumps(metadata or {}, sort_keys=True))
+    for number, page in enumerate(paginate(text, words_per_page), start=1):
+        lines.append(f"{_PAGE_PREFIX}{number}")
+        lines.append(_encode_stream(page))
+    lines.append(_EOF)
+    return "\n".join(lines).encode("utf-8")
+
+
+def is_fake_pdf(data: bytes) -> bool:
+    return data.startswith(MAGIC.encode("utf-8"))
+
+
+def parse_fake_pdf(data: bytes) -> FakePDFDocument:
+    """Parse fake-PDF bytes back into pages + metadata.
+
+    Raises :class:`FakePDFError` on malformed input.
+    """
+    try:
+        content = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FakePDFError(f"not valid UTF-8: {exc}") from exc
+    lines = content.splitlines()
+    if not lines or lines[0] != MAGIC:
+        raise FakePDFError(f"missing {MAGIC} header")
+
+    metadata: Dict[str, str] = {}
+    pages: List[str] = []
+    saw_eof = False
+    expecting_stream = False
+    for line in lines[1:]:
+        if line == _EOF:
+            saw_eof = True
+            break
+        if line.startswith(_META_PREFIX):
+            try:
+                metadata = json.loads(line[len(_META_PREFIX):])
+            except json.JSONDecodeError as exc:
+                raise FakePDFError(f"corrupt metadata: {exc}") from exc
+        elif line.startswith(_PAGE_PREFIX):
+            expecting_stream = True
+        elif expecting_stream:
+            pages.append(_decode_stream(line))
+            expecting_stream = False
+    if not saw_eof:
+        raise FakePDFError("truncated document: missing %%EOF")
+    return FakePDFDocument(pages=pages, metadata=metadata)

@@ -1,0 +1,169 @@
+"""Schema field types.
+
+A :class:`Field` carries the metadata the paper's §2.1 describes: a name
+(bound by the schema metaclass), a natural-language description (which the
+LLM-backed convert operators feed into their extraction prompts), and a
+Python type used for validation/coercion of extracted values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+
+class Field:
+    """A named, described attribute of a :class:`~repro.core.schemas.Schema`.
+
+    Args:
+        desc: Natural-language description, shown to extraction models.
+        required: Whether conversion should treat a missing value as an error
+            (required fields that come back ``None`` lower measured quality
+            but never raise — mirroring how LLM pipelines degrade).
+    """
+
+    python_type: type = object
+    type_name: str = "any"
+
+    def __init__(self, desc: str = "", required: bool = False):
+        self.desc = desc
+        self.required = required
+        self.name: Optional[str] = None  # bound by SchemaMeta
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce an extracted value to this field's type.
+
+        Returns ``None`` unchanged; raises nothing — extraction output is
+        best-effort, so uncoercible values pass through as-is and quality
+        metrics penalize them downstream.
+        """
+        return value
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` is acceptable for this field."""
+        if value is None:
+            return not self.required
+        return isinstance(value, self.python_type) or self.python_type is object
+
+    def spec(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "desc": self.desc,
+            "required": self.required,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, desc={self.desc!r}, "
+            f"required={self.required})"
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.name == other.name
+            and self.desc == other.desc
+            and self.required == other.required
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.desc, self.required))
+
+
+class StringField(Field):
+    python_type = str
+    type_name = "string"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None or isinstance(value, str):
+            return value
+        return str(value)
+
+
+class NumericField(Field):
+    python_type = float
+    type_name = "number"
+
+    def coerce(self, value: Any) -> Any:
+        if value is None or isinstance(value, (int, float)):
+            return value
+        if isinstance(value, str):
+            cleaned = value.replace(",", "").replace("$", "").strip()
+            try:
+                return float(cleaned) if "." in cleaned else int(cleaned)
+            except ValueError:
+                return value
+        return value
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return not self.required
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class BooleanField(Field):
+    python_type = bool
+    type_name = "boolean"
+
+    _TRUE = frozenset({"true", "yes", "1", "t", "y"})
+    _FALSE = frozenset({"false", "no", "0", "f", "n"})
+
+    def coerce(self, value: Any) -> Any:
+        if value is None or isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            low = value.strip().lower()
+            if low in self._TRUE:
+                return True
+            if low in self._FALSE:
+                return False
+        return value
+
+
+class BytesField(Field):
+    python_type = bytes
+    type_name = "bytes"
+
+
+class ListField(Field):
+    """A list of values, optionally typed by ``element_type``."""
+
+    python_type = list
+    type_name = "list"
+
+    def __init__(self, element_type: Optional[Type[Field]] = None,
+                 desc: str = "", required: bool = False):
+        super().__init__(desc=desc, required=required)
+        self.element_field = element_type() if element_type else None
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            value = [value]
+        if self.element_field is None:
+            return value
+        return [self.element_field.coerce(v) for v in value]
+
+    def __eq__(self, other) -> bool:
+        if not super().__eq__(other):
+            return False
+        mine = type(self.element_field).__name__ if self.element_field else None
+        theirs = type(other.element_field).__name__ if other.element_field else None
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        element = type(self.element_field).__name__ if self.element_field else None
+        return hash((super().__hash__(), element))
+
+
+class UrlField(StringField):
+    type_name = "url"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return not self.required
+        return isinstance(value, str) and value.startswith(("http://", "https://"))

@@ -1,0 +1,127 @@
+"""File parsing: turn files on disk into schema-shaped records.
+
+Implements the "native PDFfile schema ... automatically chosen to parse the
+files in this dataset given their extension" behaviour (§3), plus parsers for
+the other built-in file schemas.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Optional, Tuple, Type
+
+from repro.core import fakepdf
+from repro.core.builtin_schemas import (
+    CSVFile,
+    Email,
+    File,
+    HTMLFile,
+    PDFFile,
+    SCHEMA_BY_EXTENSION,
+    TextFile,
+)
+from repro.core.records import DataRecord
+from repro.core.schemas import Schema
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.I | re.S)
+
+
+def schema_for_path(path: Path) -> Type[Schema]:
+    """Pick the native schema for a file from its extension."""
+    return SCHEMA_BY_EXTENSION.get(Path(path).suffix.lower(), File)
+
+
+def _decode_best_effort(data: bytes) -> str:
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        return data.decode("latin-1", errors="replace")
+
+
+def _parse_pdf(path: Path, data: bytes, record: DataRecord) -> None:
+    if fakepdf.is_fake_pdf(data):
+        document = fakepdf.parse_fake_pdf(data)
+        record.text_contents = document.text
+        record.page_count = document.page_count
+        return
+    # Real-PDF salvage path: strip binary noise, keep printable runs.  This
+    # is deliberately crude — the corpora use fake-PDFs — but it keeps the
+    # system from crashing if a user points it at a real document.
+    text = _decode_best_effort(data)
+    printable = re.findall(r"[ -~]{6,}", text)
+    record.text_contents = "\n".join(printable)
+    record.page_count = max(1, text.count("/Page"))
+
+
+def _parse_html(path: Path, data: bytes, record: DataRecord) -> None:
+    html = _decode_best_effort(data)
+    title_match = _TITLE_RE.search(html)
+    record.title = title_match.group(1).strip() if title_match else ""
+    body = _TAG_RE.sub(" ", html)
+    record.text_contents = re.sub(r"\s+", " ", body).strip()
+
+
+def _parse_csv(path: Path, data: bytes, record: DataRecord) -> None:
+    text = _decode_best_effort(data)
+    record.text_contents = text
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    record.header = rows[0] if rows else []
+    record.rows = rows[1:] if len(rows) > 1 else []
+
+
+_EMAIL_HEADER_RE = re.compile(r"^(From|To|Subject|Date):\s*(.*)$", re.M)
+
+
+def _parse_email(path: Path, data: bytes, record: DataRecord) -> None:
+    text = _decode_best_effort(data)
+    headers = dict(
+        (key.lower(), value.strip())
+        for key, value in _EMAIL_HEADER_RE.findall(text)
+    )
+    record.sender = headers.get("from", "")
+    record.recipient = headers.get("to", "")
+    record.subject = headers.get("subject", "")
+    record.sent_date = headers.get("date", "")
+    # The body is everything after the first blank line.
+    parts = re.split(r"\n\s*\n", text, maxsplit=1)
+    record.body = parts[1].strip() if len(parts) > 1 else text
+
+
+def parse_file(
+    path: Path,
+    schema: Optional[Type[Schema]] = None,
+    source_id: Optional[str] = None,
+) -> DataRecord:
+    """Read ``path`` and marshal it into a record of the native schema.
+
+    Args:
+        path: file to read.
+        schema: override the extension-based schema choice.
+        source_id: dataset id to stamp on the record.
+    """
+    path = Path(path)
+    schema = schema or schema_for_path(path)
+    data = path.read_bytes()
+
+    record = DataRecord(schema, source_id=source_id)
+    if "filename" in schema.field_map():
+        record.filename = path.name
+    if "contents" in schema.field_map():
+        record.contents = data
+
+    if issubclass(schema, PDFFile):
+        _parse_pdf(path, data, record)
+    elif issubclass(schema, HTMLFile):
+        _parse_html(path, data, record)
+    elif issubclass(schema, CSVFile):
+        _parse_csv(path, data, record)
+    elif schema is Email or issubclass(schema, Email):
+        _parse_email(path, data, record)
+    elif issubclass(schema, TextFile):
+        record.text_contents = _decode_best_effort(data)
+    return record

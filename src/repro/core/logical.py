@@ -1,0 +1,359 @@
+"""Logical operators and logical plans.
+
+"A Palimpzest plan is a sequence of these operators over a dataset.  By
+design, users write *logical* plans only; the choice of the physical
+implementation is deferred until runtime." (§2.1)
+
+The logical operators here cover the paper's two emphasized semantic
+operators (*Filter* with a natural-language predicate or UDF, and *Convert*
+between schemas with one-to-one / one-to-many cardinality) plus the
+conventional relational operators (projection, aggregation, group-by, limit)
+and semantic top-k retrieval.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.cardinality import Cardinality
+from repro.core.errors import PlanError, SchemaError
+from repro.core.fields import NumericField, StringField
+from repro.core.schemas import Schema, make_schema, schema_signature
+
+
+class FilterSpec:
+    """A filter predicate: either natural language or a Python UDF."""
+
+    def __init__(
+        self,
+        predicate: Optional[str] = None,
+        udf: Optional[Callable[..., bool]] = None,
+        depends_on: Optional[Sequence[str]] = None,
+    ):
+        if (predicate is None) == (udf is None):
+            raise PlanError(
+                "a filter needs exactly one of a natural-language predicate "
+                "or a UDF"
+            )
+        if predicate is not None and not predicate.strip():
+            raise PlanError("filter predicate must be non-empty")
+        self.predicate = predicate
+        self.udf = udf
+        self.depends_on = list(depends_on or [])
+
+    @property
+    def is_semantic(self) -> bool:
+        return self.predicate is not None
+
+    def describe(self) -> str:
+        if self.is_semantic:
+            return f'filter("{self.predicate}")'
+        return f"filter(udf={getattr(self.udf, '__name__', 'lambda')})"
+
+    def signature(self) -> str:
+        if self.is_semantic:
+            return f"nl:{self.predicate}"
+        return f"udf:{getattr(self.udf, '__name__', repr(self.udf))}"
+
+
+class AggFunc(enum.Enum):
+    COUNT = "count"
+    AVERAGE = "average"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+
+    @classmethod
+    def parse(cls, value) -> "AggFunc":
+        if isinstance(value, cls):
+            return value
+        needle = str(value).strip().lower()
+        for member in cls:
+            if needle in (member.value, member.name.lower()):
+                return member
+        if needle in ("avg", "mean"):
+            return cls.AVERAGE
+        raise PlanError(f"unknown aggregate function {value!r}")
+
+
+class LogicalOperator:
+    """Base class: a node in a (linear) logical plan."""
+
+    def __init__(self, input_schema: Optional[Type[Schema]],
+                 output_schema: Type[Schema]):
+        self.input_schema = input_schema
+        self.output_schema = output_schema
+
+    @property
+    def op_name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return self.op_name
+
+    def signature(self) -> str:
+        """Stable identity used for plan caching and sentinel stats."""
+        material = f"{self.op_name}|{self.describe()}|" + schema_signature(
+            self.output_schema
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+class BaseScan(LogicalOperator):
+    """Read all records from a registered data source."""
+
+    def __init__(self, dataset_id: str, schema: Type[Schema]):
+        super().__init__(None, schema)
+        self.dataset_id = dataset_id
+
+    def describe(self) -> str:
+        return f"scan({self.dataset_id!r} -> {self.output_schema.schema_name()})"
+
+
+class FilteredScan(LogicalOperator):
+    """Keep the records satisfying a :class:`FilterSpec`."""
+
+    def __init__(self, input_schema: Type[Schema], spec: FilterSpec):
+        super().__init__(input_schema, input_schema)
+        self.spec = spec
+
+    def describe(self) -> str:
+        return self.spec.describe()
+
+
+class ConvertScan(LogicalOperator):
+    """Transform records of schema A into schema B (§2.1's *Convert*).
+
+    New fields of B are *computed* (by an LLM or a UDF); fields shared with A
+    are carried over.  ``cardinality`` may be one-to-many, in which case one
+    input record can yield several outputs (Fig. 6's ``ONE_TO_MANY``).
+    """
+
+    def __init__(
+        self,
+        input_schema: Type[Schema],
+        output_schema: Type[Schema],
+        cardinality: Cardinality = Cardinality.ONE_TO_ONE,
+        desc: str = "",
+        udf: Optional[Callable[..., Any]] = None,
+        depends_on: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(input_schema, output_schema)
+        self.cardinality = Cardinality.parse(cardinality)
+        self.desc = desc or output_schema.schema_description()
+        self.udf = udf
+        self.depends_on = list(depends_on or [])
+        self.new_fields = output_schema.new_fields_vs(input_schema)
+        if not self.new_fields and udf is None:
+            raise PlanError(
+                f"convert to {output_schema.schema_name()} computes no new "
+                "fields; every output field already exists on "
+                f"{input_schema.schema_name()}"
+            )
+
+    @property
+    def is_semantic(self) -> bool:
+        return self.udf is None
+
+    def describe(self) -> str:
+        kind = "udf" if self.udf else "llm"
+        return (
+            f"convert({self.input_schema.schema_name()} -> "
+            f"{self.output_schema.schema_name()}, {self.cardinality.value}, "
+            f"{kind})"
+        )
+
+
+class Project(LogicalOperator):
+    """Keep only the named fields."""
+
+    def __init__(self, input_schema: Type[Schema], fields: Sequence[str]):
+        missing = [f for f in fields if f not in input_schema.field_map()]
+        if missing:
+            raise SchemaError(
+                f"cannot project unknown fields {missing} of schema "
+                f"{input_schema.schema_name()}"
+            )
+        if not fields:
+            raise PlanError("projection needs at least one field")
+        output = make_schema(
+            f"{input_schema.schema_name()}Projection",
+            f"Projection of {input_schema.schema_name()} onto {list(fields)}",
+            {name: input_schema.field_map()[name] for name in fields},
+        )
+        super().__init__(input_schema, output)
+        self.fields = list(fields)
+
+    def describe(self) -> str:
+        return f"project({self.fields})"
+
+
+class LimitScan(LogicalOperator):
+    """Pass through at most ``limit`` records."""
+
+    def __init__(self, input_schema: Type[Schema], limit: int):
+        if limit < 0:
+            raise PlanError(f"limit must be non-negative, got {limit}")
+        super().__init__(input_schema, input_schema)
+        self.limit = limit
+
+    def describe(self) -> str:
+        return f"limit({self.limit})"
+
+
+def _aggregate_output_schema(alias: str) -> Type[Schema]:
+    return make_schema(
+        "AggregateResult",
+        "The scalar result of an aggregation.",
+        {alias: NumericField(desc=f"The {alias} value")},
+    )
+
+
+class Aggregate(LogicalOperator):
+    """A whole-dataset scalar aggregate (count / average / sum / min / max)."""
+
+    def __init__(self, input_schema: Type[Schema], func: AggFunc,
+                 field: Optional[str] = None):
+        func = AggFunc.parse(func)
+        if func is not AggFunc.COUNT:
+            if field is None:
+                raise PlanError(f"{func.value} aggregate needs a field")
+            if field not in input_schema.field_map():
+                raise SchemaError(
+                    f"aggregate field {field!r} not in schema "
+                    f"{input_schema.schema_name()}"
+                )
+        alias = func.value if field is None else f"{func.value}_{field}"
+        super().__init__(input_schema, _aggregate_output_schema(alias))
+        self.func = func
+        self.field = field
+        self.alias = alias
+
+    def describe(self) -> str:
+        return f"aggregate({self.func.value}, field={self.field})"
+
+
+class GroupByAggregate(LogicalOperator):
+    """SQL-style GROUP BY with one or more aggregates per group."""
+
+    def __init__(
+        self,
+        input_schema: Type[Schema],
+        group_fields: Sequence[str],
+        aggregates: Sequence[Tuple[AggFunc, Optional[str]]],
+    ):
+        if not group_fields:
+            raise PlanError("group-by needs at least one grouping field")
+        for field in group_fields:
+            if field not in input_schema.field_map():
+                raise SchemaError(
+                    f"group field {field!r} not in schema "
+                    f"{input_schema.schema_name()}"
+                )
+        parsed = []
+        fields: Dict[str, Any] = {
+            name: StringField(desc=f"Group key {name}") for name in group_fields
+        }
+        for func, agg_field in aggregates:
+            func = AggFunc.parse(func)
+            if func is not AggFunc.COUNT and (
+                agg_field is None or agg_field not in input_schema.field_map()
+            ):
+                raise SchemaError(
+                    f"aggregate field {agg_field!r} not in schema "
+                    f"{input_schema.schema_name()}"
+                )
+            alias = (
+                func.value if agg_field is None else f"{func.value}_{agg_field}"
+            )
+            fields[alias] = NumericField(desc=f"The {alias} per group")
+            parsed.append((func, agg_field, alias))
+        output = make_schema(
+            "GroupByResult", "One row per group with aggregate values.", fields
+        )
+        super().__init__(input_schema, output)
+        self.group_fields = list(group_fields)
+        self.aggregates = parsed
+
+    def describe(self) -> str:
+        aggs = [f"{func.value}({field})" for func, field, _ in self.aggregates]
+        return f"groupby({self.group_fields}, {aggs})"
+
+
+class RetrieveScan(LogicalOperator):
+    """Semantic top-k: the ``k`` records most similar to ``query``."""
+
+    def __init__(self, input_schema: Type[Schema], query: str, k: int):
+        if not query.strip():
+            raise PlanError("retrieve query must be non-empty")
+        if k <= 0:
+            raise PlanError(f"retrieve k must be positive, got {k}")
+        super().__init__(input_schema, input_schema)
+        self.query = query
+        self.k = k
+
+    def describe(self) -> str:
+        return f"retrieve({self.query!r}, k={self.k})"
+
+
+class LogicalPlan:
+    """An ordered operator chain, scan first."""
+
+    def __init__(self, operators: Sequence[LogicalOperator]):
+        ops = list(operators)
+        if not ops:
+            raise PlanError("a logical plan needs at least one operator")
+        if not isinstance(ops[0], BaseScan):
+            raise PlanError("a logical plan must start with a BaseScan")
+        for upstream, downstream in zip(ops, ops[1:]):
+            if isinstance(downstream, BaseScan):
+                raise PlanError("BaseScan may only appear first in a plan")
+            if downstream.input_schema is not upstream.output_schema:
+                raise PlanError(
+                    f"schema mismatch between {upstream.describe()} "
+                    f"(produces {upstream.output_schema.schema_name()}) and "
+                    f"{downstream.describe()} (expects "
+                    f"{downstream.input_schema.schema_name()})"
+                )
+        self.operators = ops
+
+    @property
+    def scan(self) -> BaseScan:
+        return self.operators[0]  # type: ignore[return-value]
+
+    @property
+    def output_schema(self) -> Type[Schema]:
+        return self.operators[-1].output_schema
+
+    def semantic_operators(self) -> List[LogicalOperator]:
+        """The operators whose physical implementation involves a model."""
+        semantic: List[LogicalOperator] = []
+        for op in self.operators:
+            if isinstance(op, FilteredScan) and op.spec.is_semantic:
+                semantic.append(op)
+            elif isinstance(op, ConvertScan) and op.is_semantic:
+                semantic.append(op)
+            elif isinstance(op, RetrieveScan):
+                semantic.append(op)
+            elif getattr(op, "is_semantic", False):
+                # Extended operators (e.g. semantic joins) opt in via an
+                # is_semantic attribute.
+                semantic.append(op)
+        return semantic
+
+    def describe(self) -> str:
+        return " -> ".join(op.describe() for op in self.operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    def __repr__(self) -> str:
+        return f"LogicalPlan({self.describe()})"

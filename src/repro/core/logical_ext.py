@@ -1,0 +1,150 @@
+"""Extended relational logical operators: join, union, distinct, sort.
+
+The paper notes Palimpzest "implements most relational algebra operators";
+beyond the core set in :mod:`repro.core.logical` this module adds:
+
+* :class:`JoinScan` — join the stream against a second dataset, with either
+  a Python predicate over record pairs or a natural-language predicate
+  judged by a model (a *semantic join*).
+* :class:`UnionScan` — concatenate a second dataset of the same schema.
+* :class:`Distinct` — drop duplicate records (all fields or a subset).
+* :class:`Sort` — order records by a field.
+
+Joins/unions keep plans *structurally linear*: the right-hand side is a
+whole :class:`~repro.core.dataset.Dataset` owned by the operator, optimized
+and materialized by the physical operator when it opens.  That keeps the
+single-pipeline executor and optimizer intact while still composing
+arbitrary sub-pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.core.errors import PlanError, SchemaError
+from repro.core.fields import Field
+from repro.core.logical import LogicalOperator
+from repro.core.schemas import Schema, make_schema
+
+
+def joined_schema(left: Type[Schema], right: Type[Schema]) -> Type[Schema]:
+    """Merged output schema of a join; right-side name clashes get
+    a ``right_`` prefix."""
+    fields: Dict[str, Field] = {}
+    for name, field in left.field_map().items():
+        fields[name] = field
+    for name, field in right.field_map().items():
+        target = name if name not in fields else f"right_{name}"
+        if target in fields:
+            raise SchemaError(
+                f"cannot merge schemas: field {target!r} exists on both "
+                "sides even after prefixing"
+            )
+        fields[target] = field
+    return make_schema(
+        f"{left.schema_name()}Join{right.schema_name()}",
+        f"Join of {left.schema_name()} and {right.schema_name()}.",
+        fields,
+    )
+
+
+class JoinScan(LogicalOperator):
+    """Join the stream with ``right_dataset``.
+
+    Exactly one of ``predicate`` (natural language, judged per pair by a
+    model) or ``udf`` (``fn(left_record, right_record) -> bool``) must be
+    given.
+    """
+
+    def __init__(
+        self,
+        input_schema: Type[Schema],
+        right_dataset,
+        predicate: Optional[str] = None,
+        udf: Optional[Callable] = None,
+    ):
+        if (predicate is None) == (udf is None):
+            raise PlanError(
+                "a join needs exactly one of a natural-language predicate "
+                "or a UDF"
+            )
+        if predicate is not None and not predicate.strip():
+            raise PlanError("join predicate must be non-empty")
+        output = joined_schema(input_schema, right_dataset.schema)
+        super().__init__(input_schema, output)
+        self.right_dataset = right_dataset
+        self.predicate = predicate
+        self.udf = udf
+
+    @property
+    def is_semantic(self) -> bool:
+        return self.predicate is not None
+
+    def describe(self) -> str:
+        condition = (
+            f'"{self.predicate}"' if self.is_semantic
+            else getattr(self.udf, "__name__", "udf")
+        )
+        return (
+            f"join({self.right_dataset.schema.schema_name()}, {condition})"
+        )
+
+
+class UnionScan(LogicalOperator):
+    """Concatenate ``right_dataset`` (same schema) after the stream."""
+
+    def __init__(self, input_schema: Type[Schema], right_dataset):
+        right_schema = right_dataset.schema
+        if set(right_schema.field_map()) != set(input_schema.field_map()):
+            raise SchemaError(
+                "union requires matching schemas; "
+                f"{input_schema.schema_name()} has "
+                f"{input_schema.field_names()} but "
+                f"{right_schema.schema_name()} has "
+                f"{right_schema.field_names()}"
+            )
+        super().__init__(input_schema, input_schema)
+        self.right_dataset = right_dataset
+
+    def describe(self) -> str:
+        return f"union({self.right_dataset.schema.schema_name()})"
+
+
+class Distinct(LogicalOperator):
+    """Drop duplicates by the named fields (default: all fields)."""
+
+    def __init__(self, input_schema: Type[Schema],
+                 fields: Optional[Sequence[str]] = None):
+        if fields:
+            missing = [
+                f for f in fields if f not in input_schema.field_map()
+            ]
+            if missing:
+                raise SchemaError(
+                    f"distinct fields {missing} not in schema "
+                    f"{input_schema.schema_name()}"
+                )
+        super().__init__(input_schema, input_schema)
+        self.fields = list(fields) if fields else None
+
+    def describe(self) -> str:
+        return f"distinct({self.fields or 'all fields'})"
+
+
+class Sort(LogicalOperator):
+    """Order records by ``field`` (blocking)."""
+
+    def __init__(self, input_schema: Type[Schema], field: str,
+                 descending: bool = False):
+        if field not in input_schema.field_map():
+            raise SchemaError(
+                f"sort field {field!r} not in schema "
+                f"{input_schema.schema_name()}"
+            )
+        super().__init__(input_schema, input_schema)
+        self.field = field
+        self.descending = descending
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"sort({self.field}, {direction})"

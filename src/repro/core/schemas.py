@@ -1,0 +1,200 @@
+"""The Schema system.
+
+A schema is "the attribute names, types, and descriptions used to process the
+dataset" (§2.1).  Schemas are Python classes whose class attributes are
+:class:`~repro.core.fields.Field` instances; a metaclass collects them (in
+definition order, inheriting parent fields) into ``__fields__``.
+
+Two creation styles are supported, matching the paper:
+
+* declarative subclassing, used by library programmers::
+
+      class Author(Schema):
+          \"\"\"Author information extracted from a paper.\"\"\"
+          name = StringField(desc="The author's full name")
+          email = StringField(desc="The author's e-mail address")
+
+* the dynamic ``type(...)`` construction that PalimpChat's ``create_schema``
+  tool performs (Fig. 2), wrapped here as :func:`make_schema`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+from repro.core.errors import SchemaError
+from repro.core.fields import Field, StringField
+
+
+class SchemaMeta(type):
+    """Collects Field attributes into ``__fields__`` (ordered, inherited)."""
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        fields: Dict[str, Field] = {}
+        for base in reversed(cls.__mro__[1:]):
+            fields.update(getattr(base, "__fields__", {}))
+        for attr_name, attr_value in namespace.items():
+            if isinstance(attr_value, Field):
+                if attr_name.startswith("__"):
+                    raise SchemaError(
+                        f"field name {attr_name!r} may not be dunder-named"
+                    )
+                fields[attr_name] = attr_value
+        cls.__fields__ = fields
+        return cls
+
+
+class Schema(metaclass=SchemaMeta):
+    """Base class for all schemas.
+
+    The class docstring is the schema description (fed to extraction
+    prompts); subclasses add fields.  Schemas are never instantiated —
+    records carrying schema-shaped values are :class:`~repro.core.records.DataRecord`.
+    """
+
+    __fields__: Dict[str, Field] = {}
+
+    def __init__(self):
+        raise TypeError(
+            "schemas are not instantiated; create DataRecords instead"
+        )
+
+    # -- class-level introspection -------------------------------------
+
+    @classmethod
+    def schema_name(cls) -> str:
+        return cls.__name__
+
+    @classmethod
+    def schema_description(cls) -> str:
+        """The class docstring (named to avoid colliding with a
+        user-defined ``description`` field, as in the paper's ClinicalData)."""
+        return (cls.__doc__ or "").strip()
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return list(cls.__fields__.keys())
+
+    @classmethod
+    def field_map(cls) -> Dict[str, Field]:
+        return dict(cls.__fields__)
+
+    @classmethod
+    def field_desc(cls, name: str) -> str:
+        try:
+            return cls.__fields__[name].desc
+        except KeyError:
+            raise SchemaError(
+                f"schema {cls.__name__} has no field {name!r}; "
+                f"fields: {cls.field_names()}"
+            ) from None
+
+    @classmethod
+    def field_descriptions(cls) -> Dict[str, str]:
+        """name -> description, the payload of an extraction prompt."""
+        return {name: f.desc for name, f in cls.__fields__.items()}
+
+    @classmethod
+    def text_field_names(cls) -> List[str]:
+        return [
+            name
+            for name, f in cls.__fields__.items()
+            if isinstance(f, StringField)
+        ]
+
+    @classmethod
+    def new_fields_vs(cls, other: Type["Schema"]) -> List[str]:
+        """Fields of ``cls`` that do not already exist in ``other``.
+
+        These are the fields a convert operator must *compute* (§2.1:
+        "computing the fields in B that do not explicitly exist in A").
+        """
+        existing = set(other.__fields__)
+        return [name for name in cls.__fields__ if name not in existing]
+
+    @classmethod
+    def json_schema(cls) -> dict:
+        return {
+            "title": cls.schema_name(),
+            "description": cls.schema_description(),
+            "type": "object",
+            "properties": {
+                name: {"type": f.type_name, "description": f.desc}
+                for name, f in cls.__fields__.items()
+            },
+            "required": [
+                name for name, f in cls.__fields__.items() if f.required
+            ],
+        }
+
+
+def schema_signature(schema: Type[Schema]) -> str:
+    """A stable identity for a schema: name + field specs.
+
+    Dynamically created schemas with identical shape get identical
+    signatures, which the optimizer uses for plan caching.
+    """
+    parts = [schema.schema_name()]
+    for name, f in sorted(schema.field_map().items()):
+        parts.append(f"{name}:{f.type_name}:{f.desc}:{f.required}")
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+    return f"{schema.schema_name()}#{digest}"
+
+
+def _check_field_name(name: str) -> None:
+    if not name.isidentifier():
+        raise SchemaError(
+            f"field name {name!r} must be a valid Python identifier "
+            "(no spaces or special characters)"
+        )
+    if name.startswith("_"):
+        raise SchemaError(f"field name {name!r} may not start with underscore")
+
+
+def make_schema(
+    name: str,
+    description: str,
+    fields: Union[Dict[str, Union[str, Field]], Sequence[str]],
+    field_descriptions: Optional[Sequence[str]] = None,
+    base: Type[Schema] = Schema,
+) -> Type[Schema]:
+    """Dynamically create a schema class (the Fig. 2 ``create_schema`` path).
+
+    ``fields`` may be a mapping of field name to description (strings become
+    :class:`StringField`) or to a ready :class:`Field`; or a sequence of
+    names paired with ``field_descriptions``.
+
+    >>> Author = make_schema("Author", "Paper author", {"name": "Full name"})
+    >>> Author.field_names()
+    ['name']
+    """
+    if not name.isidentifier():
+        raise SchemaError(f"schema name {name!r} must be a valid identifier")
+
+    if not isinstance(fields, dict):
+        names = list(fields)
+        descs = list(field_descriptions or [])
+        if len(descs) != len(names):
+            raise SchemaError(
+                f"got {len(names)} field names but "
+                f"{len(descs)} field descriptions"
+            )
+        fields = dict(zip(names, descs))
+    if not fields:
+        raise SchemaError("a schema needs at least one field")
+
+    namespace: dict = {"__doc__": description}
+    for field_name, spec in fields.items():
+        _check_field_name(field_name)
+        if isinstance(spec, Field):
+            namespace[field_name] = spec
+        elif isinstance(spec, str):
+            namespace[field_name] = StringField(desc=spec)
+        else:
+            raise SchemaError(
+                f"field {field_name!r}: expected a description string or a "
+                f"Field, got {type(spec).__name__}"
+            )
+    return SchemaMeta(name, (base,), namespace)

@@ -1,0 +1,296 @@
+"""Data sources: where records come from.
+
+§3 of the paper: "The first step when building a pipeline is to define an
+input dataset - this could either be a local folder, for which every file
+will constitute an individual record; or an iterable object in memory, for
+which every item will be a record.  Additionally, more experienced users can
+define any custom logic to marshal arbitrary objects or paths into input
+datasets."
+
+Those three styles are :class:`DirectorySource`, :class:`MemorySource`, and
+:class:`CallbackSource`.  Sources register under string ids in a
+:class:`DataSourceRegistry` so pipelines can refer to them by name
+(``pz.Dataset(source="sigmod-demo")``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.core.builtin_schemas import File, TextFile
+from repro.core.errors import DatasetError
+from repro.core.files import parse_file, schema_for_path
+from repro.core.records import DataRecord
+from repro.core.schemas import Schema, make_schema
+from repro.llm.tokenizer import count_tokens
+
+
+class DataSource:
+    """Abstract source of :class:`DataRecord` instances."""
+
+    def __init__(self, dataset_id: str, schema: Type[Schema]):
+        if not dataset_id:
+            raise DatasetError("dataset_id must be non-empty")
+        self.dataset_id = dataset_id
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def sample(self, k: int) -> List[DataRecord]:
+        """The first ``k`` records (used for sentinel optimization runs)."""
+        out: List[DataRecord] = []
+        for record in self:
+            out.append(record)
+            if len(out) >= k:
+                break
+        return out
+
+    def profile(self, sample_size: int = 5) -> "SourceProfile":
+        """Cheap statistics for the optimizer's naive cost model."""
+        sample = self.sample(sample_size)
+        token_counts = [count_tokens(r.document_text()) for r in sample]
+        avg = statistics.mean(token_counts) if token_counts else 0.0
+        return SourceProfile(
+            cardinality=len(self),
+            avg_document_tokens=avg,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(id={self.dataset_id!r}, "
+            f"schema={self.schema.schema_name()})"
+        )
+
+
+class SourceProfile:
+    """Summary statistics a cost model needs about a source."""
+
+    def __init__(self, cardinality: int, avg_document_tokens: float):
+        self.cardinality = cardinality
+        self.avg_document_tokens = avg_document_tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceProfile(cardinality={self.cardinality}, "
+            f"avg_document_tokens={self.avg_document_tokens:.0f})"
+        )
+
+
+class DirectorySource(DataSource):
+    """Every file in a folder is one record (sorted for determinism).
+
+    If ``schema`` is omitted, each file gets the native schema for its
+    extension — this is how the demo's PDF folder automatically becomes
+    ``PDFFile`` records.  ``pattern`` filters filenames with a glob.
+    """
+
+    #: Error policies for unparseable files.
+    ON_ERROR_RAISE = "raise"
+    ON_ERROR_SKIP = "skip"
+
+    def __init__(
+        self,
+        path,
+        dataset_id: Optional[str] = None,
+        schema: Optional[Type[Schema]] = None,
+        pattern: str = "*",
+        on_error: str = "raise",
+    ):
+        self.path = Path(path)
+        if not self.path.is_dir():
+            raise DatasetError(f"{self.path} is not a directory")
+        if on_error not in (self.ON_ERROR_RAISE, self.ON_ERROR_SKIP):
+            raise DatasetError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
+        self.pattern = pattern
+        self.on_error = on_error
+        self.skipped_files: List[Path] = []
+        self._schema_override = schema
+        files = self._list_files()
+        inferred = schema or (schema_for_path(files[0]) if files else File)
+        super().__init__(dataset_id or self.path.name, inferred)
+
+    def _list_files(self) -> List[Path]:
+        return sorted(
+            p for p in self.path.glob(self.pattern)
+            if p.is_file() and not p.name.startswith(".")
+            and not p.name.endswith(".facts.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self._list_files())
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        for file_path in self._list_files():
+            try:
+                yield parse_file(
+                    file_path,
+                    schema=self._schema_override,
+                    source_id=self.dataset_id,
+                )
+            except Exception as exc:
+                if self.on_error == self.ON_ERROR_RAISE:
+                    raise DatasetError(
+                        f"failed to parse {file_path}: {exc}"
+                    ) from exc
+                self.skipped_files.append(file_path)
+
+
+class FileSource(DataSource):
+    """A single file as a one-record dataset."""
+
+    def __init__(self, path, dataset_id: Optional[str] = None,
+                 schema: Optional[Type[Schema]] = None):
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise DatasetError(f"{self.path} is not a file")
+        super().__init__(
+            dataset_id or self.path.name,
+            schema or schema_for_path(self.path),
+        )
+        self._schema_override = schema
+
+    def __len__(self) -> int:
+        return 1
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        yield parse_file(
+            self.path, schema=self._schema_override, source_id=self.dataset_id
+        )
+
+
+class MemorySource(DataSource):
+    """An in-memory iterable: every item becomes a record.
+
+    Items may be dicts (mapped onto ``schema`` fields), strings (mapped onto
+    a ``TextFile``-like schema's text field), or ready ``DataRecord`` s.
+    """
+
+    def __init__(self, items: Iterable[Any], dataset_id: str,
+                 schema: Optional[Type[Schema]] = None):
+        self._items = list(items)
+        if schema is None:
+            schema = self._infer_schema(self._items)
+        super().__init__(dataset_id, schema)
+
+    @staticmethod
+    def _infer_schema(items: List[Any]) -> Type[Schema]:
+        if items and isinstance(items[0], DataRecord):
+            return items[0].schema
+        if items and isinstance(items[0], dict):
+            return make_schema(
+                "InMemoryRecord",
+                "A record constructed from an in-memory dict.",
+                {key: f"The {key} value" for key in items[0]},
+            )
+        return TextFile
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        for index, item in enumerate(self._items):
+            if isinstance(item, DataRecord):
+                yield item
+            elif isinstance(item, dict):
+                yield DataRecord.from_dict(
+                    self.schema, item, source_id=self.dataset_id
+                )
+            elif isinstance(item, str):
+                record = DataRecord(self.schema, source_id=self.dataset_id)
+                if "filename" in self.schema.field_map():
+                    record.filename = f"{self.dataset_id}-{index}"
+                if "text_contents" in self.schema.field_map():
+                    record.text_contents = item
+                yield record
+            else:
+                raise DatasetError(
+                    f"cannot marshal item of type {type(item).__name__}; "
+                    "provide dicts, strings, or DataRecords "
+                    "(or use CallbackSource for custom logic)"
+                )
+
+
+class CallbackSource(DataSource):
+    """Custom marshaling logic: a user callable yields the records."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[DataRecord]],
+        dataset_id: str,
+        schema: Type[Schema],
+        length: Optional[int] = None,
+    ):
+        super().__init__(dataset_id, schema)
+        self._factory = factory
+        self._length = length
+
+    def __len__(self) -> int:
+        if self._length is not None:
+            return self._length
+        return sum(1 for _ in self._factory())
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        for record in self._factory():
+            if not isinstance(record, DataRecord):
+                raise DatasetError(
+                    "CallbackSource factories must yield DataRecords, got "
+                    f"{type(record).__name__}"
+                )
+            yield record
+
+
+class DataSourceRegistry:
+    """Named registry of data sources (the system's "data directory")."""
+
+    def __init__(self):
+        self._sources: Dict[str, DataSource] = {}
+
+    def register(self, source: DataSource, overwrite: bool = False) -> None:
+        if source.dataset_id in self._sources and not overwrite:
+            raise DatasetError(
+                f"dataset id {source.dataset_id!r} is already registered"
+            )
+        self._sources[source.dataset_id] = source
+
+    def get(self, dataset_id: str) -> DataSource:
+        try:
+            return self._sources[dataset_id]
+        except KeyError:
+            known = ", ".join(sorted(self._sources)) or "<none>"
+            raise DatasetError(
+                f"unknown dataset {dataset_id!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, dataset_id: str) -> bool:
+        return dataset_id in self._sources
+
+    def list_ids(self) -> List[str]:
+        return sorted(self._sources)
+
+    def unregister(self, dataset_id: str) -> None:
+        self._sources.pop(dataset_id, None)
+
+    def clear(self) -> None:
+        self._sources.clear()
+
+
+_global_registry = DataSourceRegistry()
+
+
+def global_source_registry() -> DataSourceRegistry:
+    """The process-global data source registry."""
+    return _global_registry
+
+
+def register_datasource(source: DataSource, overwrite: bool = True) -> DataSource:
+    """Register ``source`` globally and return it (fluent helper)."""
+    _global_registry.register(source, overwrite=overwrite)
+    return source

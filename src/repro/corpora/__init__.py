@@ -1,0 +1,45 @@
+"""Synthetic corpora for the three demonstration scenarios.
+
+"At SIGMOD'25, participants can explore three real-world scenarios —
+scientific discovery, legal discovery, and real estate search — or apply
+PalimpChat to their own datasets." (abstract)
+
+Each generator writes a deterministic corpus to disk (scientific papers as
+fake-PDFs, legal documents as e-mail/text files, listings as text files),
+registers the ground truth of every document with the oracle, and drops a
+``corpus.facts.json`` sidecar so a fresh process can re-register the truth
+with :func:`load_corpus_facts`.
+"""
+
+from repro.corpora.common import load_corpus_facts, CorpusWriter
+from repro.corpora.papers import (
+    generate_paper_corpus,
+    PAPERS_PREDICATE,
+    CLINICAL_FIELDS,
+)
+from repro.corpora.legal import (
+    generate_legal_corpus,
+    LEGAL_PREDICATE,
+    CONTRACT_FIELDS,
+)
+from repro.corpora.realestate import (
+    generate_realestate_corpus,
+    REALESTATE_PREDICATE,
+    LISTING_FIELDS,
+)
+from repro.corpora.demo import register_demo_datasets
+
+__all__ = [
+    "load_corpus_facts",
+    "CorpusWriter",
+    "generate_paper_corpus",
+    "PAPERS_PREDICATE",
+    "CLINICAL_FIELDS",
+    "generate_legal_corpus",
+    "LEGAL_PREDICATE",
+    "CONTRACT_FIELDS",
+    "generate_realestate_corpus",
+    "REALESTATE_PREDICATE",
+    "LISTING_FIELDS",
+    "register_demo_datasets",
+]

@@ -1,0 +1,111 @@
+"""Shared corpus-generation machinery."""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.fakepdf import write_fake_pdf
+from repro.llm.oracle import (
+    DocumentTruth,
+    GroundTruthRegistry,
+    global_oracle,
+)
+
+FACTS_FILENAME = "corpus.facts.json"
+
+# A bank of innocuous filler sentences used to pad documents to a target
+# length; deterministic given the seed.
+_FILLER_SENTENCES = [
+    "The methodology follows established protocols in the field.",
+    "Additional details are provided in the supplementary material.",
+    "Statistical significance was assessed with standard tests.",
+    "The results were validated across multiple independent runs.",
+    "Prior work has explored related questions from different angles.",
+    "Limitations of the present approach are discussed below.",
+    "Further analysis confirmed the robustness of these observations.",
+    "The experimental setup was kept constant across conditions.",
+    "These findings align with previously reported evidence.",
+    "Careful preprocessing was applied before the main analysis.",
+    "Reproducibility artifacts accompany this work.",
+    "The discussion section elaborates on broader implications.",
+    "Data quality checks were performed at every stage.",
+    "An ablation study isolates the contribution of each component.",
+    "The appendix lists all hyperparameters used.",
+]
+
+
+def filler_paragraph(rng: random.Random, sentences: int) -> str:
+    """A deterministic filler paragraph of ``sentences`` sentences."""
+    return " ".join(
+        rng.choice(_FILLER_SENTENCES) for _ in range(max(0, sentences))
+    )
+
+
+def pad_to_words(text: str, target_words: int, rng: random.Random) -> str:
+    """Append filler paragraphs until ``text`` reaches ``target_words``."""
+    words = len(text.split())
+    chunks = [text]
+    while words < target_words:
+        paragraph = filler_paragraph(rng, sentences=6)
+        chunks.append(paragraph)
+        words += len(paragraph.split())
+    return "\n\n".join(chunks)
+
+
+class CorpusWriter:
+    """Writes corpus documents, registers oracle truth, emits the sidecar.
+
+    Usage::
+
+        writer = CorpusWriter(directory)
+        writer.add_pdf("paper-01.pdf", text, truth)
+        writer.finish()           # writes corpus.facts.json
+    """
+
+    def __init__(self, directory, oracle: Optional[GroundTruthRegistry] = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.oracle = oracle if oracle is not None else global_oracle()
+        self._sidecar = GroundTruthRegistry()
+        self.files: List[Path] = []
+
+    def _register(self, text: str, truth: DocumentTruth) -> None:
+        self.oracle.register(text, truth)
+        self._sidecar.register(text, truth)
+
+    def add_pdf(self, filename: str, text: str, truth: DocumentTruth,
+                metadata: Optional[Dict[str, str]] = None) -> Path:
+        path = self.directory / filename
+        path.write_bytes(write_fake_pdf(text, metadata or {}))
+        self._register(text, truth)
+        self.files.append(path)
+        return path
+
+    def add_text(self, filename: str, text: str,
+                 truth: DocumentTruth) -> Path:
+        path = self.directory / filename
+        path.write_text(text)
+        self._register(text, truth)
+        self.files.append(path)
+        return path
+
+    def finish(self) -> Path:
+        """Write the ground-truth sidecar and return its path."""
+        sidecar_path = self.directory / FACTS_FILENAME
+        self._sidecar.save(sidecar_path)
+        return sidecar_path
+
+
+def load_corpus_facts(directory,
+                      oracle: Optional[GroundTruthRegistry] = None) -> int:
+    """Re-register a generated corpus's ground truth from its sidecar.
+
+    Returns the number of documents registered; 0 if no sidecar exists.
+    """
+    sidecar_path = Path(directory) / FACTS_FILENAME
+    if not sidecar_path.exists():
+        return 0
+    oracle = oracle if oracle is not None else global_oracle()
+    return oracle.load(sidecar_path)

@@ -1,0 +1,54 @@
+"""Convenience registration of the three demo datasets.
+
+Calling :func:`register_demo_datasets` generates (or reuses) the corpora
+under a base directory and registers them as named data sources —
+``"sigmod-demo"`` (the id used in Fig. 6), ``"legal-demo"``, and
+``"realestate-demo"`` — so chat sessions and examples can load them by name.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.sources import DirectorySource, register_datasource
+from repro.corpora.common import FACTS_FILENAME, load_corpus_facts
+from repro.corpora.legal import generate_legal_corpus
+from repro.corpora.papers import generate_paper_corpus
+from repro.corpora.realestate import generate_realestate_corpus
+
+DEMO_IDS = ("sigmod-demo", "legal-demo", "realestate-demo")
+
+
+def register_demo_datasets(
+    base_directory: Optional[str] = None,
+    force: bool = False,
+) -> Dict[str, Path]:
+    """Generate + register the three demo corpora; return their directories.
+
+    Idempotent: existing corpus directories are reused (their ground-truth
+    sidecars are re-registered) unless ``force`` is set.
+    """
+    if base_directory is None:
+        base_directory = Path(tempfile.gettempdir()) / "palimpchat-demo-data"
+    base = Path(base_directory)
+    base.mkdir(parents=True, exist_ok=True)
+
+    plans = {
+        "sigmod-demo": (base / "papers", generate_paper_corpus),
+        "legal-demo": (base / "legal", generate_legal_corpus),
+        "realestate-demo": (base / "realestate", generate_realestate_corpus),
+    }
+    directories: Dict[str, Path] = {}
+    for dataset_id, (directory, generator) in plans.items():
+        sidecar = directory / FACTS_FILENAME
+        if force or not sidecar.exists():
+            generator(directory)
+        else:
+            load_corpus_facts(directory)
+        register_datasource(
+            DirectorySource(directory, dataset_id=dataset_id), overwrite=True
+        )
+        directories[dataset_id] = directory
+    return directories

@@ -1,0 +1,180 @@
+"""The legal-discovery corpus: e-mails and contract memos.
+
+The second demonstration scenario: a litigation team sifting a document
+production for materials responsive to a merger investigation, then
+extracting the parties and deal terms.  Responsive documents discuss the
+"Project Harbor" acquisition; distractors are routine corporate traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.corpora.common import CorpusWriter, pad_to_words
+from repro.llm.oracle import DocumentTruth
+
+#: The canonical filter predicate of the scenario.
+LEGAL_PREDICATE = "The documents discuss the Project Harbor merger"
+
+#: The extraction fields of the scenario's Contract schema.
+CONTRACT_FIELDS = {
+    "buyer": "The acquiring party of the deal",
+    "seller": "The party being acquired",
+    "deal_value": "The monetary value of the transaction",
+    "effective_date": "The date the agreement takes effect",
+}
+
+_RESPONSIVE_DEALS: List[Tuple[str, str, str, str]] = [
+    ("Harbor Holdings LLC", "Coastal Logistics Inc", "$420 million",
+     "March 14, 2024"),
+    ("Harbor Holdings LLC", "Meridian Freight Corp", "$185 million",
+     "April 2, 2024"),
+    ("Harbor Holdings LLC", "BlueWater Terminals SA", "$310 million",
+     "May 21, 2024"),
+    ("Harbor Holdings LLC", "Quayside Storage Partners", "$95 million",
+     "June 9, 2024"),
+    ("Harbor Holdings LLC", "Northgate Rail Services", "$240 million",
+     "July 1, 2024"),
+    ("Harbor Holdings LLC", "Pacific Stevedoring Group", "$150 million",
+     "July 30, 2024"),
+]
+
+_DISTRACTOR_SUBJECTS = [
+    "Quarterly parking-lot maintenance schedule",
+    "Cafeteria vendor renewal",
+    "IT helpdesk ticket escalation policy",
+    "Annual wellness fair logistics",
+    "Printer fleet replacement quotes",
+    "Holiday party venue options",
+    "New badge reader rollout",
+    "Office plant watering rotation",
+]
+
+_SENDERS = [
+    "m.ellison@harborholdings.example.com",
+    "counsel@harborholdings.example.com",
+    "d.reyes@coastallogistics.example.com",
+    "legal@meridianfreight.example.com",
+    "ops@bluewater-terminals.example.com",
+]
+
+_RECIPIENTS = [
+    "board@harborholdings.example.com",
+    "dealteam@harborholdings.example.com",
+    "outside.counsel@lawfirm.example.com",
+]
+
+
+def _responsive_email(index: int, deal, rng: random.Random,
+                      target_words: int) -> str:
+    buyer, seller, value, date = deal
+    body = (
+        f"Privileged and confidential — Project Harbor merger.\n\n"
+        f"Team,\n\n"
+        f"Attached is the revised term sheet for the acquisition of "
+        f"{seller} by {buyer}. The deal value is {value} and the agreement "
+        f"becomes effective on {date}. Please review the indemnification "
+        "clauses before the diligence call.\n\n"
+        f"Buyer: {buyer}\n"
+        f"Seller: {seller}\n"
+        f"Deal value: {value}\n"
+        f"Effective date: {date}\n\n"
+        "Regards,\nDeal Team"
+    )
+    body = pad_to_words(body, target_words, rng)
+    return (
+        f"From: {rng.choice(_SENDERS)}\n"
+        f"To: {rng.choice(_RECIPIENTS)}\n"
+        f"Subject: Project Harbor — {seller} term sheet v{index + 2}\n"
+        f"Date: {date}\n"
+        "\n"
+        f"{body}\n"
+    )
+
+
+def _distractor_email(index: int, rng: random.Random,
+                      target_words: int) -> str:
+    subject = _DISTRACTOR_SUBJECTS[index % len(_DISTRACTOR_SUBJECTS)]
+    body = (
+        f"Hi all,\n\nA quick update on the {subject.lower()}. No action "
+        "needed from most of you; details are below for those involved.\n\n"
+        "Thanks,\nFacilities"
+    )
+    body = pad_to_words(body, target_words, rng)
+    return (
+        f"From: facilities@harborholdings.example.com\n"
+        f"To: staff@harborholdings.example.com\n"
+        f"Subject: {subject}\n"
+        f"Date: January {index + 3}, 2024\n"
+        "\n"
+        f"{body}\n"
+    )
+
+
+def generate_legal_corpus(
+    directory,
+    n_documents: int = 20,
+    n_responsive: int = 6,
+    target_words: int = 700,
+    seed: int = 11,
+    difficulty: float = 0.25,
+) -> Path:
+    """Write the legal-discovery corpus to ``directory``.
+
+    ``difficulty`` is higher than the papers corpus: legal prose is
+    ambiguous, so cheap models visibly underperform here (which is what
+    makes the policy trade-off benchmark interesting on this workload).
+    """
+    if not 0 <= n_responsive <= n_documents:
+        raise ValueError(
+            f"need n_responsive <= n_documents, got "
+            f"{n_responsive}/{n_documents}"
+        )
+    rng = random.Random(seed)
+    writer = CorpusWriter(directory)
+
+    for index in range(n_documents):
+        responsive = index < n_responsive
+        if responsive:
+            deal = _RESPONSIVE_DEALS[index % len(_RESPONSIVE_DEALS)]
+            text = _responsive_email(index, deal, rng, target_words)
+            buyer, seller, value, date = deal
+            fields = {
+                "buyer": buyer,
+                "seller": seller,
+                "deal_value": value,
+                "effective_date": date,
+                "__instances__": [
+                    {
+                        "buyer": buyer,
+                        "seller": seller,
+                        "deal_value": value,
+                        "effective_date": date,
+                    }
+                ],
+            }
+        else:
+            text = _distractor_email(index, rng, target_words)
+            fields = {
+                "buyer": None,
+                "seller": None,
+                "deal_value": None,
+                "effective_date": None,
+                "__instances__": [],
+            }
+        truth = DocumentTruth(
+            predicates={
+                LEGAL_PREDICATE: responsive,
+                "discuss the Project Harbor merger": responsive,
+                "responsive to the merger investigation": responsive,
+            },
+            fields=fields,
+            difficulty=difficulty,
+            label=f"legal-{index + 1:03d}",
+        )
+        writer.add_text(f"doc-{index + 1:03d}.txt", text, truth)
+
+    writer.finish()
+    return writer.directory

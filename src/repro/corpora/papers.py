@@ -1,0 +1,230 @@
+"""The scientific-discovery corpus: synthetic biomedical papers.
+
+Reproduces the demo's workload (§3): a digital library of scientific papers,
+"potentially large, containing unrelated papers, and ... not annotated with
+metadata about the data sources".  The default configuration matches the
+paper's numbers exactly: 11 papers, of which 8 are about colorectal cancer,
+6 of those referencing one publicly available dataset each — so a perfect
+filter + one-to-many extraction produces **6 dataset records**.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpora.common import CorpusWriter, pad_to_words
+from repro.llm.oracle import DocumentTruth
+
+#: The canonical filter predicate of the scenario.
+PAPERS_PREDICATE = "The papers are about colorectal cancer"
+
+#: The extraction fields of the scenario's ClinicalData schema.
+CLINICAL_FIELDS = {
+    "name": "The name of the clinical data dataset",
+    "description": "A short description of the content of the dataset",
+    "url": "The public URL where the dataset can be accessed",
+}
+
+#: Named public datasets referenced by the relevant papers (synthetic but
+#: shaped like the real resources the demo surfaced).
+_DATASET_POOL: List[Tuple[str, str, str]] = [
+    ("TCGA-COAD", "Genomic profiles of colon adenocarcinoma tumor samples",
+     "https://portal.gdc-mirror.org/projects/TCGA-COAD"),
+    ("CRC-Atlas", "Single-cell expression atlas of colorectal tumors",
+     "https://data.crc-atlas.example.org/v2"),
+    ("GEO-GSE4107x", "Microarray series of early-onset colorectal cancer",
+     "https://ncbi-mirror.example.org/geo/GSE4107x"),
+    ("COSMIC-CRC", "Catalogue of somatic mutations observed in colorectal cancer",
+     "https://cosmic-mirror.example.org/crc"),
+    ("MSK-IMPACT-CRC", "Targeted sequencing cohort of metastatic colorectal cancer",
+     "https://mskcc-mirror.example.org/impact/crc"),
+    ("ColoGenome-2023", "Whole-genome sequences of 512 colorectal tumors",
+     "https://cologenome.example.org/releases/2023"),
+    ("CRC-Proteome", "Mass-spectrometry proteomics of colorectal tissue",
+     "https://proteome-hub.example.org/crc"),
+    ("PolypScreen", "Colonoscopy screening outcomes with polyp annotations",
+     "https://polypscreen.example.org/data"),
+]
+
+_CRC_TOPICS = [
+    ("KRAS mutation burden and tumor progression",
+     "gene mutation frequencies correlate with tumor cell proliferation"),
+    ("APC loss in early tumorigenesis",
+     "loss of APC function accelerates adenoma formation"),
+    ("microsatellite instability and immunotherapy response",
+     "MSI-high tumors respond differently to checkpoint inhibitors"),
+    ("BRAF V600E signalling in serrated lesions",
+     "BRAF-mutant serrated polyps follow a distinct progression route"),
+    ("TP53 co-mutation landscapes",
+     "TP53 co-mutations reshape the transcriptional program of tumor cells"),
+    ("consensus molecular subtypes revisited",
+     "subtype assignments shift under updated expression signatures"),
+    ("tumor microenvironment remodelling",
+     "stromal signatures predict relapse in stage II disease"),
+    ("liquid biopsy for minimal residual disease",
+     "circulating tumor DNA anticipates radiographic recurrence"),
+]
+
+_DISTRACTOR_TOPICS = [
+    ("pediatric asthma", "inhaled corticosteroid dosing in school-age children"),
+    ("type 2 diabetes", "continuous glucose monitoring adherence patterns"),
+    ("alzheimer disease", "tau imaging in preclinical cohorts"),
+    ("influenza vaccination", "seasonal vaccine effectiveness estimation"),
+    ("chronic kidney disease", "eGFR trajectory modelling in older adults"),
+]
+
+_AUTHOR_POOL = [
+    "A. Moreno", "J. Okafor", "L. Chen", "R. Gupta", "S. Novak",
+    "T. Alvarez", "M. Fontaine", "K. Yamada", "P. Lindgren", "D. Haile",
+]
+
+
+def _paper_text(
+    index: int,
+    title: str,
+    about_crc: bool,
+    finding: str,
+    dataset: Optional[Tuple[str, str, str]],
+    target_words: int,
+    rng: random.Random,
+) -> str:
+    authors = ", ".join(rng.sample(_AUTHOR_POOL, k=3))
+    condition = "colorectal cancer" if about_crc else title.split(":")[0]
+    sections = [
+        f"Title: {title}",
+        f"Authors: {authors}",
+        "",
+        "Abstract",
+        (
+            f"We study {condition} and report that {finding}. "
+            "Our cohort analysis combines clinical annotations with "
+            "molecular profiling to quantify the association."
+        ),
+        "",
+        "1. Introduction",
+        (
+            f"Understanding {condition} remains a central challenge. "
+            f"This work examines how {finding}, extending a line of studies "
+            "on patient outcomes and molecular drivers."
+        ),
+        "",
+        "2. Methods",
+    ]
+    if dataset is not None:
+        name, description, url = dataset
+        sections.append(
+            f"Our analysis uses the {name} dataset. {description}. "
+            f"The {name} dataset is publicly available at {url} and was "
+            "accessed under its open data license."
+        )
+    else:
+        sections.append(
+            "All measurements were collected in-house and are available "
+            "from the authors upon reasonable request; no public dataset "
+            "was used."
+        )
+    sections += [
+        "",
+        "3. Results",
+        (
+            f"Across the study population we observe that {finding}. "
+            "Effect sizes remain stable across sensitivity analyses."
+        ),
+        "",
+        "4. Conclusion",
+        (
+            f"We presented evidence on {condition}. "
+            "Future work will replicate these findings in larger cohorts."
+        ),
+    ]
+    text = "\n".join(sections)
+    return pad_to_words(text, target_words, rng)
+
+
+def generate_paper_corpus(
+    directory,
+    n_papers: int = 11,
+    n_relevant: int = 8,
+    n_with_datasets: int = 6,
+    target_words: int = 1500,
+    seed: int = 3,
+    difficulty: float = 0.05,
+) -> Path:
+    """Write the scientific-paper corpus to ``directory``.
+
+    Defaults reproduce the demo scenario: 11 papers -> 8 relevant -> 6 with
+    one public dataset each.  Larger configurations (for scaling benches)
+    cycle through the topic and dataset pools deterministically.
+
+    Returns the corpus directory path.
+    """
+    if not 0 <= n_with_datasets <= n_relevant <= n_papers:
+        raise ValueError(
+            "need n_with_datasets <= n_relevant <= n_papers, got "
+            f"{n_with_datasets}/{n_relevant}/{n_papers}"
+        )
+    rng = random.Random(seed)
+    writer = CorpusWriter(directory)
+
+    for index in range(n_papers):
+        relevant = index < n_relevant
+        has_dataset = index < n_with_datasets
+        if relevant:
+            topic, finding = _CRC_TOPICS[index % len(_CRC_TOPICS)]
+            title = f"Colorectal cancer study {index + 1}: {topic}"
+        else:
+            topic, finding = _DISTRACTOR_TOPICS[
+                (index - n_relevant) % len(_DISTRACTOR_TOPICS)
+            ]
+            title = f"{topic.title()} cohort report {index + 1}"
+        dataset = (
+            _DATASET_POOL[index % len(_DATASET_POOL)] if has_dataset else None
+        )
+        if dataset is not None and n_papers > len(_DATASET_POOL):
+            # Make recycled pool entries unique for large corpora.
+            name, description, url = dataset
+            suffix = index // len(_DATASET_POOL)
+            if suffix:
+                dataset = (
+                    f"{name}-r{suffix}", description, f"{url}?rev={suffix}"
+                )
+
+        text = _paper_text(
+            index, title, relevant, finding, dataset, target_words, rng
+        )
+        instances = []
+        if dataset is not None:
+            name, description, url = dataset
+            instances.append(
+                {"name": name, "description": description, "url": url}
+            )
+        truth = DocumentTruth(
+            predicates={
+                PAPERS_PREDICATE: relevant,
+                "about colorectal cancer": relevant,
+                "The paper reports on gene mutation and tumor cells": relevant,
+                "The paper uses a publicly available dataset": bool(dataset),
+            },
+            fields={
+                "title": title,
+                "__instances__": instances,
+                "name": instances[0]["name"] if instances else None,
+                "description": (
+                    instances[0]["description"] if instances else None
+                ),
+                "url": instances[0]["url"] if instances else None,
+            },
+            difficulty=difficulty,
+            label=f"paper-{index + 1:03d}",
+        )
+        writer.add_pdf(
+            f"paper-{index + 1:03d}.pdf",
+            text,
+            truth,
+            metadata={"title": title, "index": str(index + 1)},
+        )
+
+    writer.finish()
+    return writer.directory

@@ -1,0 +1,134 @@
+"""The real-estate-search corpus: property listings.
+
+The third demonstration scenario: a buyer searching free-text listings with
+semantic criteria ("waterfront homes"), extracting structured attributes
+(price, bedrooms, city), and aggregating (average price per city).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.corpora.common import CorpusWriter, pad_to_words
+from repro.llm.oracle import DocumentTruth
+
+#: The canonical filter predicate of the scenario.
+REALESTATE_PREDICATE = "The listings describe waterfront properties"
+
+#: The extraction fields of the scenario's Listing schema.
+LISTING_FIELDS = {
+    "address": "The street address of the property",
+    "city": "The city the property is located in",
+    "price": "The asking price in dollars",
+    "bedrooms": "The number of bedrooms",
+    "listing_url": "The URL of the online listing",
+}
+
+_CITIES = ["Harborview", "Lakemont", "Cedar Falls", "Brookside"]
+_STREETS = [
+    "Bayshore Drive", "Mill Pond Road", "Granite Street", "Orchard Lane",
+    "Seagrass Way", "Summit Avenue", "Willow Court", "Ferry Landing",
+]
+
+_WATERFRONT_BLURBS = [
+    "Wake up to open water views from the primary suite in this waterfront "
+    "retreat, complete with a private dock and western exposure.",
+    "This lakefront home sits directly on the shoreline; the waterfront "
+    "deck and boathouse make summer effortless.",
+    "A rare waterfront opportunity: floor-to-ceiling windows over the bay, "
+    "steps from your own beach.",
+]
+
+_INLAND_BLURBS = [
+    "A classic craftsman on a quiet tree-lined street, walking distance to "
+    "the elementary school and the farmers market.",
+    "Updated townhouse with a chef's kitchen, attached garage, and a sunny "
+    "fenced yard ideal for gardening.",
+    "Move-in-ready ranch with fresh paint, new mechanicals, and easy "
+    "highway access for commuters.",
+]
+
+
+def generate_realestate_corpus(
+    directory,
+    n_listings: int = 24,
+    n_waterfront: int = 9,
+    target_words: int = 120,
+    seed: int = 23,
+    difficulty: float = 0.15,
+) -> Path:
+    """Write the real-estate corpus to ``directory``.
+
+    Prices, bedroom counts, and cities are deterministic functions of the
+    seed; waterfront listings are priced higher on average so aggregate
+    queries have signal.
+    """
+    if not 0 <= n_waterfront <= n_listings:
+        raise ValueError(
+            f"need n_waterfront <= n_listings, got "
+            f"{n_waterfront}/{n_listings}"
+        )
+    rng = random.Random(seed)
+    writer = CorpusWriter(directory)
+
+    for index in range(n_listings):
+        waterfront = index < n_waterfront
+        city = _CITIES[index % len(_CITIES)]
+        street = _STREETS[index % len(_STREETS)]
+        number = 100 + 7 * index
+        address = f"{number} {street}"
+        bedrooms = 2 + (index % 4)
+        base_price = 350_000 + 40_000 * (index % 5)
+        price = base_price + (250_000 if waterfront else 0)
+        url = (
+            f"https://listings.example.org/{city.lower().replace(' ', '-')}"
+            f"/{number}-{street.lower().replace(' ', '-')}"
+        )
+        blurb = (
+            _WATERFRONT_BLURBS[index % len(_WATERFRONT_BLURBS)]
+            if waterfront
+            else _INLAND_BLURBS[index % len(_INLAND_BLURBS)]
+        )
+        text = (
+            f"Listing: {address}, {city}\n"
+            f"Address: {address}\n"
+            f"City: {city}\n"
+            f"Price: ${price:,}\n"
+            f"Bedrooms: {bedrooms}\n"
+            f"Listing URL: {url}\n"
+            "\n"
+            f"{blurb}\n"
+        )
+        text = pad_to_words(text, target_words, rng)
+        truth = DocumentTruth(
+            predicates={
+                REALESTATE_PREDICATE: waterfront,
+                "waterfront properties": waterfront,
+                "the house is waterfront": waterfront,
+                "has at least three bedrooms": bedrooms >= 3,
+            },
+            fields={
+                "address": address,
+                "city": city,
+                "price": price,
+                "bedrooms": bedrooms,
+                "listing_url": url,
+                "__instances__": [
+                    {
+                        "address": address,
+                        "city": city,
+                        "price": price,
+                        "bedrooms": bedrooms,
+                        "listing_url": url,
+                    }
+                ],
+            },
+            difficulty=difficulty,
+            label=f"listing-{index + 1:03d}",
+        )
+        writer.add_text(f"listing-{index + 1:03d}.txt", text, truth)
+
+    writer.finish()
+    return writer.directory

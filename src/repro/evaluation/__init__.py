@@ -1,0 +1,34 @@
+"""Quality evaluation: score pipeline output against ground truth.
+
+The simulated corpora register their ground truth with the oracle
+(:mod:`repro.llm.oracle`), which makes output *quality* a measurable quantity:
+filter decisions score as precision/recall/F1 against the true predicate
+labels, and extractions score against the true field values.  The policy
+trade-off and optimizer-ablation benchmarks (E2, E9) rely on these metrics.
+"""
+
+from repro.evaluation.metrics import (
+    Scorecard,
+    filter_quality,
+    extraction_quality,
+    records_f1,
+    value_matches,
+)
+from repro.evaluation.reference import reference_output
+from repro.evaluation.report import (
+    PolicyRow,
+    evaluate_policies,
+    markdown_report,
+)
+
+__all__ = [
+    "Scorecard",
+    "filter_quality",
+    "extraction_quality",
+    "records_f1",
+    "value_matches",
+    "reference_output",
+    "PolicyRow",
+    "evaluate_policies",
+    "markdown_report",
+]

@@ -1,0 +1,192 @@
+"""Precision/recall/F1 scoring for filters and extractions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.records import DataRecord
+from repro.llm.oracle import GroundTruthRegistry, global_oracle
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """Standard retrieval metrics."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Scorecard(P={self.precision:.3f}, R={self.recall:.3f}, "
+            f"F1={self.f1:.3f})"
+        )
+
+
+def _norm(value: Any) -> str:
+    return " ".join(str(value).lower().split())
+
+
+def value_matches(produced: Any, expected: Any) -> bool:
+    """Lenient value equality: normalized strings, prefix containment.
+
+    Extraction output is judged the way a human grader would: exact after
+    whitespace/case normalization, or a substantial substring match (a
+    truncated-but-right answer still identifies the dataset).
+    """
+    if produced is None or expected is None:
+        return produced is None and expected is None
+    a, b = _norm(produced), _norm(expected)
+    if a == b:
+        return True
+    if len(a) >= 6 and (a in b or b in a):
+        return True
+    return False
+
+
+def records_f1(
+    produced: Sequence[DataRecord],
+    expected: Sequence[DataRecord],
+    fields: Optional[Sequence[str]] = None,
+) -> Scorecard:
+    """Generic record-set F1: greedy matching on field-value agreement.
+
+    Used by sentinel quality calibration: the sample run's output compares
+    against the perfect reference output.  Two records match when at least
+    half of the compared fields agree (:func:`value_matches`).
+    """
+    if not produced and not expected:
+        return Scorecard(0, 0, 0)
+    if fields is None:
+        probe = expected[0] if expected else produced[0]
+        fields = probe.schema.field_names()
+    remaining = list(expected)
+    tp = fp = 0
+    threshold = max(1, len(fields) // 2)
+    for record in produced:
+        best_index, best_score = -1, 0
+        for index, candidate in enumerate(remaining):
+            score = sum(
+                1 for name in fields
+                if value_matches(record.get(name), candidate.get(name))
+            )
+            if score > best_score:
+                best_score, best_index = score, index
+        if best_index >= 0 and best_score >= threshold:
+            tp += 1
+            remaining.pop(best_index)
+        else:
+            fp += 1
+    return Scorecard(tp, fp, len(remaining))
+
+
+def filter_quality(
+    kept_records: Sequence[DataRecord],
+    source_records: Sequence[DataRecord],
+    predicate: str,
+    oracle: Optional[GroundTruthRegistry] = None,
+) -> Scorecard:
+    """Score a semantic filter's decisions against oracle labels.
+
+    Records whose documents the oracle does not know are skipped (they have
+    no ground truth to score against).
+    """
+    oracle = oracle if oracle is not None else global_oracle()
+    kept_fingerprints = {r.root().fingerprint for r in kept_records}
+    tp = fp = fn = 0
+    for record in source_records:
+        truth = oracle.predicate_truth(record.document_text(), predicate)
+        if truth is None:
+            continue
+        kept = record.root().fingerprint in kept_fingerprints
+        if kept and truth:
+            tp += 1
+        elif kept and not truth:
+            fp += 1
+        elif not kept and truth:
+            fn += 1
+    return Scorecard(tp, fp, fn)
+
+
+def _expected_instances(
+    record: DataRecord,
+    fields: Sequence[str],
+    oracle: GroundTruthRegistry,
+) -> Optional[List[Dict[str, Any]]]:
+    """Ground-truth instances for one source document, or None if unknown."""
+    text = record.document_text()
+    known, instances = oracle.field_truth(text, "__instances__")
+    if known and isinstance(instances, list):
+        return [
+            {name: inst.get(name) for name in fields} for inst in instances
+        ]
+    truth = oracle.lookup(text)
+    if truth is None:
+        return None
+    if not any(name in truth.fields for name in fields):
+        return None
+    return [{name: truth.fields.get(name) for name in fields}]
+
+
+def extraction_quality(
+    output_records: Sequence[DataRecord],
+    source_records: Sequence[DataRecord],
+    fields: Sequence[str],
+    oracle: Optional[GroundTruthRegistry] = None,
+) -> Scorecard:
+    """Score extracted instances against the oracle's expected instances.
+
+    An output record counts as a true positive if it came from a document
+    with a matching expected instance (majority of fields match, greedily
+    assigned).  Unmatched outputs are false positives; unmatched expected
+    instances are false negatives.
+    """
+    oracle = oracle if oracle is not None else global_oracle()
+    by_fingerprint: Dict[str, List[DataRecord]] = {}
+    for record in output_records:
+        by_fingerprint.setdefault(record.root().fingerprint, []).append(record)
+
+    tp = fp = fn = 0
+    for source in source_records:
+        expected = _expected_instances(source, fields, oracle)
+        if expected is None:
+            continue
+        produced = by_fingerprint.pop(source.root().fingerprint, [])
+        remaining = list(expected)
+        for record in produced:
+            best_index = -1
+            best_score = 0
+            for index, instance in enumerate(remaining):
+                score = sum(
+                    1
+                    for name in fields
+                    if value_matches(record.get(name), instance.get(name))
+                )
+                if score > best_score:
+                    best_score, best_index = score, index
+            if best_index >= 0 and best_score >= max(1, len(fields) // 2):
+                tp += 1
+                remaining.pop(best_index)
+            else:
+                fp += 1
+        fn += len(remaining)
+    # Outputs from documents with no ground truth at all are ignored; outputs
+    # from known documents that shouldn't have produced anything were counted
+    # above via the pop().
+    return Scorecard(tp, fp, fn)

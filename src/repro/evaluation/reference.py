@@ -1,0 +1,179 @@
+"""Reference (perfect) execution of a logical plan using oracle truth.
+
+Executes semantic operators with the ground-truth answers instead of a model,
+producing the output an error-free pipeline would return.  Benchmarks compare
+measured plans against this reference to report end-to-end quality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cardinality import Cardinality
+from repro.core.logical import (
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    LogicalPlan,
+    Project,
+    RetrieveScan,
+)
+from repro.core.records import DataRecord
+from repro.core.sources import DataSource
+from repro.llm import semantics
+from repro.llm.oracle import GroundTruthRegistry, global_oracle
+from repro.physical.aggregates import AggregateOp, GroupByOp
+from repro.physical.context import ExecutionContext
+from repro.physical.structural import LimitOp, ProjectOp
+
+
+def _reference_filter(records: List[DataRecord], op: FilteredScan,
+                      oracle: GroundTruthRegistry) -> List[DataRecord]:
+    kept = []
+    for record in records:
+        if op.spec.udf is not None:
+            verdict = bool(op.spec.udf(record))
+        else:
+            truth = oracle.predicate_truth(
+                record.document_text(), op.spec.predicate
+            )
+            if truth is None:
+                truth = semantics.answer_boolean(
+                    op.spec.predicate, record.document_text()
+                )
+            verdict = truth
+        if verdict:
+            kept.append(record)
+    return kept
+
+
+def _reference_convert(records: List[DataRecord], op: ConvertScan,
+                       oracle: GroundTruthRegistry) -> List[DataRecord]:
+    out: List[DataRecord] = []
+    for record in records:
+        text = record.document_text()
+        if op.udf is not None:
+            payload = op.udf(record)
+            rows = payload if isinstance(payload, list) else [payload]
+            out.extend(record.derive(op.output_schema, row) for row in rows)
+            continue
+        if op.cardinality is Cardinality.ONE_TO_MANY:
+            known, instances = oracle.field_truth(text, "__instances__")
+            rows = instances if known and isinstance(instances, list) else []
+            for row in rows:
+                values = {name: row.get(name) for name in op.new_fields}
+                out.append(record.derive(op.output_schema, values))
+        else:
+            values = {}
+            for name in op.new_fields:
+                known, value = oracle.field_truth(text, name)
+                if not known:
+                    value = semantics.extract_field(
+                        name, op.output_schema.field_desc(name), text
+                    )
+                values[name] = value
+            out.append(record.derive(op.output_schema, values))
+    return out
+
+
+def _run_local_op(records: List[DataRecord], physical_cls, logical_op
+                  ) -> List[DataRecord]:
+    op = physical_cls(logical_op)
+    op.open(ExecutionContext(max_workers=1))
+    out: List[DataRecord] = []
+    for record in records:
+        out.extend(op.process(record))
+    out.extend(op.close())
+    return out
+
+
+def _is_ext_op(op) -> bool:
+    from repro.core.logical_ext import Distinct, JoinScan, Sort, UnionScan
+
+    return isinstance(op, (JoinScan, UnionScan, Distinct, Sort))
+
+
+def _reference_ext(records, op, oracle):
+    """Perfect execution of the extended relational operators."""
+    from repro.core.logical_ext import Distinct, JoinScan, Sort, UnionScan
+    from repro.llm import semantics as _semantics
+    from repro.physical.joins import _merge
+    from repro.physical.setops import DistinctOp, SortOp
+
+    if isinstance(op, JoinScan):
+        right_records = reference_output(
+            op.right_dataset.logical_plan(), op.right_dataset.source, oracle
+        )
+        out = []
+        for left in records:
+            for right in right_records:
+                if op.udf is not None:
+                    matches = bool(op.udf(left, right))
+                else:
+                    pair = (
+                        f"LEFT RECORD:\n{left.document_text()}\n\n"
+                        f"RIGHT RECORD:\n{right.document_text()}"
+                    )
+                    truth = oracle.predicate_truth(pair, op.predicate)
+                    if truth is None:
+                        truth = _semantics.answer_boolean(op.predicate, pair)
+                    matches = truth
+                if matches:
+                    out.append(_merge(op, left, right))
+        return out
+    if isinstance(op, UnionScan):
+        return records + reference_output(
+            op.right_dataset.logical_plan(), op.right_dataset.source, oracle
+        )
+    if isinstance(op, Distinct):
+        return _run_local_op(records, DistinctOp, op)
+    if isinstance(op, Sort):
+        return _run_local_op(records, SortOp, op)
+    raise ValueError(f"unhandled extended operator {op.op_name}")
+
+
+def reference_output(
+    logical_plan: LogicalPlan,
+    source: DataSource,
+    oracle: Optional[GroundTruthRegistry] = None,
+) -> List[DataRecord]:
+    """The output a perfect (error-free) execution would produce."""
+    oracle = oracle if oracle is not None else global_oracle()
+    records = list(source)
+    for op in logical_plan:
+        if isinstance(op, BaseScan):
+            continue
+        if isinstance(op, FilteredScan):
+            records = _reference_filter(records, op, oracle)
+        elif isinstance(op, ConvertScan):
+            records = _reference_convert(records, op, oracle)
+        elif isinstance(op, Project):
+            records = _run_local_op(records, ProjectOp, op)
+        elif isinstance(op, LimitScan):
+            records = _run_local_op(records, LimitOp, op)
+        elif isinstance(op, Aggregate):
+            records = _run_local_op(records, AggregateOp, op)
+        elif isinstance(op, GroupByAggregate):
+            records = _run_local_op(records, GroupByOp, op)
+        elif _is_ext_op(op):
+            records = _reference_ext(records, op, oracle)
+        elif isinstance(op, RetrieveScan):
+            # Reference retrieval uses the same embedding ranking (no noise
+            # process applies to retrieval, so it is already "perfect").
+            from repro.llm.embeddings import embed_text, cosine_similarity
+
+            query_vec = embed_text(op.query)
+            ranked = sorted(
+                records,
+                key=lambda r: (
+                    -cosine_similarity(query_vec, embed_text(r.document_text())),
+                    r.record_id,
+                ),
+            )
+            records = ranked[: op.k]
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled logical operator {op.op_name}")
+    return records

@@ -1,0 +1,102 @@
+"""Markdown quality reports for pipeline runs.
+
+Produces the per-policy comparison table (records / cost / time / quality
+against ground truth) that EXPERIMENTS.md publishes — as a reusable
+function, so examples and downstream users can evaluate their own pipelines
+the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.logical import ConvertScan, FilteredScan
+from repro.evaluation.metrics import extraction_quality, filter_quality
+from repro.execution.execute import Execute
+from repro.llm.oracle import GroundTruthRegistry, global_oracle
+from repro.optimizer.policies import Policy
+
+
+@dataclass
+class PolicyRow:
+    """One row of the policy comparison table."""
+
+    policy: str
+    records: int
+    cost_usd: float
+    time_seconds: float
+    filter_f1: Optional[float]
+    extraction_f1: Optional[float]
+    plan: str
+
+
+def _pipeline_probes(dataset: Dataset):
+    """The (predicate, fields) this pipeline's quality can be scored on."""
+    predicate = None
+    fields = None
+    for op in dataset.logical_plan():
+        if isinstance(op, FilteredScan) and op.spec.is_semantic:
+            predicate = op.spec.predicate
+        elif isinstance(op, ConvertScan) and op.is_semantic:
+            fields = list(op.new_fields)
+    return predicate, fields
+
+
+def evaluate_policies(
+    dataset: Dataset,
+    policies: Sequence[Policy],
+    oracle: Optional[GroundTruthRegistry] = None,
+    **execute_kwargs,
+) -> List[PolicyRow]:
+    """Run ``dataset`` under each policy and score it against the oracle."""
+    oracle = oracle if oracle is not None else global_oracle()
+    predicate, fields = _pipeline_probes(dataset)
+    source_records = list(dataset.source)
+    rows: List[PolicyRow] = []
+    for policy in policies:
+        records, stats = Execute(dataset, policy=policy, **execute_kwargs)
+        filter_f1 = None
+        if predicate is not None:
+            filter_f1 = filter_quality(
+                records, source_records, predicate, oracle=oracle
+            ).f1
+        extraction_f1 = None
+        if fields is not None:
+            extraction_f1 = extraction_quality(
+                records, source_records, fields, oracle=oracle
+            ).f1
+        rows.append(PolicyRow(
+            policy=policy.describe(),
+            records=len(records),
+            cost_usd=stats.total_cost_usd,
+            time_seconds=stats.total_time_seconds,
+            filter_f1=filter_f1,
+            extraction_f1=extraction_f1,
+            plan=stats.plan_stats.plan_describe,
+        ))
+    return rows
+
+
+def markdown_report(rows: Sequence[PolicyRow],
+                    title: str = "Policy comparison") -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+
+    def fmt(value: Optional[float]) -> str:
+        return f"{value:.3f}" if value is not None else "—"
+
+    lines = [
+        f"## {title}",
+        "",
+        "| policy | records | cost ($) | time (s) | filter F1 "
+        "| extraction F1 | plan |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.policy} | {row.records} | {row.cost_usd:.4f} "
+            f"| {row.time_seconds:.1f} | {fmt(row.filter_f1)} "
+            f"| {fmt(row.extraction_f1)} | `{row.plan}` |"
+        )
+    return "\n".join(lines)

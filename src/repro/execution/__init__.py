@@ -1,0 +1,21 @@
+"""Execution engine: run physical plans and collect statistics.
+
+The demo's Fig. 5 shows per-plan execution output: the operators chosen, the
+records produced, and "summary information about the plan execution such as
+the total pipeline cost and runtime" — that is what
+:class:`~repro.execution.stats.ExecutionStats` reports.
+"""
+
+from repro.execution.stats import OperatorStats, PlanStats, ExecutionStats
+from repro.execution.executors import SequentialExecutor, ParallelExecutor
+from repro.execution.execute import Execute, ExecutionEngine
+
+__all__ = [
+    "OperatorStats",
+    "PlanStats",
+    "ExecutionStats",
+    "SequentialExecutor",
+    "ParallelExecutor",
+    "Execute",
+    "ExecutionEngine",
+]

@@ -1,0 +1,139 @@
+"""The ``Execute`` entry point (Fig. 6, line 28).
+
+    records, execution_stats = Execute(dataset, policy=pz.MaxQuality())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.dataset import Dataset
+from repro.core.records import DataRecord
+from repro.execution.executors import ParallelExecutor, SequentialExecutor
+from repro.execution.stats import ExecutionStats
+from repro.llm.models import ModelRegistry
+from repro.optimizer.optimizer import OptimizationReport, Optimizer
+from repro.optimizer.policies import MaxQuality, Policy, parse_policy
+from repro.physical.context import ExecutionContext
+
+
+class ExecutionEngine:
+    """Reusable engine configuration: optimize then execute.
+
+    Args:
+        policy: optimization preference (name string or Policy instance).
+        max_workers: record-level parallelism for LLM operators.
+        sample_size: sentinel sample size for the optimizer (0 = naive
+            estimates only).
+        models: model registry for both plan space and execution.
+        candidate_options: plan-space ablation switches (forwarded to the
+            optimizer).
+    """
+
+    def __init__(
+        self,
+        policy: Union[Policy, str, None] = None,
+        max_workers: int = 1,
+        sample_size: int = 0,
+        models: Optional[ModelRegistry] = None,
+        cache=None,
+        **candidate_options,
+    ):
+        if policy is None:
+            policy = MaxQuality()
+        elif isinstance(policy, str):
+            policy = parse_policy(policy)
+        self.policy = policy
+        self.max_workers = max_workers
+        self.sample_size = sample_size
+        self.models = models
+        self.cache = cache
+        self.candidate_options = candidate_options
+
+    def optimize(self, dataset: Dataset) -> OptimizationReport:
+        optimizer = Optimizer(
+            policy=self.policy,
+            max_workers=self.max_workers,
+            sample_size=self.sample_size,
+            models=self.models,
+            **self.candidate_options,
+        )
+        return optimizer.optimize(dataset.logical_plan(), dataset.source)
+
+    def explain(self, dataset: Dataset) -> str:
+        """EXPLAIN-style report: the plan space, the Pareto frontier, and
+        the policy's choice — without executing anything."""
+        report = self.optimize(dataset)
+        frontier = sorted(
+            report.frontier(), key=lambda c: c.estimate.cost_usd
+        )
+        lines = [
+            f"logical plan:     {dataset.logical_plan().describe()}",
+            f"policy:           {report.policy.describe()}",
+            f"plans enumerated: {report.plans_considered}",
+            f"pareto frontier:  {len(frontier)} plans",
+            "",
+            f"{'est.cost($)':>12} {'est.time(s)':>12} {'est.quality':>12}  plan",
+        ]
+        for candidate in frontier:
+            estimate = candidate.estimate
+            marker = " *" if candidate is report.chosen else "  "
+            lines.append(
+                f"{estimate.cost_usd:>12.4f} {estimate.time_seconds:>12.1f} "
+                f"{estimate.quality:>12.3f}{marker}"
+                f"{candidate.plan.describe()}"
+            )
+        lines.append("")
+        lines.append(f"chosen: {report.chosen.plan.describe()}")
+        return "\n".join(lines)
+
+    def execute(
+        self, dataset: Dataset
+    ) -> Tuple[List[DataRecord], ExecutionStats]:
+        report = self.optimize(dataset)
+        context = ExecutionContext(
+            max_workers=self.max_workers,
+            models=self.models,
+            cache=self.cache,
+        )
+        if self.max_workers > 1:
+            executor = ParallelExecutor(context, max_workers=self.max_workers)
+        else:
+            executor = SequentialExecutor(context)
+        records, plan_stats = executor.execute(report.chosen.plan)
+        stats = ExecutionStats(
+            plan_stats=plan_stats,
+            policy=report.policy.describe(),
+            plans_considered=report.plans_considered,
+            optimization_cost_usd=report.sentinel_cost_usd,
+            optimization_time_seconds=report.sentinel_time_seconds,
+            max_workers=self.max_workers,
+        )
+        return records, stats
+
+
+def Execute(
+    dataset: Dataset,
+    policy: Union[Policy, str, None] = None,
+    max_workers: int = 1,
+    sample_size: int = 0,
+    models: Optional[ModelRegistry] = None,
+    cache=None,
+    **candidate_options,
+) -> Tuple[List[DataRecord], ExecutionStats]:
+    """Optimize and execute ``dataset``'s pipeline; return (records, stats).
+
+    This is the public one-shot API::
+
+        records, stats = Execute(dataset, policy=MaxQuality())
+        print(stats.summary())
+    """
+    engine = ExecutionEngine(
+        policy=policy,
+        max_workers=max_workers,
+        sample_size=sample_size,
+        models=models,
+        cache=cache,
+        **candidate_options,
+    )
+    return engine.execute(dataset)

@@ -1,0 +1,248 @@
+"""Plan executors.
+
+Both executors process records depth-first through the operator chain,
+splitting at blocking operators (aggregates, group-by, retrieve).  The
+parallel executor assigns each source record's journey to the least-busy
+virtual-clock lane, modelling ``max_workers`` concurrent LLM calls; lanes
+synchronize at blocking-operator barriers, exactly like a thread pool with a
+stage barrier would.
+
+Early termination: when a ``LimitOp`` with no blocking operator upstream is
+exhausted, the executor stops pulling source records — limits genuinely save
+LLM calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.records import DataRecord
+from repro.execution.stats import ModelUsageRow, OperatorStats, PlanStats
+from repro.physical.base import PhysicalOperator
+from repro.physical.context import ExecutionContext
+from repro.physical.plan import PhysicalPlan
+from repro.physical.structural import LimitOp
+
+
+class _OpMeter:
+    """Wraps one operator's stats accumulation for a run."""
+
+    def __init__(self, op: PhysicalOperator, context: ExecutionContext):
+        self.op = op
+        self.context = context
+        self.stats = OperatorStats(
+            op_label=op.op_label,
+            logical_describe=op.logical_op.describe(),
+        )
+
+    def open(self) -> None:
+        """Open the operator, attributing any setup work (e.g. a join's
+        right-side materialization) to this operator's stats."""
+        outputs, _ = self._metered(
+            lambda: self.op.open(self.context) or [], inputs=0
+        )
+        # open() produces no records; undo the phantom output count.
+        self.stats.records_out -= len(outputs)
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        outputs, _ = self._metered(lambda: self.op.process(record), inputs=1)
+        return outputs
+
+    def close(self) -> List[DataRecord]:
+        outputs, _ = self._metered(self.op.close, inputs=0)
+        return outputs
+
+    def _metered(self, fn, inputs: int) -> Tuple[List[DataRecord], float]:
+        ledger = self.context.ledger
+        busy_before = self.context.clock.total_busy
+        calls_before = len(ledger)
+        outputs = fn()
+        busy_delta = self.context.clock.total_busy - busy_before
+        new_usages = ledger.records[calls_before:]
+
+        self.stats.records_in += inputs
+        self.stats.records_out += len(outputs)
+        self.stats.time_seconds += busy_delta
+        self.stats.llm_calls += len(new_usages)
+        for usage in new_usages:
+            self.stats.cost_usd += usage.cost_usd
+            self.stats.input_tokens += usage.input_tokens
+            self.stats.output_tokens += usage.output_tokens
+        return outputs, busy_delta
+
+
+class SequentialExecutor:
+    """Single-worker depth-first execution.
+
+    ``on_event`` (optional) receives progress dictionaries as the run
+    advances: ``plan_start``, ``record_processed`` (one per source record,
+    with the running output count), ``operator_flush`` (blocking operators
+    emitting), and ``plan_end`` — the hook a UI like the demo's Fig. 5
+    progress panel would subscribe to.
+    """
+
+    def __init__(self, context: Optional[ExecutionContext] = None,
+                 on_event=None):
+        self.context = context or ExecutionContext(max_workers=1)
+        self._on_event = on_event
+
+    def _emit(self, event: dict) -> None:
+        if self._on_event is not None:
+            self._on_event(event)
+
+    # -- helpers shared with the parallel executor -----------------------
+
+    def _prepare(self, plan: PhysicalPlan) -> List[_OpMeter]:
+        meters = []
+        for op in plan:
+            meter = _OpMeter(op, self.context)
+            meter.open()
+            meters.append(meter)
+        return meters
+
+    @staticmethod
+    def _early_stop(plan: PhysicalPlan) -> Optional[LimitOp]:
+        """The first LimitOp with only streaming operators upstream."""
+        for op in plan.downstream:
+            if op.is_blocking:
+                return None
+            if isinstance(op, LimitOp):
+                return op
+        return None
+
+    def _push(
+        self,
+        record: DataRecord,
+        meters: List[_OpMeter],
+        start: int,
+        sink: List[DataRecord],
+    ) -> None:
+        """Send one record through meters[start:], depth-first.
+
+        Blocking operators swallow records here; their buffered output is
+        flushed by :meth:`_flush` once the upstream segment is drained.
+        """
+        if start >= len(meters):
+            sink.append(record)
+            return
+        meter = meters[start]
+        for output in meter.process(record):
+            self._push(output, meters, start + 1, sink)
+
+    def _flush(self, meters: List[_OpMeter], sink: List[DataRecord]) -> None:
+        """Close operators in order, pushing flushed records downstream."""
+        for index, meter in enumerate(meters):
+            self._on_barrier(meter)
+            flushed = meter.close()
+            if flushed and meter.op.is_blocking:
+                self._emit({
+                    "type": "operator_flush",
+                    "operator": meter.op.op_label,
+                    "records": len(flushed),
+                })
+            for output in flushed:
+                self._push(output, meters, index + 1, sink)
+
+    def _on_barrier(self, meter: _OpMeter) -> None:
+        """Hook: parallel executor synchronizes lanes at blocking ops."""
+
+    def _assign_lane(self) -> None:
+        """Hook: parallel executor picks a clock lane per source record."""
+
+    def execute(self, plan: PhysicalPlan) -> Tuple[List[DataRecord], PlanStats]:
+        self._emit({
+            "type": "plan_start",
+            "plan_id": plan.plan_id,
+            "plan": plan.describe(),
+            "operators": len(plan),
+        })
+        meters = self._prepare(plan)
+        scan_meter, downstream = meters[0], meters[1:]
+        stop_limit = self._early_stop(plan)
+        sink: List[DataRecord] = []
+
+        source_iter = plan.scan.records()
+        while True:
+            # Pick the lane *before* pulling, so the parse time charged
+            # inside records() lands on the worker that handles the record.
+            self._assign_lane()
+            try:
+                record = next(source_iter)
+            except StopIteration:
+                break
+            scan_meter.stats.records_in += 1
+            scan_meter.stats.records_out += 1
+            self._push(record, downstream, 0, sink)
+            self._emit({
+                "type": "record_processed",
+                "index": scan_meter.stats.records_in,
+                "outputs_so_far": len(sink),
+                "elapsed_seconds": self.context.clock.elapsed,
+            })
+            if stop_limit is not None and stop_limit.exhausted:
+                break
+        self._flush(downstream, sink)
+
+        invalid = sum(
+            1
+            for record in sink
+            if record.missing_required()
+            or any(
+                not field.validate(record.get(name))
+                for name, field in record.schema.field_map().items()
+            )
+        )
+        model_usage = [
+            ModelUsageRow(
+                model=model,
+                calls=totals.calls,
+                input_tokens=totals.input_tokens,
+                output_tokens=totals.output_tokens,
+                cost_usd=totals.cost_usd,
+            )
+            for model, totals in sorted(self.context.ledger.by_model().items())
+        ]
+        plan_stats = PlanStats(
+            plan_id=plan.plan_id,
+            plan_describe=plan.describe(),
+            operator_stats=[m.stats for m in meters],
+            total_time_seconds=self.context.clock.elapsed,
+            total_cost_usd=self.context.ledger.total().cost_usd,
+            records_out=len(sink),
+            invalid_records=invalid,
+            model_usage=model_usage,
+        )
+        # Scan time was charged to the clock but not to an _OpMeter;
+        # attribute the residual to the scan's stats line.
+        accounted = sum(m.stats.time_seconds for m in meters[1:])
+        scan_meter.stats.time_seconds = max(
+            0.0, self.context.clock.total_busy - accounted
+        )
+        self._emit({
+            "type": "plan_end",
+            "records_out": len(sink),
+            "elapsed_seconds": self.context.clock.elapsed,
+            "cost_usd": plan_stats.total_cost_usd,
+        })
+        return sink, plan_stats
+
+
+class ParallelExecutor(SequentialExecutor):
+    """Record-parallel execution across ``max_workers`` clock lanes."""
+
+    def __init__(self, context: Optional[ExecutionContext] = None,
+                 max_workers: int = 4, on_event=None):
+        if context is None:
+            context = ExecutionContext(max_workers=max_workers)
+        if context.clock.lanes < context.max_workers:
+            raise ValueError(
+                "context clock must have at least max_workers lanes"
+            )
+        super().__init__(context, on_event=on_event)
+
+    def _assign_lane(self) -> None:
+        self.context.clock.pick_least_busy_lane()
+
+    def _on_barrier(self, meter: _OpMeter) -> None:
+        if meter.op.is_blocking:
+            self.context.clock.synchronize()

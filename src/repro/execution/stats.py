@@ -1,0 +1,170 @@
+"""Execution statistics: per-operator, per-plan, and per-run accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class OperatorStats:
+    """Measured behaviour of one physical operator during a run."""
+
+    op_label: str
+    logical_describe: str
+    records_in: int = 0
+    records_out: int = 0
+    time_seconds: float = 0.0
+    cost_usd: float = 0.0
+    llm_calls: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
+
+    @property
+    def selectivity(self) -> float:
+        """Output/input ratio (1.0 for an empty input)."""
+        if self.records_in == 0:
+            return 1.0
+        return self.records_out / self.records_in
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "operator": self.op_label,
+            "logical": self.logical_describe,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "time_seconds": round(self.time_seconds, 3),
+            "cost_usd": round(self.cost_usd, 6),
+            "llm_calls": self.llm_calls,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+        }
+
+
+@dataclass
+class ModelUsageRow:
+    """Aggregated LLM usage for one model during a run."""
+
+    model: str
+    calls: int
+    input_tokens: int
+    output_tokens: int
+    cost_usd: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "calls": self.calls,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+            "cost_usd": round(self.cost_usd, 6),
+        }
+
+
+@dataclass
+class PlanStats:
+    """Measured behaviour of one physical plan execution."""
+
+    plan_id: str
+    plan_describe: str
+    operator_stats: List[OperatorStats] = field(default_factory=list)
+    total_time_seconds: float = 0.0
+    total_cost_usd: float = 0.0
+    records_out: int = 0
+    #: Output records failing schema validation (missing required fields or
+    #: type-invalid values) — LLM extraction degrades, it doesn't crash, so
+    #: validation problems are counted and reported rather than raised.
+    invalid_records: int = 0
+    model_usage: List[ModelUsageRow] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan_id": self.plan_id,
+            "plan": self.plan_describe,
+            "total_time_seconds": round(self.total_time_seconds, 3),
+            "total_cost_usd": round(self.total_cost_usd, 6),
+            "records_out": self.records_out,
+            "invalid_records": self.invalid_records,
+            "operators": [op.to_dict() for op in self.operator_stats],
+            "models": [row.to_dict() for row in self.model_usage],
+        }
+
+
+@dataclass
+class ExecutionStats:
+    """Everything a run reports back to the user (the Fig. 5 payload).
+
+    Includes the optimization preamble (policy, plan-space size, sentinel
+    sampling cost) and the executed plan's statistics.
+    """
+
+    plan_stats: PlanStats
+    policy: str = ""
+    plans_considered: int = 0
+    optimization_cost_usd: float = 0.0
+    optimization_time_seconds: float = 0.0
+    max_workers: int = 1
+
+    @property
+    def total_time_seconds(self) -> float:
+        return (
+            self.plan_stats.total_time_seconds
+            + self.optimization_time_seconds
+        )
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.plan_stats.total_cost_usd + self.optimization_cost_usd
+
+    @property
+    def records_out(self) -> int:
+        return self.plan_stats.records_out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "plans_considered": self.plans_considered,
+            "optimization_cost_usd": round(self.optimization_cost_usd, 6),
+            "optimization_time_seconds": round(
+                self.optimization_time_seconds, 3
+            ),
+            "max_workers": self.max_workers,
+            "total_time_seconds": round(self.total_time_seconds, 3),
+            "total_cost_usd": round(self.total_cost_usd, 6),
+            "plan": self.plan_stats.to_dict(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable execution summary (what the chat displays)."""
+        lines = [
+            "=== Execution summary ===",
+            f"policy:            {self.policy or '<none>'}",
+            f"plans considered:  {self.plans_considered}",
+            f"executed plan:     {self.plan_stats.plan_describe}",
+            f"records produced:  {self.plan_stats.records_out}",
+            f"total runtime:     {self.total_time_seconds:.1f} s",
+            f"total cost:        ${self.total_cost_usd:.4f}",
+            "",
+            "per-operator breakdown:",
+        ]
+        header = (
+            f"  {'operator':<38} {'in':>5} {'out':>5} "
+            f"{'time(s)':>9} {'cost($)':>9} {'calls':>6}"
+        )
+        lines.append(header)
+        for op in self.plan_stats.operator_stats:
+            lines.append(
+                f"  {op.op_label:<38} {op.records_in:>5} {op.records_out:>5} "
+                f"{op.time_seconds:>9.1f} {op.cost_usd:>9.4f} "
+                f"{op.llm_calls:>6}"
+            )
+        if self.plan_stats.model_usage:
+            lines.append("")
+            lines.append("LLM invocations by model:")
+            for row in self.plan_stats.model_usage:
+                lines.append(
+                    f"  {row.model:<28} {row.calls:>4} calls  "
+                    f"{row.input_tokens:>8} in / {row.output_tokens:>6} out "
+                    f"tokens  ${row.cost_usd:.4f}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Simulated LLM runtime.
+
+This package replaces the hosted LLM APIs that Palimpzest normally calls
+(OpenAI, Together, ...) with a fully deterministic, offline runtime that
+preserves everything the rest of the system cares about:
+
+* **Model diversity** — a registry of :class:`~repro.llm.models.ModelCard`
+  entries with distinct prices, speeds, and quality tiers, so the optimizer
+  has a real trade-off space to search.
+* **Cost accounting** — every simulated call counts prompt/completion tokens
+  with a deterministic tokenizer and accrues USD cost from the model card.
+* **Latency accounting** — calls advance a :class:`~repro.llm.clock.VirtualClock`
+  by a latency derived from token counts and the model's speed, so pipelines
+  report realistic runtimes without sleeping.
+* **Quality variation** — answers are produced by a deterministic semantic
+  engine (:mod:`repro.llm.semantics`) and then degraded by a seeded,
+  quality-dependent error process, so better models really do produce better
+  outputs on the same documents.
+
+The public surface is :class:`SimulatedLLMClient` plus the model registry.
+"""
+
+from repro.llm.clock import VirtualClock
+from repro.llm.tokenizer import count_tokens
+from repro.llm.models import (
+    ModelCard,
+    ModelRegistry,
+    default_registry,
+    get_model,
+    register_model,
+    available_models,
+)
+from repro.llm.usage import LLMUsage, UsageLedger
+from repro.llm.client import (
+    LLMClient,
+    SimulatedLLMClient,
+    ExtractionRequest,
+    BooleanRequest,
+    CompletionRequest,
+    LLMResponse,
+)
+from repro.llm.cache import CallCache, CacheStats
+from repro.llm.oracle import GroundTruthRegistry, global_oracle, fingerprint_text
+from repro.llm.embeddings import EmbeddingModel, cosine_similarity
+
+__all__ = [
+    "VirtualClock",
+    "count_tokens",
+    "ModelCard",
+    "ModelRegistry",
+    "default_registry",
+    "get_model",
+    "register_model",
+    "available_models",
+    "LLMUsage",
+    "UsageLedger",
+    "LLMClient",
+    "SimulatedLLMClient",
+    "ExtractionRequest",
+    "BooleanRequest",
+    "CompletionRequest",
+    "LLMResponse",
+    "CallCache",
+    "CacheStats",
+    "GroundTruthRegistry",
+    "global_oracle",
+    "fingerprint_text",
+    "EmbeddingModel",
+    "cosine_similarity",
+]

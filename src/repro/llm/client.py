@@ -1,0 +1,335 @@
+"""The simulated LLM client.
+
+:class:`SimulatedLLMClient` is the only component the physical operators talk
+to.  It exposes three request shapes that cover everything Palimpzest needs:
+
+* :class:`BooleanRequest` — judge a natural-language predicate (semantic
+  filter).
+* :class:`ExtractionRequest` — populate schema fields from a document
+  (semantic convert), optionally one-to-many.
+* :class:`CompletionRequest` — free-form completion (the chat agent's
+  reasoning steps).
+
+Answers come from the ground-truth oracle when the document is a registered
+corpus member, falling back to the heuristic semantic engine otherwise; a
+seeded quality-dependent error process then corrupts a model-specific subset
+of answers.  Every call is metered: the prompt is actually constructed,
+tokens are counted, and cost/latency accrue to the attached ledger/clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.llm import prompts, quality, semantics
+from repro.llm.cache import CallCache
+from repro.llm.clock import VirtualClock
+from repro.llm.exceptions import ContextWindowExceeded, InvalidRequestError
+from repro.llm.models import ModelCard, ModelRegistry, default_registry
+from repro.llm.oracle import GroundTruthRegistry, fingerprint_text, global_oracle
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+from repro.llm.usage import LLMUsage, UsageLedger
+
+
+@dataclass(frozen=True)
+class BooleanRequest:
+    """Judge ``predicate`` against ``document``; answer True/False."""
+
+    predicate: str
+    document: str
+    operation: str = "filter"
+    context_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class ExtractionRequest:
+    """Extract ``fields`` (name -> description) from ``document``."""
+
+    fields: Dict[str, str]
+    document: str
+    schema_description: str = ""
+    one_to_many: bool = False
+    operation: str = "convert"
+    context_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """Free-form completion of ``prompt`` (used by the chat agent)."""
+
+    prompt: str
+    operation: str = "completion"
+    max_output_tokens: int = 512
+
+
+@dataclass
+class LLMResponse:
+    """Result of one simulated call.
+
+    ``value`` is the typed answer (bool, dict, list of dicts, or str);
+    ``text`` is the serialized completion the model "produced"; ``usage``
+    carries the accounting record.
+    """
+
+    value: Any
+    text: str
+    usage: LLMUsage
+    model: str
+
+
+class LLMClient:
+    """Interface of the simulated client (single implementation below).
+
+    Kept as a separate base class so tests can substitute counting stubs.
+    """
+
+    def judge(self, request: BooleanRequest) -> LLMResponse:
+        raise NotImplementedError
+
+    def extract(self, request: ExtractionRequest) -> LLMResponse:
+        raise NotImplementedError
+
+    def complete(self, request: CompletionRequest) -> LLMResponse:
+        raise NotImplementedError
+
+
+class SimulatedLLMClient(LLMClient):
+    """Deterministic offline LLM client.
+
+    Args:
+        model: model card (or name resolved against ``registry``).
+        clock: virtual clock to advance per call; optional.
+        ledger: usage ledger to record into; optional.
+        oracle: ground-truth registry; defaults to the process-global one.
+        registry: model registry for name resolution.
+    """
+
+    def __init__(
+        self,
+        model: Union[ModelCard, str],
+        clock: Optional[VirtualClock] = None,
+        ledger: Optional[UsageLedger] = None,
+        oracle: Optional[GroundTruthRegistry] = None,
+        registry: Optional[ModelRegistry] = None,
+        cache: Optional[CallCache] = None,
+    ):
+        registry = registry or default_registry()
+        self.model = registry.get(model) if isinstance(model, str) else model
+        self.clock = clock
+        self.ledger = ledger
+        self.oracle = oracle if oracle is not None else global_oracle()
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Accounting plumbing.
+    # ------------------------------------------------------------------
+
+    def _meter(self, prompt: str, output_text: str, operation: str) -> LLMUsage:
+        input_tokens = count_tokens(prompt)
+        if input_tokens > self.model.context_window:
+            raise ContextWindowExceeded(
+                self.model.name, input_tokens, self.model.context_window
+            )
+        output_tokens = max(1, count_tokens(output_text))
+        cost = self.model.cost_usd(input_tokens, output_tokens)
+        latency = self.model.latency_seconds(input_tokens, output_tokens)
+        timestamp = 0.0
+        if self.clock is not None:
+            timestamp = self.clock.advance(latency)
+        usage = LLMUsage(
+            model=self.model.name,
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+            cost_usd=cost,
+            latency_seconds=latency,
+            operation=operation,
+            virtual_timestamp=timestamp,
+        )
+        if self.ledger is not None:
+            self.ledger.record(usage)
+        return usage
+
+    def _cache_hit_response(self, value: Any, operation: str) -> LLMResponse:
+        """Build the metered response for a cache hit (near-free)."""
+        latency = CallCache.HIT_LATENCY_SECONDS
+        timestamp = self.clock.advance(latency) if self.clock else 0.0
+        usage = LLMUsage(
+            model=self.model.name,
+            input_tokens=0,
+            output_tokens=0,
+            cost_usd=0.0,
+            latency_seconds=latency,
+            operation=f"{operation}:cached",
+            virtual_timestamp=timestamp,
+        )
+        if self.ledger is not None:
+            self.ledger.record(usage)
+        return LLMResponse(
+            value=value, text=json.dumps(value, default=str),
+            usage=usage, model=self.model.name,
+        )
+
+    def _apply_context_fraction(self, document: str, fraction: float) -> str:
+        if fraction >= 1.0:
+            return document
+        budget = max(16, int(count_tokens(document) * fraction))
+        return truncate_to_tokens(document, budget)
+
+    # ------------------------------------------------------------------
+    # Boolean judgments (semantic filter).
+    # ------------------------------------------------------------------
+
+    def judge(self, request: BooleanRequest) -> LLMResponse:
+        if not request.predicate.strip():
+            raise InvalidRequestError("filter predicate must be non-empty")
+        cache_key = None
+        if self.cache is not None:
+            cache_key = CallCache.make_key(
+                self.model.name, "judge", request.predicate.lower(),
+                fingerprint_text(request.document), request.context_fraction,
+            )
+            hit, value = self.cache.lookup(cache_key)
+            if hit:
+                return self._cache_hit_response(value, request.operation)
+        visible = self._apply_context_fraction(
+            request.document, request.context_fraction
+        )
+        fingerprint = fingerprint_text(request.document)
+        truth = self.oracle.predicate_truth(request.document, request.predicate)
+        if truth is None:
+            truth = semantics.answer_boolean(request.predicate, visible)
+            difficulty = 0.5
+        else:
+            difficulty = self.oracle.difficulty(request.document)
+
+        task_key = f"judge|{request.predicate.lower()}"
+        correct = quality.decide_correct(
+            self.model, fingerprint, task_key, difficulty, request.context_fraction
+        )
+        answer = truth if correct else quality.corrupt_boolean(truth)
+
+        prompt = prompts.build_filter_prompt(request.predicate, visible)
+        text = "TRUE" if answer else "FALSE"
+        usage = self._meter(prompt, text, request.operation)
+        if cache_key is not None:
+            self.cache.store(cache_key, answer)
+        return LLMResponse(value=answer, text=text, usage=usage,
+                           model=self.model.name)
+
+    # ------------------------------------------------------------------
+    # Field extraction (semantic convert).
+    # ------------------------------------------------------------------
+
+    def extract(self, request: ExtractionRequest) -> LLMResponse:
+        if not request.fields:
+            raise InvalidRequestError("extraction request must name >= 1 field")
+        cache_key = None
+        if self.cache is not None:
+            signature = "|".join(sorted(request.fields)) + (
+                "|1:N" if request.one_to_many else "|1:1"
+            )
+            cache_key = CallCache.make_key(
+                self.model.name, "extract", signature,
+                fingerprint_text(request.document), request.context_fraction,
+            )
+            hit, value = self.cache.lookup(cache_key)
+            if hit:
+                return self._cache_hit_response(value, request.operation)
+        visible = self._apply_context_fraction(
+            request.document, request.context_fraction
+        )
+        if request.one_to_many:
+            instances = self._extract_instances(request, visible)
+            payload: Any = instances
+        else:
+            payload = self._extract_single(request, visible)
+        text = json.dumps(payload, default=str)
+        prompt = prompts.build_extract_prompt(
+            request.fields, visible, request.schema_description,
+            one_to_many=request.one_to_many,
+        )
+        usage = self._meter(prompt, text, request.operation)
+        if cache_key is not None:
+            self.cache.store(cache_key, payload)
+        return LLMResponse(value=payload, text=text, usage=usage,
+                           model=self.model.name)
+
+    def _extract_single(self, request: ExtractionRequest,
+                        visible: str) -> Dict[str, Any]:
+        fingerprint = fingerprint_text(request.document)
+        difficulty = self.oracle.difficulty(request.document)
+        result: Dict[str, Any] = {}
+        for name, desc in request.fields.items():
+            known, true_value = self.oracle.field_truth(request.document, name)
+            if not known:
+                true_value = semantics.extract_field(name, desc, visible)
+                doc_difficulty = 0.5
+            else:
+                doc_difficulty = difficulty
+            task_key = f"extract|{name.lower()}"
+            correct = quality.decide_correct(
+                self.model, fingerprint, task_key, doc_difficulty,
+                request.context_fraction,
+            )
+            if correct:
+                result[name] = true_value
+            else:
+                result[name] = quality.corrupt_value(
+                    self.model, fingerprint, task_key, true_value
+                )
+        return result
+
+    def _extract_instances(self, request: ExtractionRequest,
+                           visible: str) -> List[Dict[str, Any]]:
+        fingerprint = fingerprint_text(request.document)
+        known, instances = self.oracle.field_truth(
+            request.document, "__instances__"
+        )
+        if known and isinstance(instances, list):
+            difficulty = self.oracle.difficulty(request.document)
+            out: List[Dict[str, Any]] = []
+            for idx, instance in enumerate(instances):
+                task_key = f"instance|{idx}"
+                keep = quality.decide_correct(
+                    self.model, fingerprint, task_key, difficulty,
+                    request.context_fraction,
+                )
+                if not keep:
+                    continue
+                row: Dict[str, Any] = {}
+                for name, desc in request.fields.items():
+                    true_value = instance.get(name)
+                    field_key = f"instance|{idx}|{name.lower()}"
+                    correct = quality.decide_correct(
+                        self.model, fingerprint, field_key, difficulty,
+                        request.context_fraction,
+                    )
+                    row[name] = (
+                        true_value
+                        if correct
+                        else quality.corrupt_value(
+                            self.model, fingerprint, field_key, true_value
+                        )
+                    )
+                out.append(row)
+            return out
+        # Unknown document: heuristics produce at most one instance.
+        single = self._extract_single(request, visible)
+        return [single] if any(v is not None for v in single.values()) else []
+
+    # ------------------------------------------------------------------
+    # Free-form completions (chat agent reasoning).
+    # ------------------------------------------------------------------
+
+    def complete(self, request: CompletionRequest) -> LLMResponse:
+        if not request.prompt.strip():
+            raise InvalidRequestError("completion prompt must be non-empty")
+        # The deterministic agent brain supplies the semantic content of the
+        # completion; the client only meters a plausible-size answer.
+        text = semantics.summarize(request.prompt, max_sentences=1)
+        text = truncate_to_tokens(text, request.max_output_tokens)
+        usage = self._meter(request.prompt, text or "OK", request.operation)
+        return LLMResponse(value=text, text=text, usage=usage,
+                           model=self.model.name)

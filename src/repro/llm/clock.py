@@ -1,0 +1,85 @@
+"""A virtual clock for simulated latency accounting.
+
+Palimpzest's execution statistics report wall-clock runtime; our LLM calls are
+simulated, so sleeping for their real latency would make the benchmarks take
+hours.  Instead every component that "takes time" advances a shared
+:class:`VirtualClock`.  The clock supports *lanes* so a parallel executor can
+model `max_workers` concurrent LLM calls: each lane accumulates time
+independently and the elapsed time of the whole execution is the maximum lane.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Tracks simulated elapsed seconds, optionally across parallel lanes.
+
+    A clock starts at time zero.  ``advance(seconds)`` adds time to the
+    current lane; ``now`` reports the current lane's local time, and
+    ``elapsed`` reports the makespan across all lanes (the number a user
+    would read off a stopwatch for the whole run).
+    """
+
+    def __init__(self, lanes: int = 1):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self._lane_times = [0.0] * lanes
+        self._current_lane = 0
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lane_times)
+
+    @property
+    def now(self) -> float:
+        """Local time of the currently selected lane, in seconds."""
+        return self._lane_times[self._current_lane]
+
+    @property
+    def elapsed(self) -> float:
+        """Makespan: the maximum time accumulated by any lane."""
+        return max(self._lane_times)
+
+    @property
+    def total_busy(self) -> float:
+        """Sum of busy time across all lanes (aggregate compute-seconds)."""
+        return sum(self._lane_times)
+
+    def advance(self, seconds: float) -> float:
+        """Add ``seconds`` to the current lane and return its new local time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds} seconds")
+        self._lane_times[self._current_lane] += seconds
+        return self._lane_times[self._current_lane]
+
+    def pick_least_busy_lane(self) -> int:
+        """Select (and return) the lane with the least accumulated time.
+
+        This models a work queue: the next task is handed to whichever worker
+        frees up first.
+        """
+        self._current_lane = min(
+            range(len(self._lane_times)), key=lambda i: self._lane_times[i]
+        )
+        return self._current_lane
+
+    def use_lane(self, lane: int) -> None:
+        if not 0 <= lane < len(self._lane_times):
+            raise IndexError(f"lane {lane} out of range [0, {len(self._lane_times)})")
+        self._current_lane = lane
+
+    def synchronize(self) -> float:
+        """Barrier: set every lane to the makespan and return it.
+
+        Used at pipeline stage boundaries that must wait for all workers.
+        """
+        makespan = self.elapsed
+        self._lane_times = [makespan] * len(self._lane_times)
+        return makespan
+
+    def reset(self) -> None:
+        self._lane_times = [0.0] * len(self._lane_times)
+        self._current_lane = 0
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(lanes={self.lanes}, elapsed={self.elapsed:.3f}s)"

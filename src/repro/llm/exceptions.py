@@ -1,0 +1,28 @@
+"""Exception hierarchy for the simulated LLM runtime."""
+
+from __future__ import annotations
+
+
+class LLMError(Exception):
+    """Base class for all simulated-runtime errors."""
+
+
+class ContextWindowExceeded(LLMError):
+    """The prompt did not fit in the model's context window."""
+
+    def __init__(self, model: str, prompt_tokens: int, context_window: int):
+        self.model = model
+        self.prompt_tokens = prompt_tokens
+        self.context_window = context_window
+        super().__init__(
+            f"prompt of {prompt_tokens} tokens exceeds {model}'s "
+            f"context window of {context_window} tokens"
+        )
+
+
+class UnknownModelError(LLMError):
+    """A request referenced a model that is not registered."""
+
+
+class InvalidRequestError(LLMError):
+    """A structurally invalid request (empty fields, bad parameters)."""

@@ -1,0 +1,77 @@
+"""Prompt construction for simulated semantic operators.
+
+Even though no remote model ever sees these prompts, we build them anyway:
+token counts of the *actual prompt text* are what drive cost and latency
+accounting, so the simulation's economics respond to the same knobs a real
+deployment's would (context length, number of fields per call, instruction
+overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+FILTER_SYSTEM_PROMPT = (
+    "You are a precise data analyst. Decide whether the document below "
+    "satisfies the stated condition. Answer with exactly TRUE or FALSE."
+)
+
+EXTRACT_SYSTEM_PROMPT = (
+    "You are a precise information extraction engine. Read the document and "
+    "output a JSON object with the requested fields. Use null for fields "
+    "that are not present. Do not invent values."
+)
+
+ONE_TO_MANY_SUFFIX = (
+    "The document may describe multiple such objects; output a JSON array "
+    "with one object per instance."
+)
+
+
+def build_filter_prompt(predicate: str, document: str) -> str:
+    return (
+        f"{FILTER_SYSTEM_PROMPT}\n\n"
+        f"Condition: {predicate}\n\n"
+        f"Document:\n{document}\n\n"
+        f"Answer (TRUE or FALSE):"
+    )
+
+
+def build_extract_prompt(
+    field_descriptions: Dict[str, str],
+    document: str,
+    schema_description: str = "",
+    one_to_many: bool = False,
+) -> str:
+    field_lines = "\n".join(
+        f"- {name}: {desc or 'no description provided'}"
+        for name, desc in field_descriptions.items()
+    )
+    parts = [EXTRACT_SYSTEM_PROMPT]
+    if schema_description:
+        parts.append(f"Target schema: {schema_description}")
+    parts.append(f"Fields to extract:\n{field_lines}")
+    if one_to_many:
+        parts.append(ONE_TO_MANY_SUFFIX)
+    parts.append(f"Document:\n{document}")
+    parts.append("JSON output:")
+    return "\n\n".join(parts)
+
+
+def build_agent_prompt(system: str, tools_block: str, scratchpad: str,
+                       user_message: str) -> str:
+    return (
+        f"{system}\n\nAvailable tools:\n{tools_block}\n\n"
+        f"Conversation so far:\n{scratchpad}\n\nUser: {user_message}\n"
+        f"Thought:"
+    )
+
+
+def estimate_output_tokens_for_fields(field_names: Sequence[str],
+                                      instances: int = 1) -> int:
+    """Rough completion size for a JSON extraction answer.
+
+    ~12 tokens per field (key, punctuation, value) plus array overhead.
+    """
+    per_instance = 4 + 12 * max(1, len(field_names))
+    return per_instance * max(1, instances)

@@ -1,0 +1,93 @@
+"""The seeded, quality-dependent error process.
+
+The point of simulating multiple models is that they disagree in a structured
+way: a 0.96-quality model should almost always return the true answer, a
+0.72-quality model should make regular mistakes, and *which* records each
+model gets wrong must be deterministic — independent of execution order, plan
+shape, or parallelism — or the optimizer benchmarks would not be reproducible.
+
+We achieve that by seeding a private RNG with a hash of
+``(model name, document fingerprint, task key)``.  Error probability is
+``(1 - model.quality) * difficulty_scale(document)``; easy documents (our
+curated corpora) are mostly below every good model's threshold, hard
+documents expose the gap between tiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, List, Optional
+
+from repro.llm.models import ModelCard
+
+
+def _seeded_rng(model_name: str, fingerprint: str, task_key: str) -> random.Random:
+    material = f"{model_name}|{fingerprint}|{task_key}".encode("utf-8")
+    seed = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+    return random.Random(seed)
+
+
+def error_probability(model: ModelCard, difficulty: float,
+                      context_fraction: float = 1.0) -> float:
+    """Probability this model answers this document's task incorrectly.
+
+    ``context_fraction`` < 1 models token-reduction operators that truncate
+    the prompt: less context, more errors.
+    """
+    difficulty = min(max(difficulty, 0.0), 1.0)
+    context_fraction = min(max(context_fraction, 0.0), 1.0)
+    base = (1.0 - model.quality) * (0.25 + 1.5 * difficulty)
+    truncation_penalty = (1.0 - context_fraction) * 0.45
+    return min(0.95, base + truncation_penalty)
+
+
+def decide_correct(model: ModelCard, fingerprint: str, task_key: str,
+                   difficulty: float, context_fraction: float = 1.0) -> bool:
+    """Deterministically decide whether this call returns the true answer."""
+    rng = _seeded_rng(model.name, fingerprint, task_key)
+    return rng.random() >= error_probability(model, difficulty, context_fraction)
+
+
+def corrupt_boolean(true_value: bool) -> bool:
+    return not true_value
+
+
+def corrupt_value(model: ModelCard, fingerprint: str, task_key: str,
+                  true_value: Any) -> Any:
+    """Produce a plausible wrong answer for an extraction task.
+
+    Mistake modes mirror real failure cases: dropping the value entirely
+    (hallucinated "not found"), mangling a string, or perturbing a number.
+    """
+    rng = _seeded_rng(model.name, fingerprint, task_key + "|corrupt")
+    mode = rng.random()
+    if true_value is None or mode < 0.45:
+        return None
+    if isinstance(true_value, bool):
+        return not true_value
+    if isinstance(true_value, (int, float)):
+        scale = 1.0 + rng.choice([-0.5, -0.1, 0.1, 0.5, 1.0])
+        return type(true_value)(true_value * scale)
+    if isinstance(true_value, str):
+        if mode < 0.7 and len(true_value) > 6:
+            # Truncate mid-string: a classic partial extraction.
+            cut = rng.randint(3, max(4, len(true_value) // 2))
+            return true_value[:cut].rstrip()
+        return true_value.upper() if true_value != true_value.upper() else true_value.lower()
+    if isinstance(true_value, list):
+        if not true_value:
+            return None
+        keep = rng.randint(0, max(0, len(true_value) - 1))
+        return list(true_value[:keep]) or None
+    return None
+
+
+def corrupt_list(model: ModelCard, fingerprint: str, task_key: str,
+                 true_values: List[Any]) -> List[Any]:
+    """Drop or mangle entries of a one-to-many extraction."""
+    rng = _seeded_rng(model.name, fingerprint, task_key + "|list")
+    if not true_values:
+        return []
+    kept = [v for v in true_values if rng.random() > 0.5]
+    return kept

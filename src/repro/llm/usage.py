@@ -1,0 +1,127 @@
+"""Usage records and the usage ledger.
+
+Every simulated LLM call produces an :class:`LLMUsage` record; a
+:class:`UsageLedger` aggregates them per model and per logical operation so
+execution statistics (Fig. 5 of the paper) can report exact token counts,
+dollar costs, and call counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class LLMUsage:
+    """One simulated LLM call's accounting record."""
+
+    model: str
+    input_tokens: int
+    output_tokens: int
+    cost_usd: float
+    latency_seconds: float
+    operation: str = ""  # e.g. "filter", "convert:ClinicalData", "agent"
+    virtual_timestamp: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+@dataclass
+class UsageTotals:
+    """Aggregated usage for one grouping key."""
+
+    calls: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
+    cost_usd: float = 0.0
+    latency_seconds: float = 0.0
+
+    def add(self, usage: LLMUsage) -> None:
+        self.calls += 1
+        self.input_tokens += usage.input_tokens
+        self.output_tokens += usage.output_tokens
+        self.cost_usd += usage.cost_usd
+        self.latency_seconds += usage.latency_seconds
+
+    def merge(self, other: "UsageTotals") -> None:
+        self.calls += other.calls
+        self.input_tokens += other.input_tokens
+        self.output_tokens += other.output_tokens
+        self.cost_usd += other.cost_usd
+        self.latency_seconds += other.latency_seconds
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+class UsageLedger:
+    """Collects :class:`LLMUsage` records and aggregates them.
+
+    A ledger is attached to an execution context; operators record into it and
+    the final :class:`~repro.execution.stats.ExecutionStats` summarizes it.
+    """
+
+    def __init__(self):
+        self._records: List[LLMUsage] = []
+
+    def record(self, usage: LLMUsage) -> None:
+        self._records.append(usage)
+
+    def extend(self, usages: Iterable[LLMUsage]) -> None:
+        for usage in usages:
+            self.record(usage)
+
+    @property
+    def records(self) -> List[LLMUsage]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def total(self) -> UsageTotals:
+        totals = UsageTotals()
+        for usage in self._records:
+            totals.add(usage)
+        return totals
+
+    def by_model(self) -> Dict[str, UsageTotals]:
+        grouped: Dict[str, UsageTotals] = {}
+        for usage in self._records:
+            grouped.setdefault(usage.model, UsageTotals()).add(usage)
+        return grouped
+
+    def by_operation(self) -> Dict[str, UsageTotals]:
+        grouped: Dict[str, UsageTotals] = {}
+        for usage in self._records:
+            grouped.setdefault(usage.operation, UsageTotals()).add(usage)
+        return grouped
+
+    def filtered(self, operation: Optional[str] = None,
+                 model: Optional[str] = None) -> "UsageLedger":
+        """A new ledger containing only the matching records."""
+        ledger = UsageLedger()
+        for usage in self._records:
+            if operation is not None and usage.operation != operation:
+                continue
+            if model is not None and usage.model != model:
+                continue
+            ledger.record(usage)
+        return ledger
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-model summary (used in chat stats output)."""
+        lines = []
+        for model, totals in sorted(self.by_model().items()):
+            lines.append(
+                f"{model}: {totals.calls} calls, "
+                f"{totals.input_tokens} in / {totals.output_tokens} out tokens, "
+                f"${totals.cost_usd:.4f}"
+            )
+        return lines

@@ -1,0 +1,57 @@
+"""The Palimpzest optimizer.
+
+"PALIMPZEST creates a search space of all possible physical plans that
+implement such plan, which are effectively logically equivalent but may yield
+outputs of different quality, with a different cost, or with a different
+runtime.  In a subsequent optimization phase, Palimpzest automatically ranks
+physical plans and selects the most optimal one that meets user-defined
+preferences." (§2.1)
+
+Pieces:
+
+* :mod:`repro.optimizer.candidates` — the physical implementations available
+  for each logical operator (the plan space generator).
+* :mod:`repro.optimizer.cost_model` — estimates a plan's total cost, runtime,
+  quality, and output cardinality, from model-card priors optionally refined
+  by sentinel (sample) execution.
+* :mod:`repro.optimizer.policies` — user preferences: MaxQuality, MinCost,
+  MinTime, and constrained blends ("maximize quality under a cost budget").
+* :mod:`repro.optimizer.planner` — enumerates the plan space with Pareto
+  pruning on (cost, time, quality).
+* :mod:`repro.optimizer.optimizer` — ties it together and picks the winner.
+"""
+
+from repro.optimizer.policies import (
+    Policy,
+    MaxQuality,
+    MinCost,
+    MinTime,
+    MaxQualityAtFixedCost,
+    MaxQualityAtFixedTime,
+    MinCostAtFixedQuality,
+    WeightedBlend,
+)
+from repro.optimizer.cost_model import CostModel, PlanEstimate, SampleStats
+from repro.optimizer.candidates import candidate_operators
+from repro.optimizer.planner import enumerate_plans, pareto_frontier, PlanCandidate
+from repro.optimizer.optimizer import Optimizer, OptimizationReport
+
+__all__ = [
+    "Policy",
+    "MaxQuality",
+    "MinCost",
+    "MinTime",
+    "MaxQualityAtFixedCost",
+    "MaxQualityAtFixedTime",
+    "MinCostAtFixedQuality",
+    "WeightedBlend",
+    "CostModel",
+    "PlanEstimate",
+    "SampleStats",
+    "candidate_operators",
+    "enumerate_plans",
+    "pareto_frontier",
+    "PlanCandidate",
+    "Optimizer",
+    "OptimizationReport",
+]

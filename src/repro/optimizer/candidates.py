@@ -1,0 +1,177 @@
+"""The plan-space generator: physical candidates per logical operator."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.errors import PlanError
+from repro.core.logical import (
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    LogicalOperator,
+    Project,
+    RetrieveScan,
+)
+from repro.core.logical_ext import Distinct, JoinScan, Sort, UnionScan
+from repro.core.sources import DataSource
+from repro.llm.models import ModelRegistry
+from repro.physical.joins import (
+    EmbeddingBlockedJoin,
+    LLMSemanticJoin,
+    NestedLoopUDFJoin,
+)
+from repro.physical.setops import DistinctOp, SortOp, UnionOp
+from repro.physical.aggregates import AggregateOp, GroupByOp
+from repro.physical.base import PhysicalOperator
+from repro.physical.converts import (
+    ChunkedConvert,
+    CodeSynthesisConvert,
+    LLMConvertBonded,
+    LLMConvertConventional,
+    NonLLMConvert,
+    TokenReducedConvert,
+)
+from repro.physical.filters import EmbeddingFilter, LLMFilter, NonLLMFilter
+from repro.physical.retrieve import RetrieveOp
+from repro.physical.scan import MarshalAndScan
+from repro.physical.structural import LimitOp, ProjectOp
+
+#: Context fraction used by the token-reduction convert variant.
+TOKEN_REDUCTION_FRACTION = 0.35
+
+#: Token headroom reserved for instructions when checking context fit.
+_PROMPT_HEADROOM_TOKENS = 200
+
+
+def _avg_document_tokens(source: Optional[DataSource]) -> float:
+    """Average document size of the source, 0.0 when unknown."""
+    if source is None:
+        return 0.0
+    try:
+        return source.profile(sample_size=2).avg_document_tokens
+    except Exception:  # pragma: no cover - exotic custom sources
+        return 0.0
+
+
+def _fits_context(doc_tokens: float, model) -> bool:
+    return doc_tokens + _PROMPT_HEADROOM_TOKENS <= model.context_window
+
+
+def candidate_operators(
+    logical_op: LogicalOperator,
+    models: ModelRegistry,
+    source: Optional[DataSource] = None,
+    include_token_reduction: bool = True,
+    include_code_synthesis: bool = True,
+    include_embedding_filter: bool = True,
+) -> List[PhysicalOperator]:
+    """All physical implementations of ``logical_op``.
+
+    The ``include_*`` switches exist for ablation benchmarks that shrink the
+    plan space.
+    """
+    if isinstance(logical_op, BaseScan):
+        if source is None:
+            raise PlanError("BaseScan candidates require the data source")
+        return [MarshalAndScan(logical_op, source)]
+
+    if isinstance(logical_op, FilteredScan):
+        if not logical_op.spec.is_semantic:
+            return [NonLLMFilter(logical_op)]
+        doc_tokens = _avg_document_tokens(source)
+        candidates: List[PhysicalOperator] = []
+        for model in models.chat_models():
+            if _fits_context(doc_tokens, model):
+                candidates.append(LLMFilter(logical_op, model))
+            else:
+                # Truncate the document to fit the window; quality dips
+                # but the model stays usable on oversized documents.
+                fraction = max(
+                    0.05,
+                    0.8 * model.context_window / max(doc_tokens, 1.0),
+                )
+                candidates.append(
+                    LLMFilter(logical_op, model, context_fraction=fraction)
+                )
+        if include_embedding_filter:
+            candidates.extend(
+                EmbeddingFilter(logical_op, model)
+                for model in models.embedding_models()
+            )
+        if not candidates:
+            raise PlanError(
+                "no models registered that can implement a semantic filter"
+            )
+        return candidates
+
+    if isinstance(logical_op, ConvertScan):
+        if not logical_op.is_semantic:
+            return [NonLLMConvert(logical_op)]
+        doc_tokens = _avg_document_tokens(source)
+        candidates = []
+        for model in models.chat_models():
+            if not _fits_context(doc_tokens, model):
+                # Oversized documents: only the chunked map-reduce
+                # strategy is feasible for this model.
+                candidates.append(ChunkedConvert(logical_op, model))
+                continue
+            candidates.append(LLMConvertBonded(logical_op, model))
+            candidates.append(LLMConvertConventional(logical_op, model))
+            if include_token_reduction:
+                candidates.append(
+                    TokenReducedConvert(
+                        logical_op, model, fraction=TOKEN_REDUCTION_FRACTION
+                    )
+                )
+            if include_code_synthesis:
+                candidates.append(CodeSynthesisConvert(logical_op, model))
+        if not candidates:
+            raise PlanError(
+                "no models registered that can implement a semantic convert"
+            )
+        return candidates
+
+    if isinstance(logical_op, RetrieveScan):
+        embedders = models.embedding_models()
+        if not embedders:
+            raise PlanError("retrieve requires a registered embedding model")
+        return [RetrieveOp(logical_op, model) for model in embedders]
+
+    if isinstance(logical_op, JoinScan):
+        if not logical_op.is_semantic:
+            return [NestedLoopUDFJoin(logical_op)]
+        candidates = [
+            LLMSemanticJoin(logical_op, model)
+            for model in models.chat_models()
+        ]
+        embedders = models.embedding_models()
+        if embedders:
+            candidates.extend(
+                EmbeddingBlockedJoin(logical_op, model, embedders[0])
+                for model in models.chat_models()
+            )
+        return candidates
+
+    if isinstance(logical_op, UnionScan):
+        return [UnionOp(logical_op)]
+    if isinstance(logical_op, Distinct):
+        return [DistinctOp(logical_op)]
+    if isinstance(logical_op, Sort):
+        return [SortOp(logical_op)]
+
+    if isinstance(logical_op, Project):
+        return [ProjectOp(logical_op)]
+    if isinstance(logical_op, LimitScan):
+        return [LimitOp(logical_op)]
+    if isinstance(logical_op, Aggregate):
+        return [AggregateOp(logical_op)]
+    if isinstance(logical_op, GroupByAggregate):
+        return [GroupByOp(logical_op)]
+
+    raise PlanError(
+        f"no physical implementations known for {logical_op.op_name}"
+    )

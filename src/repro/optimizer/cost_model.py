@@ -1,0 +1,132 @@
+"""Plan cost estimation.
+
+Estimates start from model-card priors (:meth:`PhysicalOperator.naive_estimates`)
+threaded through the plan: each operator consumes a :class:`StreamEstimate`
+(input cardinality + average document size) and produces the next one.  Plan
+quality is the product of the semantic operators' per-record qualities —
+errors compound multiplicatively down a pipeline.
+
+Sentinel (sample) execution, orchestrated by the optimizer, can replace these
+priors with observed numbers via :class:`SampleStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.sources import SourceProfile
+from repro.physical.base import StreamEstimate
+from repro.physical.plan import PhysicalPlan
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """The optimizer's belief about one physical plan."""
+
+    plan: PhysicalPlan
+    cost_usd: float
+    time_seconds: float
+    quality: float
+    output_cardinality: float
+    from_sample: bool = False
+
+    def describe(self) -> str:
+        origin = "sampled" if self.from_sample else "naive"
+        return (
+            f"{self.plan.describe()} :: cost=${self.cost_usd:.4f}, "
+            f"time={self.time_seconds:.1f}s, quality={self.quality:.3f}, "
+            f"out~{self.output_cardinality:.1f} ({origin})"
+        )
+
+
+@dataclass
+class SampleStats:
+    """Observed per-operator statistics from a sentinel run.
+
+    Keyed by ``PhysicalOperator.full_op_id`` in :class:`CostModel`.
+    """
+
+    selectivity: Optional[float] = None     # output/input cardinality ratio
+    cost_per_record: Optional[float] = None
+    time_per_record: Optional[float] = None
+    quality: Optional[float] = None
+
+
+class CostModel:
+    """Estimates plan cost/time/quality for a given source profile.
+
+    Args:
+        source_profile: cardinality + document-size statistics of the scan.
+        max_workers: LLM calls across records run concurrently on this many
+            workers, so estimated LLM wall time divides by it.
+        sample_stats: observed per-operator stats that override priors.
+    """
+
+    def __init__(
+        self,
+        source_profile: SourceProfile,
+        max_workers: int = 1,
+        sample_stats: Optional[Dict[str, SampleStats]] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.source_profile = source_profile
+        self.max_workers = max_workers
+        self.sample_stats = dict(sample_stats or {})
+
+    def update(self, full_op_id: str, stats: SampleStats) -> None:
+        self.sample_stats[full_op_id] = stats
+
+    def estimate_plan(self, plan: PhysicalPlan) -> PlanEstimate:
+        stream = StreamEstimate(
+            cardinality=float(self.source_profile.cardinality),
+            avg_document_tokens=self.source_profile.avg_document_tokens,
+        )
+        total_cost = 0.0
+        total_time = 0.0
+        quality = 1.0
+        sampled = False
+
+        for op in plan:
+            estimates = op.naive_estimates(stream)
+            observed = self.sample_stats.get(op.full_op_id)
+
+            cost_per_record = estimates.cost_per_record
+            time_per_record = estimates.time_per_record
+            output_cardinality = estimates.cardinality
+            op_quality = estimates.quality
+            if observed is not None:
+                sampled = True
+                if observed.cost_per_record is not None:
+                    cost_per_record = observed.cost_per_record
+                if observed.time_per_record is not None:
+                    time_per_record = observed.time_per_record
+                if observed.selectivity is not None:
+                    output_cardinality = (
+                        stream.cardinality * observed.selectivity
+                    )
+                if observed.quality is not None:
+                    op_quality = observed.quality
+
+            input_cardinality = stream.cardinality
+            total_cost += cost_per_record * input_cardinality
+            op_time = time_per_record * input_cardinality
+            if op.is_llm_op:
+                # Record-parallel LLM calls spread across workers.
+                op_time /= self.max_workers
+            total_time += op_time
+            quality *= max(0.0, min(1.0, op_quality))
+            stream = StreamEstimate(
+                cardinality=output_cardinality,
+                avg_document_tokens=stream.avg_document_tokens,
+            )
+
+        return PlanEstimate(
+            plan=plan,
+            cost_usd=total_cost,
+            time_seconds=total_time,
+            quality=quality,
+            output_cardinality=stream.cardinality,
+            from_sample=sampled,
+        )

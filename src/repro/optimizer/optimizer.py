@@ -1,0 +1,212 @@
+"""The optimizer: enumerate, (optionally) sample, rank, choose."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.logical import LogicalPlan
+from repro.core.sources import DataSource, MemorySource
+from repro.llm.models import ModelRegistry, default_registry
+from repro.optimizer.cost_model import CostModel, PlanEstimate, SampleStats
+from repro.optimizer.planner import (
+    PlanCandidate,
+    enumerate_plans,
+    pareto_frontier,
+)
+from repro.optimizer.policies import MaxQuality, Policy
+from repro.physical.context import ExecutionContext
+from repro.physical.plan import PhysicalPlan
+from repro.physical.scan import MarshalAndScan
+
+#: At most this many frontier plans get a sentinel (sample) run.
+SENTINEL_PLAN_CAP = 6
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did and what it picked."""
+
+    chosen: PlanCandidate
+    candidates: List[PlanCandidate]
+    policy: Policy
+    plans_considered: int
+    sentinel_cost_usd: float = 0.0
+    sentinel_time_seconds: float = 0.0
+    sentinel_runs: int = 0
+
+    def frontier(self) -> List[PlanCandidate]:
+        return pareto_frontier(self.candidates)
+
+    def describe(self) -> str:
+        lines = [
+            f"policy: {self.policy.describe()}",
+            f"plans considered: {self.plans_considered}",
+            f"sentinel runs: {self.sentinel_runs} "
+            f"(${self.sentinel_cost_usd:.4f}, "
+            f"{self.sentinel_time_seconds:.1f}s)",
+            f"chosen: {self.chosen.estimate.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Builds the plan space and selects the policy-optimal physical plan.
+
+    Args:
+        policy: user preference (defaults to :class:`MaxQuality`).
+        max_workers: execution parallelism assumed by the cost model.
+        sample_size: if > 0, run the Pareto-frontier plans on this many
+            sample records first ("sentinel" execution) and replace the
+            naive per-operator estimates with observed statistics.
+        models: model registry defining the plan space.
+        candidate_options: keyword switches forwarded to
+            :func:`repro.optimizer.candidates.candidate_operators` (ablations).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[Policy] = None,
+        max_workers: int = 1,
+        sample_size: int = 0,
+        models: Optional[ModelRegistry] = None,
+        **candidate_options,
+    ):
+        self.policy = policy or MaxQuality()
+        self.max_workers = max_workers
+        self.sample_size = sample_size
+        self.models = models or default_registry()
+        self.candidate_options = candidate_options
+
+    def optimize(self, logical_plan: LogicalPlan,
+                 source: DataSource) -> OptimizationReport:
+        profile = source.profile()
+        cost_model = CostModel(profile, max_workers=self.max_workers)
+        candidates = enumerate_plans(
+            logical_plan,
+            source,
+            self.models,
+            cost_model,
+            **self.candidate_options,
+        )
+
+        sentinel_cost = 0.0
+        sentinel_time = 0.0
+        sentinel_runs = 0
+        if self.sample_size > 0 and profile.cardinality > 0:
+            (sentinel_cost, sentinel_time, sentinel_runs,
+             measured_quality) = self._run_sentinels(
+                logical_plan, candidates, source, cost_model
+            )
+            # Re-estimate everything with the observed statistics folded
+            # in; sentinel-run plans additionally get their *measured*
+            # output quality (sample output vs perfect reference).
+            import dataclasses
+
+            updated = []
+            for candidate in candidates:
+                estimate = cost_model.estimate_plan(candidate.plan)
+                if candidate.plan.plan_id in measured_quality:
+                    estimate = dataclasses.replace(
+                        estimate,
+                        quality=measured_quality[candidate.plan.plan_id],
+                        from_sample=True,
+                    )
+                updated.append(
+                    PlanCandidate(plan=candidate.plan, estimate=estimate)
+                )
+            candidates = updated
+
+        estimates = [c.estimate for c in candidates]
+        chosen_estimate = self.policy.choose(estimates)
+        chosen = next(
+            c for c in candidates if c.estimate is chosen_estimate
+        )
+        return OptimizationReport(
+            chosen=chosen,
+            candidates=candidates,
+            policy=self.policy,
+            plans_considered=len(candidates),
+            sentinel_cost_usd=sentinel_cost,
+            sentinel_time_seconds=sentinel_time,
+            sentinel_runs=sentinel_runs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_sentinels(
+        self,
+        logical_plan: LogicalPlan,
+        candidates: List[PlanCandidate],
+        source: DataSource,
+        cost_model: CostModel,
+    ):
+        """Execute frontier plans on a sample; fold stats into the model.
+
+        Returns ``(cost, time, runs, measured_quality)`` where
+        ``measured_quality`` maps plan ids to the F1 of the plan's sample
+        output against the oracle-perfect reference output.
+        """
+        from repro.evaluation.metrics import records_f1
+        from repro.evaluation.reference import reference_output
+        from repro.execution.executors import SequentialExecutor
+
+        sample_records = source.sample(self.sample_size)
+        if not sample_records:
+            return 0.0, 0.0, 0, {}
+        sample_source = MemorySource(
+            sample_records,
+            dataset_id=f"{source.dataset_id}#sample",
+            schema=source.schema,
+        )
+        try:
+            reference = reference_output(logical_plan, sample_source)
+        except Exception:  # pragma: no cover - exotic plans
+            reference = None
+
+        frontier = pareto_frontier(candidates)
+        frontier.sort(key=lambda c: c.estimate.cost_usd)
+        frontier = frontier[:SENTINEL_PLAN_CAP]
+
+        total_cost = 0.0
+        total_time = 0.0
+        measured_quality: Dict[str, float] = {}
+        for candidate in frontier:
+            sample_plan = PhysicalPlan(
+                [
+                    MarshalAndScan(
+                        candidate.plan.scan.logical_op, sample_source
+                    )
+                ]
+                + candidate.plan.downstream
+            )
+            context = ExecutionContext(
+                max_workers=1, models=self.models
+            )
+            executor = SequentialExecutor(context)
+            sample_output, plan_stats = executor.execute(sample_plan)
+            total_cost += plan_stats.total_cost_usd
+            total_time += plan_stats.total_time_seconds
+            if reference is not None:
+                measured_quality[candidate.plan.plan_id] = records_f1(
+                    sample_output, reference
+                ).f1
+
+            for op, op_stats in zip(
+                sample_plan.downstream, plan_stats.operator_stats[1:]
+            ):
+                if op_stats.records_in == 0:
+                    continue
+                cost_model.update(
+                    op.full_op_id,
+                    SampleStats(
+                        selectivity=op_stats.selectivity,
+                        cost_per_record=(
+                            op_stats.cost_usd / op_stats.records_in
+                        ),
+                        time_per_record=(
+                            op_stats.time_seconds / op_stats.records_in
+                        ),
+                    ),
+                )
+        return total_cost, total_time, len(frontier), measured_quality

@@ -1,0 +1,142 @@
+"""Plan enumeration with Pareto pruning.
+
+The plan space is the cross product of per-operator physical candidates.  For
+the pipeline sizes the paper demonstrates this is small enough to enumerate
+exhaustively; for larger pipelines the enumerator switches to a stepwise
+dynamic program that keeps only the Pareto frontier over
+(cost, time, quality) after each operator — dominated partial plans can never
+become optimal under any of the supported policies, all of which are
+monotone in those three dimensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.logical import LogicalPlan
+from repro.core.sources import DataSource
+from repro.llm.models import ModelRegistry
+from repro.optimizer.candidates import candidate_operators
+from repro.optimizer.cost_model import CostModel, PlanEstimate
+from repro.physical.base import PhysicalOperator
+from repro.physical.plan import PhysicalPlan
+
+#: Above this many total plans, switch to stepwise Pareto pruning.
+EXHAUSTIVE_LIMIT = 4096
+
+#: Cap on the partial-plan frontier kept per step (safety valve).
+FRONTIER_CAP = 64
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """A fully specified physical plan plus its estimate."""
+
+    plan: PhysicalPlan
+    estimate: PlanEstimate
+
+
+def _dominates(a: PlanEstimate, b: PlanEstimate) -> bool:
+    """True if ``a`` is at least as good as ``b`` everywhere, better somewhere."""
+    no_worse = (
+        a.cost_usd <= b.cost_usd
+        and a.time_seconds <= b.time_seconds
+        and a.quality >= b.quality
+    )
+    strictly_better = (
+        a.cost_usd < b.cost_usd
+        or a.time_seconds < b.time_seconds
+        or a.quality > b.quality
+    )
+    return no_worse and strictly_better
+
+
+def pareto_frontier(candidates: Sequence[PlanCandidate]) -> List[PlanCandidate]:
+    """The non-dominated subset of ``candidates``."""
+    frontier: List[PlanCandidate] = []
+    for candidate in candidates:
+        if any(_dominates(kept.estimate, candidate.estimate) for kept in frontier):
+            continue
+        frontier = [
+            kept for kept in frontier
+            if not _dominates(candidate.estimate, kept.estimate)
+        ]
+        frontier.append(candidate)
+    return frontier
+
+
+def plan_space_size(
+    logical_plan: LogicalPlan,
+    models: ModelRegistry,
+    source: DataSource,
+    **candidate_kwargs,
+) -> int:
+    """Number of physical plans implementing ``logical_plan``."""
+    size = 1
+    for op in logical_plan:
+        size *= len(
+            candidate_operators(op, models, source=source, **candidate_kwargs)
+        )
+    return size
+
+
+def enumerate_plans(
+    logical_plan: LogicalPlan,
+    source: DataSource,
+    models: ModelRegistry,
+    cost_model: CostModel,
+    prune: Optional[bool] = None,
+    **candidate_kwargs,
+) -> List[PlanCandidate]:
+    """Enumerate (and estimate) the physical plans for ``logical_plan``.
+
+    Returns candidates with naive estimates attached.  When ``prune`` is
+    None, the strategy is chosen automatically based on plan-space size.
+    """
+    per_op_candidates: List[List[PhysicalOperator]] = [
+        candidate_operators(op, models, source=source, **candidate_kwargs)
+        for op in logical_plan
+    ]
+    total = 1
+    for options in per_op_candidates:
+        total *= len(options)
+    if prune is None:
+        prune = total > EXHAUSTIVE_LIMIT
+
+    if not prune:
+        candidates = []
+        for combo in itertools.product(*per_op_candidates):
+            plan = PhysicalPlan(list(combo))
+            candidates.append(
+                PlanCandidate(plan=plan, estimate=cost_model.estimate_plan(plan))
+            )
+        return candidates
+
+    # Stepwise dynamic program over Pareto frontiers of partial plans.
+    partials: List[List[PhysicalOperator]] = [[op] for op in per_op_candidates[0]]
+    for options in per_op_candidates[1:]:
+        extended: List[PlanCandidate] = []
+        for partial in partials:
+            for option in options:
+                plan = PhysicalPlan(partial + [option])
+                extended.append(
+                    PlanCandidate(
+                        plan=plan, estimate=cost_model.estimate_plan(plan)
+                    )
+                )
+        frontier = pareto_frontier(extended)
+        if len(frontier) > FRONTIER_CAP:
+            # Keep a spread: best by each dimension, then lowest-cost rest.
+            frontier.sort(key=lambda c: c.estimate.cost_usd)
+            frontier = frontier[:FRONTIER_CAP]
+        partials = [candidate.plan.operators for candidate in frontier]
+
+    return [
+        PlanCandidate(
+            plan=PhysicalPlan(ops),
+            estimate=cost_model.estimate_plan(PhysicalPlan(ops)),
+        )
+        for ops in partials
+    ]

@@ -1,0 +1,211 @@
+"""Optimization policies: how users express their preferences.
+
+"Users can specify whether they are interested in quality, runtime, or cost
+of executing their pipelines.  They may instruct the system to narrow its
+optimization on one of these dimensions (e.g., to minimize the cost no matter
+the quality), or specify a meaningful combination of them (e.g., maximize the
+output quality while being under a certain latency)." (§2.1)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.cost_model import PlanEstimate
+
+
+class Policy:
+    """Ranks plan estimates; lower :meth:`sort_key` wins."""
+
+    name = "policy"
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        raise NotImplementedError
+
+    def feasible(self, estimate: "PlanEstimate") -> bool:
+        """Whether a plan satisfies this policy's hard constraints."""
+        return True
+
+    def choose(self, estimates: Sequence["PlanEstimate"]) -> "PlanEstimate":
+        """Pick the best feasible plan (best infeasible as a fallback)."""
+        if not estimates:
+            raise ValueError("no plan estimates to choose from")
+        feasible = [e for e in estimates if self.feasible(e)]
+        pool = feasible or list(estimates)
+        return min(pool, key=self.sort_key)
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MaxQuality(Policy):
+    """Maximize output quality; break ties by lower cost, then time."""
+
+    name = "max-quality"
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (-estimate.quality, estimate.cost_usd, estimate.time_seconds)
+
+
+class MinCost(Policy):
+    """Minimize dollar cost; break ties by higher quality, then time."""
+
+    name = "min-cost"
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (estimate.cost_usd, -estimate.quality, estimate.time_seconds)
+
+
+class MinTime(Policy):
+    """Minimize runtime; break ties by higher quality, then cost."""
+
+    name = "min-time"
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (estimate.time_seconds, -estimate.quality, estimate.cost_usd)
+
+
+class MaxQualityAtFixedCost(Policy):
+    """Maximize quality among plans under a dollar budget."""
+
+    name = "max-quality@cost"
+
+    def __init__(self, max_cost_usd: float):
+        if max_cost_usd <= 0:
+            raise ValueError(f"budget must be positive, got {max_cost_usd}")
+        self.max_cost_usd = max_cost_usd
+
+    def feasible(self, estimate: "PlanEstimate") -> bool:
+        return estimate.cost_usd <= self.max_cost_usd
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (-estimate.quality, estimate.cost_usd, estimate.time_seconds)
+
+    def describe(self) -> str:
+        return f"{self.name}(${self.max_cost_usd:.2f})"
+
+    def __repr__(self) -> str:
+        return f"MaxQualityAtFixedCost({self.max_cost_usd!r})"
+
+
+class MaxQualityAtFixedTime(Policy):
+    """Maximize quality among plans under a latency budget."""
+
+    name = "max-quality@time"
+
+    def __init__(self, max_time_seconds: float):
+        if max_time_seconds <= 0:
+            raise ValueError(
+                f"time budget must be positive, got {max_time_seconds}"
+            )
+        self.max_time_seconds = max_time_seconds
+
+    def feasible(self, estimate: "PlanEstimate") -> bool:
+        return estimate.time_seconds <= self.max_time_seconds
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (-estimate.quality, estimate.time_seconds, estimate.cost_usd)
+
+    def describe(self) -> str:
+        return f"{self.name}({self.max_time_seconds:.0f}s)"
+
+    def __repr__(self) -> str:
+        return f"MaxQualityAtFixedTime({self.max_time_seconds!r})"
+
+
+class MinCostAtFixedQuality(Policy):
+    """Minimize cost among plans above a quality floor."""
+
+    name = "min-cost@quality"
+
+    def __init__(self, min_quality: float):
+        if not 0.0 < min_quality <= 1.0:
+            raise ValueError(
+                f"quality floor must be in (0, 1], got {min_quality}"
+            )
+        self.min_quality = min_quality
+
+    def feasible(self, estimate: "PlanEstimate") -> bool:
+        return estimate.quality >= self.min_quality
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        return (estimate.cost_usd, -estimate.quality, estimate.time_seconds)
+
+    def describe(self) -> str:
+        return f"{self.name}({self.min_quality:.2f})"
+
+    def __repr__(self) -> str:
+        return f"MinCostAtFixedQuality({self.min_quality!r})"
+
+
+class WeightedBlend(Policy):
+    """Scalarized blend: minimize w_c·cost + w_t·time − w_q·quality.
+
+    Cost and time are normalized inside :meth:`choose` against the candidate
+    pool so the weights are unitless.
+    """
+
+    name = "weighted-blend"
+
+    def __init__(self, cost_weight: float = 1.0, time_weight: float = 1.0,
+                 quality_weight: float = 1.0):
+        if min(cost_weight, time_weight, quality_weight) < 0:
+            raise ValueError("weights must be non-negative")
+        if cost_weight == time_weight == quality_weight == 0:
+            raise ValueError("at least one weight must be positive")
+        self.cost_weight = cost_weight
+        self.time_weight = time_weight
+        self.quality_weight = quality_weight
+        self._cost_scale = 1.0
+        self._time_scale = 1.0
+
+    def choose(self, estimates: Sequence["PlanEstimate"]) -> "PlanEstimate":
+        if not estimates:
+            raise ValueError("no plan estimates to choose from")
+        self._cost_scale = max(max(e.cost_usd for e in estimates), 1e-9)
+        self._time_scale = max(max(e.time_seconds for e in estimates), 1e-9)
+        return min(estimates, key=self.sort_key)
+
+    def sort_key(self, estimate: "PlanEstimate") -> Tuple:
+        score = (
+            self.cost_weight * estimate.cost_usd / self._cost_scale
+            + self.time_weight * estimate.time_seconds / self._time_scale
+            - self.quality_weight * estimate.quality
+        )
+        return (score, estimate.cost_usd)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(cost={self.cost_weight}, time={self.time_weight}, "
+            f"quality={self.quality_weight})"
+        )
+
+
+def parse_policy(value) -> Policy:
+    """Parse a policy from a name string (used by the chat tools)."""
+    if isinstance(value, Policy):
+        return value
+    needle = str(value).strip().lower().replace("_", "-")
+    table = {
+        "max-quality": MaxQuality,
+        "maxquality": MaxQuality,
+        "quality": MaxQuality,
+        "min-cost": MinCost,
+        "mincost": MinCost,
+        "cost": MinCost,
+        "min-time": MinTime,
+        "mintime": MinTime,
+        "time": MinTime,
+        "runtime": MinTime,
+        "min-runtime": MinTime,
+    }
+    try:
+        return table[needle]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {value!r}; expected one of {sorted(table)}"
+        ) from None

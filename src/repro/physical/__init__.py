@@ -1,0 +1,68 @@
+"""Physical operators: executable implementations of logical operators.
+
+"For each logical operator, multiple equivalent physical implementations may
+be available.  For instance, a filter operation might be performed via
+different LLM models, each representing a distinct physical method." (§2.1)
+
+Every semantic logical operator maps to a *family* of physical operators —
+one per registered model, times prompt strategies (bonded vs conventional
+extraction, token-reduced context, synthesized-code extraction, embedding
+pre-filtering) — giving the optimizer a genuine search space with
+cost/latency/quality trade-offs.
+"""
+
+from repro.physical.context import ExecutionContext
+from repro.physical.base import (
+    PhysicalOperator,
+    BlockingPhysicalOperator,
+    OperatorCostEstimates,
+    StreamEstimate,
+)
+from repro.physical.scan import MarshalAndScan
+from repro.physical.filters import NonLLMFilter, LLMFilter, EmbeddingFilter
+from repro.physical.converts import (
+    NonLLMConvert,
+    LLMConvertBonded,
+    LLMConvertConventional,
+    TokenReducedConvert,
+    CodeSynthesisConvert,
+)
+from repro.physical.aggregates import AggregateOp, GroupByOp
+from repro.physical.structural import ProjectOp, LimitOp
+from repro.physical.retrieve import RetrieveOp
+from repro.physical.joins import (
+    NestedLoopUDFJoin,
+    LLMSemanticJoin,
+    EmbeddingBlockedJoin,
+)
+from repro.physical.setops import UnionOp, DistinctOp, SortOp
+from repro.physical.plan import PhysicalPlan
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "BlockingPhysicalOperator",
+    "OperatorCostEstimates",
+    "StreamEstimate",
+    "MarshalAndScan",
+    "NonLLMFilter",
+    "LLMFilter",
+    "EmbeddingFilter",
+    "NonLLMConvert",
+    "LLMConvertBonded",
+    "LLMConvertConventional",
+    "TokenReducedConvert",
+    "CodeSynthesisConvert",
+    "AggregateOp",
+    "GroupByOp",
+    "ProjectOp",
+    "LimitOp",
+    "RetrieveOp",
+    "NestedLoopUDFJoin",
+    "LLMSemanticJoin",
+    "EmbeddingBlockedJoin",
+    "UnionOp",
+    "DistinctOp",
+    "SortOp",
+    "PhysicalPlan",
+]

@@ -1,0 +1,132 @@
+"""Physical aggregation operators (conventional database semantics)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.logical import AggFunc, Aggregate, GroupByAggregate
+from repro.core.records import DataRecord
+from repro.physical.base import (
+    BlockingPhysicalOperator,
+    OperatorCostEstimates,
+    StreamEstimate,
+)
+
+
+def _numeric(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.replace(",", ""))
+        except ValueError:
+            return None
+    return None
+
+
+def _reduce(func: AggFunc, values: List[float], count: int) -> Optional[float]:
+    if func is AggFunc.COUNT:
+        return float(count)
+    if not values:
+        return None
+    if func is AggFunc.AVERAGE:
+        return sum(values) / len(values)
+    if func is AggFunc.SUM:
+        return sum(values)
+    if func is AggFunc.MIN:
+        return min(values)
+    if func is AggFunc.MAX:
+        return max(values)
+    raise ValueError(f"unhandled aggregate function {func}")
+
+
+class AggregateOp(BlockingPhysicalOperator):
+    """Whole-dataset scalar aggregate: one output record."""
+
+    strategy = "Aggregate"
+
+    def __init__(self, logical_op: Aggregate):
+        super().__init__(logical_op)
+        self.agg: Aggregate = logical_op
+        self._count = 0
+        self._values: List[float] = []
+
+    def open(self, context) -> None:
+        super().open(context)
+        self._count = 0
+        self._values = []
+
+    def accumulate(self, record: DataRecord) -> None:
+        self._charge_local_time()
+        self._count += 1
+        if self.agg.field is not None:
+            value = _numeric(record.get(self.agg.field))
+            if value is not None:
+                self._values.append(value)
+
+    def close(self) -> List[DataRecord]:
+        result = _reduce(self.agg.func, self._values, self._count)
+        record = DataRecord(self.agg.output_schema)
+        setattr(record, self.agg.alias, result)
+        return [record]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        return OperatorCostEstimates(
+            cardinality=1.0,
+            time_per_record=0.0005,
+            cost_per_record=0.0,
+            quality=1.0,
+        )
+
+
+class GroupByOp(BlockingPhysicalOperator):
+    """Hash group-by with per-group aggregates."""
+
+    strategy = "GroupBy"
+
+    def __init__(self, logical_op: GroupByAggregate):
+        super().__init__(logical_op)
+        self.groupby: GroupByAggregate = logical_op
+        self._groups: Dict[Tuple, Dict[str, Any]] = {}
+
+    def open(self, context) -> None:
+        super().open(context)
+        self._groups = {}
+
+    def accumulate(self, record: DataRecord) -> None:
+        self._charge_local_time()
+        key = tuple(
+            str(record.get(field)) for field in self.groupby.group_fields
+        )
+        state = self._groups.setdefault(key, {"count": 0, "values": {}})
+        state["count"] += 1
+        for func, agg_field, alias in self.groupby.aggregates:
+            if agg_field is None:
+                continue
+            value = _numeric(record.get(agg_field))
+            if value is not None:
+                state["values"].setdefault(alias, []).append(value)
+
+    def close(self) -> List[DataRecord]:
+        out: List[DataRecord] = []
+        for key, state in sorted(self._groups.items()):
+            record = DataRecord(self.groupby.output_schema)
+            for field_name, value in zip(self.groupby.group_fields, key):
+                setattr(record, field_name, value)
+            for func, agg_field, alias in self.groupby.aggregates:
+                values = state["values"].get(alias, [])
+                setattr(record, alias, _reduce(func, values, state["count"]))
+            out.append(record)
+        return out
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        # Guess ~sqrt(n) distinct groups, a classic heuristic.
+        groups = max(1.0, stream.cardinality ** 0.5)
+        return OperatorCostEstimates(
+            cardinality=groups,
+            time_per_record=0.0005,
+            cost_per_record=0.0,
+            quality=1.0,
+        )

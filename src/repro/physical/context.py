@@ -1,0 +1,56 @@
+"""Execution context: the shared services physical operators run against."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llm.cache import CallCache
+from repro.llm.clock import VirtualClock
+from repro.llm.models import ModelRegistry, default_registry
+from repro.llm.oracle import GroundTruthRegistry, global_oracle
+from repro.llm.usage import UsageLedger
+
+
+class ExecutionContext:
+    """Bundles the clock, ledger, oracle, and model registry for one run.
+
+    Every execution (including optimizer sentinel runs) gets its own context
+    so that sampling costs are accounted separately from the main run.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        clock: Optional[VirtualClock] = None,
+        ledger: Optional[UsageLedger] = None,
+        oracle: Optional[GroundTruthRegistry] = None,
+        models: Optional[ModelRegistry] = None,
+        cache: Optional[CallCache] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.clock = clock or VirtualClock(lanes=max_workers)
+        self.ledger = ledger or UsageLedger()
+        self.oracle = oracle if oracle is not None else global_oracle()
+        self.models = models or default_registry()
+        self.cache = cache
+
+    def child(self) -> "ExecutionContext":
+        """A fresh context sharing oracle/models but with its own meters.
+
+        Used for sentinel (sample) runs whose cost is reported separately.
+        """
+        return ExecutionContext(
+            max_workers=self.max_workers,
+            oracle=self.oracle,
+            models=self.models,
+            cache=self.cache,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(max_workers={self.max_workers}, "
+            f"elapsed={self.clock.elapsed:.2f}s, "
+            f"llm_calls={len(self.ledger)})"
+        )

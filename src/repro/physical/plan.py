@@ -1,0 +1,59 @@
+"""Physical plans: an executable chain of physical operators."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from repro.core.errors import PlanError
+from repro.physical.base import PhysicalOperator
+from repro.physical.scan import MarshalAndScan
+
+
+class PhysicalPlan:
+    """A linear chain of physical operators, scan first."""
+
+    def __init__(self, operators: List[PhysicalOperator]):
+        if not operators:
+            raise PlanError("a physical plan needs at least one operator")
+        if not isinstance(operators[0], MarshalAndScan):
+            raise PlanError("a physical plan must start with MarshalAndScan")
+        self.operators = list(operators)
+
+    @property
+    def scan(self) -> MarshalAndScan:
+        return self.operators[0]  # type: ignore[return-value]
+
+    @property
+    def downstream(self) -> List[PhysicalOperator]:
+        return self.operators[1:]
+
+    @property
+    def plan_id(self) -> str:
+        material = "|".join(op.full_op_id for op in self.operators)
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+    def models_used(self) -> List[str]:
+        return sorted(
+            {op.model.name for op in self.operators if op.model is not None}
+        )
+
+    def describe(self) -> str:
+        return " -> ".join(op.op_label for op in self.operators)
+
+    def explain(self) -> str:
+        """A multi-line EXPLAIN-style rendering."""
+        lines = [f"PhysicalPlan {self.plan_id}:"]
+        for depth, op in enumerate(self.operators):
+            indent = "  " * depth
+            lines.append(f"{indent}{op.op_label}  <- {op.logical_op.describe()}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    def __repr__(self) -> str:
+        return f"PhysicalPlan({self.describe()})"

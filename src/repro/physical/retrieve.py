@@ -1,0 +1,63 @@
+"""Semantic top-k retrieval: embed everything, keep the k nearest."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.logical import RetrieveScan
+from repro.core.records import DataRecord
+from repro.llm.embeddings import EmbeddingModel, cosine_similarity
+from repro.llm.models import ModelCard
+from repro.physical.base import (
+    BlockingPhysicalOperator,
+    OperatorCostEstimates,
+    StreamEstimate,
+)
+from repro.physical.context import ExecutionContext
+
+
+class RetrieveOp(BlockingPhysicalOperator):
+    """Blocking top-k by cosine similarity to the query embedding."""
+
+    strategy = "Retrieve"
+    ESTIMATED_QUALITY = 0.75
+
+    def __init__(self, logical_op: RetrieveScan, model: ModelCard):
+        super().__init__(logical_op, model=model)
+        self.retrieve: RetrieveScan = logical_op
+        self._embedder: Optional[EmbeddingModel] = None
+        self._query_vector = None
+        self._scored: List[Tuple[float, int, DataRecord]] = []
+
+    def open(self, context: ExecutionContext) -> None:
+        super().open(context)
+        self._embedder = EmbeddingModel(
+            model=self.model, clock=context.clock, ledger=context.ledger,
+            cache=context.cache,
+        )
+        self._query_vector = self._embedder.embed(
+            self.retrieve.query, operation="retrieve:query"
+        )
+        self._scored = []
+
+    def accumulate(self, record: DataRecord) -> None:
+        assert self._embedder is not None, "operator not opened"
+        vector = self._embedder.embed(
+            record.document_text(), operation="retrieve:document"
+        )
+        score = cosine_similarity(self._query_vector, vector)
+        # record_id breaks score ties deterministically.
+        self._scored.append((score, record.record_id, record))
+
+    def close(self) -> List[DataRecord]:
+        ranked = sorted(self._scored, key=lambda t: (-t[0], t[1]))
+        return [record for _, _, record in ranked[: self.retrieve.k]]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        tokens = int(stream.avg_document_tokens)
+        return OperatorCostEstimates(
+            cardinality=min(stream.cardinality, float(self.retrieve.k)),
+            time_per_record=self.model.latency_seconds(tokens, 0),
+            cost_per_record=self.model.cost_usd(tokens, 0),
+            quality=self.ESTIMATED_QUALITY,
+        )

@@ -1,0 +1,58 @@
+"""The scan operator: marshal records out of a data source."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.logical import BaseScan
+from repro.core.records import DataRecord
+from repro.core.sources import DataSource
+from repro.physical.base import (
+    LOCAL_OP_SECONDS,
+    OperatorCostEstimates,
+    PhysicalOperator,
+    StreamEstimate,
+)
+
+#: Simulated parse time per 1k document tokens (file IO + text extraction).
+PARSE_SECONDS_PER_1K_TOKENS = 0.05
+
+
+class MarshalAndScan(PhysicalOperator):
+    """Iterate a :class:`DataSource`, charging simulated parse time.
+
+    Unlike the other operators, a scan has no input records; the executor
+    calls :meth:`records` to obtain the stream.
+    """
+
+    strategy = "MarshalAndScan"
+
+    def __init__(self, logical_op: BaseScan, source: DataSource):
+        super().__init__(logical_op)
+        self.source = source
+
+    def records(self) -> Iterator[DataRecord]:
+        from repro.llm.tokenizer import count_tokens
+
+        for record in self.source:
+            tokens = count_tokens(record.document_text())
+            self._charge_local_time(
+                LOCAL_OP_SECONDS + tokens / 1000.0 * PARSE_SECONDS_PER_1K_TOKENS
+            )
+            yield record
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        # Scans are stream heads; process() is identity for executor symmetry.
+        return [record]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        parse_time = (
+            LOCAL_OP_SECONDS
+            + stream.avg_document_tokens / 1000.0 * PARSE_SECONDS_PER_1K_TOKENS
+        )
+        return OperatorCostEstimates(
+            cardinality=stream.cardinality,
+            time_per_record=parse_time,
+            cost_per_record=0.0,
+            quality=1.0,
+        )

@@ -1,0 +1,135 @@
+"""Union, distinct, and sort physical operators."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Set, Tuple
+
+from repro.core.logical_ext import Distinct, Sort, UnionScan
+from repro.core.records import DataRecord
+from repro.physical.base import (
+    BlockingPhysicalOperator,
+    OperatorCostEstimates,
+    PhysicalOperator,
+    StreamEstimate,
+)
+from repro.physical.context import ExecutionContext
+
+
+class UnionOp(PhysicalOperator):
+    """Stream the left side through; append the materialized right side
+    when the stream closes."""
+
+    strategy = "Union"
+
+    def __init__(self, logical_op: UnionScan):
+        super().__init__(logical_op)
+        self.union: UnionScan = logical_op
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        return [record]
+
+    def close(self) -> List[DataRecord]:
+        from repro.physical.joins import _materialize_right
+
+        return _materialize_right(self.union, self.context)
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        try:
+            right_n = float(len(self.union.right_dataset.source))
+        except TypeError:  # pragma: no cover
+            right_n = 10.0
+        return OperatorCostEstimates(
+            cardinality=stream.cardinality + right_n,
+            time_per_record=0.0001,
+            cost_per_record=0.0,
+            quality=1.0,
+        )
+
+
+def _distinct_key(record: DataRecord, fields) -> str:
+    names = fields or record.schema.field_names()
+    return json.dumps(
+        {name: record.get(name) for name in names},
+        default=str, sort_keys=True,
+    )
+
+
+class DistinctOp(PhysicalOperator):
+    """Streaming duplicate elimination by a hash of the key fields."""
+
+    strategy = "Distinct"
+
+    def __init__(self, logical_op: Distinct):
+        super().__init__(logical_op)
+        self.distinct: Distinct = logical_op
+        self._seen: Set[str] = set()
+
+    def open(self, context: ExecutionContext) -> None:
+        super().open(context)
+        self._seen = set()
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        self._charge_local_time(0.0001)
+        key = _distinct_key(record, self.distinct.fields)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        return [record]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        # Assume mild duplication by default.
+        return OperatorCostEstimates(
+            cardinality=stream.cardinality * 0.9,
+            time_per_record=0.0001,
+            cost_per_record=0.0,
+            quality=1.0,
+        )
+
+
+class SortOp(BlockingPhysicalOperator):
+    """Blocking sort by one field (None values last, stable)."""
+
+    strategy = "Sort"
+
+    def __init__(self, logical_op: Sort):
+        super().__init__(logical_op)
+        self.sort: Sort = logical_op
+        self._buffer: List[DataRecord] = []
+
+    def open(self, context: ExecutionContext) -> None:
+        super().open(context)
+        self._buffer = []
+
+    def accumulate(self, record: DataRecord) -> None:
+        self._charge_local_time(0.0001)
+        self._buffer.append(record)
+
+    @staticmethod
+    def _sort_key(value) -> Tuple[int, object]:
+        if value is None:
+            return (2, "")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, value)
+        return (1, str(value))
+
+    def close(self) -> List[DataRecord]:
+        ordered = sorted(
+            self._buffer,
+            key=lambda r: self._sort_key(r.get(self.sort.field)),
+            reverse=self.sort.descending,
+        )
+        if self.sort.descending:
+            # Keep None values last even when descending.
+            non_null = [r for r in ordered if r.get(self.sort.field) is not None]
+            nulls = [r for r in ordered if r.get(self.sort.field) is None]
+            ordered = non_null + nulls
+        return ordered
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        return OperatorCostEstimates(
+            cardinality=stream.cardinality,
+            time_per_record=0.0002,
+            cost_per_record=0.0,
+            quality=1.0,
+        )

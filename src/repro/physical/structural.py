@@ -1,0 +1,73 @@
+"""Projection and limit: streaming structural operators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.logical import LimitScan, Project
+from repro.core.records import DataRecord
+from repro.physical.base import (
+    OperatorCostEstimates,
+    PhysicalOperator,
+    StreamEstimate,
+)
+
+
+class ProjectOp(PhysicalOperator):
+    """Keep only the projected fields (schema narrows)."""
+
+    strategy = "Project"
+
+    def __init__(self, logical_op: Project):
+        super().__init__(logical_op)
+        self.project: Project = logical_op
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        self._charge_local_time(0.0001)
+        values = {name: record.get(name) for name in self.project.fields}
+        return [record.derive(self.project.output_schema, values)]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        return OperatorCostEstimates(
+            cardinality=stream.cardinality,
+            time_per_record=0.0001,
+            cost_per_record=0.0,
+            quality=1.0,
+        )
+
+
+class LimitOp(PhysicalOperator):
+    """Pass through the first ``n`` records, then signal exhaustion.
+
+    The executor checks :attr:`exhausted` to stop pulling upstream early —
+    limits genuinely save LLM calls, as they must for MinCost plans.
+    """
+
+    strategy = "Limit"
+
+    def __init__(self, logical_op: LimitScan):
+        super().__init__(logical_op)
+        self.limit = logical_op.limit
+        self._emitted = 0
+
+    def open(self, context) -> None:
+        super().open(context)
+        self._emitted = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitted >= self.limit
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        if self.exhausted:
+            return []
+        self._emitted += 1
+        return [record]
+
+    def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
+        return OperatorCostEstimates(
+            cardinality=min(stream.cardinality, float(self.limit)),
+            time_per_record=0.0,
+            cost_per_record=0.0,
+            quality=1.0,
+        )

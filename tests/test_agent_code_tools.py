@@ -1,0 +1,153 @@
+"""Templated code tools (the Fig. 2 tool style)."""
+
+import pytest
+
+from repro.agent.code_tools import (
+    CodeTool,
+    code_tool,
+    fig2_create_schema_tool,
+)
+from repro.agent.react import ReActAgent, ScriptedBrain, ToolCall, FinalAnswer
+from repro.agent.tools import ToolError, ToolParameter, ToolRegistry
+
+
+def adder_tool(environment=None):
+    return code_tool(
+        name="add_numbers",
+        summary="Add two numbers with generated code.",
+        template="result = {{ a }} + {{ b }}",
+        parameters=[
+            ToolParameter("a", "int", "first addend"),
+            ToolParameter("b", "int", "second addend", required=False,
+                          default=10),
+        ],
+        environment=environment,
+    )
+
+
+class TestCodeToolBasics:
+    def test_render_injects_repr(self):
+        tool = adder_tool()
+        assert tool.render({"a": 2, "b": 3}) == "result = 2 + 3"
+
+    def test_invoke_executes_template(self):
+        assert adder_tool().invoke({"a": 2, "b": 3}) == 5
+
+    def test_defaults_applied(self):
+        assert adder_tool().invoke({"a": 2}) == 12
+
+    def test_invocation_record_keeps_rendered_source(self):
+        tool = adder_tool()
+        tool.invoke({"a": 1, "b": 1})
+        assert len(tool.invocations) == 1
+        assert tool.invocations[0].rendered_source == "result = 1 + 1"
+        assert tool.invocations[0].result == 2
+
+    def test_template_must_set_result(self):
+        with pytest.raises(ToolError, match="result"):
+            code_tool(
+                name="bad", summary="s", template="x = 1",
+                parameters=[],
+            )
+
+    def test_execution_error_wrapped(self):
+        tool = code_tool(
+            name="boom", summary="s",
+            template="result = 1 / {{ divisor }}",
+            parameters=[ToolParameter("divisor", "int", "d")],
+        )
+        with pytest.raises(ToolError, match="ZeroDivisionError"):
+            tool.invoke({"divisor": 0})
+
+    def test_argument_validation_inherited(self):
+        with pytest.raises(ToolError, match="missing required"):
+            adder_tool().invoke({})
+        with pytest.raises(ToolError, match="unexpected"):
+            adder_tool().invoke({"a": 1, "z": 2})
+
+    def test_free_variable_from_environment(self):
+        env = {"base": 100}
+        tool = code_tool(
+            name="offset", summary="s",
+            template="result = base + {{ x }}",
+            parameters=[ToolParameter("x", "int", "x")],
+            environment=env,
+        )
+        assert tool.invoke({"x": 5}) == 105
+
+    def test_missing_free_variable_reported(self):
+        tool = code_tool(
+            name="broken", summary="s",
+            template="result = unknown_thing + {{ x }}",
+            parameters=[ToolParameter("x", "int", "x")],
+        )
+        with pytest.raises(ToolError, match="unknown_thing"):
+            tool.invoke({"x": 1})
+
+    def test_shared_environment_persists_across_calls(self):
+        env = {}
+        tool = code_tool(
+            name="counter", summary="s",
+            template=(
+                "count = count + 1 if 'count' in dir() else 1\n"
+                "result = count"
+            ),
+            parameters=[],
+            environment=env,
+        )
+        assert tool.invoke({}) == 1
+        assert tool.invoke({}) == 2  # the notebook-kernel behaviour
+
+
+class TestFig2Tool:
+    def test_creates_schema_like_fig2(self):
+        tool = fig2_create_schema_tool()
+        schema = tool.invoke({
+            "schema_name": "Author",
+            "schema_description": "Author information from a paper.",
+            "field_names": ["name", "email", "affiliation"],
+            "field_descriptions": [
+                "The author's name", "The e-mail", "The affiliation",
+            ],
+        })
+        assert schema.schema_name() == "Author"
+        assert schema.field_names() == ["name", "email", "affiliation"]
+        assert schema.field_desc("email") == "The e-mail"
+
+    def test_rendered_source_is_runnable_python(self):
+        tool = fig2_create_schema_tool()
+        tool.invoke({
+            "schema_name": "X",
+            "schema_description": "d",
+            "field_names": ["a"],
+            "field_descriptions": ["da"],
+        })
+        source = tool.invocations[0].rendered_source
+        compile(source, "<fig2>", "exec")
+        assert "pz.make_schema" in source
+        assert "class_name = 'X'" in source
+
+    def test_invalid_field_names_surface_as_tool_errors(self):
+        tool = fig2_create_schema_tool()
+        with pytest.raises(ToolError, match="SchemaError"):
+            tool.invoke({
+                "schema_name": "X",
+                "schema_description": "d",
+                "field_names": ["has space"],
+                "field_descriptions": ["d"],
+            })
+
+
+class TestCodeToolsInReActLoop:
+    def test_agent_drives_code_tool(self):
+        registry = ToolRegistry([adder_tool()])
+        brain = ScriptedBrain([
+            ToolCall("compute", "add_numbers", {"a": 20, "b": 22}),
+            FinalAnswer("done", "computed"),
+        ])
+        result = ReActAgent(registry, brain).run("add 20 and 22")
+        observations = [
+            s.content for s in result.trace.steps
+            if s.kind == "observation"
+        ]
+        assert observations == ["42"]

@@ -1,0 +1,175 @@
+"""The ReAct loop: decisions, observations, metering, failure modes."""
+
+import pytest
+
+from repro.agent.react import (
+    AgentStep,
+    Brain,
+    FinalAnswer,
+    ReActAgent,
+    ScriptedBrain,
+    ToolCall,
+)
+from repro.agent.tools import AgentRef, ToolRegistry, tool
+from repro.llm.clock import VirtualClock
+from repro.llm.models import get_model
+from repro.llm.usage import UsageLedger
+
+
+@tool()
+def echo(text: str) -> str:
+    """Echo the provided text back.
+
+    Args:
+        text: what to echo
+    """
+    return f"echo: {text}"
+
+
+@tool()
+def fail(reason: str) -> str:
+    """Always raises an error (for testing).
+
+    Args:
+        reason: the failure message
+    """
+    raise RuntimeError(reason)
+
+
+@pytest.fixture()
+def registry():
+    return ToolRegistry([echo, fail])
+
+
+class TestLoop:
+    def test_tool_then_final(self, registry):
+        brain = ScriptedBrain([
+            ToolCall(thought="echo it", tool_name="echo",
+                     arguments={"text": "hi"}),
+            FinalAnswer(thought="done", answer="finished"),
+        ])
+        agent = ReActAgent(registry, brain)
+        result = agent.run("say hi")
+        assert result.succeeded
+        assert result.answer == "finished"
+        assert result.trace.tool_sequence() == ["echo"]
+        observations = [
+            s for s in result.trace.steps if s.kind == "observation"
+        ]
+        assert observations[0].content == "echo: hi"
+
+    def test_chained_tool_calls(self, registry):
+        brain = ScriptedBrain([
+            ToolCall("1", "echo", {"text": "a"}),
+            ToolCall("2", "echo", {"text": "b"}),
+            FinalAnswer("done", "ok"),
+        ])
+        result = ReActAgent(registry, brain).run("go")
+        assert result.trace.tool_sequence() == ["echo", "echo"]
+        assert result.steps_used == 3
+
+    def test_tool_exception_becomes_observation(self, registry):
+        brain = ScriptedBrain([
+            ToolCall("will fail", "fail", {"reason": "boom"}),
+            FinalAnswer("recovered", "handled"),
+        ])
+        result = ReActAgent(registry, brain).run("go")
+        assert result.succeeded
+        errors = [s for s in result.trace.steps if s.kind == "error"]
+        assert "boom" in errors[0].content
+
+    def test_unknown_tool_becomes_error_observation(self, registry):
+        brain = ScriptedBrain([
+            ToolCall("bad", "nonexistent", {}),
+            FinalAnswer("ok", "done"),
+        ])
+        result = ReActAgent(registry, brain).run("go")
+        errors = [s for s in result.trace.steps if s.kind == "error"]
+        assert "unknown tool" in errors[0].content
+
+    def test_max_steps_cap(self, registry):
+        brain = ScriptedBrain(
+            [ToolCall("again", "echo", {"text": "x"})] * 50
+        )
+        agent = ReActAgent(registry, brain, max_steps=3)
+        result = agent.run("loop forever")
+        assert not result.succeeded
+        assert result.steps_used == 3
+
+    def test_invalid_max_steps(self, registry):
+        with pytest.raises(ValueError):
+            ReActAgent(registry, ScriptedBrain([]), max_steps=0)
+
+    def test_script_exhaustion_gives_final_answer(self, registry):
+        result = ReActAgent(registry, ScriptedBrain([])).run("hello")
+        assert result.succeeded
+
+    def test_state_passed_to_brain(self, registry):
+        class StateBrain(Brain):
+            def decide(self, context):
+                context.state["touched"] = True
+                return FinalAnswer("done", "ok")
+
+        state = {}
+        ReActAgent(registry, StateBrain()).run("go", state=state)
+        assert state["touched"]
+
+    def test_last_observation_visible_to_brain(self, registry):
+        seen = []
+
+        class ObservingBrain(Brain):
+            def __init__(self):
+                self.step = 0
+
+            def decide(self, context):
+                seen.append(context.last_observation)
+                self.step += 1
+                if self.step == 1:
+                    return ToolCall("t", "echo", {"text": "ping"})
+                return FinalAnswer("t", "ok")
+
+        ReActAgent(registry, ObservingBrain()).run("go")
+        assert seen == [None, "echo: ping"]
+
+
+class TestMetering:
+    def test_reasoning_calls_metered(self, registry):
+        ledger = UsageLedger()
+        clock = VirtualClock()
+        brain = ScriptedBrain([
+            ToolCall("1", "echo", {"text": "a"}),
+            FinalAnswer("2", "ok"),
+        ])
+        agent = ReActAgent(
+            registry, brain, model=get_model("gpt-4o"),
+            clock=clock, ledger=ledger,
+        )
+        agent.run("go")
+        # One metered reasoning call per loop iteration (2 decisions).
+        assert len(ledger) == 2
+        assert ledger.total().cost_usd > 0
+        assert clock.elapsed > 0
+
+    def test_non_reasoning_model_rejected(self, registry):
+        with pytest.raises(ValueError, match="reasoning"):
+            ReActAgent(
+                registry, ScriptedBrain([]), model=get_model("llama-3-8b")
+            )
+
+    def test_unmetered_agent_works(self, registry):
+        result = ReActAgent(registry, ScriptedBrain([])).run("go")
+        assert result.succeeded
+
+
+class TestTrace:
+    def test_scratchpad_renders_all_kinds(self, registry):
+        brain = ScriptedBrain([
+            ToolCall("think", "echo", {"text": "x"}),
+            FinalAnswer("conclude", "the answer"),
+        ])
+        result = ReActAgent(registry, brain).run("go")
+        pad = result.trace.scratchpad()
+        assert "Thought: think" in pad
+        assert "Action: echo" in pad
+        assert "Observation: echo: x" in pad
+        assert "Final Answer: the answer" in pad

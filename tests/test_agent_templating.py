@@ -1,0 +1,88 @@
+"""The {{variable}} template engine."""
+
+import pytest
+
+from repro.agent.templating import (
+    TemplateError,
+    render_template,
+    template_variables,
+)
+
+
+class TestRender:
+    def test_simple_substitution(self):
+        assert render_template("hi {{ name }}", {"name": "Ada"}) == "hi Ada"
+
+    def test_no_spaces_inside_braces(self):
+        assert render_template("{{x}}", {"x": 1}) == "1"
+
+    def test_multiple_placeholders(self):
+        result = render_template(
+            "{{ a }} and {{ b }} and {{ a }}", {"a": 1, "b": 2}
+        )
+        assert result == "1 and 2 and 1"
+
+    def test_dotted_attribute_access(self):
+        class Obj:
+            value = 42
+
+        assert render_template("{{ o.value }}", {"o": Obj()}) == "42"
+
+    def test_dotted_dict_access(self):
+        assert render_template(
+            "{{ d.key }}", {"d": {"key": "v"}}
+        ) == "v"
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(TemplateError, match="not defined"):
+            render_template("{{ missing }}", {})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(TemplateError, match="cannot resolve"):
+            render_template("{{ d.nope }}", {"d": {}})
+
+    def test_no_placeholders_passthrough(self):
+        assert render_template("plain text", {}) == "plain text"
+
+    def test_fig2_style_code_template(self):
+        # The paper's Fig. 2 injects lists into generated code.
+        template = (
+            'class_name = "{{ schema_name }}"\n'
+            "for idx, field in enumerate({{ field_names | repr }}):\n"
+            "    desc = {{ field_descriptions | repr }}[idx]"
+        )
+        rendered = render_template(template, {
+            "schema_name": "Author",
+            "field_names": ["name", "email"],
+            "field_descriptions": ["the name", "the email"],
+        })
+        assert 'class_name = "Author"' in rendered
+        assert "['name', 'email']" in rendered
+
+
+class TestFilters:
+    def test_repr_filter(self):
+        assert render_template("{{ x | repr }}", {"x": "a"}) == "'a'"
+
+    def test_json_filter(self):
+        assert render_template(
+            "{{ x | json }}", {"x": {"k": 1}}
+        ) == '{"k": 1}'
+
+    def test_upper_lower(self):
+        assert render_template("{{ x | upper }}", {"x": "ab"}) == "AB"
+        assert render_template("{{ x | lower }}", {"x": "AB"}) == "ab"
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(TemplateError, match="unknown template filter"):
+            render_template("{{ x | nope }}", {"x": 1})
+
+
+class TestTemplateVariables:
+    def test_roots_listed_in_order(self):
+        assert template_variables(
+            "{{ b }} {{ a.x }} {{ b | repr }}"
+        ) == ["b", "a"]
+
+    def test_empty_template(self):
+        assert template_variables("no vars") == []

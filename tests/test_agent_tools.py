@@ -1,0 +1,149 @@
+"""The @tool decorator, spec parsing, and the registry."""
+
+import pytest
+
+from repro.agent.tools import (
+    AgentRef,
+    Tool,
+    ToolError,
+    ToolRegistry,
+    tool,
+)
+
+
+@tool()
+def add(a: int, b: int = 0) -> int:
+    """Add two integers together.
+
+    Args:
+        a: the first addend
+        b: the second addend (optional)
+
+    Returns:
+        the sum
+
+    Examples:
+        add(a=1, b=2)
+    """
+    return a + b
+
+
+@tool(name="renamed")
+def original_name() -> str:
+    """A tool registered under a different name."""
+    return "ok"
+
+
+@tool()
+def needs_agent(x: int, agent: AgentRef = None) -> str:
+    """Use the running agent.
+
+    Args:
+        x: a number
+    """
+    return f"x={x} agent={'yes' if agent is not None else 'no'}"
+
+
+@tool()
+async def async_tool(value: str) -> str:
+    """An asynchronous tool (the paper's tools are async def).
+
+    Args:
+        value: any string
+    """
+    return value.upper()
+
+
+class TestSpecParsing:
+    def test_summary_from_docstring(self):
+        assert add.spec.summary == "Add two integers together."
+
+    def test_parameters_with_descriptions(self):
+        params = {p.name: p for p in add.spec.parameters}
+        assert params["a"].required
+        assert not params["b"].required
+        assert params["b"].default == 0
+        assert "addend" in params["a"].description
+
+    def test_returns_section(self):
+        assert add.spec.returns == "the sum"
+
+    def test_examples_section(self):
+        assert add.spec.examples == ["add(a=1, b=2)"]
+
+    def test_type_names_captured(self):
+        params = {p.name: p for p in add.spec.parameters}
+        assert params["a"].type_name == "int"
+
+    def test_custom_name(self):
+        assert original_name.spec.name == "renamed"
+
+    def test_agent_ref_hidden_from_spec(self):
+        names = [p.name for p in needs_agent.spec.parameters]
+        assert names == ["x"]
+
+    def test_docstring_required(self):
+        with pytest.raises(ToolError, match="docstring"):
+            @tool()
+            def undocumented(x):
+                pass
+
+    def test_render_block_mentions_params(self):
+        text = add.spec.render()
+        assert "add(" in text
+        assert "a (int)" in text
+
+
+class TestInvocation:
+    def test_basic_invoke(self):
+        assert add.invoke({"a": 2, "b": 3}) == 5
+
+    def test_default_applied(self):
+        assert add.invoke({"a": 2}) == 2
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ToolError, match="missing required"):
+            add.invoke({"b": 1})
+
+    def test_unexpected_argument_rejected(self):
+        with pytest.raises(ToolError, match="unexpected"):
+            add.invoke({"a": 1, "c": 9})
+
+    def test_agent_injected(self):
+        sentinel = object()
+        assert needs_agent.invoke({"x": 1}, agent=sentinel) == "x=1 agent=yes"
+
+    def test_agent_param_not_passable_by_model(self):
+        with pytest.raises(ToolError, match="unexpected"):
+            needs_agent.invoke({"x": 1, "agent": "fake"})
+
+    def test_async_tool_driven_to_completion(self):
+        assert async_tool.invoke({"value": "abc"}) == "ABC"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ToolRegistry([add])
+        assert registry.get("add") is add
+        assert "add" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = ToolRegistry([add])
+        with pytest.raises(ToolError, match="already registered"):
+            registry.register(add)
+
+    def test_unknown_tool_lists_available(self):
+        registry = ToolRegistry([add])
+        with pytest.raises(ToolError, match="add"):
+            registry.get("subtract")
+
+    def test_non_tool_rejected(self):
+        registry = ToolRegistry()
+        with pytest.raises(ToolError, match="forget @tool"):
+            registry.register(lambda: None)
+
+    def test_render_block_sorted(self):
+        registry = ToolRegistry([add, original_name])
+        block = registry.render_block()
+        assert block.index("- add(") < block.index("- renamed(")

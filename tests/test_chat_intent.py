@@ -1,0 +1,248 @@
+"""The deterministic NL -> tool-call planner."""
+
+import pytest
+
+from repro.chat.intent import PalimpChatBrain, plan_requests
+from repro.chat.workspace import PipelineWorkspace
+
+
+@pytest.fixture()
+def workspace():
+    return PipelineWorkspace()
+
+
+def tool_names(message, workspace):
+    return [c.tool_name for c in plan_requests(message, workspace)]
+
+
+class TestLoadIntent:
+    def test_quoted_path(self, workspace):
+        calls = plan_requests('load the files from "./papers"', workspace)
+        assert calls[0].tool_name == "load_dataset"
+        assert calls[0].arguments == {"source": "./papers"}
+
+    def test_path_token(self, workspace):
+        calls = plan_requests("upload data/papers please", workspace)
+        assert calls[0].arguments["source"] == "data/papers"
+
+    def test_registered_dataset_id(self, workspace):
+        from repro.core.sources import MemorySource, register_datasource
+
+        register_datasource(
+            MemorySource(["x"], dataset_id="intent-demo"), overwrite=True
+        )
+        calls = plan_requests(
+            "please load the intent-demo dataset", workspace
+        )
+        assert calls[0].arguments["source"] == "intent-demo"
+
+
+class TestFilterIntent:
+    def test_about_phrasing(self, workspace):
+        calls = plan_requests(
+            "keep only the papers about colorectal cancer", workspace
+        )
+        assert calls[0].tool_name == "filter_dataset"
+        assert (
+            calls[0].arguments["predicate"]
+            == "The documents are about colorectal cancer"
+        )
+
+    def test_that_are_about_phrasing(self, workspace):
+        calls = plan_requests(
+            "I am interested in papers that are about colorectal cancer",
+            workspace,
+        )
+        assert (
+            calls[0].arguments["predicate"]
+            == "The documents are about colorectal cancer"
+        )
+
+    def test_trailing_request_trimmed(self, workspace):
+        calls = plan_requests(
+            "filter for papers about lung cancer, and I would like a report",
+            workspace,
+        )
+        assert calls[0].arguments["predicate"].endswith("lung cancer")
+
+
+class TestExtractIntent:
+    def test_field_list_parsed(self, workspace):
+        calls = plan_requests(
+            "extract the dataset name, description and url for any public "
+            "dataset used by the study",
+            workspace,
+        )
+        assert [c.tool_name for c in calls] == [
+            "create_schema", "convert_dataset"
+        ]
+        schema_args = calls[0].arguments
+        assert schema_args["field_names"] == [
+            "dataset_name", "description", "url"
+        ]
+        assert calls[1].arguments["cardinality"] == "one_to_many"
+
+    def test_default_dataset_fields(self, workspace):
+        calls = plan_requests(
+            "extract whatever public dataset is used by the study",
+            workspace,
+        )
+        assert calls[0].arguments["schema_name"] == "ClinicalData"
+        assert calls[0].arguments["field_names"] == [
+            "name", "description", "url"
+        ]
+
+    def test_singular_extraction_one_to_one(self, workspace):
+        calls = plan_requests(
+            "extract the title from the paper", workspace
+        )
+        assert calls[1].arguments["cardinality"] == "one_to_one"
+
+    def test_explicit_schema_name(self, workspace):
+        calls = plan_requests(
+            "create a schema called Contract and extract the buyer and "
+            "seller",
+            workspace,
+        )
+        schema_calls = [c for c in calls if c.tool_name == "create_schema"]
+        assert any(
+            c.arguments["schema_name"] == "Contract" for c in schema_calls
+        )
+
+
+class TestOtherIntents:
+    @pytest.mark.parametrize("message,target", [
+        ("maximize quality please", "quality"),
+        ("minimize the cost", "cost"),
+        ("optimize for runtime", "runtime"),
+        ("minimise time", "runtime"),
+    ])
+    def test_policy(self, workspace, message, target):
+        calls = plan_requests(message, workspace)
+        assert calls[0].tool_name == "set_optimization_target"
+        assert calls[0].arguments["target"] == target
+
+    def test_execute(self, workspace):
+        assert tool_names("run the pipeline", workspace) == [
+            "execute_pipeline"
+        ]
+
+    def test_stats_question(self, workspace):
+        assert tool_names(
+            "how much did the LLM invocations cost?", workspace
+        ) == ["get_execution_stats"]
+
+    def test_runtime_question(self, workspace):
+        assert "get_execution_stats" in tool_names(
+            "how long did the workload take?", workspace
+        )
+
+    def test_show_records(self, workspace):
+        assert tool_names("show the extracted records", workspace) == [
+            "show_records"
+        ]
+
+    def test_export_code(self, workspace):
+        assert "generate_code" in tool_names(
+            "can I download the notebook?", workspace
+        )
+
+    def test_reset(self, workspace):
+        assert tool_names("reset and start over", workspace) == [
+            "reset_pipeline"
+        ]
+
+    def test_unrecognized_returns_empty(self, workspace):
+        assert plan_requests("hello there!", workspace) == []
+
+
+class TestMultiIntent:
+    def test_fig4_style_request_decomposes(self, workspace):
+        message = (
+            "I am interested in papers that are about colorectal cancer, "
+            "and I would like to extract the dataset name, description and "
+            "url for any public dataset used by the study"
+        )
+        assert tool_names(message, workspace) == [
+            "filter_dataset", "create_schema", "convert_dataset"
+        ]
+
+    def test_policy_and_run_in_one_message(self, workspace):
+        assert tool_names("maximize quality and run the pipeline",
+                          workspace) == [
+            "set_optimization_target", "execute_pipeline"
+        ]
+
+    def test_order_follows_message(self, workspace):
+        names = tool_names(
+            "run the pipeline and then show the results", workspace
+        )
+        assert names == ["execute_pipeline", "show_records"]
+
+
+class TestBrain:
+    def test_brain_replays_plan_then_summarizes(self, workspace):
+        from repro.agent.react import BrainContext, AgentTrace, ToolCall as TC
+
+        brain = PalimpChatBrain(workspace)
+        state = {}
+        trace = AgentTrace()
+        context = BrainContext(
+            user_message="run the pipeline",
+            registry=None, trace=trace, state=state,
+        )
+        first = brain.decide(context)
+        assert isinstance(first, TC)
+        assert first.tool_name == "execute_pipeline"
+        second = brain.decide(context)
+        from repro.agent.react import FinalAnswer
+
+        assert isinstance(second, FinalAnswer)
+
+    def test_brain_helps_on_unrecognized(self, workspace):
+        from repro.agent.react import AgentTrace, BrainContext, FinalAnswer
+
+        brain = PalimpChatBrain(workspace)
+        decision = brain.decide(BrainContext(
+            user_message="what's the weather?",
+            registry=None, trace=AgentTrace(), state={},
+        ))
+        assert isinstance(decision, FinalAnswer)
+        assert "pipeline" in decision.answer.lower() or "load" in (
+            decision.answer.lower()
+        )
+
+
+class TestExplainIntent:
+    def test_explain_plans_recognized(self, workspace):
+        assert tool_names("explain the plans you considered", workspace) == [
+            "explain_plans"
+        ]
+
+    def test_which_plan_phrasing(self, workspace):
+        assert "explain_plans" in tool_names(
+            "which plan will you use?", workspace
+        )
+
+
+class TestLoadWithoutSource:
+    def test_falls_back_to_listing_datasets(self, workspace):
+        calls = plan_requests("load my dataset please", workspace)
+        assert [c.tool_name for c in calls] == ["list_datasets"]
+
+
+class TestParallelismIntent:
+    def test_explicit_worker_count(self, workspace):
+        calls = plan_requests("use 8 workers please", workspace)
+        assert calls[0].tool_name == "set_parallelism"
+        assert calls[0].arguments == {"workers": 8}
+
+    def test_in_parallel_defaults_to_four(self, workspace):
+        calls = plan_requests("run the pipeline in parallel", workspace)
+        names = [c.tool_name for c in calls]
+        assert "set_parallelism" in names
+        assert "execute_pipeline" in names
+        parallel_call = next(
+            c for c in calls if c.tool_name == "set_parallelism"
+        )
+        assert parallel_call.arguments["workers"] == 4

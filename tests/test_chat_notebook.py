@@ -1,0 +1,85 @@
+"""The Beaker-like notebook: cells, snapshots, restore, export."""
+
+import json
+
+import pytest
+
+from repro.chat.notebook import Notebook, NotebookCell
+from repro.chat.workspace import PipelineWorkspace
+from repro.optimizer.policies import MinCost
+
+
+class TestCells:
+    def test_markdown_and_code_cells(self):
+        nb = Notebook()
+        nb.add_markdown("**User:** hello")
+        nb.add_code("print(1)", outputs=["1"])
+        assert len(nb) == 2
+        assert nb.cells[0].kind == "markdown"
+        assert nb.cells[1].outputs == ["1"]
+
+    def test_ipynb_cell_shapes(self):
+        markdown = NotebookCell("markdown", "# title").to_ipynb()
+        assert markdown["cell_type"] == "markdown"
+        code = NotebookCell("code", "x = 1", outputs=["ok"]).to_ipynb()
+        assert code["cell_type"] == "code"
+        assert code["outputs"][0]["output_type"] == "stream"
+
+
+class TestSnapshots:
+    def test_snapshot_and_restore(self):
+        nb = Notebook()
+        ws = PipelineWorkspace()
+        ws.log_step("load", source="a")
+        index_before = nb.snapshot_state(ws)
+
+        ws.log_step("filter", predicate="x")
+        ws.policy = MinCost()
+        nb.snapshot_state(ws)
+
+        nb.restore_state(index_before, ws)
+        assert len(ws.steps) == 1
+        assert ws.policy.name == "max-quality"
+
+    def test_restore_truncates_future_snapshots(self):
+        nb = Notebook()
+        ws = PipelineWorkspace()
+        first = nb.snapshot_state(ws)
+        nb.snapshot_state(ws)
+        nb.snapshot_state(ws)
+        nb.restore_state(first, ws)
+        assert nb.snapshot_count == first + 1
+
+    def test_restore_out_of_range(self):
+        nb = Notebook()
+        with pytest.raises(IndexError):
+            nb.restore_state(0, PipelineWorkspace())
+
+    def test_restore_clears_results(self):
+        nb = Notebook()
+        ws = PipelineWorkspace()
+        index = nb.snapshot_state(ws)
+        ws.last_records = ["sentinel"]
+        nb.restore_state(index, ws)
+        assert ws.last_records is None
+
+
+class TestExport:
+    def test_ipynb_structure(self, tmp_path):
+        nb = Notebook(title="My session")
+        nb.add_markdown("**User:** hi")
+        nb.add_code("x = 1")
+        path = nb.save(tmp_path / "session.ipynb")
+        data = json.loads(path.read_text())
+        assert data["nbformat"] == 4
+        # Header cell + 2 content cells.
+        assert len(data["cells"]) == 3
+        assert data["cells"][0]["source"] == ["# My session"]
+        assert data["metadata"]["palimpchat"]["title"] == "My session"
+
+    def test_multiline_sources_split(self, tmp_path):
+        nb = Notebook()
+        nb.add_code("a = 1\nb = 2\n")
+        data = nb.to_ipynb()
+        code_cell = data["cells"][1]
+        assert code_cell["source"] == ["a = 1\n", "b = 2\n"]

@@ -1,0 +1,160 @@
+"""Chunked (map-reduce) converts for documents exceeding context windows."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.cardinality import Cardinality
+from repro.core.logical import ConvertScan
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.models import ModelCard, ModelRegistry, default_registry
+from repro.llm.tokenizer import count_tokens, split_into_token_chunks
+from repro.optimizer.candidates import candidate_operators
+from repro.physical.context import ExecutionContext
+from repro.physical.converts import ChunkedConvert, LLMConvertBonded
+
+Info = make_schema(
+    "Info", "Extracted info",
+    {"url": "The URL mentioned", "email": "The contact e-mail"},
+)
+
+# A document whose interesting facts live in different "pages".
+LONG_DOC = (
+    "Section one. " + "filler words here " * 120
+    + " The project site is https://deep.example.org/project. "
+    + "more filler text " * 120
+    + " Contact the team at team@example.org for access. "
+    + "closing remarks " * 60
+)
+
+
+def tiny_model(context_window=300, name="tiny-window"):
+    return ModelCard(
+        name=name, provider="test",
+        usd_per_1m_input=1.0, usd_per_1m_output=2.0,
+        quality=1.0, context_window=context_window,
+    )
+
+
+class TestSplitIntoChunks:
+    def test_chunks_respect_budget(self):
+        chunks = split_into_token_chunks(LONG_DOC, 100)
+        assert all(count_tokens(c) <= 100 for c in chunks)
+
+    def test_concatenation_covers_text(self):
+        chunks = split_into_token_chunks(LONG_DOC, 100)
+        assert "".join(chunks) == LONG_DOC
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            split_into_token_chunks("x", 0)
+
+    def test_short_text_single_chunk(self):
+        assert split_into_token_chunks("short", 100) == ["short"]
+
+
+class TestChunkedConvertRuntime:
+    def test_merges_fields_across_chunks(self):
+        logical = ConvertScan(TextFile, Info)
+        op = ChunkedConvert(logical, tiny_model(), chunk_tokens=120)
+        op.open(ExecutionContext())
+        record = DataRecord.from_dict(
+            TextFile, {"text_contents": LONG_DOC}
+        )
+        outputs = op.process(record)
+        assert len(outputs) == 1
+        assert outputs[0].url == "https://deep.example.org/project"
+        assert outputs[0].email == "team@example.org"
+
+    def test_multiple_calls_metered(self):
+        logical = ConvertScan(TextFile, Info)
+        context = ExecutionContext()
+        op = ChunkedConvert(logical, tiny_model(), chunk_tokens=120)
+        op.open(context)
+        op.process(
+            DataRecord.from_dict(TextFile, {"text_contents": LONG_DOC})
+        )
+        assert len(context.ledger) > 1  # several per-chunk calls
+
+    def test_early_stop_when_all_fields_found(self):
+        # Facts early in the document: later chunks are skipped.
+        early_doc = (
+            "Visit https://early.example.org and write to e@x.org. "
+            + "padding " * 400
+        )
+        logical = ConvertScan(TextFile, Info)
+        context = ExecutionContext()
+        op = ChunkedConvert(logical, tiny_model(), chunk_tokens=120)
+        op.open(context)
+        op.process(
+            DataRecord.from_dict(TextFile, {"text_contents": early_doc})
+        )
+        total_chunks = len(split_into_token_chunks(early_doc, 120))
+        assert len(context.ledger) < total_chunks
+
+    def test_estimates_scale_with_chunk_count(self):
+        from repro.physical.base import StreamEstimate
+
+        logical = ConvertScan(TextFile, Info)
+        op = ChunkedConvert(logical, tiny_model(), chunk_tokens=100)
+        short = op.naive_estimates(StreamEstimate(10, 100))
+        long = op.naive_estimates(StreamEstimate(10, 1000))
+        assert long.cost_per_record > short.cost_per_record * 5
+
+
+class TestPlannerGating:
+    def _source_and_convert(self):
+        source = MemorySource(
+            [LONG_DOC, LONG_DOC + " again"],
+            dataset_id="chunk-gate", schema=TextFile,
+        )
+        dataset = pz.Dataset(source).convert(Info)
+        return source, dataset.logical_plan().operators[-1]
+
+    def test_oversized_docs_get_only_chunked_for_small_models(self):
+        source, logical = self._source_and_convert()
+        registry = ModelRegistry(
+            [tiny_model()] + default_registry().embedding_models()
+        )
+        candidates = candidate_operators(logical, registry, source=source)
+        assert [type(c).__name__ for c in candidates] == ["ChunkedConvert"]
+
+    def test_big_window_models_keep_all_strategies(self):
+        source, logical = self._source_and_convert()
+        candidates = candidate_operators(
+            logical, default_registry(), source=source
+        )
+        strategies = {type(c).__name__ for c in candidates}
+        assert "ChunkedConvert" not in strategies
+        assert "LLMConvertBonded" in strategies
+
+    def test_end_to_end_with_tiny_model(self):
+        source, _ = self._source_and_convert()
+        registry = ModelRegistry(
+            [tiny_model()] + default_registry().embedding_models()
+        )
+        dataset = pz.Dataset(source).convert(Info)
+        records, stats = pz.Execute(
+            dataset, policy=pz.MaxQuality(), models=registry
+        )
+        assert len(records) == 2
+        assert all(r.url for r in records)
+        assert "ChunkedConvert" in stats.plan_stats.plan_describe
+
+    def test_oversized_filter_truncates_context(self):
+        source = MemorySource(
+            [LONG_DOC], dataset_id="chunk-filter", schema=TextFile
+        )
+        dataset = pz.Dataset(source).filter("about the project")
+        logical = dataset.logical_plan().operators[-1]
+        registry = ModelRegistry(
+            [tiny_model()] + default_registry().embedding_models()
+        )
+        candidates = candidate_operators(logical, registry, source=source)
+        llm_filters = [
+            c for c in candidates if type(c).__name__ == "LLMFilter"
+        ]
+        assert llm_filters
+        assert llm_filters[0].context_fraction < 1.0

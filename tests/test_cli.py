@@ -1,0 +1,168 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestModels:
+    def test_lists_all_cards(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-4o" in out
+        assert "llama-3-70b" in out
+        assert "text-embedding-3-small" in out
+
+
+class TestRun:
+    def test_filter_and_extract_over_folder(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text(
+            "Memo about colorectal cancer. See https://a.example.org."
+        )
+        (tmp_path / "b.txt").write_text("Memo about gardening.")
+        code = main([
+            "run", "--source", str(tmp_path),
+            "--filter", "about colorectal cancer",
+            "--extract", "url",
+            "--policy", "quality",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Execution summary" in out
+        json_lines = [
+            line for line in out.splitlines() if line.startswith("{")
+        ]
+        assert len(json_lines) == 1
+        assert json.loads(json_lines[0])["url"] == "https://a.example.org"
+
+    def test_empty_extract_list_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("x")
+        code = main([
+            "run", "--source", str(tmp_path), "--extract", " , ",
+        ])
+        assert code == 2
+
+    def test_run_with_limit(self, tmp_path, capsys):
+        for i in range(5):
+            (tmp_path / f"{i}.txt").write_text(f"note {i}")
+        code = main([
+            "run", "--source", str(tmp_path), "--limit", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count('"filename"') == 2
+
+
+class TestDemo:
+    def test_sci_scenario(self, tmp_path, capsys):
+        code = main([
+            "demo", "--scenario", "sci",
+            "--data-dir", str(tmp_path / "data"),
+            "--limit", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records produced:  6" in out
+        assert "... and 3 more records" in out
+
+    def test_realestate_scenario(self, tmp_path, capsys):
+        code = main([
+            "demo", "--scenario", "realestate",
+            "--data-dir", str(tmp_path / "data"),
+            "--policy", "cost",
+        ])
+        assert code == 0
+        assert "Execution summary" in capsys.readouterr().out
+
+
+class TestChat:
+    def test_repl_session(self, tmp_path, capsys, monkeypatch):
+        lines = iter([
+            "Load the papers from the sigmod-demo dataset",
+            "exit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main([
+            "chat", "--data-dir", str(tmp_path / "data"),
+            "--export", str(tmp_path / "session.ipynb"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "11 records" in out
+        assert (tmp_path / "session.ipynb").exists()
+
+    def test_repl_handles_eof(self, tmp_path, monkeypatch, capsys):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["chat", "--data-dir", str(tmp_path / "d")]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestExplain:
+    def test_explain_prints_frontier_without_executing(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "a.txt").write_text("note about colorectal cancer")
+        code = main([
+            "run", "--source", str(tmp_path),
+            "--filter", "about colorectal cancer",
+            "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plans enumerated" in out
+        assert "pareto frontier" in out
+        assert "chosen:" in out
+        assert "Execution summary" not in out
+
+
+class TestEngineExplain:
+    def test_chosen_plan_marked(self, tmp_path):
+        import repro as pz
+
+        (tmp_path / "a.txt").write_text("doc about colorectal cancer")
+        dataset = pz.Dataset(source=str(tmp_path)).filter(
+            "about colorectal cancer"
+        )
+        text = pz.ExecutionEngine(policy="cost").explain(dataset)
+        marked = [l for l in text.splitlines() if " *" in l]
+        assert len(marked) == 1
+
+
+class TestDemoLegal:
+    def test_legal_scenario(self, tmp_path, capsys):
+        code = main([
+            "demo", "--scenario", "legal",
+            "--data-dir", str(tmp_path / "data"),
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Execution summary" in out
+        assert "Harbor Holdings" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "models"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "gpt-4o" in result.stdout

@@ -1,0 +1,146 @@
+"""The fluent Dataset API."""
+
+import pytest
+
+from repro.core.builtin_schemas import PDFFile, TextFile
+from repro.core.cardinality import Cardinality
+from repro.core.dataset import Dataset
+from repro.core.errors import DatasetError
+from repro.core.logical import (
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    Project,
+    RetrieveScan,
+)
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource, register_datasource
+
+Clinical = make_schema("Clinical", "d", {"name": "n", "url": "u"})
+
+
+@pytest.fixture()
+def memory_dataset():
+    return Dataset(["alpha doc", "beta doc"], schema=TextFile)
+
+
+class TestConstruction:
+    def test_from_list(self, memory_dataset):
+        assert memory_dataset.schema is TextFile
+        assert len(memory_dataset.source) == 2
+
+    def test_from_registered_id(self):
+        register_datasource(
+            MemorySource(["x"], dataset_id="reg-test"), overwrite=True
+        )
+        dataset = Dataset(source="reg-test")
+        assert dataset.source.dataset_id == "reg-test"
+
+    def test_from_directory_path_string(self, tmp_path):
+        (tmp_path / "a.txt").write_text("hello")
+        dataset = Dataset(source=str(tmp_path))
+        assert dataset.schema is TextFile
+
+    def test_from_file_path(self, tmp_path):
+        path = tmp_path / "one.txt"
+        path.write_text("x")
+        dataset = Dataset(source=path)
+        assert len(dataset.source) == 1
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(DatasetError):
+            Dataset(source="definitely-not-registered")
+
+    def test_missing_path_raises(self, tmp_path):
+        from pathlib import Path
+
+        with pytest.raises(DatasetError):
+            Dataset(source=Path(tmp_path / "missing"))
+
+    def test_no_source_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset()
+
+
+class TestChaining:
+    def test_filter_string_builds_semantic_op(self, memory_dataset):
+        plan = memory_dataset.filter("about alpha").logical_plan()
+        assert isinstance(plan.operators[1], FilteredScan)
+        assert plan.operators[1].spec.is_semantic
+
+    def test_filter_callable_builds_udf_op(self, memory_dataset):
+        plan = memory_dataset.filter(lambda r: True).logical_plan()
+        assert not plan.operators[1].spec.is_semantic
+
+    def test_convert(self, memory_dataset):
+        ds = memory_dataset.convert(Clinical, cardinality="one_to_many")
+        op = ds.logical_plan().operators[1]
+        assert isinstance(op, ConvertScan)
+        assert op.cardinality is Cardinality.ONE_TO_MANY
+        assert ds.schema is Clinical
+
+    def test_chaining_is_immutable(self, memory_dataset):
+        filtered = memory_dataset.filter("x")
+        assert len(memory_dataset.logical_plan()) == 1
+        assert len(filtered.logical_plan()) == 2
+
+    def test_branching(self, memory_dataset):
+        base = memory_dataset.filter("x")
+        a = base.limit(1)
+        b = base.convert(Clinical)
+        assert len(a.logical_plan()) == 3
+        assert len(b.logical_plan()) == 3
+
+    def test_project(self, memory_dataset):
+        ds = memory_dataset.project(["filename"])
+        assert isinstance(ds.logical_plan().operators[1], Project)
+        assert ds.schema.field_names() == ["filename"]
+
+    def test_limit(self, memory_dataset):
+        op = memory_dataset.limit(5).logical_plan().operators[1]
+        assert isinstance(op, LimitScan)
+        assert op.limit == 5
+
+    def test_retrieve(self, memory_dataset):
+        op = memory_dataset.retrieve("alpha things", k=1)
+        assert isinstance(op.logical_plan().operators[1], RetrieveScan)
+
+    def test_aggregates(self, memory_dataset):
+        assert isinstance(
+            memory_dataset.count().logical_plan().operators[1], Aggregate
+        )
+        converted = memory_dataset.convert(
+            make_schema("N", "d", {"price": "p"})
+        )
+        for method in ("average", "sum", "min", "max"):
+            op = getattr(converted, method)("price").logical_plan().operators[-1]
+            assert isinstance(op, Aggregate)
+
+    def test_groupby(self, memory_dataset):
+        converted = memory_dataset.convert(
+            make_schema("C", "d", {"city": "c", "price": "p"})
+        )
+        ds = converted.groupby(["city"], [("count", None), ("avg", "price")])
+        assert isinstance(ds.logical_plan().operators[-1], GroupByAggregate)
+
+    def test_source_traverses_chain(self, memory_dataset):
+        deep = memory_dataset.filter("x").limit(2).convert(Clinical)
+        assert deep.source is memory_dataset.source
+
+    def test_logical_plan_order(self, memory_dataset):
+        plan = memory_dataset.filter("x").limit(1).logical_plan()
+        kinds = [type(op).__name__ for op in plan]
+        assert kinds == ["BaseScan", "FilteredScan", "LimitScan"]
+
+    def test_repr_shows_plan(self, memory_dataset):
+        assert "scan" in repr(memory_dataset.filter("x"))
+
+
+class TestRun:
+    def test_run_executes(self, memory_dataset):
+        records, stats = memory_dataset.limit(1).run()
+        assert len(records) == 1
+        assert stats.total_time_seconds >= 0

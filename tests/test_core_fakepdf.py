@@ -1,0 +1,88 @@
+"""The fake-PDF container: round-tripping and error handling."""
+
+import pytest
+
+from repro.core.fakepdf import (
+    FakePDFError,
+    is_fake_pdf,
+    paginate,
+    parse_fake_pdf,
+    write_fake_pdf,
+)
+
+
+class TestRoundTrip:
+    def test_text_roundtrips(self):
+        text = "Hello PDF world. " * 30
+        document = parse_fake_pdf(write_fake_pdf(text))
+        assert document.text.split() == text.split()
+
+    def test_metadata_roundtrips(self):
+        data = write_fake_pdf("body", {"title": "T", "index": "3"})
+        document = parse_fake_pdf(data)
+        assert document.metadata == {"title": "T", "index": "3"}
+
+    def test_unicode_content(self):
+        text = "Résumé — naïve façade ✓"
+        document = parse_fake_pdf(write_fake_pdf(text))
+        assert document.text == text
+
+    def test_pagination_by_words(self):
+        text = "word " * 1000
+        document = parse_fake_pdf(write_fake_pdf(text, words_per_page=100))
+        assert document.page_count == 10
+
+    def test_empty_text(self):
+        document = parse_fake_pdf(write_fake_pdf(""))
+        assert document.text == ""
+        assert document.page_count == 1
+
+    def test_bytes_are_not_plaintext(self):
+        # The text stream must actually be encoded (rot13+hex).
+        data = write_fake_pdf("findme secret phrase")
+        assert b"findme" not in data
+
+
+class TestPaginate:
+    def test_short_text_single_page(self):
+        assert len(paginate("a b c", words_per_page=100)) == 1
+
+    def test_exact_boundary(self):
+        assert len(paginate("w " * 200, words_per_page=100)) >= 2
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(FakePDFError, match="header"):
+            parse_fake_pdf(b"%PDF-1.7 real pdf")
+
+    def test_truncated_document(self):
+        data = write_fake_pdf("some text")
+        truncated = data.rsplit(b"%%EOF", 1)[0]
+        with pytest.raises(FakePDFError, match="EOF"):
+            parse_fake_pdf(truncated)
+
+    def test_corrupt_stream(self):
+        data = write_fake_pdf("some text").decode()
+        lines = data.splitlines()
+        # Replace the first stream line with invalid hex.
+        for index, line in enumerate(lines):
+            if line.startswith("%%PAGE"):
+                lines[index + 1] = "zz-not-hex"
+                break
+        with pytest.raises(FakePDFError, match="stream"):
+            parse_fake_pdf("\n".join(lines).encode())
+
+    def test_corrupt_metadata(self):
+        data = write_fake_pdf("x").decode()
+        data = data.replace("%%META {}", "%%META {not json")
+        with pytest.raises(FakePDFError, match="metadata"):
+            parse_fake_pdf(data.encode())
+
+    def test_non_utf8_bytes(self):
+        with pytest.raises(FakePDFError):
+            parse_fake_pdf(b"%FPDF-1.0\n\xff\xfe\x00")
+
+    def test_is_fake_pdf(self):
+        assert is_fake_pdf(write_fake_pdf("x"))
+        assert not is_fake_pdf(b"%PDF-1.7")

@@ -1,0 +1,115 @@
+"""Field types: coercion, validation, equality."""
+
+import pytest
+
+from repro.core.fields import (
+    BooleanField,
+    BytesField,
+    Field,
+    ListField,
+    NumericField,
+    StringField,
+    UrlField,
+)
+
+
+class TestBaseField:
+    def test_set_name_binding(self):
+        class Holder:
+            x = Field(desc="a value")
+
+        assert Holder.x.name == "x"
+
+    def test_required_validation(self):
+        field = Field(desc="d", required=True)
+        assert not field.validate(None)
+        assert Field(desc="d").validate(None)
+
+    def test_spec_dict(self):
+        field = StringField(desc="hello", required=True)
+        field.name = "greeting"
+        spec = field.spec()
+        assert spec == {
+            "name": "greeting",
+            "type": "string",
+            "desc": "hello",
+            "required": True,
+        }
+
+    def test_equality_by_shape(self):
+        a, b = StringField(desc="x"), StringField(desc="x")
+        a.name = b.name = "f"
+        assert a == b
+        c = StringField(desc="y")
+        c.name = "f"
+        assert a != c
+
+    def test_different_types_not_equal(self):
+        a, b = StringField(desc="x"), NumericField(desc="x")
+        a.name = b.name = "f"
+        assert a != b
+
+
+class TestStringField:
+    def test_coerce_passthrough(self):
+        assert StringField().coerce("abc") == "abc"
+        assert StringField().coerce(None) is None
+
+    def test_coerce_converts_numbers(self):
+        assert StringField().coerce(42) == "42"
+
+
+class TestNumericField:
+    def test_coerce_string_int(self):
+        assert NumericField().coerce("42") == 42
+
+    def test_coerce_string_float(self):
+        assert NumericField().coerce("3.14") == pytest.approx(3.14)
+
+    def test_coerce_strips_currency_and_commas(self):
+        assert NumericField().coerce("$1,234") == 1234
+
+    def test_uncoercible_string_passes_through(self):
+        assert NumericField().coerce("not a number") == "not a number"
+
+    def test_validate_rejects_bool(self):
+        assert not NumericField().validate(True)
+        assert NumericField().validate(3)
+
+
+class TestBooleanField:
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("Yes", True), ("1", True),
+        ("false", False), ("NO", False), ("0", False),
+    ])
+    def test_coerce_strings(self, raw, expected):
+        assert BooleanField().coerce(raw) is expected
+
+    def test_coerce_unknown_string_passes_through(self):
+        assert BooleanField().coerce("maybe") == "maybe"
+
+
+class TestListField:
+    def test_wraps_scalars(self):
+        assert ListField().coerce("one") == ["one"]
+
+    def test_element_coercion(self):
+        field = ListField(element_type=NumericField)
+        assert field.coerce(["1", "2.5"]) == [1, 2.5]
+
+    def test_none_passthrough(self):
+        assert ListField().coerce(None) is None
+
+    def test_equality_includes_element_type(self):
+        a = ListField(element_type=NumericField, desc="d")
+        b = ListField(element_type=StringField, desc="d")
+        a.name = b.name = "f"
+        assert a != b
+
+
+class TestUrlField:
+    def test_validates_scheme(self):
+        field = UrlField()
+        assert field.validate("https://example.org")
+        assert not field.validate("ftp://example.org")
+        assert field.validate(None)

@@ -1,0 +1,123 @@
+"""File parsing and extension-based schema dispatch."""
+
+import pytest
+
+from repro.core.builtin_schemas import (
+    CSVFile,
+    Email,
+    File,
+    HTMLFile,
+    PDFFile,
+    TextFile,
+)
+from repro.core.fakepdf import write_fake_pdf
+from repro.core.files import parse_file, schema_for_path
+
+
+class TestSchemaDispatch:
+    @pytest.mark.parametrize("name,expected", [
+        ("a.txt", TextFile),
+        ("a.md", TextFile),
+        ("a.pdf", PDFFile),
+        ("a.html", HTMLFile),
+        ("a.csv", CSVFile),
+        ("a.eml", Email),
+        ("a.unknown", File),
+        ("A.PDF", PDFFile),  # case-insensitive
+    ])
+    def test_extension_mapping(self, name, expected, tmp_path):
+        assert schema_for_path(tmp_path / name) is expected
+
+
+class TestParseText(object):
+    def test_text_file(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        path.write_text("plain body")
+        record = parse_file(path)
+        assert record.schema is TextFile
+        assert record.filename == "doc.txt"
+        assert record.text_contents == "plain body"
+        assert record.contents == b"plain body"
+
+    def test_latin1_fallback(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        path.write_bytes("café".encode("latin-1"))
+        record = parse_file(path)
+        assert "caf" in record.text_contents
+
+
+class TestParsePDF:
+    def test_fake_pdf(self, tmp_path):
+        path = tmp_path / "paper.pdf"
+        path.write_bytes(write_fake_pdf("The study text. " * 100))
+        record = parse_file(path)
+        assert record.schema is PDFFile
+        assert "study text" in record.text_contents
+        assert record.page_count >= 1
+
+    def test_real_pdf_salvage(self, tmp_path):
+        path = tmp_path / "real.pdf"
+        path.write_bytes(
+            b"%PDF-1.4\n1 0 obj\n<</Type /Page>>\n"
+            b"stream\nSome visible sentence here\nendstream\n%%EOF"
+        )
+        record = parse_file(path)
+        assert "Some visible sentence here" in record.text_contents
+
+
+class TestParseHTML:
+    def test_strips_tags_and_extracts_title(self, tmp_path):
+        path = tmp_path / "page.html"
+        path.write_text(
+            "<html><head><title>My Page</title></head>"
+            "<body><p>Hello <b>world</b></p></body></html>"
+        )
+        record = parse_file(path)
+        assert record.title == "My Page"
+        assert "Hello" in record.text_contents
+        assert "<p>" not in record.text_contents
+
+
+class TestParseCSV:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        record = parse_file(path)
+        assert record.header == ["a", "b"]
+        assert record.rows == [["1", "2"], ["3", "4"]]
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        record = parse_file(path)
+        assert record.header == []
+        assert record.rows == []
+
+
+class TestParseEmail:
+    def test_headers_and_body(self, tmp_path):
+        path = tmp_path / "mail.eml"
+        path.write_text(
+            "From: a@x.com\nTo: b@y.com\nSubject: Hi\nDate: Jan 1, 2024\n"
+            "\nThe body text.\n"
+        )
+        record = parse_file(path)
+        assert record.sender == "a@x.com"
+        assert record.recipient == "b@y.com"
+        assert record.subject == "Hi"
+        assert record.body == "The body text."
+
+
+class TestOverrides:
+    def test_schema_override(self, tmp_path):
+        path = tmp_path / "notes.unknownext"
+        path.write_text("text body")
+        record = parse_file(path, schema=TextFile)
+        assert record.schema is TextFile
+        assert record.text_contents == "text body"
+
+    def test_source_id_stamped(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("x")
+        record = parse_file(path, source_id="demo")
+        assert record.source_id == "demo"

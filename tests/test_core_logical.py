@@ -1,0 +1,196 @@
+"""Logical operators and plan validation."""
+
+import pytest
+
+from repro.core.builtin_schemas import PDFFile, TextFile
+from repro.core.cardinality import Cardinality
+from repro.core.errors import PlanError, SchemaError
+from repro.core.logical import (
+    AggFunc,
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilterSpec,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    LogicalPlan,
+    Project,
+    RetrieveScan,
+)
+from repro.core.schemas import make_schema
+
+Clinical = make_schema(
+    "Clinical", "Clinical info", {"name": "n", "url": "u"}
+)
+
+
+class TestFilterSpec:
+    def test_nl_predicate(self):
+        spec = FilterSpec(predicate="about cancer")
+        assert spec.is_semantic
+        assert "about cancer" in spec.describe()
+
+    def test_udf(self):
+        spec = FilterSpec(udf=lambda r: True)
+        assert not spec.is_semantic
+
+    def test_both_rejected(self):
+        with pytest.raises(PlanError):
+            FilterSpec(predicate="x", udf=lambda r: True)
+
+    def test_neither_rejected(self):
+        with pytest.raises(PlanError):
+            FilterSpec()
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(PlanError):
+            FilterSpec(predicate="   ")
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("raw", [
+        "one_to_many", "ONE_TO_MANY", Cardinality.ONE_TO_MANY,
+    ])
+    def test_parse_accepts_variants(self, raw):
+        assert Cardinality.parse(raw) is Cardinality.ONE_TO_MANY
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cardinality.parse("many_to_many")
+
+
+class TestConvertScan:
+    def test_new_fields_computed(self):
+        op = ConvertScan(PDFFile, Clinical)
+        assert set(op.new_fields) == {"name", "url"}
+        assert op.is_semantic
+
+    def test_no_new_fields_rejected(self):
+        Sub = make_schema(
+            "Sub", "d", {"filename": "f"},
+        )
+        with pytest.raises(PlanError, match="no new"):
+            ConvertScan(PDFFile, Sub)
+
+    def test_udf_convert_not_semantic(self):
+        op = ConvertScan(PDFFile, Clinical, udf=lambda r: {"name": "x"})
+        assert not op.is_semantic
+
+    def test_desc_defaults_to_schema_doc(self):
+        op = ConvertScan(PDFFile, Clinical)
+        assert op.desc == "Clinical info"
+
+
+class TestProject:
+    def test_output_schema_subset(self):
+        op = Project(PDFFile, ["filename"])
+        assert op.output_schema.field_names() == ["filename"]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(PDFFile, ["bogus"])
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(PlanError):
+            Project(PDFFile, [])
+
+
+class TestAggregates:
+    def test_count_needs_no_field(self):
+        op = Aggregate(PDFFile, AggFunc.COUNT)
+        assert op.alias == "count"
+        assert op.output_schema.field_names() == ["count"]
+
+    def test_average_needs_field(self):
+        with pytest.raises(PlanError):
+            Aggregate(PDFFile, AggFunc.AVERAGE)
+
+    def test_average_unknown_field(self):
+        with pytest.raises(SchemaError):
+            Aggregate(PDFFile, AggFunc.AVERAGE, "bogus")
+
+    def test_parse_func_aliases(self):
+        assert AggFunc.parse("avg") is AggFunc.AVERAGE
+        assert AggFunc.parse("mean") is AggFunc.AVERAGE
+        assert AggFunc.parse("COUNT") is AggFunc.COUNT
+        with pytest.raises(PlanError):
+            AggFunc.parse("median")
+
+    def test_groupby_output_schema(self):
+        op = GroupByAggregate(
+            Clinical, ["name"], [(AggFunc.COUNT, None)]
+        )
+        assert op.output_schema.field_names() == ["name", "count"]
+
+    def test_groupby_needs_group_fields(self):
+        with pytest.raises(PlanError):
+            GroupByAggregate(Clinical, [], [(AggFunc.COUNT, None)])
+
+    def test_groupby_unknown_field(self):
+        with pytest.raises(SchemaError):
+            GroupByAggregate(Clinical, ["bogus"], [(AggFunc.COUNT, None)])
+
+
+class TestStructural:
+    def test_limit_negative_rejected(self):
+        with pytest.raises(PlanError):
+            LimitScan(PDFFile, -1)
+
+    def test_retrieve_validation(self):
+        with pytest.raises(PlanError):
+            RetrieveScan(PDFFile, "", 3)
+        with pytest.raises(PlanError):
+            RetrieveScan(PDFFile, "query", 0)
+
+
+class TestLogicalPlan:
+    def _plan(self):
+        scan = BaseScan("demo", PDFFile)
+        filt = FilteredScan(PDFFile, FilterSpec(predicate="about cancer"))
+        conv = ConvertScan(PDFFile, Clinical)
+        return LogicalPlan([scan, filt, conv])
+
+    def test_valid_plan(self):
+        plan = self._plan()
+        assert len(plan) == 3
+        assert plan.output_schema is Clinical
+
+    def test_must_start_with_scan(self):
+        with pytest.raises(PlanError):
+            LogicalPlan([FilteredScan(PDFFile, FilterSpec(predicate="x"))])
+
+    def test_scan_only_first(self):
+        scan = BaseScan("demo", PDFFile)
+        with pytest.raises(PlanError):
+            LogicalPlan([scan, BaseScan("demo2", PDFFile)])
+
+    def test_schema_mismatch_detected(self):
+        scan = BaseScan("demo", PDFFile)
+        bad = FilteredScan(TextFile, FilterSpec(predicate="x"))
+        with pytest.raises(PlanError, match="mismatch"):
+            LogicalPlan([scan, bad])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            LogicalPlan([])
+
+    def test_semantic_operators_listed(self):
+        plan = self._plan()
+        semantic = plan.semantic_operators()
+        assert len(semantic) == 2
+
+    def test_udf_ops_not_semantic(self):
+        scan = BaseScan("demo", PDFFile)
+        filt = FilteredScan(PDFFile, FilterSpec(udf=lambda r: True))
+        plan = LogicalPlan([scan, filt])
+        assert plan.semantic_operators() == []
+
+    def test_describe_mentions_all_ops(self):
+        text = self._plan().describe()
+        assert "scan" in text and "filter" in text and "convert" in text
+
+    def test_signatures_stable(self):
+        a = self._plan()
+        b = self._plan()
+        assert [op.signature() for op in a] == [op.signature() for op in b]

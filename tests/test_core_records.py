@@ -1,0 +1,177 @@
+"""DataRecord: attribute proxying, derivation, lineage."""
+
+import pytest
+
+from repro.core.builtin_schemas import PDFFile, TextFile
+from repro.core.errors import SchemaError
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+
+Clinical = make_schema(
+    "Clinical", "Clinical dataset info",
+    {"name": "dataset name", "url": "dataset url"},
+)
+
+
+class TestAttributeAccess:
+    def test_set_and_get(self):
+        record = DataRecord(TextFile)
+        record.filename = "a.txt"
+        assert record.filename == "a.txt"
+
+    def test_unset_field_is_none(self):
+        record = DataRecord(TextFile)
+        assert record.text_contents is None
+
+    def test_unknown_field_read_raises(self):
+        record = DataRecord(TextFile)
+        with pytest.raises(AttributeError):
+            _ = record.nonexistent
+
+    def test_unknown_field_write_raises(self):
+        record = DataRecord(TextFile)
+        with pytest.raises(SchemaError, match="unknown field"):
+            record.nonexistent = 1
+
+    def test_coercion_applied_on_write(self):
+        record = DataRecord(PDFFile)
+        record.page_count = "12"
+        assert record.page_count == 12
+
+    def test_get_with_default(self):
+        record = DataRecord(TextFile)
+        assert record.get("filename", "fallback") == "fallback"
+
+    def test_contains(self):
+        record = DataRecord(TextFile)
+        record.filename = "x"
+        assert "filename" in record
+        assert "text_contents" not in record
+
+
+class TestConstruction:
+    def test_from_dict_ignores_unknown_keys(self):
+        record = DataRecord.from_dict(
+            TextFile, {"filename": "a", "bogus": 1}
+        )
+        assert record.filename == "a"
+
+    def test_record_ids_unique(self):
+        a, b = DataRecord(TextFile), DataRecord(TextFile)
+        assert a.record_id != b.record_id
+
+    def test_source_id_stamped(self):
+        record = DataRecord(TextFile, source_id="demo")
+        assert record.source_id == "demo"
+
+
+class TestDerive:
+    def test_shared_fields_carry_over(self):
+        Schema2 = make_schema(
+            "WithFilename", "d",
+            {"filename": "file", "extra": "extra"},
+        )
+        parent = DataRecord.from_dict(TextFile, {"filename": "a.txt"})
+        child = parent.derive(Schema2, {"extra": "e"})
+        assert child.filename == "a.txt"
+        assert child.extra == "e"
+
+    def test_lineage(self):
+        parent = DataRecord.from_dict(TextFile, {"filename": "a"})
+        child = parent.derive(Clinical, {"name": "n"})
+        grandchild = child.derive(Clinical, {"url": "u"})
+        assert grandchild.parent is child
+        assert grandchild.root() is parent
+
+    def test_derive_coerces_values(self):
+        from repro.core.fields import NumericField
+
+        Numbers = make_schema(
+            "Numbers", "d", {"count": NumericField(desc="count")},
+        )
+        parent = DataRecord(TextFile)
+        child = parent.derive(Numbers, {"count": "7"})
+        assert child.count == 7
+
+    def test_derive_ignores_fields_not_in_target(self):
+        parent = DataRecord(TextFile)
+        child = parent.derive(Clinical, {"name": "x", "bogus": "y"})
+        assert child.name == "x"
+
+
+class TestDocumentText:
+    def test_prefers_text_contents(self):
+        record = DataRecord.from_dict(
+            TextFile, {"filename": "a", "text_contents": "The body."}
+        )
+        assert record.document_text() == "The body."
+
+    def test_falls_back_to_parent(self):
+        parent = DataRecord.from_dict(
+            TextFile, {"text_contents": "Parent text."}
+        )
+        child = parent.derive(Clinical, {})
+        assert child.document_text() == "Parent text."
+
+    def test_fingerprint_matches_oracle_convention(self):
+        from repro.llm.oracle import fingerprint_text
+
+        record = DataRecord.from_dict(TextFile, {"text_contents": "abc def"})
+        assert record.fingerprint == fingerprint_text("abc def")
+
+    def test_joins_string_fields_when_no_document_field(self):
+        Pair = make_schema("Pair", "d", {"alpha": "a", "beta": "b"})
+        record = DataRecord.from_dict(Pair, {"alpha": "one", "beta": "two"})
+        assert "one" in record.document_text()
+        assert "two" in record.document_text()
+
+
+class TestSerialization:
+    def test_to_dict_hides_bytes(self):
+        record = DataRecord.from_dict(
+            TextFile, {"filename": "a", "contents": b"\x00\x01\x02"}
+        )
+        assert record.to_dict()["contents"] == "<3 bytes>"
+
+    def test_to_dict_include_bytes(self):
+        record = DataRecord.from_dict(TextFile, {"contents": b"xy"})
+        assert record.to_dict(include_bytes=True)["contents"] == b"xy"
+
+    def test_to_json_roundtrips(self):
+        import json
+
+        record = DataRecord.from_dict(TextFile, {"filename": "a"})
+        assert json.loads(record.to_json())["filename"] == "a"
+
+    def test_missing_required(self):
+        record = DataRecord(TextFile)  # filename is required on File
+        assert "filename" in record.missing_required()
+        record.filename = "a"
+        assert record.missing_required() == []
+
+    def test_equality_by_schema_and_values(self):
+        a = DataRecord.from_dict(TextFile, {"filename": "x"})
+        b = DataRecord.from_dict(TextFile, {"filename": "x"})
+        c = DataRecord.from_dict(TextFile, {"filename": "y"})
+        assert a == b
+        assert a != c
+
+    def test_repr_truncates_long_values(self):
+        record = DataRecord.from_dict(
+            TextFile, {"text_contents": "x" * 500}
+        )
+        assert len(repr(record)) < 300
+
+
+class TestLineage:
+    def test_lineage_chain_order(self):
+        parent = DataRecord.from_dict(TextFile, {"filename": "src"})
+        middle = parent.derive(Clinical, {"name": "n"})
+        leaf = middle.derive(Clinical, {"url": "u"})
+        chain = leaf.lineage()
+        assert chain == [parent, middle, leaf]
+        assert chain[0] is parent
+
+    def test_lineage_of_root_is_itself(self):
+        record = DataRecord(TextFile)
+        assert record.lineage() == [record]

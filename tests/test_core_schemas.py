@@ -1,0 +1,143 @@
+"""Schema system: metaclass collection, make_schema, signatures."""
+
+import pytest
+
+from repro.core.builtin_schemas import File, PDFFile, TextFile
+from repro.core.errors import SchemaError
+from repro.core.fields import NumericField, StringField
+from repro.core.schemas import Schema, make_schema, schema_signature
+
+
+class Author(Schema):
+    """Author information extracted from a paper."""
+
+    name = StringField(desc="The author's full name", required=True)
+    email = StringField(desc="The author's e-mail")
+
+
+class TestDeclarativeSchemas:
+    def test_fields_collected_in_order(self):
+        assert Author.field_names() == ["name", "email"]
+
+    def test_docstring_is_description(self):
+        assert Author.schema_description() == (
+            "Author information extracted from a paper."
+        )
+
+    def test_field_desc_lookup(self):
+        assert Author.field_desc("name") == "The author's full name"
+
+    def test_field_desc_unknown_raises(self):
+        with pytest.raises(SchemaError, match="no field"):
+            Author.field_desc("nope")
+
+    def test_inheritance_merges_fields(self):
+        class ExtendedAuthor(Author):
+            """More author info."""
+
+            affiliation = StringField(desc="Affiliation")
+
+        assert ExtendedAuthor.field_names() == [
+            "name", "email", "affiliation"
+        ]
+
+    def test_schemas_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Author()
+
+    def test_new_fields_vs(self):
+        class Derived(Schema):
+            """d"""
+
+            name = StringField(desc="n")
+            extra = StringField(desc="e")
+
+        assert Derived.new_fields_vs(Author) == ["extra"]
+
+    def test_json_schema_shape(self):
+        js = Author.json_schema()
+        assert js["title"] == "Author"
+        assert js["required"] == ["name"]
+        assert js["properties"]["email"]["type"] == "string"
+
+    def test_field_descriptions_mapping(self):
+        assert Author.field_descriptions()["email"] == "The author's e-mail"
+
+
+class TestBuiltins:
+    def test_pdf_inherits_file_fields(self):
+        assert "filename" in PDFFile.field_map()
+        assert "text_contents" in PDFFile.field_map()
+        assert "page_count" in PDFFile.field_map()
+
+    def test_text_field_names(self):
+        assert "text_contents" in TextFile.text_field_names()
+        assert "contents" not in TextFile.text_field_names()  # bytes
+
+
+class TestMakeSchema:
+    def test_from_dict_of_descriptions(self):
+        Made = make_schema("Made", "A made schema", {"a": "field a"})
+        assert Made.field_names() == ["a"]
+        assert Made.schema_description() == "A made schema"
+
+    def test_from_parallel_lists(self):
+        Made = make_schema(
+            "Made2", "desc", ["x", "y"], field_descriptions=["dx", "dy"]
+        )
+        assert Made.field_desc("y") == "dy"
+
+    def test_field_objects_accepted(self):
+        Made = make_schema("Made3", "d", {"n": NumericField(desc="num")})
+        assert isinstance(Made.field_map()["n"], NumericField)
+
+    def test_description_field_name_allowed(self):
+        # The paper's ClinicalData has a field literally named description.
+        Made = make_schema("ClinicalData", "d", {"description": "the desc"})
+        assert Made.schema_description() == "d"
+        assert Made.field_desc("description") == "the desc"
+
+    def test_invalid_schema_name(self):
+        with pytest.raises(SchemaError):
+            make_schema("Not Valid", "d", {"a": "x"})
+
+    def test_invalid_field_name_with_space(self):
+        with pytest.raises(SchemaError, match="identifier"):
+            make_schema("S", "d", {"bad name": "x"})
+
+    def test_underscore_field_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("S", "d", {"_private": "x"})
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("S", "d", {})
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("S", "d", ["a", "b"], field_descriptions=["only one"])
+
+    def test_bad_spec_type_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("S", "d", {"a": 42})
+
+    def test_custom_base(self):
+        Made = make_schema("PdfPlus", "d", {"extra": "e"}, base=PDFFile)
+        assert "text_contents" in Made.field_map()
+        assert "extra" in Made.field_map()
+
+
+class TestSchemaSignature:
+    def test_same_shape_same_signature(self):
+        a = make_schema("Same", "d", {"x": "dx"})
+        b = make_schema("Same", "d", {"x": "dx"})
+        assert schema_signature(a) == schema_signature(b)
+
+    def test_different_fields_different_signature(self):
+        a = make_schema("Same", "d", {"x": "dx"})
+        b = make_schema("Same", "d", {"y": "dy"})
+        assert schema_signature(a) != schema_signature(b)
+
+    def test_name_in_signature(self):
+        a = make_schema("A", "d", {"x": "dx"})
+        assert schema_signature(a).startswith("A#")

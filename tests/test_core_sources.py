@@ -1,0 +1,167 @@
+"""Data sources: directory, file, memory, callback, registry."""
+
+import pytest
+
+from repro.core.builtin_schemas import PDFFile, TextFile
+from repro.core.errors import DatasetError
+from repro.core.fakepdf import write_fake_pdf
+from repro.core.records import DataRecord
+from repro.core.sources import (
+    CallbackSource,
+    DataSourceRegistry,
+    DirectorySource,
+    FileSource,
+    MemorySource,
+)
+
+
+@pytest.fixture()
+def pdf_dir(tmp_path):
+    for index in range(3):
+        (tmp_path / f"doc-{index}.pdf").write_bytes(
+            write_fake_pdf(f"Document number {index}. " * 50)
+        )
+    return tmp_path
+
+
+class TestDirectorySource:
+    def test_every_file_is_a_record(self, pdf_dir):
+        source = DirectorySource(pdf_dir, dataset_id="pdfs")
+        assert len(source) == 3
+        records = list(source)
+        assert all(r.schema is PDFFile for r in records)
+
+    def test_schema_inferred_from_extension(self, pdf_dir):
+        source = DirectorySource(pdf_dir)
+        assert source.schema is PDFFile
+
+    def test_deterministic_order(self, pdf_dir):
+        source = DirectorySource(pdf_dir)
+        names = [r.filename for r in source]
+        assert names == sorted(names)
+
+    def test_sidecar_and_hidden_files_skipped(self, pdf_dir):
+        (pdf_dir / "corpus.facts.json").write_text("{}")
+        (pdf_dir / ".hidden").write_text("x")
+        source = DirectorySource(pdf_dir)
+        assert len(source) == 3
+
+    def test_pattern_filtering(self, pdf_dir):
+        (pdf_dir / "notes.txt").write_text("x")
+        source = DirectorySource(pdf_dir, pattern="*.pdf")
+        assert len(source) == 3
+
+    def test_non_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            DirectorySource(tmp_path / "missing")
+
+    def test_default_dataset_id_is_dirname(self, pdf_dir):
+        assert DirectorySource(pdf_dir).dataset_id == pdf_dir.name
+
+    def test_profile_reports_cardinality_and_tokens(self, pdf_dir):
+        profile = DirectorySource(pdf_dir).profile()
+        assert profile.cardinality == 3
+        assert profile.avg_document_tokens > 10
+
+    def test_sample_limits(self, pdf_dir):
+        assert len(DirectorySource(pdf_dir).sample(2)) == 2
+
+
+class TestFileSource:
+    def test_single_record(self, tmp_path):
+        path = tmp_path / "one.txt"
+        path.write_text("hello")
+        source = FileSource(path)
+        assert len(source) == 1
+        assert list(source)[0].text_contents == "hello"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            FileSource(tmp_path / "none.txt")
+
+
+class TestMemorySource:
+    def test_strings_become_text_records(self):
+        source = MemorySource(["alpha", "beta"], dataset_id="mem")
+        records = list(source)
+        assert len(records) == 2
+        assert records[0].text_contents == "alpha"
+        assert records[0].filename == "mem-0"
+
+    def test_dicts_infer_schema(self):
+        source = MemorySource(
+            [{"city": "Rome", "pop": 3}], dataset_id="mem"
+        )
+        record = list(source)[0]
+        assert record.city == "Rome"
+
+    def test_ready_records_pass_through(self):
+        record = DataRecord.from_dict(TextFile, {"filename": "a"})
+        source = MemorySource([record], dataset_id="mem")
+        assert list(source)[0] is record
+
+    def test_unmarshalable_item_rejected(self):
+        source = MemorySource([object()], dataset_id="mem", schema=TextFile)
+        with pytest.raises(DatasetError, match="marshal"):
+            list(source)
+
+    def test_empty_iterable(self):
+        source = MemorySource([], dataset_id="mem", schema=TextFile)
+        assert len(source) == 0
+
+
+class TestCallbackSource:
+    def test_custom_marshaling(self):
+        def factory():
+            for i in range(2):
+                yield DataRecord.from_dict(
+                    TextFile, {"filename": f"f{i}", "text_contents": "x"}
+                )
+
+        source = CallbackSource(factory, dataset_id="cb", schema=TextFile)
+        assert len(source) == 2
+        assert [r.filename for r in source] == ["f0", "f1"]
+
+    def test_explicit_length(self):
+        source = CallbackSource(
+            lambda: iter(()), dataset_id="cb", schema=TextFile, length=7
+        )
+        assert len(source) == 7
+
+    def test_non_record_yield_rejected(self):
+        source = CallbackSource(
+            lambda: iter(["nope"]), dataset_id="cb", schema=TextFile
+        )
+        with pytest.raises(DatasetError):
+            list(source)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = DataSourceRegistry()
+        source = MemorySource(["x"], dataset_id="demo")
+        registry.register(source)
+        assert registry.get("demo") is source
+        assert "demo" in registry
+
+    def test_duplicate_rejected_without_overwrite(self):
+        registry = DataSourceRegistry()
+        registry.register(MemorySource(["x"], dataset_id="demo"))
+        with pytest.raises(DatasetError):
+            registry.register(MemorySource(["y"], dataset_id="demo"))
+
+    def test_unknown_id_lists_known(self):
+        registry = DataSourceRegistry()
+        registry.register(MemorySource(["x"], dataset_id="known"))
+        with pytest.raises(DatasetError, match="known"):
+            registry.get("unknown")
+
+    def test_list_ids_sorted(self):
+        registry = DataSourceRegistry()
+        registry.register(MemorySource(["x"], dataset_id="b"))
+        registry.register(MemorySource(["x"], dataset_id="a"))
+        assert registry.list_ids() == ["a", "b"]
+
+    def test_empty_dataset_id_rejected(self):
+        with pytest.raises(DatasetError):
+            MemorySource(["x"], dataset_id="")

@@ -1,0 +1,148 @@
+"""Corpus generators: cardinalities, ground truth, persistence."""
+
+import pytest
+
+from repro.core.fakepdf import is_fake_pdf
+from repro.core.sources import DirectorySource
+from repro.corpora.common import FACTS_FILENAME, load_corpus_facts
+from repro.corpora.legal import LEGAL_PREDICATE, generate_legal_corpus
+from repro.corpora.papers import PAPERS_PREDICATE, generate_paper_corpus
+from repro.corpora.realestate import (
+    REALESTATE_PREDICATE,
+    generate_realestate_corpus,
+)
+from repro.llm.oracle import GroundTruthRegistry, global_oracle
+
+
+class TestPaperCorpus:
+    def test_default_cardinalities(self, papers_dir):
+        source = DirectorySource(papers_dir)
+        assert len(source) == 11
+        records = list(source)
+        relevant = [
+            r for r in records
+            if global_oracle().predicate_truth(
+                r.document_text(), PAPERS_PREDICATE
+            )
+        ]
+        assert len(relevant) == 8
+        with_datasets = [
+            r for r in records
+            if global_oracle().field_truth(
+                r.document_text(), "__instances__"
+            )[1]
+        ]
+        assert len(with_datasets) == 6
+
+    def test_files_are_fake_pdfs(self, papers_dir):
+        pdfs = sorted(papers_dir.glob("*.pdf"))
+        assert len(pdfs) == 11
+        assert all(is_fake_pdf(p.read_bytes()) for p in pdfs)
+
+    def test_sidecar_written(self, papers_dir):
+        assert (papers_dir / FACTS_FILENAME).exists()
+
+    def test_deterministic_regeneration(self, tmp_path):
+        a = generate_paper_corpus(tmp_path / "a")
+        b = generate_paper_corpus(tmp_path / "b")
+        for file_a, file_b in zip(
+            sorted(a.glob("*.pdf")), sorted(b.glob("*.pdf"))
+        ):
+            assert file_a.read_bytes() == file_b.read_bytes()
+
+    def test_custom_sizes(self, tmp_path):
+        directory = generate_paper_corpus(
+            tmp_path / "big", n_papers=30, n_relevant=20, n_with_datasets=15
+        )
+        assert len(list(directory.glob("*.pdf"))) == 30
+
+    def test_invalid_sizes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_paper_corpus(tmp_path / "bad", n_papers=5, n_relevant=8)
+
+    def test_recycled_dataset_names_unique(self, tmp_path):
+        directory = generate_paper_corpus(
+            tmp_path / "huge", n_papers=20, n_relevant=20, n_with_datasets=20
+        )
+        oracle = global_oracle()
+        names = []
+        for record in DirectorySource(directory):
+            known, instances = oracle.field_truth(
+                record.document_text(), "__instances__"
+            )
+            names.extend(i["name"] for i in instances)
+        assert len(names) == len(set(names)) == 20
+
+    def test_sidecar_reload_into_fresh_oracle(self, papers_dir):
+        fresh = GroundTruthRegistry()
+        loaded = load_corpus_facts(papers_dir, oracle=fresh)
+        assert loaded == 11
+        record = next(iter(DirectorySource(papers_dir)))
+        assert fresh.predicate_truth(
+            record.document_text(), PAPERS_PREDICATE
+        ) is not None
+
+    def test_load_facts_missing_dir_returns_zero(self, tmp_path):
+        assert load_corpus_facts(tmp_path) == 0
+
+
+class TestLegalCorpus:
+    def test_cardinalities(self, legal_dir):
+        source = DirectorySource(legal_dir)
+        assert len(source) == 20
+        responsive = [
+            r for r in source
+            if global_oracle().predicate_truth(
+                r.document_text(), LEGAL_PREDICATE
+            )
+        ]
+        assert len(responsive) == 6
+
+    def test_responsive_docs_have_deal_fields(self, legal_dir):
+        for record in DirectorySource(legal_dir):
+            text = record.document_text()
+            truth = global_oracle().predicate_truth(text, LEGAL_PREDICATE)
+            known, buyer = global_oracle().field_truth(text, "buyer")
+            if truth:
+                assert buyer == "Harbor Holdings LLC"
+            else:
+                assert buyer is None
+
+    def test_higher_difficulty_than_papers(self, legal_dir, papers_dir):
+        legal_doc = next(iter(DirectorySource(legal_dir))).document_text()
+        paper_doc = next(iter(DirectorySource(papers_dir))).document_text()
+        assert global_oracle().difficulty(legal_doc) > global_oracle(
+        ).difficulty(paper_doc)
+
+
+class TestRealEstateCorpus:
+    def test_cardinalities(self, realestate_dir):
+        source = DirectorySource(realestate_dir)
+        assert len(source) == 24
+        waterfront = [
+            r for r in source
+            if global_oracle().predicate_truth(
+                r.document_text(), REALESTATE_PREDICATE
+            )
+        ]
+        assert len(waterfront) == 9
+
+    def test_waterfront_priced_higher(self, realestate_dir):
+        prices = {"waterfront": [], "inland": []}
+        for record in DirectorySource(realestate_dir):
+            text = record.document_text()
+            is_wf = global_oracle().predicate_truth(
+                text, REALESTATE_PREDICATE
+            )
+            _, price = global_oracle().field_truth(text, "price")
+            prices["waterfront" if is_wf else "inland"].append(price)
+        avg = lambda xs: sum(xs) / len(xs)
+        assert avg(prices["waterfront"]) > avg(prices["inland"])
+
+    def test_labelled_fields_extractable_heuristically(self, realestate_dir):
+        from repro.llm.semantics import extract_field
+
+        record = next(iter(DirectorySource(realestate_dir)))
+        text = record.document_text()
+        assert extract_field("price", "asking price", text).startswith("$")
+        assert extract_field("city", "the city", text)

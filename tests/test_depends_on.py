@@ -1,0 +1,99 @@
+"""``depends_on``: semantic operators reading only the named fields."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+
+Profile = make_schema(
+    "Profile", "A person profile",
+    {"name": "The name", "bio": "The biography",
+     "homepage": "The homepage URL"},
+)
+
+
+def profiles():
+    rows = [
+        {"name": "Ada", "bio": "Works on colorectal cancer genomics.",
+         "homepage": "https://ada.example.org"},
+        {"name": "Bo", "bio": "Studies medieval architecture.",
+         "homepage": "https://bo.example.org"},
+    ]
+    return MemorySource(rows, dataset_id="profiles", schema=Profile)
+
+
+class TestFieldsText:
+    def test_named_fields_only(self):
+        record = DataRecord.from_dict(
+            Profile,
+            {"name": "Ada", "bio": "the bio", "homepage": "https://x"},
+        )
+        text = record.fields_text(["bio"])
+        assert text == "bio: the bio"
+        assert "Ada" not in text
+
+    def test_parent_fallback_per_field(self):
+        Narrow = make_schema("Narrow", "d", {"other": "o"})
+        parent = DataRecord.from_dict(Profile, {"bio": "parent bio"})
+        child = parent.derive(Narrow, {"other": "x"})
+        assert child.fields_text(["bio"]) == "bio: parent bio"
+
+    def test_all_missing_falls_back_to_document(self):
+        record = DataRecord.from_dict(
+            TextFile, {"text_contents": "the full document"}
+        )
+        assert record.fields_text(["nonexistent"]) == "the full document"
+
+
+class TestFilterDependsOn:
+    def test_filter_judges_only_named_field(self):
+        # The predicate words appear in the *name* field of no record and
+        # the *bio* of Ada only; restricting to bio keeps exactly Ada.
+        dataset = pz.Dataset(profiles()).filter(
+            "mentions colorectal cancer research",
+            depends_on=["bio"],
+        )
+        records, _ = pz.Execute(dataset, policy=pz.MaxQuality())
+        assert [r.name for r in records] == ["Ada"]
+
+    def test_depends_on_shrinks_prompts(self):
+        rows = [{
+            "name": "Ada",
+            "bio": "colorectal cancer. " * 200,
+            "homepage": "https://x",
+        }]
+        source = MemorySource(rows, dataset_id="big-profile",
+                              schema=Profile)
+        full = pz.Dataset(source).filter("about colorectal cancer")
+        narrow = pz.Dataset(source).filter(
+            "about colorectal cancer", depends_on=["name"]
+        )
+        _, full_stats = pz.Execute(full, policy=pz.MaxQuality())
+        _, narrow_stats = pz.Execute(narrow, policy=pz.MaxQuality())
+        full_tokens = full_stats.plan_stats.operator_stats[1].input_tokens
+        narrow_tokens = narrow_stats.plan_stats.operator_stats[1].input_tokens
+        assert narrow_tokens < full_tokens / 10
+
+
+class TestConvertDependsOn:
+    def test_convert_extracts_from_named_field(self):
+        Link = make_schema("Link", "d", {"url": "The URL mentioned"})
+        dataset = pz.Dataset(profiles()).convert(
+            Link, depends_on=["homepage"]
+        )
+        records, _ = pz.Execute(dataset, policy=pz.MaxQuality())
+        assert {r.url for r in records} == {
+            "https://ada.example.org", "https://bo.example.org",
+        }
+
+    def test_udf_convert_ignores_depends_on(self):
+        Out = make_schema("Out", "d", {"upper": "uppercased name"})
+        dataset = pz.Dataset(profiles()).convert(
+            Out, udf=lambda r: {"upper": r.name.upper()},
+            depends_on=["bio"],
+        )
+        records, _ = pz.Execute(dataset)
+        assert {r.upper for r in records} == {"ADA", "BO"}

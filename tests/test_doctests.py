@@ -1,0 +1,30 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.agent.templating
+import repro.agent.tools
+import repro.core.schemas
+import repro.llm.tokenizer
+
+MODULES = [
+    repro.llm.tokenizer,
+    repro.core.schemas,
+    repro.agent.templating,
+    repro.agent.tools,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failures in {module.__name__}"
+    )
+    assert results.attempted > 0, (
+        f"{module.__name__} was expected to carry doctests"
+    )

@@ -1,0 +1,266 @@
+"""Quality metrics and the perfect-reference executor."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.dataset import Dataset
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.evaluation.metrics import (
+    Scorecard,
+    extraction_quality,
+    filter_quality,
+    value_matches,
+)
+from repro.evaluation.reference import reference_output
+from repro.llm.oracle import DocumentTruth, GroundTruthRegistry
+
+Clinical = make_schema("Clinical", "d", {"name": "n", "url": "u"})
+
+
+def build_world():
+    """Three docs: two relevant (one with a dataset), one distractor."""
+    oracle = GroundTruthRegistry()
+    docs = {}
+    specs = [
+        ("rel-with-data", True, [{"name": "SetA", "url": "http://a"}]),
+        ("rel-no-data", True, []),
+        ("irrelevant", False, []),
+    ]
+    for label, relevant, instances in specs:
+        text = f"Document {label}. " + ("colorectal cancer. " if relevant
+                                        else "cooking pasta. ") * 3
+        docs[label] = DataRecord.from_dict(
+            TextFile, {"text_contents": text, "filename": label}
+        )
+        oracle.register(
+            text,
+            DocumentTruth(
+                predicates={"about colorectal cancer": relevant},
+                fields={"__instances__": instances},
+                difficulty=0.0,
+                label=label,
+            ),
+        )
+    return oracle, docs
+
+
+class TestScorecard:
+    def test_perfect(self):
+        card = Scorecard(5, 0, 0)
+        assert card.precision == card.recall == card.f1 == 1.0
+
+    def test_zero_denominators(self):
+        card = Scorecard(0, 0, 0)
+        assert card.precision == 1.0
+        assert card.recall == 1.0
+
+    def test_mixed(self):
+        card = Scorecard(3, 1, 2)
+        assert card.precision == pytest.approx(0.75)
+        assert card.recall == pytest.approx(0.6)
+        assert 0 < card.f1 < 1
+
+
+class TestValueMatches:
+    def test_exact(self):
+        assert value_matches("TCGA", "TCGA")
+
+    def test_case_whitespace_normalized(self):
+        assert value_matches("  tcga coad ", "TCGA COAD")
+
+    def test_prefix_containment(self):
+        assert value_matches("TCGA-COAD", "TCGA-COAD dataset release")
+
+    def test_short_strings_no_containment(self):
+        assert not value_matches("a", "abc")
+
+    def test_none_matching(self):
+        assert value_matches(None, None)
+        assert not value_matches(None, "x")
+
+
+class TestFilterQuality:
+    def test_perfect_filter(self):
+        oracle, docs = build_world()
+        kept = [docs["rel-with-data"], docs["rel-no-data"]]
+        card = filter_quality(
+            kept, list(docs.values()), "about colorectal cancer",
+            oracle=oracle,
+        )
+        assert card.f1 == 1.0
+
+    def test_false_positive_counted(self):
+        oracle, docs = build_world()
+        kept = list(docs.values())  # kept the distractor too
+        card = filter_quality(
+            kept, list(docs.values()), "about colorectal cancer",
+            oracle=oracle,
+        )
+        assert card.false_positives == 1
+        assert card.precision < 1.0
+
+    def test_false_negative_counted(self):
+        oracle, docs = build_world()
+        card = filter_quality(
+            [docs["rel-with-data"]], list(docs.values()),
+            "about colorectal cancer", oracle=oracle,
+        )
+        assert card.false_negatives == 1
+
+    def test_unknown_docs_ignored(self):
+        oracle, docs = build_world()
+        unknown = DataRecord.from_dict(
+            TextFile, {"text_contents": "brand new text"}
+        )
+        card = filter_quality(
+            [], [unknown], "about colorectal cancer", oracle=oracle
+        )
+        assert card.true_positives == card.false_negatives == 0
+
+
+class TestExtractionQuality:
+    def test_perfect_extraction(self):
+        oracle, docs = build_world()
+        source = docs["rel-with-data"]
+        output = source.derive(Clinical, {"name": "SetA", "url": "http://a"})
+        card = extraction_quality(
+            [output], list(docs.values()), ["name", "url"], oracle=oracle
+        )
+        assert card.f1 == 1.0
+
+    def test_missed_instance_is_false_negative(self):
+        oracle, docs = build_world()
+        card = extraction_quality(
+            [], list(docs.values()), ["name", "url"], oracle=oracle
+        )
+        assert card.false_negatives == 1
+
+    def test_wrong_values_are_false_positive_and_negative(self):
+        oracle, docs = build_world()
+        source = docs["rel-with-data"]
+        output = source.derive(
+            Clinical, {"name": "Garbage", "url": "http://wrong"}
+        )
+        card = extraction_quality(
+            [output], list(docs.values()), ["name", "url"], oracle=oracle
+        )
+        assert card.false_positives == 1
+        assert card.false_negatives == 1
+
+    def test_hallucinated_instance_from_empty_doc(self):
+        oracle, docs = build_world()
+        source = docs["rel-no-data"]
+        output = source.derive(Clinical, {"name": "Ghost", "url": "http://g"})
+        card = extraction_quality(
+            [output], list(docs.values()), ["name", "url"], oracle=oracle
+        )
+        assert card.false_positives == 1
+
+
+class TestReferenceOutput:
+    def test_perfect_pipeline(self):
+        oracle, docs = build_world()
+        source = MemorySource(
+            list(docs.values()), dataset_id="ref-test", schema=TextFile
+        )
+        dataset = (
+            Dataset(source)
+            .filter("about colorectal cancer")
+            .convert(Clinical, cardinality="one_to_many")
+        )
+        output = reference_output(
+            dataset.logical_plan(), source, oracle=oracle
+        )
+        assert len(output) == 1
+        assert output[0].name == "SetA"
+
+    def test_reference_relational_ops(self):
+        oracle, docs = build_world()
+        source = MemorySource(
+            list(docs.values()), dataset_id="ref-test2", schema=TextFile
+        )
+        dataset = Dataset(source).count()
+        output = reference_output(
+            dataset.logical_plan(), source, oracle=oracle
+        )
+        assert output[0].count == 3
+
+    def test_reference_udf_filter(self):
+        oracle, docs = build_world()
+        source = MemorySource(
+            list(docs.values()), dataset_id="ref-test3", schema=TextFile
+        )
+        dataset = Dataset(source).filter(
+            lambda r: r.filename == "irrelevant"
+        )
+        output = reference_output(
+            dataset.logical_plan(), source, oracle=oracle
+        )
+        assert len(output) == 1
+
+
+class TestPolicyReport:
+    def _dataset(self):
+        oracle, docs = build_world()
+        # Use the global oracle so Execute's default context sees truths.
+        from repro.llm.oracle import global_oracle
+
+        for record in docs.values():
+            truth = oracle.lookup(record.document_text())
+            global_oracle().register(record.document_text(), truth)
+        source = MemorySource(
+            list(docs.values()), dataset_id="report-test", schema=TextFile
+        )
+        return (
+            Dataset(source)
+            .filter("about colorectal cancer")
+            .convert(Clinical, cardinality="one_to_many")
+        )
+
+    def test_evaluate_policies_produces_rows(self):
+        import repro as pz
+        from repro.evaluation.report import evaluate_policies
+
+        rows = evaluate_policies(
+            self._dataset(), [pz.MaxQuality(), pz.MinCost()]
+        )
+        assert len(rows) == 2
+        assert rows[0].policy == "max-quality"
+        assert rows[0].filter_f1 is not None
+        assert rows[0].extraction_f1 is not None
+        assert rows[0].cost_usd > rows[1].cost_usd
+
+    def test_markdown_report_renders_table(self):
+        import repro as pz
+        from repro.evaluation.report import (
+            evaluate_policies,
+            markdown_report,
+        )
+
+        rows = evaluate_policies(self._dataset(), [pz.MaxQuality()])
+        text = markdown_report(rows, title="Test table")
+        assert "## Test table" in text
+        assert "| max-quality |" in text
+        separator_rows = [
+            line for line in text.splitlines()
+            if line.startswith("|---")
+        ]
+        assert len(separator_rows) == 1
+
+    def test_report_without_semantic_ops_uses_dashes(self):
+        import repro as pz
+        from repro.evaluation.report import (
+            evaluate_policies,
+            markdown_report,
+        )
+
+        source = MemorySource(
+            ["a", "b"], dataset_id="plain-report", schema=TextFile
+        )
+        rows = evaluate_policies(
+            Dataset(source).limit(1), [pz.MinCost()]
+        )
+        assert rows[0].filter_f1 is None
+        assert "—" in markdown_report(rows)

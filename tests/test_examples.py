@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "scientific_discovery.py",
+    "chat_scientific_discovery.py",
+    "legal_discovery.py",
+    "real_estate_search.py",
+    "policy_tradeoffs.py",
+    "dataset_catalog_join.py",
+    "advanced_features.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    # Isolate the demo corpora per test session (examples default to the
+    # system temp dir; point them somewhere fresh but shared).
+    monkeypatch.setenv("TMPDIR", str(tmp_path))
+    import tempfile
+
+    monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_list_is_complete():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXAMPLES)

@@ -1,0 +1,186 @@
+"""The semantic call cache: hits, eviction, end-to-end savings."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.sources import MemorySource
+from repro.llm.cache import CallCache
+from repro.llm.client import (
+    BooleanRequest,
+    ExtractionRequest,
+    SimulatedLLMClient,
+)
+from repro.llm.oracle import DocumentTruth, GroundTruthRegistry
+from repro.llm.usage import UsageLedger
+
+DOC = "A study on colorectal cancer with data at https://x.example.org."
+
+
+@pytest.fixture()
+def oracle():
+    reg = GroundTruthRegistry()
+    reg.register(
+        DOC,
+        DocumentTruth(
+            predicates={"about colorectal cancer": True},
+            fields={"url": "https://x.example.org"},
+            difficulty=0.0,
+        ),
+    )
+    return reg
+
+
+class TestCacheUnit:
+    def test_lookup_miss_then_hit(self):
+        cache = CallCache()
+        key = CallCache.make_key("m", "judge", "p", "fp")
+        hit, _ = cache.lookup(key)
+        assert not hit
+        cache.store(key, True)
+        hit, value = cache.lookup(key)
+        assert hit and value is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = CallCache()
+        a = CallCache.make_key("m", "judge", "p", "fp1")
+        b = CallCache.make_key("m", "judge", "p", "fp2")
+        cache.store(a, True)
+        hit, _ = cache.lookup(b)
+        assert not hit
+
+    def test_model_is_part_of_key(self):
+        assert CallCache.make_key("m1", "judge", "p", "fp") != \
+            CallCache.make_key("m2", "judge", "p", "fp")
+
+    def test_fifo_eviction(self):
+        cache = CallCache(max_entries=2)
+        keys = [CallCache.make_key("m", "judge", f"p{i}", "fp")
+                for i in range(3)]
+        for key in keys:
+            cache.store(key, True)
+        assert len(cache) == 2
+        hit, _ = cache.lookup(keys[0])
+        assert not hit  # evicted
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            CallCache(max_entries=0)
+
+    def test_clear_resets_stats(self):
+        cache = CallCache()
+        cache.store(CallCache.make_key("m", "j", "p", "f"), 1)
+        cache.lookup(CallCache.make_key("m", "j", "p", "f"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+
+class TestClientIntegration:
+    def test_judge_hit_is_free_and_identical(self, oracle):
+        cache = CallCache()
+        ledger = UsageLedger()
+        client = SimulatedLLMClient(
+            "gpt-4o", ledger=ledger, oracle=oracle, cache=cache
+        )
+        request = BooleanRequest(
+            predicate="about colorectal cancer", document=DOC
+        )
+        first = client.judge(request)
+        second = client.judge(request)
+        assert second.value == first.value
+        assert ledger.records[0].cost_usd > 0
+        assert ledger.records[1].cost_usd == 0.0
+        assert ledger.records[1].operation.endswith(":cached")
+        assert cache.stats.hits == 1
+
+    def test_extract_hit_returns_same_payload(self, oracle):
+        cache = CallCache()
+        client = SimulatedLLMClient("gpt-4o", oracle=oracle, cache=cache)
+        request = ExtractionRequest(
+            fields={"url": "the url"}, document=DOC
+        )
+        first = client.extract(request)
+        second = client.extract(request)
+        assert second.value == first.value
+        assert cache.stats.hits == 1
+
+    def test_different_fraction_misses(self, oracle):
+        cache = CallCache()
+        client = SimulatedLLMClient("gpt-4o", oracle=oracle, cache=cache)
+        client.judge(BooleanRequest(
+            predicate="about colorectal cancer", document=DOC,
+            context_fraction=1.0,
+        ))
+        client.judge(BooleanRequest(
+            predicate="about colorectal cancer", document=DOC,
+            context_fraction=0.5,
+        ))
+        assert cache.stats.hits == 0
+
+    def test_no_cache_means_no_stats(self, oracle):
+        client = SimulatedLLMClient("gpt-4o", oracle=oracle)
+        assert client.cache is None
+
+
+class TestPipelineIntegration:
+    def _pipeline(self):
+        docs = [
+            f"Report {i} about colorectal cancer. "
+            f"Data at https://r{i}.example.org." for i in range(6)
+        ]
+        source = MemorySource(docs, dataset_id="cache-pipe", schema=TextFile)
+        return pz.Dataset(source).filter("about colorectal cancer")
+
+    def test_warm_rerun_is_nearly_free(self):
+        cache = CallCache()
+        _, cold = pz.Execute(
+            self._pipeline(), policy=pz.MaxQuality(), cache=cache
+        )
+        records, warm = pz.Execute(
+            self._pipeline(), policy=pz.MaxQuality(), cache=cache
+        )
+        assert warm.total_cost_usd == 0.0
+        assert warm.total_time_seconds < cold.total_time_seconds / 10
+        assert cold.records_out == warm.records_out
+
+    def test_cold_runs_without_cache_pay_twice(self):
+        _, first = pz.Execute(self._pipeline(), policy=pz.MaxQuality())
+        _, second = pz.Execute(self._pipeline(), policy=pz.MaxQuality())
+        assert second.total_cost_usd == pytest.approx(first.total_cost_usd)
+        assert second.total_cost_usd > 0
+
+
+class TestEmbeddingCache:
+    def test_warm_embedding_is_free(self):
+        from repro.llm.embeddings import EmbeddingModel
+        import numpy as np
+
+        cache = CallCache()
+        ledger = UsageLedger()
+        model = EmbeddingModel(ledger=ledger, cache=cache)
+        first = model.embed("some document text")
+        second = model.embed("some document text")
+        assert np.allclose(first, second)
+        assert ledger.records[0].cost_usd > 0
+        assert ledger.records[1].cost_usd == 0.0
+        assert cache.stats.hits == 1
+
+    def test_warm_retrieve_pipeline_is_free(self):
+        import repro as pz
+        from repro.core.builtin_schemas import TextFile
+        from repro.core.sources import MemorySource
+
+        source = MemorySource(
+            [f"listing {i} on the waterfront" for i in range(5)],
+            dataset_id="embed-cache", schema=TextFile,
+        )
+        cache = CallCache()
+        pipeline = pz.Dataset(source).retrieve("waterfront", k=2)
+        _, cold = pz.Execute(pipeline, cache=cache)
+        _, warm = pz.Execute(pipeline, cache=cache)
+        assert cold.total_cost_usd > 0
+        assert warm.total_cost_usd == 0.0

@@ -1,0 +1,195 @@
+"""The simulated LLM client: judgments, extraction, metering."""
+
+import pytest
+
+from repro.llm.client import (
+    BooleanRequest,
+    CompletionRequest,
+    ExtractionRequest,
+    SimulatedLLMClient,
+)
+from repro.llm.clock import VirtualClock
+from repro.llm.exceptions import ContextWindowExceeded, InvalidRequestError
+from repro.llm.models import ModelCard, get_model
+from repro.llm.oracle import DocumentTruth, GroundTruthRegistry
+from repro.llm.usage import UsageLedger
+
+DOC = (
+    "This report analyzes colorectal cancer outcomes. "
+    "The CRC-Atlas dataset is publicly available at "
+    "https://data.example.org/crc."
+)
+
+
+@pytest.fixture()
+def oracle():
+    reg = GroundTruthRegistry()
+    reg.register(
+        DOC,
+        DocumentTruth(
+            predicates={"about colorectal cancer": True},
+            fields={
+                "name": "CRC-Atlas",
+                "url": "https://data.example.org/crc",
+                "__instances__": [
+                    {"name": "CRC-Atlas",
+                     "url": "https://data.example.org/crc"},
+                ],
+            },
+            difficulty=0.0,
+        ),
+    )
+    return reg
+
+
+@pytest.fixture()
+def client(oracle):
+    return SimulatedLLMClient(
+        "gpt-4o",
+        clock=VirtualClock(),
+        ledger=UsageLedger(),
+        oracle=oracle,
+    )
+
+
+class TestJudge:
+    def test_oracle_truth_respected(self, client):
+        response = client.judge(
+            BooleanRequest(predicate="about colorectal cancer", document=DOC)
+        )
+        assert response.value is True
+
+    def test_heuristic_fallback_for_unknown_docs(self, client):
+        response = client.judge(
+            BooleanRequest(
+                predicate="about pasta recipes",
+                document="A guide to carbonara and cacio e pepe.",
+            )
+        )
+        assert response.value is False
+
+    def test_empty_predicate_rejected(self, client):
+        with pytest.raises(InvalidRequestError):
+            client.judge(BooleanRequest(predicate="  ", document=DOC))
+
+    def test_usage_metered(self, client):
+        client.judge(
+            BooleanRequest(predicate="about colorectal cancer", document=DOC)
+        )
+        assert len(client.ledger) == 1
+        usage = client.ledger.records[0]
+        assert usage.input_tokens > 0
+        assert usage.cost_usd > 0
+        assert client.clock.elapsed == pytest.approx(usage.latency_seconds)
+
+    def test_deterministic_across_calls(self, client):
+        req = BooleanRequest(predicate="about colorectal cancer", document=DOC)
+        assert client.judge(req).value == client.judge(req).value
+
+
+class TestExtract:
+    def test_single_extraction_from_oracle(self, client):
+        response = client.extract(
+            ExtractionRequest(
+                fields={"name": "dataset name", "url": "dataset URL"},
+                document=DOC,
+            )
+        )
+        assert response.value["name"] == "CRC-Atlas"
+        assert response.value["url"] == "https://data.example.org/crc"
+
+    def test_one_to_many_returns_instances(self, client):
+        response = client.extract(
+            ExtractionRequest(
+                fields={"name": "dataset name", "url": "dataset URL"},
+                document=DOC,
+                one_to_many=True,
+            )
+        )
+        assert isinstance(response.value, list)
+        assert response.value[0]["name"] == "CRC-Atlas"
+
+    def test_heuristic_fallback_extraction(self, client):
+        response = client.extract(
+            ExtractionRequest(
+                fields={"url": "The public URL"},
+                document="See https://example.com/page for details.",
+            )
+        )
+        assert response.value["url"] == "https://example.com/page"
+
+    def test_empty_fields_rejected(self, client):
+        with pytest.raises(InvalidRequestError):
+            client.extract(ExtractionRequest(fields={}, document=DOC))
+
+    def test_context_fraction_reduces_cost(self, oracle):
+        full = SimulatedLLMClient("gpt-4o", ledger=UsageLedger(), oracle=oracle)
+        reduced = SimulatedLLMClient(
+            "gpt-4o", ledger=UsageLedger(), oracle=oracle
+        )
+        long_doc = DOC + " filler" * 500
+        full.extract(
+            ExtractionRequest(fields={"name": "n"}, document=long_doc)
+        )
+        reduced.extract(
+            ExtractionRequest(
+                fields={"name": "n"}, document=long_doc, context_fraction=0.2
+            )
+        )
+        assert (
+            reduced.ledger.total().input_tokens
+            < full.ledger.total().input_tokens
+        )
+
+    def test_weak_model_corrupts_some_answers(self, oracle):
+        weak_card = ModelCard(
+            name="weak", provider="t", usd_per_1m_input=0.1,
+            usd_per_1m_output=0.1, quality=0.05,
+        )
+        client = SimulatedLLMClient(weak_card, oracle=oracle)
+        wrong = 0
+        for i in range(30):
+            doc = DOC + f" variant {i}"
+            oracle.register(
+                doc,
+                DocumentTruth(fields={"name": "CRC-Atlas"}, difficulty=0.9),
+            )
+            response = client.extract(
+                ExtractionRequest(fields={"name": "dataset name"}, document=doc)
+            )
+            if response.value["name"] != "CRC-Atlas":
+                wrong += 1
+        assert wrong > 5
+
+
+class TestComplete:
+    def test_completion_meters_tokens(self, client):
+        response = client.complete(
+            CompletionRequest(prompt="Summarize: the cat sat on the mat.")
+        )
+        assert response.usage.input_tokens > 0
+
+    def test_empty_prompt_rejected(self, client):
+        with pytest.raises(InvalidRequestError):
+            client.complete(CompletionRequest(prompt=""))
+
+
+class TestLimits:
+    def test_context_window_enforced(self, oracle):
+        tiny = ModelCard(
+            name="tiny", provider="t", usd_per_1m_input=1.0,
+            usd_per_1m_output=1.0, quality=0.5, context_window=16,
+        )
+        client = SimulatedLLMClient(tiny, oracle=oracle)
+        with pytest.raises(ContextWindowExceeded):
+            client.judge(
+                BooleanRequest(predicate="long", document="word " * 100)
+            )
+
+    def test_model_resolution_by_name(self):
+        client = SimulatedLLMClient("gpt-4o-mini")
+        assert client.model.name == "gpt-4o-mini"
+
+    def test_unknown_model_name_raises(self):
+        with pytest.raises(KeyError):
+            SimulatedLLMClient("no-such-model")

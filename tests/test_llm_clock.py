@@ -1,0 +1,78 @@
+"""Virtual clock: lanes, advancing, synchronization."""
+
+import pytest
+
+from repro.llm.clock import VirtualClock
+
+
+class TestSingleLane:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.elapsed == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+        assert clock.elapsed == pytest.approx(4.0)
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        clock.reset()
+        assert clock.elapsed == 0.0
+
+
+class TestMultiLane:
+    def test_lanes_validated(self):
+        with pytest.raises(ValueError):
+            VirtualClock(lanes=0)
+
+    def test_elapsed_is_makespan(self):
+        clock = VirtualClock(lanes=2)
+        clock.use_lane(0)
+        clock.advance(10.0)
+        clock.use_lane(1)
+        clock.advance(3.0)
+        assert clock.elapsed == pytest.approx(10.0)
+        assert clock.total_busy == pytest.approx(13.0)
+
+    def test_pick_least_busy_lane_balances(self):
+        clock = VirtualClock(lanes=3)
+        for duration in [5.0, 5.0, 5.0, 5.0, 5.0, 5.0]:
+            clock.pick_least_busy_lane()
+            clock.advance(duration)
+        # 6 equal tasks over 3 workers -> makespan 2 tasks each.
+        assert clock.elapsed == pytest.approx(10.0)
+
+    def test_parallel_speedup_vs_sequential(self):
+        sequential = VirtualClock(lanes=1)
+        parallel = VirtualClock(lanes=4)
+        for _ in range(8):
+            sequential.advance(1.0)
+            parallel.pick_least_busy_lane()
+            parallel.advance(1.0)
+        assert sequential.elapsed == pytest.approx(8.0)
+        assert parallel.elapsed == pytest.approx(2.0)
+
+    def test_synchronize_sets_all_lanes_to_makespan(self):
+        clock = VirtualClock(lanes=2)
+        clock.use_lane(0)
+        clock.advance(7.0)
+        makespan = clock.synchronize()
+        assert makespan == pytest.approx(7.0)
+        clock.use_lane(1)
+        assert clock.now == pytest.approx(7.0)
+        assert clock.total_busy == pytest.approx(14.0)
+
+    def test_use_lane_out_of_range(self):
+        clock = VirtualClock(lanes=2)
+        with pytest.raises(IndexError):
+            clock.use_lane(5)

@@ -1,0 +1,147 @@
+"""Model cards and the registry."""
+
+import pytest
+
+from repro.llm.models import (
+    DEFAULT_MODEL_CARDS,
+    ModelCard,
+    ModelRegistry,
+    available_models,
+    default_registry,
+    get_model,
+)
+
+
+def make_card(name="test-model", **overrides):
+    defaults = dict(
+        provider="test",
+        usd_per_1m_input=1.0,
+        usd_per_1m_output=2.0,
+        quality=0.8,
+    )
+    defaults.update(overrides)
+    return ModelCard(name=name, **defaults)
+
+
+class TestModelCard:
+    def test_cost_formula(self):
+        card = make_card()
+        # 1M input at $1 + 1M output at $2.
+        assert card.cost_usd(1_000_000, 1_000_000) == pytest.approx(3.0)
+
+    def test_cost_zero_tokens(self):
+        assert make_card().cost_usd(0, 0) == 0.0
+
+    def test_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_card().cost_usd(-1, 0)
+
+    def test_latency_includes_overhead(self):
+        card = make_card(overhead_seconds=2.0)
+        assert card.latency_seconds(0, 0) == pytest.approx(2.0)
+
+    def test_latency_scales_with_tokens(self):
+        card = make_card(
+            overhead_seconds=0.0,
+            prefill_tokens_per_second=1000.0,
+            decode_tokens_per_second=10.0,
+        )
+        assert card.latency_seconds(1000, 10) == pytest.approx(2.0)
+
+    def test_quality_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            make_card(quality=1.5)
+        with pytest.raises(ValueError):
+            make_card(quality=-0.1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_card(name="")
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            make_card(usd_per_1m_input=-1.0)
+
+    def test_with_quality_returns_new_card(self):
+        card = make_card(quality=0.8)
+        boosted = card.with_quality(0.9)
+        assert boosted.quality == 0.9
+        assert card.quality == 0.8
+        assert boosted.name == card.name
+
+
+class TestModelRegistry:
+    def test_register_and_get(self):
+        registry = ModelRegistry()
+        card = make_card()
+        registry.register(card)
+        assert registry.get("test-model") is card
+
+    def test_duplicate_registration_rejected(self):
+        registry = ModelRegistry([make_card()])
+        with pytest.raises(ValueError):
+            registry.register(make_card())
+
+    def test_overwrite_allowed_when_requested(self):
+        registry = ModelRegistry([make_card(quality=0.5)])
+        registry.register(make_card(quality=0.9), overwrite=True)
+        assert registry.get("test-model").quality == 0.9
+
+    def test_unknown_model_error_lists_known(self):
+        registry = ModelRegistry([make_card()])
+        with pytest.raises(KeyError, match="test-model"):
+            registry.get("nope")
+
+    def test_chat_models_sorted_by_quality(self):
+        registry = ModelRegistry([
+            make_card("weak", quality=0.5),
+            make_card("strong", quality=0.9),
+        ])
+        names = [c.name for c in registry.chat_models()]
+        assert names == ["strong", "weak"]
+
+    def test_embedding_models_separated(self):
+        registry = ModelRegistry([
+            make_card("chat"),
+            make_card("embed", is_embedding_model=True),
+        ])
+        assert [c.name for c in registry.embedding_models()] == ["embed"]
+        assert [c.name for c in registry.chat_models()] == ["chat"]
+
+    def test_reasoning_models_filtered(self):
+        registry = ModelRegistry([
+            make_card("plain"),
+            make_card("reasoner", supports_reasoning=True),
+        ])
+        assert [c.name for c in registry.reasoning_models()] == ["reasoner"]
+
+    def test_unregister(self):
+        registry = ModelRegistry([make_card()])
+        registry.unregister("test-model")
+        assert "test-model" not in registry
+        with pytest.raises(KeyError):
+            registry.unregister("test-model")
+
+    def test_copy_is_independent(self):
+        registry = ModelRegistry([make_card()])
+        clone = registry.copy()
+        clone.unregister("test-model")
+        assert "test-model" in registry
+
+
+class TestDefaultCatalogue:
+    def test_default_registry_has_all_cards(self):
+        for card in DEFAULT_MODEL_CARDS:
+            assert card.name in default_registry()
+
+    def test_gpt4o_is_highest_quality_chat_model(self):
+        assert available_models()[0] == "gpt-4o"
+
+    def test_get_model_global(self):
+        assert get_model("gpt-4o-mini").provider == "openai"
+
+    def test_cheaper_models_really_are_cheaper(self):
+        big = get_model("gpt-4o")
+        small = get_model("gpt-4o-mini")
+        assert small.cost_usd(10_000, 100) < big.cost_usd(10_000, 100)
+        assert small.quality < big.quality

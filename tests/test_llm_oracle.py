@@ -1,0 +1,119 @@
+"""Ground-truth oracle: registration, lookup, persistence."""
+
+import pytest
+
+from repro.llm.oracle import (
+    DocumentTruth,
+    GroundTruthRegistry,
+    fingerprint_text,
+)
+
+DOC = "This paper studies colorectal cancer in a cohort of 500 patients."
+
+
+@pytest.fixture()
+def registry():
+    reg = GroundTruthRegistry()
+    reg.register(
+        DOC,
+        DocumentTruth(
+            predicates={"about colorectal cancer": True, "about birds": False},
+            fields={"cohort_size": 500, "title": "A study"},
+            difficulty=0.1,
+            label="doc-1",
+        ),
+    )
+    return reg
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert fingerprint_text(DOC) == fingerprint_text(DOC)
+
+    def test_whitespace_insensitive(self):
+        assert fingerprint_text("a  b\nc") == fingerprint_text("a b c")
+
+    def test_different_text_different_fingerprint(self):
+        assert fingerprint_text("aaa") != fingerprint_text("bbb")
+
+
+class TestLookup:
+    def test_lookup_registered(self, registry):
+        truth = registry.lookup(DOC)
+        assert truth is not None
+        assert truth.label == "doc-1"
+
+    def test_lookup_unknown_returns_none(self, registry):
+        assert registry.lookup("never seen") is None
+
+    def test_contains_by_fingerprint(self, registry):
+        assert fingerprint_text(DOC) in registry
+
+    def test_predicate_exact_match(self, registry):
+        assert registry.predicate_truth(DOC, "about colorectal cancer") is True
+        assert registry.predicate_truth(DOC, "about birds") is False
+
+    def test_predicate_case_and_spacing_insensitive(self, registry):
+        assert (
+            registry.predicate_truth(DOC, "  About   Colorectal CANCER ")
+            is True
+        )
+
+    def test_predicate_substring_match(self, registry):
+        # A longer phrasing containing the registered predicate still hits.
+        assert (
+            registry.predicate_truth(
+                DOC, "The papers are about colorectal cancer"
+            )
+            is True
+        )
+
+    def test_predicate_unknown_returns_none(self, registry):
+        assert registry.predicate_truth(DOC, "mentions zebrafish") is None
+
+    def test_field_truth(self, registry):
+        known, value = registry.field_truth(DOC, "cohort_size")
+        assert known and value == 500
+
+    def test_field_truth_case_insensitive(self, registry):
+        known, value = registry.field_truth(DOC, "TITLE")
+        assert known and value == "A study"
+
+    def test_field_unknown(self, registry):
+        known, value = registry.field_truth(DOC, "nonexistent")
+        assert not known and value is None
+
+    def test_difficulty_default_for_unknown(self, registry):
+        assert registry.difficulty("unseen text", default=0.7) == 0.7
+        assert registry.difficulty(DOC) == pytest.approx(0.1)
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, registry, tmp_path):
+        path = tmp_path / "facts.json"
+        registry.save(path)
+        fresh = GroundTruthRegistry()
+        loaded = fresh.load(path)
+        assert loaded == len(registry) == 1
+        assert fresh.predicate_truth(DOC, "about colorectal cancer") is True
+        known, value = fresh.field_truth(DOC, "cohort_size")
+        assert known and value == 500
+
+    def test_clear(self, registry):
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestDocumentTruth:
+    def test_dict_roundtrip(self):
+        truth = DocumentTruth(
+            predicates={"p": True},
+            fields={"f": [1, 2]},
+            difficulty=0.3,
+            label="x",
+        )
+        restored = DocumentTruth.from_dict(truth.to_dict())
+        assert restored.predicates == truth.predicates
+        assert restored.fields == truth.fields
+        assert restored.difficulty == truth.difficulty
+        assert restored.label == truth.label

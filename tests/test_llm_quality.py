@@ -1,0 +1,118 @@
+"""The seeded quality/error process: determinism and monotonicity."""
+
+import pytest
+
+from repro.llm.models import ModelCard
+from repro.llm.quality import (
+    corrupt_boolean,
+    corrupt_list,
+    corrupt_value,
+    decide_correct,
+    error_probability,
+)
+
+
+def card(quality, name="m"):
+    return ModelCard(
+        name=name, provider="t",
+        usd_per_1m_input=1.0, usd_per_1m_output=1.0, quality=quality,
+    )
+
+
+class TestErrorProbability:
+    def test_perfect_model_easy_doc(self):
+        assert error_probability(card(1.0), 0.0) == 0.0
+
+    def test_better_models_err_less(self):
+        weak = error_probability(card(0.6), 0.5)
+        strong = error_probability(card(0.95), 0.5)
+        assert strong < weak
+
+    def test_harder_docs_err_more(self):
+        model = card(0.8)
+        assert error_probability(model, 0.9) > error_probability(model, 0.1)
+
+    def test_truncated_context_errs_more(self):
+        model = card(0.8)
+        assert error_probability(model, 0.3, 0.3) > error_probability(
+            model, 0.3, 1.0
+        )
+
+    def test_capped_below_one(self):
+        assert error_probability(card(0.0), 1.0, 0.0) <= 0.95
+
+    def test_out_of_range_inputs_clamped(self):
+        # Should not raise for difficulty/fraction outside [0, 1].
+        assert 0.0 <= error_probability(card(0.5), 5.0, -1.0) <= 0.95
+
+
+class TestDecideCorrect:
+    def test_deterministic(self):
+        model = card(0.7)
+        results = {
+            decide_correct(model, "fp", "task", 0.5) for _ in range(10)
+        }
+        assert len(results) == 1
+
+    def test_varies_across_documents(self):
+        model = card(0.5)
+        outcomes = {
+            decide_correct(model, f"fp-{i}", "task", 0.9) for i in range(50)
+        }
+        assert outcomes == {True, False}
+
+    def test_independent_of_call_order(self):
+        model = card(0.6)
+        a1 = decide_correct(model, "fp-a", "t", 0.5)
+        b1 = decide_correct(model, "fp-b", "t", 0.5)
+        # Reverse order: same per-document answers.
+        b2 = decide_correct(model, "fp-b", "t", 0.5)
+        a2 = decide_correct(model, "fp-a", "t", 0.5)
+        assert (a1, b1) == (a2, b2)
+
+    def test_high_quality_mostly_correct(self):
+        model = card(0.98)
+        correct = sum(
+            decide_correct(model, f"fp-{i}", "t", 0.2) for i in range(200)
+        )
+        assert correct >= 190
+
+    def test_different_models_disagree_somewhere(self):
+        strong, weak = card(0.95, "strong"), card(0.4, "weak")
+        disagreements = sum(
+            decide_correct(strong, f"fp-{i}", "t", 0.8)
+            != decide_correct(weak, f"fp-{i}", "t", 0.8)
+            for i in range(100)
+        )
+        assert disagreements > 0
+
+
+class TestCorruption:
+    def test_boolean_flips(self):
+        assert corrupt_boolean(True) is False
+        assert corrupt_boolean(False) is True
+
+    def test_corrupt_value_changes_or_drops_strings(self):
+        model = card(0.5)
+        value = corrupt_value(model, "fp", "task", "TCGA-COAD-LONG-NAME")
+        assert value != "TCGA-COAD-LONG-NAME"
+
+    def test_corrupt_value_is_deterministic(self):
+        model = card(0.5)
+        a = corrupt_value(model, "fp", "task", "some dataset name")
+        b = corrupt_value(model, "fp", "task", "some dataset name")
+        assert a == b
+
+    def test_corrupt_none_stays_none(self):
+        assert corrupt_value(card(0.5), "fp", "t", None) is None
+
+    def test_corrupt_number_perturbs(self):
+        value = corrupt_value(card(0.5), "fp2", "t2", 100.0)
+        assert value is None or value != 100.0
+
+    def test_corrupt_list_drops_entries(self):
+        result = corrupt_list(card(0.5), "fp", "t", [1, 2, 3, 4, 5])
+        assert len(result) <= 5
+
+    def test_corrupt_empty_list(self):
+        assert corrupt_list(card(0.5), "fp", "t", []) == []

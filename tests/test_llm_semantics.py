@@ -1,0 +1,94 @@
+"""Heuristic semantic engine: boolean judgments and field extraction."""
+
+import pytest
+
+from repro.llm.semantics import (
+    answer_boolean,
+    extract_all_urls,
+    extract_field,
+    summarize,
+)
+
+PAPER = (
+    "Title: A colorectal cancer cohort study\n"
+    "Authors: A. Moreno, L. Chen\n"
+    "We analyze colorectal cancer tumors across 500 patients. "
+    "The TCGA-COAD dataset is publicly available at "
+    "https://portal.example.org/coad. Contact: lead@example.org. "
+    "Submitted on March 3, 2024. The total budget was $1.2 million."
+)
+
+
+class TestAnswerBoolean:
+    def test_matching_keywords_true(self):
+        assert answer_boolean("about colorectal cancer", PAPER) is True
+
+    def test_non_matching_false(self):
+        assert answer_boolean("about quantum computing", PAPER) is False
+
+    def test_negation_flips(self):
+        assert answer_boolean("not about colorectal cancer", PAPER) is False
+
+    def test_quoted_phrase_must_match(self):
+        assert answer_boolean('"colorectal cancer"', PAPER) is True
+        assert answer_boolean('"pancreatic cancer"', PAPER) is False
+
+    def test_empty_predicate_accepts(self):
+        assert answer_boolean("", PAPER) is True
+
+    def test_stopword_only_predicate_accepts(self):
+        assert answer_boolean("the papers that are", PAPER) is True
+
+    def test_majority_rule(self):
+        # 1 of 3 content words match -> below majority -> False.
+        assert answer_boolean("cancer zebrafish astronomy", PAPER) is False
+
+
+class TestExtractField:
+    def test_url(self):
+        assert extract_field("url", "public URL", PAPER) == (
+            "https://portal.example.org/coad"
+        )
+
+    def test_email(self):
+        assert extract_field("email", "contact e-mail", PAPER) == (
+            "lead@example.org"
+        )
+
+    def test_date(self):
+        assert "2024" in extract_field("date", "submission date", PAPER)
+
+    def test_money(self):
+        assert "$" in extract_field("cost", "the total budget amount", PAPER)
+
+    def test_title_from_labelled_line(self):
+        assert extract_field("title", "paper title", PAPER) == (
+            "A colorectal cancer cohort study"
+        )
+
+    def test_authors_from_labelled_line(self):
+        assert "Moreno" in extract_field("authors", "the authors", PAPER)
+
+    def test_dataset_name_pattern(self):
+        assert extract_field("name", "dataset name", PAPER) == "TCGA-COAD"
+
+    def test_labelled_line_with_underscore_name(self):
+        text = "Deal_Value: $300 million\nother text"
+        assert extract_field("deal_value", "", text) == "$300 million"
+
+    def test_missing_returns_none(self):
+        assert extract_field("email", "contact e-mail", "no contact here") is None
+
+    def test_description_falls_back_to_first_sentence(self):
+        result = extract_field("summary", "short description", PAPER)
+        assert result.startswith("Title:")
+
+
+class TestHelpers:
+    def test_extract_all_urls(self):
+        urls = extract_all_urls(PAPER)
+        assert urls == ["https://portal.example.org/coad"]
+
+    def test_summarize_limits_sentences(self):
+        text = "One. Two. Three. Four."
+        assert summarize(text, max_sentences=2) == "One. Two."

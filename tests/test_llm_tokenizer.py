@@ -1,0 +1,73 @@
+"""Tokenizer: counting and truncation."""
+
+import pytest
+
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+
+
+class TestCountTokens:
+    def test_empty_string_is_zero(self):
+        assert count_tokens("") == 0
+
+    def test_single_word(self):
+        assert count_tokens("hello") == 2  # 5 chars -> 2 subword chunks
+
+    def test_short_word_is_one_token(self):
+        assert count_tokens("hi") == 1
+
+    def test_punctuation_counts_separately(self):
+        assert count_tokens("hi!") == 2
+
+    def test_whitespace_only_is_zero(self):
+        assert count_tokens("   \n\t  ") == 0
+
+    def test_long_word_splits_into_subwords(self):
+        # 12 characters -> 3 chunks of ~4 chars.
+        assert count_tokens("abcdefghijkl") == 3
+
+    def test_counts_scale_with_text_length(self):
+        short = count_tokens("the cat sat on the mat")
+        long = count_tokens("the cat sat on the mat " * 10)
+        assert long == 10 * short
+
+    def test_numbers_are_tokens(self):
+        assert count_tokens("1 22 333") == 3
+
+    def test_prose_rate_is_plausible(self):
+        text = (
+            "Declarative AI systems let users write logical plans and "
+            "defer physical implementation choices to an optimizer."
+        )
+        words = len(text.split())
+        tokens = count_tokens(text)
+        # BPE-like: tokens should be ~1.0-2.0x word count for English prose.
+        assert words <= tokens <= 2 * words
+
+
+class TestTruncateToTokens:
+    def test_zero_budget_gives_empty(self):
+        assert truncate_to_tokens("hello world", 0) == ""
+
+    def test_negative_budget_gives_empty(self):
+        assert truncate_to_tokens("hello world", -5) == ""
+
+    def test_fits_returns_unchanged(self):
+        text = "short text"
+        assert truncate_to_tokens(text, 100) == text
+
+    def test_truncation_respects_budget(self):
+        text = "word " * 200
+        truncated = truncate_to_tokens(text, 50)
+        assert count_tokens(truncated) <= 50
+
+    def test_truncation_is_a_prefix(self):
+        text = "alpha beta gamma delta epsilon zeta"
+        truncated = truncate_to_tokens(text, 3)
+        assert text.startswith(truncated)
+
+    def test_truncation_monotone_in_budget(self):
+        text = "one two three four five six seven eight nine ten"
+        lengths = [
+            len(truncate_to_tokens(text, budget)) for budget in range(1, 12)
+        ]
+        assert lengths == sorted(lengths)

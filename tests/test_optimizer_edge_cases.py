@@ -1,0 +1,116 @@
+"""Optimizer edge cases: empty registries, degenerate sources, caps."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.errors import PlanError
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.models import ModelCard, ModelRegistry
+from repro.optimizer.candidates import candidate_operators
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.planner import FRONTIER_CAP, enumerate_plans
+
+Info = make_schema("Info", "d", {"x": "x"})
+
+
+def source_of(n=4, dataset_id="edge"):
+    return MemorySource(
+        [f"doc {i}" for i in range(n)], dataset_id=dataset_id,
+        schema=TextFile,
+    )
+
+
+class TestEmptyRegistry:
+    def test_semantic_filter_without_models_fails_clearly(self):
+        source = source_of()
+        dataset = pz.Dataset(source).filter("anything")
+        logical = dataset.logical_plan().operators[-1]
+        with pytest.raises(PlanError, match="no models"):
+            candidate_operators(logical, ModelRegistry(), source=source)
+
+    def test_semantic_convert_without_models_fails_clearly(self):
+        source = source_of(dataset_id="edge2")
+        dataset = pz.Dataset(source).convert(Info)
+        logical = dataset.logical_plan().operators[-1]
+        with pytest.raises(PlanError, match="no models"):
+            candidate_operators(logical, ModelRegistry(), source=source)
+
+    def test_retrieve_without_embedders_fails_clearly(self):
+        source = source_of(dataset_id="edge3")
+        dataset = pz.Dataset(source).retrieve("query", k=1)
+        logical = dataset.logical_plan().operators[-1]
+        chat_only = ModelRegistry([
+            ModelCard(name="chat", provider="t", usd_per_1m_input=1.0,
+                      usd_per_1m_output=1.0, quality=0.8),
+        ])
+        with pytest.raises(PlanError, match="embedding"):
+            candidate_operators(logical, chat_only, source=source)
+
+    def test_udf_only_pipeline_needs_no_models(self):
+        source = source_of(dataset_id="edge4")
+        dataset = pz.Dataset(source).filter(lambda r: True)
+        report = Optimizer(models=ModelRegistry()).optimize(
+            dataset.logical_plan(), source
+        )
+        assert report.plans_considered == 1
+
+
+class TestEmptySource:
+    def test_optimizer_on_empty_source(self):
+        source = MemorySource([], dataset_id="edge-empty", schema=TextFile)
+        dataset = pz.Dataset(source).filter("anything")
+        report = Optimizer().optimize(dataset.logical_plan(), source)
+        assert report.chosen.estimate.cost_usd == 0.0
+
+    def test_sentinel_on_empty_source_is_skipped(self):
+        source = MemorySource([], dataset_id="edge-empty2", schema=TextFile)
+        dataset = pz.Dataset(source).filter("anything")
+        report = Optimizer(sample_size=5).optimize(
+            dataset.logical_plan(), source
+        )
+        assert report.sentinel_runs == 0
+
+
+class TestStepwisePruning:
+    def test_pruned_enumeration_bounded_by_cap(self):
+        # Many models x long pipeline forces the stepwise path.
+        registry = ModelRegistry([
+            ModelCard(
+                name=f"m{i}", provider="t",
+                usd_per_1m_input=0.1 + 0.05 * i,
+                usd_per_1m_output=0.3 + 0.1 * i,
+                quality=0.5 + 0.015 * i,
+            )
+            for i in range(12)
+        ])
+        source = source_of(dataset_id="edge-prune")
+        dataset = pz.Dataset(source)
+        for i in range(3):
+            dataset = dataset.filter(f"condition {i}")
+        cost_model = CostModel(source.profile())
+        candidates = enumerate_plans(
+            dataset.logical_plan(), source, registry, cost_model,
+            prune=True, include_embedding_filter=False,
+        )
+        assert 0 < len(candidates) <= FRONTIER_CAP
+
+    def test_sentinel_plan_cap_respected(self):
+        source = source_of(n=6, dataset_id="edge-cap")
+        dataset = pz.Dataset(source).filter("anything").convert(Info)
+        from repro.optimizer.optimizer import SENTINEL_PLAN_CAP
+
+        report = Optimizer(sample_size=2).optimize(
+            dataset.logical_plan(), source
+        )
+        assert report.sentinel_runs <= SENTINEL_PLAN_CAP
+
+
+class TestDatasetExplain:
+    def test_dataset_explain_sugar(self):
+        source = source_of(dataset_id="edge-explain")
+        text = pz.Dataset(source).filter("anything").explain(policy="cost")
+        assert "pareto frontier" in text
+        assert "min-cost" in text

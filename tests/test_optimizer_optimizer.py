@@ -1,0 +1,130 @@
+"""The optimizer end-to-end: policy-driven plan selection and sentinels."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.dataset import Dataset
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.oracle import DocumentTruth, global_oracle
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.policies import MaxQuality, MinCost, MinTime
+
+Clinical = make_schema("Clinical", "d", {"name": "n", "url": "u"})
+
+
+@pytest.fixture()
+def source():
+    docs = []
+    for i in range(12):
+        relevant = i % 2 == 0
+        topic = "colorectal cancer" if relevant else "gardening tips"
+        text = (
+            f"Title: Doc {i} about {topic}. "
+            f"The Pool-{i} dataset is publicly available at "
+            f"https://example.org/{i}. " + "Body text. " * 60
+        )
+        docs.append(text)
+        global_oracle().register(
+            text,
+            DocumentTruth(
+                predicates={"about colorectal cancer": relevant},
+                fields={"name": f"Pool-{i}",
+                        "url": f"https://example.org/{i}"},
+                difficulty=0.05,
+            ),
+        )
+    return MemorySource(docs, dataset_id="opt-test", schema=TextFile)
+
+
+@pytest.fixture()
+def pipeline(source):
+    return (
+        Dataset(source)
+        .filter("about colorectal cancer")
+        .convert(Clinical)
+    )
+
+
+class TestPolicySelection:
+    def test_max_quality_picks_best_quality_plan(self, pipeline, source):
+        report = Optimizer(MaxQuality()).optimize(
+            pipeline.logical_plan(), source
+        )
+        best = max(c.estimate.quality for c in report.candidates)
+        assert report.chosen.estimate.quality == pytest.approx(best)
+
+    def test_min_cost_picks_cheapest_plan(self, pipeline, source):
+        report = Optimizer(MinCost()).optimize(
+            pipeline.logical_plan(), source
+        )
+        cheapest = min(c.estimate.cost_usd for c in report.candidates)
+        assert report.chosen.estimate.cost_usd == pytest.approx(cheapest)
+
+    def test_min_time_picks_fastest_plan(self, pipeline, source):
+        report = Optimizer(MinTime()).optimize(
+            pipeline.logical_plan(), source
+        )
+        fastest = min(c.estimate.time_seconds for c in report.candidates)
+        assert report.chosen.estimate.time_seconds == pytest.approx(fastest)
+
+    def test_policies_choose_different_plans(self, pipeline, source):
+        plans = {
+            policy.name: Optimizer(policy)
+            .optimize(pipeline.logical_plan(), source)
+            .chosen.plan.describe()
+            for policy in (MaxQuality(), MinCost(), MinTime())
+        }
+        assert len(set(plans.values())) >= 2
+
+    def test_default_policy_is_max_quality(self, pipeline, source):
+        report = Optimizer().optimize(pipeline.logical_plan(), source)
+        assert report.policy.name == "max-quality"
+
+    def test_report_counts_plans(self, pipeline, source):
+        report = Optimizer().optimize(pipeline.logical_plan(), source)
+        assert report.plans_considered == len(report.candidates) > 10
+
+    def test_frontier_is_subset(self, pipeline, source):
+        report = Optimizer().optimize(pipeline.logical_plan(), source)
+        frontier = report.frontier()
+        assert 0 < len(frontier) <= len(report.candidates)
+
+
+class TestSentinel:
+    def test_sentinel_runs_record_cost(self, pipeline, source):
+        report = Optimizer(MinCost(), sample_size=3).optimize(
+            pipeline.logical_plan(), source
+        )
+        assert report.sentinel_runs > 0
+        assert report.sentinel_cost_usd > 0
+
+    def test_sentinel_updates_estimates(self, pipeline, source):
+        naive = Optimizer(MinCost()).optimize(
+            pipeline.logical_plan(), source
+        )
+        sampled = Optimizer(MinCost(), sample_size=4).optimize(
+            pipeline.logical_plan(), source
+        )
+        # At least the chosen plan's estimate should now be sample-based.
+        assert sampled.chosen.estimate.from_sample
+        assert not naive.chosen.estimate.from_sample
+
+    def test_sentinel_selectivity_reflects_data(self, pipeline, source):
+        # True selectivity is 0.5 (6 of 12 docs relevant); naive prior is
+        # also 0.5, but the sampled estimate must be in a sane range.
+        report = Optimizer(MaxQuality(), sample_size=6).optimize(
+            pipeline.logical_plan(), source
+        )
+        assert 0 < report.chosen.estimate.output_cardinality <= 12
+
+    def test_zero_sample_size_skips_sentinels(self, pipeline, source):
+        report = Optimizer(MaxQuality(), sample_size=0).optimize(
+            pipeline.logical_plan(), source
+        )
+        assert report.sentinel_runs == 0
+        assert report.sentinel_cost_usd == 0.0
+
+    def test_describe_mentions_chosen_plan(self, pipeline, source):
+        report = Optimizer().optimize(pipeline.logical_plan(), source)
+        assert "chosen:" in report.describe()

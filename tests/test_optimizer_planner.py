@@ -1,0 +1,217 @@
+"""Plan enumeration, candidates, Pareto pruning, cost model."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.dataset import Dataset
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.models import ModelRegistry, default_registry
+from repro.optimizer.candidates import candidate_operators
+from repro.optimizer.cost_model import CostModel, PlanEstimate, SampleStats
+from repro.optimizer.planner import (
+    PlanCandidate,
+    enumerate_plans,
+    pareto_frontier,
+    plan_space_size,
+)
+
+Clinical = make_schema("Clinical", "d", {"name": "n", "url": "u"})
+
+
+@pytest.fixture()
+def source():
+    docs = [f"Document {i} about colorectal cancer." for i in range(10)]
+    return MemorySource(docs, dataset_id="plans-test", schema=TextFile)
+
+
+@pytest.fixture()
+def pipeline(source):
+    return (
+        Dataset(source)
+        .filter("about colorectal cancer")
+        .convert(Clinical, cardinality="one_to_many")
+    )
+
+
+def n_chat_models():
+    return len(default_registry().chat_models())
+
+
+def n_embed_models():
+    return len(default_registry().embedding_models())
+
+
+class TestCandidates:
+    def test_semantic_filter_candidates(self, pipeline, source):
+        logical = pipeline.logical_plan().operators[1]
+        candidates = candidate_operators(
+            logical, default_registry(), source=source
+        )
+        assert len(candidates) == n_chat_models() + n_embed_models()
+
+    def test_semantic_convert_candidates(self, pipeline, source):
+        logical = pipeline.logical_plan().operators[2]
+        candidates = candidate_operators(
+            logical, default_registry(), source=source
+        )
+        # 4 strategies per chat model.
+        assert len(candidates) == 4 * n_chat_models()
+
+    def test_ablation_switches_shrink_space(self, pipeline, source):
+        logical = pipeline.logical_plan().operators[2]
+        candidates = candidate_operators(
+            logical, default_registry(), source=source,
+            include_token_reduction=False, include_code_synthesis=False,
+        )
+        assert len(candidates) == 2 * n_chat_models()
+
+    def test_udf_filter_single_candidate(self, source):
+        ds = Dataset(source).filter(lambda r: True)
+        logical = ds.logical_plan().operators[1]
+        candidates = candidate_operators(
+            logical, default_registry(), source=source
+        )
+        assert len(candidates) == 1
+
+    def test_plan_space_size(self, pipeline, source):
+        size = plan_space_size(
+            pipeline.logical_plan(), default_registry(), source
+        )
+        filters = n_chat_models() + n_embed_models()
+        converts = 4 * n_chat_models()
+        assert size == 1 * filters * converts
+
+
+class TestEnumerate:
+    def test_exhaustive_enumeration(self, pipeline, source):
+        cost_model = CostModel(source.profile())
+        candidates = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model
+        )
+        assert len(candidates) == plan_space_size(
+            pipeline.logical_plan(), default_registry(), source
+        )
+        # Each candidate carries an estimate.
+        assert all(c.estimate.cost_usd >= 0 for c in candidates)
+
+    def test_pruned_enumeration_returns_frontier_subset(
+        self, pipeline, source
+    ):
+        cost_model = CostModel(source.profile())
+        full = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model,
+            prune=False,
+        )
+        pruned = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model,
+            prune=True,
+        )
+        assert 0 < len(pruned) <= len(full)
+        # The overall best-cost plan must survive pruning.
+        best_cost = min(c.estimate.cost_usd for c in full)
+        assert min(c.estimate.cost_usd for c in pruned) == pytest.approx(
+            best_cost
+        )
+
+    def test_plan_ids_unique(self, pipeline, source):
+        cost_model = CostModel(source.profile())
+        candidates = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model
+        )
+        ids = [c.plan.plan_id for c in candidates]
+        assert len(set(ids)) == len(ids)
+
+
+class TestParetoFrontier:
+    def _candidate(self, cost, time, quality):
+        return PlanCandidate(
+            plan=None,
+            estimate=PlanEstimate(
+                plan=None, cost_usd=cost, time_seconds=time,
+                quality=quality, output_cardinality=1.0,
+            ),
+        )
+
+    def test_dominated_removed(self):
+        good = self._candidate(1.0, 1.0, 0.9)
+        dominated = self._candidate(2.0, 2.0, 0.8)
+        frontier = pareto_frontier([good, dominated])
+        assert frontier == [good]
+
+    def test_incomparable_both_kept(self):
+        cheap = self._candidate(1.0, 10.0, 0.5)
+        fast = self._candidate(10.0, 1.0, 0.5)
+        assert len(pareto_frontier([cheap, fast])) == 2
+
+    def test_duplicates_kept_once_each(self):
+        a = self._candidate(1.0, 1.0, 0.9)
+        b = self._candidate(1.0, 1.0, 0.9)
+        # Equal points do not dominate each other (no strict improvement).
+        assert len(pareto_frontier([a, b])) == 2
+
+    def test_order_independent_membership(self):
+        candidates = [
+            self._candidate(c, t, q)
+            for c, t, q in [(1, 5, 0.5), (5, 1, 0.5), (3, 3, 0.9), (6, 6, 0.4)]
+        ]
+        forward = pareto_frontier(candidates)
+        backward = pareto_frontier(list(reversed(candidates)))
+        fkeys = {(c.estimate.cost_usd, c.estimate.time_seconds) for c in forward}
+        bkeys = {(c.estimate.cost_usd, c.estimate.time_seconds) for c in backward}
+        assert fkeys == bkeys
+
+
+class TestCostModel:
+    def test_quality_multiplies_down_the_pipeline(self, pipeline, source):
+        cost_model = CostModel(source.profile())
+        candidates = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model
+        )
+        # Plan quality is the product of per-op qualities along the
+        # propagated stream (cardinality shrinks after the filter).
+        from repro.physical.base import StreamEstimate
+
+        profile = source.profile()
+        for candidate in candidates:
+            stream = StreamEstimate(
+                profile.cardinality, profile.avg_document_tokens
+            )
+            product = 1.0
+            for op in candidate.plan:
+                est = op.naive_estimates(stream)
+                product *= est.quality
+                stream = StreamEstimate(
+                    est.cardinality, stream.avg_document_tokens
+                )
+            assert candidate.estimate.quality == pytest.approx(product)
+
+    def test_parallel_workers_shrink_time(self, pipeline, source):
+        sequential = CostModel(source.profile(), max_workers=1)
+        parallel = CostModel(source.profile(), max_workers=8)
+        plan = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), sequential
+        )[0].plan
+        assert (
+            parallel.estimate_plan(plan).time_seconds
+            < sequential.estimate_plan(plan).time_seconds
+        )
+
+    def test_sample_stats_override_priors(self, pipeline, source):
+        cost_model = CostModel(source.profile())
+        plan = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model
+        )[0].plan
+        naive = cost_model.estimate_plan(plan)
+        filter_op = plan.operators[1]
+        cost_model.update(
+            filter_op.full_op_id,
+            SampleStats(selectivity=0.1, cost_per_record=0.0),
+        )
+        updated = cost_model.estimate_plan(plan)
+        assert updated.from_sample
+        assert updated.output_cardinality < naive.output_cardinality
+
+    def test_invalid_workers(self, source):
+        with pytest.raises(ValueError):
+            CostModel(source.profile(), max_workers=0)

@@ -1,0 +1,122 @@
+"""Optimization policies: ranking and constraints."""
+
+import pytest
+
+from repro.optimizer.cost_model import PlanEstimate
+from repro.optimizer.policies import (
+    MaxQuality,
+    MaxQualityAtFixedCost,
+    MaxQualityAtFixedTime,
+    MinCost,
+    MinCostAtFixedQuality,
+    MinTime,
+    WeightedBlend,
+    parse_policy,
+)
+
+
+def estimate(cost, time, quality):
+    return PlanEstimate(
+        plan=None, cost_usd=cost, time_seconds=time, quality=quality,
+        output_cardinality=1.0,
+    )
+
+
+CHEAP = estimate(0.01, 100.0, 0.6)
+FAST = estimate(0.50, 5.0, 0.7)
+GOOD = estimate(1.00, 200.0, 0.95)
+POOL = [CHEAP, FAST, GOOD]
+
+
+class TestBasicPolicies:
+    def test_max_quality(self):
+        assert MaxQuality().choose(POOL) is GOOD
+
+    def test_min_cost(self):
+        assert MinCost().choose(POOL) is CHEAP
+
+    def test_min_time(self):
+        assert MinTime().choose(POOL) is FAST
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            MaxQuality().choose([])
+
+    def test_max_quality_tiebreak_by_cost(self):
+        a = estimate(2.0, 10.0, 0.9)
+        b = estimate(1.0, 10.0, 0.9)
+        assert MaxQuality().choose([a, b]) is b
+
+    def test_min_cost_tiebreak_by_quality(self):
+        a = estimate(1.0, 10.0, 0.5)
+        b = estimate(1.0, 10.0, 0.9)
+        assert MinCost().choose([a, b]) is b
+
+
+class TestConstrainedPolicies:
+    def test_quality_under_cost_budget(self):
+        policy = MaxQualityAtFixedCost(0.60)
+        assert policy.choose(POOL) is FAST  # GOOD is over budget
+
+    def test_budget_infeasible_falls_back_to_best(self):
+        policy = MaxQualityAtFixedCost(0.001)
+        # Nothing feasible: still returns the quality-best plan.
+        assert policy.choose(POOL) is GOOD
+
+    def test_quality_under_time_budget(self):
+        policy = MaxQualityAtFixedTime(150.0)
+        # GOOD is too slow; FAST beats CHEAP on quality among the feasible.
+        assert policy.choose(POOL) is FAST
+
+    def test_cost_above_quality_floor(self):
+        policy = MinCostAtFixedQuality(0.65)
+        assert policy.choose(POOL) is FAST
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MaxQualityAtFixedCost(0)
+        with pytest.raises(ValueError):
+            MaxQualityAtFixedTime(-1)
+        with pytest.raises(ValueError):
+            MinCostAtFixedQuality(0.0)
+        with pytest.raises(ValueError):
+            MinCostAtFixedQuality(1.5)
+
+    def test_describe_includes_constraint(self):
+        assert "$0.60" in MaxQualityAtFixedCost(0.60).describe()
+
+
+class TestWeightedBlend:
+    def test_pure_quality_weight_matches_max_quality(self):
+        policy = WeightedBlend(cost_weight=0, time_weight=0, quality_weight=1)
+        assert policy.choose(POOL) is GOOD
+
+    def test_pure_cost_weight_matches_min_cost(self):
+        policy = WeightedBlend(cost_weight=1, time_weight=0, quality_weight=0)
+        assert policy.choose(POOL) is CHEAP
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedBlend(0, 0, 0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedBlend(cost_weight=-1)
+
+
+class TestParsePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("quality", MaxQuality), ("max-quality", MaxQuality),
+        ("cost", MinCost), ("MinCost", MinCost),
+        ("runtime", MinTime), ("min_time", MinTime),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(parse_policy(name), cls)
+
+    def test_instance_passthrough(self):
+        policy = MinCost()
+        assert parse_policy(policy) is policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_policy("fastest-cheapest-best")

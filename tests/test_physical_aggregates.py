@@ -1,0 +1,195 @@
+"""Aggregates, group-by, projection, limit, retrieve."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.logical import (
+    AggFunc,
+    Aggregate,
+    GroupByAggregate,
+    LimitScan,
+    Project,
+    RetrieveScan,
+)
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.physical.aggregates import AggregateOp, GroupByOp
+from repro.physical.base import StreamEstimate
+from repro.physical.context import ExecutionContext
+from repro.physical.retrieve import RetrieveOp
+from repro.physical.structural import LimitOp, ProjectOp
+
+Listing = make_schema(
+    "Listing", "A property listing",
+    {"city": "The city", "price": "The price"},
+)
+
+
+def listings():
+    rows = [
+        {"city": "Rome", "price": 100},
+        {"city": "Rome", "price": 300},
+        {"city": "Oslo", "price": 200},
+    ]
+    return [DataRecord.from_dict(Listing, row) for row in rows]
+
+
+@pytest.fixture()
+def context():
+    return ExecutionContext()
+
+
+def run_blocking(op, records, context):
+    op.open(context)
+    for record in records:
+        assert op.process(record) == []
+    return op.close()
+
+
+class TestAggregateOp:
+    def test_count(self, context):
+        out = run_blocking(
+            AggregateOp(Aggregate(Listing, AggFunc.COUNT)),
+            listings(), context,
+        )
+        assert len(out) == 1
+        assert out[0].count == 3
+
+    def test_average(self, context):
+        out = run_blocking(
+            AggregateOp(Aggregate(Listing, AggFunc.AVERAGE, "price")),
+            listings(), context,
+        )
+        assert out[0].average_price == pytest.approx(200.0)
+
+    def test_sum_min_max(self, context):
+        for func, expected in [
+            (AggFunc.SUM, 600), (AggFunc.MIN, 100), (AggFunc.MAX, 300)
+        ]:
+            out = run_blocking(
+                AggregateOp(Aggregate(Listing, func, "price")),
+                listings(), context,
+            )
+            alias = f"{func.value}_price"
+            assert getattr(out[0], alias) == expected
+
+    def test_average_of_empty_is_none(self, context):
+        out = run_blocking(
+            AggregateOp(Aggregate(Listing, AggFunc.AVERAGE, "price")),
+            [], context,
+        )
+        assert out[0].average_price is None
+
+    def test_non_numeric_values_skipped(self, context):
+        records = listings() + [
+            DataRecord.from_dict(Listing, {"city": "X", "price": "n/a"})
+        ]
+        out = run_blocking(
+            AggregateOp(Aggregate(Listing, AggFunc.AVERAGE, "price")),
+            records, context,
+        )
+        assert out[0].average_price == pytest.approx(200.0)
+
+    def test_numeric_strings_coerced(self, context):
+        records = [
+            DataRecord.from_dict(Listing, {"city": "X", "price": "1,000"})
+        ]
+        out = run_blocking(
+            AggregateOp(Aggregate(Listing, AggFunc.SUM, "price")),
+            records, context,
+        )
+        assert out[0].sum_price == 1000
+
+    def test_estimates_single_output(self, context):
+        op = AggregateOp(Aggregate(Listing, AggFunc.COUNT))
+        assert op.naive_estimates(StreamEstimate(50, 100)).cardinality == 1.0
+
+
+class TestGroupByOp:
+    def test_groups_and_aggregates(self, context):
+        logical = GroupByAggregate(
+            Listing, ["city"],
+            [(AggFunc.COUNT, None), (AggFunc.AVERAGE, "price")],
+        )
+        out = run_blocking(GroupByOp(logical), listings(), context)
+        by_city = {r.city: r for r in out}
+        assert by_city["Rome"].count == 2
+        assert by_city["Rome"].average_price == pytest.approx(200.0)
+        assert by_city["Oslo"].count == 1
+
+    def test_output_sorted_by_group_key(self, context):
+        logical = GroupByAggregate(Listing, ["city"], [(AggFunc.COUNT, None)])
+        out = run_blocking(GroupByOp(logical), listings(), context)
+        assert [r.city for r in out] == ["Oslo", "Rome"]
+
+    def test_empty_input_no_groups(self, context):
+        logical = GroupByAggregate(Listing, ["city"], [(AggFunc.COUNT, None)])
+        assert run_blocking(GroupByOp(logical), [], context) == []
+
+
+class TestProjectOp:
+    def test_drops_other_fields(self, context):
+        op = ProjectOp(Project(Listing, ["city"]))
+        op.open(context)
+        out = op.process(listings()[0])
+        assert out[0].to_dict() == {"city": "Rome"}
+
+    def test_streaming(self, context):
+        op = ProjectOp(Project(Listing, ["city"]))
+        assert not op.is_blocking
+
+
+class TestLimitOp:
+    def test_stops_after_n(self, context):
+        op = LimitOp(LimitScan(Listing, 2))
+        op.open(context)
+        outputs = [op.process(r) for r in listings()]
+        assert [len(o) for o in outputs] == [1, 1, 0]
+        assert op.exhausted
+
+    def test_limit_zero(self, context):
+        op = LimitOp(LimitScan(Listing, 0))
+        op.open(context)
+        assert op.exhausted
+        assert op.process(listings()[0]) == []
+
+    def test_open_resets(self, context):
+        op = LimitOp(LimitScan(Listing, 1))
+        op.open(context)
+        op.process(listings()[0])
+        assert op.exhausted
+        op.open(context)
+        assert not op.exhausted
+
+
+class TestRetrieveOp:
+    def _texts(self):
+        rows = [
+            "waterfront home with private dock on the lake",
+            "downtown condo near transit and restaurants",
+            "lakefront cottage with waterfront views and a dock",
+        ]
+        return [
+            DataRecord.from_dict(TextFile, {"text_contents": t})
+            for t in rows
+        ]
+
+    def test_top_k_by_similarity(self, context):
+        logical = RetrieveScan(TextFile, "waterfront dock lake", k=2)
+        model = context.models.embedding_models()[0]
+        out = run_blocking(RetrieveOp(logical, model), self._texts(), context)
+        assert len(out) == 2
+        texts = {r.text_contents for r in out}
+        assert all("dock" in t for t in texts)
+
+    def test_k_larger_than_input(self, context):
+        logical = RetrieveScan(TextFile, "anything", k=10)
+        model = context.models.embedding_models()[0]
+        out = run_blocking(RetrieveOp(logical, model), self._texts(), context)
+        assert len(out) == 3
+
+    def test_embedding_calls_metered(self, context):
+        logical = RetrieveScan(TextFile, "query", k=1)
+        model = context.models.embedding_models()[0]
+        run_blocking(RetrieveOp(logical, model), self._texts(), context)
+        assert len(context.ledger) == 4  # 1 query + 3 documents

@@ -1,0 +1,233 @@
+"""Physical convert operators: strategies and their trade-offs."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.cardinality import Cardinality
+from repro.core.logical import ConvertScan
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.llm.models import get_model
+from repro.llm.oracle import DocumentTruth, GroundTruthRegistry
+from repro.physical.base import StreamEstimate
+from repro.physical.context import ExecutionContext
+from repro.physical.converts import (
+    CodeSynthesisConvert,
+    LLMConvertBonded,
+    LLMConvertConventional,
+    NonLLMConvert,
+    TokenReducedConvert,
+    synthesized_code_model,
+)
+
+Clinical = make_schema(
+    "Clinical", "Clinical dataset info",
+    {"name": "The dataset name", "url": "The dataset URL"},
+)
+
+DOC = (
+    "We study tumors. The CRC-Atlas dataset is publicly available at "
+    "https://data.example.org/crc."
+)
+
+
+def record(text=DOC):
+    return DataRecord.from_dict(TextFile, {"text_contents": text})
+
+
+@pytest.fixture()
+def context():
+    oracle = GroundTruthRegistry()
+    oracle.register(
+        DOC,
+        DocumentTruth(
+            fields={
+                "name": "CRC-Atlas",
+                "url": "https://data.example.org/crc",
+                "__instances__": [
+                    {"name": "CRC-Atlas",
+                     "url": "https://data.example.org/crc"},
+                    {"name": "CRC-Extra",
+                     "url": "https://data.example.org/extra"},
+                ],
+            },
+            difficulty=0.0,
+        ),
+    )
+    return ExecutionContext(oracle=oracle)
+
+
+def convert_op(cardinality=Cardinality.ONE_TO_ONE, udf=None):
+    return ConvertScan(TextFile, Clinical, cardinality=cardinality, udf=udf)
+
+
+class TestNonLLMConvert:
+    def test_udf_dict_output(self, context):
+        op = NonLLMConvert(convert_op(udf=lambda r: {"name": "X"}))
+        op.open(context)
+        outputs = op.process(record())
+        assert outputs[0].name == "X"
+
+    def test_udf_list_output_one_to_many(self, context):
+        op = NonLLMConvert(
+            convert_op(
+                cardinality=Cardinality.ONE_TO_MANY,
+                udf=lambda r: [{"name": "A"}, {"name": "B"}],
+            )
+        )
+        op.open(context)
+        outputs = op.process(record())
+        assert [o.name for o in outputs] == ["A", "B"]
+
+    def test_requires_udf(self):
+        with pytest.raises(ValueError):
+            NonLLMConvert(convert_op())
+
+
+class TestLLMConvertBonded:
+    def test_extracts_new_fields(self, context):
+        op = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        outputs = op.process(record())
+        assert len(outputs) == 1
+        assert outputs[0].name == "CRC-Atlas"
+        assert outputs[0].url == "https://data.example.org/crc"
+
+    def test_one_call_per_record(self, context):
+        op = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        op.process(record())
+        assert len(context.ledger) == 1
+
+    def test_one_to_many_produces_instances(self, context):
+        op = LLMConvertBonded(
+            convert_op(Cardinality.ONE_TO_MANY), get_model("gpt-4o")
+        )
+        op.open(context)
+        outputs = op.process(record())
+        assert len(outputs) == 2
+        assert {o.name for o in outputs} == {"CRC-Atlas", "CRC-Extra"}
+
+    def test_lineage_preserved(self, context):
+        op = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        source = record()
+        outputs = op.process(source)
+        assert outputs[0].parent is source
+
+    def test_requires_semantic_convert(self):
+        with pytest.raises(ValueError):
+            LLMConvertBonded(
+                convert_op(udf=lambda r: {}), get_model("gpt-4o")
+            )
+
+
+class TestLLMConvertConventional:
+    def test_one_call_per_field(self, context):
+        op = LLMConvertConventional(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        op.process(record())
+        assert len(context.ledger) == 2  # two new fields
+
+    def test_one_to_many_extra_call(self, context):
+        op = LLMConvertConventional(
+            convert_op(Cardinality.ONE_TO_MANY), get_model("gpt-4o")
+        )
+        op.open(context)
+        outputs = op.process(record())
+        assert len(outputs) == 2
+        assert len(context.ledger) == 3  # 1 instance call + 2 field passes
+
+    def test_costlier_but_better_estimates_than_bonded(self, context):
+        stream = StreamEstimate(10, 2000)
+        conventional = LLMConvertConventional(
+            convert_op(), get_model("gpt-4o")
+        )
+        bonded = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        c_est = conventional.naive_estimates(stream)
+        b_est = bonded.naive_estimates(stream)
+        assert c_est.cost_per_record > b_est.cost_per_record
+        assert c_est.quality > b_est.quality
+
+
+class TestTokenReducedConvert:
+    def test_cheaper_than_bonded(self, context):
+        stream = StreamEstimate(10, 2000)
+        reduced = TokenReducedConvert(
+            convert_op(), get_model("gpt-4o"), fraction=0.3
+        )
+        bonded = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        r_est = reduced.naive_estimates(stream)
+        b_est = bonded.naive_estimates(stream)
+        assert r_est.cost_per_record < b_est.cost_per_record
+        assert r_est.quality < b_est.quality
+
+    def test_runtime_tokens_actually_reduced(self, context):
+        long_doc = DOC + " padding" * 400
+        context.oracle.register(
+            long_doc, DocumentTruth(fields={"name": "CRC-Atlas"})
+        )
+        reduced = TokenReducedConvert(
+            convert_op(), get_model("gpt-4o"), fraction=0.2
+        )
+        reduced.open(context)
+        reduced.process(record(long_doc))
+        bonded_context = ExecutionContext(oracle=context.oracle)
+        bonded = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        bonded.open(bonded_context)
+        bonded.process(record(long_doc))
+        assert (
+            context.ledger.total().input_tokens
+            < bonded_context.ledger.total().input_tokens
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TokenReducedConvert(convert_op(), get_model("gpt-4o"), fraction=0)
+
+    def test_label_shows_fraction(self):
+        op = TokenReducedConvert(
+            convert_op(), get_model("gpt-4o"), fraction=0.35
+        )
+        assert "@0.35" in op.op_label
+
+
+class TestCodeSynthesisConvert:
+    def test_exemplars_then_free(self, context):
+        op = CodeSynthesisConvert(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        docs = []
+        for i in range(6):
+            doc = DOC + f" copy {i}"
+            context.oracle.register(
+                doc, DocumentTruth(fields={"name": "CRC-Atlas",
+                                           "url": "u"}, difficulty=0.0)
+            )
+            docs.append(doc)
+        for doc in docs:
+            op.process(record(doc))
+        by_model = context.ledger.by_model()
+        assert by_model["gpt-4o"].calls == CodeSynthesisConvert.EXEMPLARS
+        synth_name = synthesized_code_model(get_model("gpt-4o")).name
+        assert by_model[synth_name].calls == 3
+        assert by_model[synth_name].cost_usd == 0.0
+
+    def test_synthesized_model_quality_below_base(self):
+        base = get_model("gpt-4o")
+        assert synthesized_code_model(base).quality < base.quality
+
+    def test_estimates_cheaper_for_large_streams(self):
+        op = CodeSynthesisConvert(convert_op(), get_model("gpt-4o"))
+        bonded = LLMConvertBonded(convert_op(), get_model("gpt-4o"))
+        big_stream = StreamEstimate(1000, 2000)
+        assert (
+            op.naive_estimates(big_stream).cost_per_record
+            < bonded.naive_estimates(big_stream).cost_per_record
+        )
+
+    def test_open_resets_exemplar_counter(self, context):
+        op = CodeSynthesisConvert(convert_op(), get_model("gpt-4o"))
+        op.open(context)
+        op.process(record())
+        op.open(context)
+        assert op._seen == 0

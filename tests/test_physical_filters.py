@@ -1,0 +1,156 @@
+"""Physical filter operators."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.logical import FilterSpec, FilteredScan
+from repro.core.records import DataRecord
+from repro.llm.models import get_model
+from repro.llm.oracle import DocumentTruth, GroundTruthRegistry
+from repro.physical.base import StreamEstimate
+from repro.physical.context import ExecutionContext
+from repro.physical.filters import EmbeddingFilter, LLMFilter, NonLLMFilter
+
+
+def record(text):
+    return DataRecord.from_dict(TextFile, {"text_contents": text})
+
+
+def semantic_filter(predicate="about colorectal cancer"):
+    return FilteredScan(TextFile, FilterSpec(predicate=predicate))
+
+
+@pytest.fixture()
+def context():
+    oracle = GroundTruthRegistry()
+    oracle.register(
+        "A colorectal cancer study.",
+        DocumentTruth(
+            predicates={"about colorectal cancer": True}, difficulty=0.0
+        ),
+    )
+    oracle.register(
+        "A pasta cooking guide.",
+        DocumentTruth(
+            predicates={"about colorectal cancer": False}, difficulty=0.0
+        ),
+    )
+    return ExecutionContext(oracle=oracle)
+
+
+class TestNonLLMFilter:
+    def test_udf_applied(self, context):
+        logical = FilteredScan(
+            TextFile, FilterSpec(udf=lambda r: "keep" in r.text_contents)
+        )
+        op = NonLLMFilter(logical)
+        op.open(context)
+        assert op.process(record("keep me")) != []
+        assert op.process(record("drop me")) == []
+
+    def test_requires_udf_spec(self):
+        with pytest.raises(ValueError):
+            NonLLMFilter(semantic_filter())
+
+    def test_estimates_are_free_and_perfect(self, context):
+        logical = FilteredScan(TextFile, FilterSpec(udf=lambda r: True))
+        estimates = NonLLMFilter(logical).naive_estimates(
+            StreamEstimate(10, 1000)
+        )
+        assert estimates.cost_per_record == 0.0
+        assert estimates.quality == 1.0
+
+
+class TestLLMFilter:
+    def test_keeps_true_documents(self, context):
+        op = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        op.open(context)
+        assert op.process(record("A colorectal cancer study.")) != []
+        assert op.process(record("A pasta cooking guide.")) == []
+
+    def test_requires_semantic_spec(self):
+        logical = FilteredScan(TextFile, FilterSpec(udf=lambda r: True))
+        with pytest.raises(ValueError):
+            LLMFilter(logical, get_model("gpt-4o"))
+
+    def test_meters_context(self, context):
+        op = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        op.open(context)
+        op.process(record("A colorectal cancer study."))
+        assert len(context.ledger) == 1
+        assert context.clock.elapsed > 0
+
+    def test_unopened_operator_raises(self):
+        op = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        with pytest.raises(AssertionError):
+            op.process(record("x"))
+
+    def test_estimates_scale_with_model_price(self, context):
+        stream = StreamEstimate(10, 2000)
+        big = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        small = LLMFilter(semantic_filter(), get_model("gpt-4o-mini"))
+        assert (
+            big.naive_estimates(stream).cost_per_record
+            > small.naive_estimates(stream).cost_per_record
+        )
+
+    def test_estimates_quality_tracks_model_quality(self, context):
+        stream = StreamEstimate(10, 2000)
+        big = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        small = LLMFilter(semantic_filter(), get_model("llama-3-8b"))
+        assert (
+            big.naive_estimates(stream).quality
+            > small.naive_estimates(stream).quality
+        )
+
+    def test_op_label_includes_model(self):
+        op = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        assert op.op_label == "LLMFilter[gpt-4o]"
+
+
+class TestEmbeddingFilter:
+    def _embedder_model(self, context):
+        return context.models.embedding_models()[0]
+
+    def test_vocabulary_overlap_passes(self, context):
+        op = EmbeddingFilter(
+            semantic_filter("colorectal cancer research"),
+            self._embedder_model(context),
+        )
+        op.open(context)
+        kept = op.process(
+            record(
+                "a long colorectal cancer research cohort analysis with "
+                "colorectal cancer outcomes discussed throughout " * 3
+            )
+        )
+        dropped = op.process(
+            record(
+                "an unrelated essay on medieval architecture and art, "
+                "covering cathedrals, frescoes, and stone masonry " * 3
+            )
+        )
+        assert kept != []
+        assert dropped == []
+
+    def test_cheaper_than_llm(self, context):
+        stream = StreamEstimate(10, 2000)
+        embed = EmbeddingFilter(
+            semantic_filter(), self._embedder_model(context)
+        )
+        llm = LLMFilter(semantic_filter(), get_model("gpt-4o-mini"))
+        assert (
+            embed.naive_estimates(stream).cost_per_record
+            < llm.naive_estimates(stream).cost_per_record
+        )
+
+    def test_lower_estimated_quality_than_llm(self, context):
+        stream = StreamEstimate(10, 2000)
+        embed = EmbeddingFilter(
+            semantic_filter(), self._embedder_model(context)
+        )
+        llm = LLMFilter(semantic_filter(), get_model("gpt-4o"))
+        assert (
+            embed.naive_estimates(stream).quality
+            < llm.naive_estimates(stream).quality
+        )

@@ -1,0 +1,65 @@
+"""PhysicalPlan structure, ids, and explain output."""
+
+import pytest
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.dataset import Dataset
+from repro.core.errors import PlanError
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.models import default_registry
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.planner import enumerate_plans
+from repro.physical.plan import PhysicalPlan
+
+Clinical = make_schema("C", "d", {"name": "n"})
+
+
+@pytest.fixture()
+def plans():
+    source = MemorySource(
+        ["doc one", "doc two"], dataset_id="plan-test", schema=TextFile
+    )
+    dataset = Dataset(source).filter("about one").convert(Clinical)
+    cost_model = CostModel(source.profile())
+    return enumerate_plans(
+        dataset.logical_plan(), source, default_registry(), cost_model
+    )
+
+
+class TestPhysicalPlan:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            PhysicalPlan([])
+
+    def test_must_start_with_scan(self, plans):
+        downstream_only = plans[0].plan.downstream
+        with pytest.raises(PlanError):
+            PhysicalPlan(downstream_only)
+
+    def test_plan_id_reflects_operators(self, plans):
+        a, b = plans[0].plan, plans[1].plan
+        assert a.plan_id != b.plan_id
+        # Rebuilding the same operator chain yields the same id.
+        assert a.plan_id == PhysicalPlan(a.operators).plan_id
+
+    def test_models_used(self, plans):
+        for candidate in plans:
+            models = candidate.plan.models_used()
+            llm_ops = [
+                op for op in candidate.plan if op.model is not None
+            ]
+            assert len(models) == len({op.model.name for op in llm_ops})
+
+    def test_explain_lists_every_operator(self, plans):
+        text = plans[0].plan.explain()
+        assert text.startswith("PhysicalPlan")
+        # One line per operator plus the header.
+        assert len(text.splitlines()) == len(plans[0].plan) + 1
+
+    def test_describe_uses_labels(self, plans):
+        assert "MarshalAndScan" in plans[0].plan.describe()
+
+    def test_iteration_and_len(self, plans):
+        plan = plans[0].plan
+        assert len(list(plan)) == len(plan) == 3

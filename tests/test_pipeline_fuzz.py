@@ -1,0 +1,126 @@
+"""Pipeline fuzzing: random op chains must always execute cleanly.
+
+Hypothesis composes random (but schema-valid) chains of operators over a
+small in-memory corpus; every generated pipeline must optimize and execute
+without raising, and basic sanity invariants must hold on the output.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+
+Doc = make_schema(
+    "FuzzDoc", "A fuzz document",
+    {"title": "The title", "body": "The body",
+     "score": pz.NumericField(desc="A score")},
+)
+
+
+def make_source(n):
+    rows = [
+        {
+            "title": f"Document {i}",
+            "body": f"body text {'cancer' if i % 2 else 'garden'} {i}",
+            "score": (i * 7) % 13,
+        }
+        for i in range(n)
+    ]
+    return MemorySource(rows, dataset_id=f"fuzz-{n}", schema=Doc)
+
+
+# Each op descriptor is (kind, parameter).
+op_strategy = st.one_of(
+    st.tuples(st.just("filter_udf"), st.integers(0, 3)),
+    st.tuples(st.just("filter_nl"), st.sampled_from(
+        ["about cancer", "about gardens", "mentions body text"]
+    )),
+    st.tuples(st.just("limit"), st.integers(0, 12)),
+    st.tuples(st.just("distinct"), st.none()),
+    st.tuples(st.just("sort"), st.sampled_from(["title", "score"])),
+    st.tuples(st.just("project"), st.sampled_from(
+        [["title"], ["title", "score"], ["body"]]
+    )),
+)
+
+terminal_strategy = st.one_of(
+    st.none(),
+    st.just("count"),
+    st.just("groupby"),
+)
+
+
+def apply_ops(dataset, ops, terminal):
+    for kind, parameter in ops:
+        if kind == "filter_udf":
+            threshold = parameter
+            dataset = dataset.filter(
+                lambda r, t=threshold: (r.get("score") or 0) >= t
+                if "score" in r.schema.field_map() else True
+            )
+        elif kind == "filter_nl":
+            dataset = dataset.filter(parameter)
+        elif kind == "limit":
+            dataset = dataset.limit(parameter)
+        elif kind == "distinct":
+            dataset = dataset.distinct()
+        elif kind == "sort":
+            if parameter in dataset.schema.field_map():
+                dataset = dataset.sort(parameter)
+        elif kind == "project":
+            fields = [
+                f for f in parameter if f in dataset.schema.field_map()
+            ]
+            if fields:
+                dataset = dataset.project(fields)
+    if terminal == "count":
+        dataset = dataset.count()
+    elif terminal == "groupby":
+        if "title" in dataset.schema.field_map():
+            dataset = dataset.groupby(["title"], [("count", None)])
+    return dataset
+
+
+class TestPipelineFuzz:
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.lists(op_strategy, max_size=5),
+        terminal_strategy,
+        st.sampled_from(["quality", "cost", "runtime"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_pipelines_execute(self, n_docs, ops, terminal, policy):
+        dataset = apply_ops(pz.Dataset(make_source(n_docs)), ops, terminal)
+        records, stats = pz.Execute(dataset, policy=policy)
+
+        assert isinstance(records, list)
+        assert stats.records_out == len(records)
+        assert stats.total_cost_usd >= 0
+        assert stats.total_time_seconds >= 0
+        # Output cardinality can never exceed the input for these
+        # (non-fanout) operators, except scalar aggregates on empty input.
+        if terminal is None:
+            assert len(records) <= n_docs
+        elif terminal == "count":
+            assert len(records) == 1
+            assert records[0].count <= n_docs
+
+    @given(st.lists(op_strategy, min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_fuzzed_pipelines_are_deterministic(self, ops):
+        dataset_a = apply_ops(pz.Dataset(make_source(6)), ops, None)
+        dataset_b = apply_ops(pz.Dataset(make_source(6)), ops, None)
+        records_a, stats_a = pz.Execute(dataset_a, policy="quality")
+        records_b, stats_b = pz.Execute(dataset_b, policy="quality")
+        assert [r.to_dict() for r in records_a] == [
+            r.to_dict() for r in records_b
+        ]
+        assert stats_a.total_cost_usd == pytest.approx(
+            stats_b.total_cost_usd
+        )

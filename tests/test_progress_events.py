@@ -1,0 +1,67 @@
+"""Executor progress events."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.sources import MemorySource
+from repro.execution.executors import ParallelExecutor, SequentialExecutor
+from repro.optimizer.optimizer import Optimizer
+
+
+def make_plan(n=5, blocking=False, dataset_id="events"):
+    docs = [f"document number {i}" for i in range(n)]
+    source = MemorySource(docs, dataset_id=dataset_id, schema=TextFile)
+    dataset = pz.Dataset(source)
+    if blocking:
+        dataset = dataset.count()
+    report = Optimizer().optimize(dataset.logical_plan(), source)
+    return report.chosen.plan
+
+
+class TestSequentialEvents:
+    def test_event_sequence(self):
+        events = []
+        executor = SequentialExecutor(on_event=events.append)
+        executor.execute(make_plan(n=4))
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "plan_start"
+        assert kinds[-1] == "plan_end"
+        assert kinds.count("record_processed") == 4
+
+    def test_record_events_carry_progress(self):
+        events = []
+        executor = SequentialExecutor(on_event=events.append)
+        executor.execute(make_plan(n=3))
+        indices = [
+            e["index"] for e in events if e["type"] == "record_processed"
+        ]
+        assert indices == [1, 2, 3]
+
+    def test_plan_end_totals_match_stats(self):
+        events = []
+        executor = SequentialExecutor(on_event=events.append)
+        records, stats = executor.execute(make_plan(n=3))
+        end = events[-1]
+        assert end["records_out"] == len(records)
+        assert end["cost_usd"] == pytest.approx(stats.total_cost_usd)
+
+    def test_blocking_flush_event(self):
+        events = []
+        executor = SequentialExecutor(on_event=events.append)
+        executor.execute(make_plan(n=3, blocking=True, dataset_id="ev-agg"))
+        flushes = [e for e in events if e["type"] == "operator_flush"]
+        assert len(flushes) == 1
+        assert flushes[0]["records"] == 1
+
+    def test_no_callback_is_fine(self):
+        records, _ = SequentialExecutor().execute(make_plan(n=2))
+        assert len(records) == 2
+
+
+class TestParallelEvents:
+    def test_parallel_executor_emits_too(self):
+        events = []
+        executor = ParallelExecutor(max_workers=2, on_event=events.append)
+        executor.execute(make_plan(n=4, dataset_id="ev-par"))
+        assert [e["type"] for e in events].count("record_processed") == 4

@@ -1,0 +1,314 @@
+"""Extended relational operators: join, union, distinct, sort."""
+
+import pytest
+
+import repro as pz
+from repro.core.builtin_schemas import TextFile
+from repro.core.errors import PlanError, SchemaError
+from repro.core.logical_ext import (
+    Distinct,
+    JoinScan,
+    Sort,
+    UnionScan,
+    joined_schema,
+)
+from repro.core.records import DataRecord
+from repro.core.schemas import make_schema
+from repro.core.sources import MemorySource
+from repro.llm.oracle import DocumentTruth, global_oracle
+
+Person = make_schema("Person", "d", {"name": "n", "team": "t"})
+Team = make_schema("Team", "d", {"team": "t", "city": "c"})
+
+
+def people_dataset():
+    rows = [
+        {"name": "Ada", "team": "red"},
+        {"name": "Bo", "team": "blue"},
+        {"name": "Cy", "team": "red"},
+    ]
+    return pz.Dataset(
+        MemorySource(rows, dataset_id="people", schema=Person)
+    )
+
+
+def teams_dataset():
+    rows = [
+        {"team": "red", "city": "Rome"},
+        {"team": "blue", "city": "Oslo"},
+    ]
+    return pz.Dataset(MemorySource(rows, dataset_id="teams", schema=Team))
+
+
+class TestJoinedSchema:
+    def test_merges_fields_with_prefix_on_clash(self):
+        merged = joined_schema(Person, Team)
+        assert set(merged.field_names()) == {
+            "name", "team", "right_team", "city"
+        }
+
+    def test_join_scan_validation(self):
+        with pytest.raises(PlanError):
+            JoinScan(Person, teams_dataset())  # neither predicate nor udf
+        with pytest.raises(PlanError):
+            JoinScan(
+                Person, teams_dataset(), predicate="x", udf=lambda a, b: True
+            )
+        with pytest.raises(PlanError):
+            JoinScan(Person, teams_dataset(), predicate="   ")
+
+
+class TestUDFJoin:
+    def test_equi_join(self):
+        joined = people_dataset().join(
+            teams_dataset(), udf=lambda l, r: l.team == r.team
+        )
+        records, stats = pz.Execute(joined)
+        assert len(records) == 3
+        cities = {(r.name, r.city) for r in records}
+        assert ("Ada", "Rome") in cities
+        assert ("Bo", "Oslo") in cities
+
+    def test_join_output_schema(self):
+        joined = people_dataset().join(
+            teams_dataset(), udf=lambda l, r: l.team == r.team
+        )
+        assert "city" in joined.schema.field_map()
+        assert "right_team" in joined.schema.field_map()
+
+    def test_cross_product_with_always_true(self):
+        joined = people_dataset().join(
+            teams_dataset(), udf=lambda l, r: True
+        )
+        records, _ = pz.Execute(joined)
+        assert len(records) == 6
+
+    def test_right_side_cost_accounted_to_join(self):
+        # Right side with a semantic filter: its LLM calls must appear in
+        # the join operator's stats.
+        docs = ["colorectal cancer report", "gardening newsletter"]
+        for doc, truth in zip(docs, (True, False)):
+            global_oracle().register(
+                doc,
+                DocumentTruth(
+                    predicates={"about colorectal cancer": truth},
+                    difficulty=0.0,
+                ),
+            )
+        right = pz.Dataset(
+            MemorySource(docs, dataset_id="join-right", schema=TextFile)
+        ).filter("about colorectal cancer")
+        left = pz.Dataset(
+            MemorySource(["anything"], dataset_id="join-left",
+                         schema=TextFile)
+        )
+        joined = left.join(right, udf=lambda l, r: True)
+        records, stats = pz.Execute(joined)
+        join_stats = stats.plan_stats.operator_stats[1]
+        assert join_stats.llm_calls >= 2  # the right-side filter calls
+        assert stats.total_cost_usd > 0
+
+
+class TestSemanticJoin:
+    def test_oracle_pair_truth(self):
+        left_doc = "Study referencing the Alpha dataset."
+        right_docs = ["Alpha dataset catalog entry.", "Beta dataset entry."]
+        predicate = "the study references the catalog dataset"
+        for right_doc, truth in zip(right_docs, (True, False)):
+            pair = (
+                f"LEFT RECORD:\n{left_doc}\n\nRIGHT RECORD:\n{right_doc}"
+            )
+            global_oracle().register(
+                pair,
+                DocumentTruth(predicates={predicate: truth}, difficulty=0.0),
+            )
+        left = pz.Dataset(
+            MemorySource([left_doc], dataset_id="sj-left", schema=TextFile)
+        )
+        right = pz.Dataset(
+            MemorySource(right_docs, dataset_id="sj-right", schema=TextFile)
+        )
+        joined = left.join(right, predicate=predicate)
+        records, stats = pz.Execute(joined, policy=pz.MaxQuality())
+        assert len(records) == 1
+        assert "Alpha" in records[0].right_text_contents
+
+    def test_join_is_semantic_operator(self):
+        joined = people_dataset().join(teams_dataset(), predicate="match")
+        semantic = joined.logical_plan().semantic_operators()
+        assert len(semantic) == 1
+
+    def test_plan_space_includes_blocked_variant(self):
+        from repro.llm.models import default_registry
+        from repro.optimizer.candidates import candidate_operators
+
+        joined = people_dataset().join(teams_dataset(), predicate="match")
+        logical = joined.logical_plan().operators[-1]
+        labels = {
+            op.strategy
+            for op in candidate_operators(
+                logical, default_registry(),
+                source=people_dataset().source,
+            )
+        }
+        assert labels == {"LLMSemanticJoin", "EmbeddingBlockedJoin"}
+
+    def test_blocked_join_cheaper_estimate(self):
+        from repro.llm.models import default_registry, get_model
+        from repro.physical.base import StreamEstimate
+        from repro.physical.joins import (
+            EmbeddingBlockedJoin,
+            LLMSemanticJoin,
+        )
+
+        big_right = pz.Dataset(
+            MemorySource(
+                [f"entry {i}" for i in range(50)],
+                dataset_id="big-right", schema=TextFile,
+            )
+        )
+        logical = JoinScan(TextFile, big_right, predicate="match")
+        stream = StreamEstimate(10, 500)
+        full = LLMSemanticJoin(logical, get_model("gpt-4o"))
+        blocked = EmbeddingBlockedJoin(
+            logical, get_model("gpt-4o"),
+            default_registry().embedding_models()[0],
+        )
+        assert (
+            blocked.naive_estimates(stream).cost_per_record
+            < full.naive_estimates(stream).cost_per_record
+        )
+        assert (
+            blocked.naive_estimates(stream).quality
+            < full.naive_estimates(stream).quality
+        )
+
+
+class TestUnion:
+    def test_concatenates(self):
+        combined = people_dataset().union(people_dataset())
+        records, _ = pz.Execute(combined)
+        assert len(records) == 6
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="matching schemas"):
+            people_dataset().union(teams_dataset())
+
+    def test_union_then_distinct(self):
+        combined = people_dataset().union(people_dataset()).distinct()
+        records, _ = pz.Execute(combined)
+        assert len(records) == 3
+
+
+class TestDistinct:
+    def test_by_subset_of_fields(self):
+        deduped = people_dataset().distinct(["team"])
+        records, _ = pz.Execute(deduped)
+        assert len(records) == 2  # red, blue
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            people_dataset().distinct(["bogus"])
+
+    def test_no_duplicates_passthrough(self):
+        records, _ = pz.Execute(people_dataset().distinct())
+        assert len(records) == 3
+
+
+class TestSort:
+    def _scores(self):
+        Score = make_schema(
+            "Score", "d",
+            {"name": "n",
+             "points": pz.NumericField(desc="points")},
+        )
+        rows = [
+            {"name": "a", "points": 30},
+            {"name": "b", "points": 10},
+            {"name": "c", "points": None},
+            {"name": "d", "points": 20},
+        ]
+        return pz.Dataset(
+            MemorySource(rows, dataset_id="scores", schema=Score)
+        )
+
+    def test_ascending_nulls_last(self):
+        records, _ = pz.Execute(self._scores().sort("points"))
+        assert [r.name for r in records] == ["b", "d", "a", "c"]
+
+    def test_descending_nulls_last(self):
+        records, _ = pz.Execute(
+            self._scores().sort("points", descending=True)
+        )
+        assert [r.name for r in records] == ["a", "d", "b", "c"]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            self._scores().sort("bogus")
+
+
+class TestReferenceExecution:
+    def test_reference_join_union_distinct_sort(self):
+        from repro.evaluation.reference import reference_output
+
+        joined = people_dataset().join(
+            teams_dataset(), udf=lambda l, r: l.team == r.team
+        ).distinct().sort("name")
+        output = reference_output(
+            joined.logical_plan(), people_dataset().source
+        )
+        assert [r.name for r in output] == ["Ada", "Bo", "Cy"]
+        union = people_dataset().union(people_dataset())
+        output = reference_output(
+            union.logical_plan(), people_dataset().source
+        )
+        assert len(output) == 6
+
+
+class TestExtEstimates:
+    def test_union_estimate_adds_cardinalities(self):
+        from repro.physical.base import StreamEstimate
+        from repro.physical.setops import UnionOp
+
+        logical = UnionScan(Person, people_dataset())
+        estimate = UnionOp(logical).naive_estimates(StreamEstimate(5, 100))
+        assert estimate.cardinality == pytest.approx(5 + 3)
+
+    def test_distinct_estimate_shrinks(self):
+        from repro.physical.base import StreamEstimate
+        from repro.physical.setops import DistinctOp
+
+        logical = Distinct(Person)
+        estimate = DistinctOp(logical).naive_estimates(
+            StreamEstimate(10, 100)
+        )
+        assert estimate.cardinality < 10
+
+    def test_join_candidates_for_udf_join(self):
+        from repro.llm.models import default_registry
+        from repro.optimizer.candidates import candidate_operators
+
+        joined = people_dataset().join(
+            teams_dataset(), udf=lambda a, b: True
+        )
+        logical = joined.logical_plan().operators[-1]
+        candidates = candidate_operators(
+            logical, default_registry(), source=people_dataset().source
+        )
+        assert [type(c).__name__ for c in candidates] == [
+            "NestedLoopUDFJoin"
+        ]
+
+    def test_pipeline_with_everything(self):
+        # One pipeline using join + union + distinct + sort + limit.
+        base = people_dataset()
+        combined = (
+            base.union(people_dataset())
+            .distinct()
+            .join(teams_dataset(), udf=lambda l, r: l.team == r.team)
+            .sort("name")
+            .limit(2)
+        )
+        records, stats = pz.Execute(combined)
+        assert [r.name for r in records] == ["Ada", "Bo"]
+        assert stats.plan_stats.records_out == 2
