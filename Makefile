@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench examples all clean
+.PHONY: install test bench perf examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+perf:
+	PYTHONPATH=src python scripts/perf_snapshot.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Real wall-clock performance snapshot for the hot paths.
+
+Unlike the pytest benchmarks (which report *simulated* cost/latency on the
+virtual clock), this harness measures actual CPU wall-clock with
+``time.perf_counter`` over a fixed workload set, so regressions in the
+Python hot paths (tokenization, fingerprinting, plan enumeration) are
+visible across PRs.  Results append to ``BENCH_perf.json`` at the repo
+root: each run records per-workload seconds plus environment metadata, and
+keeps the prior runs so the file is a trajectory, not a point.
+
+Workloads:
+
+* ``plan_enum_exhaustive``  — full enumeration + costing of a 3-semantic-op
+  pipeline over the default registry (hundreds of plans).
+* ``plan_enum_pruned``      — 4 semantic ops x 6 synthetic models
+  (plan space > EXHAUSTIVE_LIMIT, so the pruning DP engages).
+* ``pipeline_cold``         — sci-discovery-shaped pipeline, cold call cache.
+* ``pipeline_warm``         — the same pipeline re-run against the warm cache.
+* ``scaling``               — filter+convert over a larger synthetic corpus.
+* ``tokenize_repeat``       — the repeated-tokenization pattern every LLM
+  call hits (count_tokens/fingerprint over the same documents many times).
+
+Usage:
+    PYTHONPATH=src python scripts/perf_snapshot.py [--quick] [--repeat N]
+                                                   [--output PATH] [--label L]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro as pz  # noqa: E402
+from repro.core.builtin_schemas import TextFile  # noqa: E402
+from repro.core.sources import MemorySource  # noqa: E402
+from repro.llm.cache import CallCache  # noqa: E402
+from repro.llm.models import ModelCard, ModelRegistry, default_registry  # noqa: E402
+from repro.llm.oracle import fingerprint_text  # noqa: E402
+from repro.llm.tokenizer import count_tokens  # noqa: E402
+from repro.optimizer.cost_model import CostModel  # noqa: E402
+from repro.optimizer.planner import enumerate_plans, plan_space_size  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+
+# ----------------------------------------------------------------------
+# Workload definitions.  Each returns a metadata dict; the harness times it.
+# ----------------------------------------------------------------------
+
+def _synthetic_docs(n: int, words: int = 120) -> list:
+    body = (
+        "study cohort colorectal screening endoscopy survival dataset "
+        "registry biomarker outcome trial protocol follow-up analysis "
+    )
+    return [
+        f"Document {i}: " + body * max(1, words // 16) + f"id-{i}"
+        for i in range(n)
+    ]
+
+
+def _semantic_pipeline(source, n_ops: int):
+    dataset = pz.Dataset(source)
+    for index in range(n_ops):
+        if index % 2 == 0:
+            dataset = dataset.filter(f"papers about topic number {index}")
+        else:
+            schema = pz.make_schema(
+                f"Step{index}", "perf step",
+                {f"value{index}": "the value", f"note{index}": "a note"},
+            )
+            dataset = dataset.convert(schema)
+    return dataset
+
+
+def _registry_of(n: int) -> ModelRegistry:
+    cards = [
+        ModelCard(
+            name=f"perf-model-{i}", provider="perf",
+            usd_per_1m_input=0.1 * (i + 1),
+            usd_per_1m_output=0.4 * (i + 1),
+            quality=0.55 + 0.05 * i,
+        )
+        for i in range(n)
+    ]
+    return ModelRegistry(cards)
+
+
+def workload_plan_enum_exhaustive(quick: bool) -> dict:
+    source = MemorySource(
+        _synthetic_docs(8), dataset_id="perf-enum-ex", schema=TextFile
+    )
+    pipeline = _semantic_pipeline(source, 2 if quick else 3)
+    cost_model = CostModel(source.profile())
+    candidates = enumerate_plans(
+        pipeline.logical_plan(), source, default_registry(), cost_model,
+        prune=False,
+    )
+    return {"plans": len(candidates)}
+
+
+def workload_plan_enum_pruned(quick: bool) -> dict:
+    source = MemorySource(
+        _synthetic_docs(8), dataset_id="perf-enum-pr", schema=TextFile
+    )
+    models = _registry_of(4 if quick else 6)
+    pipeline = _semantic_pipeline(source, 3 if quick else 4)
+    space = plan_space_size(
+        pipeline.logical_plan(), models, source,
+        include_embedding_filter=False,
+    )
+    cost_model = CostModel(source.profile())
+    candidates = enumerate_plans(
+        pipeline.logical_plan(), source, models, cost_model,
+        prune=True, include_embedding_filter=False,
+    )
+    return {"plan_space": space, "frontier": len(candidates)}
+
+
+class _PipelinePair:
+    """Cold/warm pipeline runs sharing one call cache."""
+
+    def __init__(self, quick: bool):
+        from repro.corpora.papers import (
+            CLINICAL_FIELDS,
+            PAPERS_PREDICATE,
+            generate_paper_corpus,
+        )
+        from repro.core.sources import DirectorySource
+
+        self._dir = tempfile.mkdtemp(prefix="perf-papers-")
+        papers = generate_paper_corpus(Path(self._dir))
+        self.source = DirectorySource(papers, dataset_id="perf-sci")
+        schema = pz.make_schema(
+            "ClinicalData", "clinical datasets", CLINICAL_FIELDS,
+        )
+        self.pipeline = (
+            pz.Dataset(self.source)
+            .filter(PAPERS_PREDICATE)
+            .convert(schema, cardinality=pz.Cardinality.ONE_TO_MANY)
+        )
+        self.cache = CallCache()
+
+    def run(self) -> dict:
+        records, stats = pz.Execute(
+            self.pipeline, policy=pz.MaxQuality(), cache=self.cache
+        )
+        return {
+            "records_out": len(records),
+            "simulated_cost_usd": round(stats.total_cost_usd, 4),
+        }
+
+
+def workload_scaling(quick: bool) -> dict:
+    n = 60 if quick else 200
+    source = MemorySource(
+        _synthetic_docs(n, words=80), dataset_id="perf-scale",
+        schema=TextFile,
+    )
+    schema = pz.make_schema(
+        "ScaleOut", "scale step", {"value": "the value"},
+    )
+    pipeline = (
+        pz.Dataset(source)
+        .filter("documents about screening")
+        .convert(schema)
+    )
+    records, stats = pz.Execute(pipeline, policy=pz.MinCost())
+    return {"records_in": n, "records_out": len(records)}
+
+
+def workload_tokenize_repeat(quick: bool) -> dict:
+    docs = _synthetic_docs(10, words=400)
+    rounds = 30 if quick else 100
+    total = 0
+    for _ in range(rounds):
+        for doc in docs:
+            total += count_tokens(doc)
+            fingerprint_text(doc)
+    return {"calls": 2 * rounds * len(docs), "tokens": total}
+
+
+# ----------------------------------------------------------------------
+# Harness.
+# ----------------------------------------------------------------------
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
+    pair = [None]  # lazily built so corpus generation is not timed
+
+    def pipeline_cold(q):
+        pair[0] = _PipelinePair(q)
+        return pair[0].run()
+
+    def pipeline_warm(q):
+        return pair[0].run()
+
+    workloads = [
+        ("plan_enum_exhaustive", workload_plan_enum_exhaustive),
+        ("plan_enum_pruned", workload_plan_enum_pruned),
+        ("pipeline_cold", pipeline_cold),
+        ("pipeline_warm", pipeline_warm),
+        ("scaling", workload_scaling),
+        ("tokenize_repeat", workload_tokenize_repeat),
+    ]
+    results = {}
+    for name, fn in workloads:
+        best = None
+        meta = {}
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            meta = fn(quick) or {}
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            if name in ("pipeline_cold", "pipeline_warm"):
+                break  # cold/warm pairing breaks under repetition
+        results[name] = {"wall_seconds": round(best, 4), **meta}
+        print(f"{name:>24}: {best:.4f}s  {meta}")
+    return {
+        "label": label,
+        "quick": quick,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "workloads": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload; best-of-N is kept")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--label", default="",
+                        help="free-form tag recorded with the run")
+    args = parser.parse_args(argv)
+
+    run = run_snapshot(args.quick, args.repeat, args.label)
+
+    history = []
+    if args.output.exists():
+        try:
+            payload = json.loads(args.output.read_text())
+            history = payload.get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(run)
+    args.output.write_text(
+        json.dumps({"runs": history}, indent=2) + "\n"
+    )
+    print(f"\nwrote {args.output} ({len(history)} runs recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ class DataRecord:
         object.__setattr__(self, "_source_id", source_id)
         object.__setattr__(self, "_parent", parent)
         object.__setattr__(self, "_record_id", next(_record_counter))
+        object.__setattr__(self, "_doc_text_cache", None)
 
     # -- construction helpers -------------------------------------------
 
@@ -103,6 +104,7 @@ class DataRecord:
             )
         field = self._schema.field_map()[name]
         self._values[name] = field.coerce(value)
+        object.__setattr__(self, "_doc_text_cache", None)
 
     # -- accessors ---------------------------------------------------------
 
@@ -140,16 +142,30 @@ class DataRecord:
         Prefers the conventional document fields; falls back to joining all
         string-valued fields.  Lineage fallback: a record whose own schema has
         no text (e.g. after projection) inherits its parent's document text.
+
+        The result is cached per record (invalidated on field writes) because
+        every semantic call re-derives it.  The lineage fallback delegates to
+        the parent rather than caching here, so a later parent mutation is
+        still observed.
         """
+        cached = self._doc_text_cache
+        if cached is not None:
+            return cached
+        text = None
         for name in _DOCUMENT_FIELDS:
             value = self._values.get(name)
             if isinstance(value, str) and value:
-                return value
-        strings = [
-            v for v in self._values.values() if isinstance(v, str) and v
-        ]
-        if strings:
-            return "\n".join(strings)
+                text = value
+                break
+        if text is None:
+            strings = [
+                v for v in self._values.values() if isinstance(v, str) and v
+            ]
+            if strings:
+                text = "\n".join(strings)
+        if text is not None:
+            object.__setattr__(self, "_doc_text_cache", text)
+            return text
         if self._parent is not None:
             return self._parent.document_text()
         return ""

@@ -35,6 +35,7 @@ class DataSource:
             raise DatasetError("dataset_id must be non-empty")
         self.dataset_id = dataset_id
         self.schema = schema
+        self._profile_cache: Dict[int, "SourceProfile"] = {}
 
     def __iter__(self) -> Iterator[DataRecord]:
         raise NotImplementedError
@@ -51,15 +52,28 @@ class DataSource:
                 break
         return out
 
-    def profile(self, sample_size: int = 5) -> "SourceProfile":
-        """Cheap statistics for the optimizer's naive cost model."""
+    def profile(self, sample_size: int = 5,
+                refresh: bool = False) -> "SourceProfile":
+        """Cheap statistics for the optimizer's naive cost model.
+
+        Cached per ``sample_size``: plan enumeration profiles the source once
+        per semantic operator, and each profile re-marshals sample records
+        (file IO for directory sources).  Pass ``refresh=True`` after the
+        underlying data changes.
+        """
+        if not refresh:
+            cached = self._profile_cache.get(sample_size)
+            if cached is not None:
+                return cached
         sample = self.sample(sample_size)
         token_counts = [count_tokens(r.document_text()) for r in sample]
         avg = statistics.mean(token_counts) if token_counts else 0.0
-        return SourceProfile(
+        profile = SourceProfile(
             cardinality=len(self),
             avg_document_tokens=avg,
         )
+        self._profile_cache[sample_size] = profile
+        return profile
 
     def __repr__(self) -> str:
         return (

@@ -37,12 +37,12 @@ class _OpMeter:
 
     def open(self) -> None:
         """Open the operator, attributing any setup work (e.g. a join's
-        right-side materialization) to this operator's stats."""
-        outputs, _ = self._metered(
-            lambda: self.op.open(self.context) or [], inputs=0
+        right-side materialization) to this operator's stats.  Opening
+        produces no records, so only time/cost are metered."""
+        self._metered(
+            lambda: self.op.open(self.context) or [],
+            inputs=0, count_outputs=False,
         )
-        # open() produces no records; undo the phantom output count.
-        self.stats.records_out -= len(outputs)
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         outputs, _ = self._metered(lambda: self.op.process(record), inputs=1)
@@ -52,7 +52,8 @@ class _OpMeter:
         outputs, _ = self._metered(self.op.close, inputs=0)
         return outputs
 
-    def _metered(self, fn, inputs: int) -> Tuple[List[DataRecord], float]:
+    def _metered(self, fn, inputs: int,
+                 count_outputs: bool = True) -> Tuple[List[DataRecord], float]:
         ledger = self.context.ledger
         busy_before = self.context.clock.total_busy
         calls_before = len(ledger)
@@ -61,7 +62,8 @@ class _OpMeter:
         new_usages = ledger.records[calls_before:]
 
         self.stats.records_in += inputs
-        self.stats.records_out += len(outputs)
+        if count_outputs:
+            self.stats.records_out += len(outputs)
         self.stats.time_seconds += busy_delta
         self.stats.llm_calls += len(new_usages)
         for usage in new_usages:

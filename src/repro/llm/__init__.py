@@ -40,6 +40,7 @@ from repro.llm.client import (
     LLMResponse,
 )
 from repro.llm.cache import CallCache, CacheStats
+from repro.llm.memo import TextMemo, clear_memos, memo_stats
 from repro.llm.oracle import GroundTruthRegistry, global_oracle, fingerprint_text
 from repro.llm.embeddings import EmbeddingModel, cosine_similarity
 
@@ -62,6 +63,9 @@ __all__ = [
     "LLMResponse",
     "CallCache",
     "CacheStats",
+    "TextMemo",
+    "clear_memos",
+    "memo_stats",
     "GroundTruthRegistry",
     "global_oracle",
     "fingerprint_text",

@@ -14,16 +14,20 @@ accounting benchmarks compare cold vs warm runs explicitly.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 CacheKey = Tuple[str, str, str, str, float]
+
+_MISS = object()
 
 
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -38,7 +42,9 @@ class CallCache:
     """In-memory cache of simulated model answers.
 
     Args:
-        max_entries: evict (FIFO) beyond this many entries; None = unbounded.
+        max_entries: evict the least-recently-used entry beyond this many;
+            None = unbounded.  A lookup hit refreshes an entry's recency, so
+            hot answers survive even when they were stored early.
     """
 
     #: Simulated latency of a cache hit, in seconds.
@@ -47,7 +53,7 @@ class CallCache:
     def __init__(self, max_entries: Optional[int] = None):
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive or None")
-        self._entries: Dict[CacheKey, Any] = {}
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._max_entries = max_entries
         self.stats = CacheStats()
 
@@ -58,20 +64,23 @@ class CallCache:
                 round(context_fraction, 4))
 
     def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
-        """(hit?, value).  Updates hit/miss statistics."""
-        if key in self._entries:
+        """(hit?, value).  Updates hit/miss statistics and LRU recency."""
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
             self.stats.hits += 1
-            return True, self._entries[key]
+            if self._max_entries is not None:
+                self._entries.move_to_end(key)
+            return True, value
         self.stats.misses += 1
         return False, None
 
     def store(self, key: CacheKey, value: Any) -> None:
-        if self._max_entries is not None and (
-            len(self._entries) >= self._max_entries
-            and key not in self._entries
-        ):
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif (self._max_entries is not None
+                and len(self._entries) >= self._max_entries):
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
         self._entries[key] = value
 
     def __len__(self) -> int:

@@ -184,11 +184,12 @@ class SimulatedLLMClient(LLMClient):
     def judge(self, request: BooleanRequest) -> LLMResponse:
         if not request.predicate.strip():
             raise InvalidRequestError("filter predicate must be non-empty")
+        fingerprint = fingerprint_text(request.document)
         cache_key = None
         if self.cache is not None:
             cache_key = CallCache.make_key(
                 self.model.name, "judge", request.predicate.lower(),
-                fingerprint_text(request.document), request.context_fraction,
+                fingerprint, request.context_fraction,
             )
             hit, value = self.cache.lookup(cache_key)
             if hit:
@@ -196,7 +197,6 @@ class SimulatedLLMClient(LLMClient):
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
-        fingerprint = fingerprint_text(request.document)
         truth = self.oracle.predicate_truth(request.document, request.predicate)
         if truth is None:
             truth = semantics.answer_boolean(request.predicate, visible)
@@ -225,6 +225,7 @@ class SimulatedLLMClient(LLMClient):
     def extract(self, request: ExtractionRequest) -> LLMResponse:
         if not request.fields:
             raise InvalidRequestError("extraction request must name >= 1 field")
+        fingerprint = fingerprint_text(request.document)
         cache_key = None
         if self.cache is not None:
             signature = "|".join(sorted(request.fields)) + (
@@ -232,7 +233,7 @@ class SimulatedLLMClient(LLMClient):
             )
             cache_key = CallCache.make_key(
                 self.model.name, "extract", signature,
-                fingerprint_text(request.document), request.context_fraction,
+                fingerprint, request.context_fraction,
             )
             hit, value = self.cache.lookup(cache_key)
             if hit:
@@ -241,10 +242,10 @@ class SimulatedLLMClient(LLMClient):
             request.document, request.context_fraction
         )
         if request.one_to_many:
-            instances = self._extract_instances(request, visible)
+            instances = self._extract_instances(request, visible, fingerprint)
             payload: Any = instances
         else:
-            payload = self._extract_single(request, visible)
+            payload = self._extract_single(request, visible, fingerprint)
         text = json.dumps(payload, default=str)
         prompt = prompts.build_extract_prompt(
             request.fields, visible, request.schema_description,
@@ -256,9 +257,8 @@ class SimulatedLLMClient(LLMClient):
         return LLMResponse(value=payload, text=text, usage=usage,
                            model=self.model.name)
 
-    def _extract_single(self, request: ExtractionRequest,
-                        visible: str) -> Dict[str, Any]:
-        fingerprint = fingerprint_text(request.document)
+    def _extract_single(self, request: ExtractionRequest, visible: str,
+                        fingerprint: str) -> Dict[str, Any]:
         difficulty = self.oracle.difficulty(request.document)
         result: Dict[str, Any] = {}
         for name, desc in request.fields.items():
@@ -281,9 +281,8 @@ class SimulatedLLMClient(LLMClient):
                 )
         return result
 
-    def _extract_instances(self, request: ExtractionRequest,
-                           visible: str) -> List[Dict[str, Any]]:
-        fingerprint = fingerprint_text(request.document)
+    def _extract_instances(self, request: ExtractionRequest, visible: str,
+                           fingerprint: str) -> List[Dict[str, Any]]:
         known, instances = self.oracle.field_truth(
             request.document, "__instances__"
         )
@@ -316,7 +315,7 @@ class SimulatedLLMClient(LLMClient):
                 out.append(row)
             return out
         # Unknown document: heuristics produce at most one instance.
-        single = self._extract_single(request, visible)
+        single = self._extract_single(request, visible, fingerprint)
         return [single] if any(v is not None for v in single.values()) else []
 
     # ------------------------------------------------------------------

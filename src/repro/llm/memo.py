@@ -1,0 +1,98 @@
+"""Process-wide memoization of hot text-derived values.
+
+Every simulated LLM call re-derives the same two pure functions of the
+document text — its token count and its oracle fingerprint — and a record's
+document flows through dozens of (model x operator x strategy) calls per
+run.  Both functions are O(len(text)) (a regex walk, a SHA-256), so the
+repeated derivation dominates real wall-clock time even though the
+*simulated* clock never sees it.
+
+:class:`TextMemo` is a small bounded memo table keyed on the text itself.
+CPython caches a ``str``'s hash in the object, and dict probes shortcut on
+pointer identity, so a hit on the *same* string object costs one dict
+lookup; a hit on an equal-but-distinct string costs one hash + one memcmp —
+both far cheaper than recomputing.  Eviction is FIFO: these are
+perf caches for a working set of documents, not semantic caches, so the
+cheapest possible hit path wins over strict LRU bookkeeping.
+
+The tokenizer and oracle own module-level instances; :func:`memo_stats` and
+:func:`clear_memos` aggregate them for tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+#: Default entry cap per memo.  Entries hold references to document strings
+#: that already live elsewhere (records, corpora), so the marginal memory is
+#: one dict slot per entry.
+DEFAULT_MAX_ENTRIES = 16_384
+
+_SENTINEL = object()
+
+
+class TextMemo:
+    """A bounded text -> value memo with hit/miss/eviction counters."""
+
+    __slots__ = ("name", "max_entries", "_values", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, name: str, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.name = name
+        self.max_entries = max_entries
+        self._values: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compute(self, text: str, compute: Callable[[str], Any]) -> Any:
+        value = self._values.get(text, _SENTINEL)
+        if value is not _SENTINEL:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute(text)
+        if len(self._values) >= self.max_entries:
+            del self._values[next(iter(self._values))]
+            self.evictions += 1
+        self._values[text] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._values),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: All memos registered at import time (tokenizer, oracle).
+_registry: List[TextMemo] = []
+
+
+def register_memo(memo: TextMemo) -> TextMemo:
+    _registry.append(memo)
+    return memo
+
+
+def memo_stats() -> Dict[str, Dict[str, int]]:
+    """Per-memo hit/miss/eviction counters (diagnostics and tests)."""
+    return {memo.name: memo.stats() for memo in _registry}
+
+
+def clear_memos() -> None:
+    """Drop all memoized values and reset counters (test isolation)."""
+    for memo in _registry:
+        memo.clear()

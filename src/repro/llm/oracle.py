@@ -19,15 +19,26 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.llm.memo import TextMemo, register_memo
+
+#: Memo of text -> fingerprint: every oracle lookup, quality decision, and
+#: cache key re-fingerprints the document, but the fingerprint is a pure
+#: function of the text.
+_fingerprint_memo = register_memo(TextMemo("fingerprint_text"))
+
+
+def _fingerprint_uncached(text: str) -> str:
+    normalized = " ".join(text.split())
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:24]
+
 
 def fingerprint_text(text: str) -> str:
-    """Stable fingerprint of a document's text content.
+    """Stable fingerprint of a document's text content (memoized).
 
     Whitespace runs are collapsed so that round-tripping text through file
     formats (fake-PDF streams, JSON) does not change the fingerprint.
     """
-    normalized = " ".join(text.split())
-    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:24]
+    return _fingerprint_memo.get_or_compute(text, _fingerprint_uncached)
 
 
 @dataclass

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import re
 
+from repro.llm.memo import TextMemo, register_memo
+
 # Words, numbers, or single punctuation marks.
 _TOKEN_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
 
@@ -19,17 +21,13 @@ _TOKEN_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
 # words into multiple tokens).
 _SUBWORD_CHARS = 4
 
+#: Memo of text -> token count: a record's document is counted by every
+#: (model x operator x strategy) call that sees it, but the count is a pure
+#: function of the text.
+_count_memo = register_memo(TextMemo("count_tokens"))
 
-def count_tokens(text: str) -> int:
-    """Count simulated tokens in ``text``.
 
-    >>> count_tokens("")
-    0
-    >>> count_tokens("hello world") >= 2
-    True
-    """
-    if not text:
-        return 0
+def _count_tokens_uncached(text: str) -> int:
     total = 0
     for match in _TOKEN_RE.finditer(text):
         piece = match.group(0)
@@ -39,6 +37,19 @@ def count_tokens(text: str) -> int:
             # Long alphanumeric word: split into subword chunks.
             total += (len(piece) + _SUBWORD_CHARS - 1) // _SUBWORD_CHARS
     return total
+
+
+def count_tokens(text: str) -> int:
+    """Count simulated tokens in ``text`` (memoized on the text).
+
+    >>> count_tokens("")
+    0
+    >>> count_tokens("hello world") >= 2
+    True
+    """
+    if not text:
+        return 0
+    return _count_memo.get_or_compute(text, _count_tokens_uncached)
 
 
 def split_into_token_chunks(text: str, max_tokens: int) -> list:

@@ -6,17 +6,26 @@ threaded through the plan: each operator consumes a :class:`StreamEstimate`
 quality is the product of the semantic operators' per-record qualities —
 errors compound multiplicatively down a pipeline.
 
-Sentinel (sample) execution, orchestrated by the optimizer, can replace these
+Estimation is *incremental*: a :class:`PlanAccumulator` carries the running
+totals of a plan prefix, and :meth:`CostModel.extend` adds one operator to
+it.  The planner's dynamic program extends shared prefixes once instead of
+re-costing every full plan from scratch, and per-operator estimates are
+memoized on ``(operator, input stream)`` — the same operator appears in many
+enumerated plans at the same stream position.  :meth:`CostModel.estimate_plan`
+is the one-shot wrapper over the same arithmetic, so both paths produce
+bit-identical estimates.
+
+Sentinel (sample) execution, orchestrated by the optimizer, can replace the
 priors with observed numbers via :class:`SampleStats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.sources import SourceProfile
-from repro.physical.base import StreamEstimate
+from repro.physical.base import PhysicalOperator, StreamEstimate
 from repro.physical.plan import PhysicalPlan
 
 
@@ -53,6 +62,22 @@ class SampleStats:
     quality: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class PlanAccumulator:
+    """Running totals over a plan *prefix* during incremental estimation.
+
+    Produced by :meth:`CostModel.initial_accumulator`, advanced one operator
+    at a time by :meth:`CostModel.extend`, and converted into a
+    :class:`PlanEstimate` by :meth:`CostModel.finish`.
+    """
+
+    cost_usd: float
+    time_seconds: float
+    quality: float
+    stream: StreamEstimate
+    from_sample: bool = False
+
+
 class CostModel:
     """Estimates plan cost/time/quality for a given source profile.
 
@@ -74,59 +99,98 @@ class CostModel:
         self.source_profile = source_profile
         self.max_workers = max_workers
         self.sample_stats = dict(sample_stats or {})
+        # (op, input cardinality, avg tokens) -> resolved per-op numbers.
+        # Keyed on the operator instance itself: enumeration reuses one
+        # instance per candidate across every plan it appears in.
+        self._op_memo: Dict[Tuple, Tuple] = {}
 
     def update(self, full_op_id: str, stats: SampleStats) -> None:
         self.sample_stats[full_op_id] = stats
+        self._op_memo.clear()
 
-    def estimate_plan(self, plan: PhysicalPlan) -> PlanEstimate:
-        stream = StreamEstimate(
-            cardinality=float(self.source_profile.cardinality),
-            avg_document_tokens=self.source_profile.avg_document_tokens,
+    # -- incremental estimation ------------------------------------------
+
+    def initial_accumulator(self) -> PlanAccumulator:
+        """The empty-prefix accumulator at the source."""
+        return PlanAccumulator(
+            cost_usd=0.0,
+            time_seconds=0.0,
+            quality=1.0,
+            stream=StreamEstimate(
+                cardinality=float(self.source_profile.cardinality),
+                avg_document_tokens=self.source_profile.avg_document_tokens,
+            ),
         )
-        total_cost = 0.0
-        total_time = 0.0
-        quality = 1.0
-        sampled = False
 
-        for op in plan:
-            estimates = op.naive_estimates(stream)
-            observed = self.sample_stats.get(op.full_op_id)
+    def _resolve_operator(self, op: PhysicalOperator,
+                          stream: StreamEstimate) -> Tuple:
+        """Per-operator numbers (priors overridden by samples), memoized."""
+        key = (op, stream.cardinality, stream.avg_document_tokens)
+        resolved = self._op_memo.get(key)
+        if resolved is not None:
+            return resolved
 
-            cost_per_record = estimates.cost_per_record
-            time_per_record = estimates.time_per_record
-            output_cardinality = estimates.cardinality
-            op_quality = estimates.quality
-            if observed is not None:
-                sampled = True
-                if observed.cost_per_record is not None:
-                    cost_per_record = observed.cost_per_record
-                if observed.time_per_record is not None:
-                    time_per_record = observed.time_per_record
-                if observed.selectivity is not None:
-                    output_cardinality = (
-                        stream.cardinality * observed.selectivity
-                    )
-                if observed.quality is not None:
-                    op_quality = observed.quality
+        estimates = op.naive_estimates(stream)
+        observed = (
+            self.sample_stats.get(op.full_op_id) if self.sample_stats
+            else None
+        )
+        cost_per_record = estimates.cost_per_record
+        time_per_record = estimates.time_per_record
+        output_cardinality = estimates.cardinality
+        op_quality = estimates.quality
+        if observed is not None:
+            if observed.cost_per_record is not None:
+                cost_per_record = observed.cost_per_record
+            if observed.time_per_record is not None:
+                time_per_record = observed.time_per_record
+            if observed.selectivity is not None:
+                output_cardinality = stream.cardinality * observed.selectivity
+            if observed.quality is not None:
+                op_quality = observed.quality
+        resolved = (
+            cost_per_record, time_per_record, output_cardinality,
+            op_quality, observed is not None,
+        )
+        self._op_memo[key] = resolved
+        return resolved
 
-            input_cardinality = stream.cardinality
-            total_cost += cost_per_record * input_cardinality
-            op_time = time_per_record * input_cardinality
-            if op.is_llm_op:
-                # Record-parallel LLM calls spread across workers.
-                op_time /= self.max_workers
-            total_time += op_time
-            quality *= max(0.0, min(1.0, op_quality))
-            stream = StreamEstimate(
+    def extend(self, acc: PlanAccumulator,
+               op: PhysicalOperator) -> PlanAccumulator:
+        """The accumulator after appending ``op`` to the prefix."""
+        (cost_per_record, time_per_record, output_cardinality,
+         op_quality, sampled) = self._resolve_operator(op, acc.stream)
+
+        input_cardinality = acc.stream.cardinality
+        op_time = time_per_record * input_cardinality
+        if op.is_llm_op:
+            # Record-parallel LLM calls spread across workers.
+            op_time /= self.max_workers
+        return PlanAccumulator(
+            cost_usd=acc.cost_usd + cost_per_record * input_cardinality,
+            time_seconds=acc.time_seconds + op_time,
+            quality=acc.quality * max(0.0, min(1.0, op_quality)),
+            stream=StreamEstimate(
                 cardinality=output_cardinality,
-                avg_document_tokens=stream.avg_document_tokens,
-            )
+                avg_document_tokens=acc.stream.avg_document_tokens,
+            ),
+            from_sample=acc.from_sample or sampled,
+        )
 
+    def finish(self, plan: PhysicalPlan,
+               acc: PlanAccumulator) -> PlanEstimate:
+        """Seal a fully-extended accumulator into a :class:`PlanEstimate`."""
         return PlanEstimate(
             plan=plan,
-            cost_usd=total_cost,
-            time_seconds=total_time,
-            quality=quality,
-            output_cardinality=stream.cardinality,
-            from_sample=sampled,
+            cost_usd=acc.cost_usd,
+            time_seconds=acc.time_seconds,
+            quality=acc.quality,
+            output_cardinality=acc.stream.cardinality,
+            from_sample=acc.from_sample,
         )
+
+    def estimate_plan(self, plan: PhysicalPlan) -> PlanEstimate:
+        acc = self.initial_accumulator()
+        for op in plan:
+            acc = self.extend(acc, op)
+        return self.finish(plan, acc)

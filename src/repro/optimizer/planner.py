@@ -7,19 +7,25 @@ dynamic program that keeps only the Pareto frontier over
 (cost, time, quality) after each operator — dominated partial plans can never
 become optimal under any of the supported policies, all of which are
 monotone in those three dimensions.
+
+Both strategies share the incremental estimation machinery of
+:class:`~repro.optimizer.cost_model.CostModel`: prefixes are extended one
+operator at a time (a :class:`PlanAccumulator` per partial plan), so the
+enumerator never re-costs a shared prefix, and dominated partials are
+discarded *during* enumeration — before their completions are ever
+materialized — instead of after costing every full plan.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.logical import LogicalPlan
 from repro.core.sources import DataSource
 from repro.llm.models import ModelRegistry
 from repro.optimizer.candidates import candidate_operators
-from repro.optimizer.cost_model import CostModel, PlanEstimate
+from repro.optimizer.cost_model import CostModel, PlanAccumulator, PlanEstimate
 from repro.physical.base import PhysicalOperator
 from repro.physical.plan import PhysicalPlan
 
@@ -82,6 +88,40 @@ def plan_space_size(
     return size
 
 
+#: A partial plan during enumeration: its operator prefix plus the running
+#: cost/time/quality accumulator (no PhysicalPlan is built until the end).
+_Partial = Tuple[Tuple[PhysicalOperator, ...], PlanAccumulator]
+
+
+def _acc_dominates(a: PlanAccumulator, b: PlanAccumulator) -> bool:
+    no_worse = (
+        a.cost_usd <= b.cost_usd
+        and a.time_seconds <= b.time_seconds
+        and a.quality >= b.quality
+    )
+    strictly_better = (
+        a.cost_usd < b.cost_usd
+        or a.time_seconds < b.time_seconds
+        or a.quality > b.quality
+    )
+    return no_worse and strictly_better
+
+
+def _partial_frontier(partials: Sequence[_Partial]) -> List[_Partial]:
+    """Non-dominated partial plans, same insertion semantics as
+    :func:`pareto_frontier` (equal points are all kept)."""
+    frontier: List[_Partial] = []
+    for partial in partials:
+        _, acc = partial
+        if any(_acc_dominates(kept_acc, acc) for _, kept_acc in frontier):
+            continue
+        frontier = [
+            kept for kept in frontier if not _acc_dominates(acc, kept[1])
+        ]
+        frontier.append(partial)
+    return frontier
+
+
 def enumerate_plans(
     logical_plan: LogicalPlan,
     source: DataSource,
@@ -105,38 +145,53 @@ def enumerate_plans(
     if prune is None:
         prune = total > EXHAUSTIVE_LIMIT
 
+    root_acc = cost_model.initial_accumulator()
+
     if not prune:
-        candidates = []
-        for combo in itertools.product(*per_op_candidates):
-            plan = PhysicalPlan(list(combo))
-            candidates.append(
-                PlanCandidate(plan=plan, estimate=cost_model.estimate_plan(plan))
-            )
+        # Exhaustive: walk the cross product depth-first, extending the
+        # shared-prefix accumulator incrementally (plan order matches the
+        # nested-loop / itertools.product order).
+        candidates: List[PlanCandidate] = []
+
+        def expand(step: int, prefix: Tuple[PhysicalOperator, ...],
+                   acc: PlanAccumulator) -> None:
+            if step == len(per_op_candidates):
+                plan = PhysicalPlan(list(prefix))
+                candidates.append(
+                    PlanCandidate(plan=plan,
+                                  estimate=cost_model.finish(plan, acc))
+                )
+                return
+            for option in per_op_candidates[step]:
+                expand(step + 1, prefix + (option,),
+                       cost_model.extend(acc, option))
+
+        expand(0, (), root_acc)
         return candidates
 
-    # Stepwise dynamic program over Pareto frontiers of partial plans.
-    partials: List[List[PhysicalOperator]] = [[op] for op in per_op_candidates[0]]
+    # Stepwise dynamic program over Pareto frontiers of partial plans:
+    # dominated prefixes are dropped the moment they appear, so their
+    # completions are never enumerated, let alone costed.
+    partials: List[_Partial] = [
+        ((op,), cost_model.extend(root_acc, op))
+        for op in per_op_candidates[0]
+    ]
     for options in per_op_candidates[1:]:
-        extended: List[PlanCandidate] = []
-        for partial in partials:
-            for option in options:
-                plan = PhysicalPlan(partial + [option])
-                extended.append(
-                    PlanCandidate(
-                        plan=plan, estimate=cost_model.estimate_plan(plan)
-                    )
-                )
-        frontier = pareto_frontier(extended)
+        extended: List[_Partial] = [
+            (prefix + (option,), cost_model.extend(acc, option))
+            for prefix, acc in partials
+            for option in options
+        ]
+        frontier = _partial_frontier(extended)
         if len(frontier) > FRONTIER_CAP:
             # Keep a spread: best by each dimension, then lowest-cost rest.
-            frontier.sort(key=lambda c: c.estimate.cost_usd)
+            frontier.sort(key=lambda partial: partial[1].cost_usd)
             frontier = frontier[:FRONTIER_CAP]
-        partials = [candidate.plan.operators for candidate in frontier]
+        partials = frontier
 
-    return [
-        PlanCandidate(
-            plan=PhysicalPlan(ops),
-            estimate=cost_model.estimate_plan(PhysicalPlan(ops)),
-        )
-        for ops in partials
-    ]
+    out: List[PlanCandidate] = []
+    for prefix, acc in partials:
+        plan = PhysicalPlan(list(prefix))
+        out.append(PlanCandidate(plan=plan,
+                                 estimate=cost_model.finish(plan, acc)))
+    return out

@@ -79,7 +79,13 @@ class PhysicalOperator:
 
     @property
     def full_op_id(self) -> str:
-        return f"{self.logical_op.signature()}:{self.op_label}"
+        # Memoized: the logical signature is stable for an operator's
+        # lifetime and the id is recomputed on every cost-model lookup.
+        cached = self.__dict__.get("_full_op_id")
+        if cached is None:
+            cached = f"{self.logical_op.signature()}:{self.op_label}"
+            self.__dict__["_full_op_id"] = cached
+        return cached
 
     @property
     def is_llm_op(self) -> bool:

@@ -56,7 +56,7 @@ class TestCacheUnit:
         assert CallCache.make_key("m1", "judge", "p", "fp") != \
             CallCache.make_key("m2", "judge", "p", "fp")
 
-    def test_fifo_eviction(self):
+    def test_eviction_without_lookups_drops_oldest(self):
         cache = CallCache(max_entries=2)
         keys = [CallCache.make_key("m", "judge", f"p{i}", "fp")
                 for i in range(3)]
@@ -65,6 +65,38 @@ class TestCacheUnit:
         assert len(cache) == 2
         hit, _ = cache.lookup(keys[0])
         assert not hit  # evicted
+        assert cache.stats.evictions == 1
+
+    def test_lru_eviction_spares_recently_used(self):
+        # Distinguishes LRU from FIFO: after a lookup hit on the oldest
+        # entry, the *second*-oldest must be the one evicted.
+        cache = CallCache(max_entries=2)
+        a, b, c = [CallCache.make_key("m", "judge", f"p{i}", "fp")
+                   for i in range(3)]
+        cache.store(a, "A")
+        cache.store(b, "B")
+        hit, _ = cache.lookup(a)  # refreshes a; FIFO would still evict it
+        assert hit
+        cache.store(c, "C")
+        hit_a, value_a = cache.lookup(a)
+        hit_b, _ = cache.lookup(b)
+        assert hit_a and value_a == "A"
+        assert not hit_b
+        assert cache.stats.evictions == 1
+
+    def test_re_store_refreshes_recency(self):
+        cache = CallCache(max_entries=2)
+        a, b, c = [CallCache.make_key("m", "judge", f"p{i}", "fp")
+                   for i in range(3)]
+        cache.store(a, "A")
+        cache.store(b, "B")
+        cache.store(a, "A2")  # re-store moves a to most-recent
+        cache.store(c, "C")   # evicts b
+        hit_a, value_a = cache.lookup(a)
+        hit_b, _ = cache.lookup(b)
+        assert hit_a and value_a == "A2"
+        assert not hit_b
+        assert len(cache) == 2
 
     def test_invalid_max_entries(self):
         with pytest.raises(ValueError):

@@ -1,8 +1,13 @@
-"""Tokenizer: counting and truncation."""
+"""Tokenizer: counting, truncation, and chunking."""
 
 import pytest
 
-from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+from repro.llm.tokenizer import (
+    _SUBWORD_CHARS,
+    count_tokens,
+    split_into_token_chunks,
+    truncate_to_tokens,
+)
 
 
 class TestCountTokens:
@@ -71,3 +76,48 @@ class TestTruncateToTokens:
             len(truncate_to_tokens(text, budget)) for budget in range(1, 12)
         ]
         assert lengths == sorted(lengths)
+
+
+class TestSplitIntoTokenChunks:
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            split_into_token_chunks("hello", 0)
+        with pytest.raises(ValueError):
+            split_into_token_chunks("hello", -1)
+
+    def test_empty_text_gives_no_chunks(self):
+        assert split_into_token_chunks("", 5) == []
+
+    def test_exact_boundary_is_single_chunk(self):
+        text = "alpha beta"  # alpha = 2 subword tokens, beta = 1
+        assert count_tokens(text) == 3
+        assert split_into_token_chunks(text, 3) == [text]
+
+    def test_chunks_cover_text_in_order(self):
+        text = "the quick brown fox jumps over the lazy dog " * 8
+        text = text.rstrip()
+        chunks = split_into_token_chunks(text, 7)
+        assert "".join(chunks) == text
+        assert all(chunks)
+        assert all(count_tokens(chunk) <= 7 for chunk in chunks)
+
+    def test_oversized_single_token_is_hard_cut(self):
+        # One 40-char word costs 10 subword tokens; with a 2-token budget
+        # the truncation path yields an empty prefix, forcing the hard cut
+        # of max_tokens * _SUBWORD_CHARS characters per chunk.
+        text = "x" * 40
+        chunks = split_into_token_chunks(text, 2)
+        assert chunks == ["x" * (2 * _SUBWORD_CHARS)] * 5
+        assert "".join(chunks) == text
+
+    def test_max_tokens_one(self):
+        text = "hello world!"
+        chunks = split_into_token_chunks(text, 1)
+        assert "".join(chunks) == text
+        assert all(chunks)
+        # Hard-cut chunks are capped at one subword's worth of characters.
+        assert all(len(chunk) <= _SUBWORD_CHARS for chunk in chunks)
+
+    def test_trailing_whitespace_rides_with_last_chunk(self):
+        chunks = split_into_token_chunks("ab cd   ", 1)
+        assert chunks == ["ab", " cd   "]

@@ -1,0 +1,124 @@
+"""Regression: pruned enumeration chooses the same plan as exhaustive.
+
+Enumeration-time Pareto pruning discards dominated partial plans before
+their completions are materialized.  All supported policies are monotone in
+(cost, time, quality) — cost/time compose additively and quality
+multiplicatively with per-op factors in [0, 1] — so a dominated prefix can
+never complete into a plan a policy would choose.  These tests pin that
+equivalence on the paper's two demo workloads.
+"""
+
+import pytest
+
+import repro as pz
+from repro.core.sources import DirectorySource
+from repro.corpora.legal import CONTRACT_FIELDS, LEGAL_PREDICATE
+from repro.corpora.papers import CLINICAL_FIELDS, PAPERS_PREDICATE
+from repro.llm.models import default_registry
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.planner import enumerate_plans
+
+POLICIES = [
+    pz.MaxQuality(),
+    pz.MinCost(),
+    pz.MinTime(),
+    pz.MaxQualityAtFixedCost(max_cost_usd=1.0),
+]
+
+
+@pytest.fixture()
+def sci_workload(papers_dir):
+    source = DirectorySource(papers_dir, dataset_id="equiv-papers")
+    ClinicalData = pz.make_schema(
+        "ClinicalDataEquiv",
+        "A schema for extracting clinical data datasets from papers.",
+        CLINICAL_FIELDS,
+    )
+    pipeline = (
+        pz.Dataset(source)
+        .filter(PAPERS_PREDICATE)
+        .convert(ClinicalData, cardinality=pz.Cardinality.ONE_TO_MANY)
+    )
+    return source, pipeline
+
+
+@pytest.fixture()
+def legal_workload(legal_dir):
+    source = DirectorySource(legal_dir, dataset_id="equiv-legal")
+    Contract = pz.make_schema(
+        "ContractEquiv",
+        "Deal terms extracted from responsive documents.",
+        CONTRACT_FIELDS,
+    )
+    pipeline = (
+        pz.Dataset(source).filter(LEGAL_PREDICATE).convert(Contract)
+    )
+    return source, pipeline
+
+
+def _enumerate_both(source, pipeline):
+    cost_model = CostModel(source.profile())
+    logical = pipeline.logical_plan()
+    registry = default_registry()
+    full = enumerate_plans(
+        logical, source, registry, cost_model, prune=False
+    )
+    pruned = enumerate_plans(
+        logical, source, registry, cost_model, prune=True
+    )
+    assert 0 < len(pruned) <= len(full)
+    return full, pruned
+
+
+def _chosen(candidates, policy):
+    best = policy.choose([c.estimate for c in candidates])
+    return next(c for c in candidates if c.estimate is best)
+
+
+def _assert_same_choice(full, pruned, policy):
+    chosen_full = _chosen(full, policy)
+    chosen_pruned = _chosen(pruned, policy)
+    if chosen_full.plan.plan_id != chosen_pruned.plan.plan_id:
+        # Distinct plans are acceptable only as exact sort-key ties.
+        assert policy.sort_key(chosen_pruned.estimate) == \
+            policy.sort_key(chosen_full.estimate)
+
+
+class TestPlanChoiceEquivalence:
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=lambda p: p.describe()
+    )
+    def test_sci_discovery_choice_matches(self, sci_workload, policy):
+        full, pruned = _enumerate_both(*sci_workload)
+        _assert_same_choice(full, pruned, policy)
+
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=lambda p: p.describe()
+    )
+    def test_legal_choice_matches(self, legal_workload, policy):
+        full, pruned = _enumerate_both(*legal_workload)
+        _assert_same_choice(full, pruned, policy)
+
+    def test_pruned_set_is_subset_of_exhaustive(self, sci_workload):
+        full, pruned = _enumerate_both(*sci_workload)
+        full_ids = {c.plan.plan_id for c in full}
+        assert {c.plan.plan_id for c in pruned} <= full_ids
+
+
+class TestIncrementalEstimatesMatchOneShot:
+    def test_accumulated_estimate_equals_full_walk(self, legal_workload):
+        # The DP extends prefixes one operator at a time; the resulting
+        # estimate must be bit-identical to re-costing the whole plan.
+        source, pipeline = legal_workload
+        cost_model = CostModel(source.profile())
+        candidates = enumerate_plans(
+            pipeline.logical_plan(), source, default_registry(), cost_model,
+            prune=True,
+        )
+        for candidate in candidates:
+            direct = cost_model.estimate_plan(candidate.plan)
+            assert direct.cost_usd == candidate.estimate.cost_usd
+            assert direct.time_seconds == candidate.estimate.time_seconds
+            assert direct.quality == candidate.estimate.quality
+            assert direct.output_cardinality == \
+                candidate.estimate.output_cardinality
