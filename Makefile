@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench perf examples all clean
+.PHONY: install test bench perf lint examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,10 @@ bench:
 perf:
 	PYTHONPATH=src python scripts/perf_snapshot.py
 
+# Static analysis: demo pipelines, registered chat tools, example programs.
+lint:
+	PYTHONPATH=src python -m repro lint examples
+
 examples:
 	python examples/quickstart.py
 	python examples/scientific_discovery.py
@@ -24,7 +28,7 @@ examples:
 	python examples/dataset_catalog_join.py
 	python examples/advanced_features.py
 
-all: test bench
+all: lint test bench
 
 clean:
 	rm -rf .pytest_cache src/repro.egg-info

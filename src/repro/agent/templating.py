@@ -10,6 +10,7 @@ Supported syntax:
 * ``{{ name }}`` — variable substitution (str()).
 * ``{{ name.attr }}`` — dotted attribute / dict-key access.
 * ``{{ name | repr }}`` — filters: ``repr``, ``json``, ``upper``, ``lower``.
+* ``{{ name | lower | repr }}`` — filters chain left to right.
 """
 
 from __future__ import annotations
@@ -66,20 +67,23 @@ def render_template(template: str, variables: Mapping[str, Any]) -> str:
 
     def substitute(match: re.Match) -> str:
         expression = match.group(1)
-        if "|" in expression:
-            path, _, filter_name = expression.partition("|")
-            path, filter_name = path.strip(), filter_name.strip()
+        path, _, filters = expression.partition("|")
+        filter_fns = []
+        for filter_name in filters.split("|"):
+            filter_name = filter_name.strip()
+            if not filter_name:
+                continue
             try:
-                filter_fn = _FILTERS[filter_name]
+                filter_fns.append(_FILTERS[filter_name])
             except KeyError:
                 raise TemplateError(
                     f"unknown template filter {filter_name!r}; "
                     f"available: {sorted(_FILTERS)}"
                 ) from None
-        else:
-            path, filter_fn = expression.strip(), str
-        value = _resolve_path(path, variables)
-        return filter_fn(value)
+        value = _resolve_path(path.strip(), variables)
+        for filter_fn in filter_fns:
+            value = filter_fn(value)
+        return str(value)
 
     return _PLACEHOLDER_RE.sub(substitute, template)
 

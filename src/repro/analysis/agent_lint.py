@@ -1,0 +1,209 @@
+"""Agent lint (``AG2xx``): tool definitions and code templates.
+
+The reasoning agent decides *when and how* to call a tool purely from its
+docstring (summary + ``Args:`` section), so a drifted docstring silently
+degrades the agent.  These rules cross-check every registered ``@tool()``
+docstring against the real signature, and statically scan
+:class:`~repro.agent.code_tools.CodeTool` templates for ``{{variable}}``
+placeholders that can never resolve at runtime (reusing the template
+engine's own ``_PLACEHOLDER_RE`` / ``_FILTERS``).
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+from typing import Iterable, List, Optional, Set
+
+from repro.agent.code_tools import CodeTool
+from repro.agent.templating import _FILTERS, _PLACEHOLDER_RE
+from repro.agent.tools import (
+    Tool,
+    ToolRegistry,
+    _PARAM_LINE_RE,
+    _split_sections,
+)
+from repro.analysis.diagnostics import (
+    Emitter,
+    LintConfig,
+    LintResult,
+    Severity,
+    register_rule,
+)
+
+register_rule(
+    "AG201", "doc-unknown-param",
+    "the docstring Args section documents a parameter the signature "
+    "does not have",
+    Severity.ERROR,
+)
+register_rule(
+    "AG202", "undocumented-param",
+    "a model-visible parameter has no Args entry",
+    Severity.WARNING,
+)
+register_rule(
+    "AG203", "missing-summary",
+    "the tool has no docstring summary for the agent to read",
+    Severity.WARNING,
+)
+register_rule(
+    "AG204", "undocumented-return",
+    "the tool returns a value but documents no Returns section",
+    Severity.INFO,
+)
+register_rule(
+    "AG205", "template-unknown-variable",
+    "a code template references a variable that is neither a parameter "
+    "nor present in the execution environment",
+    Severity.ERROR,
+)
+register_rule(
+    "AG206", "template-unknown-filter",
+    "a code template applies a filter the template engine does not have",
+    Severity.ERROR,
+)
+
+
+def _documented_params(docstring: str) -> List[str]:
+    sections = _split_sections(docstring)
+    names = []
+    for line in sections["args"].splitlines():
+        match = _PARAM_LINE_RE.match(line)
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def lint_tool(tool: Tool, config: Optional[LintConfig] = None) -> LintResult:
+    """Lint one tool: docstring/signature agreement or template validity."""
+    result = LintResult()
+    emitter = Emitter(result, config)
+    location = f"tool {tool.name!r}"
+
+    if not tool.spec.summary.strip():
+        emitter.emit(
+            "AG203",
+            "tool has no summary; the agent cannot decide when to use it",
+            location=location,
+            hint="start the docstring with one sentence describing the tool",
+        )
+
+    if isinstance(tool, CodeTool):
+        available = (
+            {p.name for p in tool.spec.parameters}
+            | set(tool.environment)
+            | {"agent"}  # injected by CodeTool.invoke
+        )
+        result.extend(
+            lint_template(tool.template, available, config=config,
+                          location=location)
+        )
+        return result
+
+    _lint_docstring(tool, emitter, location)
+    return result
+
+
+def _lint_docstring(tool: Tool, emitter: Emitter, location: str) -> None:
+    docstring = inspect.getdoc(tool.fn) or ""
+    documented = _documented_params(docstring)
+    signature_params = [p.name for p in tool.spec.parameters]
+
+    for name in documented:
+        if name in signature_params:
+            continue
+        close = difflib.get_close_matches(name, signature_params, n=1)
+        hint = (
+            f"did you mean {close[0]!r}? the parameter may have been renamed"
+            if close else f"signature parameters: {signature_params}"
+        )
+        emitter.emit(
+            "AG201",
+            f"Args documents {name!r}, which is not a parameter of the "
+            f"signature ({signature_params})",
+            location=location,
+            hint=hint,
+        )
+
+    for name in signature_params:
+        if name not in documented:
+            emitter.emit(
+                "AG202",
+                f"parameter {name!r} has no Args entry; the agent sees an "
+                "undocumented input",
+                location=location,
+                hint=f"add '{name}: <description>' to the Args section",
+            )
+
+    if not tool.spec.returns:
+        try:
+            returns = inspect.signature(tool.fn).return_annotation
+        except (TypeError, ValueError):
+            returns = inspect.Signature.empty
+        if returns not in (inspect.Signature.empty, None, type(None)):
+            emitter.emit(
+                "AG204",
+                "the tool returns a value but the docstring has no "
+                "Returns section",
+                location=location,
+                hint="add a 'Returns:' section describing the result",
+            )
+
+
+def lint_template(
+    template: str,
+    available: Iterable[str],
+    config: Optional[LintConfig] = None,
+    location: str = "template",
+) -> LintResult:
+    """Statically scan ``{{var | filter}}`` placeholders in a template.
+
+    ``available`` is the set of variable roots that will exist at render
+    time (tool parameters plus the execution environment).
+    """
+    result = LintResult()
+    emitter = Emitter(result, config)
+    known: Set[str] = set(available)
+    reported_vars: Set[str] = set()
+    reported_filters: Set[str] = set()
+
+    for match in _PLACEHOLDER_RE.finditer(template):
+        expression = match.group(1)
+        path, _, filters = expression.partition("|")
+        root = path.strip().split(".")[0]
+        if root and root not in known and root not in reported_vars:
+            reported_vars.add(root)
+            close = difflib.get_close_matches(root, sorted(known), n=1)
+            hint = (
+                f"did you mean {close[0]!r}?" if close
+                else f"available variables: {sorted(known)}"
+            )
+            emitter.emit(
+                "AG205",
+                f"template variable {{{{ {root} }}}} is neither a "
+                f"parameter nor available at runtime "
+                f"(available: {sorted(known)})",
+                location=location,
+                hint=hint,
+            )
+        for name in filters.split("|"):
+            name = name.strip()
+            if name and name not in _FILTERS and name not in reported_filters:
+                reported_filters.add(name)
+                emitter.emit(
+                    "AG206",
+                    f"unknown template filter {name!r}; "
+                    f"available: {sorted(_FILTERS)}",
+                    location=location,
+                )
+    return result
+
+
+def lint_registry(registry: ToolRegistry,
+                  config: Optional[LintConfig] = None) -> LintResult:
+    """Lint every tool in a registry."""
+    result = LintResult()
+    for name in registry.names():
+        result.extend(lint_tool(registry.get(name), config=config))
+    return result

@@ -1,0 +1,365 @@
+"""Plan lint (``PZ1xx``): schema-dataflow checks over a logical plan.
+
+Walks a :class:`~repro.core.logical.LogicalPlan` operator by operator and
+flags mistakes the plan constructors cannot catch — fields referenced by
+``depends_on`` that don't exist upstream, fields computed but never
+consumed, duplicate or contradictory filters, a ``limit`` placed before a
+filter, and aggregates over fields that can never be numeric.  The
+optimizer runs this lint before enumerating plans so chat users see the
+problems *before* any (simulated) dollars are spent.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.diagnostics import (
+    Emitter,
+    LintConfig,
+    LintResult,
+    Severity,
+    register_rule,
+)
+from repro.core.fields import BooleanField, BytesField, ListField
+from repro.core.logical import (
+    AggFunc,
+    Aggregate,
+    BaseScan,
+    ConvertScan,
+    FilteredScan,
+    GroupByAggregate,
+    LimitScan,
+    LogicalOperator,
+    LogicalPlan,
+    Project,
+    RetrieveScan,
+)
+
+register_rule(
+    "PZ101", "unknown-field",
+    "depends_on references a field that does not exist upstream",
+    Severity.ERROR,
+)
+register_rule(
+    "PZ102", "dead-field",
+    "a convert computes a field that nothing downstream consumes",
+    Severity.WARNING,
+)
+register_rule(
+    "PZ103", "duplicate-filter",
+    "the same filter predicate appears more than once",
+    Severity.WARNING,
+)
+register_rule(
+    "PZ104", "contradictory-filter",
+    "a filter is the negation of an earlier filter; the result is empty",
+    Severity.WARNING,
+)
+register_rule(
+    "PZ105", "limit-before-filter",
+    "a limit placed before a filter truncates the stream the filter sees",
+    Severity.WARNING,
+)
+register_rule(
+    "PZ106", "aggregate-type",
+    "sum/average over a field that can never be numeric",
+    Severity.ERROR,
+)
+register_rule(
+    "PZ107", "zero-limit",
+    "limit(0) makes the pipeline output empty",
+    Severity.WARNING,
+)
+register_rule(
+    "PZ108", "retrieve-k",
+    "retrieve k exceeds the source record count",
+    Severity.INFO,
+)
+
+#: Aggregates that need numeric inputs.
+_NUMERIC_AGGS = (AggFunc.SUM, AggFunc.AVERAGE)
+
+#: Field types that can never hold a numeric value (StringFields are
+#: allowed: extraction schemas default to strings that carry numbers).
+_NON_NUMERIC_FIELDS = (BooleanField, BytesField, ListField)
+
+
+def _location(index: int, op: LogicalOperator) -> str:
+    description = op.describe()
+    if len(description) > 60:
+        description = description[:57] + "..."
+    return f"op[{index}] {description}"
+
+
+def _depends_on(op: LogicalOperator) -> List[str]:
+    if isinstance(op, FilteredScan):
+        return list(op.spec.depends_on)
+    if isinstance(op, ConvertScan):
+        return list(op.depends_on)
+    return []
+
+
+def _explicit_refs(op: LogicalOperator) -> Set[str]:
+    """Fields ``op`` reads by name (empty for pass-through operators)."""
+    if isinstance(op, Project):
+        return set(op.fields)
+    if isinstance(op, GroupByAggregate):
+        refs = set(op.group_fields)
+        refs.update(f for _, f, _ in op.aggregates if f)
+        return refs
+    if isinstance(op, Aggregate):
+        return {op.field} if op.field else set()
+    refs = set(_depends_on(op))
+    # Extended operators (Sort, Distinct-with-fields) expose field lists.
+    single = getattr(op, "field", None)
+    if isinstance(single, str):
+        refs.add(single)
+    many = getattr(op, "fields", None)
+    if isinstance(many, (list, tuple)):
+        refs.update(many)
+    return refs
+
+
+def _consumes_everything(op: LogicalOperator) -> bool:
+    """Whether ``op`` may read any field (so nothing upstream is dead).
+
+    Semantic operators without a ``depends_on`` restriction see the whole
+    document text; UDFs without one may touch any attribute; a
+    field-less ``distinct`` compares all fields.
+    """
+    if isinstance(op, FilteredScan):
+        return not op.spec.depends_on
+    if isinstance(op, ConvertScan):
+        return not op.depends_on
+    if isinstance(op, RetrieveScan):
+        return True
+    from repro.core.logical_ext import Distinct, JoinScan
+
+    if isinstance(op, JoinScan):
+        return True
+    if isinstance(op, Distinct):
+        return op.fields is None
+    return False
+
+
+def lint_plan(
+    plan: Union[LogicalPlan, "object"],
+    source=None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint a logical plan (or a ``Dataset``); returns every finding.
+
+    Args:
+        plan: a :class:`LogicalPlan` or anything with a ``logical_plan()``
+            method (a :class:`~repro.core.dataset.Dataset`).
+        source: optional :class:`~repro.core.sources.DataSource`; enables
+            cardinality-aware rules (PZ108).
+        config: per-rule enable/disable; defaults to everything on.
+    """
+    if not isinstance(plan, LogicalPlan):
+        if source is None:
+            try:
+                source = plan.source
+            except Exception:
+                source = None
+        plan = plan.logical_plan()
+
+    result = LintResult()
+    emitter = Emitter(result, config)
+    ops = list(plan.operators)
+
+    _lint_field_references(ops, emitter)
+    _lint_dead_fields(ops, plan, emitter)
+    _lint_filters(ops, emitter)
+    _lint_limits(ops, emitter)
+    _lint_aggregates(ops, emitter)
+    _lint_source_bounds(ops, source, emitter)
+    _lint_subplans(ops, result, config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Individual rule passes.
+# ---------------------------------------------------------------------------
+
+
+def _lint_field_references(ops: Sequence[LogicalOperator],
+                           emitter: Emitter) -> None:
+    """PZ101: depends_on fields must exist on the operator's input."""
+    for index, op in enumerate(ops):
+        if op.input_schema is None:
+            continue
+        available = set(op.input_schema.field_map())
+        for name in _depends_on(op):
+            if name in available:
+                continue
+            close = difflib.get_close_matches(name, sorted(available), n=1)
+            hint = (
+                f"did you mean {close[0]!r}?" if close
+                else f"available fields: {sorted(available)}"
+            )
+            emitter.emit(
+                "PZ101",
+                f"depends_on field {name!r} does not exist on "
+                f"{op.input_schema.schema_name()} "
+                f"(fields: {sorted(available)})",
+                location=_location(index, op),
+                hint=hint,
+            )
+
+
+def _lint_dead_fields(ops: Sequence[LogicalOperator], plan: LogicalPlan,
+                      emitter: Emitter) -> None:
+    """PZ102: convert-computed fields nothing downstream ever consumes."""
+    final_fields = set(plan.output_schema.field_map())
+    for index, op in enumerate(ops):
+        if not isinstance(op, ConvertScan) or not op.new_fields:
+            continue
+        downstream = ops[index + 1:]
+        if any(_consumes_everything(later) for later in downstream):
+            continue
+        consumed: Set[str] = set(final_fields)
+        for later in downstream:
+            consumed |= _explicit_refs(later)
+        for name in op.new_fields:
+            if name in consumed:
+                continue
+            emitter.emit(
+                "PZ102",
+                f"field {name!r} is computed by this convert but never "
+                "consumed downstream nor present in the final schema",
+                location=_location(index, op),
+                hint="drop the field from the schema or project it away "
+                     "before the convert pays for it",
+            )
+
+
+def _normalized_predicate(op: FilteredScan) -> Optional[str]:
+    if not op.spec.is_semantic:
+        return None
+    return " ".join(op.spec.predicate.lower().split())
+
+
+def _lint_filters(ops: Sequence[LogicalOperator], emitter: Emitter) -> None:
+    """PZ103 duplicates, PZ104 contradictions (negated duplicates)."""
+    seen: List[Tuple[int, FilteredScan, str]] = []
+    for index, op in enumerate(ops):
+        if not isinstance(op, FilteredScan):
+            continue
+        signature = op.spec.signature()
+        predicate = _normalized_predicate(op)
+        for earlier_index, earlier, earlier_sig in seen:
+            if signature == earlier_sig:
+                emitter.emit(
+                    "PZ103",
+                    f"filter duplicates op[{earlier_index}] "
+                    f"{earlier.describe()}; the second pass costs tokens "
+                    "without changing the result",
+                    location=_location(index, op),
+                    hint="remove one of the duplicate filters",
+                )
+                break
+        else:
+            earlier_predicates = {
+                _normalized_predicate(e): i for i, e, _ in seen
+                if _normalized_predicate(e)
+            }
+            if predicate:
+                negated = (
+                    predicate[4:] if predicate.startswith("not ")
+                    else f"not {predicate}"
+                )
+                if negated in earlier_predicates:
+                    emitter.emit(
+                        "PZ104",
+                        f"filter {op.spec.describe()} contradicts "
+                        f"op[{earlier_predicates[negated]}]; no record can "
+                        "satisfy both, so the pipeline output is empty",
+                        location=_location(index, op),
+                        hint="remove one of the contradictory filters",
+                    )
+        seen.append((index, op, signature))
+
+
+def _lint_limits(ops: Sequence[LogicalOperator], emitter: Emitter) -> None:
+    """PZ105 limit-before-filter, PZ107 limit(0)."""
+    for index, op in enumerate(ops):
+        if not isinstance(op, LimitScan):
+            continue
+        if op.limit == 0:
+            emitter.emit(
+                "PZ107",
+                "limit(0) discards every record; the pipeline output is "
+                "always empty",
+                location=_location(index, op),
+                hint="remove the limit or use a positive bound",
+            )
+            continue
+        for later_index, later in enumerate(ops[index + 1:], index + 1):
+            if isinstance(later, FilteredScan):
+                emitter.emit(
+                    "PZ105",
+                    f"limit({op.limit}) runs before the filter at "
+                    f"op[{later_index}]; the filter only sees the first "
+                    f"{op.limit} records, so the result may hold fewer "
+                    "matches than intended",
+                    location=_location(index, op),
+                    hint="move the limit after the filter (or keep it "
+                         "first if truncation is intended — it is cheaper)",
+                )
+                break
+
+
+def _lint_aggregates(ops: Sequence[LogicalOperator],
+                     emitter: Emitter) -> None:
+    """PZ106: sum/average over boolean/bytes/list fields."""
+    for index, op in enumerate(ops):
+        pairs: List[Tuple[AggFunc, Optional[str]]] = []
+        if isinstance(op, Aggregate):
+            pairs.append((op.func, op.field))
+        elif isinstance(op, GroupByAggregate):
+            pairs.extend((func, field) for func, field, _ in op.aggregates)
+        for func, field_name in pairs:
+            if func not in _NUMERIC_AGGS or not field_name:
+                continue
+            field = op.input_schema.field_map().get(field_name)
+            if isinstance(field, _NON_NUMERIC_FIELDS):
+                emitter.emit(
+                    "PZ106",
+                    f"{func.value}({field_name!r}) aggregates a "
+                    f"{type(field).__name__}, which never holds numeric "
+                    "values",
+                    location=_location(index, op),
+                    hint="aggregate a numeric field or use count",
+                )
+
+
+def _lint_source_bounds(ops: Sequence[LogicalOperator], source,
+                        emitter: Emitter) -> None:
+    """PZ108: retrieve k larger than the whole source."""
+    if source is None:
+        return
+    try:
+        cardinality = len(source)
+    except TypeError:
+        return
+    for index, op in enumerate(ops):
+        if isinstance(op, RetrieveScan) and op.k > cardinality:
+            emitter.emit(
+                "PZ108",
+                f"retrieve k={op.k} exceeds the source's {cardinality} "
+                "record(s); every record is returned",
+                location=_location(index, op),
+            )
+
+
+def _lint_subplans(ops: Sequence[LogicalOperator], result: LintResult,
+                   config: Optional[LintConfig]) -> None:
+    """Recurse into join/union right-hand pipelines."""
+    from repro.core.logical_ext import JoinScan, UnionScan
+
+    for index, op in enumerate(ops):
+        if isinstance(op, (JoinScan, UnionScan)):
+            sub = lint_plan(op.right_dataset, config=config)
+            result.extend(sub, location_prefix=f"op[{index}].right ")

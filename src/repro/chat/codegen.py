@@ -14,6 +14,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chat.workspace import PipelineWorkspace
+from repro.core.errors import PalimpzestError
+
+
+class CodegenError(PalimpzestError):
+    """A logged step cannot be rendered as valid Palimpzest code."""
+
 
 _POLICY_EXPR = {
     "quality": "pz.MaxQuality()",
@@ -64,10 +70,13 @@ def generate_program(workspace: PipelineWorkspace) -> str:
             lines.append(")")
             lines.append("")
         elif step.kind == "convert":
-            cardinality = _CARDINALITY_EXPR.get(
-                str(step.params.get("cardinality", "one_to_one")).lower(),
-                "pz.Cardinality.ONE_TO_ONE",
-            )
+            key = str(step.params.get("cardinality", "one_to_one")).lower()
+            if key not in _CARDINALITY_EXPR:
+                raise CodegenError(
+                    f"unknown cardinality {key!r} in convert step; "
+                    f"expected one of {sorted(_CARDINALITY_EXPR)}"
+                )
+            cardinality = _CARDINALITY_EXPR[key]
             lines.append("# Perform conversion")
             lines.append(
                 f"dataset = dataset.convert({step.params['schema']}, "
@@ -75,10 +84,13 @@ def generate_program(workspace: PipelineWorkspace) -> str:
             )
             lines.append("")
         elif step.kind == "policy":
-            policy_expr = _POLICY_EXPR.get(
-                str(step.params.get("target", "quality")).lower(),
-                "pz.MaxQuality()",
-            )
+            key = str(step.params.get("target", "quality")).lower()
+            if key not in _POLICY_EXPR:
+                raise CodegenError(
+                    f"unknown optimization target {key!r} in policy step; "
+                    f"expected one of {sorted(_POLICY_EXPR)}"
+                )
+            policy_expr = _POLICY_EXPR[key]
         elif step.kind == "execute":
             lines.append("# Execute workload")
             lines.append(f"policy = {policy_expr}")

@@ -137,6 +137,10 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
     ("explain", re.compile(
         r"\b(explain|compare|what) (?:the )?(physical )?plans?\b"
         r"|\bplan space\b|\bwhich plan\b", re.I)),
+    ("lint", re.compile(
+        r"\blint\b|\b(?:validate|sanity[- ]check|check)\b[^.]*\bpipeline\b"
+        r"|\bany (?:problems|mistakes|issues) (?:with|in)\b[^.]*\bpipeline\b",
+        re.I)),
     ("reset", re.compile(r"\b(reset|start over|clear the pipeline)\b", re.I)),
     ("list", re.compile(r"\b(?:list|which|what) datasets\b", re.I)),
     ("describe", re.compile(r"\b(describe|explain) the pipeline\b", re.I)),
@@ -392,6 +396,12 @@ def plan_requests(message: str,
             calls.append(ToolCall(
                 thought="Show the optimizer's plan space and choice.",
                 tool_name="explain_plans",
+                arguments={},
+            ))
+        elif intent == "lint":
+            calls.append(ToolCall(
+                thought="Statically check the pipeline for mistakes.",
+                tool_name="lint_pipeline",
                 arguments={},
             ))
         elif intent == "reset":

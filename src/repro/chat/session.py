@@ -140,6 +140,20 @@ class PalimpChatSession:
         self.notebook.add_code(source, outputs=[output] if output else [])
         return output
 
+    def lint(self):
+        """Statically check the pipeline built so far.
+
+        Returns the :class:`~repro.analysis.LintResult` for the current
+        pipeline (empty when no dataset is loaded yet).  The same check
+        runs automatically before ``execute_pipeline``, surfacing
+        error-level findings as a chat reply instead of a mid-run crash.
+        """
+        from repro.analysis import LintResult, lint_plan
+
+        if self.workspace.current is None:
+            return LintResult()
+        return lint_plan(self.workspace.current)
+
     # -- artifacts ---------------------------------------------------------
 
     def generated_code(self) -> str:

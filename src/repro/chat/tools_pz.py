@@ -181,11 +181,20 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         """
         if workspace.current is None:
             raise ToolError("no dataset loaded yet; call load_dataset first")
+        from repro.analysis import lint_plan
+
+        lint_result = lint_plan(workspace.current)
+        if not lint_result.ok:
+            raise ToolError(
+                "the pipeline fails static analysis; nothing was "
+                "executed.\n" + lint_result.sorted().render()
+            )
         records, stats = Execute(
             workspace.current,
             policy=workspace.policy,
             max_workers=workspace.max_workers,
             sample_size=workspace.sample_size,
+            lint=False,  # already linted above, with a friendlier message
         )
         workspace.last_records = records
         workspace.last_stats = stats
@@ -318,6 +327,29 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         return engine.explain(workspace.current)
 
     @tool()
+    def lint_pipeline(agent: AgentRef = None) -> str:
+        """Statically check the pipeline built so far without running it.
+
+        Reports unknown field references, dead fields, duplicate or
+        contradictory filters, misplaced limits, and aggregate type
+        mismatches — each with its rule code and a fix hint.
+
+        Examples:
+            lint_pipeline()
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        from repro.analysis import lint_plan
+
+        lint_result = lint_plan(workspace.current)
+        if not lint_result.diagnostics:
+            return "Pipeline lint: no findings; the pipeline looks sound."
+        return (
+            f"Pipeline lint: {lint_result.summary()}.\n"
+            + lint_result.sorted().render()
+        )
+
+    @tool()
     def reset_pipeline(agent: AgentRef = None) -> str:
         """Discard the pipeline built so far and start over.
 
@@ -342,6 +374,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         generate_code,
         set_parallelism,
         explain_plans,
+        lint_pipeline,
         reset_pipeline,
     ):
         registry.register(tool_obj)

@@ -7,13 +7,16 @@ Commands:
 * ``run`` — build and execute a pipeline over a folder from the shell.
 * ``chat`` — an interactive PalimpChat REPL (the demo's chat box, in a
   terminal).
+* ``lint`` — statically analyze pipelines, tools, programs, and notebooks
+  (the pz-lint rules; see ``docs/diagnostics.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
 import repro as pz
 from repro.llm.models import default_registry
@@ -43,7 +46,8 @@ _SCENARIOS = {
 }
 
 
-def _cmd_demo(args) -> int:
+def _demo_pipelines(data_dir=None) -> Dict[str, "pz.Dataset"]:
+    """Build every demo scenario's pipeline (registering the corpora)."""
     from repro.corpora import register_demo_datasets
     from repro.corpora.legal import CONTRACT_FIELDS, LEGAL_PREDICATE
     from repro.corpora.papers import CLINICAL_FIELDS, PAPERS_PREDICATE
@@ -52,30 +56,33 @@ def _cmd_demo(args) -> int:
         REALESTATE_PREDICATE,
     )
 
-    register_demo_datasets(args.data_dir)
-    if args.scenario == "sci":
-        schema = pz.make_schema(
-            "ClinicalData", "Datasets from papers.", CLINICAL_FIELDS
-        )
-        dataset = (
+    register_demo_datasets(data_dir)
+    clinical = pz.make_schema(
+        "ClinicalData", "Datasets from papers.", CLINICAL_FIELDS
+    )
+    contract = pz.make_schema("Contract", "Deal terms.", CONTRACT_FIELDS)
+    listing = pz.make_schema("Listing", "A listing.", LISTING_FIELDS)
+    return {
+        "sci": (
             pz.Dataset(source="sigmod-demo")
             .filter(PAPERS_PREDICATE)
-            .convert(schema, cardinality=pz.Cardinality.ONE_TO_MANY)
-        )
-    elif args.scenario == "legal":
-        schema = pz.make_schema("Contract", "Deal terms.", CONTRACT_FIELDS)
-        dataset = (
+            .convert(clinical, cardinality=pz.Cardinality.ONE_TO_MANY)
+        ),
+        "legal": (
             pz.Dataset(source="legal-demo")
             .filter(LEGAL_PREDICATE)
-            .convert(schema)
-        )
-    else:
-        schema = pz.make_schema("Listing", "A listing.", LISTING_FIELDS)
-        dataset = (
+            .convert(contract)
+        ),
+        "realestate": (
             pz.Dataset(source="realestate-demo")
             .filter(REALESTATE_PREDICATE)
-            .convert(schema)
-        )
+            .convert(listing)
+        ),
+    }
+
+
+def _cmd_demo(args) -> int:
+    dataset = _demo_pipelines(args.data_dir)[args.scenario]
     records, stats = pz.Execute(
         dataset, policy=args.policy, max_workers=args.workers
     )
@@ -156,6 +163,115 @@ def _cmd_chat(args) -> int:
     return 0
 
 
+def _lint_paths(paths: List[str], config, result) -> None:
+    """AST-lint ``.py`` files and validate ``.ipynb`` files (no execution)."""
+    from repro.analysis import Diagnostic, Severity, lint_notebook, lint_program
+
+    expanded: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded.extend(sorted(path.rglob("*.py")))
+            expanded.extend(sorted(path.rglob("*.ipynb")))
+        else:
+            expanded.append(path)
+    for path in expanded:
+        if path.suffix == ".ipynb":
+            result.extend(lint_notebook(path, config=config))
+            continue
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            result.add(Diagnostic(
+                code="CG306", severity=Severity.ERROR,
+                message=f"cannot read {path}: {exc}", location=str(path),
+            ))
+            continue
+        result.extend(lint_program(source, config=config,
+                                   filename=str(path)))
+
+
+def _lint_loaded(paths: List[str], config, result) -> None:
+    """Execute python files and lint the objects they define.
+
+    Any :class:`~repro.core.dataset.Dataset`, tool, or tool registry left
+    in the module namespace gets plan/agent-linted.  ``__name__`` is set
+    to ``"__lint__"`` so ``if __name__ == "__main__"`` blocks don't run.
+    """
+    from repro.agent.tools import Tool, ToolRegistry
+    from repro.analysis import Diagnostic, Severity, lint_plan, lint_tool
+    from repro.core.dataset import Dataset
+
+    for raw in paths:
+        path = Path(raw)
+        namespace = {"__name__": "__lint__", "__file__": str(path)}
+        try:
+            exec(compile(path.read_text(), str(path), "exec"), namespace)
+        except Exception as exc:
+            result.add(Diagnostic(
+                code="CG306", severity=Severity.ERROR,
+                message=f"loading failed: {type(exc).__name__}: {exc}",
+                location=str(path),
+            ))
+            continue
+        for name, value in namespace.items():
+            if name.startswith("_"):
+                continue
+            location_prefix = f"{path.name}:{name} "
+            if isinstance(value, Dataset):
+                result.extend(lint_plan(value, config=config),
+                              location_prefix=location_prefix)
+            elif isinstance(value, Tool):
+                result.extend(lint_tool(value, config=config),
+                              location_prefix=location_prefix)
+            elif isinstance(value, ToolRegistry):
+                for tool_name in value.names():
+                    result.extend(
+                        lint_tool(value.get(tool_name), config=config),
+                        location_prefix=location_prefix,
+                    )
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import LintConfig, LintResult, all_rules, lint_plan
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(rule.describe())
+        return 0
+
+    config = LintConfig.parse(args.disable)
+    result = LintResult()
+
+    if not args.no_demos:
+        for scenario, dataset in _demo_pipelines(args.data_dir).items():
+            result.extend(lint_plan(dataset, config=config),
+                          location_prefix=f"demo:{scenario} ")
+
+    if not args.no_tools:
+        from repro.analysis import lint_registry
+        from repro.chat.tools_pz import build_pz_tools
+        from repro.chat.workspace import PipelineWorkspace
+
+        registry = build_pz_tools(PipelineWorkspace())
+        result.extend(lint_registry(registry, config=config))
+
+    if args.paths:
+        _lint_paths(args.paths, config, result)
+    if args.load:
+        _lint_loaded(args.load, config, result)
+
+    result = result.sorted()
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        if result.diagnostics:
+            print(result.render())
+        print(f"lint: {result.summary()}")
+    failed = bool(result.errors) or (args.strict and result.warnings)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +313,38 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--export", default=None,
                       help="save the session notebook here on exit")
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze pipelines, tools, and programs",
+        description="Run pz-lint. By default lints the demo corpora "
+                    "pipelines and the registered chat tools; positional "
+                    "paths (.py/.ipynb files or directories) are "
+                    "AST-checked without executing them. Exits 1 when any "
+                    "error-level diagnostic is found.",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help=".py/.ipynb files or directories to lint "
+                           "statically")
+    lint.add_argument("--load", action="append", default=[],
+                      metavar="PATH",
+                      help="execute this python file and lint the "
+                           "datasets/tools it defines (repeatable)")
+    lint.add_argument("--data-dir", default=None,
+                      help="where to generate/reuse the demo corpora")
+    lint.add_argument("--no-demos", action="store_true",
+                      help="skip linting the demo corpora pipelines")
+    lint.add_argument("--no-tools", action="store_true",
+                      help="skip linting the registered chat tools")
+    lint.add_argument("--disable", default=None, metavar="CODES",
+                      help="comma-separated rule codes or prefixes to "
+                           "disable (e.g. PZ102,AG,CG312)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and exit")
+
     return parser
 
 
@@ -207,6 +355,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "run": _cmd_run,
         "chat": _cmd_chat,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

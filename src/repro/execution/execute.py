@@ -26,6 +26,8 @@ class ExecutionEngine:
         sample_size: sentinel sample size for the optimizer (0 = naive
             estimates only).
         models: model registry for both plan space and execution.
+        lint: run plan lint before optimizing; error-level findings raise
+            :class:`~repro.analysis.LintError` instead of executing.
         candidate_options: plan-space ablation switches (forwarded to the
             optimizer).
     """
@@ -37,6 +39,7 @@ class ExecutionEngine:
         sample_size: int = 0,
         models: Optional[ModelRegistry] = None,
         cache=None,
+        lint: bool = True,
         **candidate_options,
     ):
         if policy is None:
@@ -48,6 +51,7 @@ class ExecutionEngine:
         self.sample_size = sample_size
         self.models = models
         self.cache = cache
+        self.lint = lint
         self.candidate_options = candidate_options
 
     def optimize(self, dataset: Dataset) -> OptimizationReport:
@@ -56,6 +60,7 @@ class ExecutionEngine:
             max_workers=self.max_workers,
             sample_size=self.sample_size,
             models=self.models,
+            lint=self.lint,
             **self.candidate_options,
         )
         return optimizer.optimize(dataset.logical_plan(), dataset.source)
@@ -119,6 +124,7 @@ def Execute(
     sample_size: int = 0,
     models: Optional[ModelRegistry] = None,
     cache=None,
+    lint: bool = True,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -134,6 +140,7 @@ def Execute(
         sample_size=sample_size,
         models=models,
         cache=cache,
+        lint=lint,
         **candidate_options,
     )
     return engine.execute(dataset)

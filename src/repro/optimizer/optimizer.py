@@ -60,6 +60,9 @@ class Optimizer:
             sample records first ("sentinel" execution) and replace the
             naive per-operator estimates with observed statistics.
         models: model registry defining the plan space.
+        lint: run plan lint (``PZ1xx``) before enumerating; error-level
+            findings raise :class:`~repro.analysis.LintError` so broken
+            plans are rejected before any (simulated) dollars are spent.
         candidate_options: keyword switches forwarded to
             :func:`repro.optimizer.candidates.candidate_operators` (ablations).
     """
@@ -70,16 +73,24 @@ class Optimizer:
         max_workers: int = 1,
         sample_size: int = 0,
         models: Optional[ModelRegistry] = None,
+        lint: bool = True,
         **candidate_options,
     ):
         self.policy = policy or MaxQuality()
         self.max_workers = max_workers
         self.sample_size = sample_size
         self.models = models or default_registry()
+        self.lint = lint
         self.candidate_options = candidate_options
 
     def optimize(self, logical_plan: LogicalPlan,
                  source: DataSource) -> OptimizationReport:
+        if self.lint:
+            from repro.analysis import LintError, lint_plan
+
+            lint_result = lint_plan(logical_plan, source=source)
+            if not lint_result.ok:
+                raise LintError(lint_result)
         profile = source.profile()
         cost_model = CostModel(profile, max_workers=self.max_workers)
         candidates = enumerate_plans(

@@ -77,6 +77,24 @@ class TestFilters:
         with pytest.raises(TemplateError, match="unknown template filter"):
             render_template("{{ x | nope }}", {"x": 1})
 
+    def test_unknown_filter_error_lists_available_filters(self):
+        # Same "available: [...]" formatting as the missing-variable error.
+        with pytest.raises(TemplateError) as excinfo:
+            render_template("{{ x | nope }}", {"x": 1})
+        message = str(excinfo.value)
+        assert "available:" in message
+        for name in ("json", "lower", "repr", "str", "upper"):
+            assert name in message
+
+    def test_chained_filters_apply_left_to_right(self):
+        assert render_template(
+            "{{ x | lower | repr }}", {"x": "AB"}
+        ) == "'ab'"
+
+    def test_chained_filter_unknown_link_raises(self):
+        with pytest.raises(TemplateError, match="unknown template filter"):
+            render_template("{{ x | upper | nope }}", {"x": "a"})
+
 
 class TestTemplateVariables:
     def test_roots_listed_in_order(self):

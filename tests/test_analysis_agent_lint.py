@@ -1,0 +1,147 @@
+"""Agent lint (AG2xx): docstring/signature drift and template scanning."""
+
+from repro.agent.code_tools import CodeTool
+from repro.agent.tools import ToolParameter, tool
+from repro.analysis import lint_registry, lint_template, lint_tool
+from repro.chat.tools_pz import build_pz_tools
+from repro.chat.workspace import PipelineWorkspace
+
+
+def make_code_tool(template, parameters=("message",), environment=None):
+    return CodeTool(
+        name="fixture",
+        summary="A fixture code tool.",
+        template=template,
+        parameters=[
+            ToolParameter(name=name, type_name="string")
+            for name in parameters
+        ],
+        environment=environment,
+    )
+
+
+class TestDocstringRules:
+    def test_ag201_renamed_parameter(self):
+        @tool()
+        def summarize(text: str) -> str:
+            """Summarize a document.
+
+            Args:
+                document: the text to summarize.
+            """
+            return text
+
+        result = lint_tool(summarize)
+        codes = result.codes()
+        assert "AG201" in codes
+        [ag201] = [d for d in result.errors if d.code == "AG201"]
+        assert "text" in ag201.hint  # close-match rename suggestion
+
+    def test_ag202_undocumented_parameter(self):
+        @tool()
+        def search(query: str, limit: int = 5) -> str:
+            """Search the corpus.
+
+            Args:
+                query: what to look for.
+            """
+            return query
+
+        codes = lint_tool(search).codes()
+        assert "AG202" in codes
+        assert "AG201" not in codes
+
+    def test_ag203_missing_summary(self):
+        @tool()
+        def nameless(x: str) -> str:
+            """
+
+            Args:
+                x: something.
+            """
+            return x
+
+        assert "AG203" in lint_tool(nameless).codes()
+
+    def test_ag204_undocumented_return(self):
+        @tool()
+        def quiet(x: str) -> str:
+            """Do a thing.
+
+            Args:
+                x: something.
+            """
+            return x
+
+        result = lint_tool(quiet)
+        assert "AG204" in result.codes()
+        assert result.ok  # info only
+
+    def test_fully_documented_tool_is_clean(self):
+        @tool()
+        def tidy(x: str) -> str:
+            """Do a thing.
+
+            Args:
+                x: something.
+
+            Returns:
+                the same thing.
+            """
+            return x
+
+        assert lint_tool(tidy).codes() == []
+
+
+class TestTemplateRules:
+    def test_ag205_unknown_variable(self):
+        code_tool = make_code_tool(
+            "result = {{ message }} + {{ missing_var }}"
+        )
+        result = lint_tool(code_tool)
+        assert "AG205" in result.codes()
+        assert not result.ok
+
+    def test_environment_variables_are_available(self):
+        code_tool = make_code_tool(
+            "result = {{ message }} + {{ corpus }}",
+            environment={"corpus": "docs"},
+        )
+        assert "AG205" not in lint_tool(code_tool).codes()
+
+    def test_agent_is_always_available(self):
+        code_tool = make_code_tool("result = {{ message }}; {{ agent }}")
+        assert "AG205" not in lint_tool(code_tool).codes()
+
+    def test_ag206_unknown_filter(self):
+        code_tool = make_code_tool("result = {{ message | shout }}")
+        result = lint_tool(code_tool)
+        assert "AG206" in result.codes()
+        [diagnostic] = result.errors
+        assert "available" in diagnostic.message
+
+    def test_chained_filters_each_checked(self):
+        result = lint_template(
+            "{{ x | upper | nope }}", available=["x"]
+        )
+        assert result.codes() == ["AG206"]
+
+    def test_known_chained_filters_are_clean(self):
+        result = lint_template(
+            "{{ x | lower | repr }}", available=["x"]
+        )
+        assert result.codes() == []
+
+    def test_duplicate_findings_deduplicated(self):
+        result = lint_template(
+            "{{ ghost }} then {{ ghost }}", available=[]
+        )
+        assert result.codes() == ["AG205"]
+
+
+class TestShippedTools:
+    def test_chat_tool_registry_has_no_errors_or_warnings(self):
+        registry = build_pz_tools(PipelineWorkspace())
+        result = lint_registry(registry)
+        assert result.errors == []
+        assert result.warnings == []

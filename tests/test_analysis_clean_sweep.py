@@ -1,0 +1,51 @@
+"""No-false-positives sweep: everything the repo ships must lint clean.
+
+The fuzz suite (``test_pipeline_fuzz.py``) provides further coverage for
+free: its randomly generated pipelines execute through ``Execute``, which
+now runs plan lint first — any error-severity false positive there would
+fail that suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_plan, lint_program, lint_registry
+from repro.chat.tools_pz import build_pz_tools
+from repro.chat.workspace import PipelineWorkspace
+from repro.cli import _demo_pipelines
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestDemoPipelines:
+    @pytest.fixture(scope="class")
+    def pipelines(self, tmp_path_factory):
+        return _demo_pipelines(str(tmp_path_factory.mktemp("sweep")))
+
+    @pytest.mark.parametrize("scenario", ["sci", "legal", "realestate"])
+    def test_demo_pipeline_has_no_errors(self, pipelines, scenario):
+        result = lint_plan(pipelines[scenario])
+        assert result.errors == [], result.render()
+
+    @pytest.mark.parametrize("scenario", ["sci", "legal", "realestate"])
+    def test_demo_pipeline_has_no_warnings(self, pipelines, scenario):
+        result = lint_plan(pipelines[scenario])
+        assert result.warnings == [], result.render()
+
+
+class TestShippedExamples:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(EXAMPLES_DIR.glob("*.py")),
+        ids=lambda p: p.name,
+    )
+    def test_example_program_lints_clean(self, path):
+        result = lint_program(path.read_text(), filename=str(path))
+        assert result.errors == [], result.render()
+
+
+class TestRegisteredTools:
+    def test_chat_tools_have_no_errors(self):
+        result = lint_registry(build_pz_tools(PipelineWorkspace()))
+        assert result.errors == [], result.render()

@@ -1,0 +1,172 @@
+"""The pz-lint diagnostics core: rules, config, results."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    LintConfig,
+    LintError,
+    LintResult,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.diagnostics import Emitter
+from repro.core.errors import PlanError
+
+
+class TestSeverity:
+    def test_rank_orders_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_parse_accepts_strings_and_members(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" Warning ") is Severity.WARNING
+        assert Severity.parse(Severity.INFO) is Severity.INFO
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def test_render_has_code_location_and_hint(self):
+        diagnostic = Diagnostic(
+            code="PZ101", severity=Severity.ERROR,
+            message="bad field", location="op[1]", hint="rename it",
+        )
+        rendered = diagnostic.render()
+        assert "error[PZ101]" in rendered
+        assert "op[1]:" in rendered
+        assert "bad field" in rendered
+        assert "(hint: rename it)" in rendered
+
+    def test_render_without_location_or_hint(self):
+        rendered = Diagnostic(
+            code="AG203", severity=Severity.WARNING, message="m"
+        ).render()
+        assert rendered == "warning[AG203] m"
+
+    def test_to_dict_round_trip_fields(self):
+        diagnostic = Diagnostic("CG301", Severity.ERROR, "m", "loc", "h")
+        assert diagnostic.to_dict() == {
+            "code": "CG301", "severity": "error", "message": "m",
+            "location": "loc", "hint": "h",
+        }
+
+
+class TestRuleRegistry:
+    def test_all_rules_sorted_and_nonempty(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert {"PZ101", "AG201", "CG301"} <= set(codes)
+
+    def test_families_derived_from_code(self):
+        assert get_rule("PZ101").family == "PZ"
+        assert get_rule("AG205").family == "AG"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule("PZ101", "dup", "dup", Severity.ERROR)
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(KeyError, match="unknown lint rule"):
+            get_rule("XX999")
+
+
+class TestLintConfig:
+    def test_parse_comma_separated(self):
+        config = LintConfig.parse("pz102, ag")
+        assert not config.is_enabled("PZ102")
+        assert not config.is_enabled("AG205")
+        assert config.is_enabled("PZ101")
+
+    def test_prefix_disables_family(self):
+        config = LintConfig.parse("CG")
+        assert not config.is_enabled("CG301")
+        assert not config.is_enabled("CG312")
+        assert config.is_enabled("PZ101")
+
+    def test_severity_override(self):
+        config = LintConfig(
+            severity_overrides={"PZ105": Severity.ERROR}
+        )
+        assert config.severity_for("PZ105") is Severity.ERROR
+        assert config.severity_for("PZ101") is Severity.ERROR
+        assert config.severity_for("PZ102") is Severity.WARNING
+
+    def test_emitter_respects_disable(self):
+        result = LintResult()
+        emitter = Emitter(result, LintConfig.parse("PZ101"))
+        emitter.emit("PZ101", "suppressed")
+        emitter.emit("PZ102", "kept")
+        assert result.codes() == ["PZ102"]
+
+
+class TestLintResult:
+    def _diag(self, code, severity, location=""):
+        return Diagnostic(code, severity, f"msg {code}", location)
+
+    def test_ok_depends_only_on_errors(self):
+        result = LintResult([self._diag("PZ102", Severity.WARNING)])
+        assert result.ok
+        result.add(self._diag("PZ101", Severity.ERROR))
+        assert not result.ok
+
+    def test_extend_applies_location_prefix(self):
+        inner = LintResult([self._diag("PZ101", Severity.ERROR, "op[0]")])
+        outer = LintResult()
+        outer.extend(inner, location_prefix="op[2].right ")
+        assert outer.diagnostics[0].location == "op[2].right op[0]"
+
+    def test_sorted_puts_errors_first(self):
+        result = LintResult([
+            self._diag("PZ108", Severity.INFO),
+            self._diag("PZ101", Severity.ERROR),
+            self._diag("PZ105", Severity.WARNING),
+        ])
+        assert [d.severity for d in result.sorted()] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO,
+        ]
+
+    def test_summary_counts(self):
+        result = LintResult([
+            self._diag("PZ101", Severity.ERROR),
+            self._diag("PZ105", Severity.WARNING),
+            self._diag("PZ108", Severity.INFO),
+        ])
+        assert result.summary() == "1 error(s), 1 warning(s), 1 info(s)"
+
+    def test_to_json_is_parseable(self):
+        import json
+
+        result = LintResult([self._diag("PZ101", Severity.ERROR)])
+        payload = json.loads(result.to_json())
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "PZ101"
+
+
+class TestLintError:
+    def test_is_a_plan_error_and_carries_result(self):
+        result = LintResult([
+            Diagnostic("PZ101", Severity.ERROR, "bad field", "op[1]"),
+        ])
+        error = LintError(result)
+        assert isinstance(error, PlanError)
+        assert error.result is result
+        assert "PZ101" in str(error)
+        assert "bad field" in str(error)
+
+
+class TestDocumentation:
+    def test_every_rule_documented_in_diagnostics_md(self):
+        table = (
+            Path(__file__).resolve().parents[1] / "docs" / "diagnostics.md"
+        ).read_text()
+        for rule in all_rules():
+            assert rule.code in table, (
+                f"rule {rule.code} is missing from docs/diagnostics.md"
+            )

@@ -1,0 +1,191 @@
+"""Plan lint (PZ1xx): golden per-rule tests and optimizer integration."""
+
+import pytest
+
+from repro.analysis import LintConfig, LintError, lint_plan
+from repro.core.dataset import Dataset
+from repro.core.fields import BooleanField, StringField
+from repro.core.schemas import Schema, make_schema
+from repro.core.sources import MemorySource
+from repro.execution.execute import Execute
+
+
+def memory_dataset(n=3):
+    items = [f"document number {i}" for i in range(n)]
+    return Dataset(MemorySource(items, "lint-test"))
+
+
+def extraction_schema(name="Extracted", fields=("title", "summary")):
+    return make_schema(
+        name,
+        "Fields extracted for lint tests.",
+        {field: f"The {field}" for field in fields},
+    )
+
+
+class TestUnknownField:
+    def test_pz101_on_filter_depends_on(self):
+        dataset = memory_dataset().filter("about ai", depends_on=["titel"])
+        result = lint_plan(dataset)
+        assert "PZ101" in result.codes()
+        assert not result.ok
+
+    def test_pz101_on_convert_depends_on(self):
+        dataset = memory_dataset().convert(
+            extraction_schema(), depends_on=["nonexistent"]
+        )
+        assert "PZ101" in lint_plan(dataset).codes()
+
+    def test_pz101_hint_suggests_close_match(self):
+        schema = extraction_schema(fields=("title",))
+        dataset = (
+            memory_dataset()
+            .convert(schema)
+            .filter("boring", depends_on=["titel"])
+        )
+        [diagnostic] = lint_plan(dataset).errors
+        assert "title" in diagnostic.hint
+
+    def test_valid_depends_on_is_clean(self):
+        schema = extraction_schema(fields=("title",))
+        dataset = (
+            memory_dataset()
+            .convert(schema)
+            .filter("boring", depends_on=["title"])
+        )
+        assert "PZ101" not in lint_plan(dataset).codes()
+
+
+class TestDeadField:
+    def test_pz102_when_projected_away(self):
+        dataset = (
+            memory_dataset()
+            .convert(extraction_schema(fields=("title", "summary")))
+            .project(["title"])
+        )
+        result = lint_plan(dataset)
+        assert "PZ102" in result.codes()
+        assert result.ok  # warning only
+
+    def test_no_pz102_when_field_reaches_output(self):
+        dataset = memory_dataset().convert(
+            extraction_schema(fields=("title", "summary"))
+        )
+        assert "PZ102" not in lint_plan(dataset).codes()
+
+    def test_no_pz102_when_semantic_filter_consumes_everything(self):
+        dataset = (
+            memory_dataset()
+            .convert(extraction_schema(fields=("title", "summary")))
+            .filter("interesting")  # no depends_on: reads the whole record
+            .project(["title"])
+        )
+        assert "PZ102" not in lint_plan(dataset).codes()
+
+
+class TestFilters:
+    def test_pz103_duplicate_predicate(self):
+        dataset = (
+            memory_dataset().filter("about ai").filter("about ai")
+        )
+        assert "PZ103" in lint_plan(dataset).codes()
+
+    def test_pz104_negated_predicate(self):
+        dataset = (
+            memory_dataset().filter("about ai").filter("not about ai")
+        )
+        assert "PZ104" in lint_plan(dataset).codes()
+
+    def test_distinct_predicates_are_clean(self):
+        dataset = (
+            memory_dataset().filter("about ai").filter("peer reviewed")
+        )
+        codes = lint_plan(dataset).codes()
+        assert "PZ103" not in codes
+        assert "PZ104" not in codes
+
+
+class TestLimits:
+    def test_pz105_limit_before_filter(self):
+        dataset = memory_dataset().limit(2).filter("about ai")
+        assert "PZ105" in lint_plan(dataset).codes()
+
+    def test_limit_after_filter_is_clean(self):
+        dataset = memory_dataset().filter("about ai").limit(2)
+        assert "PZ105" not in lint_plan(dataset).codes()
+
+    def test_pz107_zero_limit(self):
+        dataset = memory_dataset().limit(0)
+        assert "PZ107" in lint_plan(dataset).codes()
+
+
+class TestAggregates:
+    def test_pz106_average_over_boolean(self):
+        class Flags(Schema):
+            """Flagged documents."""
+
+            flagged = BooleanField("Whether the document is flagged")
+
+        dataset = memory_dataset().convert(Flags).average("flagged")
+        result = lint_plan(dataset)
+        assert "PZ106" in result.codes()
+        assert not result.ok
+
+    def test_string_fields_are_allowed(self):
+        class Prices(Schema):
+            """Prices."""
+
+            price = StringField("The price in dollars")
+
+        dataset = memory_dataset().convert(Prices).average("price")
+        assert "PZ106" not in lint_plan(dataset).codes()
+
+
+class TestSourceBounds:
+    def test_pz108_retrieve_k_over_cardinality(self):
+        dataset = memory_dataset(n=3).retrieve("find things", k=50)
+        result = lint_plan(dataset)
+        assert "PZ108" in result.codes()
+        assert result.ok  # info only
+
+    def test_plain_plan_without_source_skips_pz108(self):
+        dataset = memory_dataset(n=3).retrieve("find things", k=50)
+        assert "PZ108" not in lint_plan(dataset.logical_plan()).codes()
+
+
+class TestSubplans:
+    def test_join_right_side_is_linted(self):
+        right = memory_dataset().filter("x", depends_on=["ghost"])
+        left = memory_dataset().join(
+            right, "the records describe the same thing"
+        )
+        result = lint_plan(left)
+        assert "PZ101" in result.codes()
+        [diagnostic] = result.errors
+        assert ".right " in diagnostic.location
+
+
+class TestConfig:
+    def test_disabled_rule_not_emitted(self):
+        dataset = memory_dataset().filter("x", depends_on=["ghost"])
+        result = lint_plan(dataset, config=LintConfig.parse("PZ101"))
+        assert "PZ101" not in result.codes()
+
+
+class TestOptimizerIntegration:
+    def test_execute_raises_lint_error_before_running(self):
+        dataset = memory_dataset().filter("x", depends_on=["ghost"])
+        with pytest.raises(LintError) as excinfo:
+            Execute(dataset)
+        assert "PZ101" in str(excinfo.value)
+        assert excinfo.value.result.errors
+
+    def test_lint_false_opts_out(self):
+        dataset = memory_dataset().filter("x", depends_on=["ghost"])
+        records, stats = Execute(dataset, lint=False)
+        assert stats.total_cost_usd >= 0
+
+    def test_warnings_never_block_execution(self):
+        dataset = memory_dataset().limit(2).filter("about ai")
+        records, stats = Execute(dataset)
+        assert stats is not None

@@ -46,6 +46,20 @@ class TestGenerateProgram:
         code = generate_program(workspace)
         assert "pz.MinCost()" in code
 
+    def test_unknown_policy_target_raises(self, workspace):
+        from repro.chat.codegen import CodegenError
+
+        workspace.steps[-2].params["target"] = "speeed"
+        with pytest.raises(CodegenError, match="speeed"):
+            generate_program(workspace)
+
+    def test_unknown_cardinality_raises(self, workspace):
+        from repro.chat.codegen import CodegenError
+
+        workspace.steps[3].params["cardinality"] = "one_to_none"
+        with pytest.raises(CodegenError, match="one_to_none"):
+            generate_program(workspace)
+
     def test_empty_workspace_placeholder(self):
         code = generate_program(PipelineWorkspace())
         assert "No pipeline" in code
