@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench perf lint examples all clean
+.PHONY: install test bench bench-exec perf lint examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,12 @@ bench:
 
 perf:
 	PYTHONPATH=src python scripts/perf_snapshot.py
+
+# Executor benchmarks + regression gate: per-record vs threaded vs batched.
+bench-exec:
+	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
+		--output /tmp/perf_current.json --label bench-exec
+	python scripts/check_perf_regression.py --current /tmp/perf_current.json
 
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:

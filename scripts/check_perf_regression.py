@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Executor performance regression gate.
+
+Compares the batched-executor speedup — wall-clock of
+``pipeline_per_record`` divided by ``pipeline_batched`` — between a fresh
+snapshot (produced by ``perf_snapshot.py``) and the committed baseline in
+``BENCH_perf.json``.  The gate works on speedup *ratios*, not absolute
+seconds: CI machines are slower and noisier than the machine that recorded
+the baseline, but the relative advantage of the batched execution path over
+the per-record path should survive any machine.
+
+The gate fails (exit 1) when the current speedup drops below
+``threshold`` x the baseline speedup (default 0.8, i.e. a >20% regression
+of the batched path relative to per-record execution).
+
+Usage:
+    PYTHONPATH=src python scripts/perf_snapshot.py --quick \
+        --output /tmp/perf_current.json
+    python scripts/check_perf_regression.py --current /tmp/perf_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
+
+#: The workloads the gate needs; runs without them are skipped.
+REQUIRED = ("pipeline_per_record", "pipeline_batched")
+
+
+def latest_run_with(path: Path, names=REQUIRED) -> dict | None:
+    """The most recent run in ``path`` containing every named workload."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    for run in reversed(payload.get("runs", [])):
+        workloads = run.get("workloads", {})
+        if all(name in workloads for name in names):
+            return run
+    return None
+
+
+def speedup(run: dict) -> float:
+    workloads = run["workloads"]
+    per_record = workloads["pipeline_per_record"]["wall_seconds"]
+    batched = workloads["pipeline_batched"]["wall_seconds"]
+    if batched <= 0:
+        return float("inf")
+    return per_record / batched
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed benchmark history (BENCH_perf.json)")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="snapshot file from a fresh perf_snapshot run")
+    parser.add_argument("--threshold", type=float, default=0.8,
+                        help="minimum fraction of the baseline speedup the "
+                             "current run must retain")
+    args = parser.parse_args(argv)
+
+    current = latest_run_with(args.current)
+    if current is None:
+        print(f"FAIL: {args.current} has no run with {REQUIRED} workloads")
+        return 1
+
+    baseline = latest_run_with(args.baseline)
+    if baseline is None:
+        print(
+            f"note: {args.baseline} has no executor benchmarks yet; "
+            "recording the first — gate passes vacuously"
+        )
+        return 0
+
+    base_speedup = speedup(baseline)
+    cur_speedup = speedup(current)
+    floor = args.threshold * base_speedup
+
+    def _row(label: str, run: dict) -> str:
+        workloads = run["workloads"]
+        parts = [f"{label:>9}:"]
+        for name in (
+            "pipeline_per_record", "pipeline_threaded", "pipeline_batched",
+        ):
+            seconds = workloads.get(name, {}).get("wall_seconds")
+            text = f"{seconds:.4f}s" if seconds is not None else "-"
+            parts.append(f"{name.split('pipeline_')[1]}={text}")
+        return "  ".join(parts)
+
+    print(_row("baseline", baseline),
+          f" speedup={base_speedup:.2f}x (rev {baseline.get('git_rev')})")
+    print(_row("current", current), f" speedup={cur_speedup:.2f}x")
+    print(f"gate: current speedup must be >= {floor:.2f}x "
+          f"({args.threshold:.0%} of baseline)")
+
+    if cur_speedup < floor:
+        print("FAIL: batched execution regressed against the per-record path")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

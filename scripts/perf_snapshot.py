@@ -20,6 +20,14 @@ Workloads:
 * ``scaling``               — filter+convert over a larger synthetic corpus.
 * ``tokenize_repeat``       — the repeated-tokenization pattern every LLM
   call hits (count_tokens/fingerprint over the same documents many times).
+* ``pipeline_per_record``   — one chosen papers-corpus plan executed by the
+  sequential executor (cold call cache, text memos cleared): the per-record
+  warm-path baseline for the executor comparisons below.
+* ``pipeline_threaded``     — the same plan on the pipelined executor with
+  4 worker threads, per-record calls (batch_size=1).
+* ``pipeline_batched``      — the same plan on the pipelined executor with
+  4 worker threads and batched LLM calls (batch_size=8); amortizes
+  prompt-prefix construction and full-prompt tokenization.
 
 Usage:
     PYTHONPATH=src python scripts/perf_snapshot.py [--quick] [--repeat N]
@@ -160,6 +168,74 @@ class _PipelinePair:
         }
 
 
+class _ExecBench:
+    """Executor comparisons: one chosen plan, three execution strategies.
+
+    The plan is chosen once (optimizer untimed); each timed run starts from
+    a cold call cache and cleared text memos so the three strategies pay
+    the same tokenization/fingerprinting bill and differ only in how the
+    executor schedules it.
+    """
+
+    WORKERS = 4
+    BATCH = 8
+
+    def __init__(self, quick: bool):
+        from repro.core.sources import DirectorySource
+        from repro.corpora.papers import (
+            CLINICAL_FIELDS,
+            PAPERS_PREDICATE,
+            generate_paper_corpus,
+        )
+        from repro.optimizer.optimizer import Optimizer
+
+        n = 16 if quick else 40
+        self._dir = tempfile.mkdtemp(prefix="perf-exec-")
+        papers = generate_paper_corpus(
+            Path(self._dir),
+            n_papers=n,
+            n_relevant=(3 * n) // 4,
+            n_with_datasets=n // 2,
+        )
+        self.source = DirectorySource(papers, dataset_id="perf-exec")
+        schema = pz.make_schema(
+            "ClinicalExec", "clinical datasets", CLINICAL_FIELDS,
+        )
+        pipeline = (
+            pz.Dataset(self.source)
+            .filter(PAPERS_PREDICATE)
+            .convert(schema, cardinality=pz.Cardinality.ONE_TO_MANY)
+        )
+        self.plan = (
+            Optimizer(pz.MaxQuality())
+            .optimize(pipeline.logical_plan(), self.source)
+            .chosen.plan
+        )
+
+    def run(self, mode: str) -> dict:
+        from repro.execution import PipelinedExecutor, SequentialExecutor
+        from repro.llm.memo import clear_memos
+        from repro.physical.context import ExecutionContext
+
+        clear_memos()
+        context = ExecutionContext(
+            max_workers=self.WORKERS, cache=CallCache()
+        )
+        if mode == "sequential":
+            executor = SequentialExecutor(context)
+        else:
+            executor = PipelinedExecutor(
+                context,
+                max_workers=self.WORKERS,
+                batch_size=self.BATCH if mode == "batched" else 1,
+            )
+        records, stats = executor.execute(self.plan)
+        return {
+            "records_out": len(records),
+            "simulated_seconds": round(stats.total_time_seconds, 2),
+        }
+
+
 def workload_scaling(quick: bool) -> dict:
     n = 60 if quick else 200
     source = MemorySource(
@@ -213,6 +289,9 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
     def pipeline_warm(q):
         return pair[0].run()
 
+    # Built eagerly so corpus generation + plan choice stay untimed.
+    exec_bench = _ExecBench(quick)
+
     workloads = [
         ("plan_enum_exhaustive", workload_plan_enum_exhaustive),
         ("plan_enum_pruned", workload_plan_enum_pruned),
@@ -220,6 +299,9 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
         ("pipeline_warm", pipeline_warm),
         ("scaling", workload_scaling),
         ("tokenize_repeat", workload_tokenize_repeat),
+        ("pipeline_per_record", lambda q: exec_bench.run("sequential")),
+        ("pipeline_threaded", lambda q: exec_bench.run("threaded")),
+        ("pipeline_batched", lambda q: exec_bench.run("batched")),
     ]
     results = {}
     for name, fn in workloads:

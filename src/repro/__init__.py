@@ -69,6 +69,7 @@ from repro.core.sources import (
     global_source_registry,
 )
 from repro.execution.execute import Execute, ExecutionEngine
+from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.optimizer.policies import (
     Policy,
@@ -115,6 +116,7 @@ __all__ = [
     "Execute",
     "ExecutionEngine",
     "ExecutionStats",
+    "PipelinedExecutor",
     "Policy",
     "MaxQuality",
     "MinCost",

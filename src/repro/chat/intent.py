@@ -134,6 +134,9 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
     ("workers", re.compile(
         r"\b(?:use|with|set)\s+(\d+)\s+(?:parallel\s+)?workers?\b"
         r"|\bin parallel\b", re.I)),
+    ("executor", re.compile(
+        r"\b(?:sequential|parallel|pipelined)\s+(?:executor|engine|execution|mode)\b"
+        r"|\bexecutor\b|\bbatch size\b", re.I)),
     ("explain", re.compile(
         r"\b(explain|compare|what) (?:the )?(physical )?plans?\b"
         r"|\bplan space\b|\bwhich plan\b", re.I)),
@@ -391,6 +394,18 @@ def plan_requests(message: str,
                 thought=f"Run pipelines with {workers} parallel workers.",
                 tool_name="set_parallelism",
                 arguments={"workers": workers},
+            ))
+        elif intent == "executor":
+            name_match = re.search(r"\b(sequential|parallel|pipelined)\b",
+                                   clause, re.I)
+            executor = name_match.group(1).lower() if name_match else "pipelined"
+            size_match = re.search(r"\bbatch(?:\s+size)?(?:\s+of)?\s+(\d+)\b",
+                                   clause, re.I)
+            batch_size = int(size_match.group(1)) if size_match else 1
+            calls.append(ToolCall(
+                thought=f"Switch pipelines to the {executor} executor.",
+                tool_name="set_execution_mode",
+                arguments={"executor": executor, "batch_size": batch_size},
             ))
         elif intent == "explain":
             calls.append(ToolCall(

@@ -194,6 +194,8 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             policy=workspace.policy,
             max_workers=workspace.max_workers,
             sample_size=workspace.sample_size,
+            executor=workspace.executor,
+            batch_size=workspace.batch_size,
             lint=False,  # already linted above, with a friendlier message
         )
         workspace.last_records = records
@@ -306,6 +308,50 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         return f"Pipelines will now execute with {workers} workers."
 
     @tool()
+    def set_execution_mode(
+        executor: str,
+        batch_size: int = 1,
+        agent: AgentRef = None,
+    ) -> str:
+        """Choose how pipelines execute: which executor and what batch size.
+
+        The "pipelined" executor runs LLM operators on real worker threads
+        connected by bounded queues and can batch LLM calls, amortizing the
+        fixed per-call overhead; it produces exactly the same records as the
+        other executors, faster.  "parallel" models record-level parallelism
+        on virtual-clock lanes; "sequential" processes one record at a time.
+
+        Args:
+            executor: "sequential", "parallel", or "pipelined".
+            batch_size: records per LLM batch (pipelined executor only;
+                1 = one call per record).
+
+        Examples:
+            set_execution_mode(executor="pipelined", batch_size=8)
+            set_execution_mode(executor="sequential")
+        """
+        executor = str(executor).strip().lower()
+        valid = ("sequential", "parallel", "pipelined")
+        if executor not in valid:
+            raise ToolError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {', '.join(valid)}"
+            )
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ToolError("batch_size must be >= 1")
+        workspace.executor = executor
+        workspace.batch_size = batch_size
+        workspace.log_step(
+            "execution_mode", executor=executor, batch_size=batch_size
+        )
+        suffix = (
+            f" with batch size {batch_size}" if executor == "pipelined"
+            else ""
+        )
+        return f"Pipelines will now use the {executor} executor{suffix}."
+
+    @tool()
     def explain_plans(agent: AgentRef = None) -> str:
         """Show the physical plans the optimizer is considering.
 
@@ -373,6 +419,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         list_datasets,
         generate_code,
         set_parallelism,
+        set_execution_mode,
         explain_plans,
         lint_pipeline,
         reset_pipeline,

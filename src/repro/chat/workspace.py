@@ -40,6 +40,11 @@ class PipelineWorkspace:
         self.schemas: Dict[str, Type[Schema]] = {}
         self.policy: Policy = MaxQuality()
         self.max_workers: int = 1
+        #: None = infer from max_workers; else "sequential" | "parallel"
+        #: | "pipelined".
+        self.executor: Optional[str] = None
+        #: LLM-stage batch size used by the pipelined executor.
+        self.batch_size: int = 1
         self.sample_size: int = 0
         self.steps: List[PipelineStep] = []
         self.last_records: Optional[List[DataRecord]] = None
@@ -78,6 +83,8 @@ class PipelineWorkspace:
             "schemas": dict(self.schemas),
             "policy": self.policy,
             "max_workers": self.max_workers,
+            "executor": self.executor,
+            "batch_size": self.batch_size,
             "sample_size": self.sample_size,
             "steps": copy.deepcopy(self.steps),
         }
@@ -87,6 +94,8 @@ class PipelineWorkspace:
         self.schemas = dict(snapshot["schemas"])
         self.policy = snapshot["policy"]
         self.max_workers = snapshot["max_workers"]
+        self.executor = snapshot.get("executor")
+        self.batch_size = snapshot.get("batch_size", 1)
         self.sample_size = snapshot["sample_size"]
         self.steps = copy.deepcopy(snapshot["steps"])
         self.last_records = None

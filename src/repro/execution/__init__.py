@@ -8,6 +8,7 @@ the total pipeline cost and runtime" — that is what
 
 from repro.execution.stats import OperatorStats, PlanStats, ExecutionStats
 from repro.execution.executors import SequentialExecutor, ParallelExecutor
+from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.execute import Execute, ExecutionEngine
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "ExecutionStats",
     "SequentialExecutor",
     "ParallelExecutor",
+    "PipelinedExecutor",
     "Execute",
     "ExecutionEngine",
 ]

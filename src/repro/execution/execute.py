@@ -10,6 +10,7 @@ from typing import List, Optional, Tuple, Union
 from repro.core.dataset import Dataset
 from repro.core.records import DataRecord
 from repro.execution.executors import ParallelExecutor, SequentialExecutor
+from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.llm.models import ModelRegistry
 from repro.optimizer.optimizer import OptimizationReport, Optimizer
@@ -28,9 +29,18 @@ class ExecutionEngine:
         models: model registry for both plan space and execution.
         lint: run plan lint before optimizing; error-level findings raise
             :class:`~repro.analysis.LintError` instead of executing.
+        executor: which executor runs the chosen plan — "sequential",
+            "parallel", or "pipelined" (real worker threads with bounded
+            queues).  ``None`` keeps the historical inference: parallel
+            when ``max_workers > 1``, sequential otherwise.
+        batch_size: LLM-stage batch size for the pipelined executor; the
+            cost model amortizes per-call overhead accordingly.  Ignored
+            (beyond costing) by the other executors, which call per record.
         candidate_options: plan-space ablation switches (forwarded to the
             optimizer).
     """
+
+    EXECUTORS = ("sequential", "parallel", "pipelined")
 
     def __init__(
         self,
@@ -40,19 +50,35 @@ class ExecutionEngine:
         models: Optional[ModelRegistry] = None,
         cache=None,
         lint: bool = True,
+        executor: Optional[str] = None,
+        batch_size: int = 1,
         **candidate_options,
     ):
         if policy is None:
             policy = MaxQuality()
         elif isinstance(policy, str):
             policy = parse_policy(policy)
+        if executor is not None and executor not in self.EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {', '.join(self.EXECUTORS)}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.policy = policy
         self.max_workers = max_workers
         self.sample_size = sample_size
         self.models = models
         self.cache = cache
         self.lint = lint
+        self.executor = executor
+        self.batch_size = batch_size
         self.candidate_options = candidate_options
+
+    def _executor_name(self) -> str:
+        if self.executor is not None:
+            return self.executor
+        return "parallel" if self.max_workers > 1 else "sequential"
 
     def optimize(self, dataset: Dataset) -> OptimizationReport:
         optimizer = Optimizer(
@@ -61,6 +87,9 @@ class ExecutionEngine:
             sample_size=self.sample_size,
             models=self.models,
             lint=self.lint,
+            batch_size=(
+                self.batch_size if self._executor_name() == "pipelined" else 1
+            ),
             **self.candidate_options,
         )
         return optimizer.optimize(dataset.logical_plan(), dataset.source)
@@ -101,7 +130,14 @@ class ExecutionEngine:
             models=self.models,
             cache=self.cache,
         )
-        if self.max_workers > 1:
+        name = self._executor_name()
+        if name == "pipelined":
+            executor = PipelinedExecutor(
+                context,
+                max_workers=self.max_workers,
+                batch_size=self.batch_size,
+            )
+        elif name == "parallel":
             executor = ParallelExecutor(context, max_workers=self.max_workers)
         else:
             executor = SequentialExecutor(context)
@@ -113,6 +149,8 @@ class ExecutionEngine:
             optimization_cost_usd=report.sentinel_cost_usd,
             optimization_time_seconds=report.sentinel_time_seconds,
             max_workers=self.max_workers,
+            executor=name,
+            batch_size=self.batch_size if name == "pipelined" else 1,
         )
         return records, stats
 
@@ -125,6 +163,8 @@ def Execute(
     models: Optional[ModelRegistry] = None,
     cache=None,
     lint: bool = True,
+    executor: Optional[str] = None,
+    batch_size: int = 1,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -133,6 +173,13 @@ def Execute(
 
         records, stats = Execute(dataset, policy=MaxQuality())
         print(stats.summary())
+
+    Pass ``executor="pipelined"`` (optionally with ``batch_size``) to run
+    the plan on the thread-pipelined executor::
+
+        records, stats = Execute(
+            dataset, executor="pipelined", max_workers=4, batch_size=8
+        )
     """
     engine = ExecutionEngine(
         policy=policy,
@@ -141,6 +188,8 @@ def Execute(
         models=models,
         cache=cache,
         lint=lint,
+        executor=executor,
+        batch_size=batch_size,
         **candidate_options,
     )
     return engine.execute(dataset)

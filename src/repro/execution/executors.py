@@ -24,6 +24,55 @@ from repro.physical.plan import PhysicalPlan
 from repro.physical.structural import LimitOp
 
 
+def build_plan_stats(
+    plan: PhysicalPlan,
+    op_stats: List[OperatorStats],
+    context: ExecutionContext,
+    sink: List[DataRecord],
+) -> PlanStats:
+    """Assemble the :class:`PlanStats` for a finished run.
+
+    Shared by every executor so their reports are structurally identical.
+    Scan parse time is charged to the clock inside ``records()`` where no
+    meter wraps it, so the scan's time line is the residual
+    ``total_busy - sum(downstream op times)`` — computed *before* the
+    PlanStats object is built, so per-op times already sum to the clock's
+    busy time in the stats a caller receives.
+    """
+    scan_stats, downstream_stats = op_stats[0], op_stats[1:]
+    accounted = sum(stats.time_seconds for stats in downstream_stats)
+    scan_stats.time_seconds = max(0.0, context.clock.total_busy - accounted)
+    invalid = sum(
+        1
+        for record in sink
+        if record.missing_required()
+        or any(
+            not field.validate(record.get(name))
+            for name, field in record.schema.field_map().items()
+        )
+    )
+    model_usage = [
+        ModelUsageRow(
+            model=model,
+            calls=totals.calls,
+            input_tokens=totals.input_tokens,
+            output_tokens=totals.output_tokens,
+            cost_usd=totals.cost_usd,
+        )
+        for model, totals in sorted(context.ledger.by_model().items())
+    ]
+    return PlanStats(
+        plan_id=plan.plan_id,
+        plan_describe=plan.describe(),
+        operator_stats=op_stats,
+        total_time_seconds=context.clock.elapsed,
+        total_cost_usd=context.ledger.total().cost_usd,
+        records_out=len(sink),
+        invalid_records=invalid,
+        model_usage=model_usage,
+    )
+
+
 class _OpMeter:
     """Wraps one operator's stats accumulation for a run."""
 
@@ -123,13 +172,23 @@ class SequentialExecutor:
 
         Blocking operators swallow records here; their buffered output is
         flushed by :meth:`_flush` once the upstream segment is drained.
+
+        Depth-first order is kept with an explicit work stack rather than
+        recursion: a chain of high-fanout operators (one-to-many converts,
+        joins) multiplies the depth, and Python's recursion limit must not
+        bound plan depth times fanout.
         """
-        if start >= len(meters):
-            sink.append(record)
-            return
-        meter = meters[start]
-        for output in meter.process(record):
-            self._push(output, meters, start + 1, sink)
+        stack: List[Tuple[DataRecord, int]] = [(record, start)]
+        while stack:
+            current, index = stack.pop()
+            if index >= len(meters):
+                sink.append(current)
+                continue
+            outputs = meters[index].process(current)
+            # Reversed so outputs are visited in their emitted order,
+            # matching what the recursive formulation produced.
+            for output in reversed(outputs):
+                stack.append((output, index + 1))
 
     def _flush(self, meters: List[_OpMeter], sink: List[DataRecord]) -> None:
         """Close operators in order, pushing flushed records downstream."""
@@ -185,40 +244,8 @@ class SequentialExecutor:
                 break
         self._flush(downstream, sink)
 
-        invalid = sum(
-            1
-            for record in sink
-            if record.missing_required()
-            or any(
-                not field.validate(record.get(name))
-                for name, field in record.schema.field_map().items()
-            )
-        )
-        model_usage = [
-            ModelUsageRow(
-                model=model,
-                calls=totals.calls,
-                input_tokens=totals.input_tokens,
-                output_tokens=totals.output_tokens,
-                cost_usd=totals.cost_usd,
-            )
-            for model, totals in sorted(self.context.ledger.by_model().items())
-        ]
-        plan_stats = PlanStats(
-            plan_id=plan.plan_id,
-            plan_describe=plan.describe(),
-            operator_stats=[m.stats for m in meters],
-            total_time_seconds=self.context.clock.elapsed,
-            total_cost_usd=self.context.ledger.total().cost_usd,
-            records_out=len(sink),
-            invalid_records=invalid,
-            model_usage=model_usage,
-        )
-        # Scan time was charged to the clock but not to an _OpMeter;
-        # attribute the residual to the scan's stats line.
-        accounted = sum(m.stats.time_seconds for m in meters[1:])
-        scan_meter.stats.time_seconds = max(
-            0.0, self.context.clock.total_busy - accounted
+        plan_stats = build_plan_stats(
+            plan, [m.stats for m in meters], self.context, sink
         )
         self._emit({
             "type": "plan_end",

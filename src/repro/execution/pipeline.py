@@ -1,0 +1,648 @@
+"""Batched, pipelined plan execution with real worker threads.
+
+:class:`PipelinedExecutor` splits a physical plan into *stages* connected by
+bounded queues and runs them concurrently on OS threads:
+
+* a **parallel stage** is a maximal run of consecutive LLM-bound operators
+  (filters, converts, semantic joins); it gets a pool of ``max_workers``
+  threads that pull record bundles from the stage's input queue;
+* a **serial stage** is a run of order-sensitive streaming operators
+  (limits, distinct, UDFs, code-synthesis converts); one thread processes
+  its input strictly in source order;
+* a **barrier stage** wraps one blocking operator (aggregate, group-by,
+  retrieve, sort); it accumulates in source order and flushes on close.
+
+Determinism contract — the whole point of the design — is that a pipelined
+run produces *byte-identical records* and identical per-operator
+``records_in`` / ``records_out`` / ``llm_calls`` to
+:class:`~repro.execution.executors.SequentialExecutor`, for any thread
+count and any thread interleaving:
+
+* answers are pure functions of ``(model, document, task)`` (seeded per
+  record), so processing order cannot change them;
+* every inter-stage message carries a sequence number; serial and barrier
+  stages hold a reorder buffer and consume strictly in sequence order, and
+  the sink reassembles final output in sequence order;
+* simulated time is charged to a virtual-clock lane chosen by *sequence
+  number* (``lane_base + seq % workers``), not by whichever OS thread got
+  the bundle, so even the simulated makespan is reproducible run to run;
+* a plan whose ``LimitOp`` can stop the source early is executed inline on
+  the orchestrator thread with exactly the sequential early-stop protocol —
+  speculative parallelism upstream of such a limit would change which
+  records get (and pay for) LLM calls.
+
+Batching (``batch_size > 1``) bundles consecutive records into one
+``process_batch`` call per operator.  The client guarantees batched answers
+and token/cost accounting are identical to per-record calls; what changes
+is real wall-clock work (prompt strings are never materialized; shared
+prefixes are tokenized once per batch) and simulated latency (calls after
+the first in a batch amortize the model's fixed per-call overhead).
+
+Backpressure: all queues are bounded, so a slow downstream stage throttles
+the source instead of buffering the whole corpus in flight.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.records import DataRecord
+from repro.execution.executors import build_plan_stats
+from repro.execution.stats import OperatorStats, PlanStats
+from repro.physical.base import PhysicalOperator
+from repro.physical.context import ExecutionContext
+from repro.physical.converts import CodeSynthesisConvert
+from repro.physical.plan import PhysicalPlan
+from repro.physical.structural import LimitOp
+
+#: Bundles in flight per stage queue (per worker): bounds memory and gives
+#: the pipeline its backpressure.
+QUEUE_DEPTH_PER_WORKER = 2
+
+
+class _Eos:
+    """End-of-stream marker; ``count`` is the number of bundles sent."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int):
+        self.count = count
+
+
+class _Aborted(Exception):
+    """Internal: another thread failed; unwind quietly."""
+
+
+def parallel_safe(op: PhysicalOperator) -> bool:
+    """Can ``op`` process records out of order with identical results?
+
+    True for stateless LLM-bound streaming operators — the ones worth
+    threading.  CodeSynthesisConvert is LLM-bound but order-sensitive (the
+    first records seen become the exemplars), so it stays serial.
+    """
+    return (
+        op.is_llm_op
+        and not op.is_blocking
+        and not isinstance(op, CodeSynthesisConvert)
+    )
+
+
+class _PipeMeter:
+    """Thread-safe per-operator stats accumulation.
+
+    The single-threaded executors meter a call by slicing the ledger and
+    diffing the clock's ``total_busy`` — both break under interleaving.
+    Here each call is wrapped in :meth:`UsageLedger.capture` (thread-local)
+    and timed by the calling thread's *own lane* delta, so concurrent calls
+    to different operators attribute correctly.
+    """
+
+    def __init__(self, op: PhysicalOperator, context: ExecutionContext):
+        self.op = op
+        self.context = context
+        self.stats = OperatorStats(
+            op_label=op.op_label,
+            logical_describe=op.logical_op.describe(),
+        )
+        self._lock = threading.Lock()
+
+    def open(self) -> None:
+        self._metered(
+            lambda: self.op.open(self.context) or [],
+            inputs=0, count_outputs=False,
+        )
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        return self._metered(lambda: self.op.process(record), inputs=1)
+
+    def process_batch(
+        self, records: Sequence[DataRecord]
+    ) -> List[List[DataRecord]]:
+        groups = self._metered_raw(
+            lambda: self.op.process_batch(records), inputs=len(records),
+            n_outputs=lambda gs: sum(len(g) for g in gs),
+        )
+        return groups
+
+    def close(self) -> List[DataRecord]:
+        return self._metered(self.op.close, inputs=0)
+
+    def _metered(self, fn, inputs: int,
+                 count_outputs: bool = True) -> List[DataRecord]:
+        return self._metered_raw(
+            fn, inputs, n_outputs=len if count_outputs else lambda _: 0
+        )
+
+    def _metered_raw(self, fn, inputs: int, n_outputs: Callable[[Any], int]):
+        clock = self.context.clock
+        with self.context.ledger.capture() as bucket:
+            busy_before = clock.now
+            result = fn()
+            busy_delta = clock.now - busy_before
+        with self._lock:
+            self.stats.records_in += inputs
+            self.stats.records_out += n_outputs(result)
+            self.stats.time_seconds += busy_delta
+            self.stats.llm_calls += len(bucket)
+            for usage in bucket:
+                self.stats.cost_usd += usage.cost_usd
+                self.stats.input_tokens += usage.input_tokens
+                self.stats.output_tokens += usage.output_tokens
+        return result
+
+
+class _Stage:
+    """One segment of the operator chain plus its plumbing."""
+
+    def __init__(self, meters: List[_PipeMeter], parallel: bool,
+                 workers: int, lane_base: int):
+        self.meters = meters
+        self.parallel = parallel
+        self.workers = workers if parallel else 1
+        self.lane_base = lane_base
+        self.in_queue: "queue.Queue" = queue.Queue(
+            maxsize=max(2, QUEUE_DEPTH_PER_WORKER * self.workers)
+        )
+        # Wired by the executor before threads start:
+        self.out_queue: Optional["queue.Queue"] = None
+        self.next_consumers = 1  # sentinel fan-out (next stage's workers)
+        self.next_parallel = False  # next stage wants batch-sized bundles
+        # Parallel-stage shutdown bookkeeping (last worker out closes ops).
+        self.exit_lock = threading.Lock()
+        self.exited = 0
+        self.eos: Optional[_Eos] = None
+
+    @property
+    def is_barrier(self) -> bool:
+        return len(self.meters) == 1 and self.meters[0].op.is_blocking
+
+    def describe(self) -> str:
+        kind = (
+            "barrier" if self.is_barrier
+            else "parallel" if self.parallel else "serial"
+        )
+        ops = "+".join(m.op.op_label for m in self.meters)
+        return f"{kind}({ops})"
+
+
+class PipelinedExecutor:
+    """Stage-pipelined, optionally batched, multi-threaded execution.
+
+    Args:
+        context: execution context; created with ``max_workers`` lanes when
+            omitted.
+        max_workers: thread-pool size per parallel (LLM-bound) stage;
+            defaults to the context's ``max_workers``.
+        batch_size: records per ``process_batch`` call in parallel stages;
+            1 means per-record calls (byte-identical accounting to the
+            sequential executor).
+        on_event: optional progress callback (same events the sequential
+            executor emits; may be invoked from worker threads).
+    """
+
+    def __init__(self, context: Optional[ExecutionContext] = None,
+                 max_workers: Optional[int] = None, batch_size: int = 1,
+                 on_event=None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if context is None:
+            context = ExecutionContext(max_workers=max_workers or 4)
+        self.context = context
+        self.max_workers = max_workers or context.max_workers
+        if self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        self.batch_size = batch_size
+        self._on_event = on_event
+        self._event_lock = threading.Lock()
+        self._abort = threading.Event()
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+
+    # -- event / error plumbing -------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if self._on_event is not None:
+            with self._event_lock:
+                self._on_event(event)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._error_lock:
+            self._errors.append(exc)
+        self._abort.set()
+
+    def _put(self, target: "queue.Queue", item) -> None:
+        while True:
+            if self._abort.is_set():
+                raise _Aborted()
+            try:
+                target.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+
+    def _get(self, source: "queue.Queue"):
+        while True:
+            if self._abort.is_set():
+                raise _Aborted()
+            try:
+                return source.get(timeout=0.05)
+            except queue.Empty:
+                continue
+
+    # -- plan segmentation -------------------------------------------------
+
+    def _build_stages(self, meters: List[_PipeMeter]) -> List[_Stage]:
+        """Split downstream meters into parallel/serial/barrier stages."""
+        stages: List[_Stage] = []
+        run: List[_PipeMeter] = []
+        run_parallel = False
+        lane_base = 1  # lane 0 belongs to the orchestrator (scan parses)
+
+        def flush_run():
+            nonlocal run, lane_base
+            if run:
+                stage = _Stage(run, run_parallel,
+                               self.max_workers, lane_base)
+                lane_base += stage.workers
+                stages.append(stage)
+                run = []
+
+        for meter in meters:
+            if meter.op.is_blocking:
+                flush_run()
+                stage = _Stage([meter], parallel=False, workers=1,
+                               lane_base=lane_base)
+                lane_base += 1
+                stages.append(stage)
+                continue
+            safe = parallel_safe(meter.op)
+            if run and safe != run_parallel:
+                flush_run()
+            run_parallel = safe
+            run.append(meter)
+        flush_run()
+        self.context.clock.ensure_lanes(lane_base)
+        return stages
+
+    @staticmethod
+    def _early_stop(plan: PhysicalPlan) -> Optional[LimitOp]:
+        """The first LimitOp with only streaming operators upstream."""
+        for op in plan.downstream:
+            if op.is_blocking:
+                return None
+            if isinstance(op, LimitOp):
+                return op
+        return None
+
+    # -- record movement through an operator chain ------------------------
+
+    @staticmethod
+    def _run_chain(meters: List[_PipeMeter],
+                   records: Sequence[DataRecord]) -> List[DataRecord]:
+        """Depth-first per-record processing (sequential-identical order)."""
+        sink: List[DataRecord] = []
+        for record in records:
+            stack: List[Tuple[DataRecord, int]] = [(record, 0)]
+            while stack:
+                current, index = stack.pop()
+                if index >= len(meters):
+                    sink.append(current)
+                    continue
+                outputs = meters[index].process(current)
+                for output in reversed(outputs):
+                    stack.append((output, index + 1))
+        return sink
+
+    @staticmethod
+    def _run_chain_batched(meters: List[_PipeMeter],
+                           records: Sequence[DataRecord]) -> List[DataRecord]:
+        """Layer-batched processing; same flattened output order as
+        :meth:`_run_chain` because per-input grouping is preserved."""
+        groups: List[List[DataRecord]] = [[record] for record in records]
+        for meter in meters:
+            flat = [record for group in groups for record in group]
+            if not flat:
+                return []
+            batched = meter.process_batch(flat)
+            regrouped: List[List[DataRecord]] = []
+            cursor = 0
+            for group in groups:
+                merged: List[DataRecord] = []
+                for _ in group:
+                    merged.extend(batched[cursor])
+                    cursor += 1
+                regrouped.append(merged)
+            groups = regrouped
+        return [record for group in groups for record in group]
+
+    # -- stage workers -----------------------------------------------------
+
+    def _parallel_worker(self, stage: _Stage) -> None:
+        clock = self.context.clock
+        try:
+            while True:
+                item = self._get(stage.in_queue)
+                if isinstance(item, _Eos):
+                    with stage.exit_lock:
+                        stage.exited += 1
+                        stage.eos = item
+                        last_out = stage.exited == stage.workers
+                    if last_out:
+                        self._close_stage_ops(stage, item.count)
+                    return
+                seq, records = item
+                # Lane by sequence number, not by thread: simulated time is
+                # then independent of which OS thread won the race.
+                clock.use_lane(stage.lane_base + seq % stage.workers)
+                if self.batch_size > 1:
+                    outputs = self._run_chain_batched(stage.meters, records)
+                else:
+                    outputs = self._run_chain(stage.meters, records)
+                self._put(stage.out_queue, (seq, outputs))
+        except _Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._fail(exc)
+
+    def _serial_worker(self, stage: _Stage) -> None:
+        clock = self.context.clock
+        clock.use_lane(stage.lane_base)
+        buffer: dict = {}
+        next_seq = 0
+        emitted = 0
+        pending: List[DataRecord] = []
+        out_batch = self._out_bundle_size(stage)
+        try:
+            while True:
+                item = self._get(stage.in_queue)
+                if isinstance(item, _Eos):
+                    # EOS is always enqueued last, so the buffer now holds
+                    # every outstanding bundle; drain it in order.
+                    for seq in sorted(buffer):
+                        assert seq == next_seq, "sequence gap in pipeline"
+                        pending.extend(
+                            self._serial_process(stage, buffer[seq])
+                        )
+                        emitted = self._send_bundles(
+                            stage, pending, emitted, out_batch
+                        )
+                        next_seq += 1
+                    buffer.clear()
+                    pending.extend(self._close_serial(stage))
+                    emitted = self._send_bundles(
+                        stage, pending, emitted, out_batch, flush=True
+                    )
+                    for _ in range(stage.next_consumers):
+                        self._put(stage.out_queue, _Eos(emitted))
+                    return
+                seq, records = item
+                buffer[seq] = records
+                while next_seq in buffer:
+                    pending.extend(
+                        self._serial_process(stage, buffer.pop(next_seq))
+                    )
+                    emitted = self._send_bundles(
+                        stage, pending, emitted, out_batch
+                    )
+                    next_seq += 1
+        except _Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._fail(exc)
+
+    def _serial_process(self, stage: _Stage,
+                        records: Sequence[DataRecord]) -> List[DataRecord]:
+        return self._run_chain(stage.meters, records)
+
+    def _close_serial(self, stage: _Stage) -> List[DataRecord]:
+        """Close the stage's operators in order, like the sequential flush."""
+        if stage.is_barrier:
+            # Model every upstream worker arriving at the barrier.
+            self.context.clock.synchronize()
+        flushed_out: List[DataRecord] = []
+        for index, meter in enumerate(stage.meters):
+            flushed = meter.close()
+            if flushed and meter.op.is_blocking:
+                self._emit({
+                    "type": "operator_flush",
+                    "operator": meter.op.op_label,
+                    "records": len(flushed),
+                })
+            flushed_out.extend(
+                self._run_chain(stage.meters[index + 1:], flushed)
+            )
+        return flushed_out
+
+    def _close_stage_ops(self, stage: _Stage, mainline_bundles: int) -> None:
+        """Last worker of a parallel stage: close ops, emit, propagate EOS."""
+        self.context.clock.use_lane(stage.lane_base)
+        outputs = self._close_serial(stage)
+        seq = mainline_bundles
+        if outputs:
+            self._put(stage.out_queue, (seq, outputs))
+            seq += 1
+        for _ in range(stage.next_consumers):
+            self._put(stage.out_queue, _Eos(seq))
+
+    def _out_bundle_size(self, stage: _Stage) -> int:
+        """Records per bundle sent downstream of ``stage``."""
+        return self.batch_size if stage.next_parallel else 1
+
+    def _send_bundles(self, stage: _Stage, pending: List[DataRecord],
+                      emitted: int, out_batch: int,
+                      flush: bool = False) -> int:
+        while len(pending) >= out_batch or (flush and pending):
+            bundle = pending[:out_batch]
+            del pending[:out_batch]
+            self._put(stage.out_queue, (emitted, bundle))
+            emitted += 1
+        return emitted
+
+    def _sink_worker(self, source: "queue.Queue",
+                     sink: List[DataRecord]) -> None:
+        buffer: dict = {}
+        next_seq = 0
+        try:
+            while True:
+                item = self._get(source)
+                if isinstance(item, _Eos):
+                    for seq in sorted(buffer):
+                        assert seq == next_seq, "sequence gap at sink"
+                        sink.extend(buffer[seq])
+                        next_seq += 1
+                    return
+                seq, records = item
+                buffer[seq] = records
+                while next_seq in buffer:
+                    sink.extend(buffer.pop(next_seq))
+                    next_seq += 1
+        except _Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._fail(exc)
+
+    # -- serial-inline path (limit early stop) -----------------------------
+
+    def _execute_inline(self, plan: PhysicalPlan, meters: List[_PipeMeter],
+                        stop_limit: LimitOp) -> List[DataRecord]:
+        """Sequential-identical execution on the orchestrator thread.
+
+        Used when a LimitOp can stop the source early: which records reach
+        the LLM operators then depends on the limit's feedback after every
+        single record, so any speculative parallelism (threads *or*
+        batches) would change the run's LLM call count.
+        """
+        scan_meter, downstream = meters[0], meters[1:]
+        sink: List[DataRecord] = []
+        for record in plan.scan.records():
+            scan_meter.stats.records_in += 1
+            scan_meter.stats.records_out += 1
+            sink.extend(self._run_chain(downstream, [record]))
+            self._emit({
+                "type": "record_processed",
+                "index": scan_meter.stats.records_in,
+                "outputs_so_far": len(sink),
+                "elapsed_seconds": self.context.clock.elapsed,
+            })
+            if stop_limit.exhausted:
+                break
+        for index, meter in enumerate(downstream):
+            flushed = meter.close()
+            if flushed and meter.op.is_blocking:
+                self._emit({
+                    "type": "operator_flush",
+                    "operator": meter.op.op_label,
+                    "records": len(flushed),
+                })
+            sink.extend(self._run_chain(downstream[index + 1:], flushed))
+        return sink
+
+    # -- the main entry point ---------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> Tuple[List[DataRecord], PlanStats]:
+        self._abort.clear()
+        self._errors.clear()
+        if self.batch_size == 1 and getattr(plan, "batch_size", 1) > 1:
+            # Honor the batch size the optimizer stamped onto the plan when
+            # the caller did not pick one explicitly.
+            self.batch_size = plan.batch_size
+        self._emit({
+            "type": "plan_start",
+            "plan_id": plan.plan_id,
+            "plan": plan.describe(),
+            "operators": len(plan),
+        })
+        meters = [_PipeMeter(op, self.context) for op in plan]
+        for meter in meters:
+            meter.open()
+
+        stop_limit = self._early_stop(plan)
+        if stop_limit is not None or not plan.downstream:
+            sink = (
+                self._execute_inline(plan, meters, stop_limit)
+                if stop_limit is not None
+                else self._scan_only(plan, meters[0])
+            )
+        else:
+            sink = self._execute_pipelined(plan, meters)
+
+        plan_stats = build_plan_stats(
+            plan, [m.stats for m in meters], self.context, sink
+        )
+        self._emit({
+            "type": "plan_end",
+            "records_out": len(sink),
+            "elapsed_seconds": self.context.clock.elapsed,
+            "cost_usd": plan_stats.total_cost_usd,
+        })
+        return sink, plan_stats
+
+    def _scan_only(self, plan: PhysicalPlan,
+                   scan_meter: _PipeMeter) -> List[DataRecord]:
+        sink: List[DataRecord] = []
+        for record in plan.scan.records():
+            scan_meter.stats.records_in += 1
+            scan_meter.stats.records_out += 1
+            sink.append(record)
+        return sink
+
+    def _execute_pipelined(self, plan: PhysicalPlan,
+                           meters: List[_PipeMeter]) -> List[DataRecord]:
+        scan_meter = meters[0]
+        stages = self._build_stages(meters[1:])
+
+        # Wire stage N's output to stage N+1's input; the last stage feeds
+        # the sink queue (drained by a dedicated thread so bounded queues
+        # can never deadlock against the feeding orchestrator).
+        sink_queue: "queue.Queue" = queue.Queue(
+            maxsize=max(2, QUEUE_DEPTH_PER_WORKER * self.max_workers)
+        )
+        for stage, successor in zip(stages, stages[1:]):
+            stage.out_queue = successor.in_queue
+            stage.next_consumers = successor.workers
+            stage.next_parallel = successor.parallel
+        stages[-1].out_queue = sink_queue
+        stages[-1].next_consumers = 1
+        stages[-1].next_parallel = False
+
+        sink: List[DataRecord] = []
+        threads: List[threading.Thread] = []
+        for number, stage in enumerate(stages):
+            worker = (
+                self._parallel_worker if stage.parallel
+                else self._serial_worker
+            )
+            for wid in range(stage.workers):
+                thread = threading.Thread(
+                    target=worker, args=(stage,),
+                    name=f"pipeline-s{number}-w{wid}", daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+        sink_thread = threading.Thread(
+            target=self._sink_worker, args=(sink_queue, sink),
+            name="pipeline-sink", daemon=True,
+        )
+        sink_thread.start()
+        threads.append(sink_thread)
+
+        # Orchestrator: pull the scan on lane 0, bundle, and feed stage 0.
+        first = stages[0]
+        in_bundle = self.batch_size if first.parallel else 1
+        self.context.clock.use_lane(0)
+        bundle: List[DataRecord] = []
+        fed = 0
+        try:
+            for record in plan.scan.records():
+                scan_meter.stats.records_in += 1
+                scan_meter.stats.records_out += 1
+                bundle.append(record)
+                if len(bundle) >= in_bundle:
+                    self._put(first.in_queue, (fed, bundle))
+                    fed += 1
+                    bundle = []
+                self._emit({
+                    "type": "record_processed",
+                    "index": scan_meter.stats.records_in,
+                    "outputs_so_far": len(sink),
+                    "elapsed_seconds": self.context.clock.elapsed,
+                })
+            if bundle:
+                self._put(first.in_queue, (fed, bundle))
+                fed += 1
+            for _ in range(first.workers):
+                self._put(first.in_queue, _Eos(fed))
+        except _Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            self._fail(exc)
+
+        for thread in threads:
+            thread.join()
+        if self._errors:
+            raise self._errors[0]
+        return sink

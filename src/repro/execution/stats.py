@@ -104,6 +104,10 @@ class ExecutionStats:
     optimization_cost_usd: float = 0.0
     optimization_time_seconds: float = 0.0
     max_workers: int = 1
+    #: Which executor ran the plan: "sequential", "parallel", or "pipelined".
+    executor: str = "sequential"
+    #: LLM-stage batch size the plan ran with (1 = per-record calls).
+    batch_size: int = 1
 
     @property
     def total_time_seconds(self) -> float:
@@ -129,6 +133,8 @@ class ExecutionStats:
                 self.optimization_time_seconds, 3
             ),
             "max_workers": self.max_workers,
+            "executor": self.executor,
+            "batch_size": self.batch_size,
             "total_time_seconds": round(self.total_time_seconds, 3),
             "total_cost_usd": round(self.total_cost_usd, 6),
             "plan": self.plan_stats.to_dict(),

@@ -14,6 +14,7 @@ accounting benchmarks compare cold vs warm runs explicitly.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
@@ -45,6 +46,13 @@ class CallCache:
         max_entries: evict the least-recently-used entry beyond this many;
             None = unbounded.  A lookup hit refreshes an entry's recency, so
             hot answers survive even when they were stored early.
+
+    Thread-safety contract: lookups and stores are serialized by a lock —
+    the LRU reordering (``move_to_end`` + eviction) is a compound mutation
+    that would corrupt the OrderedDict under free interleaving.  Answers are
+    pure functions of the key, so two threads racing to store the same key
+    write the same value; at most the call accounting differs (both priced
+    as misses).
     """
 
     #: Simulated latency of a cache hit, in seconds.
@@ -55,6 +63,7 @@ class CallCache:
             raise ValueError("max_entries must be positive or None")
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._max_entries = max_entries
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     @staticmethod
@@ -65,27 +74,31 @@ class CallCache:
 
     def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
         """(hit?, value).  Updates hit/miss statistics and LRU recency."""
-        value = self._entries.get(key, _MISS)
-        if value is not _MISS:
-            self.stats.hits += 1
-            if self._max_entries is not None:
-                self._entries.move_to_end(key)
-            return True, value
-        self.stats.misses += 1
-        return False, None
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is not _MISS:
+                self.stats.hits += 1
+                if self._max_entries is not None:
+                    self._entries.move_to_end(key)
+                return True, value
+            self.stats.misses += 1
+            return False, None
 
     def store(self, key: CacheKey, value: Any) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif (self._max_entries is not None
-                and len(self._entries) >= self._max_entries):
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = value
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif (self._max_entries is not None
+                    and len(self._entries) >= self._max_entries):
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.llm import prompts, quality, semantics
 from repro.llm.cache import CallCache
@@ -127,7 +127,10 @@ class SimulatedLLMClient(LLMClient):
     # ------------------------------------------------------------------
 
     def _meter(self, prompt: str, output_text: str, operation: str) -> LLMUsage:
-        input_tokens = count_tokens(prompt)
+        return self._meter_tokens(count_tokens(prompt), output_text, operation)
+
+    def _meter_tokens(self, input_tokens: int, output_text: str,
+                      operation: str, amortize_overhead: bool = False) -> LLMUsage:
         if input_tokens > self.model.context_window:
             raise ContextWindowExceeded(
                 self.model.name, input_tokens, self.model.context_window
@@ -135,6 +138,10 @@ class SimulatedLLMClient(LLMClient):
         output_tokens = max(1, count_tokens(output_text))
         cost = self.model.cost_usd(input_tokens, output_tokens)
         latency = self.model.latency_seconds(input_tokens, output_tokens)
+        if amortize_overhead:
+            # Later requests of a batched call ride the connection the first
+            # one already paid for; cost (tokens) is unaffected.
+            latency -= self.model.overhead_seconds
         timestamp = 0.0
         if self.clock is not None:
             timestamp = self.clock.advance(latency)
@@ -197,19 +204,7 @@ class SimulatedLLMClient(LLMClient):
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
-        truth = self.oracle.predicate_truth(request.document, request.predicate)
-        if truth is None:
-            truth = semantics.answer_boolean(request.predicate, visible)
-            difficulty = 0.5
-        else:
-            difficulty = self.oracle.difficulty(request.document)
-
-        task_key = f"judge|{request.predicate.lower()}"
-        correct = quality.decide_correct(
-            self.model, fingerprint, task_key, difficulty, request.context_fraction
-        )
-        answer = truth if correct else quality.corrupt_boolean(truth)
-
+        answer = self._judge_answer(request, fingerprint, visible)
         prompt = prompts.build_filter_prompt(request.predicate, visible)
         text = "TRUE" if answer else "FALSE"
         usage = self._meter(prompt, text, request.operation)
@@ -217,6 +212,26 @@ class SimulatedLLMClient(LLMClient):
             self.cache.store(cache_key, answer)
         return LLMResponse(value=answer, text=text, usage=usage,
                            model=self.model.name)
+
+    def _judge_answer(self, request: BooleanRequest, fingerprint: str,
+                      visible: str) -> bool:
+        """The model's (possibly corrupted) True/False answer.
+
+        Pure function of (model, document, predicate, context fraction) —
+        shared verbatim by the per-record and batched paths so batching can
+        never change an answer.
+        """
+        truth = self.oracle.predicate_truth(request.document, request.predicate)
+        if truth is None:
+            truth = semantics.answer_boolean(request.predicate, visible)
+            difficulty = 0.5
+        else:
+            difficulty = self.oracle.difficulty(request.document)
+        task_key = f"judge|{request.predicate.lower()}"
+        correct = quality.decide_correct(
+            self.model, fingerprint, task_key, difficulty, request.context_fraction
+        )
+        return truth if correct else quality.corrupt_boolean(truth)
 
     # ------------------------------------------------------------------
     # Field extraction (semantic convert).
@@ -241,11 +256,7 @@ class SimulatedLLMClient(LLMClient):
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
-        if request.one_to_many:
-            instances = self._extract_instances(request, visible, fingerprint)
-            payload: Any = instances
-        else:
-            payload = self._extract_single(request, visible, fingerprint)
+        payload = self._extract_payload(request, visible, fingerprint)
         text = json.dumps(payload, default=str)
         prompt = prompts.build_extract_prompt(
             request.fields, visible, request.schema_description,
@@ -256,6 +267,16 @@ class SimulatedLLMClient(LLMClient):
             self.cache.store(cache_key, payload)
         return LLMResponse(value=payload, text=text, usage=usage,
                            model=self.model.name)
+
+    def _extract_payload(self, request: ExtractionRequest, visible: str,
+                         fingerprint: str) -> Any:
+        """The typed extraction answer (dict, or list of dicts for 1:N).
+
+        Shared verbatim by the per-record and batched paths.
+        """
+        if request.one_to_many:
+            return self._extract_instances(request, visible, fingerprint)
+        return self._extract_single(request, visible, fingerprint)
 
     def _extract_single(self, request: ExtractionRequest, visible: str,
                         fingerprint: str) -> Dict[str, Any]:
@@ -317,6 +338,144 @@ class SimulatedLLMClient(LLMClient):
         # Unknown document: heuristics produce at most one instance.
         single = self._extract_single(request, visible, fingerprint)
         return [single] if any(v is not None for v in single.values()) else []
+
+    # ------------------------------------------------------------------
+    # Batched calls.
+    #
+    # A batch produces byte-identical answers and token/cost accounting to
+    # issuing the requests one by one: answers are pure functions of
+    # (model, document, task), and the tokenizer never matches across
+    # whitespace so prompt token counts are exactly additive over the
+    # (prefix, document, suffix) split.  What a batch saves is *real* work
+    # — the prompt string is never materialized and the shared prefix /
+    # suffix are tokenized once per batch instead of once per record — and
+    # *simulated* per-call overhead: every request after the first priced
+    # one amortizes the model's fixed ``overhead_seconds``.
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self, requests: Sequence[Union[BooleanRequest, ExtractionRequest]]
+    ) -> List[LLMResponse]:
+        """Answer a batch of judge/extract requests in order.
+
+        Returns one :class:`LLMResponse` per request, in request order.
+        """
+        responses: List[LLMResponse] = []
+        filter_parts: Dict[str, Tuple[int, int]] = {}
+        extract_parts: Dict[Any, Tuple[int, int]] = {}
+        overhead_paid = False
+        for request in requests:
+            if isinstance(request, BooleanRequest):
+                response, priced = self._judge_batched(
+                    request, filter_parts, overhead_paid
+                )
+            elif isinstance(request, ExtractionRequest):
+                response, priced = self._extract_batched(
+                    request, extract_parts, overhead_paid
+                )
+            else:
+                raise InvalidRequestError(
+                    f"run_batch cannot handle {type(request).__name__}"
+                )
+            overhead_paid = overhead_paid or priced
+            responses.append(response)
+        return responses
+
+    def judge_batch(self, requests: Sequence[BooleanRequest]) -> List[LLMResponse]:
+        """Batched :meth:`judge`; same answers, amortized overhead."""
+        return self.run_batch(requests)
+
+    def extract_batch(
+        self, requests: Sequence[ExtractionRequest]
+    ) -> List[LLMResponse]:
+        """Batched :meth:`extract`; same answers, amortized overhead."""
+        return self.run_batch(requests)
+
+    def _judge_batched(
+        self, request: BooleanRequest,
+        parts_memo: Dict[str, Tuple[int, int]], overhead_paid: bool,
+    ) -> Tuple[LLMResponse, bool]:
+        """(response, priced?) for one request inside a batch."""
+        if not request.predicate.strip():
+            raise InvalidRequestError("filter predicate must be non-empty")
+        fingerprint = fingerprint_text(request.document)
+        cache_key = None
+        if self.cache is not None:
+            cache_key = CallCache.make_key(
+                self.model.name, "judge", request.predicate.lower(),
+                fingerprint, request.context_fraction,
+            )
+            hit, value = self.cache.lookup(cache_key)
+            if hit:
+                return self._cache_hit_response(value, request.operation), False
+        visible = self._apply_context_fraction(
+            request.document, request.context_fraction
+        )
+        answer = self._judge_answer(request, fingerprint, visible)
+        text = "TRUE" if answer else "FALSE"
+        parts = parts_memo.get(request.predicate)
+        if parts is None:
+            prefix, suffix = prompts.filter_prompt_parts(request.predicate)
+            parts = (count_tokens(prefix), count_tokens(suffix))
+            parts_memo[request.predicate] = parts
+        input_tokens = parts[0] + count_tokens(visible) + parts[1]
+        usage = self._meter_tokens(
+            input_tokens, text, request.operation,
+            amortize_overhead=overhead_paid,
+        )
+        if cache_key is not None:
+            self.cache.store(cache_key, answer)
+        response = LLMResponse(value=answer, text=text, usage=usage,
+                               model=self.model.name)
+        return response, True
+
+    def _extract_batched(
+        self, request: ExtractionRequest,
+        parts_memo: Dict[Any, Tuple[int, int]], overhead_paid: bool,
+    ) -> Tuple[LLMResponse, bool]:
+        """(response, priced?) for one request inside a batch."""
+        if not request.fields:
+            raise InvalidRequestError("extraction request must name >= 1 field")
+        fingerprint = fingerprint_text(request.document)
+        cache_key = None
+        if self.cache is not None:
+            signature = "|".join(sorted(request.fields)) + (
+                "|1:N" if request.one_to_many else "|1:1"
+            )
+            cache_key = CallCache.make_key(
+                self.model.name, "extract", signature,
+                fingerprint, request.context_fraction,
+            )
+            hit, value = self.cache.lookup(cache_key)
+            if hit:
+                return self._cache_hit_response(value, request.operation), False
+        visible = self._apply_context_fraction(
+            request.document, request.context_fraction
+        )
+        payload = self._extract_payload(request, visible, fingerprint)
+        text = json.dumps(payload, default=str)
+        parts_key = (
+            tuple(request.fields.items()), request.schema_description,
+            request.one_to_many,
+        )
+        parts = parts_memo.get(parts_key)
+        if parts is None:
+            prefix, suffix = prompts.extract_prompt_parts(
+                request.fields, request.schema_description,
+                one_to_many=request.one_to_many,
+            )
+            parts = (count_tokens(prefix), count_tokens(suffix))
+            parts_memo[parts_key] = parts
+        input_tokens = parts[0] + count_tokens(visible) + parts[1]
+        usage = self._meter_tokens(
+            input_tokens, text, request.operation,
+            amortize_overhead=overhead_paid,
+        )
+        if cache_key is not None:
+            self.cache.store(cache_key, payload)
+        response = LLMResponse(value=payload, text=text, usage=usage,
+                               model=self.model.name)
+        return response, True
 
     # ------------------------------------------------------------------
     # Free-form completions (chat agent reasoning).

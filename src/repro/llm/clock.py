@@ -6,17 +6,26 @@ hours.  Instead every component that "takes time" advances a shared
 :class:`VirtualClock`.  The clock supports *lanes* so a parallel executor can
 model `max_workers` concurrent LLM calls: each lane accumulates time
 independently and the elapsed time of the whole execution is the maximum lane.
+
+Thread-safety contract: the clock may be shared by real worker threads (the
+pipelined executor runs one OS thread per stage worker).  The *current lane*
+selection is therefore thread-local — each thread advances its own lane
+without seeing other threads' selections — and every mutation of the lane
+table happens under a lock.  Single-threaded callers observe exactly the
+pre-threading behavior (one implicit thread, lane 0 by default).
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class VirtualClock:
     """Tracks simulated elapsed seconds, optionally across parallel lanes.
 
     A clock starts at time zero.  ``advance(seconds)`` adds time to the
-    current lane; ``now`` reports the current lane's local time, and
-    ``elapsed`` reports the makespan across all lanes (the number a user
+    calling thread's current lane; ``now`` reports that lane's local time,
+    and ``elapsed`` reports the makespan across all lanes (the number a user
     would read off a stopwatch for the whole run).
     """
 
@@ -24,62 +33,98 @@ class VirtualClock:
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
         self._lane_times = [0.0] * lanes
-        self._current_lane = 0
+        self._lock = threading.RLock()
+        self._local = threading.local()
+
+    # -- thread-local current lane ----------------------------------------
+
+    @property
+    def _current_lane(self) -> int:
+        return getattr(self._local, "lane", 0)
+
+    @_current_lane.setter
+    def _current_lane(self, lane: int) -> None:
+        self._local.lane = lane
 
     @property
     def lanes(self) -> int:
-        return len(self._lane_times)
+        with self._lock:
+            return len(self._lane_times)
 
     @property
     def now(self) -> float:
-        """Local time of the currently selected lane, in seconds."""
-        return self._lane_times[self._current_lane]
+        """Local time of the calling thread's current lane, in seconds."""
+        with self._lock:
+            return self._lane_times[self._current_lane]
 
     @property
     def elapsed(self) -> float:
         """Makespan: the maximum time accumulated by any lane."""
-        return max(self._lane_times)
+        with self._lock:
+            return max(self._lane_times)
 
     @property
     def total_busy(self) -> float:
         """Sum of busy time across all lanes (aggregate compute-seconds)."""
-        return sum(self._lane_times)
+        with self._lock:
+            return sum(self._lane_times)
 
     def advance(self, seconds: float) -> float:
         """Add ``seconds`` to the current lane and return its new local time."""
         if seconds < 0:
             raise ValueError(f"cannot advance a clock by {seconds} seconds")
-        self._lane_times[self._current_lane] += seconds
-        return self._lane_times[self._current_lane]
+        with self._lock:
+            self._lane_times[self._current_lane] += seconds
+            return self._lane_times[self._current_lane]
 
     def pick_least_busy_lane(self) -> int:
         """Select (and return) the lane with the least accumulated time.
 
         This models a work queue: the next task is handed to whichever worker
-        frees up first.
+        frees up first.  The selection applies to the calling thread only.
         """
-        self._current_lane = min(
-            range(len(self._lane_times)), key=lambda i: self._lane_times[i]
-        )
-        return self._current_lane
+        with self._lock:
+            lane = min(
+                range(len(self._lane_times)), key=lambda i: self._lane_times[i]
+            )
+            self._current_lane = lane
+            return lane
 
     def use_lane(self, lane: int) -> None:
-        if not 0 <= lane < len(self._lane_times):
-            raise IndexError(f"lane {lane} out of range [0, {len(self._lane_times)})")
-        self._current_lane = lane
+        """Bind the calling thread to ``lane`` for subsequent advances."""
+        with self._lock:
+            if not 0 <= lane < len(self._lane_times):
+                raise IndexError(
+                    f"lane {lane} out of range [0, {len(self._lane_times)})"
+                )
+            self._current_lane = lane
+
+    def ensure_lanes(self, lanes: int) -> None:
+        """Grow the lane table to at least ``lanes`` entries.
+
+        New lanes start at time zero, so neither ``elapsed`` nor
+        ``total_busy`` changes.  Used by executors whose worker count is
+        only known once the plan's stage structure is built.
+        """
+        with self._lock:
+            missing = lanes - len(self._lane_times)
+            if missing > 0:
+                self._lane_times.extend([0.0] * missing)
 
     def synchronize(self) -> float:
         """Barrier: set every lane to the makespan and return it.
 
         Used at pipeline stage boundaries that must wait for all workers.
         """
-        makespan = self.elapsed
-        self._lane_times = [makespan] * len(self._lane_times)
-        return makespan
+        with self._lock:
+            makespan = max(self._lane_times)
+            self._lane_times = [makespan] * len(self._lane_times)
+            return makespan
 
     def reset(self) -> None:
-        self._lane_times = [0.0] * len(self._lane_times)
-        self._current_lane = 0
+        with self._lock:
+            self._lane_times = [0.0] * len(self._lane_times)
+            self._current_lane = 0
 
     def __repr__(self) -> str:
         return f"VirtualClock(lanes={self.lanes}, elapsed={self.elapsed:.3f}s)"

@@ -48,6 +48,13 @@ class TextMemo:
         self.evictions = 0
 
     def get_or_compute(self, text: str, compute: Callable[[str], Any]) -> Any:
+        # Deliberately lock-free: this is the hottest path in the process
+        # (every token count and fingerprint), and each individual dict
+        # get/set is atomic under the GIL.  Values are pure functions of the
+        # text, so a race at worst computes the same value twice; the
+        # counters may undercount under contention (they are diagnostics,
+        # not accounting).  Eviction tolerates a concurrent eviction of the
+        # same oldest key.
         value = self._values.get(text, _SENTINEL)
         if value is not _SENTINEL:
             self.hits += 1
@@ -55,8 +62,11 @@ class TextMemo:
         self.misses += 1
         value = compute(text)
         if len(self._values) >= self.max_entries:
-            del self._values[next(iter(self._values))]
-            self.evictions += 1
+            try:
+                del self._values[next(iter(self._values))]
+                self.evictions += 1
+            except (KeyError, RuntimeError, StopIteration):
+                pass  # another thread evicted (or cleared) first
         self._values[text] = value
         return value
 

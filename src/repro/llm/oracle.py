@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -82,10 +83,18 @@ def _normalize_question(question: str) -> str:
 
 
 class GroundTruthRegistry:
-    """Maps document fingerprints to :class:`DocumentTruth` entries."""
+    """Maps document fingerprints to :class:`DocumentTruth` entries.
+
+    Thread-safety contract: lookups are single dict reads (atomic under the
+    GIL) and truths are immutable once registered, so executor worker
+    threads read without locking; registration/merge/clear — which happen
+    during corpus generation, never concurrently with execution — take a
+    lock so even a pathological overlap cannot corrupt the table.
+    """
 
     def __init__(self):
         self._truths: Dict[str, DocumentTruth] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._truths)
@@ -99,11 +108,13 @@ class GroundTruthRegistry:
         Returns the fingerprint used as the key.
         """
         fp = fingerprint_text(text)
-        self._truths[fp] = truth
+        with self._lock:
+            self._truths[fp] = truth
         return fp
 
     def register_fingerprint(self, fingerprint: str, truth: DocumentTruth) -> None:
-        self._truths[fingerprint] = truth
+        with self._lock:
+            self._truths[fingerprint] = truth
 
     def lookup(self, text: str) -> Optional[DocumentTruth]:
         return self._truths.get(fingerprint_text(text))
@@ -143,7 +154,8 @@ class GroundTruthRegistry:
         return truth.difficulty if truth is not None else default
 
     def clear(self) -> None:
-        self._truths.clear()
+        with self._lock:
+            self._truths.clear()
 
     # -- persistence (sidecar files shipped with generated corpora) --------
 
@@ -155,8 +167,9 @@ class GroundTruthRegistry:
     def load(self, path: Path) -> int:
         """Merge truths from a JSON sidecar file; returns entries loaded."""
         payload = json.loads(Path(path).read_text())
-        for fp, data in payload.items():
-            self._truths[fp] = DocumentTruth.from_dict(data)
+        with self._lock:
+            for fp, data in payload.items():
+                self._truths[fp] = DocumentTruth.from_dict(data)
         return len(payload)
 
 

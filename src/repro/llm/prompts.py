@@ -9,7 +9,7 @@ overhead).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 FILTER_SYSTEM_PROMPT = (
     "You are a precise data analyst. Decide whether the document below "
@@ -28,21 +28,37 @@ ONE_TO_MANY_SUFFIX = (
 )
 
 
-def build_filter_prompt(predicate: str, document: str) -> str:
-    return (
+def filter_prompt_parts(predicate: str) -> Tuple[str, str]:
+    """(prefix, suffix) such that ``prefix + document + suffix`` equals
+    :func:`build_filter_prompt` for any document.
+
+    Batched execution counts the prefix/suffix tokens once per batch and
+    only the document tokens per record; the tokenizer never matches across
+    whitespace, and both boundaries here are whitespace, so the split token
+    counts are exactly additive.
+    """
+    prefix = (
         f"{FILTER_SYSTEM_PROMPT}\n\n"
         f"Condition: {predicate}\n\n"
-        f"Document:\n{document}\n\n"
-        f"Answer (TRUE or FALSE):"
+        f"Document:\n"
     )
+    suffix = "\n\nAnswer (TRUE or FALSE):"
+    return prefix, suffix
 
 
-def build_extract_prompt(
+def build_filter_prompt(predicate: str, document: str) -> str:
+    prefix, suffix = filter_prompt_parts(predicate)
+    return f"{prefix}{document}{suffix}"
+
+
+def extract_prompt_parts(
     field_descriptions: Dict[str, str],
-    document: str,
     schema_description: str = "",
     one_to_many: bool = False,
-) -> str:
+) -> Tuple[str, str]:
+    """(prefix, suffix) such that ``prefix + document + suffix`` equals
+    :func:`build_extract_prompt` for any document (same additivity contract
+    as :func:`filter_prompt_parts`)."""
     field_lines = "\n".join(
         f"- {name}: {desc or 'no description provided'}"
         for name, desc in field_descriptions.items()
@@ -53,9 +69,21 @@ def build_extract_prompt(
     parts.append(f"Fields to extract:\n{field_lines}")
     if one_to_many:
         parts.append(ONE_TO_MANY_SUFFIX)
-    parts.append(f"Document:\n{document}")
-    parts.append("JSON output:")
-    return "\n\n".join(parts)
+    prefix = "\n\n".join(parts) + "\n\nDocument:\n"
+    suffix = "\n\nJSON output:"
+    return prefix, suffix
+
+
+def build_extract_prompt(
+    field_descriptions: Dict[str, str],
+    document: str,
+    schema_description: str = "",
+    one_to_many: bool = False,
+) -> str:
+    prefix, suffix = extract_prompt_parts(
+        field_descriptions, schema_description, one_to_many=one_to_many
+    )
+    return f"{prefix}{document}{suffix}"
 
 
 def build_agent_prompt(system: str, tools_block: str, scratchpad: str,

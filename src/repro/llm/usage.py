@@ -8,8 +8,10 @@ dollar costs, and call counts.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -63,40 +65,74 @@ class UsageLedger:
 
     A ledger is attached to an execution context; operators record into it and
     the final :class:`~repro.execution.stats.ExecutionStats` summarizes it.
+
+    Thread-safety contract: :meth:`record` may be called concurrently from
+    real worker threads; the record list is guarded by a lock.  To attribute
+    records to the operator call that caused them — which the single-threaded
+    executors do by slicing the ledger before/after a call, a technique that
+    breaks under interleaving — a thread can wrap a call in :meth:`capture`:
+    records produced *by that thread* inside the block are additionally
+    appended to the capture list.
     """
 
     def __init__(self):
         self._records: List[LLMUsage] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     def record(self, usage: LLMUsage) -> None:
-        self._records.append(usage)
+        with self._lock:
+            self._records.append(usage)
+        captures = getattr(self._local, "captures", None)
+        if captures:
+            for bucket in captures:
+                bucket.append(usage)
 
     def extend(self, usages: Iterable[LLMUsage]) -> None:
         for usage in usages:
             self.record(usage)
 
+    @contextmanager
+    def capture(self) -> Iterator[List[LLMUsage]]:
+        """Collect the records this thread produces inside the block.
+
+        Captures nest: an inner capture's records also appear in the outer
+        one, exactly like the slicing technique they replace.
+        """
+        bucket: List[LLMUsage] = []
+        captures = getattr(self._local, "captures", None)
+        if captures is None:
+            captures = self._local.captures = []
+        captures.append(bucket)
+        try:
+            yield bucket
+        finally:
+            captures.remove(bucket)
+
     @property
     def records(self) -> List[LLMUsage]:
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def total(self) -> UsageTotals:
         totals = UsageTotals()
-        for usage in self._records:
+        for usage in self.records:
             totals.add(usage)
         return totals
 
     def by_model(self) -> Dict[str, UsageTotals]:
         grouped: Dict[str, UsageTotals] = {}
-        for usage in self._records:
+        for usage in self.records:
             grouped.setdefault(usage.model, UsageTotals()).add(usage)
         return grouped
 
     def by_operation(self) -> Dict[str, UsageTotals]:
         grouped: Dict[str, UsageTotals] = {}
-        for usage in self._records:
+        for usage in self.records:
             grouped.setdefault(usage.operation, UsageTotals()).add(usage)
         return grouped
 
@@ -104,7 +140,7 @@ class UsageLedger:
                  model: Optional[str] = None) -> "UsageLedger":
         """A new ledger containing only the matching records."""
         ledger = UsageLedger()
-        for usage in self._records:
+        for usage in self.records:
             if operation is not None and usage.operation != operation:
                 continue
             if model is not None and usage.model != model:
@@ -113,7 +149,8 @@ class UsageLedger:
         return ledger
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def summary_lines(self) -> List[str]:
         """Human-readable per-model summary (used in chat stats output)."""

@@ -56,6 +56,10 @@ class Optimizer:
     Args:
         policy: user preference (defaults to :class:`MaxQuality`).
         max_workers: execution parallelism assumed by the cost model.
+        batch_size: LLM-stage batch size assumed by the cost model (the
+            pipelined executor amortizes per-call overhead across a batch);
+            stamped onto the chosen plan via
+            :meth:`~repro.physical.plan.PhysicalPlan.with_batch_size`.
         sample_size: if > 0, run the Pareto-frontier plans on this many
             sample records first ("sentinel" execution) and replace the
             naive per-operator estimates with observed statistics.
@@ -74,10 +78,12 @@ class Optimizer:
         sample_size: int = 0,
         models: Optional[ModelRegistry] = None,
         lint: bool = True,
+        batch_size: int = 1,
         **candidate_options,
     ):
         self.policy = policy or MaxQuality()
         self.max_workers = max_workers
+        self.batch_size = batch_size
         self.sample_size = sample_size
         self.models = models or default_registry()
         self.lint = lint
@@ -92,7 +98,11 @@ class Optimizer:
             if not lint_result.ok:
                 raise LintError(lint_result)
         profile = source.profile()
-        cost_model = CostModel(profile, max_workers=self.max_workers)
+        cost_model = CostModel(
+            profile,
+            max_workers=self.max_workers,
+            batch_size=self.batch_size,
+        )
         candidates = enumerate_plans(
             logical_plan,
             source,
@@ -133,6 +143,11 @@ class Optimizer:
         chosen = next(
             c for c in candidates if c.estimate is chosen_estimate
         )
+        if self.batch_size > 1:
+            chosen = PlanCandidate(
+                plan=chosen.plan.with_batch_size(self.batch_size),
+                estimate=chosen.estimate,
+            )
         return OptimizationReport(
             chosen=chosen,
             candidates=candidates,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.logical import LogicalOperator
 from repro.core.records import DataRecord
@@ -106,6 +106,19 @@ class PhysicalOperator:
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         raise NotImplementedError
+
+    def process_batch(
+        self, records: Sequence[DataRecord]
+    ) -> List[List[DataRecord]]:
+        """Process ``records`` together; one output list per input record.
+
+        Contract: the outputs (and any LLM answers behind them) must be
+        identical to calling :meth:`process` once per record, in order.
+        The default does exactly that; LLM-bound operators override it to
+        batch their client calls, which amortizes prompt construction,
+        prefix token counting, and per-call overhead across the batch.
+        """
+        return [self.process(record) for record in records]
 
     def close(self) -> List[DataRecord]:
         return []

@@ -16,7 +16,7 @@ The plan space per convert, mirroring Palimpzest's strategies:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.cardinality import Cardinality
 from repro.core.errors import ExecutionError
@@ -141,23 +141,36 @@ class LLMConvertBonded(_ConvertBase):
             cache=context.cache,
         )
 
+    def _request_for(self, record: DataRecord) -> ExtractionRequest:
+        return ExtractionRequest(
+            fields=self._new_field_descriptions,
+            document=self._document_for(record),
+            schema_description=self.convert.desc,
+            one_to_many=(
+                self.convert.cardinality is Cardinality.ONE_TO_MANY
+            ),
+            operation=(
+                f"convert:{self.convert.output_schema.schema_name()}"
+            ),
+            context_fraction=self.context_fraction,
+        )
+
     def process(self, record: DataRecord) -> List[DataRecord]:
         assert self._client is not None, "operator not opened"
-        response = self._client.extract(
-            ExtractionRequest(
-                fields=self._new_field_descriptions,
-                document=self._document_for(record),
-                schema_description=self.convert.desc,
-                one_to_many=(
-                    self.convert.cardinality is Cardinality.ONE_TO_MANY
-                ),
-                operation=(
-                    f"convert:{self.convert.output_schema.schema_name()}"
-                ),
-                context_fraction=self.context_fraction,
-            )
-        )
+        response = self._client.extract(self._request_for(record))
         return self._build_outputs(record, response.value)
+
+    def process_batch(
+        self, records: Sequence[DataRecord]
+    ) -> List[List[DataRecord]]:
+        assert self._client is not None, "operator not opened"
+        responses = self._client.extract_batch(
+            [self._request_for(record) for record in records]
+        )
+        return [
+            self._build_outputs(record, response.value)
+            for record, response in zip(records, responses)
+        ]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         fields = self.convert.new_fields
@@ -238,6 +251,69 @@ class LLMConvertConventional(LLMConvertBonded):
             )
             merged.update(response.value)
         return self._build_outputs(record, merged)
+
+    def process_batch(
+        self, records: Sequence[DataRecord]
+    ) -> List[List[DataRecord]]:
+        assert self._client is not None, "operator not opened"
+        documents = [self._document_for(record) for record in records]
+        operation = f"convert:{self.convert.output_schema.schema_name()}"
+        if self.convert.cardinality is Cardinality.ONE_TO_MANY:
+            # Same calls as the per-record loop, grouped call-kind-major:
+            # the instance batch first, then one refinement batch per field.
+            # Answers are pure functions of (model, document, task), so the
+            # reordering cannot change any payload — only which calls share
+            # a prompt prefix and amortize the per-call overhead.
+            responses = self._client.extract_batch(
+                [
+                    ExtractionRequest(
+                        fields=self._new_field_descriptions,
+                        document=document,
+                        schema_description=self.convert.desc,
+                        one_to_many=True,
+                        operation=operation,
+                    )
+                    for document in documents
+                ]
+            )
+            for name, desc in self._new_field_descriptions.items():
+                self._client.extract_batch(
+                    [
+                        ExtractionRequest(
+                            fields={name: desc},
+                            document=document,
+                            schema_description=self.convert.desc,
+                            operation=operation,
+                        )
+                        for document in documents
+                    ]
+                )
+            return [
+                self._build_outputs(record, response.value)
+                for record, response in zip(records, responses)
+            ]
+        merged: List[Dict[str, Any]] = [{} for _ in records]
+        # Field-major batching: same calls as the per-record loop (one per
+        # record per field), but every field's batch shares one prompt
+        # prefix and all calls after the first amortize the call overhead.
+        for name, desc in self._new_field_descriptions.items():
+            responses = self._client.extract_batch(
+                [
+                    ExtractionRequest(
+                        fields={name: desc},
+                        document=document,
+                        schema_description=self.convert.desc,
+                        operation=operation,
+                    )
+                    for document in documents
+                ]
+            )
+            for row, response in zip(merged, responses):
+                row.update(response.value)
+        return [
+            self._build_outputs(record, row)
+            for record, row in zip(records, merged)
+        ]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         fields = self.convert.new_fields

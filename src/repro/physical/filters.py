@@ -12,7 +12,7 @@ Three families, spanning the quality/cost spectrum:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.logical import FilteredScan
 from repro.core.records import DataRecord
@@ -87,21 +87,34 @@ class LLMFilter(PhysicalOperator):
             cache=context.cache,
         )
 
-    def process(self, record: DataRecord) -> List[DataRecord]:
-        assert self._client is not None, "operator not opened"
+    def _request_for(self, record: DataRecord) -> BooleanRequest:
         document = (
             record.fields_text(self.depends_on) if self.depends_on
             else record.document_text()
         )
-        response = self._client.judge(
-            BooleanRequest(
-                predicate=self.predicate,
-                document=document,
-                operation=f"filter:{self.predicate[:40]}",
-                context_fraction=self.context_fraction,
-            )
+        return BooleanRequest(
+            predicate=self.predicate,
+            document=document,
+            operation=f"filter:{self.predicate[:40]}",
+            context_fraction=self.context_fraction,
         )
+
+    def process(self, record: DataRecord) -> List[DataRecord]:
+        assert self._client is not None, "operator not opened"
+        response = self._client.judge(self._request_for(record))
         return [record] if response.value else []
+
+    def process_batch(
+        self, records: Sequence[DataRecord]
+    ) -> List[List[DataRecord]]:
+        assert self._client is not None, "operator not opened"
+        responses = self._client.judge_batch(
+            [self._request_for(record) for record in records]
+        )
+        return [
+            [record] if response.value else []
+            for record, response in zip(records, responses)
+        ]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         input_tokens = int(

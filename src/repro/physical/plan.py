@@ -11,14 +11,26 @@ from repro.physical.scan import MarshalAndScan
 
 
 class PhysicalPlan:
-    """A linear chain of physical operators, scan first."""
+    """A linear chain of physical operators, scan first.
 
-    def __init__(self, operators: List[PhysicalOperator]):
+    ``batch_size`` is a physical dimension of the plan: LLM-bound stages
+    may process records in batches of this size, amortizing the fixed
+    per-call overhead (prompt-prefix construction, connection setup) across
+    the batch.  It changes *when* simulated time is charged, never which
+    records are produced, so two plans differing only in batch size share
+    a ``plan_id``.
+    """
+
+    def __init__(self, operators: List[PhysicalOperator],
+                 batch_size: int = 1):
         if not operators:
             raise PlanError("a physical plan needs at least one operator")
         if not isinstance(operators[0], MarshalAndScan):
             raise PlanError("a physical plan must start with MarshalAndScan")
+        if batch_size < 1:
+            raise PlanError(f"batch_size must be >= 1, got {batch_size}")
         self.operators = list(operators)
+        self.batch_size = batch_size
 
     @property
     def scan(self) -> MarshalAndScan:
@@ -32,6 +44,10 @@ class PhysicalPlan:
     def plan_id(self) -> str:
         material = "|".join(op.full_op_id for op in self.operators)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+    def with_batch_size(self, batch_size: int) -> "PhysicalPlan":
+        """A copy of this plan whose LLM stages run in ``batch_size`` batches."""
+        return PhysicalPlan(self.operators, batch_size=batch_size)
 
     def models_used(self) -> List[str]:
         return sorted(

@@ -46,8 +46,11 @@ class RetrieveOp(BlockingPhysicalOperator):
             record.document_text(), operation="retrieve:document"
         )
         score = cosine_similarity(self._query_vector, vector)
-        # record_id breaks score ties deterministically.
-        self._scored.append((score, record.record_id, record))
+        # Arrival index breaks score ties deterministically.  (Not the
+        # global record_id: ids are assigned at derive time, so their order
+        # depends on thread interleaving under the pipelined executor,
+        # while arrival order at a barrier is the same for every executor.)
+        self._scored.append((score, len(self._scored), record))
 
     def close(self) -> List[DataRecord]:
         ranked = sorted(self._scored, key=lambda t: (-t[0], t[1]))
