@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec perf lint examples all clean
+.PHONY: install test bench bench-exec perf lint trace examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,13 @@ bench-exec:
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:
 	PYTHONPATH=src python -m repro lint examples
+
+# Record a demo execution trace, print the critical-path analysis, and
+# validate the exported Chrome trace_event JSON.
+trace:
+	PYTHONPATH=src python -m repro trace --workers 2 --batch-size 2 \
+		--view critical-path --output /tmp/repro-trace.json
+	python scripts/validate_trace.py /tmp/repro-trace.json
 
 examples:
 	python examples/quickstart.py

@@ -83,6 +83,13 @@ from repro.optimizer.policies import (
 )
 from repro.llm.models import ModelCard, register_model, available_models
 from repro.llm.cache import CallCache
+from repro.obs import (
+    Tracer,
+    analyze_critical_path,
+    render_flame,
+    render_tree,
+    write_chrome_trace,
+)
 
 __version__ = "0.1.0"
 
@@ -129,5 +136,10 @@ __all__ = [
     "register_model",
     "available_models",
     "CallCache",
+    "Tracer",
+    "analyze_critical_path",
+    "render_flame",
+    "render_tree",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -23,6 +23,7 @@ from repro.llm.clock import VirtualClock
 from repro.llm.models import ModelCard
 from repro.llm.prompts import build_agent_prompt
 from repro.llm.usage import UsageLedger
+from repro.obs.trace import NULL_TRACER, SpanKind
 
 DEFAULT_SYSTEM_PROMPT = (
     "You are a helpful reasoning agent. Decompose the user's request into "
@@ -148,6 +149,10 @@ class ReActAgent:
         clock, ledger: accounting sinks for the metered reasoning calls.
         max_steps: hard cap on tool invocations per run.
         system_prompt: preamble of the metered agent prompt.
+        tracer: observability tracer; each run becomes an ``agent.run``
+            span with ``agent.step`` children wrapping the Thought /
+            Action / Observation cycle and ``tool.invoke`` spans around
+            tool execution.
     """
 
     def __init__(
@@ -159,6 +164,7 @@ class ReActAgent:
         ledger: Optional[UsageLedger] = None,
         max_steps: int = 12,
         system_prompt: str = DEFAULT_SYSTEM_PROMPT,
+        tracer=None,
     ):
         if max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {max_steps}")
@@ -166,6 +172,8 @@ class ReActAgent:
         self.brain = brain
         self.max_steps = max_steps
         self.system_prompt = system_prompt
+        self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._reasoning_client: Optional[SimulatedLLMClient] = None
         if model is not None:
             if not model.supports_reasoning:
@@ -174,7 +182,7 @@ class ReActAgent:
                     "pick a card with supports_reasoning=True"
                 )
             self._reasoning_client = SimulatedLLMClient(
-                model, clock=clock, ledger=ledger
+                model, clock=clock, ledger=ledger, tracer=self.tracer
             )
 
     def _meter_step(self, user_message: str, trace: AgentTrace) -> None:
@@ -196,55 +204,108 @@ class ReActAgent:
         trace = AgentTrace()
         state = state if state is not None else {}
         last_observation: Optional[str] = None
+        tracer = self.tracer
 
-        for step_number in range(self.max_steps):
-            self._meter_step(user_message, trace)
-            decision = self.brain.decide(
-                BrainContext(
-                    user_message=user_message,
-                    registry=self.registry,
-                    trace=trace,
-                    state=state,
-                    last_observation=last_observation,
-                )
-            )
-            trace.append(AgentStep(kind="thought", content=decision.thought))
+        with tracer.span(
+            "agent.run", SpanKind.AGENT, clock=self.clock,
+            max_steps=self.max_steps,
+        ) as run_span:
+            for step_number in range(self.max_steps):
+                with tracer.span(
+                    "agent.step", SpanKind.AGENT, clock=self.clock,
+                    step=step_number,
+                ):
+                    self._meter_step(user_message, trace)
+                    decision = self.brain.decide(
+                        BrainContext(
+                            user_message=user_message,
+                            registry=self.registry,
+                            trace=trace,
+                            state=state,
+                            last_observation=last_observation,
+                        )
+                    )
+                    trace.append(
+                        AgentStep(kind="thought", content=decision.thought)
+                    )
+                    if tracer.enabled:
+                        tracer.event(
+                            "agent.thought", SpanKind.AGENT,
+                            clock=self.clock,
+                            chars=len(decision.thought),
+                        )
 
-            if isinstance(decision, FinalAnswer):
-                trace.append(AgentStep(kind="final", content=decision.answer))
-                return AgentResult(
-                    answer=decision.answer,
-                    trace=trace,
-                    steps_used=step_number + 1,
-                    succeeded=True,
-                )
+                    if isinstance(decision, FinalAnswer):
+                        trace.append(
+                            AgentStep(kind="final", content=decision.answer)
+                        )
+                        if tracer.enabled:
+                            run_span.set_attribute(
+                                "steps_used", step_number + 1
+                            )
+                            run_span.set_attribute("succeeded", True)
+                        return AgentResult(
+                            answer=decision.answer,
+                            trace=trace,
+                            steps_used=step_number + 1,
+                            succeeded=True,
+                        )
 
-            trace.append(
-                AgentStep(
-                    kind="action",
-                    content=decision.thought,
-                    tool_name=decision.tool_name,
-                    arguments=dict(decision.arguments),
-                )
-            )
-            try:
-                tool_obj = self.registry.get(decision.tool_name)
-                result = tool_obj.invoke(decision.arguments, agent=self)
-                last_observation = str(result)
-                trace.append(
-                    AgentStep(kind="observation", content=last_observation)
-                )
-            except ToolError as exc:
-                last_observation = f"tool error: {exc}"
-                trace.append(
-                    AgentStep(kind="error", content=last_observation)
-                )
-            except Exception as exc:  # tools are user code; stay alive
-                last_observation = f"{type(exc).__name__}: {exc}"
-                trace.append(
-                    AgentStep(kind="error", content=last_observation)
-                )
+                    trace.append(
+                        AgentStep(
+                            kind="action",
+                            content=decision.thought,
+                            tool_name=decision.tool_name,
+                            arguments=dict(decision.arguments),
+                        )
+                    )
+                    try:
+                        tool_obj = self.registry.get(decision.tool_name)
+                        with tracer.span(
+                            "tool.invoke", SpanKind.TOOL, clock=self.clock,
+                            tool=decision.tool_name,
+                        ):
+                            result = tool_obj.invoke(
+                                decision.arguments, agent=self
+                            )
+                        last_observation = str(result)
+                        trace.append(
+                            AgentStep(
+                                kind="observation", content=last_observation
+                            )
+                        )
+                        if tracer.enabled:
+                            tracer.event(
+                                "agent.observation", SpanKind.AGENT,
+                                clock=self.clock,
+                                chars=len(last_observation),
+                            )
+                    except ToolError as exc:
+                        last_observation = f"tool error: {exc}"
+                        trace.append(
+                            AgentStep(kind="error", content=last_observation)
+                        )
+                        if tracer.enabled:
+                            tracer.event(
+                                "agent.error", SpanKind.AGENT,
+                                clock=self.clock,
+                                tool=decision.tool_name,
+                            )
+                    except Exception as exc:  # tools are user code; stay alive
+                        last_observation = f"{type(exc).__name__}: {exc}"
+                        trace.append(
+                            AgentStep(kind="error", content=last_observation)
+                        )
+                        if tracer.enabled:
+                            tracer.event(
+                                "agent.error", SpanKind.AGENT,
+                                clock=self.clock,
+                                tool=decision.tool_name,
+                            )
 
+            if tracer.enabled:
+                run_span.set_attribute("steps_used", self.max_steps)
+                run_span.set_attribute("succeeded", False)
         return AgentResult(
             answer=(
                 "I could not complete the request within "

@@ -8,6 +8,8 @@ Three analyzer families share one diagnostics vocabulary:
   agreement for registered tools and ``{{var}}`` template validity.
 * ``CG3xx`` (:mod:`repro.analysis.codegen_lint`) — AST checks over
   generated programs and structural checks over exported notebooks.
+* ``OB4xx`` (:mod:`repro.analysis.obs_lint`) — span naming/attribute
+  conventions over finalized execution traces.
 
 ``repro lint`` (the CLI) drives all three; see ``docs/diagnostics.md``
 for the full rule table.
@@ -39,6 +41,7 @@ from repro.analysis.codegen_lint import (
     lint_program,
     lint_workspace_steps,
 )
+from repro.analysis.obs_lint import lint_trace
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -58,5 +61,6 @@ __all__ = [
     "lint_tool",
     "lint_notebook",
     "lint_program",
+    "lint_trace",
     "lint_workspace_steps",
 ]

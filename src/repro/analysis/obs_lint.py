@@ -1,0 +1,95 @@
+"""pz-lint ``OB4xx``: observability conventions over finalized traces.
+
+The tracing subsystem (:mod:`repro.obs`) has naming and attribute
+conventions — span names are lowercase dotted identifiers
+(``layer.action``), every span carries a kind from the
+:class:`~repro.obs.trace.SpanKind` vocabulary, and well-known span names
+must carry the attributes their consumers rely on (the critical-path
+analyzer reads ``workers`` off ``pipeline.stage``; hotspot aggregation
+reads ``op`` off operator spans).  ``lint_trace`` checks a finalized
+:class:`~repro.obs.trace.Trace` against those conventions so new
+instrumentation can't silently break the analysis and export layers.
+
+This is the first rule of the family; further ``OB4xx`` rules (duration
+reconciliation, lane consistency) can register alongside it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.analysis.diagnostics import (
+    Emitter,
+    LintConfig,
+    LintResult,
+    Severity,
+    register_rule,
+)
+from repro.obs.trace import SpanKind, Trace
+
+register_rule(
+    "OB401", "span-conventions",
+    "a span violates naming/kind/attribute conventions "
+    "(dotted lowercase name, known kind, required attributes)",
+    Severity.WARNING,
+)
+
+#: ``layer.action`` (at least two dotted lowercase segments).
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+
+_KNOWN_KINDS = frozenset(
+    value for name, value in vars(SpanKind).items()
+    if not name.startswith("_") and isinstance(value, str)
+)
+
+#: Attributes the analysis/export layers read off well-known span names.
+_REQUIRED_ATTRS = {
+    "op.open": ("op",),
+    "op.process": ("op",),
+    "op.batch": ("op",),
+    "op.close": ("op",),
+    "op.scan": ("op",),
+    "llm.call": ("model", "operation"),
+    "pipeline.stage": ("stage", "workers"),
+    "pipeline.bundle": ("seq",),
+    "plan.run": ("executor",),
+}
+
+
+def lint_trace(
+    trace: Trace,
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """Check every span of ``trace`` against the OB4xx conventions."""
+    result = result if result is not None else LintResult()
+    emitter = Emitter(result, config)
+    for span in trace.spans:
+        location = f"span#{span.span_id}({span.name})"
+        if not _NAME_RE.match(span.name):
+            emitter.emit(
+                "OB401",
+                f"span name {span.name!r} is not a dotted lowercase "
+                "identifier",
+                location,
+                hint="name spans '<layer>.<action>', e.g. 'op.process'",
+            )
+        if span.kind not in _KNOWN_KINDS:
+            emitter.emit(
+                "OB401",
+                f"span kind {span.kind!r} is not in the SpanKind "
+                "vocabulary",
+                location,
+                hint=f"use one of {sorted(_KNOWN_KINDS)}",
+            )
+        for attr in _REQUIRED_ATTRS.get(span.name, ()):
+            if attr not in span.attributes:
+                emitter.emit(
+                    "OB401",
+                    f"span {span.name!r} is missing its required "
+                    f"attribute {attr!r}",
+                    location,
+                    hint="the analysis/export layers read this attribute",
+                )
+    return result

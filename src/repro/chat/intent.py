@@ -21,6 +21,7 @@ from repro.agent.react import (
     ToolCall,
 )
 from repro.chat.workspace import PipelineWorkspace
+from repro.obs.trace import NULL_TRACER, SpanKind
 
 _STATE_KEY = "_palimpchat_pending"
 
@@ -123,6 +124,15 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
     ("policy", re.compile(
         r"\b(maximi[sz]e|minimi[sz]e|prioriti[sz]e|optimi[sz]e for|cheapest"
         r"|optimization (?:goal|target))\b", re.I)),
+    # Before "execute": "explain the last run" contains the word "run", so
+    # this anchor must exist for containment suppression to veto execute.
+    ("explain_run", re.compile(
+        r"\bwhat took so long\b|\bwhy (?:was|is) (?:it|that|the run) "
+        r"(?:so )?slow\b"
+        r"|\b(?:explain|profile|analy[sz]e|break down)\b[^.]*"
+        r"\b(?:last|previous|that|the) (?:run|execution)\b"
+        r"|\bwhere did (?:all )?the time go\b|\bcritical path\b"
+        r"|\bwhat was the bottleneck\b|\bbounding stage\b", re.I)),
     ("execute", re.compile(r"\b(run|execute|launch|process the)\b", re.I)),
     ("stats", re.compile(
         r"\bhow (?:much|long)\b|\bstatistics\b|\bstats\b|\bcosted\b"
@@ -155,6 +165,21 @@ def _match_anchors(message: str) -> List[Tuple[int, str, re.Match]]:
     for intent, pattern in _ANCHORS:
         for match in pattern.finditer(message):
             hits.append((match.start(), intent, match))
+    # Containment suppression: a hit strictly inside another intent's
+    # longer match is a fragment of that phrase, not a request of its own
+    # ("run" inside "explain the last run" must not trigger execute).
+    hits = [
+        hit for hit in hits
+        if not any(
+            other is not hit
+            and other[1] != hit[1]
+            and other[2].start() <= hit[2].start()
+            and hit[2].end() <= other[2].end()
+            and (other[2].end() - other[2].start())
+            > (hit[2].end() - hit[2].start())
+            for other in hits
+        )
+    ]
     hits.sort(key=lambda h: h[0])
     # Deduplicate overlapping same-intent hits.
     deduped: List[Tuple[int, str, re.Match]] = []
@@ -368,6 +393,12 @@ def plan_requests(message: str,
                 tool_name="execute_pipeline",
                 arguments={},
             ))
+        elif intent == "explain_run":
+            calls.append(ToolCall(
+                thought="Explain the last run from its execution trace.",
+                tool_name="explain_execution",
+                arguments={},
+            ))
         elif intent == "stats":
             calls.append(ToolCall(
                 thought="Report the execution statistics.",
@@ -463,15 +494,32 @@ _HELP_TEXT = (
 
 
 class PalimpChatBrain(Brain):
-    """Deterministic reasoning policy for the PalimpChat agent."""
+    """Deterministic reasoning policy for the PalimpChat agent.
 
-    def __init__(self, workspace: PipelineWorkspace):
+    Args:
+        workspace: the pipeline state the planned tool calls mutate.
+        tracer: observability tracer; intent routing becomes a
+            ``chat.intent`` span recording which tools were planned.
+    """
+
+    def __init__(self, workspace: PipelineWorkspace, tracer=None):
         self.workspace = workspace
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def decide(self, context: BrainContext) -> Decision:
         pending = context.state.get(_STATE_KEY)
         if pending is None:
-            pending = plan_requests(context.user_message, self.workspace)
+            with self.tracer.span(
+                "chat.intent", SpanKind.CHAT,
+            ) as intent_span:
+                pending = plan_requests(context.user_message, self.workspace)
+                if self.tracer.enabled:
+                    intent_span.set_attribute(
+                        "planned_calls", len(pending)
+                    )
+                    intent_span.set_attribute(
+                        "tools", [call.tool_name for call in pending]
+                    )
             context.state[_STATE_KEY] = pending
             if not pending:
                 return FinalAnswer(

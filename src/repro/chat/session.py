@@ -17,6 +17,7 @@ from repro.chat.workspace import PipelineWorkspace
 from repro.llm.clock import VirtualClock
 from repro.llm.models import ModelCard, get_model
 from repro.llm.usage import UsageLedger
+from repro.obs.trace import NULL_TRACER, SpanKind, Trace, Tracer
 
 
 @dataclass
@@ -44,6 +45,11 @@ class PalimpChatSession:
         max_workers: execution parallelism for pipelines run via chat.
         sample_size: optimizer sentinel sample size for chat-run pipelines.
         title: notebook title.
+        trace: record a session-level trace — a ``chat.turn`` span per
+            message with the agent's steps, intent routing, and tool
+            invocations nested beneath (``session_trace()`` finalizes it).
+            Pipeline executions additionally record their own run trace
+            into ``workspace.last_trace`` regardless of this flag.
     """
 
     def __init__(
@@ -52,14 +58,16 @@ class PalimpChatSession:
         max_workers: int = 1,
         sample_size: int = 0,
         title: str = "PalimpChat session",
+        trace: bool = True,
     ):
         self.workspace = PipelineWorkspace()
         self.workspace.max_workers = max_workers
         self.workspace.sample_size = sample_size
         self.registry = build_pz_tools(self.workspace)
-        self.brain = PalimpChatBrain(self.workspace)
         self.agent_ledger = UsageLedger()
         self.agent_clock = VirtualClock()
+        self.tracer = Tracer(clock=self.agent_clock) if trace else NULL_TRACER
+        self.brain = PalimpChatBrain(self.workspace, tracer=self.tracer)
         model: Optional[ModelCard] = (
             get_model(agent_model) if agent_model else None
         )
@@ -70,6 +78,7 @@ class PalimpChatSession:
             clock=self.agent_clock,
             ledger=self.agent_ledger,
             max_steps=16,
+            tracer=self.tracer,
         )
         self.notebook = Notebook(title=title)
         self.turns: List[ChatResponse] = []
@@ -84,7 +93,15 @@ class PalimpChatSession:
     def chat(self, message: str) -> ChatResponse:
         """Process one user message through the ReAct agent."""
         self.notebook.add_markdown(f"**User:** {message}")
-        result = self.agent.run(message, state={})
+        with self.tracer.span(
+            "chat.turn", SpanKind.CHAT, clock=self.agent_clock,
+            turn=len(self.turns), message_chars=len(message),
+        ) as turn_span:
+            result = self.agent.run(message, state={})
+            if self.tracer.enabled:
+                turn_span.set_attribute(
+                    "tools", result.trace.tool_sequence()
+                )
 
         # Record generated code for pipeline-building turns.
         code = generate_program(self.workspace)
@@ -167,6 +184,16 @@ class PalimpChatSession:
     def agent_cost_usd(self) -> float:
         """Simulated spend of the agent's own reasoning calls."""
         return self.agent_ledger.total().cost_usd
+
+    def session_trace(self) -> Trace:
+        """Finalize the session-level trace recorded so far (one
+        ``chat.turn`` root per message; empty when tracing is off)."""
+        return self.tracer.finish()
+
+    @property
+    def last_trace(self):
+        """Execution trace of the last pipeline run via chat (or None)."""
+        return self.workspace.last_trace
 
     @property
     def last_records(self):

@@ -197,9 +197,11 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             executor=workspace.executor,
             batch_size=workspace.batch_size,
             lint=False,  # already linted above, with a friendlier message
+            trace=True,  # so explain_execution can answer "what took so long"
         )
         workspace.last_records = records
         workspace.last_stats = stats
+        workspace.last_trace = stats.trace
         workspace.log_step(
             "execute",
             policy=workspace.policy.describe(),
@@ -227,6 +229,53 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         if workspace.last_stats is None:
             raise ToolError("nothing has been executed yet")
         return workspace.last_stats.summary()
+
+    @tool()
+    def explain_execution(agent: AgentRef = None) -> str:
+        """Explain where the time went in the last pipeline run.
+
+        Use when the user asks what took so long, why the run was slow, or
+        to explain/profile the last run.  Answers from the recorded
+        execution trace: the critical path (which pipeline stage or
+        operator bounded the runtime), per-operator busy time, and LLM
+        call/cache behaviour.
+
+        Examples:
+            explain_execution()
+        """
+        if workspace.last_stats is None:
+            raise ToolError("nothing has been executed yet")
+        if workspace.last_trace is None:
+            raise ToolError(
+                "the last run was not traced; execute the pipeline again "
+                "to record a trace"
+            )
+        from repro.obs import aggregate_ops, analyze_critical_path
+
+        stats = workspace.last_stats
+        report = analyze_critical_path(workspace.last_trace)
+        lines = [report.render()]
+        ops = sorted(
+            aggregate_ops(workspace.last_trace).items(),
+            key=lambda item: -item[1]["busy_seconds"],
+        )
+        if ops:
+            lines.append("")
+            lines.append("busiest operators:")
+            for name, agg in ops[:5]:
+                lines.append(
+                    f"  {name:<42} {agg['busy_seconds']:>9.1f}s busy  "
+                    f"{agg['records_in']:>4} in / {agg['records_out']:>4} out"
+                )
+        calls = stats.metrics.get("llm.calls")
+        if calls is not None:
+            cache_note = (
+                f"; {stats.cache_hits} answered from the call cache"
+                if stats.cache_hits else ""
+            )
+            lines.append("")
+            lines.append(f"LLM calls: {calls}{cache_note}.")
+        return "\n".join(lines)
 
     @tool()
     def show_records(limit: int = 10, agent: AgentRef = None) -> str:
@@ -414,6 +463,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         set_optimization_target,
         execute_pipeline,
         get_execution_stats,
+        explain_execution,
         show_records,
         describe_pipeline,
         list_datasets,

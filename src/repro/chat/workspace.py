@@ -49,6 +49,9 @@ class PipelineWorkspace:
         self.steps: List[PipelineStep] = []
         self.last_records: Optional[List[DataRecord]] = None
         self.last_stats: Optional[ExecutionStats] = None
+        #: Finalized repro.obs Trace of the last execution (None until a
+        #: pipeline has run); explain_execution answers from it.
+        self.last_trace: Optional[Any] = None
 
     # -- step log ----------------------------------------------------------
 
@@ -100,6 +103,7 @@ class PipelineWorkspace:
         self.steps = copy.deepcopy(snapshot["steps"])
         self.last_records = None
         self.last_stats = None
+        self.last_trace = None
 
     def reset(self) -> None:
         self.current = None
@@ -108,6 +112,7 @@ class PipelineWorkspace:
         self.steps = []
         self.last_records = None
         self.last_stats = None
+        self.last_trace = None
 
     def describe_pipeline(self) -> str:
         if self.current is None:

@@ -9,6 +9,8 @@ Commands:
   terminal).
 * ``lint`` — statically analyze pipelines, tools, programs, and notebooks
   (the pz-lint rules; see ``docs/diagnostics.md``).
+* ``trace`` — run a demo scenario with tracing on and analyze/export the
+  trace (Chrome ``trace_event`` JSON, critical path, tree, flame).
 """
 
 from __future__ import annotations
@@ -16,10 +18,51 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import repro as pz
 from repro.llm.models import default_registry
+
+#: Used only when neither installed metadata nor pyproject.toml is
+#: readable (e.g. the package was vendored without its build files).
+_FALLBACK_VERSION = "0.0.0+unknown"
+_FALLBACK_DESCRIPTION = (
+    "PalimpChat reproduction: declarative and interactive AI analytics"
+)
+
+
+def package_metadata() -> Tuple[str, str]:
+    """``(version, description)`` for the CLI banner and ``--version``.
+
+    Reads the installed distribution metadata first, then falls back to
+    parsing ``pyproject.toml`` (source checkouts run via ``PYTHONPATH``),
+    so the parser never drifts from the packaging truth.
+    """
+    try:
+        from importlib.metadata import metadata
+
+        meta = metadata("repro")
+        version = meta["Version"]
+        summary = meta["Summary"]
+        if version and summary:
+            return version, summary
+    except Exception:
+        pass
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        tomllib = None
+    if tomllib is not None:
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        try:
+            project = tomllib.loads(pyproject.read_text())["project"]
+            return (
+                project.get("version", _FALLBACK_VERSION),
+                project.get("description", _FALLBACK_DESCRIPTION),
+            )
+        except (OSError, KeyError, ValueError):
+            pass
+    return _FALLBACK_VERSION, _FALLBACK_DESCRIPTION
 
 
 def _cmd_models(args) -> int:
@@ -272,10 +315,55 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        analyze_critical_path,
+        render_flame,
+        render_tree,
+        write_chrome_trace,
+        write_plain_json,
+    )
+
+    dataset = _demo_pipelines(args.data_dir)[args.scenario]
+    records, stats = pz.Execute(
+        dataset,
+        policy=args.policy,
+        max_workers=args.workers,
+        executor=args.executor,
+        batch_size=args.batch_size,
+        trace=True,
+    )
+    trace = stats.trace
+    report = analyze_critical_path(trace)
+    if args.view == "tree":
+        print(render_tree(trace))
+    elif args.view == "flame":
+        print(render_flame(trace))
+    elif args.view == "critical-path":
+        print(report.render())
+    else:
+        print(
+            f"recorded {len(trace)} spans over {trace.makespan:.3f} "
+            f"virtual seconds ({len(records)} records, "
+            f"{args.executor} executor)"
+        )
+        print()
+        print(report.render())
+    if args.output:
+        writer = (
+            write_chrome_trace if args.format == "chrome"
+            else write_plain_json
+        )
+        writer(trace, args.output, metrics=stats.metrics)
+        print(f"\ntrace written to {args.output} ({args.format} format)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="PalimpChat reproduction: declarative AI analytics",
+    version, description = package_metadata()
+    parser = argparse.ArgumentParser(prog="repro", description=description)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {version}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -345,6 +433,40 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print every registered rule and exit")
 
+    trace = sub.add_parser(
+        "trace",
+        help="record and analyze an execution trace",
+        description="Run a demo scenario with tracing enabled, print a "
+                    "trace analysis (critical path by default), and "
+                    "optionally export the trace as Chrome trace_event "
+                    "JSON (loadable in about://tracing / Perfetto) or "
+                    "plain JSON.",
+    )
+    trace.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                       default="sci",
+                       help="; ".join(f"{k}: {v}" for k, v in
+                                      _SCENARIOS.items()))
+    trace.add_argument("--policy", default="quality",
+                       help="quality | cost | runtime")
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--executor",
+                       choices=("sequential", "parallel", "pipelined"),
+                       default="pipelined")
+    trace.add_argument("--batch-size", type=int, default=4,
+                       help="LLM batch size (pipelined executor)")
+    trace.add_argument("--data-dir", default=None,
+                       help="where to generate/reuse the demo corpora")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="write the trace to this file")
+    trace.add_argument("--format", choices=("chrome", "json"),
+                       default="chrome",
+                       help="output file format (with --output)")
+    trace.add_argument("--view",
+                       choices=("summary", "tree", "critical-path",
+                                "flame"),
+                       default="summary",
+                       help="what analysis to print")
+
     return parser
 
 
@@ -356,6 +478,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "chat": _cmd_chat,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

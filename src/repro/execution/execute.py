@@ -13,6 +13,7 @@ from repro.execution.executors import ParallelExecutor, SequentialExecutor
 from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.llm.models import ModelRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.optimizer.optimizer import OptimizationReport, Optimizer
 from repro.optimizer.policies import MaxQuality, Policy, parse_policy
 from repro.physical.context import ExecutionContext
@@ -36,6 +37,12 @@ class ExecutionEngine:
         batch_size: LLM-stage batch size for the pipelined executor; the
             cost model amortizes per-call overhead accordingly.  Ignored
             (beyond costing) by the other executors, which call per record.
+        trace: observability.  ``False`` (default) disables tracing at zero
+            cost; ``True`` records the run with a fresh
+            :class:`~repro.obs.Tracer`; an existing ``Tracer`` instance
+            records into it.  The finalized trace is attached to
+            ``ExecutionStats.trace``.  Tracing never changes records,
+            stats, or LLM call counts.
         candidate_options: plan-space ablation switches (forwarded to the
             optimizer).
     """
@@ -52,6 +59,7 @@ class ExecutionEngine:
         lint: bool = True,
         executor: Optional[str] = None,
         batch_size: int = 1,
+        trace: Union[bool, Tracer] = False,
         **candidate_options,
     ):
         if policy is None:
@@ -73,14 +81,24 @@ class ExecutionEngine:
         self.lint = lint
         self.executor = executor
         self.batch_size = batch_size
+        self.trace = trace
         self.candidate_options = candidate_options
+
+    def _make_tracer(self):
+        """(tracer, traced?) for one run, honoring the ``trace`` setting."""
+        if isinstance(self.trace, Tracer):
+            return self.trace, True
+        if self.trace:
+            return Tracer(), True
+        return NULL_TRACER, False
 
     def _executor_name(self) -> str:
         if self.executor is not None:
             return self.executor
         return "parallel" if self.max_workers > 1 else "sequential"
 
-    def optimize(self, dataset: Dataset) -> OptimizationReport:
+    def optimize(self, dataset: Dataset,
+                 tracer=None) -> OptimizationReport:
         optimizer = Optimizer(
             policy=self.policy,
             max_workers=self.max_workers,
@@ -90,6 +108,7 @@ class ExecutionEngine:
             batch_size=(
                 self.batch_size if self._executor_name() == "pipelined" else 1
             ),
+            tracer=tracer,
             **self.candidate_options,
         )
         return optimizer.optimize(dataset.logical_plan(), dataset.source)
@@ -124,11 +143,22 @@ class ExecutionEngine:
     def execute(
         self, dataset: Dataset
     ) -> Tuple[List[DataRecord], ExecutionStats]:
-        report = self.optimize(dataset)
+        tracer, traced = self._make_tracer()
+        report = self.optimize(dataset, tracer=tracer)
         context = ExecutionContext(
             max_workers=self.max_workers,
             models=self.models,
             cache=self.cache,
+            tracer=tracer,
+        )
+        if traced and tracer.default_clock is None:
+            # Optimizer spans were recorded clockless (optimization is free
+            # in virtual time); execution spans follow the run's clock.
+            tracer.default_clock = context.clock
+        cache_before = (
+            (self.cache.stats.hits, self.cache.stats.misses,
+             self.cache.stats.evictions)
+            if self.cache is not None else (0, 0, 0)
         )
         name = self._executor_name()
         if name == "pipelined":
@@ -142,6 +172,14 @@ class ExecutionEngine:
         else:
             executor = SequentialExecutor(context)
         records, plan_stats = executor.execute(report.chosen.plan)
+        if self.cache is not None:
+            cache_hits = self.cache.stats.hits - cache_before[0]
+            cache_misses = self.cache.stats.misses - cache_before[1]
+            cache_evictions = self.cache.stats.evictions - cache_before[2]
+        else:
+            cache_hits = cache_misses = cache_evictions = 0
+        context.metrics.counter("llm.cache_hits").inc(cache_hits)
+        context.metrics.counter("llm.cache_misses").inc(cache_misses)
         stats = ExecutionStats(
             plan_stats=plan_stats,
             policy=report.policy.describe(),
@@ -151,6 +189,11 @@ class ExecutionEngine:
             max_workers=self.max_workers,
             executor=name,
             batch_size=self.batch_size if name == "pipelined" else 1,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_evictions=cache_evictions,
+            metrics=context.metrics.snapshot(),
+            trace=tracer.finish() if traced else None,
         )
         return records, stats
 
@@ -165,6 +208,7 @@ def Execute(
     lint: bool = True,
     executor: Optional[str] = None,
     batch_size: int = 1,
+    trace: Union[bool, Tracer] = False,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -180,6 +224,11 @@ def Execute(
         records, stats = Execute(
             dataset, executor="pipelined", max_workers=4, batch_size=8
         )
+
+    Pass ``trace=True`` to record an execution trace (``stats.trace``)::
+
+        records, stats = Execute(dataset, trace=True)
+        print(repro.obs.render_tree(stats.trace))
     """
     engine = ExecutionEngine(
         policy=policy,
@@ -190,6 +239,7 @@ def Execute(
         lint=lint,
         executor=executor,
         batch_size=batch_size,
+        trace=trace,
         **candidate_options,
     )
     return engine.execute(dataset)

@@ -18,10 +18,41 @@ from typing import List, Optional, Tuple
 
 from repro.core.records import DataRecord
 from repro.execution.stats import ModelUsageRow, OperatorStats, PlanStats
+from repro.obs.trace import SpanKind
 from repro.physical.base import PhysicalOperator
 from repro.physical.context import ExecutionContext
 from repro.physical.plan import PhysicalPlan
 from repro.physical.structural import LimitOp
+
+
+def _fill_run_metrics(
+    context: ExecutionContext,
+    op_stats: List[OperatorStats],
+    sink: List[DataRecord],
+) -> None:
+    """Populate the context's MetricsRegistry from the finished run.
+
+    Every value here is a deterministic function of the plan and input —
+    computed once at run end from the same OperatorStats / ledger the
+    stats report, never sampled in the hot path — so the snapshot that
+    lands in ``ExecutionStats.metrics`` is identical traced or untraced,
+    at any worker count.
+    """
+    metrics = context.metrics
+    ledger_total = context.ledger.total()
+    metrics.counter("llm.calls").inc(len(context.ledger))
+    metrics.counter("llm.input_tokens").inc(ledger_total.input_tokens)
+    metrics.counter("llm.output_tokens").inc(ledger_total.output_tokens)
+    metrics.counter("run.records_out").inc(len(sink))
+    metrics.gauge("run.elapsed_seconds").set(round(context.clock.elapsed, 9))
+    for index, stats in enumerate(op_stats):
+        prefix = f"op.{index}.{stats.op_label}"
+        metrics.counter(f"{prefix}.records_in").inc(stats.records_in)
+        metrics.counter(f"{prefix}.records_out").inc(stats.records_out)
+        metrics.counter(f"{prefix}.llm_calls").inc(stats.llm_calls)
+        metrics.gauge(f"{prefix}.busy_seconds").set(
+            round(stats.time_seconds, 9)
+        )
 
 
 def build_plan_stats(
@@ -42,6 +73,7 @@ def build_plan_stats(
     scan_stats, downstream_stats = op_stats[0], op_stats[1:]
     accounted = sum(stats.time_seconds for stats in downstream_stats)
     scan_stats.time_seconds = max(0.0, context.clock.total_busy - accounted)
+    _fill_run_metrics(context, op_stats, sink)
     invalid = sum(
         1
         for record in sink
@@ -74,7 +106,14 @@ def build_plan_stats(
 
 
 class _OpMeter:
-    """Wraps one operator's stats accumulation for a run."""
+    """Wraps one operator's stats accumulation for a run.
+
+    When tracing is on, every metered call also becomes an ``op.*`` span:
+    the span's duration is *pinned* to the same ``total_busy`` delta the
+    stats accumulate, so per-op span durations sum exactly to
+    ``OperatorStats.time_seconds`` — LLM leaf spans created inside the
+    call nest under it automatically.
+    """
 
     def __init__(self, op: PhysicalOperator, context: ExecutionContext):
         self.op = op
@@ -90,7 +129,7 @@ class _OpMeter:
         produces no records, so only time/cost are metered."""
         self._metered(
             lambda: self.op.open(self.context) or [],
-            inputs=0, count_outputs=False,
+            inputs=0, count_outputs=False, span_name="op.open",
         )
 
     def process(self, record: DataRecord) -> List[DataRecord]:
@@ -98,16 +137,30 @@ class _OpMeter:
         return outputs
 
     def close(self) -> List[DataRecord]:
-        outputs, _ = self._metered(self.op.close, inputs=0)
+        outputs, _ = self._metered(self.op.close, inputs=0,
+                                   span_name="op.close")
         return outputs
 
-    def _metered(self, fn, inputs: int,
-                 count_outputs: bool = True) -> Tuple[List[DataRecord], float]:
+    def _metered(self, fn, inputs: int, count_outputs: bool = True,
+                 span_name: str = "op.process",
+                 ) -> Tuple[List[DataRecord], float]:
         ledger = self.context.ledger
-        busy_before = self.context.clock.total_busy
+        clock = self.context.clock
+        tracer = self.context.tracer
+        busy_before = clock.total_busy
         calls_before = len(ledger)
-        outputs = fn()
-        busy_delta = self.context.clock.total_busy - busy_before
+        if tracer.enabled:
+            with tracer.span(span_name, SpanKind.OPERATOR, clock=clock,
+                             op=self.op.op_label) as span:
+                outputs = fn()
+                busy_delta = clock.total_busy - busy_before
+                span.finish_at(span.start + busy_delta)
+                span.set_attribute("records_in", inputs)
+                if count_outputs:
+                    span.set_attribute("records_out", len(outputs))
+        else:
+            outputs = fn()
+            busy_delta = clock.total_busy - busy_before
         new_usages = ledger.records[calls_before:]
 
         self.stats.records_in += inputs
@@ -217,32 +270,53 @@ class SequentialExecutor:
             "plan": plan.describe(),
             "operators": len(plan),
         })
-        meters = self._prepare(plan)
-        scan_meter, downstream = meters[0], meters[1:]
-        stop_limit = self._early_stop(plan)
-        sink: List[DataRecord] = []
+        tracer = self.context.tracer
+        clock = self.context.clock
+        with tracer.span(
+            "plan.run", SpanKind.PLAN, clock=clock,
+            plan_id=plan.plan_id, executor=self._trace_executor_name(),
+            workers=self.context.max_workers,
+        ) as plan_span:
+            meters = self._prepare(plan)
+            scan_meter, downstream = meters[0], meters[1:]
+            scan_label = scan_meter.op.op_label
+            stop_limit = self._early_stop(plan)
+            sink: List[DataRecord] = []
 
-        source_iter = plan.scan.records()
-        while True:
-            # Pick the lane *before* pulling, so the parse time charged
-            # inside records() lands on the worker that handles the record.
-            self._assign_lane()
-            try:
-                record = next(source_iter)
-            except StopIteration:
-                break
-            scan_meter.stats.records_in += 1
-            scan_meter.stats.records_out += 1
-            self._push(record, downstream, 0, sink)
-            self._emit({
-                "type": "record_processed",
-                "index": scan_meter.stats.records_in,
-                "outputs_so_far": len(sink),
-                "elapsed_seconds": self.context.clock.elapsed,
-            })
-            if stop_limit is not None and stop_limit.exhausted:
-                break
-        self._flush(downstream, sink)
+            source_iter = plan.scan.records()
+            while True:
+                # Pick the lane *before* pulling, so the parse time charged
+                # inside records() lands on the worker that handles the
+                # record.
+                self._assign_lane()
+                if tracer.enabled:
+                    scan_start = clock.now
+                    scan_lane = clock.current_lane
+                    busy_before = clock.total_busy
+                try:
+                    record = next(source_iter)
+                except StopIteration:
+                    break
+                if tracer.enabled:
+                    tracer.record(
+                        "op.scan", SpanKind.OPERATOR, scan_start,
+                        scan_start + (clock.total_busy - busy_before),
+                        scan_lane, op=scan_label,
+                        records_in=1, records_out=1,
+                    )
+                scan_meter.stats.records_in += 1
+                scan_meter.stats.records_out += 1
+                self._push(record, downstream, 0, sink)
+                self._emit({
+                    "type": "record_processed",
+                    "index": scan_meter.stats.records_in,
+                    "outputs_so_far": len(sink),
+                    "elapsed_seconds": clock.elapsed,
+                })
+                if stop_limit is not None and stop_limit.exhausted:
+                    break
+            self._flush(downstream, sink)
+            plan_span.finish_at(clock.elapsed)
 
         plan_stats = build_plan_stats(
             plan, [m.stats for m in meters], self.context, sink
@@ -254,6 +328,9 @@ class SequentialExecutor:
             "cost_usd": plan_stats.total_cost_usd,
         })
         return sink, plan_stats
+
+    def _trace_executor_name(self) -> str:
+        return "sequential"
 
 
 class ParallelExecutor(SequentialExecutor):
@@ -275,3 +352,6 @@ class ParallelExecutor(SequentialExecutor):
     def _on_barrier(self, meter: _OpMeter) -> None:
         if meter.op.is_blocking:
             self.context.clock.synchronize()
+
+    def _trace_executor_name(self) -> str:
+        return "parallel"

@@ -51,6 +51,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.core.records import DataRecord
 from repro.execution.executors import build_plan_stats
 from repro.execution.stats import OperatorStats, PlanStats
+from repro.obs.trace import SpanKind
 from repro.physical.base import PhysicalOperator
 from repro.physical.context import ExecutionContext
 from repro.physical.converts import CodeSynthesisConvert
@@ -111,7 +112,7 @@ class _PipeMeter:
     def open(self) -> None:
         self._metered(
             lambda: self.op.open(self.context) or [],
-            inputs=0, count_outputs=False,
+            inputs=0, count_outputs=False, span_name="op.open",
         )
 
     def process(self, record: DataRecord) -> List[DataRecord]:
@@ -123,24 +124,45 @@ class _PipeMeter:
         groups = self._metered_raw(
             lambda: self.op.process_batch(records), inputs=len(records),
             n_outputs=lambda gs: sum(len(g) for g in gs),
+            span_name="op.batch",
         )
         return groups
 
     def close(self) -> List[DataRecord]:
-        return self._metered(self.op.close, inputs=0)
+        return self._metered(self.op.close, inputs=0, span_name="op.close")
 
-    def _metered(self, fn, inputs: int,
-                 count_outputs: bool = True) -> List[DataRecord]:
+    def _metered(self, fn, inputs: int, count_outputs: bool = True,
+                 span_name: str = "op.process") -> List[DataRecord]:
         return self._metered_raw(
-            fn, inputs, n_outputs=len if count_outputs else lambda _: 0
+            fn, inputs, n_outputs=len if count_outputs else lambda _: 0,
+            span_name=span_name,
         )
 
-    def _metered_raw(self, fn, inputs: int, n_outputs: Callable[[Any], int]):
+    def _metered_raw(self, fn, inputs: int, n_outputs: Callable[[Any], int],
+                     span_name: str = "op.process"):
         clock = self.context.clock
-        with self.context.ledger.capture() as bucket:
-            busy_before = clock.now
-            result = fn()
-            busy_delta = clock.now - busy_before
+        tracer = self.context.tracer
+        # Busy time is measured with the thread-local advance accumulator,
+        # not the lane's wall time: another worker charged to the same lane
+        # (bundle seqs that collide modulo ``workers``) would otherwise
+        # leak its advances into this delta.  The span's duration is pinned
+        # to the same delta the stats accumulate, so span durations
+        # reconcile with OperatorStats.time_seconds exactly.
+        if tracer.enabled:
+            with tracer.span(span_name, SpanKind.OPERATOR, clock=clock,
+                             op=self.op.op_label) as span:
+                with self.context.ledger.capture() as bucket:
+                    busy_before = clock.local_advanced
+                    result = fn()
+                    busy_delta = clock.local_advanced - busy_before
+                span.finish_at(span.start + busy_delta)
+                span.set_attribute("records_in", inputs)
+                span.set_attribute("records_out", n_outputs(result))
+        else:
+            with self.context.ledger.capture() as bucket:
+                busy_before = clock.local_advanced
+                result = fn()
+                busy_delta = clock.local_advanced - busy_before
         with self._lock:
             self.stats.records_in += inputs
             self.stats.records_out += n_outputs(result)
@@ -173,6 +195,10 @@ class _Stage:
         self.exit_lock = threading.Lock()
         self.exited = 0
         self.eos: Optional[_Eos] = None
+        # Observability (wired by the executor when tracing/metrics are on):
+        self.span = None  # pipeline.stage span workers attach under
+        self.depth_gauge = None  # best-effort in-queue high-water mark
+        self.poll_counter = None  # best-effort empty-poll retries
 
     @property
     def is_barrier(self) -> bool:
@@ -244,13 +270,15 @@ class PipelinedExecutor:
             except queue.Full:
                 continue
 
-    def _get(self, source: "queue.Queue"):
+    def _get(self, source: "queue.Queue", poll_counter=None):
         while True:
             if self._abort.is_set():
                 raise _Aborted()
             try:
                 return source.get(timeout=0.05)
             except queue.Empty:
+                if poll_counter is not None:
+                    poll_counter.inc()
                 continue
 
     # -- plan segmentation -------------------------------------------------
@@ -343,33 +371,67 @@ class PipelinedExecutor:
 
     def _parallel_worker(self, stage: _Stage) -> None:
         clock = self.context.clock
+        tracer = self.context.tracer
         try:
-            while True:
-                item = self._get(stage.in_queue)
-                if isinstance(item, _Eos):
-                    with stage.exit_lock:
-                        stage.exited += 1
-                        stage.eos = item
-                        last_out = stage.exited == stage.workers
-                    if last_out:
-                        self._close_stage_ops(stage, item.count)
-                    return
-                seq, records = item
-                # Lane by sequence number, not by thread: simulated time is
-                # then independent of which OS thread won the race.
-                clock.use_lane(stage.lane_base + seq % stage.workers)
-                if self.batch_size > 1:
-                    outputs = self._run_chain_batched(stage.meters, records)
-                else:
-                    outputs = self._run_chain(stage.meters, records)
-                self._put(stage.out_queue, (seq, outputs))
+            # Attach the stage span so bundle / op / llm spans created on
+            # this worker thread nest under it (bundles carry a ``seq``
+            # attribute, so canonical ordering erases the thread race).
+            with tracer.attach(stage.span):
+                while True:
+                    item = self._get(stage.in_queue, stage.poll_counter)
+                    if isinstance(item, _Eos):
+                        with stage.exit_lock:
+                            stage.exited += 1
+                            stage.eos = item
+                            last_out = stage.exited == stage.workers
+                        if last_out:
+                            self._close_stage_ops(stage, item.count)
+                        return
+                    seq, records = item
+                    if stage.depth_gauge is not None:
+                        stage.depth_gauge.set_max(stage.in_queue.qsize())
+                    # Lane by sequence number, not by thread: simulated time
+                    # is then independent of which OS thread won the race.
+                    clock.use_lane(stage.lane_base + seq % stage.workers)
+                    outputs = self._traced_bundle(
+                        stage, seq, records, tracer, clock
+                    )
+                    self._put(stage.out_queue, (seq, outputs))
         except _Aborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             self._fail(exc)
 
+    def _traced_bundle(self, stage: _Stage, seq: int,
+                       records: Sequence[DataRecord], tracer,
+                       clock) -> List[DataRecord]:
+        """Process one bundle through the stage chain, under its span.
+
+        The bundle's duration is pinned to the thread-local advance delta
+        (the thread's own charges only); its *start* is canonicalized after
+        the threads join — same-lane starts observed live are racy, but
+        durations plus per-lane seq order determine the layout exactly.
+        """
+        if tracer.enabled:
+            with tracer.span("pipeline.bundle", SpanKind.BUNDLE, clock=clock,
+                             seq=seq, records=len(records)) as span:
+                advanced_before = clock.local_advanced
+                outputs = self._bundle_chain(stage, records)
+                span.finish_at(
+                    span.start + (clock.local_advanced - advanced_before)
+                )
+            return outputs
+        return self._bundle_chain(stage, records)
+
+    def _bundle_chain(self, stage: _Stage,
+                      records: Sequence[DataRecord]) -> List[DataRecord]:
+        if stage.parallel and self.batch_size > 1:
+            return self._run_chain_batched(stage.meters, records)
+        return self._run_chain(stage.meters, records)
+
     def _serial_worker(self, stage: _Stage) -> None:
         clock = self.context.clock
+        tracer = self.context.tracer
         clock.use_lane(stage.lane_base)
         buffer: dict = {}
         next_seq = 0
@@ -377,46 +439,53 @@ class PipelinedExecutor:
         pending: List[DataRecord] = []
         out_batch = self._out_bundle_size(stage)
         try:
-            while True:
-                item = self._get(stage.in_queue)
-                if isinstance(item, _Eos):
-                    # EOS is always enqueued last, so the buffer now holds
-                    # every outstanding bundle; drain it in order.
-                    for seq in sorted(buffer):
-                        assert seq == next_seq, "sequence gap in pipeline"
+            with tracer.attach(stage.span):
+                while True:
+                    item = self._get(stage.in_queue, stage.poll_counter)
+                    if isinstance(item, _Eos):
+                        # EOS is always enqueued last, so the buffer now
+                        # holds every outstanding bundle; drain in order.
+                        for seq in sorted(buffer):
+                            assert seq == next_seq, "sequence gap in pipeline"
+                            pending.extend(
+                                self._serial_process(stage, buffer[seq], seq)
+                            )
+                            emitted = self._send_bundles(
+                                stage, pending, emitted, out_batch
+                            )
+                            next_seq += 1
+                        buffer.clear()
+                        pending.extend(self._close_serial(stage))
+                        emitted = self._send_bundles(
+                            stage, pending, emitted, out_batch, flush=True
+                        )
+                        for _ in range(stage.next_consumers):
+                            self._put(stage.out_queue, _Eos(emitted))
+                        return
+                    seq, records = item
+                    buffer[seq] = records
+                    if stage.depth_gauge is not None:
+                        stage.depth_gauge.set_max(stage.in_queue.qsize())
+                    while next_seq in buffer:
                         pending.extend(
-                            self._serial_process(stage, buffer[seq])
+                            self._serial_process(
+                                stage, buffer.pop(next_seq), next_seq
+                            )
                         )
                         emitted = self._send_bundles(
                             stage, pending, emitted, out_batch
                         )
                         next_seq += 1
-                    buffer.clear()
-                    pending.extend(self._close_serial(stage))
-                    emitted = self._send_bundles(
-                        stage, pending, emitted, out_batch, flush=True
-                    )
-                    for _ in range(stage.next_consumers):
-                        self._put(stage.out_queue, _Eos(emitted))
-                    return
-                seq, records = item
-                buffer[seq] = records
-                while next_seq in buffer:
-                    pending.extend(
-                        self._serial_process(stage, buffer.pop(next_seq))
-                    )
-                    emitted = self._send_bundles(
-                        stage, pending, emitted, out_batch
-                    )
-                    next_seq += 1
         except _Aborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             self._fail(exc)
 
-    def _serial_process(self, stage: _Stage,
-                        records: Sequence[DataRecord]) -> List[DataRecord]:
-        return self._run_chain(stage.meters, records)
+    def _serial_process(self, stage: _Stage, records: Sequence[DataRecord],
+                        seq: int) -> List[DataRecord]:
+        return self._traced_bundle(
+            stage, seq, records, self.context.tracer, self.context.clock
+        )
 
     def _close_serial(self, stage: _Stage) -> List[DataRecord]:
         """Close the stage's operators in order, like the sequential flush."""
@@ -498,9 +567,7 @@ class PipelinedExecutor:
         """
         scan_meter, downstream = meters[0], meters[1:]
         sink: List[DataRecord] = []
-        for record in plan.scan.records():
-            scan_meter.stats.records_in += 1
-            scan_meter.stats.records_out += 1
+        for record in self._traced_scan(plan, scan_meter):
             sink.extend(self._run_chain(downstream, [record]))
             self._emit({
                 "type": "record_processed",
@@ -536,19 +603,26 @@ class PipelinedExecutor:
             "plan": plan.describe(),
             "operators": len(plan),
         })
-        meters = [_PipeMeter(op, self.context) for op in plan]
-        for meter in meters:
-            meter.open()
+        tracer = self.context.tracer
+        with tracer.span(
+            "plan.run", SpanKind.PLAN, clock=self.context.clock,
+            plan_id=plan.plan_id, executor="pipelined",
+            workers=self.max_workers, batch_size=self.batch_size,
+        ) as plan_span:
+            meters = [_PipeMeter(op, self.context) for op in plan]
+            for meter in meters:
+                meter.open()
 
-        stop_limit = self._early_stop(plan)
-        if stop_limit is not None or not plan.downstream:
-            sink = (
-                self._execute_inline(plan, meters, stop_limit)
-                if stop_limit is not None
-                else self._scan_only(plan, meters[0])
-            )
-        else:
-            sink = self._execute_pipelined(plan, meters)
+            stop_limit = self._early_stop(plan)
+            if stop_limit is not None or not plan.downstream:
+                sink = (
+                    self._execute_inline(plan, meters, stop_limit)
+                    if stop_limit is not None
+                    else self._scan_only(plan, meters[0])
+                )
+            else:
+                sink = self._execute_pipelined(plan, meters)
+            plan_span.finish_at(self.context.clock.elapsed)
 
         plan_stats = build_plan_stats(
             plan, [m.stats for m in meters], self.context, sink
@@ -563,17 +637,57 @@ class PipelinedExecutor:
 
     def _scan_only(self, plan: PhysicalPlan,
                    scan_meter: _PipeMeter) -> List[DataRecord]:
-        sink: List[DataRecord] = []
-        for record in plan.scan.records():
+        return list(self._traced_scan(plan, scan_meter))
+
+    def _traced_scan(self, plan: PhysicalPlan, scan_meter: _PipeMeter):
+        """Iterate the source, metering each pull as an ``op.scan`` span.
+
+        The parse time charged inside ``records()`` lands on the calling
+        thread's current lane, so the span is timed by that lane's delta.
+        """
+        clock = self.context.clock
+        tracer = self.context.tracer
+        scan_label = scan_meter.op.op_label
+        source_iter = plan.scan.records()
+        while True:
+            if tracer.enabled:
+                scan_start = clock.now
+                scan_lane = clock.current_lane
+            try:
+                record = next(source_iter)
+            except StopIteration:
+                return
+            if tracer.enabled:
+                tracer.record(
+                    "op.scan", SpanKind.OPERATOR, scan_start, clock.now,
+                    scan_lane, op=scan_label, records_in=1, records_out=1,
+                )
             scan_meter.stats.records_in += 1
             scan_meter.stats.records_out += 1
-            sink.append(record)
-        return sink
+            yield record
 
     def _execute_pipelined(self, plan: PhysicalPlan,
                            meters: List[_PipeMeter]) -> List[DataRecord]:
         scan_meter = meters[0]
         stages = self._build_stages(meters[1:])
+        tracer = self.context.tracer
+        metrics = self.context.metrics
+        for index, stage in enumerate(stages):
+            if tracer.enabled:
+                # Created on the orchestrator thread (under plan.run) so
+                # worker threads can attach to it before any bundle flows.
+                stage.span = tracer.start_span(
+                    "pipeline.stage", SpanKind.STAGE,
+                    clock=self.context.clock, stage=index,
+                    ops=stage.describe(), workers=stage.workers,
+                    parallel=stage.parallel,
+                )
+            stage.depth_gauge = metrics.gauge(
+                f"pipeline.stage{index}.queue_depth_peak", best_effort=True
+            )
+            stage.poll_counter = metrics.counter(
+                f"pipeline.stage{index}.queue_poll_retries", best_effort=True
+            )
 
         # Wire stage N's output to stage N+1's input; the last stage feeds
         # the sink queue (drained by a dedicated thread so bounded queues
@@ -591,6 +705,11 @@ class PipelinedExecutor:
 
         sink: List[DataRecord] = []
         threads: List[threading.Thread] = []
+        # Lane times before any worker runs: the relayout pass below lays
+        # each lane's bundles out cumulatively from these baselines.
+        base_lane_times = (
+            self.context.clock.lane_times() if tracer.enabled else []
+        )
         for number, stage in enumerate(stages):
             worker = (
                 self._parallel_worker if stage.parallel
@@ -617,9 +736,7 @@ class PipelinedExecutor:
         bundle: List[DataRecord] = []
         fed = 0
         try:
-            for record in plan.scan.records():
-                scan_meter.stats.records_in += 1
-                scan_meter.stats.records_out += 1
+            for record in self._traced_scan(plan, scan_meter):
                 bundle.append(record)
                 if len(bundle) >= in_bundle:
                     self._put(first.in_queue, (fed, bundle))
@@ -645,4 +762,69 @@ class PipelinedExecutor:
             thread.join()
         if self._errors:
             raise self._errors[0]
+
+        # Finish stage spans and record deterministic per-stage busy time
+        # (the sum of the stage's operator lane-time deltas — the same
+        # numbers OperatorStats reports, so trace and stats reconcile).
+        elapsed = self.context.clock.elapsed
+        for index, stage in enumerate(stages):
+            busy = round(
+                sum(m.stats.time_seconds for m in stage.meters), 9
+            )
+            metrics.gauge(f"pipeline.stage{index}.busy_seconds").set(busy)
+            if stage.span is not None:
+                self._canonicalize_stage(stage, base_lane_times)
+                stage.span.set_attribute("busy_seconds", busy)
+                stage.span.set_attribute(
+                    "records_out", stage.meters[-1].stats.records_out
+                )
+                stage.span.finish_at(elapsed)
         return sink
+
+    # -- canonical span layout (after threads join) ------------------------
+
+    @staticmethod
+    def _canonicalize_stage(stage: _Stage,
+                            base_lane_times: List[float]) -> None:
+        """Rewrite the stage's bundle span start times deterministically.
+
+        Start times observed live are racy when two bundles charge the same
+        lane concurrently (seqs colliding modulo ``workers``), but each
+        bundle's *duration* is race-free (thread-local advance delta) and
+        the lane a bundle charges is a pure function of its ``seq``.  So
+        the canonical layout is: per lane, bundles in seq order, abutting,
+        starting from the lane's pre-run baseline.
+        """
+        bundles = sorted(
+            (c for c in stage.span.children if c.name == "pipeline.bundle"),
+            key=lambda c: c.attributes.get("seq", 0),
+        )
+        cursors = {}
+        for bundle in bundles:
+            seq = bundle.attributes.get("seq", 0)
+            lane = stage.lane_base + (
+                seq % stage.workers if stage.parallel else 0
+            )
+            start = cursors.get(
+                lane,
+                base_lane_times[lane] if lane < len(base_lane_times) else 0.0,
+            )
+            PipelinedExecutor._relayout_span(bundle, start)
+            cursors[lane] = start + bundle.duration
+
+    @staticmethod
+    def _relayout_span(span, start: float) -> None:
+        """Move ``span`` to ``start`` and lay its children out abutting.
+
+        Durations are preserved exactly; only offsets change.  Operator
+        spans inside a bundle account for all of the bundle's advances, so
+        the abutting layout is exact at the operator level (LLM-call
+        placement within an operator is approximate but deterministic).
+        """
+        duration = span.duration
+        span.start = start
+        span.end = start + duration
+        cursor = start
+        for child in span.children:
+            PipelinedExecutor._relayout_span(child, cursor)
+            cursor += child.duration

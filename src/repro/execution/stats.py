@@ -108,6 +108,16 @@ class ExecutionStats:
     executor: str = "sequential"
     #: LLM-stage batch size the plan ran with (1 = per-record calls).
     batch_size: int = 1
+    #: CallCache activity during this run (deltas, since the cache may be
+    #: shared across runs); zeros when no cache was attached.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    #: Deterministic metric snapshot (MetricsRegistry.snapshot()).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: The finalized Trace when the run was traced, else None.  Excluded
+    #: from serialization/comparison — export it via repro.obs.export.
+    trace: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def total_time_seconds(self) -> float:
@@ -135,6 +145,10 @@ class ExecutionStats:
             "max_workers": self.max_workers,
             "executor": self.executor,
             "batch_size": self.batch_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "metrics": dict(self.metrics),
             "total_time_seconds": round(self.total_time_seconds, 3),
             "total_cost_usd": round(self.total_cost_usd, 6),
             "plan": self.plan_stats.to_dict(),
@@ -150,9 +164,17 @@ class ExecutionStats:
             f"records produced:  {self.plan_stats.records_out}",
             f"total runtime:     {self.total_time_seconds:.1f} s",
             f"total cost:        ${self.total_cost_usd:.4f}",
+        ]
+        if self.cache_hits or self.cache_misses or self.cache_evictions:
+            lines.append(
+                f"call cache:        {self.cache_hits} hits / "
+                f"{self.cache_misses} misses / "
+                f"{self.cache_evictions} evictions"
+            )
+        lines.extend([
             "",
             "per-operator breakdown:",
-        ]
+        ])
         header = (
             f"  {'operator':<38} {'in':>5} {'out':>5} "
             f"{'time(s)':>9} {'cost($)':>9} {'calls':>6}"

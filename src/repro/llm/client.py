@@ -31,6 +31,7 @@ from repro.llm.models import ModelCard, ModelRegistry, default_registry
 from repro.llm.oracle import GroundTruthRegistry, fingerprint_text, global_oracle
 from repro.llm.tokenizer import count_tokens, truncate_to_tokens
 from repro.llm.usage import LLMUsage, UsageLedger
+from repro.obs.trace import NULL_TRACER, SpanKind
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,8 @@ class SimulatedLLMClient(LLMClient):
         ledger: usage ledger to record into; optional.
         oracle: ground-truth registry; defaults to the process-global one.
         registry: model registry for name resolution.
+        tracer: observability tracer; every metered call becomes an
+            ``llm.call`` leaf span.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -114,6 +117,7 @@ class SimulatedLLMClient(LLMClient):
         oracle: Optional[GroundTruthRegistry] = None,
         registry: Optional[ModelRegistry] = None,
         cache: Optional[CallCache] = None,
+        tracer=None,
     ):
         registry = registry or default_registry()
         self.model = registry.get(model) if isinstance(model, str) else model
@@ -121,6 +125,21 @@ class SimulatedLLMClient(LLMClient):
         self.ledger = ledger
         self.oracle = oracle if oracle is not None else global_oracle()
         self.cache = cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _trace_call(self, usage: LLMUsage, cache_hit: bool) -> None:
+        """Record the ``llm.call`` leaf span for one metered call."""
+        end = usage.virtual_timestamp
+        start = max(0.0, end - usage.latency_seconds)
+        lane = self.clock.current_lane if self.clock is not None else 0
+        self.tracer.record(
+            "llm.call", SpanKind.LLM, start, end, lane,
+            model=usage.model,
+            operation=usage.operation,
+            input_tokens=usage.input_tokens,
+            output_tokens=usage.output_tokens,
+            cache_hit=cache_hit,
+        )
 
     # ------------------------------------------------------------------
     # Accounting plumbing.
@@ -156,6 +175,8 @@ class SimulatedLLMClient(LLMClient):
         )
         if self.ledger is not None:
             self.ledger.record(usage)
+        if self.tracer.enabled:
+            self._trace_call(usage, cache_hit=False)
         return usage
 
     def _cache_hit_response(self, value: Any, operation: str) -> LLMResponse:
@@ -173,6 +194,8 @@ class SimulatedLLMClient(LLMClient):
         )
         if self.ledger is not None:
             self.ledger.record(usage)
+        if self.tracer.enabled:
+            self._trace_call(usage, cache_hit=True)
         return LLMResponse(
             value=value, text=json.dumps(value, default=str),
             usage=usage, model=self.model.name,

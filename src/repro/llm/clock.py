@@ -47,9 +47,24 @@ class VirtualClock:
         self._local.lane = lane
 
     @property
+    def current_lane(self) -> int:
+        """The lane the calling thread's advances are charged to."""
+        return self._current_lane
+
+    @property
     def lanes(self) -> int:
         with self._lock:
             return len(self._lane_times)
+
+    def lane_time(self, lane: int) -> float:
+        """Local time accumulated by ``lane``, in seconds."""
+        with self._lock:
+            return self._lane_times[lane]
+
+    def lane_times(self) -> list:
+        """A snapshot copy of every lane's accumulated time."""
+        with self._lock:
+            return list(self._lane_times)
 
     @property
     def now(self) -> float:
@@ -69,10 +84,24 @@ class VirtualClock:
         with self._lock:
             return sum(self._lane_times)
 
+    @property
+    def local_advanced(self) -> float:
+        """Total seconds the *calling thread* has advanced this clock.
+
+        Unlike ``now`` (the current lane's time, which other threads
+        charged to the same lane can move), this is a per-thread monotonic
+        accumulator — so a delta of ``local_advanced`` around a block of
+        work measures exactly that thread's own charges, deterministically
+        under any interleaving.  The pipelined executor meters per-operator
+        time (and span durations) with it.
+        """
+        return getattr(self._local, "advanced", 0.0)
+
     def advance(self, seconds: float) -> float:
         """Add ``seconds`` to the current lane and return its new local time."""
         if seconds < 0:
             raise ValueError(f"cannot advance a clock by {seconds} seconds")
+        self._local.advanced = self.local_advanced + seconds
         with self._lock:
             self._lane_times[self._current_lane] += seconds
             return self._lane_times[self._current_lane]

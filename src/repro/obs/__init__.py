@@ -1,0 +1,74 @@
+"""``repro.obs`` — end-to-end observability for the reproduction.
+
+The paper's chat layer reports per-operator cost, runtime, and quality
+statistics after execution; this package generalizes that reporting into a
+proper observability subsystem:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` /
+  :class:`TraceStore`: nested spans timed by the :class:`VirtualClock`
+  (never wall time), attributed to the same lanes the clock charges, and
+  canonicalized into a deterministic :class:`Trace` tree.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters, gauges,
+  and histograms snapshotted into
+  :class:`~repro.execution.stats.ExecutionStats`.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and plain-JSON
+  trace files.
+* :mod:`repro.obs.analyze` — critical-path analysis of pipelined runs and
+  per-operator hotspot aggregation.
+* :mod:`repro.obs.render` — text tree / flame renderers for terminals.
+
+Tracing is zero-cost when disabled: every instrumented component defaults
+to the shared :data:`NULL_TRACER`, whose ``span()`` is a reusable no-op
+context manager, and hot paths guard attribute construction behind
+``tracer.enabled``.  Two runs of the same plan at any worker count produce
+identical span trees and durations — ids come from a canonical
+finalization pass and times from the virtual clock.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanKind,
+    Trace,
+    Tracer,
+    TraceStore,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import (
+    to_chrome_trace,
+    to_plain_json,
+    write_chrome_trace,
+    write_plain_json,
+)
+from repro.obs.analyze import (
+    CriticalPathReport,
+    StageReport,
+    aggregate_ops,
+    analyze_critical_path,
+)
+from repro.obs.render import render_flame, render_tree
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanKind",
+    "Trace",
+    "Tracer",
+    "TraceStore",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "to_plain_json",
+    "write_chrome_trace",
+    "write_plain_json",
+    "CriticalPathReport",
+    "StageReport",
+    "aggregate_ops",
+    "analyze_critical_path",
+    "render_flame",
+    "render_tree",
+]

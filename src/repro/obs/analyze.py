@@ -1,0 +1,194 @@
+"""Trace analysis: per-operator hotspots and pipeline critical path.
+
+``analyze_critical_path`` answers "which stage bounds this run": for a
+pipelined trace it reads the ``pipeline.stage`` spans, divides each
+stage's busy virtual time by its worker count to get *effective* time,
+and names the stage with the largest effective time as the bound — that
+is the stage whose speedup would shorten the makespan.  For sequential /
+parallel traces (no stage spans) it degrades to per-operator hotspot
+analysis, where the "bounding stage" is simply the most expensive
+operator.
+
+All numbers are virtual-clock seconds, so reports are deterministic and
+reconcile with :class:`~repro.execution.stats.ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import SpanKind, Trace
+
+
+def aggregate_ops(trace: Trace) -> Dict[str, Dict[str, Any]]:
+    """Sum operator spans by op label: span count, busy seconds, records.
+
+    Operator spans (``kind == "operator"``) carry an ``op`` attribute with
+    the physical op label; their durations are the same clock deltas the
+    stats meters measured, so the ``busy_seconds`` here reconcile with
+    ``OperatorStats.time_seconds``.
+    """
+    ops: Dict[str, Dict[str, Any]] = {}
+    for span in trace.spans:
+        if span.kind != SpanKind.OPERATOR:
+            continue
+        label = str(span.attributes.get("op", span.name))
+        entry = ops.setdefault(label, {
+            "spans": 0,
+            "busy_seconds": 0.0,
+            "records_in": 0,
+            "records_out": 0,
+        })
+        entry["spans"] += 1
+        entry["busy_seconds"] += span.duration
+        entry["records_in"] += int(span.attributes.get("records_in", 0))
+        entry["records_out"] += int(span.attributes.get("records_out", 0))
+    for entry in ops.values():
+        entry["busy_seconds"] = round(entry["busy_seconds"], 9)
+    return ops
+
+
+@dataclass
+class StageReport:
+    """One pipeline stage (or one operator, in the hotspot fallback)."""
+
+    index: int
+    name: str
+    workers: int = 1
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    effective_seconds: float = 0.0
+    utilization: float = 0.0
+    records_out: int = 0
+    is_bounding: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "workers": self.workers,
+            "busy_seconds": round(self.busy_seconds, 9),
+            "idle_seconds": round(self.idle_seconds, 9),
+            "effective_seconds": round(self.effective_seconds, 9),
+            "utilization": round(self.utilization, 6),
+            "records_out": self.records_out,
+            "is_bounding": self.is_bounding,
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """Which stage bounds the run, and how busy every stage was."""
+
+    mode: str  # "pipeline" or "hotspot"
+    makespan: float
+    stages: List[StageReport] = field(default_factory=list)
+
+    @property
+    def bounding_stage(self) -> Optional[StageReport]:
+        for stage in self.stages:
+            if stage.is_bounding:
+                return stage
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        bounding = self.bounding_stage
+        return {
+            "mode": self.mode,
+            "makespan_seconds": round(self.makespan, 9),
+            "bounding_stage": bounding.name if bounding else None,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    def render(self) -> str:
+        lines = []
+        if self.mode == "pipeline":
+            lines.append("Critical path (pipelined run)")
+        else:
+            lines.append("Hotspots (non-pipelined run)")
+        lines.append(f"  makespan: {self.makespan:.4f}s (virtual)")
+        header = (f"  {'stage':<38} {'workers':>7} {'busy_s':>10} "
+                  f"{'eff_s':>10} {'util':>6}")
+        lines.append(header)
+        for stage in self.stages:
+            marker = "  <-- bounds the run" if stage.is_bounding else ""
+            lines.append(
+                f"  {stage.name:<38} {stage.workers:>7} "
+                f"{stage.busy_seconds:>10.4f} "
+                f"{stage.effective_seconds:>10.4f} "
+                f"{stage.utilization:>5.0%}{marker}"
+            )
+        bounding = self.bounding_stage
+        if bounding is not None:
+            if self.mode == "pipeline":
+                lines.append(
+                    f"  bounding stage: {bounding.name} — "
+                    f"{bounding.busy_seconds:.4f}s busy across "
+                    f"{bounding.workers} worker(s); speeding it up "
+                    "shortens the makespan."
+                )
+            else:
+                lines.append(
+                    f"  hottest operator: {bounding.name} "
+                    f"({bounding.busy_seconds:.4f}s busy)."
+                )
+        return "\n".join(lines)
+
+
+def _pipeline_report(trace: Trace,
+                     stage_spans: List[Any]) -> CriticalPathReport:
+    makespan = trace.makespan
+    stages: List[StageReport] = []
+    for span in stage_spans:
+        workers = max(1, int(span.attributes.get("workers", 1)))
+        busy = float(span.attributes.get("busy_seconds", span.duration))
+        capacity = workers * makespan
+        stages.append(StageReport(
+            index=int(span.attributes.get("stage", len(stages))),
+            name=str(span.attributes.get("ops", span.name)),
+            workers=workers,
+            busy_seconds=busy,
+            idle_seconds=max(0.0, capacity - busy),
+            effective_seconds=busy / workers,
+            utilization=(busy / capacity) if capacity > 0 else 0.0,
+            records_out=int(span.attributes.get("records_out", 0)),
+        ))
+    stages.sort(key=lambda s: s.index)
+    if stages:
+        bound = max(stages, key=lambda s: (s.effective_seconds, -s.index))
+        bound.is_bounding = True
+    return CriticalPathReport(mode="pipeline", makespan=makespan,
+                              stages=stages)
+
+
+def _hotspot_report(trace: Trace) -> CriticalPathReport:
+    makespan = trace.makespan
+    stages: List[StageReport] = []
+    for index, (label, entry) in enumerate(aggregate_ops(trace).items()):
+        busy = entry["busy_seconds"]
+        stages.append(StageReport(
+            index=index,
+            name=label,
+            workers=1,
+            busy_seconds=busy,
+            idle_seconds=max(0.0, makespan - busy),
+            effective_seconds=busy,
+            utilization=(busy / makespan) if makespan > 0 else 0.0,
+            records_out=entry["records_out"],
+        ))
+    stages.sort(key=lambda s: (-s.busy_seconds, s.name))
+    for index, stage in enumerate(stages):
+        stage.index = index
+    if stages:
+        stages[0].is_bounding = True
+    return CriticalPathReport(mode="hotspot", makespan=makespan,
+                              stages=stages)
+
+
+def analyze_critical_path(trace: Trace) -> CriticalPathReport:
+    """Build the critical-path (or hotspot fallback) report for a trace."""
+    stage_spans = trace.find("pipeline.stage")
+    if stage_spans:
+        return _pipeline_report(trace, stage_spans)
+    return _hotspot_report(trace)

@@ -1,0 +1,185 @@
+"""Metrics: named counters, gauges, and histograms for one run.
+
+A :class:`MetricsRegistry` lives on the
+:class:`~repro.physical.context.ExecutionContext` and is snapshotted into
+:class:`~repro.execution.stats.ExecutionStats` after every run — traced or
+not, so a traced run reports byte-identical stats to an untraced one.
+
+Metrics come in two determinism classes:
+
+* **deterministic** (the default) — pure functions of the plan and input
+  (llm_calls, cache hits, records in/out per operator, virtual busy time
+  per pipeline stage).  These are what ``snapshot()`` returns and what
+  lands in ``ExecutionStats.metrics``.
+* **best-effort** (``best_effort=True``) — real-scheduling observables
+  (queue depth high-water marks, queue poll retries) that legitimately
+  vary run to run.  They are excluded from the stats snapshot and only
+  appear in trace exports via ``snapshot(include_best_effort=True)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "best_effort", "_value", "_lock")
+
+    def __init__(self, name: str, best_effort: bool = False):
+        self.name = name
+        self.best_effort = best_effort
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` keeps the high-water mark."""
+
+    __slots__ = ("name", "best_effort", "_value", "_lock")
+
+    def __init__(self, name: str, best_effort: bool = False):
+        self.name = name
+        self.best_effort = best_effort
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Summary statistics over observed samples (count/sum/min/max).
+
+    Full sample retention would make trace files grow with corpus size;
+    the four summary moments are what the analyzers and reports use.
+    """
+
+    __slots__ = ("name", "best_effort", "_count", "_sum", "_min", "_max",
+                 "_lock")
+
+    def __init__(self, name: str, best_effort: bool = False):
+        self.name = name
+        self.best_effort = best_effort
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot_value(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 9),
+                "min": self._min if self._min is not None else 0.0,
+                "max": self._max if self._max is not None else 0.0,
+            }
+
+
+class MetricsRegistry:
+    """Creates-or-returns named metrics and snapshots them all.
+
+    Metric names are dotted lowercase paths (``llm.calls``,
+    ``op.2.records_out``, ``pipeline.stage0.busy_seconds``) — the same
+    convention pz-lint's ``OB401`` enforces for span names.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, best_effort: bool):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, best_effort=best_effort)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, best_effort: bool = False) -> Counter:
+        return self._get_or_create(name, Counter, best_effort)
+
+    def gauge(self, name: str, best_effort: bool = False) -> Gauge:
+        return self._get_or_create(name, Gauge, best_effort)
+
+    def histogram(self, name: str, best_effort: bool = False) -> Histogram:
+        return self._get_or_create(name, Histogram, best_effort)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self, include_best_effort: bool = False) -> Dict[str, Any]:
+        """All metric values keyed by name, sorted, deterministic by
+        default (best-effort metrics only when explicitly requested)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {
+            name: metric.snapshot_value()
+            for name, metric in sorted(metrics)
+            if include_best_effort or not metric.best_effort
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} metrics)"

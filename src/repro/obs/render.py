@@ -1,0 +1,93 @@
+"""Text renderers: an indented span tree and an aggregated flame view.
+
+Both render from a finalized :class:`~repro.obs.trace.Trace` and print
+virtual-clock seconds, so output is deterministic and diff-able in tests
+and CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.trace import Span, Trace
+
+_BAR_WIDTH = 24
+
+
+def _format_attrs(span: Span, keys: Tuple[str, ...]) -> str:
+    parts = []
+    for key in keys:
+        if key in span.attributes:
+            parts.append(f"{key}={span.attributes[key]}")
+    return f" [{' '.join(parts)}]" if parts else ""
+
+
+def render_tree(trace: Trace, max_depth: int = 0,
+                max_children: int = 12) -> str:
+    """Indented tree: one line per span with duration, lane, key attrs.
+
+    ``max_depth`` of 0 means unlimited; sibling lists longer than
+    ``max_children`` are collapsed with an elision line so huge
+    per-record fan-outs stay readable.
+    """
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        attrs = _format_attrs(
+            span, ("op", "model", "tool", "intent", "stage", "seq"))
+        lines.append(
+            f"{indent}{span.name} ({span.kind}) "
+            f"{span.duration:.4f}s lane={span.lane}{attrs}"
+        )
+        if max_depth and depth + 1 >= max_depth:
+            if span.children:
+                lines.append(f"{indent}  ... {len(span.children)} "
+                             "child span(s) below max depth")
+            return
+        shown = span.children[:max_children] if max_children else \
+            span.children
+        for child in shown:
+            walk(child, depth + 1)
+        hidden = len(span.children) - len(shown)
+        if hidden > 0:
+            lines.append(f"{indent}  ... {hidden} more sibling span(s)")
+
+    for root in trace.roots:
+        walk(root, 0)
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)
+
+
+def render_flame(trace: Trace, width: int = _BAR_WIDTH) -> str:
+    """Aggregated flame view: self time summed by span *path*.
+
+    Each line is ``root;child;...`` with total self time and a bar scaled
+    to the largest entry — the text analogue of a flame graph, aggregated
+    so a thousand identical per-record spans collapse into one row.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+
+    def walk(span: Span, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        totals[path] = totals.get(path, 0.0) + span.self_time()
+        counts[path] = counts.get(path, 0) + 1
+        for child in span.children:
+            walk(child, path)
+
+    for root in trace.roots:
+        walk(root, "")
+    rows = [(path, total) for path, total in totals.items() if total > 0]
+    if not rows:
+        return "(no timed spans)"
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    peak = rows[0][1]
+    lines = []
+    for path, total in rows:
+        bar = "#" * max(1, int(round(width * total / peak)))
+        lines.append(
+            f"{total:>10.4f}s x{counts[path]:<5} {bar:<{width}} {path}"
+        )
+    return "\n".join(lines)

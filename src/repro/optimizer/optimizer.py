@@ -9,10 +9,13 @@ from repro.core.logical import LogicalPlan
 from repro.core.sources import DataSource, MemorySource
 from repro.llm.models import ModelRegistry, default_registry
 from repro.optimizer.cost_model import CostModel, PlanEstimate, SampleStats
+from repro.obs.trace import NULL_TRACER, SpanKind
 from repro.optimizer.planner import (
+    EXHAUSTIVE_LIMIT,
     PlanCandidate,
     enumerate_plans,
     pareto_frontier,
+    plan_space_size,
 )
 from repro.optimizer.policies import MaxQuality, Policy
 from repro.physical.context import ExecutionContext
@@ -67,6 +70,9 @@ class Optimizer:
         lint: run plan lint (``PZ1xx``) before enumerating; error-level
             findings raise :class:`~repro.analysis.LintError` so broken
             plans are rejected before any (simulated) dollars are spent.
+        tracer: observability tracer; enumeration, sentinel runs, and the
+            policy's choice become ``optimize.*`` spans carrying candidate
+            counts and pruning attributes.
         candidate_options: keyword switches forwarded to
             :func:`repro.optimizer.candidates.candidate_operators` (ablations).
     """
@@ -79,6 +85,7 @@ class Optimizer:
         models: Optional[ModelRegistry] = None,
         lint: bool = True,
         batch_size: int = 1,
+        tracer=None,
         **candidate_options,
     ):
         self.policy = policy or MaxQuality()
@@ -87,6 +94,7 @@ class Optimizer:
         self.sample_size = sample_size
         self.models = models or default_registry()
         self.lint = lint
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.candidate_options = candidate_options
 
     def optimize(self, logical_plan: LogicalPlan,
@@ -103,13 +111,33 @@ class Optimizer:
             max_workers=self.max_workers,
             batch_size=self.batch_size,
         )
-        candidates = enumerate_plans(
-            logical_plan,
-            source,
-            self.models,
-            cost_model,
-            **self.candidate_options,
-        )
+        tracer = self.tracer
+        with tracer.span(
+            "optimize.enumerate", SpanKind.OPTIMIZE,
+            logical=logical_plan.describe(),
+        ) as enum_span:
+            candidates = enumerate_plans(
+                logical_plan,
+                source,
+                self.models,
+                cost_model,
+                **self.candidate_options,
+            )
+            if tracer.enabled:
+                space = plan_space_size(
+                    logical_plan, self.models, source,
+                    **self.candidate_options,
+                )
+                enum_span.set_attribute("plan_space", space)
+                enum_span.set_attribute("candidates", len(candidates))
+                enum_span.set_attribute(
+                    "pruned", max(0, space - len(candidates))
+                )
+                enum_span.set_attribute(
+                    "strategy",
+                    "exhaustive" if space <= EXHAUSTIVE_LIMIT
+                    else "pareto-dp",
+                )
 
         sentinel_cost = 0.0
         sentinel_time = 0.0
@@ -139,10 +167,19 @@ class Optimizer:
             candidates = updated
 
         estimates = [c.estimate for c in candidates]
-        chosen_estimate = self.policy.choose(estimates)
-        chosen = next(
-            c for c in candidates if c.estimate is chosen_estimate
-        )
+        with tracer.span(
+            "optimize.choose", SpanKind.OPTIMIZE,
+            policy=self.policy.describe(), candidates=len(candidates),
+        ) as choose_span:
+            chosen_estimate = self.policy.choose(estimates)
+            chosen = next(
+                c for c in candidates if c.estimate is chosen_estimate
+            )
+            if tracer.enabled:
+                choose_span.set_attribute("chosen_plan", chosen.plan.plan_id)
+                choose_span.set_attribute(
+                    "frontier", len(pareto_frontier(candidates))
+                )
         if self.batch_size > 1:
             chosen = PlanCandidate(
                 plan=chosen.plan.with_batch_size(self.batch_size),
@@ -206,11 +243,26 @@ class Optimizer:
                 ]
                 + candidate.plan.downstream
             )
+            # Fresh, tracer-free context: sentinel traffic is accounted
+            # separately and must not pollute the main run's trace.
             context = ExecutionContext(
                 max_workers=1, models=self.models
             )
             executor = SequentialExecutor(context)
-            sample_output, plan_stats = executor.execute(sample_plan)
+            with self.tracer.span(
+                "optimize.sentinel", SpanKind.OPTIMIZE,
+                plan_id=candidate.plan.plan_id,
+                sample_size=len(sample_records),
+            ) as sentinel_span:
+                sample_output, plan_stats = executor.execute(sample_plan)
+                if self.tracer.enabled:
+                    sentinel_span.set_attribute(
+                        "sample_cost_usd", round(plan_stats.total_cost_usd, 9)
+                    )
+                    sentinel_span.set_attribute(
+                        "sample_time_seconds",
+                        round(plan_stats.total_time_seconds, 9),
+                    )
             total_cost += plan_stats.total_cost_usd
             total_time += plan_stats.total_time_seconds
             if reference is not None:

@@ -9,6 +9,8 @@ from repro.llm.clock import VirtualClock
 from repro.llm.models import ModelRegistry, default_registry
 from repro.llm.oracle import GroundTruthRegistry, global_oracle
 from repro.llm.usage import UsageLedger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 
 class ExecutionContext:
@@ -26,6 +28,8 @@ class ExecutionContext:
         oracle: Optional[GroundTruthRegistry] = None,
         models: Optional[ModelRegistry] = None,
         cache: Optional[CallCache] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -35,11 +39,15 @@ class ExecutionContext:
         self.oracle = oracle if oracle is not None else global_oracle()
         self.models = models or default_registry()
         self.cache = cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def child(self) -> "ExecutionContext":
         """A fresh context sharing oracle/models but with its own meters.
 
-        Used for sentinel (sample) runs whose cost is reported separately.
+        Used for sentinel (sample) runs whose cost is reported separately;
+        the tracer is NOT inherited — sentinel traffic would otherwise
+        pollute the main run's trace.
         """
         return ExecutionContext(
             max_workers=self.max_workers,

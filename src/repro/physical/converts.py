@@ -139,6 +139,7 @@ class LLMConvertBonded(_ConvertBase):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
 
     def _request_for(self, record: DataRecord) -> ExtractionRequest:
@@ -406,6 +407,7 @@ class CodeSynthesisConvert(_ConvertBase):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
         self._code_client = SimulatedLLMClient(
             synthesized_code_model(self.model),
@@ -414,6 +416,7 @@ class CodeSynthesisConvert(_ConvertBase):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
         self._seen = 0
 
@@ -528,6 +531,7 @@ class ChunkedConvert(_ConvertBase):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
 
     def _extract_chunk(self, chunk: str) -> Any:

@@ -85,6 +85,7 @@ class LLMFilter(PhysicalOperator):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
 
     def _request_for(self, record: DataRecord) -> BooleanRequest:

@@ -125,6 +125,7 @@ class LLMSemanticJoin(_JoinBase):
             oracle=context.oracle,
             registry=context.models,
             cache=context.cache,
+            tracer=context.tracer,
         )
 
     def _pair_matches(self, left: DataRecord, right: DataRecord) -> bool:

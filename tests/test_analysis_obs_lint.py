@@ -1,0 +1,57 @@
+"""OB401: span naming/kind/attribute conventions over real traces."""
+
+import sys
+
+import pytest
+
+from repro.analysis import LintConfig, lint_trace
+from repro.execution.execute import Execute
+from repro.obs.trace import Span, SpanKind, Trace
+
+sys.path.insert(0, "tests")
+from test_execution_pipeline import make_source, shape_filter_convert
+
+
+def bad_trace():
+    root = Span("BadName", "mystery", 0.0, 1.0)  # bad name AND bad kind
+    root.children.append(
+        Span("op.process", SpanKind.OPERATOR, 0.0, 1.0))  # missing 'op'
+    root.children.append(
+        Span("llm.call", SpanKind.LLM, 0.0, 1.0,
+             attributes={"model": "gpt-4o"}))  # missing 'operation'
+    return Trace([root])
+
+
+class TestGolden:
+    def test_real_traces_are_clean(self):
+        source = make_source(6, "obslint-clean")
+        for kwargs in ({}, {"executor": "pipelined", "max_workers": 2}):
+            _, stats = Execute(shape_filter_convert(source), lint=False,
+                               trace=True, **kwargs)
+            result = lint_trace(stats.trace)
+            assert result.diagnostics == [], [
+                str(d) for d in result.diagnostics]
+
+    def test_bad_spans_flagged(self):
+        result = lint_trace(bad_trace())
+        messages = [d.message for d in result.diagnostics]
+        assert len(result.diagnostics) == 4
+        assert all(d.code == "OB401" for d in result.diagnostics)
+        assert any("not a dotted lowercase" in m for m in messages)
+        assert any("not in the SpanKind" in m for m in messages)
+        assert any("'op'" in m for m in messages)
+        assert any("'operation'" in m for m in messages)
+
+    def test_locations_name_the_span(self):
+        result = lint_trace(bad_trace())
+        assert any("(BadName)" in d.location for d in result.diagnostics)
+
+    def test_disable_by_family(self):
+        config = LintConfig(disabled=("OB",))
+        assert lint_trace(bad_trace(), config=config).diagnostics == []
+
+    def test_warnings_do_not_block(self):
+        # OB401 is warning severity: no error-level findings.
+        result = lint_trace(bad_trace())
+        assert result.errors == []
+        assert len(result.warnings) == 4

@@ -1,0 +1,94 @@
+"""The ``repro trace`` subcommand and ``--version``."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main, package_metadata
+
+
+def _load_validator():
+    path = (Path(__file__).resolve().parents[1]
+            / "scripts" / "validate_trace.py")
+    spec = importlib.util.spec_from_file_location("validate_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validate_trace = _load_validator()
+
+
+@pytest.fixture(scope="module")
+def trace_data_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("trace-corpora"))
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {__version__}"
+
+    def test_metadata_matches_pyproject(self):
+        version, description = package_metadata()
+        assert version == __version__
+        assert "PalimpChat" in description
+
+    def test_parser_prog_and_description(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+        assert "PalimpChat" in parser.description
+
+
+class TestTraceCommand:
+    def test_summary_view(self, trace_data_dir, capsys):
+        code = main(["trace", "--workers", "2", "--batch-size", "1",
+                     "--data-dir", trace_data_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "spans" in out
+        assert "Critical path (pipelined run)" in out
+        assert "bounding stage:" in out
+
+    def test_critical_path_view_sequential(self, trace_data_dir, capsys):
+        code = main(["trace", "--executor", "sequential",
+                     "--view", "critical-path",
+                     "--data-dir", trace_data_dir])
+        assert code == 0
+        assert "Hotspots (non-pipelined run)" in capsys.readouterr().out
+
+    def test_tree_and_flame_views(self, trace_data_dir, capsys):
+        assert main(["trace", "--view", "tree", "--workers", "2",
+                     "--data-dir", trace_data_dir]) == 0
+        assert "plan.run" in capsys.readouterr().out
+        assert main(["trace", "--view", "flame", "--workers", "2",
+                     "--data-dir", trace_data_dir]) == 0
+        assert "llm.call" in capsys.readouterr().out
+
+    def test_chrome_output_validates(self, trace_data_dir, tmp_path,
+                                     capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--workers", "2",
+                     "--data-dir", trace_data_dir,
+                     "--output", str(out_path)])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_trace.validate_chrome_trace(payload) == []
+        assert "metrics" in payload["otherData"]
+
+    def test_plain_json_output(self, trace_data_dir, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--workers", "2",
+                     "--data-dir", trace_data_dir,
+                     "--output", str(out_path), "--format", "json"])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro.obs/v1"
+        assert payload["span_count"] == len(payload["spans"])

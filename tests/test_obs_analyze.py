@@ -1,0 +1,140 @@
+"""Critical-path analysis, hotspot fallback, and the text renderers."""
+
+import sys
+
+import pytest
+
+from repro.execution.execute import Execute
+from repro.obs.analyze import aggregate_ops, analyze_critical_path
+from repro.obs.render import render_flame, render_tree
+from repro.obs.trace import Span, SpanKind, Trace, Tracer
+
+sys.path.insert(0, "tests")
+from test_execution_pipeline import make_source, shape_filter_convert
+
+
+def synthetic_pipeline_trace():
+    """plan.run with two stages: stage 1 (2 workers) bounds the run."""
+    root = Span("plan.run", SpanKind.PLAN, 0.0, 100.0,
+                attributes={"executor": "pipelined"})
+    root.children.append(Span(
+        "pipeline.stage", SpanKind.STAGE, 0.0, 100.0,
+        attributes={"stage": 0, "ops": "scan", "workers": 1,
+                    "busy_seconds": 20.0, "records_out": 10},
+    ))
+    root.children.append(Span(
+        "pipeline.stage", SpanKind.STAGE, 0.0, 100.0,
+        attributes={"stage": 1, "ops": "parallel(filter)", "workers": 2,
+                    "busy_seconds": 180.0, "records_out": 5},
+    ))
+    return Trace([root])
+
+
+class TestPipelineReport:
+    def test_bounding_stage_by_effective_time(self):
+        report = analyze_critical_path(synthetic_pipeline_trace())
+        assert report.mode == "pipeline"
+        assert report.makespan == 100.0
+        assert report.bounding_stage.name == "parallel(filter)"
+        assert report.bounding_stage.effective_seconds == 90.0
+
+    def test_stage_math(self):
+        report = analyze_critical_path(synthetic_pipeline_trace())
+        scan, filt = report.stages
+        assert scan.effective_seconds == 20.0
+        assert scan.idle_seconds == 80.0
+        assert scan.utilization == pytest.approx(0.2)
+        assert filt.idle_seconds == pytest.approx(20.0)  # 2*100 - 180
+        assert filt.utilization == pytest.approx(0.9)
+
+    def test_render_names_bounding_stage(self):
+        text = analyze_critical_path(synthetic_pipeline_trace()).render()
+        assert "Critical path (pipelined run)" in text
+        assert "<-- bounds the run" in text
+        assert "bounding stage: parallel(filter)" in text
+
+    def test_to_dict(self):
+        payload = analyze_critical_path(synthetic_pipeline_trace()).to_dict()
+        assert payload["bounding_stage"] == "parallel(filter)"
+        assert len(payload["stages"]) == 2
+
+
+class TestHotspotFallback:
+    def test_sequential_trace_falls_back(self):
+        source = make_source(6, "analyze-seq")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           trace=True)
+        report = analyze_critical_path(stats.trace)
+        assert report.mode == "hotspot"
+        assert report.bounding_stage is not None
+        # The hottest operator leads the (sorted) stage list.
+        assert report.stages[0].is_bounding
+        assert report.stages[0].busy_seconds == max(
+            s.busy_seconds for s in report.stages)
+        assert "Hotspots" in report.render()
+
+    def test_empty_trace(self):
+        report = analyze_critical_path(Trace([]))
+        assert report.bounding_stage is None
+        assert report.stages == []
+
+
+class TestAggregateOps:
+    def test_reconciles_with_operator_stats(self):
+        source = make_source(6, "analyze-agg")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           trace=True)
+        aggregated = aggregate_ops(stats.trace)
+        for op in stats.plan_stats.operator_stats:
+            entry = aggregated[op.op_label]
+            assert entry["busy_seconds"] == pytest.approx(
+                op.time_seconds, abs=1e-6)
+            assert entry["records_in"] == op.records_in
+            assert entry["records_out"] == op.records_out
+
+    def test_ignores_non_operator_spans(self):
+        tracer = Tracer()
+        tracer.record("llm.call", SpanKind.LLM, 0.0, 1.0, 0, model="m",
+                      operation="filter")
+        assert aggregate_ops(tracer.finish()) == {}
+
+
+class TestRenderers:
+    def test_tree_shows_nesting_and_attrs(self):
+        source = make_source(4, "analyze-tree")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           trace=True)
+        text = render_tree(stats.trace)
+        lines = text.splitlines()
+        # Optimizer roots precede the run root; both are top-level.
+        assert any(line.startswith("optimize.enumerate") for line in lines)
+        assert any(line.startswith("plan.run") for line in lines)
+        assert any(line.startswith("  ") and "op." in line
+                   for line in lines)
+        assert "model=" in text
+
+    def test_tree_depth_and_children_limits(self):
+        source = make_source(6, "analyze-tree2")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           trace=True)
+        shallow = render_tree(stats.trace, max_depth=1)
+        assert "below max depth" in shallow
+        narrow = render_tree(stats.trace, max_children=1)
+        assert "more sibling span(s)" in narrow
+
+    def test_empty_tree(self):
+        assert render_tree(Trace([])) == "(empty trace)"
+
+    def test_flame_aggregates_paths(self):
+        source = make_source(6, "analyze-flame")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           trace=True)
+        text = render_flame(stats.trace)
+        assert "plan.run" in text
+        assert ";" in text  # nested paths
+        assert "#" in text  # bars
+        # Repeated per-record spans collapse into one aggregated row.
+        assert any(" x" in line for line in text.splitlines())
+
+    def test_flame_empty(self):
+        assert render_flame(Trace([])) == "(no timed spans)"

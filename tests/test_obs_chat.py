@@ -1,0 +1,113 @@
+"""Chat-layer observability: session traces and "what took so long"."""
+
+import pytest
+
+from repro.chat.intent import plan_requests
+from repro.chat.session import PalimpChatSession
+from repro.chat.workspace import PipelineWorkspace
+from repro.obs.trace import SpanKind
+
+
+@pytest.fixture()
+def session(sigmod_demo):
+    return PalimpChatSession()
+
+
+def run_pipeline(session):
+    session.chat("Load the papers from the sigmod-demo dataset")
+    session.chat("Keep only the papers about colorectal cancer")
+    session.chat("Maximize quality and run the pipeline")
+
+
+class TestExplainIntent:
+    @pytest.mark.parametrize("message", [
+        "What took so long?",
+        "Explain the last run",
+        "Why was it so slow?",
+        "Profile the previous execution",
+        "What was the bottleneck?",
+        "Where did the time go?",
+    ])
+    def test_phrasings_route_to_explain(self, message):
+        calls = plan_requests(message, PipelineWorkspace())
+        assert [c.tool_name for c in calls] == ["explain_execution"]
+
+    def test_run_phrasings_still_execute(self):
+        workspace = PipelineWorkspace()
+        calls = plan_requests("run the pipeline", workspace)
+        assert [c.tool_name for c in calls] == ["execute_pipeline"]
+        # "explain the plans" keeps meaning plan-space explanation.
+        calls = plan_requests("explain the plans", workspace)
+        assert "explain_execution" not in [c.tool_name for c in calls]
+
+
+class TestExplainExecutionTool:
+    def test_answers_after_a_run(self, session):
+        run_pipeline(session)
+        reply = session.chat("What took so long?")
+        assert reply.tool_sequence == ["explain_execution"]
+        assert "Hotspots" in reply.text or "Critical path" in reply.text
+        assert "LLM calls:" in reply.text
+
+    def test_errors_before_any_run(self, session):
+        session.chat("Load the papers from the sigmod-demo dataset")
+        reply = session.chat("What took so long?")
+        assert "explain_execution" in reply.tool_sequence
+        assert "no pipeline has been executed" in reply.text.lower() \
+            or "error" in reply.text.lower()
+
+    def test_last_trace_stored_on_workspace(self, session):
+        run_pipeline(session)
+        assert session.last_trace is not None
+        assert session.last_trace.first("plan.run") is not None
+
+
+class TestSessionTrace:
+    def test_chat_turn_spans_per_message(self, session):
+        session.chat("Load the papers from the sigmod-demo dataset")
+        session.chat("Keep only the papers about colorectal cancer")
+        trace = session.session_trace()
+        turns = trace.find("chat.turn")
+        assert len(turns) == 2
+        assert [t.attributes["turn"] for t in turns] == [0, 1]
+
+    def test_nesting_chat_agent_tool_llm(self, session):
+        session.chat("Load the papers from the sigmod-demo dataset")
+        trace = session.session_trace()
+        turn = trace.first("chat.turn")
+        run = trace.first("agent.run")
+        step = trace.first("agent.step")
+        invoke = trace.first("tool.invoke")
+        assert run.parent_id == turn.span_id
+        assert step.parent_id == run.span_id
+        assert invoke.attributes["tool"] == "load_dataset"
+        # The intent decomposition is traced under the agent's run.
+        assert trace.first("chat.intent") is not None
+
+    def test_agent_events_recorded(self, session):
+        session.chat("Load the papers from the sigmod-demo dataset")
+        trace = session.session_trace()
+        thoughts = trace.find("agent.thought")
+        observations = trace.find("agent.observation")
+        assert thoughts and observations
+        assert all(t.duration == 0.0 for t in thoughts)
+        assert all(t.kind == SpanKind.AGENT for t in thoughts)
+
+    def test_untraced_session_records_nothing(self, sigmod_demo):
+        session = PalimpChatSession(trace=False)
+        session.chat("Load the papers from the sigmod-demo dataset")
+        assert len(session.session_trace()) == 0
+
+    def test_tracing_does_not_change_replies(self, sigmod_demo):
+        traced = PalimpChatSession()
+        untraced = PalimpChatSession(trace=False)
+        prompts = [
+            "Load the papers from the sigmod-demo dataset",
+            "Keep only the papers about colorectal cancer",
+            "Maximize quality and run the pipeline",
+        ]
+        for prompt in prompts:
+            reply_t = traced.chat(prompt)
+            reply_u = untraced.chat(prompt)
+            assert reply_t.text == reply_u.text
+            assert reply_t.tool_sequence == reply_u.tool_sequence
