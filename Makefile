@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec perf lint trace examples all clean
+.PHONY: install test bench bench-exec perf lint trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,17 @@ trace:
 	PYTHONPATH=src python -m repro trace --workers 2 --batch-size 2 \
 		--view critical-path --output /tmp/repro-trace.json
 	python scripts/validate_trace.py /tmp/repro-trace.json
+
+# Record two demo runs (different policies) into a scratch registry,
+# validate their provenance graphs, and print the run diff.
+runs:
+	PYTHONPATH=src python -m repro runs record --policy quality \
+		--runs-dir /tmp/repro-runs
+	PYTHONPATH=src python -m repro runs record --policy cost \
+		--runs-dir /tmp/repro-runs
+	PYTHONPATH=src python scripts/validate_trace.py --kind provenance \
+		/tmp/repro-runs/run-0001/provenance.json
+	PYTHONPATH=src python -m repro runs diff --runs-dir /tmp/repro-runs
 
 examples:
 	python examples/quickstart.py

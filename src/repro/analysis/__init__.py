@@ -9,7 +9,8 @@ Three analyzer families share one diagnostics vocabulary:
 * ``CG3xx`` (:mod:`repro.analysis.codegen_lint`) — AST checks over
   generated programs and structural checks over exported notebooks.
 * ``OB4xx`` (:mod:`repro.analysis.obs_lint`) — span naming/attribute
-  conventions over finalized execution traces.
+  conventions over finalized execution traces and event conventions
+  over finalized provenance graphs.
 
 ``repro lint`` (the CLI) drives all three; see ``docs/diagnostics.md``
 for the full rule table.
@@ -41,7 +42,7 @@ from repro.analysis.codegen_lint import (
     lint_program,
     lint_workspace_steps,
 )
-from repro.analysis.obs_lint import lint_trace
+from repro.analysis.obs_lint import lint_provenance, lint_trace
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -61,6 +62,7 @@ __all__ = [
     "lint_tool",
     "lint_notebook",
     "lint_program",
+    "lint_provenance",
     "lint_trace",
     "lint_workspace_steps",
 ]

@@ -1,4 +1,4 @@
-"""pz-lint ``OB4xx``: observability conventions over finalized traces.
+"""pz-lint ``OB4xx``: observability conventions over finalized artifacts.
 
 The tracing subsystem (:mod:`repro.obs`) has naming and attribute
 conventions — span names are lowercase dotted identifiers
@@ -10,8 +10,12 @@ reads ``op`` off operator spans).  ``lint_trace`` checks a finalized
 :class:`~repro.obs.trace.Trace` against those conventions so new
 instrumentation can't silently break the analysis and export layers.
 
-This is the first rule of the family; further ``OB4xx`` rules (duration
-reconciliation, lane consistency) can register alongside it.
+``lint_provenance`` (``OB402``) does the same for finalized
+:class:`~repro.obs.provenance.ProvenanceGraph` objects: drop events name
+a reason from the :data:`~repro.obs.provenance.DROP_REASONS` enum and
+eliminate exactly one record, emit events derive at least one child, and
+every event references live node ids — so a new operator's
+instrumentation can't silently corrupt ``why``/``why_not`` answers.
 """
 
 from __future__ import annotations
@@ -32,6 +36,14 @@ register_rule(
     "OB401", "span-conventions",
     "a span violates naming/kind/attribute conventions "
     "(dotted lowercase name, known kind, required attributes)",
+    Severity.WARNING,
+)
+
+register_rule(
+    "OB402", "provenance-conventions",
+    "a provenance event violates graph conventions (unknown drop "
+    "reason, wrong parent/child arity, dead node reference, or a "
+    "pass-through emit without evidence attributes)",
     Severity.WARNING,
 )
 
@@ -92,4 +104,110 @@ def lint_trace(
                     location,
                     hint="the analysis/export layers read this attribute",
                 )
+    return result
+
+
+def lint_provenance(
+    graph,
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """Check a finalized :class:`ProvenanceGraph` against OB402.
+
+    Accepts a :class:`~repro.obs.provenance.ProvenanceGraph` or its
+    ``to_dict()`` payload (so a ``provenance.json`` loaded from a run
+    registry can be linted without reconstructing the object).
+    """
+    from repro.obs.provenance import DROP_REASONS
+
+    result = result if result is not None else LintResult()
+    emitter = Emitter(result, config)
+    payload = graph if isinstance(graph, dict) else graph.to_dict()
+    node_ids = {node["id"] for node in payload["nodes"]}
+
+    for index, event in enumerate(payload["events"]):
+        label = event.get("op_label", event.get("op"))
+        location = f"event#{index}({label})"
+        parents = event.get("parents", [])
+        children = event.get("children", [])
+        for ref in list(parents) + list(children):
+            if ref not in node_ids:
+                emitter.emit(
+                    "OB402",
+                    f"event references node {ref}, which is not in the "
+                    "graph",
+                    location,
+                    hint="register records via source() or emit() before "
+                         "referencing them",
+                )
+        if event["kind"] == "drop":
+            if event.get("reason") not in DROP_REASONS:
+                emitter.emit(
+                    "OB402",
+                    f"drop reason {event.get('reason')!r} is not in the "
+                    "DropReason enum",
+                    location,
+                    hint=f"use one of {sorted(DROP_REASONS)}",
+                )
+            if len(parents) != 1 or children:
+                emitter.emit(
+                    "OB402",
+                    "a drop event must eliminate exactly one record "
+                    f"(got {len(parents)} parents, {len(children)} "
+                    "children)",
+                    location,
+                    hint="report one drop() per eliminated record",
+                )
+        elif event["kind"] == "emit":
+            if event.get("reason"):
+                emitter.emit(
+                    "OB402",
+                    "an emit event must not carry a drop reason",
+                    location,
+                    hint="reasons belong on drop events",
+                )
+            if not children:
+                emitter.emit(
+                    "OB402",
+                    "an emit event must derive at least one child",
+                    location,
+                    hint="use drop() when a record is eliminated",
+                )
+            # Empty-input aggregates legitimately emit with no parents
+            # and mark the case with folded=0.
+            if not parents and event.get("attrs", {}).get("folded") != 0:
+                emitter.emit(
+                    "OB402",
+                    "an emit event must have at least one parent",
+                    location,
+                    hint="only empty-input aggregates (folded=0) may "
+                         "emit parentless records",
+                )
+            if (parents and parents == children
+                    and not event.get("attrs")
+                    and not event.get("llm")):
+                emitter.emit(
+                    "OB402",
+                    "a pass-through emit carries no evidence "
+                    "(no attributes, no llm summary)",
+                    location,
+                    hint="record why the record survived (verdict, "
+                         "position, score, ...)",
+                )
+        else:
+            emitter.emit(
+                "OB402",
+                f"unknown event kind {event['kind']!r}",
+                location,
+                hint="events are 'emit' or 'drop'",
+            )
+
+    for output_id in payload["output_ids"]:
+        if output_id not in node_ids:
+            emitter.emit(
+                "OB402",
+                f"output id {output_id} is not a node in the graph",
+                "outputs",
+                hint="outputs must be finalized graph nodes",
+            )
     return result

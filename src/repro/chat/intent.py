@@ -133,6 +133,26 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
         r"\b(?:last|previous|that|the) (?:run|execution)\b"
         r"|\bwhere did (?:all )?the time go\b|\bcritical path\b"
         r"|\bwhat was the bottleneck\b|\bbounding stage\b", re.I)),
+    # Provenance questions — before "execute"/"show" so spans like "what
+    # changed since the last run" suppress the contained "run" hit.
+    ("why_not", re.compile(
+        r"\bwhy (?:isn't|wasn't|aren't|weren't|is not|was not|didn't"
+        r"|did not)\b"
+        r"|\bwhat happened to\b"
+        r"|\bwhy\b[^.?]*\bnot in the (?:output|results?)\b"
+        r"|\bwhy (?:is|was)\b[^.?]*\b(?:dropped|filtered out|eliminated"
+        r"|excluded|missing|removed)\b", re.I)),
+    ("why_record", re.compile(
+        r"\bwhy (?:is|was|are|were) (?!not\b|n't)(?:(?!\bnot\b)[^.?])*"
+        r"\bin the (?:output|results?)\b"
+        r"|\b(?:explain|how was|where did|where does) record\s*#?\d+"
+        r"|\bprovenance of\b|\bderivation (?:tree|of)\b", re.I)),
+    ("compare_runs", re.compile(
+        r"\bwhat(?:'s| is| has)? changed? since (?:the )?(?:last|previous)"
+        r" run\b"
+        r"|\b(?:compare|diff)\b(?:\s+\w+){0,3}\s+runs\b"
+        r"|\b(?:compare|diff)\b(?:\s+\w+){0,2}\s+(?:last|previous) run\b"
+        r"|\bhow (?:do|did) the (?:two )?runs differ\b", re.I)),
     ("execute", re.compile(r"\b(run|execute|launch|process the)\b", re.I)),
     ("stats", re.compile(
         r"\bhow (?:much|long)\b|\bstatistics\b|\bstats\b|\bcosted\b"
@@ -315,6 +335,40 @@ def _parse_extract(clause: str) -> Dict[str, Any]:
     }
 
 
+_RECORD_ID_RE = re.compile(r"(?:record|#)\s*#?(\d+)", re.I)
+_SOURCE_TOKEN_RE = re.compile(r"\b([A-Za-z0-9][\w\-]*[._][\w.\-]*\w)\b")
+_WHY_NOT_LEAD_RE = re.compile(
+    r"^\W*(?:why (?:isn't|wasn't|aren't|weren't|is not|was not|didn't"
+    r"|did not)|what happened to|why (?:is|was))\s*", re.I)
+
+
+def _parse_record_id(clause: str) -> int:
+    """'why is record 3 in the output' -> 3 (0 when unnumbered)."""
+    match = _RECORD_ID_RE.search(clause)
+    return int(match.group(1)) if match else 0
+
+
+def _parse_source_ref(clause: str) -> str:
+    """The source document a why-not question asks about.
+
+    Prefers a quoted name, then a filename-looking token (contains
+    ``_`` or ``.``), then the words after the question lead — the
+    provenance graph matches sources by substring, so a loose phrase
+    still finds the record.
+    """
+    quoted = _QUOTED_RE.search(clause)
+    if quoted:
+        return quoted.group(1) or quoted.group(2)
+    token = _SOURCE_TOKEN_RE.search(clause)
+    if token:
+        return token.group(1)
+    tail = _WHY_NOT_LEAD_RE.sub("", clause)
+    tail = re.split(r"\bnot in the\b|\bin the\b|[?.!]", tail)[0]
+    words = [w for w in re.findall(r"[\w\-]+", tail)
+             if w.lower() not in _ARTICLES]
+    return " ".join(words[:4])
+
+
 # ---------------------------------------------------------------------------
 # The planner and the brain.
 # ---------------------------------------------------------------------------
@@ -397,6 +451,32 @@ def plan_requests(message: str,
             calls.append(ToolCall(
                 thought="Explain the last run from its execution trace.",
                 tool_name="explain_execution",
+                arguments={},
+            ))
+        elif intent == "why_record":
+            record_id = _parse_record_id(clause)
+            calls.append(ToolCall(
+                thought=(
+                    "Explain how that output record was derived, from "
+                    "the run's provenance graph."
+                ),
+                tool_name="explain_record",
+                arguments={"record_id": record_id},
+            ))
+        elif intent == "why_not":
+            source = _parse_source_ref(clause)
+            calls.append(ToolCall(
+                thought=(
+                    f"Trace the fate of source {source!r} through the "
+                    "run's provenance graph."
+                ),
+                tool_name="explain_record",
+                arguments={"source": source},
+            ))
+        elif intent == "compare_runs":
+            calls.append(ToolCall(
+                thought="Diff the last two runs of this session.",
+                tool_name="compare_runs",
                 arguments={},
             ))
         elif intent == "stats":

@@ -202,3 +202,13 @@ class PalimpChatSession:
     @property
     def last_stats(self):
         return self.workspace.last_stats
+
+    @property
+    def last_provenance(self):
+        """ProvenanceGraph of the last pipeline run via chat (or None)."""
+        return self.workspace.last_provenance
+
+    @property
+    def run_history(self):
+        """RunSnapshots of every pipeline execution in this session."""
+        return self.workspace.run_history

@@ -198,10 +198,17 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             batch_size=workspace.batch_size,
             lint=False,  # already linted above, with a friendlier message
             trace=True,  # so explain_execution can answer "what took so long"
+            provenance=True,  # so explain_record can answer "why is X here"
         )
         workspace.last_records = records
         workspace.last_stats = stats
         workspace.last_trace = stats.trace
+        workspace.last_provenance = stats.provenance
+        from repro.obs.registry import RunSnapshot
+
+        workspace.run_history.append(RunSnapshot.from_execution(
+            f"run-{len(workspace.run_history) + 1}", records, stats
+        ))
         workspace.log_step(
             "execute",
             policy=workspace.policy.describe(),
@@ -276,6 +283,79 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             lines.append("")
             lines.append(f"LLM calls: {calls}{cache_note}.")
         return "\n".join(lines)
+
+    @tool()
+    def explain_record(
+        record_id: int = 0,
+        source: str = "",
+        agent: AgentRef = None,
+    ) -> str:
+        """Explain a record of the last run from its provenance graph.
+
+        Use when the user asks why a record is in the output (pass its
+        record_id) or why a source document is NOT in the output (pass
+        the source name in ``source``).  With neither argument, lists
+        the output records with their provenance ids.
+
+        Args:
+            record_id: provenance id of an output record to explain.
+            source: a source document id/name to trace the fate of.
+
+        Returns:
+            a rendered derivation tree (why), fate report (why-not),
+            or output-record listing.
+
+        Examples:
+            explain_record(record_id=3)
+            explain_record(source="paper_007")
+        """
+        graph = workspace.last_provenance
+        if graph is None:
+            raise ToolError(
+                "no provenance recorded yet; execute the pipeline first"
+            )
+        from repro.obs import ProvenanceError, render_why, render_why_not
+
+        if source:
+            return render_why_not(graph.why_not(source))
+        if record_id:
+            try:
+                return render_why(graph.why(int(record_id)))
+            except ProvenanceError as exc:
+                raise ToolError(str(exc)) from None
+        if not graph.output_ids:
+            return "The last execution produced no records to explain."
+        lines = ["Output records (ask about one by its #id):"]
+        for node_id in graph.output_ids:
+            node = graph.node(node_id)
+            lines.append(f"  #{node_id} [{node['schema']}] {node['preview']}")
+        return "\n".join(lines)
+
+    @tool()
+    def compare_runs(agent: AgentRef = None) -> str:
+        """Compare the last two pipeline executions of this session.
+
+        Use when the user asks what changed since the last run.  Reports
+        plan changes, per-operator cost/time/selectivity deltas, and the
+        output records that appeared or disappeared — each explained
+        from the runs' provenance graphs.
+
+        Returns:
+            the rendered run diff (plan, per-operator, and membership
+            deltas).
+
+        Examples:
+            compare_runs()
+        """
+        history = workspace.run_history
+        if len(history) < 2:
+            raise ToolError(
+                "need at least two executions to compare; "
+                f"this session has {len(history)}"
+            )
+        from repro.obs.registry import diff_runs
+
+        return diff_runs(history[-2], history[-1]).render()
 
     @tool()
     def show_records(limit: int = 10, agent: AgentRef = None) -> str:
@@ -464,6 +544,8 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         execute_pipeline,
         get_execution_stats,
         explain_execution,
+        explain_record,
+        compare_runs,
         show_records,
         describe_pipeline,
         list_datasets,

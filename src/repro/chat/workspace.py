@@ -52,6 +52,13 @@ class PipelineWorkspace:
         #: Finalized repro.obs Trace of the last execution (None until a
         #: pipeline has run); explain_execution answers from it.
         self.last_trace: Optional[Any] = None
+        #: Canonical ProvenanceGraph of the last execution (None until a
+        #: pipeline has run); explain_record answers from it.
+        self.last_provenance: Optional[Any] = None
+        #: In-memory RunSnapshots of every execution this session, in
+        #: order; compare_runs diffs the last two.  Survives reset() —
+        #: the runs happened even if the pipeline is discarded.
+        self.run_history: List[Any] = []
 
     # -- step log ----------------------------------------------------------
 
@@ -104,6 +111,7 @@ class PipelineWorkspace:
         self.last_records = None
         self.last_stats = None
         self.last_trace = None
+        self.last_provenance = None
 
     def reset(self) -> None:
         self.current = None
@@ -113,6 +121,7 @@ class PipelineWorkspace:
         self.last_records = None
         self.last_stats = None
         self.last_trace = None
+        self.last_provenance = None
 
     def describe_pipeline(self) -> str:
         if self.current is None:

@@ -11,6 +11,9 @@ Commands:
   (the pz-lint rules; see ``docs/diagnostics.md``).
 * ``trace`` — run a demo scenario with tracing on and analyze/export the
   trace (Chrome ``trace_event`` JSON, critical path, tree, flame).
+* ``runs`` — the persistent run registry: record demo runs with
+  provenance, list/show them, explain records (``why`` / ``why-not``),
+  and diff two runs (plan, per-op stats, record membership).
 """
 
 from __future__ import annotations
@@ -349,6 +352,22 @@ def _cmd_trace(args) -> int:
         )
         print()
         print(report.render())
+        histograms = [
+            (name, value) for name, value in sorted(stats.metrics.items())
+            if isinstance(value, dict) and "p50" in value
+            and value.get("count")
+        ]
+        if histograms:
+            print()
+            print("histograms (deterministic nearest-rank quantiles):")
+            print(f"  {'metric':<30} {'count':>6} {'p50':>12} "
+                  f"{'p95':>12} {'p99':>12}")
+            for name, value in histograms:
+                print(
+                    f"  {name:<30} {value['count']:>6} "
+                    f"{value['p50']:>12.6f} {value['p95']:>12.6f} "
+                    f"{value['p99']:>12.6f}"
+                )
     if args.output:
         writer = (
             write_chrome_trace if args.format == "chrome"
@@ -356,6 +375,130 @@ def _cmd_trace(args) -> int:
         )
         writer(trace, args.output, metrics=stats.metrics)
         print(f"\ntrace written to {args.output} ({args.format} format)")
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    from repro.obs import RunRegistry, render_why, render_why_not
+
+    registry = RunRegistry(args.runs_dir)
+
+    if args.runs_command == "record":
+        dataset = _demo_pipelines(args.data_dir)[args.scenario]
+        records, stats = pz.Execute(
+            dataset,
+            policy=args.policy,
+            max_workers=args.workers,
+            executor=args.executor,
+            batch_size=args.batch_size,
+            trace=True,
+            provenance=True,
+        )
+        snapshot = registry.record(records, stats)
+        print(
+            f"recorded {snapshot.run_id}: {args.scenario} scenario, "
+            f"{args.policy} policy, {len(records)} records, "
+            f"${stats.total_cost_usd:.4f} "
+            f"(plan {stats.plan_stats.plan_id})"
+        )
+        print(f"stored under {registry.root / snapshot.run_id}")
+        return 0
+
+    if args.runs_command == "list":
+        rows = registry.list()
+        if not rows:
+            print(f"no recorded runs under {registry.root}")
+            return 0
+        header = (
+            f"{'run':<10} {'policy':<9} {'executor':<11} {'plan':<13} "
+            f"{'records':>7} {'cost($)':>9} {'time(s)':>9}"
+        )
+        print(header)
+        print("-" * len(header))
+        for meta in rows:
+            print(
+                f"{meta['run_id']:<10} {meta.get('policy', '?'):<9} "
+                f"{meta.get('executor', '?'):<11} "
+                f"{meta.get('plan_id', '?'):<13} "
+                f"{meta.get('records_out', 0):>7} "
+                f"{meta.get('total_cost_usd', 0.0):>9.4f} "
+                f"{meta.get('total_time_seconds', 0.0):>9.1f}"
+            )
+        return 0
+
+    # Remaining subcommands operate on stored runs.
+    run_id = args.run or registry.latest()
+    if run_id is None:
+        print(f"no recorded runs under {registry.root}; "
+              "use 'repro runs record' first", file=sys.stderr)
+        return 2
+    try:
+        snapshot = registry.load(run_id)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.runs_command == "show":
+        for key, value in sorted(snapshot.meta.items()):
+            print(f"{key:<20} {value}")
+        operators = (snapshot.stats.get("plan") or {}).get("operators") or []
+        if operators:
+            print()
+            print(f"{'operator':<38} {'in':>5} {'out':>5} "
+                  f"{'time(s)':>9} {'cost($)':>9} {'calls':>6}")
+            for row in operators:
+                print(
+                    f"{row['operator']:<38} {row['records_in']:>5} "
+                    f"{row['records_out']:>5} {row['time_seconds']:>9.1f} "
+                    f"{row['cost_usd']:>9.4f} {row['llm_calls']:>6}"
+                )
+        if snapshot.graph is not None:
+            print()
+            print(f"provenance: {len(snapshot.graph.nodes)} records, "
+                  f"{len(snapshot.graph.events)} events, "
+                  f"outputs {snapshot.graph.output_ids}")
+        return 0
+
+    if args.runs_command == "why":
+        if snapshot.graph is None:
+            print(f"error: {run_id} has no provenance graph",
+                  file=sys.stderr)
+            return 2
+        if args.record is None:
+            print(f"{run_id} output records "
+                  f"(pass an id to 'repro runs why'):")
+            for node_id in snapshot.graph.output_ids:
+                node = snapshot.graph.node(node_id)
+                print(f"  #{node_id} [{node['schema']}] {node['preview']}")
+            return 0
+        from repro.obs import ProvenanceError
+
+        try:
+            print(render_why(snapshot.graph.why(args.record)))
+        except ProvenanceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.runs_command == "why-not":
+        if snapshot.graph is None:
+            print(f"error: {run_id} has no provenance graph",
+                  file=sys.stderr)
+            return 2
+        print(render_why_not(snapshot.graph.why_not(args.source)))
+        return 0
+
+    # diff: snapshot is run b (or latest); a defaults to the run before b.
+    other = args.against or registry.latest(before=run_id)
+    if other is None:
+        print(f"error: no earlier run to diff {run_id} against",
+              file=sys.stderr)
+        return 2
+    diff = registry.diff(other, run_id)
+    if args.format == "json":
+        print(diff.to_json())
+    else:
+        print(diff.render())
     return 0
 
 
@@ -467,6 +610,77 @@ def build_parser() -> argparse.ArgumentParser:
                        default="summary",
                        help="what analysis to print")
 
+    runs = sub.add_parser(
+        "runs",
+        help="record, inspect, explain, and diff executions",
+        description="The persistent run registry. 'record' executes a "
+                    "demo scenario with provenance + tracing on and "
+                    "stores it under the runs directory; 'why' explains "
+                    "how an output record was derived, 'why-not' "
+                    "explains what eliminated a source record, and "
+                    "'diff' compares two runs (plan, per-operator "
+                    "stats, record membership with explanations).",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_dir(p):
+        from repro.obs.registry import DEFAULT_RUNS_DIR
+
+        p.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                       help="registry directory "
+                            f"(default: {DEFAULT_RUNS_DIR})")
+
+    record = runs_sub.add_parser(
+        "record", help="execute a demo scenario and store the run")
+    record.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                        default="sci",
+                        help="; ".join(f"{k}: {v}" for k, v in
+                                       _SCENARIOS.items()))
+    record.add_argument("--policy", default="quality",
+                        help="quality | cost | runtime")
+    record.add_argument("--workers", type=int, default=1)
+    record.add_argument("--executor",
+                        choices=("sequential", "parallel", "pipelined"),
+                        default="sequential")
+    record.add_argument("--batch-size", type=int, default=1)
+    record.add_argument("--data-dir", default=None,
+                        help="where to generate/reuse the demo corpora")
+    _runs_dir(record)
+
+    runs_list = runs_sub.add_parser("list", help="list stored runs")
+    _runs_dir(runs_list)
+
+    show = runs_sub.add_parser("show", help="metadata + per-op stats "
+                                            "of one run")
+    show.add_argument("run", nargs="?", default=None,
+                      help="run id (default: latest)")
+    _runs_dir(show)
+
+    why = runs_sub.add_parser(
+        "why", help="derivation tree of an output record")
+    why.add_argument("record", nargs="?", type=int, default=None,
+                     help="canonical record id (omit to list outputs)")
+    why.add_argument("--run", default=None,
+                     help="run id (default: latest)")
+    _runs_dir(why)
+
+    why_not = runs_sub.add_parser(
+        "why-not", help="what eliminated a source record")
+    why_not.add_argument("source",
+                         help="source document id (or a substring)")
+    why_not.add_argument("--run", default=None,
+                         help="run id (default: latest)")
+    _runs_dir(why_not)
+
+    diff = runs_sub.add_parser("diff", help="compare two stored runs")
+    diff.add_argument("run", nargs="?", default=None,
+                      help="newer run id (default: latest)")
+    diff.add_argument("--against", default=None, metavar="RUN",
+                      help="older run id (default: the run before)")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    _runs_dir(diff)
+
     return parser
 
 
@@ -479,6 +693,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chat": _cmd_chat,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "runs": _cmd_runs,
     }
     return handlers[args.command](args)
 

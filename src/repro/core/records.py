@@ -35,11 +35,13 @@ class DataRecord:
         schema: Type[Schema],
         source_id: Optional[str] = None,
         parent: Optional["DataRecord"] = None,
+        extra_parents: Iterable["DataRecord"] = (),
     ):
         object.__setattr__(self, "_schema", schema)
         object.__setattr__(self, "_values", {})
         object.__setattr__(self, "_source_id", source_id)
         object.__setattr__(self, "_parent", parent)
+        object.__setattr__(self, "_extra_parents", tuple(extra_parents))
         object.__setattr__(self, "_record_id", next(_record_counter))
         object.__setattr__(self, "_doc_text_cache", None)
 
@@ -63,13 +65,17 @@ class DataRecord:
         self,
         schema: Type[Schema],
         values: Optional[Dict[str, Any]] = None,
+        extra_parents: Iterable["DataRecord"] = (),
     ) -> "DataRecord":
         """Create a child record of ``schema``, copying shared fields.
 
         Fields present in both schemas carry over; ``values`` overrides or
         adds the newly computed fields (the convert semantics of §2.1).
+        ``extra_parents`` records additional lineage for N:1 derivations —
+        a join's right-side record, an aggregate's folded inputs.
         """
-        child = DataRecord(schema, source_id=self._source_id, parent=self)
+        child = DataRecord(schema, source_id=self._source_id, parent=self,
+                           extra_parents=extra_parents)
         for name in schema.field_map():
             if name in self._values:
                 child._values[name] = self._values[name]
@@ -119,6 +125,19 @@ class DataRecord:
     @property
     def parent(self) -> Optional["DataRecord"]:
         return self._parent
+
+    @property
+    def parents(self) -> "List[DataRecord]":
+        """All direct parents: the primary parent first, extras after.
+
+        Most derivations are 1:1 chains (``parents == [parent]``); join
+        merges and aggregate folds carry the additional inputs here.
+        """
+        out: List[DataRecord] = []
+        if self._parent is not None:
+            out.append(self._parent)
+        out.extend(self._extra_parents)
+        return out
 
     @property
     def record_id(self) -> int:
@@ -195,14 +214,29 @@ class DataRecord:
         return node
 
     def lineage(self) -> List["DataRecord"]:
-        """Provenance chain, source record first, this record last."""
-        chain: List["DataRecord"] = []
-        node: Optional["DataRecord"] = self
-        while node is not None:
-            chain.append(node)
-            node = node._parent
-        chain.reverse()
-        return chain
+        """Every ancestor plus this record, as a deduplicated DAG walk.
+
+        Ordering guarantee: **parents before children**, discovered
+        depth-first with the primary parent's subtree before any
+        ``extra_parents`` subtrees (left-to-right), each record exactly
+        once at its first encounter, and this record last.  For plain
+        1:1 chains that reduces to the historical source-first chain;
+        for N:1 derivations (aggregates, joins) shared ancestors appear
+        a single time instead of once per path.
+        """
+        ordered: List[DataRecord] = []
+        seen = set()
+
+        def visit(node: "DataRecord") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node.parents:
+                visit(parent)
+            ordered.append(node)
+
+        visit(self)
+        return ordered
 
     @property
     def fingerprint(self) -> str:

@@ -13,6 +13,7 @@ from repro.execution.executors import ParallelExecutor, SequentialExecutor
 from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.llm.models import ModelRegistry
+from repro.obs.provenance import NULL_PROVENANCE, ProvenanceRecorder
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.optimizer.optimizer import OptimizationReport, Optimizer
 from repro.optimizer.policies import MaxQuality, Policy, parse_policy
@@ -43,6 +44,16 @@ class ExecutionEngine:
             records into it.  The finalized trace is attached to
             ``ExecutionStats.trace``.  Tracing never changes records,
             stats, or LLM call counts.
+        provenance: record-level provenance.  ``False`` (default)
+            disables it at zero cost; ``True`` records every derivation
+            and drop with a fresh
+            :class:`~repro.obs.provenance.ProvenanceRecorder`; an
+            existing recorder instance records into it.  The canonical
+            :class:`~repro.obs.provenance.ProvenanceGraph` is attached
+            to ``ExecutionStats.provenance`` (query it with
+            ``why``/``why_not``, persist it with
+            :class:`~repro.obs.registry.RunRegistry`).  Like tracing, it
+            never changes records, stats, or LLM call counts.
         candidate_options: plan-space ablation switches (forwarded to the
             optimizer).
     """
@@ -60,6 +71,7 @@ class ExecutionEngine:
         executor: Optional[str] = None,
         batch_size: int = 1,
         trace: Union[bool, Tracer] = False,
+        provenance: Union[bool, ProvenanceRecorder] = False,
         **candidate_options,
     ):
         if policy is None:
@@ -82,6 +94,7 @@ class ExecutionEngine:
         self.executor = executor
         self.batch_size = batch_size
         self.trace = trace
+        self.provenance = provenance
         self.candidate_options = candidate_options
 
     def _make_tracer(self):
@@ -91,6 +104,14 @@ class ExecutionEngine:
         if self.trace:
             return Tracer(), True
         return NULL_TRACER, False
+
+    def _make_provenance(self):
+        """(recorder, recording?) honoring the ``provenance`` setting."""
+        if isinstance(self.provenance, ProvenanceRecorder):
+            return self.provenance, True
+        if self.provenance:
+            return ProvenanceRecorder(), True
+        return NULL_PROVENANCE, False
 
     def _executor_name(self) -> str:
         if self.executor is not None:
@@ -144,12 +165,14 @@ class ExecutionEngine:
         self, dataset: Dataset
     ) -> Tuple[List[DataRecord], ExecutionStats]:
         tracer, traced = self._make_tracer()
+        recorder, recording = self._make_provenance()
         report = self.optimize(dataset, tracer=tracer)
         context = ExecutionContext(
             max_workers=self.max_workers,
             models=self.models,
             cache=self.cache,
             tracer=tracer,
+            provenance=recorder,
         )
         if traced and tracer.default_clock is None:
             # Optimizer spans were recorded clockless (optimization is free
@@ -194,6 +217,7 @@ class ExecutionEngine:
             cache_evictions=cache_evictions,
             metrics=context.metrics.snapshot(),
             trace=tracer.finish() if traced else None,
+            provenance=recorder.finalize(records) if recording else None,
         )
         return records, stats
 
@@ -209,6 +233,7 @@ def Execute(
     executor: Optional[str] = None,
     batch_size: int = 1,
     trace: Union[bool, Tracer] = False,
+    provenance: Union[bool, ProvenanceRecorder] = False,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -229,6 +254,13 @@ def Execute(
 
         records, stats = Execute(dataset, trace=True)
         print(repro.obs.render_tree(stats.trace))
+
+    Pass ``provenance=True`` to record record-level provenance
+    (``stats.provenance``)::
+
+        records, stats = Execute(dataset, provenance=True)
+        print(repro.obs.render_why(
+            stats.provenance.why(stats.provenance.output_ids[0])))
     """
     engine = ExecutionEngine(
         policy=policy,
@@ -240,6 +272,7 @@ def Execute(
         executor=executor,
         batch_size=batch_size,
         trace=trace,
+        provenance=provenance,
         **candidate_options,
     )
     return engine.execute(dataset)

@@ -43,6 +43,16 @@ def _fill_run_metrics(
     metrics.counter("llm.calls").inc(len(context.ledger))
     metrics.counter("llm.input_tokens").inc(ledger_total.input_tokens)
     metrics.counter("llm.output_tokens").inc(ledger_total.output_tokens)
+    # Per-call distributions.  Cost and token counts are batch-invariant
+    # (identical per-record or batched); latency is not, so no latency
+    # histogram — it would differ between batch sizes.
+    cost_hist = metrics.histogram("llm.call_cost_usd")
+    in_hist = metrics.histogram("llm.call_input_tokens")
+    out_hist = metrics.histogram("llm.call_output_tokens")
+    for usage in context.ledger.records:
+        cost_hist.observe(usage.cost_usd)
+        in_hist.observe(usage.input_tokens)
+        out_hist.observe(usage.output_tokens)
     metrics.counter("run.records_out").inc(len(sink))
     metrics.gauge("run.elapsed_seconds").set(round(context.clock.elapsed, 9))
     for index, stats in enumerate(op_stats):
@@ -272,6 +282,7 @@ class SequentialExecutor:
         })
         tracer = self.context.tracer
         clock = self.context.clock
+        self.context.provenance.begin_plan(plan)
         with tracer.span(
             "plan.run", SpanKind.PLAN, clock=clock,
             plan_id=plan.plan_id, executor=self._trace_executor_name(),
@@ -297,6 +308,7 @@ class SequentialExecutor:
                     record = next(source_iter)
                 except StopIteration:
                     break
+                self.context.provenance.source(record)
                 if tracer.enabled:
                     tracer.record(
                         "op.scan", SpanKind.OPERATOR, scan_start,

@@ -604,6 +604,7 @@ class PipelinedExecutor:
             "operators": len(plan),
         })
         tracer = self.context.tracer
+        self.context.provenance.begin_plan(plan)
         with tracer.span(
             "plan.run", SpanKind.PLAN, clock=self.context.clock,
             plan_id=plan.plan_id, executor="pipelined",
@@ -662,6 +663,7 @@ class PipelinedExecutor:
                     "op.scan", SpanKind.OPERATOR, scan_start, clock.now,
                     scan_lane, op=scan_label, records_in=1, records_out=1,
                 )
+            self.context.provenance.source(record)
             scan_meter.stats.records_in += 1
             scan_meter.stats.records_out += 1
             yield record

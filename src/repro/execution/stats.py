@@ -118,6 +118,11 @@ class ExecutionStats:
     #: The finalized Trace when the run was traced, else None.  Excluded
     #: from serialization/comparison — export it via repro.obs.export.
     trace: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: The canonical ProvenanceGraph when the run recorded provenance,
+    #: else None.  Excluded from serialization/comparison — persist it
+    #: via repro.obs.registry.RunRegistry.
+    provenance: Optional[Any] = field(default=None, repr=False,
+                                      compare=False)
 
     @property
     def total_time_seconds(self) -> float:

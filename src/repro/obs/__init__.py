@@ -16,6 +16,10 @@ proper observability subsystem:
 * :mod:`repro.obs.analyze` — critical-path analysis of pipelined runs and
   per-operator hotspot aggregation.
 * :mod:`repro.obs.render` — text tree / flame renderers for terminals.
+* :mod:`repro.obs.provenance` — record-level derivation graphs with
+  ``why`` / ``why_not`` explanations, canonicalized like traces.
+* :mod:`repro.obs.registry` — the persistent run registry
+  (``.repro/runs/``) with list/load/diff over recorded executions.
 
 Tracing is zero-cost when disabled: every instrumented component defaults
 to the shared :data:`NULL_TRACER`, whose ``span()`` is a reusable no-op
@@ -48,6 +52,23 @@ from repro.obs.analyze import (
     analyze_critical_path,
 )
 from repro.obs.render import render_flame, render_tree
+from repro.obs.provenance import (
+    DROP_REASONS,
+    DropReason,
+    NULL_PROVENANCE,
+    ProvenanceError,
+    ProvenanceGraph,
+    ProvenanceRecorder,
+    render_why,
+    render_why_not,
+)
+from repro.obs.registry import (
+    DEFAULT_RUNS_DIR,
+    RunDiff,
+    RunRegistry,
+    RunSnapshot,
+    diff_runs,
+)
 
 __all__ = [
     "NULL_TRACER",
@@ -71,4 +92,17 @@ __all__ = [
     "analyze_critical_path",
     "render_flame",
     "render_tree",
+    "DROP_REASONS",
+    "DropReason",
+    "NULL_PROVENANCE",
+    "ProvenanceError",
+    "ProvenanceGraph",
+    "ProvenanceRecorder",
+    "render_why",
+    "render_why_not",
+    "DEFAULT_RUNS_DIR",
+    "RunDiff",
+    "RunRegistry",
+    "RunSnapshot",
+    "diff_runs",
 ]

@@ -76,15 +76,24 @@ class Gauge:
         return self.value
 
 
-class Histogram:
-    """Summary statistics over observed samples (count/sum/min/max).
+#: Quantiles reported by every histogram snapshot, in reporting order.
+HISTOGRAM_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
-    Full sample retention would make trace files grow with corpus size;
-    the four summary moments are what the analyzers and reports use.
+
+class Histogram:
+    """Summary statistics over observed samples, with quantiles.
+
+    Samples are retained so ``snapshot_value`` can report exact
+    nearest-rank p50/p95/p99 — a deterministic definition: the q-th
+    quantile of n sorted samples is the one at rank ``ceil(q * n)``
+    (1-based), so identical sample multisets yield identical quantiles
+    regardless of observation order or worker count.  Run-scoped
+    histograms observe at most one sample per record or LLM call, so
+    retention stays proportional to run size.
     """
 
     __slots__ = ("name", "best_effort", "_count", "_sum", "_min", "_max",
-                 "_lock")
+                 "_samples", "_lock")
 
     def __init__(self, name: str, best_effort: bool = False):
         self.name = name
@@ -93,12 +102,14 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._samples: List[float] = []
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         with self._lock:
             self._count += 1
             self._sum += value
+            self._samples.append(value)
             if self._min is None or value < self._min:
                 self._min = value
             if self._max is None or value > self._max:
@@ -114,14 +125,36 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    @staticmethod
+    def _nearest_rank(ordered: List[float], q: float) -> float:
+        # 1-based rank ceil(q * n), computed in integer arithmetic (q
+        # quantized to 1e-6) so float rounding can't shift the rank.
+        rank = -(-len(ordered) * int(round(q * 1000000)) // 1000000)
+        return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile (0 < q <= 1) over all samples."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return self._nearest_rank(sorted(self._samples), q)
+
     def snapshot_value(self) -> Dict[str, float]:
         with self._lock:
-            return {
+            snapshot = {
                 "count": self._count,
                 "sum": round(self._sum, 9),
                 "min": self._min if self._min is not None else 0.0,
                 "max": self._max if self._max is not None else 0.0,
             }
+            ordered = sorted(self._samples)
+            for label, q in HISTOGRAM_QUANTILES:
+                snapshot[label] = (
+                    self._nearest_rank(ordered, q) if ordered else 0.0
+                )
+            return snapshot
 
 
 class MetricsRegistry:

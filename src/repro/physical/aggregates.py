@@ -6,6 +6,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.logical import AggFunc, Aggregate, GroupByAggregate
 from repro.core.records import DataRecord
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     BlockingPhysicalOperator,
     OperatorCostEstimates,
@@ -52,24 +53,38 @@ class AggregateOp(BlockingPhysicalOperator):
         self.agg: Aggregate = logical_op
         self._count = 0
         self._values: List[float] = []
+        self._records: List[DataRecord] = []
 
     def open(self, context) -> None:
         super().open(context)
         self._count = 0
         self._values = []
+        self._records = []
 
     def accumulate(self, record: DataRecord) -> None:
         self._charge_local_time()
         self._count += 1
+        self._records.append(record)
         if self.agg.field is not None:
             value = _numeric(record.get(self.agg.field))
             if value is not None:
                 self._values.append(value)
+        prov = self.provenance
+        if prov.enabled:
+            prov.drop(self, record, DropReason.AGGREGATE_FOLD,
+                      func=self.agg.func.value)
 
     def close(self) -> List[DataRecord]:
         result = _reduce(self.agg.func, self._values, self._count)
-        record = DataRecord(self.agg.output_schema)
+        record = DataRecord(self.agg.output_schema,
+                            extra_parents=tuple(self._records))
         setattr(record, self.agg.alias, result)
+        prov = self.provenance
+        if prov.enabled:
+            # An aggregate over empty input still emits one record; its
+            # emit event then has no parents (folded=0 marks the case).
+            prov.emit(self, self._records, [record],
+                      func=self.agg.func.value, folded=self._count)
         return [record]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
@@ -100,24 +115,36 @@ class GroupByOp(BlockingPhysicalOperator):
         key = tuple(
             str(record.get(field)) for field in self.groupby.group_fields
         )
-        state = self._groups.setdefault(key, {"count": 0, "values": {}})
+        state = self._groups.setdefault(
+            key, {"count": 0, "values": {}, "records": []}
+        )
         state["count"] += 1
+        state["records"].append(record)
         for func, agg_field, alias in self.groupby.aggregates:
             if agg_field is None:
                 continue
             value = _numeric(record.get(agg_field))
             if value is not None:
                 state["values"].setdefault(alias, []).append(value)
+        prov = self.provenance
+        if prov.enabled:
+            prov.drop(self, record, DropReason.AGGREGATE_FOLD,
+                      group="|".join(key))
 
     def close(self) -> List[DataRecord]:
+        prov = self.provenance
         out: List[DataRecord] = []
         for key, state in sorted(self._groups.items()):
-            record = DataRecord(self.groupby.output_schema)
+            record = DataRecord(self.groupby.output_schema,
+                                extra_parents=tuple(state["records"]))
             for field_name, value in zip(self.groupby.group_fields, key):
                 setattr(record, field_name, value)
             for func, agg_field, alias in self.groupby.aggregates:
                 values = state["values"].get(alias, [])
                 setattr(record, alias, _reduce(func, values, state["count"]))
+            if prov.enabled:
+                prov.emit(self, state["records"], [record],
+                          group="|".join(key), folded=state["count"])
             out.append(record)
         return out
 

@@ -104,6 +104,11 @@ class PhysicalOperator:
             )
         return self._context
 
+    @property
+    def provenance(self):
+        """The run's provenance recorder (NULL_PROVENANCE when off)."""
+        return self.context.provenance
+
     def process(self, record: DataRecord) -> List[DataRecord]:
         raise NotImplementedError
 

@@ -10,6 +10,7 @@ from repro.llm.models import ModelRegistry, default_registry
 from repro.llm.oracle import GroundTruthRegistry, global_oracle
 from repro.llm.usage import UsageLedger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import NULL_PROVENANCE
 from repro.obs.trace import NULL_TRACER
 
 
@@ -30,6 +31,7 @@ class ExecutionContext:
         cache: Optional[CallCache] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        provenance=None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -41,13 +43,16 @@ class ExecutionContext:
         self.cache = cache
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.provenance = (
+            provenance if provenance is not None else NULL_PROVENANCE
+        )
 
     def child(self) -> "ExecutionContext":
         """A fresh context sharing oracle/models but with its own meters.
 
         Used for sentinel (sample) runs whose cost is reported separately;
-        the tracer is NOT inherited — sentinel traffic would otherwise
-        pollute the main run's trace.
+        the tracer and provenance recorder are NOT inherited — sentinel
+        traffic would otherwise pollute the main run's trace and graph.
         """
         return ExecutionContext(
             max_workers=self.max_workers,

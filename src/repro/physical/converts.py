@@ -26,6 +26,7 @@ from repro.llm import quality as quality_model
 from repro.llm.client import ExtractionRequest, SimulatedLLMClient
 from repro.llm.models import ModelCard
 from repro.llm.prompts import estimate_output_tokens_for_fields
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     OperatorCostEstimates,
     PhysicalOperator,
@@ -66,24 +67,39 @@ class _ConvertBase(PhysicalOperator):
         descs = self.convert.output_schema.field_descriptions()
         return {name: descs[name] for name in self.convert.new_fields}
 
-    def _build_outputs(self, record: DataRecord,
-                       payload: Any) -> List[DataRecord]:
-        """Turn extraction payloads (dict or list of dicts) into records."""
+    def _build_outputs(self, record: DataRecord, payload: Any,
+                       llm: Optional[List[Any]] = None) -> List[DataRecord]:
+        """Turn extraction payloads (dict or list of dicts) into records.
+
+        The single choke point every convert strategy emits through, so
+        it also reports the derivation (or an empty-payload drop) to the
+        provenance recorder; ``llm`` carries the usage records of the
+        calls that paid for this record's extraction.
+        """
         if self.convert.cardinality is Cardinality.ONE_TO_MANY:
             rows = payload if isinstance(payload, list) else [payload]
-            return [
+            outputs = [
                 record.derive(self.convert.output_schema, row)
                 for row in rows
                 if isinstance(row, dict)
             ]
-        if isinstance(payload, list):
-            payload = payload[0] if payload else {}
-        if not isinstance(payload, dict):
-            raise ExecutionError(
-                f"{self.op_label} produced a non-dict payload: "
-                f"{type(payload).__name__}"
-            )
-        return [record.derive(self.convert.output_schema, payload)]
+        else:
+            if isinstance(payload, list):
+                payload = payload[0] if payload else {}
+            if not isinstance(payload, dict):
+                raise ExecutionError(
+                    f"{self.op_label} produced a non-dict payload: "
+                    f"{type(payload).__name__}"
+                )
+            outputs = [record.derive(self.convert.output_schema, payload)]
+        prov = self.provenance
+        if prov.enabled:
+            if outputs:
+                prov.emit(self, [record], outputs, llm=llm,
+                          fanout=len(outputs))
+            else:
+                prov.drop(self, record, DropReason.CONVERT_EMPTY, llm=llm)
+        return outputs
 
     def _estimate_fanout(self) -> float:
         if self.convert.cardinality is Cardinality.ONE_TO_MANY:
@@ -159,7 +175,8 @@ class LLMConvertBonded(_ConvertBase):
     def process(self, record: DataRecord) -> List[DataRecord]:
         assert self._client is not None, "operator not opened"
         response = self._client.extract(self._request_for(record))
-        return self._build_outputs(record, response.value)
+        return self._build_outputs(record, response.value,
+                                   llm=[response.usage])
 
     def process_batch(
         self, records: Sequence[DataRecord]
@@ -169,7 +186,8 @@ class LLMConvertBonded(_ConvertBase):
             [self._request_for(record) for record in records]
         )
         return [
-            self._build_outputs(record, response.value)
+            self._build_outputs(record, response.value,
+                                llm=[response.usage])
             for record, response in zip(records, responses)
         ]
 
@@ -227,10 +245,11 @@ class LLMConvertConventional(LLMConvertBonded):
                 )
             )
             payload = response.value
+            usages = [response.usage]
             # Refinement passes, one per field (charged, same answers —
             # the bonus quality is already baked into the effective model).
             for name, desc in self._new_field_descriptions.items():
-                self._client.extract(
+                refine = self._client.extract(
                     ExtractionRequest(
                         fields={name: desc},
                         document=document,
@@ -238,9 +257,11 @@ class LLMConvertConventional(LLMConvertBonded):
                         operation=operation,
                     )
                 )
-            return self._build_outputs(record, payload)
+                usages.append(refine.usage)
+            return self._build_outputs(record, payload, llm=usages)
 
         merged: Dict[str, Any] = {}
+        usages = []
         for name, desc in self._new_field_descriptions.items():
             response = self._client.extract(
                 ExtractionRequest(
@@ -251,7 +272,8 @@ class LLMConvertConventional(LLMConvertBonded):
                 )
             )
             merged.update(response.value)
-        return self._build_outputs(record, merged)
+            usages.append(response.usage)
+        return self._build_outputs(record, merged, llm=usages)
 
     def process_batch(
         self, records: Sequence[DataRecord]
@@ -277,8 +299,9 @@ class LLMConvertConventional(LLMConvertBonded):
                     for document in documents
                 ]
             )
+            refinements = []
             for name, desc in self._new_field_descriptions.items():
-                self._client.extract_batch(
+                refinements.append(self._client.extract_batch(
                     [
                         ExtractionRequest(
                             fields={name: desc},
@@ -288,12 +311,18 @@ class LLMConvertConventional(LLMConvertBonded):
                         )
                         for document in documents
                     ]
-                )
+                ))
             return [
-                self._build_outputs(record, response.value)
-                for record, response in zip(records, responses)
+                self._build_outputs(
+                    record, response.value,
+                    llm=[response.usage] + [batch[i].usage
+                                            for batch in refinements],
+                )
+                for i, (record, response) in enumerate(
+                    zip(records, responses))
             ]
         merged: List[Dict[str, Any]] = [{} for _ in records]
+        usages: List[List[Any]] = [[] for _ in records]
         # Field-major batching: same calls as the per-record loop (one per
         # record per field), but every field's batch shares one prompt
         # prefix and all calls after the first amortize the call overhead.
@@ -309,11 +338,12 @@ class LLMConvertConventional(LLMConvertBonded):
                     for document in documents
                 ]
             )
-            for row, response in zip(merged, responses):
+            for row, used, response in zip(merged, usages, responses):
                 row.update(response.value)
+                used.append(response.usage)
         return [
-            self._build_outputs(record, row)
-            for record, row in zip(records, merged)
+            self._build_outputs(record, row, llm=used)
+            for record, row, used in zip(records, merged, usages)
         ]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
@@ -440,7 +470,8 @@ class CodeSynthesisConvert(_ConvertBase):
                 ),
             )
         )
-        return self._build_outputs(record, response.value)
+        return self._build_outputs(record, response.value,
+                                   llm=[response.usage])
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         fields = self.convert.new_fields
@@ -534,8 +565,8 @@ class ChunkedConvert(_ConvertBase):
             tracer=context.tracer,
         )
 
-    def _extract_chunk(self, chunk: str) -> Any:
-        response = self._client.extract(
+    def _extract_chunk(self, chunk: str):
+        return self._client.extract(
             ExtractionRequest(
                 fields=self._new_field_descriptions,
                 document=chunk,
@@ -548,7 +579,6 @@ class ChunkedConvert(_ConvertBase):
                 ),
             )
         )
-        return response.value
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         assert self._client is not None, "operator not opened"
@@ -561,8 +591,11 @@ class ChunkedConvert(_ConvertBase):
         if self.convert.cardinality is Cardinality.ONE_TO_MANY:
             merged: List[Dict[str, Any]] = []
             seen = set()
+            usages = []
             for chunk in chunks:
-                rows = self._extract_chunk(chunk)
+                response = self._extract_chunk(chunk)
+                usages.append(response.usage)
+                rows = response.value
                 for row in rows if isinstance(rows, list) else [rows]:
                     if not isinstance(row, dict):
                         continue
@@ -570,11 +603,14 @@ class ChunkedConvert(_ConvertBase):
                     if key not in seen:
                         seen.add(key)
                         merged.append(row)
-            return self._build_outputs(record, merged)
+            return self._build_outputs(record, merged, llm=usages)
 
         combined: Dict[str, Any] = {}
+        usages = []
         for chunk in chunks:
-            payload = self._extract_chunk(chunk)
+            response = self._extract_chunk(chunk)
+            usages.append(response.usage)
+            payload = response.value
             if isinstance(payload, list):
                 payload = payload[0] if payload else {}
             for name, value in payload.items():
@@ -583,7 +619,7 @@ class ChunkedConvert(_ConvertBase):
             if all(combined.get(n) is not None
                    for n in self.convert.new_fields):
                 break  # all fields found; skip remaining chunks
-        return self._build_outputs(record, combined)
+        return self._build_outputs(record, combined, llm=usages)
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         fields = self.convert.new_fields

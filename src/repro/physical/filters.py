@@ -20,6 +20,7 @@ from repro.llm import quality as quality_model
 from repro.llm.client import BooleanRequest, SimulatedLLMClient
 from repro.llm.embeddings import EmbeddingModel, cosine_similarity
 from repro.llm.models import ModelCard
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     OperatorCostEstimates,
     PhysicalOperator,
@@ -50,7 +51,15 @@ class NonLLMFilter(PhysicalOperator):
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         self._charge_local_time()
-        return [record] if bool(self._udf(record)) else []
+        keep = bool(self._udf(record))
+        prov = self.provenance
+        if prov.enabled:
+            if keep:
+                prov.emit(self, [record], [record], verdict=True)
+            else:
+                prov.drop(self, record, DropReason.FILTER_REJECTED,
+                          verdict=False)
+        return [record] if keep else []
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         return OperatorCostEstimates(
@@ -100,9 +109,21 @@ class LLMFilter(PhysicalOperator):
             context_fraction=self.context_fraction,
         )
 
+    def _record_verdict(self, record: DataRecord, response) -> None:
+        prov = self.provenance
+        if not prov.enabled:
+            return
+        if response.value:
+            prov.emit(self, [record], [record], llm=[response.usage],
+                      verdict=True)
+        else:
+            prov.drop(self, record, DropReason.FILTER_REJECTED,
+                      llm=[response.usage], verdict=False)
+
     def process(self, record: DataRecord) -> List[DataRecord]:
         assert self._client is not None, "operator not opened"
         response = self._client.judge(self._request_for(record))
+        self._record_verdict(record, response)
         return [record] if response.value else []
 
     def process_batch(
@@ -112,6 +133,8 @@ class LLMFilter(PhysicalOperator):
         responses = self._client.judge_batch(
             [self._request_for(record) for record in records]
         )
+        for record, response in zip(records, responses):
+            self._record_verdict(record, response)
         return [
             [record] if response.value else []
             for record, response in zip(records, responses)
@@ -177,7 +200,17 @@ class EmbeddingFilter(PhysicalOperator):
             operation=f"filter-embed:{self.predicate[:40]}",
         )
         similarity = cosine_similarity(self._predicate_vector, document_vector)
-        return [record] if similarity >= self.THRESHOLD else []
+        keep = similarity >= self.THRESHOLD
+        prov = self.provenance
+        if prov.enabled:
+            attrs = {"similarity": round(similarity, 9),
+                     "threshold": self.THRESHOLD}
+            if keep:
+                prov.emit(self, [record], [record], verdict=True, **attrs)
+            else:
+                prov.drop(self, record, DropReason.FILTER_REJECTED,
+                          verdict=False, **attrs)
+        return [record] if keep else []
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         tokens = int(stream.avg_document_tokens)

@@ -25,6 +25,7 @@ from repro.llm import quality as quality_model
 from repro.llm.client import BooleanRequest, SimulatedLLMClient
 from repro.llm.embeddings import EmbeddingModel, cosine_similarity
 from repro.llm.models import ModelCard
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     OperatorCostEstimates,
     PhysicalOperator,
@@ -36,16 +37,23 @@ from repro.physical.context import ExecutionContext
 DEFAULT_JOIN_SELECTIVITY = 0.1
 
 
-def _materialize_right(join: JoinScan, context: ExecutionContext):
-    """Optimize + execute the right dataset inside ``context``."""
+def _materialize_right(join, context: ExecutionContext):
+    """Optimize + execute the right dataset inside ``context``.
+
+    Provenance is suspended for the nested run: its operators and
+    records belong to the join's internal sub-pipeline, not the outer
+    plan's graph — the finished right records enter the graph as
+    ``join.right`` / ``union.right`` roots instead.
+    """
     from repro.execution.executors import SequentialExecutor
     from repro.optimizer.optimizer import Optimizer
 
-    report = Optimizer(models=context.models).optimize(
-        join.right_dataset.logical_plan(), join.right_dataset.source
-    )
-    executor = SequentialExecutor(context)
-    records, _ = executor.execute(report.chosen.plan)
+    with context.provenance.suspended():
+        report = Optimizer(models=context.models).optimize(
+            join.right_dataset.logical_plan(), join.right_dataset.source
+        )
+        executor = SequentialExecutor(context)
+        records, _ = executor.execute(report.chosen.plan)
     return records
 
 
@@ -56,7 +64,7 @@ def _merge(join: JoinScan, left: DataRecord,
     for name in right.schema.field_map():
         target = name if name not in left_fields else f"right_{name}"
         values[target] = right.get(name)
-    return left.derive(join.output_schema, values)
+    return left.derive(join.output_schema, values, extra_parents=(right,))
 
 
 class _JoinBase(PhysicalOperator):
@@ -65,10 +73,38 @@ class _JoinBase(PhysicalOperator):
         super().__init__(logical_op, model=model)
         self.join: JoinScan = logical_op
         self._right: List[DataRecord] = []
+        self._matched_right_ids: set = set()
 
     def open(self, context: ExecutionContext) -> None:
         super().open(context)
         self._right = _materialize_right(self.join, context)
+        self._matched_right_ids = set()
+        if context.provenance.enabled:
+            for right in self._right:
+                context.provenance.source(right, origin="join.right")
+
+    def _note_match(self, left: DataRecord, right: DataRecord,
+                    merged: DataRecord, llm=None, **attrs) -> None:
+        prov = self.provenance
+        if prov.enabled:
+            prov.emit(self, [left, right], [merged], llm=llm, **attrs)
+            self._matched_right_ids.add(right.record_id)
+
+    def _note_left_unmatched(self, left: DataRecord, judged: int,
+                             llm=None, **attrs) -> None:
+        prov = self.provenance
+        if prov.enabled:
+            prov.drop(self, left, DropReason.JOIN_NO_MATCH, llm=llm,
+                      pairs_judged=judged, **attrs)
+
+    def close(self) -> List[DataRecord]:
+        prov = self.provenance
+        if prov.enabled:
+            for right in self._right:
+                if right.record_id not in self._matched_right_ids:
+                    prov.drop(self, right, DropReason.JOIN_NO_MATCH,
+                              side="right")
+        return []
 
     def _right_profile_cardinality(self) -> float:
         try:
@@ -92,7 +128,11 @@ class NestedLoopUDFJoin(_JoinBase):
         for right in self._right:
             self._charge_local_time(0.0001)
             if self.join.udf(record, right):
-                out.append(_merge(self.join, record, right))
+                merged = _merge(self.join, record, right)
+                self._note_match(record, right, merged, verdict=True)
+                out.append(merged)
+        if not out:
+            self._note_left_unmatched(record, judged=len(self._right))
         return out
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
@@ -128,27 +168,38 @@ class LLMSemanticJoin(_JoinBase):
             tracer=context.tracer,
         )
 
-    def _pair_matches(self, left: DataRecord, right: DataRecord) -> bool:
+    def _pair_matches(self, left: DataRecord, right: DataRecord):
+        """Judge one pair; returns the full response (``.value`` is the
+        verdict, ``.usage`` the call's accounting for provenance)."""
         document = (
             f"LEFT RECORD:\n{left.document_text()}\n\n"
             f"RIGHT RECORD:\n{right.document_text()}"
         )
-        response = self._client.judge(
+        return self._client.judge(
             BooleanRequest(
                 predicate=self.join.predicate,
                 document=document,
                 operation=f"join:{self.join.predicate[:40]}",
             )
         )
-        return bool(response.value)
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         assert self._client is not None, "operator not opened"
-        return [
-            _merge(self.join, record, right)
-            for right in self._right
-            if self._pair_matches(record, right)
-        ]
+        out = []
+        unmatched_usages = []
+        for right in self._right:
+            response = self._pair_matches(record, right)
+            if response.value:
+                merged = _merge(self.join, record, right)
+                self._note_match(record, right, merged,
+                                 llm=[response.usage], verdict=True)
+                out.append(merged)
+            else:
+                unmatched_usages.append(response.usage)
+        if not out:
+            self._note_left_unmatched(record, judged=len(self._right),
+                                      llm=unmatched_usages, verdict=False)
+        return out
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         right_n = self._right_profile_cardinality()
@@ -207,12 +258,25 @@ class EmbeddingBlockedJoin(LLMSemanticJoin):
             ),
             key=lambda pair: (-pair[0], pair[1]),
         )
-        block = [self._right[i] for _, i in scored[: self.BLOCK_SIZE]]
-        return [
-            _merge(self.join, record, right)
-            for right in block
-            if self._pair_matches(record, right)
-        ]
+        out = []
+        unmatched_usages = []
+        for similarity, index in scored[: self.BLOCK_SIZE]:
+            right = self._right[index]
+            response = self._pair_matches(record, right)
+            if response.value:
+                merged = _merge(self.join, record, right)
+                self._note_match(record, right, merged,
+                                 llm=[response.usage], verdict=True,
+                                 similarity=round(similarity, 9))
+                out.append(merged)
+            else:
+                unmatched_usages.append(response.usage)
+        if not out:
+            self._note_left_unmatched(
+                record, judged=min(len(scored), self.BLOCK_SIZE),
+                llm=unmatched_usages, verdict=False,
+                block_size=self.BLOCK_SIZE)
+        return out
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         right_n = self._right_profile_cardinality()

@@ -8,6 +8,7 @@ from repro.core.logical import RetrieveScan
 from repro.core.records import DataRecord
 from repro.llm.embeddings import EmbeddingModel, cosine_similarity
 from repro.llm.models import ModelCard
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     BlockingPhysicalOperator,
     OperatorCostEstimates,
@@ -54,6 +55,16 @@ class RetrieveOp(BlockingPhysicalOperator):
 
     def close(self) -> List[DataRecord]:
         ranked = sorted(self._scored, key=lambda t: (-t[0], t[1]))
+        prov = self.provenance
+        if prov.enabled:
+            for rank, (score, _, record) in enumerate(ranked, start=1):
+                if rank <= self.retrieve.k:
+                    prov.emit(self, [record], [record],
+                              score=round(score, 9), rank=rank)
+                else:
+                    prov.drop(self, record, DropReason.RETRIEVE_CUTOFF,
+                              score=round(score, 9), rank=rank,
+                              k=self.retrieve.k)
         return [record for _, _, record in ranked[: self.retrieve.k]]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:

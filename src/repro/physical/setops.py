@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.logical_ext import Distinct, Sort, UnionScan
 from repro.core.records import DataRecord
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     BlockingPhysicalOperator,
     OperatorCostEstimates,
@@ -27,12 +28,19 @@ class UnionOp(PhysicalOperator):
         self.union: UnionScan = logical_op
 
     def process(self, record: DataRecord) -> List[DataRecord]:
+        # Pure pass-through of the left stream: no provenance event —
+        # the record's graph node is unchanged and nothing is decided.
         return [record]
 
     def close(self) -> List[DataRecord]:
         from repro.physical.joins import _materialize_right
 
-        return _materialize_right(self.union, self.context)
+        appended = _materialize_right(self.union, self.context)
+        prov = self.provenance
+        if prov.enabled:
+            for record in appended:
+                prov.source(record, origin="union.right")
+        return appended
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         try:
@@ -63,18 +71,27 @@ class DistinctOp(PhysicalOperator):
     def __init__(self, logical_op: Distinct):
         super().__init__(logical_op)
         self.distinct: Distinct = logical_op
-        self._seen: Set[str] = set()
+        # key -> the record id of the kept (first) occurrence, so a
+        # duplicate's drop event can name which record shadowed it.
+        self._seen: Dict[str, int] = {}
 
     def open(self, context: ExecutionContext) -> None:
         super().open(context)
-        self._seen = set()
+        self._seen = {}
 
     def process(self, record: DataRecord) -> List[DataRecord]:
         self._charge_local_time(0.0001)
         key = _distinct_key(record, self.distinct.fields)
-        if key in self._seen:
+        prov = self.provenance
+        kept = self._seen.get(key)
+        if kept is not None:
+            if prov.enabled:
+                prov.drop(self, record, DropReason.DISTINCT_DUPLICATE,
+                          duplicate_of=kept)
             return []
-        self._seen.add(key)
+        self._seen[key] = record.record_id
+        if prov.enabled:
+            prov.emit(self, [record], [record], first_occurrence=True)
         return [record]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
@@ -114,6 +131,9 @@ class SortOp(BlockingPhysicalOperator):
         return (1, str(value))
 
     def close(self) -> List[DataRecord]:
+        # Pure reordering: every input survives unchanged, so the sort
+        # emits no provenance events (the graph is order-free; sink
+        # order is captured by the graph's output_ids).
         ordered = sorted(
             self._buffer,
             key=lambda r: self._sort_key(r.get(self.sort.field)),

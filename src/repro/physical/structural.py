@@ -6,6 +6,7 @@ from typing import List
 
 from repro.core.logical import LimitScan, Project
 from repro.core.records import DataRecord
+from repro.obs.provenance import DropReason
 from repro.physical.base import (
     OperatorCostEstimates,
     PhysicalOperator,
@@ -25,7 +26,12 @@ class ProjectOp(PhysicalOperator):
     def process(self, record: DataRecord) -> List[DataRecord]:
         self._charge_local_time(0.0001)
         values = {name: record.get(name) for name in self.project.fields}
-        return [record.derive(self.project.output_schema, values)]
+        child = record.derive(self.project.output_schema, values)
+        prov = self.provenance
+        if prov.enabled:
+            prov.emit(self, [record], [child],
+                      fields=",".join(self.project.fields))
+        return [child]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:
         return OperatorCostEstimates(
@@ -49,19 +55,31 @@ class LimitOp(PhysicalOperator):
         super().__init__(logical_op)
         self.limit = logical_op.limit
         self._emitted = 0
+        self._seen = 0
 
     def open(self, context) -> None:
         super().open(context)
         self._emitted = 0
+        self._seen = 0
 
     @property
     def exhausted(self) -> bool:
         return self._emitted >= self.limit
 
     def process(self, record: DataRecord) -> List[DataRecord]:
+        # Limits run on a serial stage in every executor, so arrival
+        # positions are deterministic at any worker count.
+        self._seen += 1
+        prov = self.provenance
         if self.exhausted:
+            if prov.enabled:
+                prov.drop(self, record, DropReason.LIMIT_CUTOFF,
+                          position=self._seen, limit=self.limit)
             return []
         self._emitted += 1
+        if prov.enabled:
+            prov.emit(self, [record], [record], position=self._seen,
+                      limit=self.limit)
         return [record]
 
     def naive_estimates(self, stream: StreamEstimate) -> OperatorCostEstimates:

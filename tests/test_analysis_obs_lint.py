@@ -1,10 +1,10 @@
-"""OB401: span naming/kind/attribute conventions over real traces."""
+"""OB401/OB402: span and provenance conventions over real artifacts."""
 
 import sys
 
 import pytest
 
-from repro.analysis import LintConfig, lint_trace
+from repro.analysis import LintConfig, lint_provenance, lint_trace
 from repro.execution.execute import Execute
 from repro.obs.trace import Span, SpanKind, Trace
 
@@ -55,3 +55,91 @@ class TestGolden:
         result = lint_trace(bad_trace())
         assert result.errors == []
         assert len(result.warnings) == 4
+
+
+def bad_graph():
+    """One violation of every OB402 convention."""
+    return {
+        "ops": ["Scan", "Filter"],
+        "nodes": [
+            {"id": 1, "source_id": "s", "schema": "TextFile",
+             "origin": "scan", "preview": "{}", "fp": "0" * 16},
+            {"id": 2, "source_id": "s", "schema": "TextFile",
+             "origin": "derived", "preview": "{}", "fp": "1" * 16},
+        ],
+        "events": [
+            # unknown drop reason + wrong arity (2 parents)
+            {"op": 1, "op_label": "Filter", "kind": "drop",
+             "parents": [1, 2], "children": [], "reason": "vanished",
+             "attrs": {}, "llm": None},
+            # dead node reference + childless emit
+            {"op": 1, "op_label": "Filter", "kind": "emit",
+             "parents": [99], "children": [], "reason": None,
+             "attrs": {"verdict": True}, "llm": None},
+            # pass-through emit with no evidence
+            {"op": 1, "op_label": "Filter", "kind": "emit",
+             "parents": [1], "children": [1], "reason": None,
+             "attrs": {}, "llm": None},
+            # parentless emit that is not a folded=0 aggregate
+            {"op": 1, "op_label": "Filter", "kind": "emit",
+             "parents": [], "children": [2], "reason": None,
+             "attrs": {}, "llm": None},
+            # unknown event kind
+            {"op": 0, "op_label": "Scan", "kind": "mutate",
+             "parents": [1], "children": [1], "reason": None,
+             "attrs": {}, "llm": None},
+        ],
+        "output_ids": [2, 77],  # 77 is not a node
+    }
+
+
+class TestProvenanceGolden:
+    def test_real_graphs_are_clean(self):
+        source = make_source(6, "obslint-prov-clean")
+        for kwargs in ({}, {"executor": "pipelined", "max_workers": 2}):
+            _, stats = Execute(shape_filter_convert(source), lint=False,
+                               provenance=True, **kwargs)
+            result = lint_provenance(stats.provenance)
+            assert result.diagnostics == [], [
+                str(d) for d in result.diagnostics]
+
+    def test_accepts_graph_object_and_payload(self):
+        source = make_source(4, "obslint-prov-payload")
+        _, stats = Execute(shape_filter_convert(source), lint=False,
+                           provenance=True)
+        from_object = lint_provenance(stats.provenance)
+        from_payload = lint_provenance(stats.provenance.to_dict())
+        assert from_object.diagnostics == from_payload.diagnostics == []
+
+    def test_bad_events_flagged(self):
+        result = lint_provenance(bad_graph())
+        messages = [d.message for d in result.diagnostics]
+        assert all(d.code == "OB402" for d in result.diagnostics)
+        assert any("not in the DropReason enum" in m for m in messages)
+        assert any("exactly one record" in m for m in messages)
+        assert any("references node 99" in m for m in messages)
+        assert any("at least one child" in m for m in messages)
+        assert any("pass-through emit" in m for m in messages)
+        assert any("at least one parent" in m for m in messages)
+        assert any("unknown event kind" in m for m in messages)
+        assert any("output id 77" in m for m in messages)
+
+    def test_folded_zero_aggregate_is_exempt(self):
+        graph = bad_graph()
+        graph["events"] = [
+            {"op": 1, "op_label": "Aggregate", "kind": "emit",
+             "parents": [], "children": [2], "reason": None,
+             "attrs": {"folded": 0}, "llm": None},
+        ]
+        graph["output_ids"] = [2]
+        result = lint_provenance(graph)
+        assert result.diagnostics == []
+
+    def test_locations_name_the_op(self):
+        result = lint_provenance(bad_graph())
+        assert any("(Filter)" in d.location for d in result.diagnostics)
+
+    def test_warnings_do_not_block(self):
+        result = lint_provenance(bad_graph())
+        assert result.errors == []
+        assert result.warnings

@@ -62,6 +62,89 @@ class TestExplainExecutionTool:
         assert session.last_trace.first("plan.run") is not None
 
 
+class TestProvenanceIntents:
+    @pytest.mark.parametrize("message,tool,arguments", [
+        ("Why is record 3 in the output?",
+         "explain_record", {"record_id": 3}),
+        ("Explain record #2", "explain_record", {"record_id": 2}),
+        ("What is the provenance of the first result?",
+         "explain_record", {"record_id": 0}),
+        ("Why isn't paper-003.pdf in the output?",
+         "explain_record", {"source": "paper-003.pdf"}),
+        ("What happened to paper-007.pdf?",
+         "explain_record", {"source": "paper-007.pdf"}),
+        ("Why was record 4 filtered out?",
+         "explain_record", {"source": "record 4 filtered out"}),
+        ("What changed since the last run?", "compare_runs", {}),
+        ("How do the two runs differ?", "compare_runs", {}),
+    ])
+    def test_phrasings_route_with_arguments(self, message, tool, arguments):
+        calls = plan_requests(message, PipelineWorkspace())
+        assert [c.tool_name for c in calls] == [tool]
+        assert calls[0].arguments == arguments
+
+    def test_compare_does_not_trigger_execute(self):
+        # "...last run" contains "run"; the longer compare_runs span must
+        # suppress the contained execute hit.
+        calls = plan_requests(
+            "what changed since the last run?", PipelineWorkspace())
+        assert "execute_pipeline" not in [c.tool_name for c in calls]
+
+    def test_run_phrasings_still_execute(self):
+        calls = plan_requests("run the pipeline", PipelineWorkspace())
+        assert [c.tool_name for c in calls] == ["execute_pipeline"]
+
+
+class TestProvenanceTools:
+    def test_why_after_a_run(self, session):
+        run_pipeline(session)
+        assert session.last_provenance is not None
+        reply = session.chat("Why is record 1 in the output?")
+        assert reply.tool_sequence == ["explain_record"]
+        assert "record #1" in reply.text
+        assert "produced by" in reply.text or "source" in reply.text
+
+    def test_why_without_id_lists_outputs(self, session):
+        run_pipeline(session)
+        reply = session.chat("Give me the derivation tree")
+        assert reply.tool_sequence == ["explain_record"]
+        assert "#" in reply.text
+
+    def test_why_not_names_the_eliminating_op(self, session):
+        run_pipeline(session)
+        reply = session.chat("Why isn't paper-002.pdf in the output?")
+        assert reply.tool_sequence == ["explain_record"]
+        assert "paper-002.pdf" in reply.text
+
+    def test_errors_before_any_run(self, session):
+        session.chat("Load the papers from the sigmod-demo dataset")
+        reply = session.chat("Why is record 1 in the output?")
+        assert "explain_record" in reply.tool_sequence
+        assert "error" in reply.text.lower() \
+            or "no provenance" in reply.text.lower()
+
+    def test_compare_needs_two_runs(self, session):
+        run_pipeline(session)
+        reply = session.chat("What changed since the last run?")
+        assert "compare_runs" in reply.tool_sequence
+        assert "error" in reply.text.lower() or "two" in reply.text.lower()
+
+    def test_compare_after_two_runs(self, session):
+        run_pipeline(session)
+        session.chat("Run the pipeline again")
+        assert len(session.run_history) == 2
+        reply = session.chat("What changed since the last run?")
+        assert "compare_runs" in reply.tool_sequence
+        assert "Run diff" in reply.text
+        assert "plan:" in reply.text
+
+    def test_run_history_survives_reset(self, session):
+        run_pipeline(session)
+        session.chat("Start over")
+        assert session.last_provenance is None
+        assert len(session.run_history) == 1
+
+
 class TestSessionTrace:
     def test_chat_turn_spans_per_message(self, session):
         session.chat("Load the papers from the sigmod-demo dataset")

@@ -37,12 +37,34 @@ class TestPrimitives:
         assert hist.mean == pytest.approx(8.0 / 3)
         assert hist.snapshot_value() == {
             "count": 3, "sum": 8.0, "min": 1.0, "max": 5.0,
+            "p50": 2.0, "p95": 5.0, "p99": 5.0,
         }
 
     def test_empty_histogram_snapshot(self):
         assert Histogram("h.h").snapshot_value() == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
+
+    def test_histogram_quantiles_nearest_rank(self):
+        hist = Histogram("lat.seconds")
+        # Observe 1..100 out of order: quantiles are order-insensitive.
+        for value in range(100, 0, -1):
+            hist.observe(float(value))
+        assert hist.quantile(0.50) == 50.0
+        assert hist.quantile(0.95) == 95.0
+        assert hist.quantile(0.99) == 99.0
+        assert hist.quantile(1.0) == 100.0
+        snap = hist.snapshot_value()
+        assert (snap["p50"], snap["p95"], snap["p99"]) == (50.0, 95.0, 99.0)
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+
+    def test_histogram_quantiles_single_sample(self):
+        hist = Histogram("one.sample")
+        hist.observe(3.5)
+        snap = hist.snapshot_value()
+        assert (snap["p50"], snap["p95"], snap["p99"]) == (3.5, 3.5, 3.5)
 
     def test_counter_thread_safe(self):
         counter = Counter("c.c")
