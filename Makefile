@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec perf lint trace runs examples all clean
+.PHONY: install test bench bench-exec bench-scale perf lint trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,14 @@ bench-exec:
 	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
 		--output /tmp/perf_current.json --label bench-exec
 	python scripts/check_perf_regression.py --current /tmp/perf_current.json
+
+# Scale-out benchmarks + scaling gate: sequential vs sharded (2/4/8) vs
+# async over the synthetic scale corpus; the gate checks the deterministic
+# simulated speedup ratio of sharded(4) over sequential.
+bench-scale:
+	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
+		--output /tmp/perf_scale.json --label bench-scale
+	python scripts/check_perf_regression.py --current /tmp/perf_scale.json
 
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:

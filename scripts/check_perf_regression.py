@@ -1,17 +1,20 @@
 #!/usr/bin/env python
 """Executor performance regression gate.
 
-Compares the batched-executor speedup — wall-clock of
-``pipeline_per_record`` divided by ``pipeline_batched`` — between a fresh
-snapshot (produced by ``perf_snapshot.py``) and the committed baseline in
-``BENCH_perf.json``.  The gate works on speedup *ratios*, not absolute
-seconds: CI machines are slower and noisier than the machine that recorded
-the baseline, but the relative advantage of the batched execution path over
-the per-record path should survive any machine.
+Two gates, both on speedup *ratios* rather than absolute seconds (CI
+machines are slower and noisier than the machine that recorded the
+baseline, but relative advantages survive any machine):
 
-The gate fails (exit 1) when the current speedup drops below
-``threshold`` x the baseline speedup (default 0.8, i.e. a >20% regression
-of the batched path relative to per-record execution).
+1. **Batching gate** — wall-clock of ``pipeline_per_record`` divided by
+   ``pipeline_batched`` must retain ``threshold`` x the baseline ratio.
+2. **Scaling gate** — *simulated* makespan of ``scale_sequential`` divided
+   by ``scale_sharded4`` must retain ``scale_threshold`` x the baseline
+   ratio.  Simulated time is deterministic (virtual clock), so this ratio
+   is noise-free: a drop means the sharded executor genuinely stopped
+   fanning the shardable prefix out.
+
+Either gate failing exits 1.  A gate whose workloads are missing from the
+baseline passes vacuously (first recording).
 
 Usage:
     PYTHONPATH=src python scripts/perf_snapshot.py --quick \
@@ -29,8 +32,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
 
-#: The workloads the gate needs; runs without them are skipped.
+#: The workloads the batching gate needs; runs without them are skipped.
 REQUIRED = ("pipeline_per_record", "pipeline_batched")
+
+#: The workloads the scaling gate needs.
+SCALE_REQUIRED = ("scale_sequential", "scale_sharded4")
 
 
 def latest_run_with(path: Path, names=REQUIRED) -> dict | None:
@@ -55,6 +61,16 @@ def speedup(run: dict) -> float:
     return per_record / batched
 
 
+def scale_speedup(run: dict) -> float:
+    """Simulated sharded-over-sequential speedup (deterministic)."""
+    workloads = run["workloads"]
+    sequential = workloads["scale_sequential"]["sim_seconds"]
+    sharded = workloads["scale_sharded4"]["sim_seconds"]
+    if sharded <= 0:
+        return float("inf")
+    return sequential / sharded
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
@@ -64,6 +80,10 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.8,
                         help="minimum fraction of the baseline speedup the "
                              "current run must retain")
+    parser.add_argument("--scale-threshold", type=float, default=0.8,
+                        help="minimum fraction of the baseline sharded "
+                             "(simulated) speedup the current run must "
+                             "retain")
     args = parser.parse_args(argv)
 
     current = latest_run_with(args.current)
@@ -103,7 +123,55 @@ def main(argv=None) -> int:
     if cur_speedup < floor:
         print("FAIL: batched execution regressed against the per-record path")
         return 1
-    print("OK")
+    print("OK: batching gate passed")
+
+    return _scaling_gate(args)
+
+
+def _scaling_gate(args) -> int:
+    baseline = latest_run_with(args.baseline, SCALE_REQUIRED)
+    if baseline is None:
+        print(
+            f"note: {args.baseline} has no scale-out benchmarks yet; "
+            "scaling gate passes vacuously"
+        )
+        return 0
+    current = latest_run_with(args.current, SCALE_REQUIRED)
+    if current is None:
+        print(
+            f"FAIL: baseline has scale-out benchmarks but {args.current} "
+            f"has no run with {SCALE_REQUIRED} workloads"
+        )
+        return 1
+
+    base_speedup = scale_speedup(baseline)
+    cur_speedup = scale_speedup(current)
+    floor = args.scale_threshold * base_speedup
+
+    def _row(label: str, run: dict) -> str:
+        workloads = run["workloads"]
+        parts = [f"{label:>9}:"]
+        for name in (
+            "scale_sequential", "scale_sharded2", "scale_sharded4",
+            "scale_sharded8", "scale_async4",
+        ):
+            seconds = workloads.get(name, {}).get("sim_seconds")
+            text = f"{seconds:.1f}s" if seconds is not None else "-"
+            parts.append(f"{name.split('scale_')[1]}={text}")
+        return "  ".join(parts)
+
+    print(_row("baseline", baseline),
+          f" sharded4 speedup={base_speedup:.2f}x "
+          f"(rev {baseline.get('git_rev')})")
+    print(_row("current", current),
+          f" sharded4 speedup={cur_speedup:.2f}x")
+    print(f"gate: current simulated speedup must be >= {floor:.2f}x "
+          f"({args.scale_threshold:.0%} of baseline)")
+
+    if cur_speedup < floor:
+        print("FAIL: sharded execution stopped scaling over sequential")
+        return 1
+    print("OK: scaling gate passed")
     return 0
 
 

@@ -28,6 +28,11 @@ Workloads:
 * ``pipeline_batched``      — the same plan on the pipelined executor with
   4 worker threads and batched LLM calls (batch_size=8); amortizes
   prompt-prefix construction and full-prompt tokenization.
+* ``scale_sequential`` / ``scale_sharded{2,4,8}`` / ``scale_async4`` — one
+  chosen filter plan over the 10k-doc synthetic scale corpus
+  (``repro.corpora.scale``), run by the sequential, sharded (degrees
+  2/4/8), and async executors; the recorded ``sim_seconds`` give the
+  deterministic scaling curve the regression gate checks.
 
 Usage:
     PYTHONPATH=src python scripts/perf_snapshot.py [--quick] [--repeat N]
@@ -236,6 +241,60 @@ class _ExecBench:
         }
 
 
+class _ScaleBench:
+    """Scale-out comparisons: one chosen plan over a 10k-doc corpus.
+
+    Times the sequential baseline against the sharded executor at degrees
+    2/4/8 and the async executor at fanout 4, all running the *same* chosen
+    plan over the same deterministic synthetic corpus
+    (:mod:`repro.corpora.scale`).  Each timed run starts from cleared text
+    memos so every strategy pays the same tokenization bill; the metadata
+    records both real wall seconds and the simulated makespan, because the
+    simulated speedup curve is the deterministic signal the regression gate
+    checks.
+    """
+
+    def __init__(self, quick: bool):
+        from repro.corpora.scale import SCALE_PREDICATE, generate_scale_source
+        from repro.optimizer.optimizer import Optimizer
+
+        n = 1_000 if quick else 10_000
+        self.n_docs = n
+        self.source = generate_scale_source(n, dataset_id=f"perf-scale-{n}")
+        pipeline = pz.Dataset(self.source).filter(SCALE_PREDICATE)
+        # MaxQuality picks an LLM filter (the shardable hot path); MinTime
+        # would pick the embedding filter, which never fans out.
+        self.plan = (
+            Optimizer(pz.MaxQuality())
+            .optimize(pipeline.logical_plan(), self.source)
+            .chosen.plan
+        )
+
+    def run(self, mode: str, degree: int = 1) -> dict:
+        from repro.execution import (
+            AsyncExecutor,
+            SequentialExecutor,
+            ShardedExecutor,
+        )
+        from repro.llm.memo import clear_memos
+        from repro.physical.context import ExecutionContext
+
+        clear_memos()
+        context = ExecutionContext(max_workers=max(1, degree))
+        if mode == "sequential":
+            executor = SequentialExecutor(context)
+        elif mode == "async":
+            executor = AsyncExecutor(context, fanout=degree)
+        else:
+            executor = ShardedExecutor(context, shards=degree)
+        records, stats = executor.execute(self.plan)
+        return {
+            "records_in": self.n_docs,
+            "records_out": len(records),
+            "sim_seconds": round(stats.total_time_seconds, 3),
+        }
+
+
 def workload_scaling(quick: bool) -> dict:
     n = 60 if quick else 200
     source = MemorySource(
@@ -291,6 +350,7 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
 
     # Built eagerly so corpus generation + plan choice stay untimed.
     exec_bench = _ExecBench(quick)
+    scale_bench = _ScaleBench(quick)
 
     workloads = [
         ("plan_enum_exhaustive", workload_plan_enum_exhaustive),
@@ -302,6 +362,11 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
         ("pipeline_per_record", lambda q: exec_bench.run("sequential")),
         ("pipeline_threaded", lambda q: exec_bench.run("threaded")),
         ("pipeline_batched", lambda q: exec_bench.run("batched")),
+        ("scale_sequential", lambda q: scale_bench.run("sequential")),
+        ("scale_sharded2", lambda q: scale_bench.run("sharded", 2)),
+        ("scale_sharded4", lambda q: scale_bench.run("sharded", 4)),
+        ("scale_sharded8", lambda q: scale_bench.run("sharded", 8)),
+        ("scale_async4", lambda q: scale_bench.run("async", 4)),
     ]
     results = {}
     for name, fn in workloads:

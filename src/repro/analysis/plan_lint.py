@@ -76,6 +76,11 @@ register_rule(
     "retrieve k exceeds the source record count",
     Severity.INFO,
 )
+register_rule(
+    "PZ109", "useless-sharding",
+    "the requested shard count cannot speed this plan up",
+    Severity.WARNING,
+)
 
 #: Aggregates that need numeric inputs.
 _NUMERIC_AGGS = (AggFunc.SUM, AggFunc.AVERAGE)
@@ -147,6 +152,7 @@ def lint_plan(
     plan: Union[LogicalPlan, "object"],
     source=None,
     config: Optional[LintConfig] = None,
+    shards: int = 1,
 ) -> LintResult:
     """Lint a logical plan (or a ``Dataset``); returns every finding.
 
@@ -154,8 +160,11 @@ def lint_plan(
         plan: a :class:`LogicalPlan` or anything with a ``logical_plan()``
             method (a :class:`~repro.core.dataset.Dataset`).
         source: optional :class:`~repro.core.sources.DataSource`; enables
-            cardinality-aware rules (PZ108).
+            cardinality-aware rules (PZ108, PZ109).
         config: per-rule enable/disable; defaults to everything on.
+        shards: requested scale-out parallelism degree; enables PZ109
+            (sharding that can't help — more shards than records, or a
+            leading limit that truncates the stream before it fans out).
     """
     if not isinstance(plan, LogicalPlan):
         if source is None:
@@ -175,6 +184,7 @@ def lint_plan(
     _lint_limits(ops, emitter)
     _lint_aggregates(ops, emitter)
     _lint_source_bounds(ops, source, emitter)
+    _lint_sharding(ops, source, shards, emitter)
     _lint_subplans(ops, result, config)
     return result
 
@@ -352,6 +362,43 @@ def _lint_source_bounds(ops: Sequence[LogicalOperator], source,
                 "record(s); every record is returned",
                 location=_location(index, op),
             )
+
+
+def _lint_sharding(ops: Sequence[LogicalOperator], source, shards: int,
+                   emitter: Emitter) -> None:
+    """PZ109: a shard count the plan/source cannot benefit from."""
+    if shards <= 1:
+        return
+    cardinality = None
+    if source is not None:
+        try:
+            cardinality = len(source)
+        except TypeError:
+            cardinality = None
+    if cardinality is not None and cardinality < shards:
+        emitter.emit(
+            "PZ109",
+            f"shards={shards} exceeds the source's {cardinality} "
+            "record(s); the extra shards receive no records and only add "
+            "scatter/gather overhead",
+            location="plan",
+            hint=f"use shards<={max(1, cardinality)} or let the optimizer "
+                 "choose the degree (shards=None)",
+        )
+    for index, op in enumerate(ops):
+        if isinstance(op, (FilteredScan, ConvertScan)):
+            break
+        if isinstance(op, LimitScan):
+            emitter.emit(
+                "PZ109",
+                f"limit({op.limit}) runs before any semantic operator, so "
+                f"the executor stops after {op.limit} record(s) and "
+                f"shards={shards} cannot fan the work out",
+                location=_location(index, op),
+                hint="move the limit after the semantic operators or drop "
+                     "the shards request",
+            )
+            break
 
 
 def _lint_subplans(ops: Sequence[LogicalOperator], result: LintResult,

@@ -165,8 +165,11 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
         r"\b(?:use|with|set)\s+(\d+)\s+(?:parallel\s+)?workers?\b"
         r"|\bin parallel\b", re.I)),
     ("executor", re.compile(
-        r"\b(?:sequential|parallel|pipelined)\s+(?:executor|engine|execution|mode)\b"
-        r"|\bexecutor\b|\bbatch size\b", re.I)),
+        r"\b(?:sequential|parallel|pipelined|sharded|async(?:io)?)"
+        r"\s+(?:executor|engine|execution|mode)\b"
+        r"|\bexecution mode\b|\bexecutor\b|\bbatch size\b"
+        r"|\b\d+\s+shards?\b|\bshard(?:ed)?\s+(?:the\s+)?(?:pipeline|execution)\b",
+        re.I)),
     ("explain", re.compile(
         r"\b(explain|compare|what) (?:the )?(physical )?plans?\b"
         r"|\bplan space\b|\bwhich plan\b", re.I)),
@@ -507,16 +510,26 @@ def plan_requests(message: str,
                 arguments={"workers": workers},
             ))
         elif intent == "executor":
-            name_match = re.search(r"\b(sequential|parallel|pipelined)\b",
-                                   clause, re.I)
-            executor = name_match.group(1).lower() if name_match else "pipelined"
+            name_match = re.search(
+                r"\b(sequential|parallel|pipelined|sharded|async)\b",
+                clause, re.I)
+            shard_match = re.search(r"\b(\d+)\s+shards?\b", clause, re.I)
+            if name_match:
+                executor = name_match.group(1).lower()
+            elif shard_match or re.search(r"\bshard", clause, re.I):
+                executor = "sharded"
+            else:
+                executor = "pipelined"
             size_match = re.search(r"\bbatch(?:\s+size)?(?:\s+of)?\s+(\d+)\b",
                                    clause, re.I)
             batch_size = int(size_match.group(1)) if size_match else 1
+            arguments = {"executor": executor, "batch_size": batch_size}
+            if executor in ("sharded", "async") and shard_match:
+                arguments["shards"] = int(shard_match.group(1))
             calls.append(ToolCall(
                 thought=f"Switch pipelines to the {executor} executor.",
                 tool_name="set_execution_mode",
-                arguments={"executor": executor, "batch_size": batch_size},
+                arguments=arguments,
             ))
         elif intent == "explain":
             calls.append(ToolCall(

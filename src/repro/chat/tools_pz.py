@@ -183,7 +183,10 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             raise ToolError("no dataset loaded yet; call load_dataset first")
         from repro.analysis import lint_plan
 
-        lint_result = lint_plan(workspace.current)
+        lint_result = lint_plan(
+            workspace.current,
+            shards=workspace.shards if workspace.shards is not None else 1,
+        )
         if not lint_result.ok:
             raise ToolError(
                 "the pipeline fails static analysis; nothing was "
@@ -196,6 +199,10 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             sample_size=workspace.sample_size,
             executor=workspace.executor,
             batch_size=workspace.batch_size,
+            shards=(
+                workspace.shards
+                if workspace.executor in ("sharded", "async") else None
+            ),
             lint=False,  # already linted above, with a friendlier message
             trace=True,  # so explain_execution can answer "what took so long"
             provenance=True,  # so explain_record can answer "why is X here"
@@ -440,27 +447,36 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
     def set_execution_mode(
         executor: str,
         batch_size: int = 1,
+        shards: Optional[int] = None,
         agent: AgentRef = None,
     ) -> str:
-        """Choose how pipelines execute: which executor and what batch size.
+        """Choose how pipelines execute: executor, batch size, shard count.
 
         The "pipelined" executor runs LLM operators on real worker threads
         connected by bounded queues and can batch LLM calls, amortizing the
         fixed per-call overhead; it produces exactly the same records as the
-        other executors, faster.  "parallel" models record-level parallelism
-        on virtual-clock lanes; "sequential" processes one record at a time.
+        other executors, faster.  "sharded" scatters the pipeline over
+        deterministic source shards (and "async" fans it out over asyncio
+        tasks) — pass ``shards`` to pin the parallelism degree, or leave it
+        unset to let the optimizer choose one with the cost model.
+        "parallel" models record-level parallelism on virtual-clock lanes;
+        "sequential" processes one record at a time.
 
         Args:
-            executor: "sequential", "parallel", or "pipelined".
-            batch_size: records per LLM batch (pipelined executor only;
+            executor: "sequential", "parallel", "pipelined", "sharded",
+                or "async".
+            batch_size: records per LLM batch (pipelined/sharded executors;
                 1 = one call per record).
+            shards: parallelism degree for sharded/async (None = let the
+                optimizer choose).
 
         Examples:
             set_execution_mode(executor="pipelined", batch_size=8)
-            set_execution_mode(executor="sequential")
+            set_execution_mode(executor="sharded", shards=4)
+            set_execution_mode(executor="async")   # optimizer picks degree
         """
         executor = str(executor).strip().lower()
-        valid = ("sequential", "parallel", "pipelined")
+        valid = ("sequential", "parallel", "pipelined", "sharded", "async")
         if executor not in valid:
             raise ToolError(
                 f"unknown executor {executor!r}; "
@@ -469,15 +485,30 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         batch_size = int(batch_size)
         if batch_size < 1:
             raise ToolError("batch_size must be >= 1")
+        if shards is not None:
+            shards = int(shards)
+            if shards < 1:
+                raise ToolError("shards must be >= 1")
+            if executor not in ("sharded", "async"):
+                raise ToolError(
+                    "shards only applies to the sharded/async executors"
+                )
         workspace.executor = executor
         workspace.batch_size = batch_size
+        workspace.shards = shards
         workspace.log_step(
-            "execution_mode", executor=executor, batch_size=batch_size
+            "execution_mode", executor=executor, batch_size=batch_size,
+            shards=shards,
         )
-        suffix = (
-            f" with batch size {batch_size}" if executor == "pipelined"
-            else ""
-        )
+        if executor == "pipelined":
+            suffix = f" with batch size {batch_size}"
+        elif executor in ("sharded", "async"):
+            suffix = (
+                f" with {shards} shards" if shards is not None
+                else " (optimizer chooses the shard count)"
+            )
+        else:
+            suffix = ""
         return f"Pipelines will now use the {executor} executor{suffix}."
 
     @tool()

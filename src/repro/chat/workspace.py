@@ -41,10 +41,13 @@ class PipelineWorkspace:
         self.policy: Policy = MaxQuality()
         self.max_workers: int = 1
         #: None = infer from max_workers; else "sequential" | "parallel"
-        #: | "pipelined".
+        #: | "pipelined" | "sharded" | "async".
         self.executor: Optional[str] = None
-        #: LLM-stage batch size used by the pipelined executor.
+        #: LLM-stage batch size used by the pipelined/sharded executors.
         self.batch_size: int = 1
+        #: Shard count for the sharded/async executors; None lets the
+        #: optimizer choose the degree.
+        self.shards: Optional[int] = None
         self.sample_size: int = 0
         self.steps: List[PipelineStep] = []
         self.last_records: Optional[List[DataRecord]] = None
@@ -95,6 +98,7 @@ class PipelineWorkspace:
             "max_workers": self.max_workers,
             "executor": self.executor,
             "batch_size": self.batch_size,
+            "shards": self.shards,
             "sample_size": self.sample_size,
             "steps": copy.deepcopy(self.steps),
         }
@@ -106,6 +110,7 @@ class PipelineWorkspace:
         self.max_workers = snapshot["max_workers"]
         self.executor = snapshot.get("executor")
         self.batch_size = snapshot.get("batch_size", 1)
+        self.shards = snapshot.get("shards")
         self.sample_size = snapshot["sample_size"]
         self.steps = copy.deepcopy(snapshot["steps"])
         self.last_records = None

@@ -334,6 +334,9 @@ def _cmd_trace(args) -> int:
         max_workers=args.workers,
         executor=args.executor,
         batch_size=args.batch_size,
+        shards=(
+            args.shards if args.executor in ("sharded", "async") else None
+        ),
         trace=True,
     )
     trace = stats.trace
@@ -348,7 +351,8 @@ def _cmd_trace(args) -> int:
         print(
             f"recorded {len(trace)} spans over {trace.makespan:.3f} "
             f"virtual seconds ({len(records)} records, "
-            f"{args.executor} executor)"
+            f"{stats.executor} executor, shards={stats.shards}, "
+            f"batch_size={stats.batch_size})"
         )
         print()
         print(report.render())
@@ -391,6 +395,10 @@ def _cmd_runs(args) -> int:
             max_workers=args.workers,
             executor=args.executor,
             batch_size=args.batch_size,
+            shards=(
+                args.shards if args.executor in ("sharded", "async")
+                else None
+            ),
             trace=True,
             provenance=True,
         )
@@ -593,10 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quality | cost | runtime")
     trace.add_argument("--workers", type=int, default=4)
     trace.add_argument("--executor",
-                       choices=("sequential", "parallel", "pipelined"),
+                       choices=("sequential", "parallel", "pipelined",
+                                "sharded", "async"),
                        default="pipelined")
     trace.add_argument("--batch-size", type=int, default=4,
-                       help="LLM batch size (pipelined executor)")
+                       help="LLM batch size (pipelined/sharded executors)")
+    trace.add_argument("--shards", type=int, default=None,
+                       help="shard count for --executor sharded/async "
+                            "(default: optimizer chooses)")
     trace.add_argument("--data-dir", default=None,
                        help="where to generate/reuse the demo corpora")
     trace.add_argument("--output", default=None, metavar="PATH",
@@ -640,9 +652,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quality | cost | runtime")
     record.add_argument("--workers", type=int, default=1)
     record.add_argument("--executor",
-                        choices=("sequential", "parallel", "pipelined"),
+                        choices=("sequential", "parallel", "pipelined",
+                                 "sharded", "async"),
                         default="sequential")
     record.add_argument("--batch-size", type=int, default=1)
+    record.add_argument("--shards", type=int, default=None,
+                        help="shard count for --executor sharded/async "
+                             "(default: optimizer chooses)")
     record.add_argument("--data-dir", default=None,
                         help="where to generate/reuse the demo corpora")
     _runs_dir(record)

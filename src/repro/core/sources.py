@@ -43,6 +43,17 @@ class DataSource:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def _cheap_len(self) -> Optional[int]:
+        """``len(self)`` when it costs O(1), else ``None``.
+
+        Sources backed by a materialized collection (directory listing,
+        in-memory list, declared callback length) override this;
+        iterator-only sources return ``None`` and :meth:`profile` counts
+        records during its sampling pass instead of walking the stream a
+        second time just for ``__len__``.
+        """
+        return None
+
     def sample(self, k: int) -> List[DataRecord]:
         """The first ``k`` records (used for sentinel optimization runs)."""
         out: List[DataRecord] = []
@@ -65,11 +76,25 @@ class DataSource:
             cached = self._profile_cache.get(sample_size)
             if cached is not None:
                 return cached
-        sample = self.sample(sample_size)
-        token_counts = [count_tokens(r.document_text()) for r in sample]
+        cardinality = self._cheap_len()
+        if cardinality is None:
+            # Single pass: token-count the first ``sample_size`` records and
+            # keep counting (without re-marshaling work per record beyond
+            # iteration) to learn the cardinality.
+            token_counts: List[int] = []
+            cardinality = 0
+            for record in self:
+                if len(token_counts) < sample_size:
+                    token_counts.append(count_tokens(record.document_text()))
+                cardinality += 1
+        else:
+            token_counts = [
+                count_tokens(r.document_text())
+                for r in self.sample(sample_size)
+            ]
         avg = statistics.mean(token_counts) if token_counts else 0.0
         profile = SourceProfile(
-            cardinality=len(self),
+            cardinality=cardinality,
             avg_document_tokens=avg,
         )
         self._profile_cache[sample_size] = profile
@@ -141,6 +166,10 @@ class DirectorySource(DataSource):
     def __len__(self) -> int:
         return len(self._list_files())
 
+    def _cheap_len(self) -> Optional[int]:
+        # Listing the directory is cheap; parsing every file is not.
+        return len(self._list_files())
+
     def __iter__(self) -> Iterator[DataRecord]:
         for file_path in self._list_files():
             try:
@@ -172,6 +201,9 @@ class FileSource(DataSource):
         self._schema_override = schema
 
     def __len__(self) -> int:
+        return 1
+
+    def _cheap_len(self) -> Optional[int]:
         return 1
 
     def __iter__(self) -> Iterator[DataRecord]:
@@ -207,6 +239,9 @@ class MemorySource(DataSource):
         return TextFile
 
     def __len__(self) -> int:
+        return len(self._items)
+
+    def _cheap_len(self) -> Optional[int]:
         return len(self._items)
 
     def __iter__(self) -> Iterator[DataRecord]:
@@ -251,6 +286,9 @@ class CallbackSource(DataSource):
             return self._length
         return sum(1 for _ in self._factory())
 
+    def _cheap_len(self) -> Optional[int]:
+        return self._length
+
     def __iter__(self) -> Iterator[DataRecord]:
         for record in self._factory():
             if not isinstance(record, DataRecord):
@@ -259,6 +297,143 @@ class CallbackSource(DataSource):
                     f"{type(record).__name__}"
                 )
             yield record
+
+
+# -- sharding ------------------------------------------------------------
+
+#: Assign record ``i`` to shard ``i % K`` — no profiling pass required.
+SHARD_ROUND_ROBIN = "round_robin"
+#: Greedy size balancing: each record goes to the currently lightest shard
+#: by accumulated document tokens (lowest shard index breaks ties).
+SHARD_BALANCED = "balanced"
+
+SHARD_STRATEGIES = (SHARD_ROUND_ROBIN, SHARD_BALANCED)
+
+
+def shard_assignment(
+    shards: int,
+    count: Optional[int] = None,
+    weights: Optional[List[float]] = None,
+    strategy: str = SHARD_ROUND_ROBIN,
+) -> List[int]:
+    """Deterministic shard index per arrival index.
+
+    Pure function of its inputs, so the scatter performed online by the
+    sharded executor and the offline :func:`shard_source` partitioning agree
+    record-for-record.  ``count`` drives round-robin; per-record ``weights``
+    (document token counts) drive the balanced strategy.
+    """
+    if shards < 1:
+        raise DatasetError(f"shards must be >= 1, got {shards}")
+    if strategy == SHARD_ROUND_ROBIN:
+        if count is None:
+            if weights is None:
+                raise DatasetError("round_robin sharding needs a record count")
+            count = len(weights)
+        return [i % shards for i in range(count)]
+    if strategy == SHARD_BALANCED:
+        if weights is None:
+            raise DatasetError(
+                "balanced sharding needs per-record weights "
+                "(document token counts)"
+            )
+        loads = [0.0] * shards
+        assignment: List[int] = []
+        for weight in weights:
+            shard = min(range(shards), key=lambda s: (loads[s], s))
+            loads[shard] += max(0.0, float(weight))
+            assignment.append(shard)
+        return assignment
+    raise DatasetError(
+        f"unknown shard strategy {strategy!r}; "
+        f"expected one of {SHARD_STRATEGIES}"
+    )
+
+
+def source_record_weights(source: DataSource) -> List[int]:
+    """Per-record document token counts, cached on the source.
+
+    This is the profiling pass behind balanced sharding; it walks the source
+    once and memoizes so repeated ``shard_source`` calls are free.
+    """
+    cached = getattr(source, "_record_weight_cache", None)
+    if cached is None:
+        cached = [count_tokens(r.document_text()) for r in source]
+        source._record_weight_cache = cached
+    return cached
+
+
+class SourceShard(DataSource):
+    """One deterministic shard of a parent source.
+
+    Global record identity is preserved: the shard yields the parent's own
+    records (same fingerprints, same source ids) and remembers each record's
+    global arrival index so a gather stage can restore the original order.
+    """
+
+    def __init__(self, parent: DataSource, shard_index: int,
+                 assignment: List[int], strategy: str):
+        if shard_index < 0:
+            raise DatasetError(f"shard_index must be >= 0, got {shard_index}")
+        super().__init__(
+            f"{parent.dataset_id}#shard{shard_index}", parent.schema
+        )
+        self.parent = parent
+        self.shard_index = shard_index
+        self.strategy = strategy
+        self._assignment = assignment
+
+    @property
+    def global_indices(self) -> List[int]:
+        """Arrival indices (in the parent) of this shard's records."""
+        return [
+            i for i, shard in enumerate(self._assignment)
+            if shard == self.shard_index
+        ]
+
+    def __len__(self) -> int:
+        return len(self.global_indices)
+
+    def _cheap_len(self) -> Optional[int]:
+        return len(self.global_indices)
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        for index, record in enumerate(self.parent):
+            if (index < len(self._assignment)
+                    and self._assignment[index] == self.shard_index):
+                yield record
+
+
+def shard_source(
+    source: DataSource,
+    shards: int,
+    strategy: str = SHARD_ROUND_ROBIN,
+) -> List[SourceShard]:
+    """Partition ``source`` into ``shards`` deterministic shards.
+
+    The assignment is cached on the source per ``(shards, strategy)`` so
+    repeated partitioning (optimizer estimates, then execution) reuses it.
+    """
+    cache: Dict[Any, List[int]] = getattr(source, "_shard_cache", None) or {}
+    key = (shards, strategy)
+    assignment = cache.get(key)
+    if assignment is None:
+        if strategy == SHARD_BALANCED:
+            weights = source_record_weights(source)
+            assignment = shard_assignment(
+                shards, weights=weights, strategy=strategy
+            )
+        else:
+            count = source._cheap_len()
+            if count is None:
+                count = len(source)
+            assignment = shard_assignment(shards, count=count,
+                                          strategy=strategy)
+        cache[key] = assignment
+        source._shard_cache = cache
+    return [
+        SourceShard(source, k, assignment, strategy) for k in range(shards)
+    ]
 
 
 class DataSourceRegistry:

@@ -28,6 +28,11 @@ from repro.corpora.realestate import (
     LISTING_FIELDS,
 )
 from repro.corpora.demo import register_demo_datasets
+from repro.corpora.scale import (
+    generate_scale_source,
+    SCALE_PREDICATE,
+    SCALE_FIELDS,
+)
 
 __all__ = [
     "load_corpus_facts",
@@ -42,4 +47,7 @@ __all__ = [
     "REALESTATE_PREDICATE",
     "LISTING_FIELDS",
     "register_demo_datasets",
+    "generate_scale_source",
+    "SCALE_PREDICATE",
+    "SCALE_FIELDS",
 ]

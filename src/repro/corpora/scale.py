@@ -1,0 +1,107 @@
+"""Large synthetic corpora for scale-out benchmarks.
+
+The demo corpora (papers/legal/realestate) are sized like the paper's
+scenarios — a dozen documents.  Measuring the sharded and async executors'
+scaling curves needs sources three to four orders of magnitude larger, so
+this module generates a deterministic in-memory corpus of 10k–100k short
+"clinical notes": no disk writes, oracle truth registered per note, every
+note distinct.  ``scripts/perf_snapshot.py`` runs its ``scale_*`` workloads
+over it and records the curves into ``BENCH_perf.json``.
+
+Determinism: note text is a pure function of ``(index, seed)``, so a given
+``(n_docs, seed)`` pair always produces byte-identical documents,
+fingerprints, and oracle answers — run after run, process after process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.builtin_schemas import TextFile
+from repro.core.sources import MemorySource
+from repro.llm.oracle import DocumentTruth, global_oracle
+
+#: The canonical filter predicate of the scale workload.
+SCALE_PREDICATE = "The note is about colorectal cancer"
+
+#: Extraction fields of the scale workload's schema.
+SCALE_FIELDS: Dict[str, str] = {
+    "cohort": "The name of the study cohort",
+    "stage": "The reported disease stage",
+}
+
+#: Every ``RELEVANT_EVERY``-th note matches :data:`SCALE_PREDICATE`.
+RELEVANT_EVERY = 2
+
+_CONDITIONS = (
+    "pediatric asthma",
+    "type 2 diabetes",
+    "chronic kidney disease",
+    "seasonal influenza",
+)
+
+_STAGES = ("I", "II", "III", "IV")
+
+
+def _note_text(index: int, seed: int, relevant: bool) -> str:
+    cohort = f"SC-{seed}-{index:06d}"
+    if relevant:
+        condition = "colorectal cancer"
+        detail = (
+            "colonoscopy screening with adenoma follow-up and "
+            "KRAS mutation profiling"
+        )
+    else:
+        condition = _CONDITIONS[index % len(_CONDITIONS)]
+        detail = "routine outpatient monitoring with standard labs"
+    stage = _STAGES[index % len(_STAGES)]
+    return (
+        f"Clinical note {index} (cohort {cohort}). "
+        f"The patient presents with {condition}, stage {stage}. "
+        f"Management plan: {detail}. "
+        f"Recorded by registry node {index % 7} for longitudinal study."
+    )
+
+
+def generate_scale_source(
+    n_docs: int = 10_000,
+    seed: int = 11,
+    difficulty: float = 0.0,
+    dataset_id: str = "",
+) -> MemorySource:
+    """An in-memory corpus of ``n_docs`` short notes with oracle truth.
+
+    Half the notes (every :data:`RELEVANT_EVERY`-th, starting at 0) are
+    about colorectal cancer; each note carries a unique ``cohort`` name and
+    a cycling ``stage``, so filters, converts, and group-bys all have
+    non-trivial work.  Notes are deliberately short (~40 words) — at 100k
+    documents the simulated tokenizer, not the prose, should dominate.
+    """
+    if n_docs < 1:
+        raise ValueError(f"n_docs must be >= 1, got {n_docs}")
+    oracle = global_oracle()
+    docs = []
+    for index in range(n_docs):
+        relevant = index % RELEVANT_EVERY == 0
+        text = _note_text(index, seed, relevant)
+        docs.append(text)
+        oracle.register(
+            text,
+            DocumentTruth(
+                predicates={
+                    SCALE_PREDICATE: relevant,
+                    "about colorectal cancer": relevant,
+                },
+                fields={
+                    "cohort": f"SC-{seed}-{index:06d}",
+                    "stage": _STAGES[index % len(_STAGES)],
+                },
+                difficulty=difficulty,
+                label=f"scale-note-{index:06d}",
+            ),
+        )
+    return MemorySource(
+        docs,
+        dataset_id=dataset_id or f"scale-{n_docs}-s{seed}",
+        schema=TextFile,
+    )

@@ -9,6 +9,8 @@ the total pipeline cost and runtime" — that is what
 from repro.execution.stats import OperatorStats, PlanStats, ExecutionStats
 from repro.execution.executors import SequentialExecutor, ParallelExecutor
 from repro.execution.pipeline import PipelinedExecutor
+from repro.execution.sharded import ShardedExecutor
+from repro.execution.asyncexec import AsyncExecutor
 from repro.execution.execute import Execute, ExecutionEngine
 
 __all__ = [
@@ -18,6 +20,8 @@ __all__ = [
     "SequentialExecutor",
     "ParallelExecutor",
     "PipelinedExecutor",
+    "ShardedExecutor",
+    "AsyncExecutor",
     "Execute",
     "ExecutionEngine",
 ]

@@ -9,8 +9,10 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.dataset import Dataset
 from repro.core.records import DataRecord
+from repro.execution.asyncexec import AsyncExecutor
 from repro.execution.executors import ParallelExecutor, SequentialExecutor
 from repro.execution.pipeline import PipelinedExecutor
+from repro.execution.sharded import ShardedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.llm.models import ModelRegistry
 from repro.obs.provenance import NULL_PROVENANCE, ProvenanceRecorder
@@ -32,12 +34,18 @@ class ExecutionEngine:
         lint: run plan lint before optimizing; error-level findings raise
             :class:`~repro.analysis.LintError` instead of executing.
         executor: which executor runs the chosen plan — "sequential",
-            "parallel", or "pipelined" (real worker threads with bounded
-            queues).  ``None`` keeps the historical inference: parallel
-            when ``max_workers > 1``, sequential otherwise.
-        batch_size: LLM-stage batch size for the pipelined executor; the
-            cost model amortizes per-call overhead accordingly.  Ignored
-            (beyond costing) by the other executors, which call per record.
+            "parallel", "pipelined" (real worker threads with bounded
+            queues), "sharded" (scatter/gather over deterministic source
+            shards), or "async" (asyncio fan-out over the client's
+            coroutine API).  ``None`` keeps the historical inference:
+            parallel when ``max_workers > 1``, sequential otherwise.
+        batch_size: LLM-stage batch size for the pipelined/sharded
+            executors; the cost model amortizes per-call overhead
+            accordingly.  Ignored (beyond costing) by the other executors,
+            which call per record.
+        shards: parallelism degree for the "sharded"/"async" executors.
+            ``None`` (default) lets the optimizer enumerate degrees and
+            *choose* one with the cost model; an integer pins it.
         trace: observability.  ``False`` (default) disables tracing at zero
             cost; ``True`` records the run with a fresh
             :class:`~repro.obs.Tracer`; an existing ``Tracer`` instance
@@ -58,7 +66,9 @@ class ExecutionEngine:
             optimizer).
     """
 
-    EXECUTORS = ("sequential", "parallel", "pipelined")
+    EXECUTORS = ("sequential", "parallel", "pipelined", "sharded", "async")
+    #: Executors that scatter the shardable prefix over source shards.
+    SCALE_OUT_EXECUTORS = ("sharded", "async")
 
     def __init__(
         self,
@@ -70,6 +80,7 @@ class ExecutionEngine:
         lint: bool = True,
         executor: Optional[str] = None,
         batch_size: int = 1,
+        shards: Optional[int] = None,
         trace: Union[bool, Tracer] = False,
         provenance: Union[bool, ProvenanceRecorder] = False,
         **candidate_options,
@@ -85,6 +96,16 @@ class ExecutionEngine:
             )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if executor not in self.SCALE_OUT_EXECUTORS:
+                raise ValueError(
+                    "shards only applies to the "
+                    f"{' / '.join(self.SCALE_OUT_EXECUTORS)} executors; "
+                    f"got executor={executor!r}"
+                )
+        self.shards = shards
         self.policy = policy
         self.max_workers = max_workers
         self.sample_size = sample_size
@@ -120,6 +141,7 @@ class ExecutionEngine:
 
     def optimize(self, dataset: Dataset,
                  tracer=None) -> OptimizationReport:
+        name = self._executor_name()
         optimizer = Optimizer(
             policy=self.policy,
             max_workers=self.max_workers,
@@ -127,8 +149,12 @@ class ExecutionEngine:
             models=self.models,
             lint=self.lint,
             batch_size=(
-                self.batch_size if self._executor_name() == "pipelined" else 1
+                self.batch_size
+                if name in ("pipelined",) + self.SCALE_OUT_EXECUTORS
+                else 1
             ),
+            executor=name,
+            shards=self.shards,
             tracer=tracer,
             **self.candidate_options,
         )
@@ -184,17 +210,27 @@ class ExecutionEngine:
             if self.cache is not None else (0, 0, 0)
         )
         name = self._executor_name()
+        chosen_plan = report.chosen.plan
+        plan_shards = max(1, getattr(chosen_plan, "shards", 1))
         if name == "pipelined":
             executor = PipelinedExecutor(
                 context,
                 max_workers=self.max_workers,
                 batch_size=self.batch_size,
             )
+        elif name == "sharded":
+            executor = ShardedExecutor(
+                context, shards=plan_shards, batch_size=self.batch_size
+            )
+        elif name == "async":
+            executor = AsyncExecutor(
+                context, fanout=plan_shards, batch_size=self.batch_size
+            )
         elif name == "parallel":
             executor = ParallelExecutor(context, max_workers=self.max_workers)
         else:
             executor = SequentialExecutor(context)
-        records, plan_stats = executor.execute(report.chosen.plan)
+        records, plan_stats = executor.execute(chosen_plan)
         if self.cache is not None:
             cache_hits = self.cache.stats.hits - cache_before[0]
             cache_misses = self.cache.stats.misses - cache_before[1]
@@ -211,7 +247,12 @@ class ExecutionEngine:
             optimization_time_seconds=report.sentinel_time_seconds,
             max_workers=self.max_workers,
             executor=name,
-            batch_size=self.batch_size if name == "pipelined" else 1,
+            batch_size=(
+                self.batch_size
+                if name in ("pipelined",) + self.SCALE_OUT_EXECUTORS
+                else 1
+            ),
+            shards=plan_shards if name in self.SCALE_OUT_EXECUTORS else 1,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             cache_evictions=cache_evictions,
@@ -232,6 +273,7 @@ def Execute(
     lint: bool = True,
     executor: Optional[str] = None,
     batch_size: int = 1,
+    shards: Optional[int] = None,
     trace: Union[bool, Tracer] = False,
     provenance: Union[bool, ProvenanceRecorder] = False,
     **candidate_options,
@@ -249,6 +291,13 @@ def Execute(
         records, stats = Execute(
             dataset, executor="pipelined", max_workers=4, batch_size=8
         )
+
+    Pass ``executor="sharded"`` (or ``"async"``) to scatter the plan over
+    deterministic source shards; omit ``shards`` to let the optimizer
+    choose the degree, or pin it explicitly::
+
+        records, stats = Execute(dataset, executor="sharded")          # chosen
+        records, stats = Execute(dataset, executor="sharded", shards=4)  # pinned
 
     Pass ``trace=True`` to record an execution trace (``stats.trace``)::
 
@@ -271,6 +320,7 @@ def Execute(
         lint=lint,
         executor=executor,
         batch_size=batch_size,
+        shards=shards,
         trace=trace,
         provenance=provenance,
         **candidate_options,

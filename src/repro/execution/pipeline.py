@@ -163,16 +163,65 @@ class _PipeMeter:
                 busy_before = clock.local_advanced
                 result = fn()
                 busy_delta = clock.local_advanced - busy_before
+        self._account(inputs, n_outputs(result), busy_delta, bucket)
+        return result
+
+    async def aprocess(self, record: DataRecord) -> List[DataRecord]:
+        """Async twin of :meth:`process` with identical accounting.
+
+        The awaited operator must not suspend between the accounting
+        boundaries (the simulated client's coroutines never do), so the
+        thread-local capture/advance attribution below stays exact even
+        with many asyncio tasks sharing the event-loop thread.
+        """
+        clock = self.context.clock
+        tracer = self.context.tracer
+        if tracer.enabled:
+            with tracer.span("op.process", SpanKind.OPERATOR, clock=clock,
+                             op=self.op.op_label) as span:
+                with self.context.ledger.capture() as bucket:
+                    busy_before = clock.local_advanced
+                    result = await self.op.aprocess(record)
+                    busy_delta = clock.local_advanced - busy_before
+                span.finish_at(span.start + busy_delta)
+                span.set_attribute("records_in", 1)
+                span.set_attribute("records_out", len(result))
+        else:
+            with self.context.ledger.capture() as bucket:
+                busy_before = clock.local_advanced
+                result = await self.op.aprocess(record)
+                busy_delta = clock.local_advanced - busy_before
+        self._account(1, len(result), busy_delta, bucket)
+        return result
+
+    def charge_accumulate(self, record: DataRecord) -> None:
+        """Pay a decomposable blocking op's per-record fold cost here.
+
+        Scale-out executors call this on a shard worker's lane (counting the
+        record in and charging ``accumulate_seconds``) and later replay only
+        the unmetered state mutation — ``accumulate_silent`` — in global
+        order at the gather, so the combined accounting matches a
+        sequential ``accumulate`` exactly.
+        """
+        op = self.op
+        seconds = op.accumulate_seconds
+        assert seconds is not None, f"{op.op_label} fold is not decomposable"
+        self._metered(
+            lambda: op._charge_local_time(seconds) or [],
+            inputs=1, span_name="op.accumulate",
+        )
+
+    def _account(self, inputs: int, outputs: int, busy_delta: float,
+                 bucket) -> None:
         with self._lock:
             self.stats.records_in += inputs
-            self.stats.records_out += n_outputs(result)
+            self.stats.records_out += outputs
             self.stats.time_seconds += busy_delta
             self.stats.llm_calls += len(bucket)
             for usage in bucket:
                 self.stats.cost_usd += usage.cost_usd
                 self.stats.input_tokens += usage.input_tokens
                 self.stats.output_tokens += usage.output_tokens
-        return result
 
 
 class _Stage:
@@ -227,6 +276,10 @@ class PipelinedExecutor:
         on_event: optional progress callback (same events the sequential
             executor emits; may be invoked from worker threads).
     """
+
+    #: Name recorded on the plan.run span and in ExecutionStats; subclasses
+    #: (the sharded and async executors) override it.
+    EXECUTOR_NAME = "pipelined"
 
     def __init__(self, context: Optional[ExecutionContext] = None,
                  max_workers: Optional[int] = None, batch_size: int = 1,
@@ -607,8 +660,8 @@ class PipelinedExecutor:
         self.context.provenance.begin_plan(plan)
         with tracer.span(
             "plan.run", SpanKind.PLAN, clock=self.context.clock,
-            plan_id=plan.plan_id, executor="pipelined",
-            workers=self.max_workers, batch_size=self.batch_size,
+            plan_id=plan.plan_id, executor=self.EXECUTOR_NAME,
+            **self._plan_span_attrs(),
         ) as plan_span:
             meters = [_PipeMeter(op, self.context) for op in plan]
             for meter in meters:
@@ -622,7 +675,7 @@ class PipelinedExecutor:
                     else self._scan_only(plan, meters[0])
                 )
             else:
-                sink = self._execute_pipelined(plan, meters)
+                sink = self._execute_concurrent(plan, meters)
             plan_span.finish_at(self.context.clock.elapsed)
 
         plan_stats = build_plan_stats(
@@ -635,6 +688,15 @@ class PipelinedExecutor:
             "cost_usd": plan_stats.total_cost_usd,
         })
         return sink, plan_stats
+
+    def _plan_span_attrs(self) -> dict:
+        """Extra attributes for the plan.run span (overridden by subclasses)."""
+        return {"workers": self.max_workers, "batch_size": self.batch_size}
+
+    def _execute_concurrent(self, plan: PhysicalPlan,
+                            meters: List[_PipeMeter]) -> List[DataRecord]:
+        """The concurrent execution strategy; subclasses swap theirs in."""
+        return self._execute_pipelined(plan, meters)
 
     def _scan_only(self, plan: PhysicalPlan,
                    scan_meter: _PipeMeter) -> List[DataRecord]:

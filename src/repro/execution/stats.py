@@ -104,10 +104,14 @@ class ExecutionStats:
     optimization_cost_usd: float = 0.0
     optimization_time_seconds: float = 0.0
     max_workers: int = 1
-    #: Which executor ran the plan: "sequential", "parallel", or "pipelined".
+    #: Which executor ran the plan: "sequential", "parallel", "pipelined",
+    #: "sharded", or "async".
     executor: str = "sequential"
     #: LLM-stage batch size the plan ran with (1 = per-record calls).
     batch_size: int = 1
+    #: Shard count (parallelism degree) for the sharded/async executors;
+    #: 1 for the single-chain executors.
+    shards: int = 1
     #: CallCache activity during this run (deltas, since the cache may be
     #: shared across runs); zeros when no cache was attached.
     cache_hits: int = 0
@@ -150,6 +154,7 @@ class ExecutionStats:
             "max_workers": self.max_workers,
             "executor": self.executor,
             "batch_size": self.batch_size,
+            "shards": self.shards,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
@@ -166,6 +171,8 @@ class ExecutionStats:
             f"policy:            {self.policy or '<none>'}",
             f"plans considered:  {self.plans_considered}",
             f"executed plan:     {self.plan_stats.plan_describe}",
+            f"executor:          {self.executor} "
+            f"(shards={self.shards}, batch_size={self.batch_size})",
             f"records produced:  {self.plan_stats.records_out}",
             f"total runtime:     {self.total_time_seconds:.1f} s",
             f"total cost:        ${self.total_cost_usd:.4f}",

@@ -26,7 +26,19 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.sources import SourceProfile
 from repro.physical.base import PhysicalOperator, StreamEstimate
-from repro.physical.plan import PhysicalPlan
+from repro.physical.plan import PhysicalPlan, shard_safe
+from repro.physical.scan import MarshalAndScan
+
+#: Executors that scatter the shardable prefix over source shards.
+SCALE_OUT_EXECUTORS = ("sharded", "async")
+
+#: Fixed per-shard scale-out overhead: worker/task setup, queue plumbing,
+#: and the gather thread's reorder bookkeeping (simulated seconds).
+SHARD_SETUP_SECONDS = 0.005
+
+#: Per-record scatter cost: routing each scanned record to its shard and
+#: re-sequencing its bundle at the gather (simulated seconds).
+SCATTER_SECONDS_PER_RECORD = 0.0002
 
 
 @dataclass(frozen=True)
@@ -76,6 +88,10 @@ class PlanAccumulator:
     quality: float
     stream: StreamEstimate
     from_sample: bool = False
+    #: Still inside the maximal shard-safe run after the scan?  Scale-out
+    #: executors only data-parallelize that prefix; the flag flips (for
+    #: good) at the first non-shard-safe downstream operator.
+    in_shardable_prefix: bool = True
 
 
 class CostModel:
@@ -91,6 +107,13 @@ class CostModel:
             batch instead of once per record, so the amortized share
             ``overhead * (1 - 1/batch_size)`` comes off each LLM record's
             estimated time.  Cost and quality are unaffected.
+        executor: which executor the estimate prices.  For the scale-out
+            executors (``"sharded"``/``"async"``) LLM time inside the
+            shardable prefix divides by ``shards`` instead of
+            ``max_workers``, and :meth:`finish` adds the scatter/gather
+            overhead (``SHARD_SETUP_SECONDS`` per shard plus
+            ``SCATTER_SECONDS_PER_RECORD`` per scanned record).
+        shards: parallelism degree assumed for a scale-out executor.
     """
 
     def __init__(
@@ -99,14 +122,20 @@ class CostModel:
         max_workers: int = 1,
         sample_stats: Optional[Dict[str, SampleStats]] = None,
         batch_size: int = 1,
+        executor: str = "sequential",
+        shards: int = 1,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.source_profile = source_profile
         self.max_workers = max_workers
         self.batch_size = batch_size
+        self.executor = executor
+        self.shards = shards
         self.sample_stats = dict(sample_stats or {})
         # (op, input cardinality, avg tokens) -> resolved per-op numbers.
         # Keyed on the operator instance itself: enumeration reuses one
@@ -183,10 +212,27 @@ class CostModel:
                 time_per_record
                 - op.model.overhead_seconds * (1.0 - 1.0 / self.batch_size),
             )
+        # Track whether ``op`` still sits in the shardable prefix (the scan
+        # is prefix-neutral: the prefix is defined over downstream ops).
+        in_prefix = acc.in_shardable_prefix
+        if (
+            in_prefix
+            and not isinstance(op, MarshalAndScan)
+            and not shard_safe(op)
+        ):
+            in_prefix = False
         op_time = time_per_record * input_cardinality
         if op.is_llm_op:
-            # Record-parallel LLM calls spread across workers.
-            op_time /= self.max_workers
+            if (
+                self.executor in SCALE_OUT_EXECUTORS
+                and acc.in_shardable_prefix
+                and shard_safe(op)
+            ):
+                # Scale-out executors scatter prefix LLM calls over shards.
+                op_time /= self.shards
+            else:
+                # Record-parallel LLM calls spread across workers.
+                op_time /= self.max_workers
         return PlanAccumulator(
             cost_usd=acc.cost_usd + cost_per_record * input_cardinality,
             time_seconds=acc.time_seconds + op_time,
@@ -196,15 +242,26 @@ class CostModel:
                 avg_document_tokens=acc.stream.avg_document_tokens,
             ),
             from_sample=acc.from_sample or sampled,
+            in_shardable_prefix=in_prefix,
         )
 
     def finish(self, plan: PhysicalPlan,
                acc: PlanAccumulator) -> PlanEstimate:
         """Seal a fully-extended accumulator into a :class:`PlanEstimate`."""
+        time_seconds = acc.time_seconds
+        if self.executor in SCALE_OUT_EXECUTORS and self.shards > 1:
+            # Scatter/gather isn't free: per-shard setup plus per-record
+            # routing.  This is what makes the optimizer prefer degree 1
+            # on tiny sources instead of maximal fan-out everywhere.
+            time_seconds += (
+                SHARD_SETUP_SECONDS * self.shards
+                + SCATTER_SECONDS_PER_RECORD
+                * float(self.source_profile.cardinality)
+            )
         return PlanEstimate(
             plan=plan,
             cost_usd=acc.cost_usd,
-            time_seconds=acc.time_seconds,
+            time_seconds=time_seconds,
             quality=acc.quality,
             output_cardinality=acc.stream.cardinality,
             from_sample=acc.from_sample,

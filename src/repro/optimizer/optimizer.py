@@ -8,7 +8,12 @@ from typing import Dict, List, Optional
 from repro.core.logical import LogicalPlan
 from repro.core.sources import DataSource, MemorySource
 from repro.llm.models import ModelRegistry, default_registry
-from repro.optimizer.cost_model import CostModel, PlanEstimate, SampleStats
+from repro.optimizer.cost_model import (
+    SCALE_OUT_EXECUTORS,
+    CostModel,
+    PlanEstimate,
+    SampleStats,
+)
 from repro.obs.trace import NULL_TRACER, SpanKind
 from repro.optimizer.planner import (
     EXHAUSTIVE_LIMIT,
@@ -24,6 +29,11 @@ from repro.physical.scan import MarshalAndScan
 
 #: At most this many frontier plans get a sentinel (sample) run.
 SENTINEL_PLAN_CAP = 6
+
+#: Parallelism degrees the optimizer enumerates for the scale-out
+#: executors when the caller doesn't pin one (filtered to the source
+#: cardinality — sharding an N-record source more than N ways is waste).
+SHARD_DEGREES = (1, 2, 4, 8)
 
 
 @dataclass
@@ -63,6 +73,17 @@ class Optimizer:
             pipelined executor amortizes per-call overhead across a batch);
             stamped onto the chosen plan via
             :meth:`~repro.physical.plan.PhysicalPlan.with_batch_size`.
+        executor: which executor the cost model prices ("sequential" by
+            default).  For the scale-out executors ("sharded"/"async")
+            prefix LLM time divides by the shard count and the estimate
+            carries scatter/gather overhead.
+        shards: parallelism degree for a scale-out executor.  ``None``
+            (default) makes the optimizer *enumerate* the degrees in
+            :data:`SHARD_DEGREES` (capped at the source cardinality) as
+            extra plan candidates and lets the policy choose one jointly
+            with the operator choices; an integer pins the degree.  The
+            chosen plan is stamped via
+            :meth:`~repro.physical.plan.PhysicalPlan.with_shards`.
         sample_size: if > 0, run the Pareto-frontier plans on this many
             sample records first ("sentinel" execution) and replace the
             naive per-operator estimates with observed statistics.
@@ -85,12 +106,18 @@ class Optimizer:
         models: Optional[ModelRegistry] = None,
         lint: bool = True,
         batch_size: int = 1,
+        executor: str = "sequential",
+        shards: Optional[int] = None,
         tracer=None,
         **candidate_options,
     ):
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.policy = policy or MaxQuality()
         self.max_workers = max_workers
         self.batch_size = batch_size
+        self.executor = executor
+        self.shards = shards
         self.sample_size = sample_size
         self.models = models or default_registry()
         self.lint = lint
@@ -102,14 +129,20 @@ class Optimizer:
         if self.lint:
             from repro.analysis import LintError, lint_plan
 
-            lint_result = lint_plan(logical_plan, source=source)
+            lint_result = lint_plan(
+                logical_plan, source=source,
+                shards=self.shards if self.shards is not None else 1,
+            )
             if not lint_result.ok:
                 raise LintError(lint_result)
         profile = source.profile()
+        scale_out = self.executor in SCALE_OUT_EXECUTORS
         cost_model = CostModel(
             profile,
             max_workers=self.max_workers,
             batch_size=self.batch_size,
+            executor=self.executor,
+            shards=self.shards if self.shards is not None else 1,
         )
         tracer = self.tracer
         with tracer.span(
@@ -142,6 +175,7 @@ class Optimizer:
         sentinel_cost = 0.0
         sentinel_time = 0.0
         sentinel_runs = 0
+        measured_quality: Dict[str, float] = {}
         if self.sample_size > 0 and profile.cardinality > 0:
             (sentinel_cost, sentinel_time, sentinel_runs,
              measured_quality) = self._run_sentinels(
@@ -150,21 +184,17 @@ class Optimizer:
             # Re-estimate everything with the observed statistics folded
             # in; sentinel-run plans additionally get their *measured*
             # output quality (sample output vs perfect reference).
-            import dataclasses
-
-            updated = []
-            for candidate in candidates:
-                estimate = cost_model.estimate_plan(candidate.plan)
-                if candidate.plan.plan_id in measured_quality:
-                    estimate = dataclasses.replace(
-                        estimate,
-                        quality=measured_quality[candidate.plan.plan_id],
-                        from_sample=True,
-                    )
-                updated.append(
-                    PlanCandidate(plan=candidate.plan, estimate=estimate)
+            candidates = [
+                self._requalified(
+                    candidate.plan, cost_model, measured_quality
                 )
-            candidates = updated
+                for candidate in candidates
+            ]
+
+        if scale_out and self.shards is None:
+            candidates = self._enumerate_degrees(
+                candidates, profile, cost_model, measured_quality
+            )
 
         estimates = [c.estimate for c in candidates]
         with tracer.span(
@@ -180,6 +210,17 @@ class Optimizer:
                 choose_span.set_attribute(
                     "frontier", len(pareto_frontier(candidates))
                 )
+                if scale_out:
+                    choose_span.set_attribute(
+                        "shards",
+                        self.shards if self.shards is not None
+                        else chosen.plan.shards,
+                    )
+        if scale_out and self.shards is not None:
+            chosen = PlanCandidate(
+                plan=chosen.plan.with_shards(self.shards),
+                estimate=chosen.estimate,
+            )
         if self.batch_size > 1:
             chosen = PlanCandidate(
                 plan=chosen.plan.with_batch_size(self.batch_size),
@@ -196,6 +237,66 @@ class Optimizer:
         )
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _requalified(
+        plan: PhysicalPlan,
+        cost_model: CostModel,
+        measured_quality: Dict[str, float],
+    ) -> PlanCandidate:
+        """Estimate ``plan`` with ``cost_model``, folding in any measured
+        sentinel quality (keyed by plan id, which ignores shard/batch
+        stamps — a sampled plan stays sampled at every degree)."""
+        import dataclasses
+
+        estimate = cost_model.estimate_plan(plan)
+        if plan.plan_id in measured_quality:
+            estimate = dataclasses.replace(
+                estimate,
+                quality=measured_quality[plan.plan_id],
+                from_sample=True,
+            )
+        return PlanCandidate(plan=plan, estimate=estimate)
+
+    def _enumerate_degrees(
+        self,
+        candidates: List[PlanCandidate],
+        profile,
+        cost_model: CostModel,
+        measured_quality: Dict[str, float],
+    ) -> List[PlanCandidate]:
+        """Cross every candidate with the shard degrees in
+        :data:`SHARD_DEGREES` so the policy chooses the parallelism degree
+        jointly with the operator choices.
+
+        Degree-1 candidates are the incoming ones unchanged (the base cost
+        model already priced ``shards=1``); each higher degree gets its own
+        cost model sharing the sentinel-observed ``sample_stats``, and its
+        plans are stamped via ``with_shards`` so the executor honors the
+        choice.
+        """
+        cardinality = max(1, int(profile.cardinality))
+        expanded = list(candidates)
+        for degree in SHARD_DEGREES:
+            if degree == 1 or degree > cardinality:
+                continue
+            degree_model = CostModel(
+                profile,
+                max_workers=self.max_workers,
+                sample_stats=cost_model.sample_stats,
+                batch_size=self.batch_size,
+                executor=self.executor,
+                shards=degree,
+            )
+            expanded.extend(
+                self._requalified(
+                    candidate.plan.with_shards(degree),
+                    degree_model,
+                    measured_quality,
+                )
+                for candidate in candidates
+            )
+        return expanded
 
     def _run_sentinels(
         self,

@@ -8,6 +8,7 @@ from repro.core.logical import AggFunc, Aggregate, GroupByAggregate
 from repro.core.records import DataRecord
 from repro.obs.provenance import DropReason
 from repro.physical.base import (
+    LOCAL_OP_SECONDS,
     BlockingPhysicalOperator,
     OperatorCostEstimates,
     StreamEstimate,
@@ -47,6 +48,9 @@ class AggregateOp(BlockingPhysicalOperator):
     """Whole-dataset scalar aggregate: one output record."""
 
     strategy = "Aggregate"
+    # The fold is a constant-time append; scale-out executors pay the charge
+    # shard-locally and replay the mutation in global order at the gather.
+    accumulate_seconds = LOCAL_OP_SECONDS
 
     def __init__(self, logical_op: Aggregate):
         super().__init__(logical_op)
@@ -63,6 +67,9 @@ class AggregateOp(BlockingPhysicalOperator):
 
     def accumulate(self, record: DataRecord) -> None:
         self._charge_local_time()
+        self.accumulate_silent(record)
+
+    def accumulate_silent(self, record: DataRecord) -> None:
         self._count += 1
         self._records.append(record)
         if self.agg.field is not None:
@@ -100,6 +107,9 @@ class GroupByOp(BlockingPhysicalOperator):
     """Hash group-by with per-group aggregates."""
 
     strategy = "GroupBy"
+    # Decomposable like AggregateOp: close() sorts groups, so group state is
+    # insensitive to which shard paid each record's fold charge.
+    accumulate_seconds = LOCAL_OP_SECONDS
 
     def __init__(self, logical_op: GroupByAggregate):
         super().__init__(logical_op)
@@ -112,6 +122,9 @@ class GroupByOp(BlockingPhysicalOperator):
 
     def accumulate(self, record: DataRecord) -> None:
         self._charge_local_time()
+        self.accumulate_silent(record)
+
+    def accumulate_silent(self, record: DataRecord) -> None:
         key = tuple(
             str(record.get(field)) for field in self.groupby.group_fields
         )

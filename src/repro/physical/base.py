@@ -112,6 +112,17 @@ class PhysicalOperator:
     def process(self, record: DataRecord) -> List[DataRecord]:
         raise NotImplementedError
 
+    async def aprocess(self, record: DataRecord) -> List[DataRecord]:
+        """Asynchronous twin of :meth:`process` for the async executor.
+
+        Contract: identical outputs, clock charges, and ledger entries as
+        :meth:`process`.  The default simply delegates; LLM-bound operators
+        override it to await the client's coroutine API.  Overrides must
+        never suspend mid-record — the executor relies on each record's
+        accounting being atomic on the event-loop thread.
+        """
+        return self.process(record)
+
     def process_batch(
         self, records: Sequence[DataRecord]
     ) -> List[List[DataRecord]]:
@@ -149,6 +160,15 @@ class PhysicalOperator:
 class BlockingPhysicalOperator(PhysicalOperator):
     """An operator that must see all input before emitting output."""
 
+    #: Per-record fold cost when the fold is *decomposable*: the charge is a
+    #: record-independent constant and the folded state does not depend on
+    #: arrival order (or the op restores order itself at close).  Scale-out
+    #: executors then pay this charge shard-locally in parallel and replay
+    #: only the cheap state mutation (:meth:`accumulate_silent`) in global
+    #: order at the gather barrier.  ``None`` (the default) means the fold
+    #: is not decomposable and must run entirely post-gather.
+    accumulate_seconds: Optional[float] = None
+
     @property
     def is_blocking(self) -> bool:
         return True
@@ -158,6 +178,15 @@ class BlockingPhysicalOperator(PhysicalOperator):
         return []
 
     def accumulate(self, record: DataRecord) -> None:
+        raise NotImplementedError
+
+    def accumulate_silent(self, record: DataRecord) -> None:
+        """Fold ``record`` into state without charging the clock.
+
+        Only meaningful when :attr:`accumulate_seconds` is set; decomposable
+        operators implement ``accumulate`` as a time charge followed by this
+        mutation so executors can split the two across threads.
+        """
         raise NotImplementedError
 
     def close(self) -> List[DataRecord]:

@@ -10,6 +10,31 @@ from repro.physical.base import PhysicalOperator
 from repro.physical.scan import MarshalAndScan
 
 
+def shard_safe(op: PhysicalOperator) -> bool:
+    """Can ``op`` process records shard-parallel with identical results?
+
+    True for stateless record-local streaming operators: LLM-bound filters,
+    converts, and semantic joins (answers are pure functions of
+    ``(model, document, task)``), plus projections.  Order-sensitive
+    streaming operators (limits, distinct, code-synthesis converts — the
+    first records seen become exemplars) and blocking operators must run
+    post-gather in global arrival order.
+
+    Shared by the sharded/async executors and the cost model so the priced
+    shardable prefix is exactly the executed one.
+    """
+    from repro.physical.converts import CodeSynthesisConvert
+    from repro.physical.structural import ProjectOp
+
+    if isinstance(op, ProjectOp):
+        return True
+    return (
+        op.is_llm_op
+        and not op.is_blocking
+        and not isinstance(op, CodeSynthesisConvert)
+    )
+
+
 class PhysicalPlan:
     """A linear chain of physical operators, scan first.
 
@@ -19,18 +44,27 @@ class PhysicalPlan:
     the batch.  It changes *when* simulated time is charged, never which
     records are produced, so two plans differing only in batch size share
     a ``plan_id``.
+
+    ``shards`` is the data-parallelism degree the optimizer chose for the
+    sharded/async executors: the source is partitioned into this many
+    deterministic shards and the shardable operator prefix runs once per
+    shard.  Like batch size, it never changes which records are produced,
+    so it is excluded from ``plan_id`` too.
     """
 
     def __init__(self, operators: List[PhysicalOperator],
-                 batch_size: int = 1):
+                 batch_size: int = 1, shards: int = 1):
         if not operators:
             raise PlanError("a physical plan needs at least one operator")
         if not isinstance(operators[0], MarshalAndScan):
             raise PlanError("a physical plan must start with MarshalAndScan")
         if batch_size < 1:
             raise PlanError(f"batch_size must be >= 1, got {batch_size}")
+        if shards < 1:
+            raise PlanError(f"shards must be >= 1, got {shards}")
         self.operators = list(operators)
         self.batch_size = batch_size
+        self.shards = shards
 
     @property
     def scan(self) -> MarshalAndScan:
@@ -47,7 +81,23 @@ class PhysicalPlan:
 
     def with_batch_size(self, batch_size: int) -> "PhysicalPlan":
         """A copy of this plan whose LLM stages run in ``batch_size`` batches."""
-        return PhysicalPlan(self.operators, batch_size=batch_size)
+        return PhysicalPlan(self.operators, batch_size=batch_size,
+                            shards=self.shards)
+
+    def with_shards(self, shards: int) -> "PhysicalPlan":
+        """A copy of this plan scattered across ``shards`` source shards."""
+        return PhysicalPlan(self.operators, batch_size=self.batch_size,
+                            shards=shards)
+
+    @property
+    def shardable_prefix(self) -> List[PhysicalOperator]:
+        """The maximal run of shard-safe operators after the scan."""
+        prefix: List[PhysicalOperator] = []
+        for op in self.downstream:
+            if not shard_safe(op):
+                break
+            prefix.append(op)
+        return prefix
 
     def models_used(self) -> List[str]:
         return sorted(
