@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec bench-scale perf lint trace runs examples all clean
+.PHONY: install test bench bench-exec bench-scale perf lint lint-concurrency trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,12 @@ bench-scale:
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:
 	PYTHONPATH=src python -m repro lint examples
+
+# Concurrency & determinism lint (CC5xx only) over the engine source:
+# guarded-by discipline, dead locks, worker writes, nondeterminism sources.
+# --strict because the family's warnings (CC502/CC506/CC507) are real bugs.
+lint-concurrency:
+	PYTHONPATH=src python -m repro lint --family CC --strict src/repro
 
 # Record a demo execution trace, print the critical-path analysis, and
 # validate the exported Chrome trace_event JSON.

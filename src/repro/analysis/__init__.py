@@ -11,6 +11,12 @@ Three analyzer families share one diagnostics vocabulary:
 * ``OB4xx`` (:mod:`repro.analysis.obs_lint`) — span naming/attribute
   conventions over finalized execution traces and event conventions
   over finalized provenance graphs.
+* ``CC5xx`` (:mod:`repro.analysis.concurrency`) — guarded-by lock
+  discipline (``_GUARDED_BY`` maps), worker-shared state, and
+  nondeterminism sources (wall clock, entropy, ``id()`` leaks,
+  unordered iteration) over engine source and generated programs;
+  its dynamic half is the runtime lock sanitizer
+  (:mod:`repro.analysis.sanitizer`).
 
 ``repro lint`` (the CLI) drives all three; see ``docs/diagnostics.md``
 for the full rule table.
@@ -43,6 +49,8 @@ from repro.analysis.codegen_lint import (
     lint_workspace_steps,
 )
 from repro.analysis.obs_lint import lint_provenance, lint_trace
+from repro.analysis.concurrency import lint_source_concurrency
+from repro.analysis.sanitizer import SanitizerReport, sanitize
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -63,6 +71,9 @@ __all__ = [
     "lint_notebook",
     "lint_program",
     "lint_provenance",
+    "lint_source_concurrency",
     "lint_trace",
     "lint_workspace_steps",
+    "SanitizerReport",
+    "sanitize",
 ]

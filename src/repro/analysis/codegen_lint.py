@@ -264,6 +264,15 @@ def lint_program(
     _lint_api_usage(module, aliases, api, emitter, filename)
     _lint_dataset_calls(module, aliases, dataset_methods, emitter, filename)
     _ModuleNames(emitter, filename).run(module)
+    # Generated programs get the same concurrency/determinism scrutiny as
+    # the engine's own source (CC5xx): a program that reads the wall clock
+    # or iterates a set into its output breaks run-to-run reproducibility
+    # just as surely as an engine bug would.
+    from repro.analysis.concurrency import lint_source_concurrency
+
+    lint_source_concurrency(
+        source, filename=filename, config=config, result=result
+    )
     return result
 
 

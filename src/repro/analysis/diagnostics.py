@@ -224,13 +224,34 @@ class LintResult:
             f"{len(self.infos)} info(s)"
         )
 
+    def by_family(self) -> Dict[str, List[Diagnostic]]:
+        """Diagnostics grouped by rule family (``PZ``, ``AG``, ...)."""
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for diagnostic in self.diagnostics:
+            family = diagnostic.code.rstrip("0123456789")
+            grouped.setdefault(family, []).append(diagnostic)
+        return grouped
+
     def to_json(self) -> str:
+        families = {
+            family: {
+                "findings": len(diagnostics),
+                "errors": sum(
+                    1 for d in diagnostics if d.severity is Severity.ERROR
+                ),
+                "warnings": sum(
+                    1 for d in diagnostics if d.severity is Severity.WARNING
+                ),
+            }
+            for family, diagnostics in sorted(self.by_family().items())
+        }
         return json.dumps(
             {
                 "diagnostics": [d.to_dict() for d in self.diagnostics],
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
                 "infos": len(self.infos),
+                "families": families,
             },
             indent=2,
         )

@@ -278,23 +278,75 @@ def _lint_loaded(paths: List[str], config, result) -> None:
                     )
 
 
+#: Human labels for the rule families, for --list-rules grouping.
+_FAMILY_LABELS = {
+    "PZ": "plan lint",
+    "AG": "agent/tool lint",
+    "CG": "codegen lint",
+    "OB": "observability lint",
+    "CC": "concurrency & determinism",
+}
+
+
+def _rule_families():
+    """{family: [Rule, ...]} over every registered rule, sorted."""
+    from repro.analysis import all_rules
+
+    families = {}
+    for rule in all_rules():
+        families.setdefault(rule.code.rstrip("0123456789"), []).append(rule)
+    return families
+
+
 def _cmd_lint(args) -> int:
-    from repro.analysis import LintConfig, LintResult, all_rules, lint_plan
+    from repro.analysis import LintConfig, LintResult, lint_plan
+
+    families = _rule_families()
 
     if args.list_rules:
-        for rule in all_rules():
-            print(rule.describe())
+        for family in sorted(families):
+            rules = families[family]
+            label = _FAMILY_LABELS.get(family, "other")
+            print(f"{family} — {label} ({len(rules)} rules)")
+            for rule in rules:
+                print(f"  {rule.describe()}")
+        print(
+            f"{sum(len(r) for r in families.values())} rules in "
+            f"{len(families)} families"
+        )
         return 0
 
     config = LintConfig.parse(args.disable)
+    if args.family:
+        wanted = {
+            token.strip().upper()
+            for token in args.family.split(",") if token.strip()
+        }
+        unknown = wanted - set(families)
+        if unknown:
+            print(
+                f"unknown rule families: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(families))}"
+            )
+            return 2
+        config = LintConfig(
+            disabled=config.disabled | (set(families) - wanted),
+            severity_overrides=config.severity_overrides,
+        )
+
+    def family_enabled(family: str) -> bool:
+        return any(config.is_enabled(r.code) for r in families[family])
+
     result = LintResult()
 
-    if not args.no_demos:
+    # Skip demo/tool linting when their entire families are filtered out
+    # (--family CC shouldn't pay for demo corpus generation).
+    if not args.no_demos and family_enabled("PZ"):
         for scenario, dataset in _demo_pipelines(args.data_dir).items():
             result.extend(lint_plan(dataset, config=config),
                           location_prefix=f"demo:{scenario} ")
 
-    if not args.no_tools:
+    if not args.no_tools and family_enabled("AG"):
         from repro.analysis import lint_registry
         from repro.chat.tools_pz import build_pz_tools
         from repro.chat.workspace import PipelineWorkspace
@@ -577,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--disable", default=None, metavar="CODES",
                       help="comma-separated rule codes or prefixes to "
                            "disable (e.g. PZ102,AG,CG312)")
+    lint.add_argument("--family", default=None, metavar="FAMILIES",
+                      help="comma-separated rule families to run "
+                           "exclusively (e.g. CC or PZ,OB); all other "
+                           "families are disabled")
     lint.add_argument("--strict", action="store_true",
                       help="exit non-zero on warnings too")
     lint.add_argument("--format", choices=("text", "json"),

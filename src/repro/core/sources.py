@@ -16,6 +16,7 @@ Those three styles are :class:`DirectorySource`, :class:`MemorySource`, and
 from __future__ import annotations
 
 import statistics
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Type
 
@@ -350,16 +351,40 @@ def shard_assignment(
     )
 
 
+#: Serializes the shard-assignment and record-weight memos below.  Sources
+#: are shared objects (registries hand the same instance to every engine),
+#: so once concurrent plans shard the same source — the multi-tenant
+#: server of ROADMAP item 1 — the read-compute-store sequences race.
+#: Assignments are pure functions of (source, k, strategy), so the lock
+#: only prevents lost updates and torn dict mutation, not wrong answers.
+_SHARD_CACHE_LOCK = threading.Lock()
+
+#: Module-level lock discipline for the memo attributes stashed on
+#: sources, checked by pz-lint CC501 and the runtime sanitizer.
+_GUARDED_BY = {
+    "_shard_cache": "_SHARD_CACHE_LOCK",
+    "_record_weight_cache": "_SHARD_CACHE_LOCK",
+}
+
+
 def source_record_weights(source: DataSource) -> List[int]:
     """Per-record document token counts, cached on the source.
 
     This is the profiling pass behind balanced sharding; it walks the source
     once and memoizes so repeated ``shard_source`` calls are free.
     """
-    cached = getattr(source, "_record_weight_cache", None)
+    with _SHARD_CACHE_LOCK:
+        cached = getattr(source, "_record_weight_cache", None)
     if cached is None:
-        cached = [count_tokens(r.document_text()) for r in source]
-        source._record_weight_cache = cached
+        # Compute outside the lock: profiling walks the whole source, and
+        # a duplicate computation by a racing thread yields the identical
+        # list (weights are a pure function of the source).
+        computed = [count_tokens(r.document_text()) for r in source]
+        with _SHARD_CACHE_LOCK:
+            cached = getattr(source, "_record_weight_cache", None)
+            if cached is None:
+                cached = computed
+                source._record_weight_cache = cached
     return cached
 
 
@@ -414,10 +439,16 @@ def shard_source(
     The assignment is cached on the source per ``(shards, strategy)`` so
     repeated partitioning (optimizer estimates, then execution) reuses it.
     """
-    cache: Dict[Any, List[int]] = getattr(source, "_shard_cache", None) or {}
     key = (shards, strategy)
-    assignment = cache.get(key)
+    with _SHARD_CACHE_LOCK:
+        cache: Optional[Dict[Any, List[int]]] = getattr(
+            source, "_shard_cache", None
+        )
+        assignment = cache.get(key) if cache else None
     if assignment is None:
+        # Compute outside the lock (balanced sharding profiles the whole
+        # source); racing threads compute the same assignment, and the
+        # store below keeps whichever landed first.
         if strategy == SHARD_BALANCED:
             weights = source_record_weights(source)
             assignment = shard_assignment(
@@ -429,8 +460,12 @@ def shard_source(
                 count = len(source)
             assignment = shard_assignment(shards, count=count,
                                           strategy=strategy)
-        cache[key] = assignment
-        source._shard_cache = cache
+        with _SHARD_CACHE_LOCK:
+            cache = getattr(source, "_shard_cache", None)
+            if cache is None:
+                cache = {}
+                source._shard_cache = cache
+            assignment = cache.setdefault(key, assignment)
     return [
         SourceShard(source, k, assignment, strategy) for k in range(shards)
     ]

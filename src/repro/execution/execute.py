@@ -62,6 +62,14 @@ class ExecutionEngine:
             ``why``/``why_not``, persist it with
             :class:`~repro.obs.registry.RunRegistry`).  Like tracing, it
             never changes records, stats, or LLM call counts.
+        sanitize: run the plan under the lock sanitizer
+            (:mod:`repro.analysis.sanitizer`): every lock created during
+            the run is observed, the cross-thread lock-order graph is
+            recorded, and guarded-attribute writes are checked against
+            the ``_GUARDED_BY`` declarations.  The
+            :class:`~repro.analysis.sanitizer.SanitizerReport` is
+            attached to ``ExecutionStats.sanitizer``.  Observation only:
+            sanitized runs produce byte-identical records/stats/traces.
         candidate_options: plan-space ablation switches (forwarded to the
             optimizer).
     """
@@ -83,6 +91,7 @@ class ExecutionEngine:
         shards: Optional[int] = None,
         trace: Union[bool, Tracer] = False,
         provenance: Union[bool, ProvenanceRecorder] = False,
+        sanitize: bool = False,
         **candidate_options,
     ):
         if policy is None:
@@ -116,6 +125,7 @@ class ExecutionEngine:
         self.batch_size = batch_size
         self.trace = trace
         self.provenance = provenance
+        self.sanitize = sanitize
         self.candidate_options = candidate_options
 
     def _make_tracer(self):
@@ -188,6 +198,20 @@ class ExecutionEngine:
         return "\n".join(lines)
 
     def execute(
+        self, dataset: Dataset
+    ) -> Tuple[List[DataRecord], ExecutionStats]:
+        if self.sanitize:
+            # Open the window before the context exists so the run's own
+            # locks (clock, ledger, meters, stages) are created wrapped.
+            from repro.analysis.sanitizer import sanitize as sanitize_ctx
+
+            with sanitize_ctx() as report:
+                records, stats = self._execute(dataset)
+            stats.sanitizer = report
+            return records, stats
+        return self._execute(dataset)
+
+    def _execute(
         self, dataset: Dataset
     ) -> Tuple[List[DataRecord], ExecutionStats]:
         tracer, traced = self._make_tracer()
@@ -276,6 +300,7 @@ def Execute(
     shards: Optional[int] = None,
     trace: Union[bool, Tracer] = False,
     provenance: Union[bool, ProvenanceRecorder] = False,
+    sanitize: bool = False,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -310,6 +335,13 @@ def Execute(
         records, stats = Execute(dataset, provenance=True)
         print(repro.obs.render_why(
             stats.provenance.why(stats.provenance.output_ids[0])))
+
+    Pass ``sanitize=True`` to run under the lock sanitizer
+    (``stats.sanitizer`` carries the report)::
+
+        records, stats = Execute(dataset, executor="pipelined",
+                                 max_workers=4, sanitize=True)
+        assert stats.sanitizer.ok()
     """
     engine = ExecutionEngine(
         policy=policy,
@@ -323,6 +355,7 @@ def Execute(
         shards=shards,
         trace=trace,
         provenance=provenance,
+        sanitize=sanitize,
         **candidate_options,
     )
     return engine.execute(dataset)

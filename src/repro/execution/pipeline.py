@@ -100,6 +100,10 @@ class _PipeMeter:
     to different operators attribute correctly.
     """
 
+    #: Writes-only: readers (build_plan_stats, after all workers joined)
+    #: see a quiesced meter.
+    _GUARDED_BY = {"stats": ("_lock", "writes")}
+
     def __init__(self, op: PhysicalOperator, context: ExecutionContext):
         self.op = op
         self.context = context
@@ -227,6 +231,8 @@ class _PipeMeter:
 class _Stage:
     """One segment of the operator chain plus its plumbing."""
 
+    _GUARDED_BY = {"exited": "exit_lock", "eos": "exit_lock"}
+
     def __init__(self, meters: List[_PipeMeter], parallel: bool,
                  workers: int, lane_base: int):
         self.meters = meters
@@ -280,6 +286,10 @@ class PipelinedExecutor:
     #: Name recorded on the plan.run span and in ExecutionStats; subclasses
     #: (the sharded and async executors) override it.
     EXECUTOR_NAME = "pipelined"
+
+    #: Writes-only: the post-join reads in execute() happen after every
+    #: worker thread has exited.
+    _GUARDED_BY = {"_errors": ("_error_lock", "writes")}
 
     def __init__(self, context: Optional[ExecutionContext] = None,
                  max_workers: Optional[int] = None, batch_size: int = 1,
@@ -645,7 +655,8 @@ class PipelinedExecutor:
 
     def execute(self, plan: PhysicalPlan) -> Tuple[List[DataRecord], PlanStats]:
         self._abort.clear()
-        self._errors.clear()
+        with self._error_lock:
+            self._errors.clear()
         if self.batch_size == 1 and getattr(plan, "batch_size", 1) > 1:
             # Honor the batch size the optimizer stamped onto the plan when
             # the caller did not pick one explicitly.
@@ -726,8 +737,9 @@ class PipelinedExecutor:
                     scan_lane, op=scan_label, records_in=1, records_out=1,
                 )
             self.context.provenance.source(record)
-            scan_meter.stats.records_in += 1
-            scan_meter.stats.records_out += 1
+            with scan_meter._lock:
+                scan_meter.stats.records_in += 1
+                scan_meter.stats.records_out += 1
             yield record
 
     def _execute_pipelined(self, plan: PhysicalPlan,

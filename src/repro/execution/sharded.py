@@ -72,6 +72,10 @@ from repro.physical.plan import PhysicalPlan, shard_safe
 class _ShardRun:
     """Mutable state shared by one sharded execution's threads."""
 
+    #: ``total`` is writes-only: _close_prefix reads it after every shard
+    #: worker has exited (the last-one-out check is itself locked).
+    _GUARDED_BY = {"exited": "exit_lock", "total": ("exit_lock", "writes")}
+
     __slots__ = (
         "prefix", "suffix", "decomp_meter", "gather_queue", "close_span",
         "exit_lock", "exited", "total", "shards",

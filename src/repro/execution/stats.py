@@ -127,6 +127,11 @@ class ExecutionStats:
     #: via repro.obs.registry.RunRegistry.
     provenance: Optional[Any] = field(default=None, repr=False,
                                       compare=False)
+    #: The SanitizerReport when the run was sanitized
+    #: (``Execute(sanitize=True)``), else None.  Excluded from
+    #: serialization/comparison like trace and provenance.
+    sanitizer: Optional[Any] = field(default=None, repr=False,
+                                     compare=False)
 
     @property
     def total_time_seconds(self) -> float:

@@ -58,6 +58,14 @@ class CallCache:
     #: Simulated latency of a cache hit, in seconds.
     HIT_LATENCY_SECONDS = 0.002
 
+    #: Lock discipline, checked by pz-lint CC501 and the runtime
+    #: sanitizer.  ``stats`` is writes-only: external callers read the
+    #: counters lock-free (monotonic ints, staleness is harmless).
+    _GUARDED_BY = {
+        "_entries": "_lock",
+        "stats": ("_lock", "writes"),
+    }
+
     def __init__(self, max_entries: Optional[int] = None):
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive or None")

@@ -29,6 +29,8 @@ class VirtualClock:
     would read off a stopwatch for the whole run).
     """
 
+    _GUARDED_BY = {"_lane_times": "_lock"}
+
     def __init__(self, lanes: int = 1):
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")

@@ -172,6 +172,8 @@ class ModelRegistry:
     benchmarks can construct private registries to control the plan space.
     """
 
+    _GUARDED_BY = {"_cards": "_lock"}
+
     def __init__(self, cards: Optional[Iterable[ModelCard]] = None):
         self._lock = threading.Lock()
         self._cards: Dict[str, ModelCard] = {}

@@ -92,6 +92,10 @@ class GroundTruthRegistry:
     lock so even a pathological overlap cannot corrupt the table.
     """
 
+    #: Writes-only guard: the class's documented contract is lock-free
+    #: reads (single atomic dict lookups of immutable truths).
+    _GUARDED_BY = {"_truths": ("_lock", "writes")}
+
     def __init__(self):
         self._truths: Dict[str, DocumentTruth] = {}
         self._lock = threading.Lock()

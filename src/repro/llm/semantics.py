@@ -89,7 +89,7 @@ def _labelled_value(field_name: str, text: str) -> Optional[str]:
         field_name.replace("_", " ").title(),
         field_name.upper(),
     }
-    for variant in variants:
+    for variant in sorted(variants):
         pattern = re.compile(
             r"^\s*" + re.escape(variant) + r"\s*[:\-]\s*(.+)$", re.M | re.I
         )

@@ -75,6 +75,8 @@ class UsageLedger:
     appended to the capture list.
     """
 
+    _GUARDED_BY = {"_records": "_lock"}
+
     def __init__(self):
         self._records: List[LLMUsage] = []
         self._lock = threading.Lock()

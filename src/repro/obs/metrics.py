@@ -28,6 +28,8 @@ class Counter:
 
     __slots__ = ("name", "best_effort", "_value", "_lock")
 
+    _GUARDED_BY = {"_value": "_lock"}
+
     def __init__(self, name: str, best_effort: bool = False):
         self.name = name
         self.best_effort = best_effort
@@ -51,6 +53,8 @@ class Gauge:
     """A point-in-time value; ``set_max`` keeps the high-water mark."""
 
     __slots__ = ("name", "best_effort", "_value", "_lock")
+
+    _GUARDED_BY = {"_value": "_lock"}
 
     def __init__(self, name: str, best_effort: bool = False):
         self.name = name
@@ -94,6 +98,14 @@ class Histogram:
 
     __slots__ = ("name", "best_effort", "_count", "_sum", "_min", "_max",
                  "_samples", "_lock")
+
+    _GUARDED_BY = {
+        "_count": "_lock",
+        "_sum": "_lock",
+        "_min": "_lock",
+        "_max": "_lock",
+        "_samples": "_lock",
+    }
 
     def __init__(self, name: str, best_effort: bool = False):
         self.name = name
@@ -164,6 +176,8 @@ class MetricsRegistry:
     ``op.2.records_out``, ``pipeline.stage0.busy_seconds``) — the same
     convention pz-lint's ``OB401`` enforces for span names.
     """
+
+    _GUARDED_BY = {"_metrics": "_lock"}
 
     def __init__(self):
         self._metrics: Dict[str, Any] = {}

@@ -145,6 +145,15 @@ class ProvenanceRecorder:
     events must not pollute the outer graph.
     """
 
+    _GUARDED_BY = {
+        "_op_index": "_lock",
+        "_op_labels": "_lock",
+        "_records": "_lock",
+        "_roots": "_lock",
+        "_origin_counts": "_lock",
+        "_events": "_lock",
+    }
+
     def __init__(self):
         self._lock = threading.Lock()
         self._op_index: Dict[int, int] = {}

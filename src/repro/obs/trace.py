@@ -202,6 +202,8 @@ class Trace:
 class TraceStore:
     """Thread-safe accumulation of root spans for one tracer."""
 
+    _GUARDED_BY = {"_roots": "_lock"}
+
     def __init__(self):
         self._roots: List[Span] = []
         self._lock = threading.Lock()

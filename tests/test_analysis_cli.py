@@ -133,3 +133,70 @@ class TestFlags:
         args = ["lint", "--no-demos", "--no-tools", "--load", fixture]
         assert main(args) == 0
         assert main(args + ["--strict"]) == 1
+
+
+class TestFamilyFilter:
+    CC_FIXTURE = (
+        "import time\n"
+        "def stamp(record):\n"
+        "    record.at = time.time()\n"
+    )
+
+    def test_family_runs_only_that_family(self, tmp_path, capsys):
+        # The fixture breaks a CG rule (undefined name) AND a CC rule
+        # (wall clock); --family CC must surface only the CC finding.
+        fixture = write(tmp_path, "mixed.py", (
+            "import time\n"
+            "print(undefined_name)\n"
+            "stamp = time.time()\n"
+        ))
+        code = main([
+            "lint", "--no-demos", "--no-tools", "--family", "CC", fixture,
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CC504" in out
+        assert "CG304" not in out
+
+    def test_family_accepts_multiple(self, tmp_path, capsys):
+        fixture = write(tmp_path, "mixed2.py", (
+            "import time\n"
+            "print(undefined_name)\n"
+            "stamp = time.time()\n"
+        ))
+        code = main([
+            "lint", "--no-demos", "--no-tools", "--family", "CC,CG",
+            fixture,
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CC504" in out and "CG304" in out
+
+    def test_unknown_family_exits_2(self, capsys):
+        assert main(["lint", "--family", "ZZ"]) == 2
+        assert "unknown rule families" in capsys.readouterr().out
+
+    def test_family_cc_clean_on_engine_source(self, capsys):
+        src = str(Path(__file__).resolve().parents[1] / "src" / "repro")
+        code = main(["lint", "--no-demos", "--no-tools",
+                     "--family", "CC", "--strict", src])
+        assert code == 0, capsys.readouterr().out
+
+    def test_list_rules_grouped_with_counts(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("PZ", "AG", "CG", "OB", "CC"):
+            assert f"{family} — " in out
+        assert "CC501" in out and "CC507" in out
+        assert "rules in 5 families" in out
+
+    def test_json_families_block(self, tmp_path, capsys):
+        fixture = write(tmp_path, "cc_broken.py", self.CC_FIXTURE)
+        code = main([
+            "lint", "--no-demos", "--no-tools", "--format", "json",
+            fixture,
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["families"]["CC"]["findings"] == 1
+        assert payload["families"]["CC"]["errors"] == 1
