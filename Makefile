@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec bench-scale perf lint lint-concurrency trace runs examples all clean
+.PHONY: install test bench bench-exec bench-scale bench-incremental perf lint lint-concurrency trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,15 @@ bench-scale:
 	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
 		--output /tmp/perf_scale.json --label bench-scale
 	python scripts/check_perf_regression.py --current /tmp/perf_scale.json
+
+# Incremental-execution benchmarks + gate: a cold run vs an incremental
+# re-run after a ~1% corpus delta; the gate checks the deterministic
+# simulated cost and LLM-time speedups stay >= 5x.
+bench-incremental:
+	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
+		--output /tmp/perf_incremental.json --label bench-incremental
+	python scripts/check_perf_regression.py \
+		--current /tmp/perf_incremental.json
 
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:

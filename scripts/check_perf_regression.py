@@ -12,8 +12,13 @@ baseline, but relative advantages survive any machine):
    ratio.  Simulated time is deterministic (virtual clock), so this ratio
    is noise-free: a drop means the sharded executor genuinely stopped
    fanning the shardable prefix out.
+3. **Incremental gate** — the ``incr_delta1pct`` workload's recorded
+   ``speedup_cost`` and ``speedup_llm_time`` (simulated, deterministic)
+   must each be >= ``incremental_floor`` (default 5x): an incremental
+   re-run after a ~1% corpus delta that is not at least 5x cheaper than
+   a cold run means replay stopped reusing the base run's calls.
 
-Either gate failing exits 1.  A gate whose workloads are missing from the
+Any gate failing exits 1.  A gate whose workloads are missing from the
 baseline passes vacuously (first recording).
 
 Usage:
@@ -37,6 +42,9 @@ REQUIRED = ("pipeline_per_record", "pipeline_batched")
 
 #: The workloads the scaling gate needs.
 SCALE_REQUIRED = ("scale_sequential", "scale_sharded4")
+
+#: The workload the incremental gate needs.
+INCR_REQUIRED = ("incr_delta1pct",)
 
 
 def latest_run_with(path: Path, names=REQUIRED) -> dict | None:
@@ -84,6 +92,10 @@ def main(argv=None) -> int:
                         help="minimum fraction of the baseline sharded "
                              "(simulated) speedup the current run must "
                              "retain")
+    parser.add_argument("--incremental-floor", type=float, default=5.0,
+                        help="absolute minimum simulated speedup (cost AND "
+                             "LLM time) an incremental re-run must show "
+                             "over a cold run at a ~1%% delta")
     args = parser.parse_args(argv)
 
     current = latest_run_with(args.current)
@@ -172,6 +184,49 @@ def _scaling_gate(args) -> int:
         print("FAIL: sharded execution stopped scaling over sequential")
         return 1
     print("OK: scaling gate passed")
+
+    return _incremental_gate(args)
+
+
+def _incremental_gate(args) -> int:
+    """Absolute floor on the incremental-vs-cold simulated speedup.
+
+    Unlike the relative gates above, this one needs no baseline: the
+    speedups are computed on the virtual clock inside one snapshot run,
+    so they are deterministic and machine-independent.
+    """
+    current = latest_run_with(args.current, INCR_REQUIRED)
+    if current is None:
+        baseline = latest_run_with(args.baseline, INCR_REQUIRED)
+        if baseline is None:
+            print(
+                f"note: no incremental benchmarks in {args.current} or the "
+                "baseline yet; incremental gate passes vacuously"
+            )
+            return 0
+        print(
+            f"FAIL: baseline has incremental benchmarks but {args.current} "
+            f"has no run with {INCR_REQUIRED} workloads"
+        )
+        return 1
+
+    workload = current["workloads"]["incr_delta1pct"]
+    speedup_cost = workload.get("speedup_cost", 0.0)
+    speedup_time = workload.get("speedup_llm_time", 0.0)
+    print(
+        f"incremental: delta={workload.get('delta_docs')} docs  "
+        f"mode={workload.get('mode')}  "
+        f"replayed={workload.get('replayed_calls')}  "
+        f"fresh={workload.get('fresh_calls')}  "
+        f"speedup cost={speedup_cost:.1f}x llm-time={speedup_time:.1f}x"
+    )
+    print(f"gate: both speedups must be >= {args.incremental_floor:.1f}x")
+    if (speedup_cost < args.incremental_floor
+            or speedup_time < args.incremental_floor):
+        print("FAIL: incremental re-run is no longer >= "
+              f"{args.incremental_floor:.1f}x cheaper than a cold run")
+        return 1
+    print("OK: incremental gate passed")
     return 0
 
 

@@ -33,6 +33,12 @@ Workloads:
   (``repro.corpora.scale``), run by the sequential, sharded (degrees
   2/4/8), and async executors; the recorded ``sim_seconds`` give the
   deterministic scaling curve the regression gate checks.
+* ``incr_cold``            — cold filter run over the 10k-doc scale corpus
+  with ``capture_calls=True`` (records the source manifest + call log).
+* ``incr_delta1pct``       — the same pipeline re-executed incrementally
+  after a deterministic ~1% corpus delta (adds + edits + drops);
+  records the simulated cost/LLM-time speedups vs a cold run, which the
+  incremental regression gate checks (>= 5x).
 
 Usage:
     PYTHONPATH=src python scripts/perf_snapshot.py [--quick] [--repeat N]
@@ -295,6 +301,77 @@ class _ScaleBench:
         }
 
 
+class _IncrementalBench:
+    """Cold run vs incremental re-run after a ~1% corpus delta.
+
+    The cold run executes a filter plan over the synthetic scale corpus
+    with ``capture_calls=True``, producing the source manifest and LLM
+    call log an incremental run replays from.  The delta run mutates ~1%
+    of the corpus (deterministic: adds + edits + drops, seeded) and
+    re-executes with ``incremental=True``: unchanged documents replay
+    their recorded calls, so only the delta pays fresh simulated cost.
+    The recorded ``speedup_cost`` / ``speedup_llm_time`` ratios come from
+    the virtual clock and are therefore deterministic — they are the
+    signal the incremental regression gate checks (>= 5x at a 1% delta).
+    """
+
+    SEED = 11
+
+    def __init__(self, quick: bool):
+        from repro.corpora.scale import SCALE_PREDICATE, generate_scale_source
+
+        n = 1_000 if quick else 10_000
+        self.n_docs = n
+        self.predicate = SCALE_PREDICATE
+        self.dataset_id = f"perf-incr-{n}"
+        self.source = generate_scale_source(
+            n, seed=self.SEED, dataset_id=self.dataset_id
+        )
+        self.base = None
+
+    def run_cold(self) -> dict:
+        from repro.obs.registry import RunSnapshot
+
+        pipeline = pz.Dataset(self.source).filter(self.predicate)
+        records, stats = pz.Execute(
+            pipeline, policy=pz.MaxQuality(), capture_calls=True,
+        )
+        self.base = RunSnapshot.from_execution("run-0001", records, stats)
+        return {
+            "records_in": self.n_docs,
+            "records_out": len(records),
+            "sim_seconds": round(stats.total_time_seconds, 3),
+            "simulated_cost_usd": round(stats.total_cost_usd, 4),
+        }
+
+    def run_delta(self) -> dict:
+        from repro.corpora.scale import mutate_scale_source
+
+        # ~1% of the corpus changes, split across the three delta kinds.
+        third = max(1, self.n_docs // 300)
+        mutated = mutate_scale_source(
+            self.n_docs, seed=self.SEED,
+            adds=third, edits=third, drops=third,
+            dataset_id=self.dataset_id,
+        )
+        pipeline = pz.Dataset(mutated).filter(self.predicate)
+        records, stats = pz.Execute(
+            pipeline, policy=pz.MaxQuality(),
+            incremental=True, base_run=self.base,
+        )
+        report = stats.incremental
+        return {
+            "records_out": len(records),
+            "delta_docs": 3 * third,
+            "mode": report.mode,
+            "replayed_calls": report.replayed_calls,
+            "fresh_calls": report.fresh_calls,
+            "fresh_cost_usd": round(report.fresh_cost_usd, 4),
+            "speedup_cost": round(report.speedup_cost, 2),
+            "speedup_llm_time": round(report.speedup_time, 2),
+        }
+
+
 def workload_scaling(quick: bool) -> dict:
     n = 60 if quick else 200
     source = MemorySource(
@@ -351,6 +428,7 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
     # Built eagerly so corpus generation + plan choice stay untimed.
     exec_bench = _ExecBench(quick)
     scale_bench = _ScaleBench(quick)
+    incr_bench = _IncrementalBench(quick)
 
     workloads = [
         ("plan_enum_exhaustive", workload_plan_enum_exhaustive),
@@ -367,6 +445,8 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
         ("scale_sharded4", lambda q: scale_bench.run("sharded", 4)),
         ("scale_sharded8", lambda q: scale_bench.run("sharded", 8)),
         ("scale_async4", lambda q: scale_bench.run("async", 4)),
+        ("incr_cold", lambda q: incr_bench.run_cold()),
+        ("incr_delta1pct", lambda q: incr_bench.run_delta()),
     ]
     results = {}
     for name, fn in workloads:

@@ -153,6 +153,16 @@ _ANCHORS: List[Tuple[str, re.Pattern]] = [
         r"|\b(?:compare|diff)\b(?:\s+\w+){0,3}\s+runs\b"
         r"|\b(?:compare|diff)\b(?:\s+\w+){0,2}\s+(?:last|previous) run\b"
         r"|\bhow (?:do|did) the (?:two )?runs differ\b", re.I)),
+    # Before "execute": "re-run" and "run it again" contain the word
+    # "run", so this longer anchor must exist for containment suppression
+    # to veto execute and route to the incremental re-run instead.
+    ("rerun", re.compile(
+        r"\bre-?run\b(?:[^.?]*\bupdated\b[^.?]*)?"
+        r"|\brun (?:it|that|the pipeline) again\b"
+        r"|\b(?:run|execute|recompute)\b[^.?]*\bupdated "
+        r"(?:corpus|data|dataset|documents|files)\b"
+        r"|\bincremental(?:ly)?\b[^.?]*\b(?:run|execution|re-?run)\b",
+        re.I)),
     ("execute", re.compile(r"\b(run|execute|launch|process the)\b", re.I)),
     ("stats", re.compile(
         r"\bhow (?:much|long)\b|\bstatistics\b|\bstats\b|\bcosted\b"
@@ -448,6 +458,15 @@ def plan_requests(message: str,
             calls.append(ToolCall(
                 thought="Run the pipeline that has been built.",
                 tool_name="execute_pipeline",
+                arguments={},
+            ))
+        elif intent == "rerun":
+            calls.append(ToolCall(
+                thought=(
+                    "Re-run the pipeline incrementally on the updated "
+                    "corpus, reusing the previous run's recorded calls."
+                ),
+                tool_name="rerun_pipeline",
                 arguments={},
             ))
         elif intent == "explain_run":

@@ -26,6 +26,57 @@ from repro.optimizer.policies import parse_policy
 def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
     """Construct the tool registry bound to ``workspace``."""
 
+    def _snapshot_run(records, stats):
+        """Record one execution and publish its result as a handle.
+
+        The snapshot joins the in-session ``run_history`` (and the
+        persistent registry when ``workspace.runs_dir`` is set), and
+        ``workspace.last_result`` becomes its :class:`ResultHandle` —
+        the result *id* is what tool messages carry; ``show_records``
+        slices the records on demand.
+        """
+        from repro.obs.registry import RunRegistry, RunSnapshot
+
+        if workspace.runs_dir is not None:
+            registry = RunRegistry(workspace.runs_dir)
+            snapshot = RunSnapshot.from_execution(
+                registry.next_run_id(), records, stats
+            )
+            registry.save(snapshot)
+        else:
+            snapshot = RunSnapshot.from_execution(
+                f"run-{len(workspace.run_history) + 1}", records, stats
+            )
+        workspace.run_history.append(snapshot)
+        workspace.last_result = snapshot.handle()
+        return snapshot
+
+    def _find_handle(result_id: str):
+        """Resolve a result id to a handle: last result, session history,
+        then the persistent registry (when attached)."""
+        if not result_id:
+            if workspace.last_result is None:
+                raise ToolError("nothing has been executed yet")
+            return workspace.last_result
+        if (workspace.last_result is not None
+                and workspace.last_result.result_id == result_id):
+            return workspace.last_result
+        for snapshot in reversed(workspace.run_history):
+            if snapshot.run_id == result_id:
+                return snapshot.handle()
+        if workspace.runs_dir is not None:
+            from repro.obs.registry import RunRegistry
+
+            try:
+                return RunRegistry(workspace.runs_dir).handle(result_id)
+            except FileNotFoundError:
+                pass
+        known = [s.run_id for s in workspace.run_history]
+        raise ToolError(
+            f"no result {result_id!r} in this session; "
+            f"known results: {known or '<none>'}"
+        )
+
     @tool()
     def load_dataset(source: str, agent: AgentRef = None) -> str:
         """Set the input dataset of the pipeline.
@@ -174,7 +225,10 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
 
         Palimpzest enumerates the physical plans implementing the logical
         pipeline, picks the best one under the chosen optimization target,
-        executes it, and stores the output records and statistics.
+        executes it, and stores the output as an addressable result (the
+        message carries the result id; use show_records to page through
+        the records, and rerun_pipeline to re-run incrementally after the
+        source corpus changes).
 
         Examples:
             execute_pipeline()
@@ -206,29 +260,98 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             lint=False,  # already linted above, with a friendlier message
             trace=True,  # so explain_execution can answer "what took so long"
             provenance=True,  # so explain_record can answer "why is X here"
+            capture_calls=True,  # so rerun_pipeline can replay unchanged docs
         )
         workspace.last_records = records
         workspace.last_stats = stats
         workspace.last_trace = stats.trace
         workspace.last_provenance = stats.provenance
-        from repro.obs.registry import RunSnapshot
-
-        workspace.run_history.append(RunSnapshot.from_execution(
-            f"run-{len(workspace.run_history) + 1}", records, stats
-        ))
+        snapshot = _snapshot_run(records, stats)
         workspace.log_step(
             "execute",
             policy=workspace.policy.describe(),
+            result_id=snapshot.run_id,
             records=len(records),
             cost_usd=round(stats.total_cost_usd, 4),
             time_seconds=round(stats.total_time_seconds, 1),
         )
+        handle = workspace.last_result
         return (
-            f"Executed pipeline: {len(records)} records produced in "
+            f"Executed pipeline: {handle.describe()} — "
+            f"{handle.count} records produced in "
             f"{stats.total_time_seconds:.0f}s at a cost of "
             f"${stats.total_cost_usd:.2f} "
-            f"(plan: {stats.plan_stats.plan_describe})."
+            f"(plan: {stats.plan_stats.plan_describe}). "
+            f"Use show_records(result_id={handle.result_id!r}) to view "
+            "records."
         )
+
+    @tool()
+    def rerun_pipeline(agent: AgentRef = None) -> str:
+        """Re-run the pipeline incrementally on the updated corpus.
+
+        Use when the user asks to re-run after the source documents
+        changed (files added, edited, or removed).  Diffs the live corpus
+        against the previous run's source manifest and recomputes only
+        what the delta touches — unchanged documents replay their
+        recorded LLM calls — yielding byte-identical records, statistics,
+        and provenance at a fraction of the cost.  The message reports
+        the delta, the savings, and the new result id.
+
+        Examples:
+            rerun_pipeline()
+        """
+        if workspace.current is None:
+            raise ToolError("no dataset loaded yet; call load_dataset first")
+        base = None
+        for snapshot in reversed(workspace.run_history):
+            if snapshot.calls is not None and snapshot.manifest is not None:
+                base = snapshot
+                break
+        if base is None:
+            raise ToolError(
+                "no prior run with a captured call log to re-run from; "
+                "call execute_pipeline first"
+            )
+        # See the updated corpus: if a new source was registered under
+        # the same dataset id, swap it into the pipeline's root scan.
+        workspace.current.refresh_source()
+        records, stats = Execute(
+            workspace.current,
+            policy=workspace.policy,
+            max_workers=workspace.max_workers,
+            sample_size=workspace.sample_size,
+            executor=workspace.executor,
+            batch_size=workspace.batch_size,
+            shards=(
+                workspace.shards
+                if workspace.executor in ("sharded", "async") else None
+            ),
+            trace=True,
+            provenance=True,
+            incremental=True,
+            base_run=base,
+        )
+        workspace.last_records = records
+        workspace.last_stats = stats
+        workspace.last_trace = stats.trace
+        workspace.last_provenance = stats.provenance
+        snapshot = _snapshot_run(records, stats)
+        report = stats.incremental
+        workspace.log_step(
+            "rerun",
+            base=base.run_id,
+            result_id=snapshot.run_id,
+            records=len(records),
+            mode=report.mode if report is not None else "cold",
+        )
+        handle = workspace.last_result
+        lines = [
+            f"Re-ran pipeline from {base.run_id}: {handle.describe()}."
+        ]
+        if report is not None:
+            lines.append(report.render())
+        return "\n".join(lines)
 
     @tool()
     def get_execution_stats(agent: AgentRef = None) -> str:
@@ -365,27 +488,45 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         return diff_runs(history[-2], history[-1]).render()
 
     @tool()
-    def show_records(limit: int = 10, agent: AgentRef = None) -> str:
-        """Show the output records of the last execution.
+    def show_records(
+        result_id: str = "",
+        offset: int = 0,
+        limit: int = 10,
+        agent: AgentRef = None,
+    ) -> str:
+        """Show a window of an execution's output records.
+
+        Results are addressed by id (as reported by execute_pipeline /
+        rerun_pipeline) and sliced on demand — the workspace never holds
+        record payloads, only handles.  Omit result_id for the latest
+        result; page with offset/limit.
 
         Args:
+            result_id: which result to display (default: the latest).
+            offset: index of the first record to display.
             limit: maximum number of records to display.
 
         Examples:
             show_records(limit=5)
+            show_records(result_id="run-0002", offset=10, limit=10)
         """
-        if workspace.last_records is None:
-            raise ToolError("nothing has been executed yet")
-        if not workspace.last_records:
-            return "The last execution produced no records."
+        handle = _find_handle(str(result_id))
+        if handle.count == 0:
+            return f"Result {handle.result_id} has no records."
+        offset = max(0, int(offset))
+        window = handle.slice(offset, max(1, int(limit)))
         lines = []
-        for record in workspace.last_records[: max(1, int(limit))]:
-            fields = record.to_dict()
+        for index, fields in enumerate(window, start=offset):
             rendered = ", ".join(f"{k}: {v}" for k, v in fields.items())
-            lines.append(f"- {rendered}")
-        remaining = len(workspace.last_records) - len(lines)
+            lines.append(f"- [{index}] {rendered}")
+        remaining = handle.count - (offset + len(window))
         if remaining > 0:
-            lines.append(f"... and {remaining} more")
+            lines.append(
+                f"... and {remaining} more "
+                f"(show_records(result_id={handle.result_id!r}, "
+                f"offset={offset + len(window)}))"
+            )
+        lines.append(handle.describe())
         return "\n".join(lines)
 
     @tool()
@@ -573,6 +714,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         convert_dataset,
         set_optimization_target,
         execute_pipeline,
+        rerun_pipeline,
         get_execution_stats,
         explain_execution,
         explain_record,

@@ -62,6 +62,16 @@ class PipelineWorkspace:
         #: order; compare_runs diffs the last two.  Survives reset() —
         #: the runs happened even if the pipeline is discarded.
         self.run_history: List[Any] = []
+        #: ResultHandle of the last execution — the addressable reference
+        #: (result id + schema + count + fingerprint) chat tools pass
+        #: around instead of inlining record payloads.
+        self.last_result: Optional[Any] = None
+        #: Optional on-disk RunRegistry directory; when set, executions
+        #: are also persisted there and reset() prunes it to keep_runs.
+        self.runs_dir: Optional[str] = None
+        #: Retention applied on reset(): how many runs (in memory, and on
+        #: disk when runs_dir is set) survive a workspace reset.
+        self.keep_runs: int = 8
 
     # -- step log ----------------------------------------------------------
 
@@ -117,6 +127,7 @@ class PipelineWorkspace:
         self.last_stats = None
         self.last_trace = None
         self.last_provenance = None
+        self.last_result = None
 
     def reset(self) -> None:
         self.current = None
@@ -127,6 +138,24 @@ class PipelineWorkspace:
         self.last_stats = None
         self.last_trace = None
         self.last_provenance = None
+        self.last_result = None
+        self.prune_runs()
+
+    def prune_runs(self) -> List[str]:
+        """Apply the ``keep_runs`` retention to session and disk history.
+
+        Trims ``run_history`` to the newest ``keep_runs`` snapshots and,
+        when a ``runs_dir`` is attached, prunes the persistent
+        :class:`~repro.obs.registry.RunRegistry` the same way.  Returns
+        the run ids pruned from disk (empty when none / no registry).
+        """
+        if self.keep_runs is not None and len(self.run_history) > self.keep_runs:
+            del self.run_history[: len(self.run_history) - self.keep_runs]
+        if self.runs_dir is None:
+            return []
+        from repro.obs.registry import RunRegistry
+
+        return RunRegistry(self.runs_dir).prune(keep_last=self.keep_runs)
 
     def describe_pipeline(self) -> str:
         if self.current is None:

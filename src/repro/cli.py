@@ -13,7 +13,9 @@ Commands:
   trace (Chrome ``trace_event`` JSON, critical path, tree, flame).
 * ``runs`` — the persistent run registry: record demo runs with
   provenance, list/show them, explain records (``why`` / ``why-not``),
-  and diff two runs (plan, per-op stats, record membership).
+  diff two runs (plan, per-op stats, record membership), ``rerun`` a
+  recorded run incrementally after a corpus delta (replaying unchanged
+  documents' LLM calls), and ``prune`` old runs by count or byte budget.
 """
 
 from __future__ import annotations
@@ -486,6 +488,78 @@ def _cmd_runs(args) -> int:
             )
         return 0
 
+    if args.runs_command == "prune":
+        if args.keep_last is None and args.max_bytes is None:
+            print("error: pass --keep-last and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        before = registry.size_bytes()
+        doomed = registry.prune(keep_last=args.keep_last,
+                                max_bytes=args.max_bytes)
+        after = registry.size_bytes()
+        if not doomed:
+            print(f"nothing to prune under {registry.root} "
+                  f"({before} bytes stored)")
+            return 0
+        print(f"pruned {len(doomed)} run(s): {', '.join(doomed)}")
+        print(f"registry {registry.root}: {before} -> {after} bytes")
+        return 0
+
+    if args.runs_command == "rerun":
+        from repro.core.schemas import make_schema
+        from repro.corpora.scale import (
+            SCALE_FIELDS,
+            SCALE_PREDICATE,
+            generate_scale_source,
+            mutate_scale_source,
+        )
+
+        schema = make_schema(
+            "ClinicalNote",
+            "Cohort and stage extracted from a clinical note",
+            list(SCALE_FIELDS),
+            field_descriptions=list(SCALE_FIELDS.values()),
+        )
+
+        def build(source):
+            return pz.Dataset(source).filter(SCALE_PREDICATE).convert(schema)
+
+        common = dict(
+            policy=args.policy,
+            max_workers=args.workers,
+            executor=args.executor,
+            trace=True,
+            provenance=True,
+        )
+        if args.base:
+            base_snapshot = registry.load(args.base)
+            if base_snapshot.calls is None or base_snapshot.manifest is None:
+                print(f"error: {args.base} has no captured call log / "
+                      "source manifest; record a base with "
+                      "'repro runs rerun' (no --base) first",
+                      file=sys.stderr)
+                return 2
+        else:
+            base_source = generate_scale_source(args.docs, seed=args.seed)
+            records, stats = pz.Execute(
+                build(base_source), capture_calls=True, **common)
+            base_snapshot = registry.record(records, stats)
+            print(f"recorded base {base_snapshot.run_id}: "
+                  f"{args.docs} docs, {len(records)} records, "
+                  f"${stats.total_cost_usd:.4f}")
+        mutated = mutate_scale_source(
+            args.docs, seed=args.seed,
+            adds=args.adds, edits=args.edits, drops=args.drops,
+        )
+        records, stats = pz.Execute(
+            build(mutated), incremental=True, base_run=base_snapshot,
+            **common)
+        snapshot = registry.record(records, stats)
+        print(stats.incremental.render())
+        print(f"recorded {snapshot.run_id}: {len(records)} records, "
+              f"stored under {registry.root / snapshot.run_id}")
+        return 0
+
     # Remaining subcommands operate on stored runs.
     run_id = args.run or registry.latest()
     if run_id is None:
@@ -752,6 +826,48 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--format", choices=("text", "json"),
                       default="text")
     _runs_dir(diff)
+
+    rerun = runs_sub.add_parser(
+        "rerun",
+        help="incremental re-run of the scale scenario after a corpus "
+             "delta",
+        description="Demonstrates incremental execution: records a base "
+                    "run over the deterministic scale corpus (with the "
+                    "LLM call log captured), applies an add/edit/drop "
+                    "delta to the corpus, and re-runs incrementally — "
+                    "unchanged documents replay their recorded calls, "
+                    "only the delta pays for fresh LLM work, and the "
+                    "output is byte-identical to a cold run.")
+    rerun.add_argument("--docs", type=int, default=200,
+                       help="corpus size (default: 200)")
+    rerun.add_argument("--seed", type=int, default=11)
+    rerun.add_argument("--adds", type=int, default=1,
+                       help="documents added to the corpus (default: 1)")
+    rerun.add_argument("--edits", type=int, default=1,
+                       help="documents edited in place (default: 1)")
+    rerun.add_argument("--drops", type=int, default=1,
+                       help="documents removed (default: 1)")
+    rerun.add_argument("--policy", default="quality",
+                       help="quality | cost | runtime")
+    rerun.add_argument("--workers", type=int, default=1)
+    rerun.add_argument("--executor",
+                       choices=("sequential", "parallel", "pipelined",
+                                "sharded", "async"),
+                       default="sequential")
+    rerun.add_argument("--base", default=None, metavar="RUN",
+                       help="re-run from this stored run instead of "
+                            "recording a fresh base")
+    _runs_dir(rerun)
+
+    prune = runs_sub.add_parser(
+        "prune", help="delete old runs (keep-last-N and/or byte budget)")
+    prune.add_argument("--keep-last", type=int, default=None,
+                       metavar="N", help="retain only the N newest runs")
+    prune.add_argument("--max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="drop oldest runs until the registry fits "
+                            "(the newest run always survives)")
+    _runs_dir(prune)
 
     return parser
 

@@ -114,6 +114,30 @@ class Dataset:
         assert node._source is not None
         return node._source
 
+    def refresh_source(self) -> bool:
+        """Re-resolve the root source from the registry by dataset id.
+
+        An incremental re-run must see the *live* corpus: if a new
+        source has been registered under the same dataset id since this
+        pipeline was built (documents added/edited/dropped), swap it in.
+        The logical plan is unchanged — the scan already addresses the
+        source by id.  Returns True when the root source object changed.
+        """
+        node = self
+        while node._upstream is not None:
+            node = node._upstream
+        assert node._source is not None
+        from repro.core.sources import global_source_registry
+
+        try:
+            live = global_source_registry().get(node._source.dataset_id)
+        except DatasetError:
+            return False
+        if live is node._source:
+            return False
+        node._source = live
+        return True
+
     def logical_plan(self) -> LogicalPlan:
         """Collect the operator chain, scan first."""
         operators = []

@@ -30,6 +30,7 @@ from repro.corpora.realestate import (
 from repro.corpora.demo import register_demo_datasets
 from repro.corpora.scale import (
     generate_scale_source,
+    mutate_scale_source,
     SCALE_PREDICATE,
     SCALE_FIELDS,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "LISTING_FIELDS",
     "register_demo_datasets",
     "generate_scale_source",
+    "mutate_scale_source",
     "SCALE_PREDICATE",
     "SCALE_FIELDS",
 ]

@@ -15,6 +15,7 @@ fingerprints, and oracle answers — run after run, process after process.
 
 from __future__ import annotations
 
+import random
 from typing import Dict
 
 from repro.core.builtin_schemas import TextFile
@@ -105,3 +106,76 @@ def generate_scale_source(
         dataset_id=dataset_id or f"scale-{n_docs}-s{seed}",
         schema=TextFile,
     )
+
+
+def _scale_truth(index: int, seed: int, relevant: bool,
+                 difficulty: float) -> DocumentTruth:
+    return DocumentTruth(
+        predicates={
+            SCALE_PREDICATE: relevant,
+            "about colorectal cancer": relevant,
+        },
+        fields={
+            "cohort": f"SC-{seed}-{index:06d}",
+            "stage": _STAGES[index % len(_STAGES)],
+        },
+        difficulty=difficulty,
+        label=f"scale-note-{index:06d}",
+    )
+
+
+def mutate_scale_source(
+    n_docs: int = 10_000,
+    seed: int = 11,
+    adds: int = 0,
+    edits: int = 0,
+    drops: int = 0,
+    difficulty: float = 0.0,
+    dataset_id: str = "",
+) -> MemorySource:
+    """A deterministically drifted copy of the ``(n_docs, seed)`` corpus.
+
+    The delta is a pure function of ``(n_docs, seed, adds, edits, drops)``:
+    a dedicated ``random.Random`` seeded from exactly those values picks
+    disjoint edit/drop victims, edited notes gain a fixed addendum
+    sentence, and added notes continue the index sequence at ``n_docs``.
+    Surviving documents keep their original manifest key
+    (``<dataset_id>-<index>``), so diffing a mutated corpus against a
+    :func:`generate_scale_source` base run yields precisely the requested
+    added/changed/dropped sets — the reproducible workload behind the
+    incremental-execution benchmarks and ``repro runs rerun``.
+
+    Oracle truth is (re-)registered for every live document, edited ones
+    included — an edit changes the fingerprint, not the answers.
+    """
+    if n_docs < 1:
+        raise ValueError(f"n_docs must be >= 1, got {n_docs}")
+    if min(adds, edits, drops) < 0:
+        raise ValueError("adds/edits/drops must all be >= 0")
+    if edits + drops > n_docs:
+        raise ValueError(
+            f"cannot edit {edits} + drop {drops} of {n_docs} documents"
+        )
+    rng = random.Random(f"scale-mutate:{n_docs}:{seed}:{adds}:{edits}:{drops}")
+    victims = rng.sample(range(n_docs), edits + drops)
+    edited = set(victims[:edits])
+    dropped = set(victims[edits:])
+    base_id = dataset_id or f"scale-{n_docs}-s{seed}"
+    oracle = global_oracle()
+    items = []
+    for index in range(n_docs + adds):
+        if index in dropped:
+            continue
+        relevant = index % RELEVANT_EVERY == 0
+        text = _note_text(index, seed, relevant)
+        if index in edited:
+            text += (
+                " Addendum: note revised after the follow-up visit; "
+                "assessment unchanged, vitals stable."
+            )
+        oracle.register(text, _scale_truth(index, seed, relevant, difficulty))
+        items.append({
+            "filename": f"{base_id}-{index}",
+            "text_contents": text,
+        })
+    return MemorySource(items, dataset_id=base_id, schema=TextFile)

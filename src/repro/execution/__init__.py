@@ -12,6 +12,13 @@ from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.sharded import ShardedExecutor
 from repro.execution.asyncexec import AsyncExecutor
 from repro.execution.execute import Execute, ExecutionEngine
+from repro.execution.incremental import (
+    IncrementalReport,
+    ManifestDelta,
+    build_source_manifest,
+    delta_impact,
+    diff_manifests,
+)
 
 __all__ = [
     "OperatorStats",
@@ -24,4 +31,9 @@ __all__ = [
     "AsyncExecutor",
     "Execute",
     "ExecutionEngine",
+    "IncrementalReport",
+    "ManifestDelta",
+    "build_source_manifest",
+    "delta_impact",
+    "diff_manifests",
 ]

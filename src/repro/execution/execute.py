@@ -11,12 +11,20 @@ from repro.core.dataset import Dataset
 from repro.core.records import DataRecord
 from repro.execution.asyncexec import AsyncExecutor
 from repro.execution.executors import ParallelExecutor, SequentialExecutor
+from repro.execution.incremental import (
+    IncrementalReport,
+    build_source_manifest,
+    delta_impact,
+    diff_manifests,
+)
 from repro.execution.pipeline import PipelinedExecutor
 from repro.execution.sharded import ShardedExecutor
 from repro.execution.stats import ExecutionStats
 from repro.llm.models import ModelRegistry
+from repro.llm.replay import ReplayLog
 from repro.obs.provenance import NULL_PROVENANCE, ProvenanceRecorder
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.optimizer.cost_model import CostModel
 from repro.optimizer.optimizer import OptimizationReport, Optimizer
 from repro.optimizer.policies import MaxQuality, Policy, parse_policy
 from repro.physical.context import ExecutionContext
@@ -62,6 +70,24 @@ class ExecutionEngine:
             ``why``/``why_not``, persist it with
             :class:`~repro.obs.registry.RunRegistry`).  Like tracing, it
             never changes records, stats, or LLM call counts.
+        capture_calls: record the run's source manifest and LLM call log
+            onto the stats (``stats.source_manifest`` / ``stats.call_log``)
+            so the RunRegistry can persist them — the base a later
+            incremental re-run diffs against and replays from.
+        incremental: re-run against ``base_run``: diff the live source
+            against the base run's manifest, let the cost model price
+            replay-vs-cold, and (in replay mode) serve unchanged
+            documents' LLM calls from the base call log.  Records, stats,
+            traces, and provenance stay byte-identical to a cold run; the
+            :class:`~repro.execution.incremental.IncrementalReport` on
+            ``stats.incremental`` carries the fresh-vs-reused bill.
+            Implies ``capture_calls``.
+        base_run: the base for an incremental run — a
+            :class:`~repro.obs.registry.RunSnapshot`, a run id string
+            resolved against ``runs_dir``, or ``None`` for the most
+            recent run in ``runs_dir``.
+        runs_dir: registry directory run-id strings resolve against
+            (default ``.repro/runs``).
         sanitize: run the plan under the lock sanitizer
             (:mod:`repro.analysis.sanitizer`): every lock created during
             the run is observed, the cross-thread lock-order graph is
@@ -92,6 +118,10 @@ class ExecutionEngine:
         trace: Union[bool, Tracer] = False,
         provenance: Union[bool, ProvenanceRecorder] = False,
         sanitize: bool = False,
+        capture_calls: bool = False,
+        incremental: bool = False,
+        base_run=None,
+        runs_dir: Optional[str] = None,
         **candidate_options,
     ):
         if policy is None:
@@ -126,6 +156,10 @@ class ExecutionEngine:
         self.trace = trace
         self.provenance = provenance
         self.sanitize = sanitize
+        self.capture_calls = capture_calls or incremental
+        self.incremental = incremental
+        self.base_run = base_run
+        self.runs_dir = runs_dir
         self.candidate_options = candidate_options
 
     def _make_tracer(self):
@@ -211,18 +245,72 @@ class ExecutionEngine:
             return records, stats
         return self._execute(dataset)
 
+    def _resolve_base_snapshot(self):
+        """The base RunSnapshot an incremental run diffs against."""
+        from repro.obs.registry import (
+            DEFAULT_RUNS_DIR, RunRegistry, RunSnapshot,
+        )
+
+        if isinstance(self.base_run, RunSnapshot):
+            return self.base_run
+        registry = RunRegistry(self.runs_dir or DEFAULT_RUNS_DIR)
+        run_id = self.base_run
+        if run_id is None:
+            run_id = registry.latest()
+            if run_id is None:
+                raise ValueError(
+                    "incremental execution needs a base run, but "
+                    f"{registry.root} holds no recorded runs; "
+                    "record one first (capture_calls=True + "
+                    "RunRegistry.record) or pass base_run="
+                )
+        return registry.load(str(run_id))
+
     def _execute(
         self, dataset: Dataset
     ) -> Tuple[List[DataRecord], ExecutionStats]:
         tracer, traced = self._make_tracer()
         recorder, recording = self._make_provenance()
         report = self.optimize(dataset, tracer=tracer)
+        replay_log = None
+        live_manifest = None
+        incremental_plan = None  # (base snapshot, delta, pricing, mode)
+        if self.capture_calls:
+            live_manifest = build_source_manifest(dataset.source)
+        if self.incremental:
+            snapshot = self._resolve_base_snapshot()
+            delta = diff_manifests(snapshot.manifest, live_manifest)
+            base_docs = len((snapshot.manifest or {}).get("entries", []))
+            calls_per_doc = (
+                snapshot.meta.get("llm_calls", 0) / base_docs
+                if base_docs else 1.0
+            )
+            pricing = CostModel.price_incremental(
+                report.chosen.estimate,
+                total_docs=delta.total_live,
+                fresh_docs=delta.fresh_docs,
+                calls_per_doc=calls_per_doc,
+            )
+            # Replaying never changes the chosen plan — only who pays for
+            # which call — so the mode decision cannot affect the output.
+            mode = (
+                "replay" if pricing.use_incremental and snapshot.calls
+                else "cold"
+            )
+            replay_log = (
+                ReplayLog.from_payload(snapshot.calls)
+                if mode == "replay" else ReplayLog()
+            )
+            incremental_plan = (snapshot, delta, pricing, mode)
+        elif self.capture_calls:
+            replay_log = ReplayLog()
         context = ExecutionContext(
             max_workers=self.max_workers,
             models=self.models,
             cache=self.cache,
             tracer=tracer,
             provenance=recorder,
+            replay=replay_log,
         )
         if traced and tracer.default_clock is None:
             # Optimizer spans were recorded clockless (optimization is free
@@ -284,6 +372,28 @@ class ExecutionEngine:
             trace=tracer.finish() if traced else None,
             provenance=recorder.finalize(records) if recording else None,
         )
+        if replay_log is not None:
+            stats.source_manifest = live_manifest
+            stats.call_log = replay_log.to_payload()
+        if incremental_plan is not None:
+            snapshot, delta, pricing, mode = incremental_plan
+            reused = replay_log.reused_summary()
+            totals = context.ledger.total()
+            stats.incremental = IncrementalReport(
+                base_run_id=snapshot.run_id,
+                mode=mode,
+                delta=delta,
+                impact=delta_impact(
+                    snapshot.graph, delta, snapshot.manifest or {}
+                ),
+                replayed_calls=reused.calls,
+                fresh_calls=totals.calls - reused.calls,
+                reused_cost_usd=reused.cost_usd,
+                reused_llm_seconds=reused.seconds,
+                fresh_cost_usd=totals.cost_usd - reused.cost_usd,
+                fresh_llm_seconds=totals.latency_seconds - reused.seconds,
+                pricing=pricing,
+            )
         return records, stats
 
 
@@ -301,6 +411,10 @@ def Execute(
     trace: Union[bool, Tracer] = False,
     provenance: Union[bool, ProvenanceRecorder] = False,
     sanitize: bool = False,
+    capture_calls: bool = False,
+    incremental: bool = False,
+    base_run=None,
+    runs_dir: Optional[str] = None,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -342,6 +456,20 @@ def Execute(
         records, stats = Execute(dataset, executor="pipelined",
                                  max_workers=4, sanitize=True)
         assert stats.sanitizer.ok()
+
+    Pass ``capture_calls=True`` to record the source manifest and LLM
+    call log onto the stats (persisted by ``RunRegistry.record``), then
+    ``incremental=True`` to re-run against that base after the corpus
+    drifts — unchanged documents replay from the base call log and only
+    the delta is paid for, with byte-identical output::
+
+        records, stats = Execute(dataset, provenance=True,
+                                 capture_calls=True)
+        base = RunRegistry(runs_dir).record(records, stats)
+        # ... corpus drifts ...
+        records2, stats2 = Execute(dataset, provenance=True,
+                                   incremental=True, base_run=base)
+        print(stats2.incremental.render())
     """
     engine = ExecutionEngine(
         policy=policy,
@@ -356,6 +484,10 @@ def Execute(
         trace=trace,
         provenance=provenance,
         sanitize=sanitize,
+        capture_calls=capture_calls,
+        incremental=incremental,
+        base_run=base_run,
+        runs_dir=runs_dir,
         **candidate_options,
     )
     return engine.execute(dataset)

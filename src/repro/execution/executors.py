@@ -80,6 +80,11 @@ def build_plan_stats(
     PlanStats object is built, so per-op times already sum to the clock's
     busy time in the stats a caller receives.
     """
+    for stats in op_stats:
+        # Canonicalize float totals before anything reads them: concurrent
+        # meters accumulated time/cost in thread-arrival order, which is
+        # nondeterministic at the last ulp.
+        stats.finalize()
     scan_stats, downstream_stats = op_stats[0], op_stats[1:]
     accounted = sum(stats.time_seconds for stats in downstream_stats)
     scan_stats.time_seconds = max(0.0, context.clock.total_busy - accounted)
@@ -176,10 +181,10 @@ class _OpMeter:
         self.stats.records_in += inputs
         if count_outputs:
             self.stats.records_out += len(outputs)
-        self.stats.time_seconds += busy_delta
+        self.stats.add_time(busy_delta)
         self.stats.llm_calls += len(new_usages)
         for usage in new_usages:
-            self.stats.cost_usd += usage.cost_usd
+            self.stats.add_cost(usage.cost_usd)
             self.stats.input_tokens += usage.input_tokens
             self.stats.output_tokens += usage.output_tokens
         return outputs, busy_delta

@@ -1,0 +1,319 @@
+"""Incremental execution: delta detection + provenance-driven recompute.
+
+PalimpChat's interactive loop re-runs the same pipeline as users refine
+queries and corpora drift.  A cold re-run pays for every document again,
+even though record-level provenance (PR 5) knows exactly which outputs
+derive from which inputs.  This module turns that knowledge into a
+performance feature:
+
+1. **Source manifests** — every run records one entry per source document
+   (:func:`build_source_manifest`): a stable key, the oracle content
+   fingerprint, and the record fingerprint that provenance roots carry.
+   Both fingerprints are memoized through :mod:`repro.llm.memo`, so a warm
+   manifest build re-hashes only documents whose text actually changed.
+
+2. **Delta detection** — :func:`diff_manifests` compares the live source
+   against a prior run's manifest into added / changed / dropped /
+   unchanged documents (a :class:`ManifestDelta`).
+
+3. **Delta recompute** — the engine re-executes the *full* plan through
+   the chosen executor, but primes the LLM client with the base run's
+   call log (:class:`repro.llm.replay.ReplayLog`).  Calls for unchanged
+   documents replay: they charge the cold run's exact accounting (so
+   records, stats, traces, and provenance come out byte-identical to a
+   cold run) while the re-run's own bill counts only the fresh calls.
+   :func:`delta_impact` walks the base ProvenanceGraph forward from the
+   delta to report which outputs were invalidated vs. reusable.
+
+The :class:`IncrementalReport` attached to ``ExecutionStats.incremental``
+summarizes all three: the delta, the provenance impact, and the
+fresh-vs-reused bill with its cost/time speedups over cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.sources import DataSource
+from repro.llm.memo import TextMemo, register_memo
+from repro.llm.oracle import fingerprint_text
+
+__all__ = [
+    "IncrementalReport",
+    "ManifestDelta",
+    "build_source_manifest",
+    "delta_impact",
+    "diff_manifests",
+    "record_fingerprint",
+]
+
+#: Manifest payload format version (persisted as ``manifest.json``).
+MANIFEST_VERSION = 1
+
+#: Record-JSON -> sha256[:16], shared with provenance node fingerprints.
+#: Memoized because a warm re-run re-fingerprints an unchanged corpus:
+#: the SHA-256 over each document's full record JSON is the dominant
+#: manifest cost, and the memo turns it into one dict probe per document.
+_record_fp_memo = register_memo(TextMemo("record_fp"))
+
+
+def record_fingerprint(payload: str) -> str:
+    """``sha256(record.to_json())[:16]`` — the provenance node ``fp``.
+
+    Memoized on the JSON payload through :mod:`repro.llm.memo` so warm
+    manifest builds are O(changed documents) in hashing work.
+    """
+    return _record_fp_memo.get_or_compute(
+        payload,
+        lambda text: hashlib.sha256(text.encode("utf-8")).hexdigest()[:16],
+    )
+
+
+def build_source_manifest(source: DataSource) -> Dict[str, Any]:
+    """Per-document manifest of ``source``: what a later run diffs against.
+
+    Each entry carries a stable key (the record's ``filename`` field when
+    the schema has one, else ``dataset_id#index``), the oracle content
+    fingerprint of the document text, and the record fingerprint matching
+    the provenance graph's root-node ``fp``.
+    """
+    entries: List[Dict[str, Any]] = []
+    for index, record in enumerate(source):
+        filename = record.get("filename")
+        key = str(filename) if filename else f"{source.dataset_id}#{index}"
+        entries.append({
+            "key": key,
+            "fingerprint": fingerprint_text(record.document_text()),
+            "record_fp": record_fingerprint(record.to_json()),
+        })
+    return {
+        "version": MANIFEST_VERSION,
+        "dataset_id": source.dataset_id,
+        "count": len(entries),
+        "entries": entries,
+    }
+
+
+@dataclass
+class ManifestDelta:
+    """The document-level difference between two source manifests."""
+
+    added: List[str] = field(default_factory=list)
+    changed: List[str] = field(default_factory=list)
+    dropped: List[str] = field(default_factory=list)
+    unchanged: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.changed or self.dropped)
+
+    @property
+    def total_live(self) -> int:
+        """Documents in the live source."""
+        return len(self.added) + len(self.changed) + len(self.unchanged)
+
+    @property
+    def fresh_docs(self) -> int:
+        """Documents the incremental run must actually pay for."""
+        return len(self.added) + len(self.changed)
+
+    @property
+    def fresh_fraction(self) -> float:
+        if self.total_live == 0:
+            return 1.0
+        return self.fresh_docs / self.total_live
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "added": len(self.added),
+            "changed": len(self.changed),
+            "dropped": len(self.dropped),
+            "unchanged": len(self.unchanged),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ManifestDelta(+{len(self.added)} ~{len(self.changed)} "
+            f"-{len(self.dropped)} ={len(self.unchanged)})"
+        )
+
+
+def diff_manifests(base: Optional[Dict[str, Any]],
+                   live: Dict[str, Any]) -> ManifestDelta:
+    """Diff a prior run's manifest against the live source's.
+
+    Documents match on their manifest key; a matched key with a different
+    content fingerprint is *changed*.  A missing base manifest makes every
+    live document *added* (forcing a cold-priced run).
+    """
+    base_entries = {
+        e["key"]: e for e in (base or {}).get("entries", [])
+    }
+    delta = ManifestDelta()
+    for entry in live.get("entries", []):
+        key = entry["key"]
+        prior = base_entries.pop(key, None)
+        if prior is None:
+            delta.added.append(key)
+        elif prior["fingerprint"] != entry["fingerprint"]:
+            delta.changed.append(key)
+        else:
+            delta.unchanged.append(key)
+    delta.dropped.extend(sorted(base_entries))
+    return delta
+
+
+def delta_impact(graph, delta: ManifestDelta,
+                 base_manifest: Dict[str, Any]) -> Dict[str, int]:
+    """Which base-run outputs does the delta invalidate?
+
+    Walks the base run's :class:`~repro.obs.provenance.ProvenanceGraph`
+    forward (parents -> children over emit/drop events) from the root
+    nodes whose ``fp`` matches a changed or dropped document's
+    ``record_fp``.  Outputs reachable from the delta are *invalidated*;
+    the rest are *reusable* (their whole derivation replays).  Added
+    documents have no base nodes, so they contribute fresh work but no
+    invalidation.
+    """
+    if graph is None:
+        return {"invalidated_outputs": 0, "reusable_outputs": 0,
+                "touched_nodes": 0}
+    stale_keys = set(delta.changed) | set(delta.dropped)
+    stale_fps = {
+        e["record_fp"] for e in base_manifest.get("entries", [])
+        if e["key"] in stale_keys
+    }
+    frontier = [
+        n["id"] for n in graph.roots() if n["fp"] in stale_fps
+    ]
+    reached: Set[int] = set(frontier)
+    # Forward BFS: events are a DAG over canonical ids, so a worklist with
+    # a visited set terminates; children of a touched parent are touched.
+    while frontier:
+        node_id = frontier.pop()
+        for event in graph.events:
+            if node_id in event["parents"]:
+                for child in event["children"]:
+                    if child not in reached:
+                        reached.add(child)
+                        frontier.append(child)
+    invalidated = len(set(graph.output_ids) & reached)
+    return {
+        "invalidated_outputs": invalidated,
+        "reusable_outputs": len(graph.output_ids) - invalidated,
+        "touched_nodes": len(reached),
+    }
+
+
+@dataclass
+class IncrementalReport:
+    """What an incremental run reused, recomputed, and saved.
+
+    Attached to ``ExecutionStats.incremental``; excluded from stats
+    serialization and comparison, because the run's *visible* accounting
+    is deliberately byte-identical to the cold run it reproduces.  Costs
+    are exact ledger splits; times are serial sums of per-call simulated
+    latency (the apples-to-apples metric across executors, independent of
+    how a particular executor overlapped the calls).
+    """
+
+    base_run_id: str
+    #: "replay" (primed from the base call log) or "cold" (the pricing
+    #: decided replaying would not pay, or there was nothing to replay).
+    mode: str
+    delta: ManifestDelta
+    impact: Dict[str, int] = field(default_factory=dict)
+    replayed_calls: int = 0
+    fresh_calls: int = 0
+    reused_cost_usd: float = 0.0
+    reused_llm_seconds: float = 0.0
+    fresh_cost_usd: float = 0.0
+    fresh_llm_seconds: float = 0.0
+    pricing: Optional[Any] = None
+
+    @property
+    def cold_cost_usd(self) -> float:
+        return self.reused_cost_usd + self.fresh_cost_usd
+
+    @property
+    def cold_llm_seconds(self) -> float:
+        return self.reused_llm_seconds + self.fresh_llm_seconds
+
+    @staticmethod
+    def _ratio(total: float, fresh: float) -> float:
+        if fresh <= 0.0:
+            return float("inf") if total > 0.0 else 1.0
+        return total / fresh
+
+    @property
+    def speedup_cost(self) -> float:
+        """Cold LLM spend over the incremental run's own spend."""
+        if self.fresh_calls == 0:
+            # Fully replayed: free, modulo float residue in the tallies.
+            return float("inf") if self.cold_cost_usd > 0.0 else 1.0
+        return self._ratio(self.cold_cost_usd, self.fresh_cost_usd)
+
+    @property
+    def speedup_time(self) -> float:
+        """Cold serial LLM seconds over the incremental run's own."""
+        if self.fresh_calls == 0:
+            return float("inf") if self.cold_llm_seconds > 0.0 else 1.0
+        return self._ratio(self.cold_llm_seconds, self.fresh_llm_seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        def _round_ratio(value: float) -> Any:
+            return "inf" if value == float("inf") else round(value, 2)
+
+        payload: Dict[str, Any] = {
+            "base_run_id": self.base_run_id,
+            "mode": self.mode,
+            "delta": self.delta.to_dict(),
+            "impact": dict(self.impact),
+            "replayed_calls": self.replayed_calls,
+            "fresh_calls": self.fresh_calls,
+            "reused_cost_usd": round(self.reused_cost_usd, 6),
+            "reused_llm_seconds": round(self.reused_llm_seconds, 3),
+            "fresh_cost_usd": round(self.fresh_cost_usd, 6),
+            "fresh_llm_seconds": round(self.fresh_llm_seconds, 3),
+            "speedup_cost": _round_ratio(self.speedup_cost),
+            "speedup_time": _round_ratio(self.speedup_time),
+        }
+        if self.pricing is not None:
+            payload["pricing"] = self.pricing.to_dict()
+        return payload
+
+    def render(self) -> str:
+        delta = self.delta
+        lines = [
+            "=== Incremental execution ===",
+            f"base run:          {self.base_run_id}",
+            f"mode:              {self.mode}",
+            f"source delta:      +{len(delta.added)} added, "
+            f"~{len(delta.changed)} changed, -{len(delta.dropped)} dropped, "
+            f"={len(delta.unchanged)} unchanged",
+        ]
+        if self.impact:
+            lines.append(
+                f"base outputs:      {self.impact.get('invalidated_outputs', 0)} "
+                f"invalidated / {self.impact.get('reusable_outputs', 0)} reusable"
+            )
+        lines.extend([
+            f"LLM calls:         {self.replayed_calls} replayed / "
+            f"{self.fresh_calls} fresh",
+            f"reused (replayed): ${self.reused_cost_usd:.4f}, "
+            f"{self.reused_llm_seconds:.1f} llm-s",
+            f"fresh (paid):      ${self.fresh_cost_usd:.4f}, "
+            f"{self.fresh_llm_seconds:.1f} llm-s",
+        ])
+        speedup_cost = self.speedup_cost
+        speedup_time = self.speedup_time
+        cost_text = ("inf" if speedup_cost == float("inf")
+                     else f"{speedup_cost:.1f}x")
+        time_text = ("inf" if speedup_time == float("inf")
+                     else f"{speedup_time:.1f}x")
+        lines.append(
+            f"speedup vs cold:   {cost_text} cost, {time_text} llm time"
+        )
+        return "\n".join(lines)

@@ -220,10 +220,10 @@ class _PipeMeter:
         with self._lock:
             self.stats.records_in += inputs
             self.stats.records_out += outputs
-            self.stats.time_seconds += busy_delta
+            self.stats.add_time(busy_delta)
             self.stats.llm_calls += len(bucket)
             for usage in bucket:
-                self.stats.cost_usd += usage.cost_usd
+                self.stats.add_cost(usage.cost_usd)
                 self.stats.input_tokens += usage.input_tokens
                 self.stats.output_tokens += usage.output_tokens
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -19,6 +20,31 @@ class OperatorStats:
     llm_calls: int = 0
     input_tokens: int = 0
     output_tokens: int = 0
+    #: Per-call float deltas behind ``time_seconds`` / ``cost_usd``.  Naive
+    #: ``+=`` accumulation depends on summation order, and concurrent
+    #: executors meter calls in thread-arrival order — so the same run can
+    #: land on either side of a decimal rounding boundary.  ``finalize``
+    #: re-reduces the parts with an order-independent exact sum so every
+    #: executor reports the same float for the same multiset of calls.
+    time_parts: List[float] = field(default_factory=list, repr=False,
+                                    compare=False)
+    cost_parts: List[float] = field(default_factory=list, repr=False,
+                                    compare=False)
+
+    def add_time(self, seconds: float) -> None:
+        self.time_seconds += seconds
+        self.time_parts.append(seconds)
+
+    def add_cost(self, usd: float) -> None:
+        self.cost_usd += usd
+        self.cost_parts.append(usd)
+
+    def finalize(self) -> None:
+        """Replace the running float totals with order-independent sums."""
+        if self.time_parts:
+            self.time_seconds = math.fsum(self.time_parts)
+        if self.cost_parts:
+            self.cost_usd = math.fsum(self.cost_parts)
 
     @property
     def selectivity(self) -> float:
@@ -132,6 +158,21 @@ class ExecutionStats:
     #: serialization/comparison like trace and provenance.
     sanitizer: Optional[Any] = field(default=None, repr=False,
                                      compare=False)
+    #: Per-document source manifest payload (see
+    #: :func:`repro.execution.incremental.build_source_manifest`) when the
+    #: run captured one, else None.  Excluded from serialization and
+    #: comparison — an incremental re-run must report byte-identical
+    #: ``to_dict`` stats to the cold run it reproduces.
+    source_manifest: Optional[Any] = field(default=None, repr=False,
+                                           compare=False)
+    #: The run's LLM call-log payload (``ReplayLog.to_payload()``) when
+    #: calls were captured, else None.  Excluded like trace/provenance —
+    #: persisted as ``calls.json`` by the RunRegistry.
+    call_log: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: The IncrementalReport when the run executed incrementally against a
+    #: base run, else None.  Excluded from serialization and comparison.
+    incremental: Optional[Any] = field(default=None, repr=False,
+                                       compare=False)
 
     @property
     def total_time_seconds(self) -> float:

@@ -29,6 +29,7 @@ from repro.llm.clock import VirtualClock
 from repro.llm.exceptions import ContextWindowExceeded, InvalidRequestError
 from repro.llm.models import ModelCard, ModelRegistry, default_registry
 from repro.llm.oracle import GroundTruthRegistry, fingerprint_text, global_oracle
+from repro.llm.replay import CallRecord, ReplayLog
 from repro.llm.tokenizer import count_tokens, truncate_to_tokens
 from repro.llm.usage import LLMUsage, UsageLedger
 from repro.obs.trace import NULL_TRACER, SpanKind
@@ -127,6 +128,12 @@ class SimulatedLLMClient(LLMClient):
         registry: model registry for name resolution.
         tracer: observability tracer; every metered call becomes an
             ``llm.call`` leaf span.  Defaults to the no-op tracer.
+        replay: optional :class:`~repro.llm.replay.ReplayLog`.  When primed
+            (incremental re-run), calls found in the log charge their
+            cold-equivalent cost/latency from the recorded token counts and
+            are tallied as reused; either way every call of this run is
+            captured into the log for the next re-run.  Replay sits
+            *behind* the cache: a cache hit never consults the log.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class SimulatedLLMClient(LLMClient):
         registry: Optional[ModelRegistry] = None,
         cache: Optional[CallCache] = None,
         tracer=None,
+        replay: Optional[ReplayLog] = None,
     ):
         registry = registry or default_registry()
         self.model = registry.get(model) if isinstance(model, str) else model
@@ -146,6 +154,7 @@ class SimulatedLLMClient(LLMClient):
         self.oracle = oracle if oracle is not None else global_oracle()
         self.cache = cache
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.replay = replay
 
     def _trace_call(self, usage: LLMUsage, cache_hit: bool) -> None:
         """Record the ``llm.call`` leaf span for one metered call."""
@@ -221,6 +230,32 @@ class SimulatedLLMClient(LLMClient):
             usage=usage, model=self.model.name,
         )
 
+    def _replayed_response(self, entry: CallRecord, text: str,
+                           operation: str, key,
+                           amortize_overhead: bool = False) -> LLMResponse:
+        """Serve one call from the replay log with cold-identical accounting.
+
+        The recorded token counts run through :meth:`_meter_tokens` — the
+        same path a cold call takes — so cost, latency, the ledger entry,
+        and the trace span are byte-identical to the call this one replays;
+        only the prompt construction and answer derivation are skipped.
+        The charge is then tallied as *reused* so incremental reporting can
+        subtract it from the run's bill.
+        """
+        usage = self._meter_tokens(
+            entry.input_tokens, text, operation,
+            amortize_overhead=amortize_overhead,
+        )
+        self.replay.note_reuse(
+            key, usage.cost_usd, usage.latency_seconds,
+            usage.input_tokens, usage.output_tokens,
+        )
+        self.replay.record(
+            key, entry.value, usage.input_tokens, usage.output_tokens
+        )
+        return LLMResponse(value=entry.value, text=text, usage=usage,
+                           model=self.model.name)
+
     def _apply_context_fraction(self, document: str, fraction: float) -> str:
         if fraction >= 1.0:
             return document
@@ -244,6 +279,17 @@ class SimulatedLLMClient(LLMClient):
             hit, value = self.cache.lookup(cache_key)
             if hit:
                 return self._cache_hit_response(value, request.operation)
+        replay_key = None
+        if self.replay is not None:
+            replay_key = ReplayLog.judge_key(
+                self.model.name, request, fingerprint
+            )
+            entry = self.replay.lookup(replay_key)
+            if entry is not None:
+                return self._replayed_response(
+                    entry, "TRUE" if entry.value else "FALSE",
+                    request.operation, replay_key,
+                )
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
@@ -253,6 +299,10 @@ class SimulatedLLMClient(LLMClient):
         usage = self._meter(prompt, text, request.operation)
         if cache_key is not None:
             self.cache.store(cache_key, answer)
+        if replay_key is not None:
+            self.replay.record(
+                replay_key, answer, usage.input_tokens, usage.output_tokens
+            )
         return LLMResponse(value=answer, text=text, usage=usage,
                            model=self.model.name)
 
@@ -296,6 +346,17 @@ class SimulatedLLMClient(LLMClient):
             hit, value = self.cache.lookup(cache_key)
             if hit:
                 return self._cache_hit_response(value, request.operation)
+        replay_key = None
+        if self.replay is not None:
+            replay_key = ReplayLog.extract_key(
+                self.model.name, request, fingerprint
+            )
+            entry = self.replay.lookup(replay_key)
+            if entry is not None:
+                return self._replayed_response(
+                    entry, json.dumps(entry.value, default=str),
+                    request.operation, replay_key,
+                )
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
@@ -308,6 +369,10 @@ class SimulatedLLMClient(LLMClient):
         usage = self._meter(prompt, text, request.operation)
         if cache_key is not None:
             self.cache.store(cache_key, payload)
+        if replay_key is not None:
+            self.replay.record(
+                replay_key, payload, usage.input_tokens, usage.output_tokens
+            )
         return LLMResponse(value=payload, text=text, usage=usage,
                            model=self.model.name)
 
@@ -451,6 +516,21 @@ class SimulatedLLMClient(LLMClient):
             hit, value = self.cache.lookup(cache_key)
             if hit:
                 return self._cache_hit_response(value, request.operation), False
+        replay_key = None
+        if self.replay is not None:
+            replay_key = ReplayLog.judge_key(
+                self.model.name, request, fingerprint
+            )
+            entry = self.replay.lookup(replay_key)
+            if entry is not None:
+                # A replayed call is *priced* (it charges the cold
+                # accounting), so it pays/amortizes overhead like one.
+                response = self._replayed_response(
+                    entry, "TRUE" if entry.value else "FALSE",
+                    request.operation, replay_key,
+                    amortize_overhead=overhead_paid,
+                )
+                return response, True
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
@@ -468,6 +548,10 @@ class SimulatedLLMClient(LLMClient):
         )
         if cache_key is not None:
             self.cache.store(cache_key, answer)
+        if replay_key is not None:
+            self.replay.record(
+                replay_key, answer, usage.input_tokens, usage.output_tokens
+            )
         response = LLMResponse(value=answer, text=text, usage=usage,
                                model=self.model.name)
         return response, True
@@ -492,6 +576,19 @@ class SimulatedLLMClient(LLMClient):
             hit, value = self.cache.lookup(cache_key)
             if hit:
                 return self._cache_hit_response(value, request.operation), False
+        replay_key = None
+        if self.replay is not None:
+            replay_key = ReplayLog.extract_key(
+                self.model.name, request, fingerprint
+            )
+            entry = self.replay.lookup(replay_key)
+            if entry is not None:
+                response = self._replayed_response(
+                    entry, json.dumps(entry.value, default=str),
+                    request.operation, replay_key,
+                    amortize_overhead=overhead_paid,
+                )
+                return response, True
         visible = self._apply_context_fraction(
             request.document, request.context_fraction
         )
@@ -516,6 +613,10 @@ class SimulatedLLMClient(LLMClient):
         )
         if cache_key is not None:
             self.cache.store(cache_key, payload)
+        if replay_key is not None:
+            self.replay.record(
+                replay_key, payload, usage.input_tokens, usage.output_tokens
+            )
         response = LLMResponse(value=payload, text=text, usage=usage,
                                model=self.model.name)
         return response, True

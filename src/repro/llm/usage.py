@@ -116,25 +116,40 @@ class UsageLedger:
         with self._lock:
             return list(self._records)
 
+    def _canonical(self) -> List[LLMUsage]:
+        """Records in an order that depends only on their multiset.
+
+        Concurrent executors append in thread-arrival order, so float
+        aggregation over ``records`` would drift by an ulp run-to-run.
+        Sorting by the full value tuple makes every aggregate a pure
+        function of *which* calls happened, not when they landed.
+        """
+        return sorted(
+            self.records,
+            key=lambda u: (u.model, u.operation, u.virtual_timestamp,
+                           u.input_tokens, u.output_tokens, u.cost_usd,
+                           u.latency_seconds),
+        )
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
 
     def total(self) -> UsageTotals:
         totals = UsageTotals()
-        for usage in self.records:
+        for usage in self._canonical():
             totals.add(usage)
         return totals
 
     def by_model(self) -> Dict[str, UsageTotals]:
         grouped: Dict[str, UsageTotals] = {}
-        for usage in self.records:
+        for usage in self._canonical():
             grouped.setdefault(usage.model, UsageTotals()).add(usage)
         return grouped
 
     def by_operation(self) -> Dict[str, UsageTotals]:
         grouped: Dict[str, UsageTotals] = {}
-        for usage in self.records:
+        for usage in self._canonical():
             grouped.setdefault(usage.operation, UsageTotals()).add(usage)
         return grouped
 

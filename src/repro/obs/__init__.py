@@ -64,6 +64,7 @@ from repro.obs.provenance import (
 )
 from repro.obs.registry import (
     DEFAULT_RUNS_DIR,
+    ResultHandle,
     RunDiff,
     RunRegistry,
     RunSnapshot,
@@ -101,6 +102,7 @@ __all__ = [
     "render_why",
     "render_why_not",
     "DEFAULT_RUNS_DIR",
+    "ResultHandle",
     "RunDiff",
     "RunRegistry",
     "RunSnapshot",

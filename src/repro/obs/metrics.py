@@ -19,6 +19,7 @@ Metrics come in two determinism classes:
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Dict, List, Optional
 
@@ -135,7 +136,11 @@ class Histogram:
     @property
     def mean(self) -> float:
         with self._lock:
-            return self._sum / self._count if self._count else 0.0
+            if not self._count:
+                return 0.0
+            # fsum over the retained samples: exact and order-independent,
+            # where the running ``_sum`` carries arrival-order ulp jitter.
+            return math.fsum(self._samples) / self._count
 
     @staticmethod
     def _nearest_rank(ordered: List[float], q: float) -> float:
@@ -157,7 +162,7 @@ class Histogram:
         with self._lock:
             snapshot = {
                 "count": self._count,
-                "sum": round(self._sum, 9),
+                "sum": round(math.fsum(self._samples), 9),
                 "min": self._min if self._min is not None else 0.0,
                 "max": self._max if self._max is not None else 0.0,
             }

@@ -31,12 +31,14 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.provenance import ProvenanceGraph, render_why, render_why_not
 
 __all__ = [
+    "ResultHandle",
     "RunSnapshot",
     "RunRegistry",
     "RunDiff",
@@ -63,6 +65,97 @@ def _record_fp(payload: Dict[str, Any]) -> str:
         _record_key(payload).encode("utf-8")).hexdigest()[:16]
 
 
+def _result_fp(payloads: List[Dict[str, Any]]) -> str:
+    """Order-sensitive fingerprint of a whole result set."""
+    digest = hashlib.sha256()
+    for payload in payloads:
+        digest.update(_record_key(payload).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class ResultHandle:
+    """An addressable result set: identity + shape, records on demand.
+
+    The "results as handles, not payloads" idiom: chat and agent tools
+    pass a ``result_id`` (plus schema / count / fingerprint) around
+    instead of inlining record payloads, and consumers :meth:`slice` the
+    window they actually display.  Workspace state stays O(1) no matter
+    how large the corpus grows; the records live in the run registry.
+    """
+
+    def __init__(
+        self,
+        result_id: str,
+        schema: str,
+        count: int,
+        fingerprint: str,
+        loader: Callable[[], List[Dict[str, Any]]],
+    ):
+        self.result_id = result_id
+        self.schema = schema
+        self.count = count
+        self.fingerprint = fingerprint
+        self._loader = loader
+        self._records: Optional[List[Dict[str, Any]]] = None
+
+    @classmethod
+    def from_snapshot(cls, snapshot: "RunSnapshot") -> "ResultHandle":
+        records = snapshot.records
+        return cls(
+            result_id=snapshot.run_id,
+            schema=str(snapshot.meta.get("schema", "")),
+            count=len(records),
+            fingerprint=str(
+                snapshot.meta.get("result_fp") or _result_fp(records)
+            ),
+            loader=lambda: records,
+        )
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The full result set (loaded lazily, cached)."""
+        if self._records is None:
+            self._records = list(self._loader())
+        return self._records
+
+    def slice(self, offset: int = 0,
+              limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """A window of the result set (the on-demand access path)."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        records = self.records()
+        if limit is None:
+            return records[offset:]
+        return records[offset:offset + limit]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The reference payload tools pass around (no records)."""
+        return {
+            "result_id": self.result_id,
+            "schema": self.schema,
+            "count": self.count,
+            "fingerprint": self.fingerprint,
+        }
+
+    def describe(self) -> str:
+        schema = self.schema or "<unknown schema>"
+        return (
+            f"result {self.result_id}: {self.count} x {schema} "
+            f"[{self.fingerprint}]"
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultHandle(id={self.result_id!r}, schema={self.schema!r}, "
+            f"count={self.count}, fp={self.fingerprint})"
+        )
+
+
 class RunSnapshot:
     """One recorded execution: metadata, stats, records, provenance, trace."""
 
@@ -74,6 +167,8 @@ class RunSnapshot:
         records: List[Dict[str, Any]],
         graph: Optional[ProvenanceGraph] = None,
         trace: Optional[Dict[str, Any]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+        calls: Optional[List[Dict[str, Any]]] = None,
     ):
         self.run_id = run_id
         self.meta = meta
@@ -81,6 +176,12 @@ class RunSnapshot:
         self.records = records
         self.graph = graph
         self.trace = trace
+        #: Per-document source manifest (``manifest.json``) when the run
+        #: captured one — the base an incremental re-run diffs against.
+        self.manifest = manifest
+        #: Captured LLM call log (``calls.json``) when the run captured
+        #: one — what an incremental re-run replays from.
+        self.calls = calls
 
     @classmethod
     def from_execution(cls, run_id: str, records, stats) -> "RunSnapshot":
@@ -90,6 +191,8 @@ class RunSnapshot:
         snapshot is byte-identical to one reloaded from disk.
         """
         plan = stats.plan_stats
+        payloads = [json.loads(r.to_json()) for r in records]
+        schema = records[0].schema.schema_name() if records else ""
         meta = {
             "run_id": run_id,
             "policy": stats.policy,
@@ -99,11 +202,15 @@ class RunSnapshot:
             "plan_id": plan.plan_id,
             "plan": plan.plan_describe,
             "records_out": plan.records_out,
+            "schema": schema,
+            "result_fp": _result_fp(payloads),
             "total_time_seconds": round(stats.total_time_seconds, 3),
             "total_cost_usd": round(stats.total_cost_usd, 6),
             "llm_calls": sum(op.llm_calls for op in plan.operator_stats),
         }
-        payloads = [json.loads(r.to_json()) for r in records]
+        incremental = getattr(stats, "incremental", None)
+        if incremental is not None:
+            meta["incremental"] = incremental.to_dict()
         trace = None
         if stats.trace is not None:
             from repro.obs.export import to_plain_json
@@ -116,7 +223,13 @@ class RunSnapshot:
             records=payloads,
             graph=getattr(stats, "provenance", None),
             trace=trace,
+            manifest=getattr(stats, "source_manifest", None),
+            calls=getattr(stats, "call_log", None),
         )
+
+    def handle(self) -> ResultHandle:
+        """This run's result set as an addressable handle."""
+        return ResultHandle.from_snapshot(self)
 
     # -- lookups --------------------------------------------------------
 
@@ -198,6 +311,10 @@ class RunRegistry:
             dump("provenance.json", snapshot.graph.to_dict())
         if snapshot.trace is not None:
             dump("trace.json", snapshot.trace)
+        if snapshot.manifest is not None:
+            dump("manifest.json", snapshot.manifest)
+        if snapshot.calls is not None:
+            dump("calls.json", snapshot.calls)
         return run_dir
 
     # -- retrieval ------------------------------------------------------
@@ -238,6 +355,40 @@ class RunRegistry:
             graph=(ProvenanceGraph.from_dict(graph_payload)
                    if graph_payload else None),
             trace=read("trace.json"),
+            manifest=read("manifest.json"),
+            calls=read("calls.json"),
+        )
+
+    def handle(self, run_id: str) -> ResultHandle:
+        """A :class:`ResultHandle` over a stored run, loading records
+        lazily — metadata comes from ``meta.json`` alone, so producing
+        the handle never touches ``records.json``."""
+        run_dir = self.root / run_id
+        meta_path = run_dir / "meta.json"
+        if not meta_path.is_file():
+            known = ", ".join(m["run_id"] for m in self.list()) or "<none>"
+            raise FileNotFoundError(
+                f"no recorded run {run_id!r} under {self.root}; "
+                f"known runs: {known}")
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+
+        def load_records() -> List[Dict[str, Any]]:
+            path = run_dir / "records.json"
+            if not path.is_file():
+                return []
+            with open(path, encoding="utf-8") as records_handle:
+                return json.load(records_handle)
+
+        fingerprint = meta.get("result_fp")
+        if not fingerprint:
+            fingerprint = _result_fp(load_records())
+        return ResultHandle(
+            result_id=run_id,
+            schema=str(meta.get("schema", "")),
+            count=int(meta.get("records_out", 0)),
+            fingerprint=str(fingerprint),
+            loader=load_records,
         )
 
     def latest(self, before: Optional[str] = None) -> Optional[str]:
@@ -249,6 +400,58 @@ class RunRegistry:
 
     def diff(self, run_a: str, run_b: str) -> "RunDiff":
         return diff_runs(self.load(run_a), self.load(run_b))
+
+    # -- retention ------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total bytes stored under the registry root."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self.root.rglob("*") if path.is_file()
+        )
+
+    def prune(self, keep_last: Optional[int] = None,
+              max_bytes: Optional[int] = None) -> List[str]:
+        """Delete old runs; returns the pruned run ids (oldest first).
+
+        ``keep_last`` retains only the N most recent runs.  ``max_bytes``
+        then drops the oldest remaining runs until the registry fits the
+        budget (the newest run always survives).  Run ids keep counting
+        upward after a prune: :meth:`next_run_id` scans the directory, so
+        reusing a deleted id would require deleting the newest runs too.
+        """
+        if keep_last is not None and keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        ids = [m["run_id"] for m in self.list()]
+        doomed: List[str] = []
+        if keep_last is not None and len(ids) > keep_last:
+            cut = len(ids) - keep_last
+            doomed.extend(ids[:cut])
+            ids = ids[cut:]
+        if max_bytes is not None:
+            remaining = self.size_bytes() - sum(
+                self._run_size(run_id) for run_id in doomed
+            )
+            while len(ids) > 1 and remaining > max_bytes:
+                run_id = ids.pop(0)
+                remaining -= self._run_size(run_id)
+                doomed.append(run_id)
+        for run_id in doomed:
+            shutil.rmtree(self.root / run_id, ignore_errors=True)
+        return doomed
+
+    def _run_size(self, run_id: str) -> int:
+        run_dir = self.root / run_id
+        if not run_dir.is_dir():
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in run_dir.rglob("*") if path.is_file()
+        )
 
 
 class RunDiff:

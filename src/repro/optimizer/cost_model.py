@@ -40,6 +40,48 @@ SHARD_SETUP_SECONDS = 0.005
 #: re-sequencing its bundle at the gather (simulated seconds).
 SCATTER_SECONDS_PER_RECORD = 0.0002
 
+#: Estimated per-call replay cost for incremental pricing: serving a call
+#: from a prior run's call log is a local lookup, comparable to a
+#: CallCache hit, not a model round-trip (simulated seconds).
+REPLAY_SECONDS_PER_CALL = 0.002
+
+
+@dataclass(frozen=True)
+class IncrementalPricing:
+    """Cold vs incremental pricing of a re-run (``price_incremental``).
+
+    ``use_incremental`` is the optimizer's choice: replay the base run's
+    call log for unchanged documents, or just run cold.  The chosen
+    *plan* is never altered — replay only changes who pays for which
+    call — so either mode produces identical records.
+    """
+
+    cold_cost_usd: float
+    cold_seconds: float
+    incremental_cost_usd: float
+    incremental_seconds: float
+    fresh_fraction: float
+    use_incremental: bool
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "cold_cost_usd": round(self.cold_cost_usd, 6),
+            "cold_seconds": round(self.cold_seconds, 3),
+            "incremental_cost_usd": round(self.incremental_cost_usd, 6),
+            "incremental_seconds": round(self.incremental_seconds, 3),
+            "fresh_fraction": round(self.fresh_fraction, 4),
+            "use_incremental": self.use_incremental,
+        }
+
+    def describe(self) -> str:
+        choice = "incremental" if self.use_incremental else "cold"
+        return (
+            f"cold ${self.cold_cost_usd:.4f}/{self.cold_seconds:.1f}s vs "
+            f"incremental ${self.incremental_cost_usd:.4f}/"
+            f"{self.incremental_seconds:.1f}s "
+            f"(fresh {self.fresh_fraction:.1%}) -> {choice}"
+        )
+
 
 @dataclass(frozen=True)
 class PlanEstimate:
@@ -272,3 +314,44 @@ class CostModel:
         for op in plan:
             acc = self.extend(acc, op)
         return self.finish(plan, acc)
+
+    # -- incremental re-run pricing --------------------------------------
+
+    @staticmethod
+    def price_incremental(
+        estimate: PlanEstimate,
+        total_docs: int,
+        fresh_docs: int,
+        calls_per_doc: float = 1.0,
+    ) -> IncrementalPricing:
+        """Price replaying a prior run's call log against running cold.
+
+        The incremental run pays the estimated plan cost/time scaled by
+        the fresh-document fraction, plus a per-replayed-call lookup
+        charge (:data:`REPLAY_SECONDS_PER_CALL`).  The estimate never
+        changes the chosen plan — only whether the engine primes a
+        :class:`~repro.llm.replay.ReplayLog` from the base run.
+        """
+        if total_docs <= 0:
+            fraction = 1.0
+        else:
+            fraction = min(1.0, max(0.0, fresh_docs / total_docs))
+        replayed_docs = max(0, total_docs - fresh_docs)
+        replay_overhead = (
+            REPLAY_SECONDS_PER_CALL * replayed_docs * max(0.0, calls_per_doc)
+        )
+        incremental_cost = estimate.cost_usd * fraction
+        incremental_seconds = (
+            estimate.time_seconds * fraction + replay_overhead
+        )
+        return IncrementalPricing(
+            cold_cost_usd=estimate.cost_usd,
+            cold_seconds=estimate.time_seconds,
+            incremental_cost_usd=incremental_cost,
+            incremental_seconds=incremental_seconds,
+            fresh_fraction=fraction,
+            use_incremental=(
+                incremental_cost <= estimate.cost_usd
+                and incremental_seconds < estimate.time_seconds
+            ),
+        )

@@ -32,6 +32,7 @@ class ExecutionContext:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         provenance=None,
+        replay=None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -46,6 +47,10 @@ class ExecutionContext:
         self.provenance = (
             provenance if provenance is not None else NULL_PROVENANCE
         )
+        #: Optional :class:`repro.llm.replay.ReplayLog`; when set, LLM
+        #: clients capture fresh calls into it and serve replay hits from
+        #: it (incremental execution).  Sentinel contexts never inherit it.
+        self.replay = replay
 
     def child(self) -> "ExecutionContext":
         """A fresh context sharing oracle/models but with its own meters.

@@ -156,6 +156,7 @@ class LLMConvertBonded(_ConvertBase):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
 
     def _request_for(self, record: DataRecord) -> ExtractionRequest:
@@ -450,6 +451,7 @@ class CodeSynthesisConvert(_ConvertBase):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
         self._code_client = SimulatedLLMClient(
             synthesized_code_model(self.model),
@@ -459,6 +461,7 @@ class CodeSynthesisConvert(_ConvertBase):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
         self._seen = 0
 
@@ -575,6 +578,7 @@ class ChunkedConvert(_ConvertBase):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
 
     def _extract_chunk(self, chunk: str):

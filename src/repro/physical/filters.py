@@ -95,6 +95,7 @@ class LLMFilter(PhysicalOperator):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
 
     def _request_for(self, record: DataRecord) -> BooleanRequest:

@@ -166,6 +166,7 @@ class LLMSemanticJoin(_JoinBase):
             registry=context.models,
             cache=context.cache,
             tracer=context.tracer,
+            replay=context.replay,
         )
 
     def _pair_matches(self, left: DataRecord, right: DataRecord):

@@ -1,0 +1,503 @@
+"""Incremental execution: manifests, delta recompute, result handles.
+
+The contract under test: an incremental re-run after a corpus delta —
+through any executor, at any worker count, for adds, edits, and drops —
+produces *byte-identical* records, statistics, provenance, and traces to
+a cold run over the same corpus, while paying fresh LLM cost only for
+the delta.  Results are addressed as :class:`ResultHandle`\\ s (id +
+schema + count + fingerprint) and sliced on demand; the run registry
+prunes by count and byte budget.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro as pz
+from repro.core.dataset import Dataset
+from repro.core.schemas import make_schema
+from repro.core.sources import global_source_registry
+from repro.corpora.scale import (
+    SCALE_FIELDS,
+    SCALE_PREDICATE,
+    generate_scale_source,
+    mutate_scale_source,
+)
+from repro.execution.execute import Execute
+from repro.execution.incremental import (
+    build_source_manifest,
+    delta_impact,
+    diff_manifests,
+)
+from repro.obs.export import to_plain_json
+from repro.obs.registry import ResultHandle, RunRegistry, RunSnapshot
+from repro.optimizer.cost_model import CostModel
+
+ScaleNote = make_schema(
+    "ScaleNote",
+    "Cohort and stage extracted from a clinical note",
+    list(SCALE_FIELDS),
+    field_descriptions=list(SCALE_FIELDS.values()),
+)
+
+
+def build(source):
+    return Dataset(source).filter(SCALE_PREDICATE).convert(ScaleNote)
+
+
+def run(dataset, executor="sequential", workers=1, **kwargs):
+    return Execute(
+        dataset,
+        policy="quality",
+        max_workers=workers,
+        executor=executor,
+        trace=True,
+        provenance=True,
+        **kwargs,
+    )
+
+
+def signature(records, stats):
+    """Everything the incremental path must reproduce byte-for-byte."""
+    return (
+        [record.to_json() for record in records],
+        json.dumps(stats.to_dict(), sort_keys=True, default=str),
+        json.dumps(stats.provenance.to_dict(), sort_keys=True,
+                   default=str),
+        json.dumps(to_plain_json(stats.trace, metrics=stats.metrics),
+                   sort_keys=True, default=str),
+    )
+
+
+# ----------------------------------------------------------------------
+# Source manifests and delta detection.
+# ----------------------------------------------------------------------
+
+class TestManifests:
+    def test_manifest_shape(self):
+        source = generate_scale_source(12, seed=21, dataset_id="man-a")
+        manifest = build_source_manifest(source)
+        assert manifest["count"] == 12
+        assert manifest["dataset_id"] == "man-a"
+        assert len(manifest["entries"]) == 12
+        entry = manifest["entries"][0]
+        assert set(entry) == {"key", "fingerprint", "record_fp"}
+
+    def test_manifest_deterministic(self):
+        a = build_source_manifest(
+            generate_scale_source(10, seed=3, dataset_id="man-b"))
+        b = build_source_manifest(
+            generate_scale_source(10, seed=3, dataset_id="man-b"))
+        assert a == b
+
+    def test_diff_detects_exact_delta(self):
+        base = build_source_manifest(
+            generate_scale_source(30, seed=7, dataset_id="man-c"))
+        live = build_source_manifest(
+            mutate_scale_source(30, seed=7, adds=2, edits=3, drops=4,
+                                dataset_id="man-c"))
+        delta = diff_manifests(base, live)
+        assert len(delta.added) == 2
+        assert len(delta.changed) == 3
+        assert len(delta.dropped) == 4
+        assert len(delta.unchanged) == 30 - 3 - 4
+        assert delta.total_live == 30 + 2 - 4
+        assert not delta.is_empty
+
+    def test_diff_identical_manifests_is_empty(self):
+        base = build_source_manifest(
+            generate_scale_source(8, seed=9, dataset_id="man-d"))
+        delta = diff_manifests(base, base)
+        assert delta.is_empty
+        assert len(delta.unchanged) == 8
+
+    def test_mutate_is_deterministic(self):
+        a = build_source_manifest(
+            mutate_scale_source(20, seed=5, adds=1, edits=2, drops=3,
+                                dataset_id="man-e"))
+        b = build_source_manifest(
+            mutate_scale_source(20, seed=5, adds=1, edits=2, drops=3,
+                                dataset_id="man-e"))
+        assert a == b
+
+    def test_mutate_validates_arguments(self):
+        with pytest.raises(ValueError):
+            mutate_scale_source(10, edits=6, drops=5)
+        with pytest.raises(ValueError):
+            mutate_scale_source(10, adds=-1)
+        with pytest.raises(ValueError):
+            mutate_scale_source(0)
+
+
+# ----------------------------------------------------------------------
+# Byte identity: incremental == cold, across executors and deltas.
+# ----------------------------------------------------------------------
+
+GRID = [
+    ("sequential", 1),
+    ("pipelined", 4),
+    ("pipelined", 8),
+    ("sharded", 4),
+    ("sharded", 8),
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("executor,workers", GRID)
+    def test_identical_across_executors(self, executor, workers):
+        n = 40
+        dataset_id = f"incr-{executor}-{workers}"
+        base_source = generate_scale_source(n, seed=13,
+                                            dataset_id=dataset_id)
+        base_records, base_stats = run(
+            build(base_source), executor=executor, workers=workers,
+            capture_calls=True)
+        base = RunSnapshot.from_execution("base", base_records, base_stats)
+
+        mutated = mutate_scale_source(
+            n, seed=13, adds=2, edits=2, drops=2, dataset_id=dataset_id)
+        cold = run(build(mutated), executor=executor, workers=workers)
+        incr = run(build(mutated), executor=executor, workers=workers,
+                   incremental=True, base_run=base)
+
+        assert signature(*cold) == signature(*incr)
+        report = incr[1].incremental
+        assert report is not None
+        assert report.mode == "replay"
+        assert report.replayed_calls > 0
+        assert report.fresh_calls > 0
+        assert report.fresh_cost_usd < report.reused_cost_usd
+
+    @pytest.mark.parametrize("delta", [
+        {"adds": 3},
+        {"edits": 3},
+        {"drops": 3},
+    ])
+    def test_identical_per_delta_kind(self, delta):
+        n = 30
+        kind = next(iter(delta))
+        dataset_id = f"incr-kind-{kind}"
+        base_source = generate_scale_source(n, seed=17,
+                                            dataset_id=dataset_id)
+        base_records, base_stats = run(build(base_source),
+                                       capture_calls=True)
+        base = RunSnapshot.from_execution("base", base_records, base_stats)
+
+        mutated = mutate_scale_source(n, seed=17, dataset_id=dataset_id,
+                                      **delta)
+        cold = run(build(mutated))
+        incr = run(build(mutated), incremental=True, base_run=base)
+
+        assert signature(*cold) == signature(*incr)
+        report = incr[1].incremental
+        bucket = {"adds": "added", "edits": "changed",
+                  "drops": "dropped"}[kind]
+        assert report.delta.to_dict()[bucket] == 3
+
+    def test_unchanged_corpus_replays_everything(self):
+        source = generate_scale_source(20, seed=19,
+                                       dataset_id="incr-same")
+        base_records, base_stats = run(build(source), capture_calls=True)
+        base = RunSnapshot.from_execution("base", base_records, base_stats)
+        records, stats = run(build(source), incremental=True,
+                             base_run=base)
+        report = stats.incremental
+        assert report.delta.is_empty
+        assert report.fresh_calls == 0
+        assert report.fresh_cost_usd == pytest.approx(0.0)
+        assert [json.loads(r.to_json()) for r in records] == base.records
+
+    def test_delta_impact_partitions_base_outputs(self):
+        n = 30
+        dataset_id = "incr-impact"
+        base_source = generate_scale_source(n, seed=23,
+                                            dataset_id=dataset_id)
+        base_records, base_stats = run(build(base_source),
+                                       capture_calls=True)
+        manifest = base_stats.source_manifest
+        live = build_source_manifest(mutate_scale_source(
+            n, seed=23, edits=2, drops=1, dataset_id=dataset_id))
+        delta = diff_manifests(manifest, live)
+        impact = delta_impact(base_stats.provenance, delta, manifest)
+        outputs = base_stats.provenance.output_ids
+        assert impact["invalidated_outputs"] >= 0
+        assert impact["reusable_outputs"] >= 0
+        assert (impact["invalidated_outputs"]
+                + impact["reusable_outputs"]) == len(outputs)
+        assert impact["touched_nodes"] > 0
+
+
+# ----------------------------------------------------------------------
+# The headline acceptance bar: >= 5x on a ~1% delta.
+# ----------------------------------------------------------------------
+
+class TestSpeedup:
+    def test_one_percent_delta_is_5x_cheaper(self):
+        n = 400
+        dataset_id = "incr-speedup"
+        base_source = generate_scale_source(n, seed=29,
+                                            dataset_id=dataset_id)
+        base_records, base_stats = run(build(base_source),
+                                       capture_calls=True)
+        base = RunSnapshot.from_execution("base", base_records, base_stats)
+
+        mutated = mutate_scale_source(n, seed=29, edits=4,
+                                      dataset_id=dataset_id)
+        records, stats = run(build(mutated), incremental=True,
+                             base_run=base)
+        report = stats.incremental
+        assert report.mode == "replay"
+        assert report.speedup_cost >= 5.0
+        assert report.speedup_time >= 5.0
+        # Rendered report is the chat/CLI surface.
+        text = report.render()
+        assert "Incremental execution" in text
+        assert "speedup vs cold" in text
+
+    def test_cost_model_prices_incremental(self):
+        pricing = CostModel.price_incremental(
+            _FakeEstimate(cost_usd=100.0, time_seconds=1000.0),
+            total_docs=1000, fresh_docs=10)
+        assert pricing.fresh_fraction == pytest.approx(0.01)
+        assert pricing.incremental_cost_usd == pytest.approx(1.0)
+        assert pricing.incremental_seconds < pricing.cold_seconds
+        assert pricing.use_incremental
+        # Fully-fresh corpus: nothing to reuse, stay cold.
+        cold = CostModel.price_incremental(
+            _FakeEstimate(cost_usd=100.0, time_seconds=1000.0),
+            total_docs=10, fresh_docs=10)
+        assert not cold.use_incremental
+
+
+class _FakeEstimate:
+    def __init__(self, cost_usd, time_seconds):
+        self.cost_usd = cost_usd
+        self.time_seconds = time_seconds
+
+
+# ----------------------------------------------------------------------
+# Result handles: identity + shape travels, records load on demand.
+# ----------------------------------------------------------------------
+
+class TestResultHandles:
+    def _snapshot(self, n=10, dataset_id="handle-a"):
+        source = generate_scale_source(n, seed=37, dataset_id=dataset_id)
+        records, stats = run(build(source))
+        return RunSnapshot.from_execution("run-0001", records, stats)
+
+    def test_handle_from_snapshot(self):
+        snapshot = self._snapshot()
+        handle = snapshot.handle()
+        assert handle.result_id == "run-0001"
+        assert handle.schema == "ScaleNote"
+        assert handle.count == len(snapshot.records)
+        assert len(handle) == handle.count
+        assert handle.records() == snapshot.records
+
+    def test_slice_windows(self):
+        snapshot = self._snapshot()
+        handle = snapshot.handle()
+        assert handle.slice(0, 2) == snapshot.records[:2]
+        assert handle.slice(2, 2) == snapshot.records[2:4]
+        assert handle.slice(1) == snapshot.records[1:]
+        assert handle.slice(handle.count + 5, 3) == []
+        with pytest.raises(ValueError):
+            handle.slice(-1)
+        with pytest.raises(ValueError):
+            handle.slice(0, -2)
+
+    def test_to_dict_carries_no_records(self):
+        handle = self._snapshot().handle()
+        payload = handle.to_dict()
+        assert set(payload) == {"result_id", "schema", "count",
+                                "fingerprint"}
+        assert "records" not in payload
+        assert handle.describe().startswith("result run-0001:")
+
+    def test_registry_round_trip(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        source = generate_scale_source(8, seed=41, dataset_id="handle-b")
+        records, stats = run(build(source))
+        stored = registry.record(records, stats)
+        handle = registry.handle(stored.run_id)
+        assert handle.result_id == stored.run_id
+        assert handle.count == len(stored.records)
+        assert handle.fingerprint == stored.meta["result_fp"]
+        assert handle.records() == stored.records
+        # Loading is lazy: a meta-only handle resolves before records.
+        lazy = registry.handle(stored.run_id)
+        assert lazy._records is None
+        assert lazy.slice(0, 1) == stored.records[:1]
+        assert lazy._records is not None
+
+    def test_unknown_run_raises(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        with pytest.raises(FileNotFoundError):
+            registry.handle("run-9999")
+
+
+# ----------------------------------------------------------------------
+# Registry retention.
+# ----------------------------------------------------------------------
+
+class TestPrune:
+    def _populate(self, tmp_path, count=4):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        source = generate_scale_source(6, seed=43, dataset_id="prune-a")
+        for _ in range(count):
+            records, stats = run(build(source))
+            registry.record(records, stats)
+        return registry
+
+    def test_keep_last(self, tmp_path):
+        registry = self._populate(tmp_path, count=4)
+        doomed = registry.prune(keep_last=2)
+        assert doomed == ["run-0001", "run-0002"]
+        ids = [m["run_id"] for m in registry.list()]
+        assert ids == ["run-0003", "run-0004"]
+        # Ids keep counting upward after a prune.
+        assert registry.next_run_id() == "run-0005"
+
+    def test_max_bytes_keeps_newest(self, tmp_path):
+        registry = self._populate(tmp_path, count=3)
+        doomed = registry.prune(max_bytes=0)
+        assert doomed == ["run-0001", "run-0002"]
+        ids = [m["run_id"] for m in registry.list()]
+        assert ids == ["run-0003"]
+
+    def test_noop_within_budget(self, tmp_path):
+        registry = self._populate(tmp_path, count=2)
+        assert registry.prune(keep_last=10) == []
+        assert registry.prune(max_bytes=registry.size_bytes()) == []
+
+    def test_validates_arguments(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        with pytest.raises(ValueError):
+            registry.prune(keep_last=-1)
+        with pytest.raises(ValueError):
+            registry.prune(max_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# CLI: repro runs rerun / prune.
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_runs_rerun_and_prune(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        assert main(["runs", "rerun", "--docs", "40",
+                     "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recorded base run-0001" in out
+        assert "Incremental execution" in out
+        assert "mode:              replay" in out
+        assert "recorded run-0002" in out
+
+        assert main(["runs", "prune", "--keep-last", "1",
+                     "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 run(s): run-0001" in out
+        assert [m["run_id"] for m in RunRegistry(runs_dir).list()] == \
+            ["run-0002"]
+
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["runs", "prune",
+                     "--runs-dir", str(tmp_path / "runs")]) == 2
+        assert "pass --keep-last" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Chat: tool messages carry result ids; "re-run" routes incrementally.
+# ----------------------------------------------------------------------
+
+class TestChat:
+    def _session(self, dataset_id="chat-incr", n=24):
+        from repro.chat.tools_pz import build_pz_tools
+        from repro.chat.workspace import PipelineWorkspace
+
+        source = generate_scale_source(n, seed=47, dataset_id=dataset_id)
+        global_source_registry().register(source, overwrite=True)
+        workspace = PipelineWorkspace()
+        tools = build_pz_tools(workspace)
+
+        def call(name, **kwargs):
+            return tools.get(name).invoke(kwargs)
+
+        return workspace, call
+
+    def test_execute_message_carries_result_id(self):
+        workspace, call = self._session(dataset_id="chat-incr-a")
+        call("load_dataset", source="chat-incr-a")
+        call("filter_dataset", predicate=SCALE_PREDICATE)
+        message = call("execute_pipeline")
+        assert "result run-1" in message
+        assert workspace.last_result is not None
+        assert workspace.last_result.result_id == "run-1"
+        # The message references the handle, not inlined records.
+        assert "text_contents" not in message
+
+    def test_show_records_slices_by_result_id(self):
+        workspace, call = self._session(dataset_id="chat-incr-b")
+        call("load_dataset", source="chat-incr-b")
+        call("filter_dataset", predicate=SCALE_PREDICATE)
+        call("execute_pipeline")
+        page = call("show_records", result_id="run-1", offset=2, limit=2)
+        assert page.startswith("- [2]")
+        assert "result run-1:" in page
+        assert "- [2]" in page and "- [3]" in page
+        assert "- [0]" not in page
+        from repro.agent.tools import ToolError
+
+        with pytest.raises(ToolError):
+            call("show_records", result_id="run-99")
+
+    def test_rerun_tool_replays_updated_corpus(self):
+        workspace, call = self._session(dataset_id="chat-incr-c")
+        call("load_dataset", source="chat-incr-c")
+        call("filter_dataset", predicate=SCALE_PREDICATE)
+        call("execute_pipeline")
+        mutated = mutate_scale_source(24, seed=47, adds=1, edits=1,
+                                      drops=1, dataset_id="chat-incr-c")
+        global_source_registry().register(mutated, overwrite=True)
+        message = call("rerun_pipeline")
+        assert "Re-ran pipeline from run-1" in message
+        assert "result run-2" in message
+        assert "Incremental execution" in message
+        assert "replayed" in message
+
+    def test_rerun_intent_routes_before_execute(self):
+        from repro.chat.intent import plan_requests
+        from repro.chat.workspace import PipelineWorkspace
+
+        workspace = PipelineWorkspace()
+        for message in (
+            "re-run on the updated corpus",
+            "rerun the pipeline",
+            "run the pipeline again",
+        ):
+            plan = plan_requests(message, workspace)
+            assert [c.tool_name for c in plan] == ["rerun_pipeline"], \
+                message
+        plan = plan_requests("run the pipeline", workspace)
+        assert [c.tool_name for c in plan] == ["execute_pipeline"]
+
+    def test_workspace_reset_prunes_attached_registry(self, tmp_path):
+        workspace, call = self._session(dataset_id="chat-incr-d")
+        workspace.runs_dir = str(tmp_path / "runs")
+        workspace.keep_runs = 1
+        call("load_dataset", source="chat-incr-d")
+        call("filter_dataset", predicate=SCALE_PREDICATE)
+        call("execute_pipeline")
+        call("execute_pipeline")
+        registry = RunRegistry(workspace.runs_dir)
+        assert len(registry.list()) == 2
+        call("reset_pipeline")
+        assert [m["run_id"] for m in registry.list()] == ["run-0002"]
+        assert len(workspace.run_history) == 1
+        assert workspace.last_result is None
