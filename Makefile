@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec bench-scale bench-incremental perf lint lint-concurrency trace runs examples all clean
+.PHONY: install test bench bench-exec bench-scale bench-incremental bench-server perf lint lint-concurrency serve server-smoke trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,23 @@ bench-incremental:
 		--output /tmp/perf_incremental.json --label bench-incremental
 	python scripts/check_perf_regression.py \
 		--current /tmp/perf_incremental.json
+
+# Serving benchmarks + gate: sequential turns vs N tenants driving the
+# server concurrently; the gate checks concurrent throughput doesn't
+# regress below the sequential baseline ratio.
+bench-server:
+	PYTHONPATH=src python scripts/perf_snapshot.py --quick \
+		--output /tmp/perf_server.json --label bench-server
+	python scripts/check_perf_regression.py --current /tmp/perf_server.json
+
+# The multi-tenant chat service (stdlib HTTP; see docs/server.md).
+serve:
+	PYTHONPATH=src python -m repro serve
+
+# Boot the server on an ephemeral port and drive two tenants through
+# chat -> execute -> results, asserting isolation + quota semantics.
+server-smoke:
+	PYTHONPATH=src python scripts/server_smoke.py
 
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:

@@ -17,6 +17,12 @@ baseline, but relative advantages survive any machine):
    must each be >= ``incremental_floor`` (default 5x): an incremental
    re-run after a ~1% corpus delta that is not at least 5x cheaper than
    a cold run means replay stopped reusing the base run's calls.
+4. **Serving gate** — ``server_turns_concurrent.turns_per_sec`` divided
+   by ``server_turns_sequential.turns_per_sec`` must retain
+   ``server_threshold`` x the baseline ratio: concurrent tenants
+   collapsing below the sequential baseline means the service layer
+   started serializing tenants against each other (a lost lock-scope
+   fight in the session store).
 
 Any gate failing exits 1.  A gate whose workloads are missing from the
 baseline passes vacuously (first recording).
@@ -45,6 +51,9 @@ SCALE_REQUIRED = ("scale_sequential", "scale_sharded4")
 
 #: The workload the incremental gate needs.
 INCR_REQUIRED = ("incr_delta1pct",)
+
+#: The workloads the serving gate needs.
+SERVER_REQUIRED = ("server_turns_sequential", "server_turns_concurrent")
 
 
 def latest_run_with(path: Path, names=REQUIRED) -> dict | None:
@@ -96,6 +105,10 @@ def main(argv=None) -> int:
                         help="absolute minimum simulated speedup (cost AND "
                              "LLM time) an incremental re-run must show "
                              "over a cold run at a ~1%% delta")
+    parser.add_argument("--server-threshold", type=float, default=0.7,
+                        help="minimum fraction of the baseline concurrent/"
+                             "sequential serving throughput ratio the "
+                             "current run must retain")
     args = parser.parse_args(argv)
 
     current = latest_run_with(args.current)
@@ -227,6 +240,62 @@ def _incremental_gate(args) -> int:
               f"{args.incremental_floor:.1f}x cheaper than a cold run")
         return 1
     print("OK: incremental gate passed")
+
+    return _server_gate(args)
+
+
+def _server_ratio(run: dict) -> float:
+    """Concurrent-over-sequential serving throughput (turns/sec)."""
+    workloads = run["workloads"]
+    sequential = workloads["server_turns_sequential"]["turns_per_sec"]
+    concurrent = workloads["server_turns_concurrent"]["turns_per_sec"]
+    if sequential <= 0:
+        return float("inf")
+    return concurrent / sequential
+
+
+def _server_gate(args) -> int:
+    baseline = latest_run_with(args.baseline, SERVER_REQUIRED)
+    if baseline is None:
+        print(
+            f"note: {args.baseline} has no serving benchmarks yet; "
+            "serving gate passes vacuously"
+        )
+        return 0
+    current = latest_run_with(args.current, SERVER_REQUIRED)
+    if current is None:
+        print(
+            f"FAIL: baseline has serving benchmarks but {args.current} "
+            f"has no run with {SERVER_REQUIRED} workloads"
+        )
+        return 1
+
+    base_ratio = _server_ratio(baseline)
+    cur_ratio = _server_ratio(current)
+    floor = args.server_threshold * base_ratio
+
+    def _row(label: str, run: dict) -> str:
+        workloads = run["workloads"]
+        parts = [f"{label:>9}:"]
+        for name in SERVER_REQUIRED:
+            tps = workloads.get(name, {}).get("turns_per_sec")
+            text = f"{tps:.2f} turns/s" if tps is not None else "-"
+            parts.append(f"{name.split('server_turns_')[1]}={text}")
+        return "  ".join(parts)
+
+    print(_row("baseline", baseline),
+          f" concurrent/sequential={base_ratio:.2f}x "
+          f"(rev {baseline.get('git_rev')})")
+    print(_row("current", current),
+          f" concurrent/sequential={cur_ratio:.2f}x")
+    print(f"gate: current ratio must be >= {floor:.2f}x "
+          f"({args.server_threshold:.0%} of baseline)")
+
+    if cur_ratio < floor:
+        print("FAIL: concurrent tenants regressed against the sequential "
+              "serving baseline")
+        return 1
+    print("OK: serving gate passed")
     return 0
 
 

@@ -39,6 +39,12 @@ Workloads:
   after a deterministic ~1% corpus delta (adds + edits + drops);
   records the simulated cost/LLM-time speedups vs a cold run, which the
   incremental regression gate checks (>= 5x).
+* ``server_turns_sequential`` / ``server_turns_concurrent`` — the
+  multi-tenant chat service driven over live HTTP: N tenants each run a
+  load-then-execute turn script against one ``repro serve`` process,
+  one tenant at a time vs all tenants on concurrent client threads.
+  Records ``turns_per_sec``; the serving gate checks the concurrent /
+  sequential throughput ratio against the baseline.
 
 Usage:
     PYTHONPATH=src python scripts/perf_snapshot.py [--quick] [--repeat N]
@@ -401,6 +407,83 @@ def workload_tokenize_repeat(quick: bool) -> dict:
     return {"calls": 2 * rounds * len(docs), "tokens": total}
 
 
+class _ServerBench:
+    """Multi-tenant serving throughput: sequential vs concurrent tenants.
+
+    Boots one ``repro serve`` process (ephemeral port, scratch tenant
+    root) at construction so server startup and demo-corpus generation
+    stay untimed, then measures driving N tenants through a two-turn
+    chat script (load the demo dataset, execute the pipeline) over live
+    HTTP — first one tenant at a time, then all N from concurrent
+    client threads.  Tenant names are never reused across measurements,
+    so every drive starts from a fresh workspace.
+    """
+
+    def __init__(self, quick: bool):
+        import repro.server as server_mod
+
+        self.tenants = 2 if quick else 4
+        self.scratch = tempfile.mkdtemp(prefix="repro-perf-serve-")
+        self.server = server_mod.serve(
+            port=0, root=f"{self.scratch}/tenants",
+            data_dir=f"{self.scratch}/data",
+        )
+        server_mod.run_in_thread(self.server)
+        host, port = self.server.server_address
+        self.base = f"http://{host}:{port}"
+        self._round = 0
+
+    def _call(self, method: str, path: str, body=None):
+        import urllib.request
+
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def _drive(self, tenant: str) -> int:
+        """One tenant's two-turn script; returns the turn count."""
+        row = self._call("POST", f"/tenants/{tenant}/sessions", {})
+        sid = row["session_id"]
+        for message in ("Load the sigmod-demo dataset", "run the pipeline"):
+            turn = self._call(
+                "POST", f"/tenants/{tenant}/sessions/{sid}/turns",
+                {"message": message})
+            assert turn["status"] == "ok", (tenant, turn)
+        return 2
+
+    def run(self, concurrent: bool) -> dict:
+        import threading
+
+        self._round += 1
+        mode = "con" if concurrent else "seq"
+        names = [
+            f"{mode}{self._round}-t{i}" for i in range(self.tenants)
+        ]
+        start = time.perf_counter()
+        if concurrent:
+            threads = [
+                threading.Thread(target=self._drive, args=(name,))
+                for name in names
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for name in names:
+                self._drive(name)
+        elapsed = time.perf_counter() - start
+        turns = 2 * self.tenants
+        return {
+            "tenants": self.tenants,
+            "turns": turns,
+            "turns_per_sec": round(turns / elapsed, 3) if elapsed else 0.0,
+        }
+
+
 # ----------------------------------------------------------------------
 # Harness.
 # ----------------------------------------------------------------------
@@ -429,6 +512,7 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
     exec_bench = _ExecBench(quick)
     scale_bench = _ScaleBench(quick)
     incr_bench = _IncrementalBench(quick)
+    server_bench = _ServerBench(quick)
 
     workloads = [
         ("plan_enum_exhaustive", workload_plan_enum_exhaustive),
@@ -447,6 +531,10 @@ def run_snapshot(quick: bool, repeat: int, label: str) -> dict:
         ("scale_async4", lambda q: scale_bench.run("async", 4)),
         ("incr_cold", lambda q: incr_bench.run_cold()),
         ("incr_delta1pct", lambda q: incr_bench.run_delta()),
+        ("server_turns_sequential",
+         lambda q: server_bench.run(concurrent=False)),
+        ("server_turns_concurrent",
+         lambda q: server_bench.run(concurrent=True)),
     ]
     results = {}
     for name, fn in workloads:

@@ -17,6 +17,10 @@ Three analyzer families share one diagnostics vocabulary:
   unordered iteration) over engine source and generated programs;
   its dynamic half is the runtime lock sanitizer
   (:mod:`repro.analysis.sanitizer`).
+* ``SV6xx`` (:mod:`repro.analysis.server_lint`) — service-layer
+  tenancy discipline: HTTP handlers must reach tenant state
+  (registries, workspaces, sessions, budgets) through
+  ``SessionStore.acquire``.
 
 ``repro lint`` (the CLI) drives all three; see ``docs/diagnostics.md``
 for the full rule table.
@@ -50,6 +54,7 @@ from repro.analysis.codegen_lint import (
 )
 from repro.analysis.obs_lint import lint_provenance, lint_trace
 from repro.analysis.concurrency import lint_source_concurrency
+from repro.analysis.server_lint import lint_source_tenancy
 from repro.analysis.sanitizer import SanitizerReport, sanitize
 
 __all__ = [
@@ -72,6 +77,7 @@ __all__ = [
     "lint_program",
     "lint_provenance",
     "lint_source_concurrency",
+    "lint_source_tenancy",
     "lint_trace",
     "lint_workspace_steps",
     "SanitizerReport",

@@ -273,6 +273,13 @@ def lint_program(
     lint_source_concurrency(
         source, filename=filename, config=config, result=result
     )
+    # Service-layer tenancy discipline (SV6xx): HTTP handler functions
+    # must reach tenant state through SessionStore.acquire().
+    from repro.analysis.server_lint import lint_source_tenancy
+
+    lint_source_tenancy(
+        source, filename=filename, config=config, result=result
+    )
     return result
 
 

@@ -1,0 +1,164 @@
+"""pz-lint ``SV6xx``: service-layer tenancy discipline.
+
+The multi-tenant server (:mod:`repro.server`) has one load-bearing
+invariant: *every* piece of tenant state — the per-tenant run registry,
+workspaces, chat sessions, budgets — is reached through
+:meth:`~repro.server.store.SessionStore.acquire`, which hands the
+tenant's state out with its lock held.  A handler that constructs a
+``RunRegistry`` directly, or reaches into ``.workspace`` / ``.sessions``
+without acquiring, bypasses both the per-tenant lock *and* the per-tenant
+root — the classic way cross-tenant leaks (one tenant's runs landing in
+another's registry, or in the global ``.repro/``) creep in.
+
+Rules:
+
+* ``SV601`` — an HTTP handler function (name matching ``do_<VERB>``,
+  ``handle_*``, or ``_handle_*``) touches a tenant-state primitive — a
+  ``RunRegistry(...)`` construction, or an attribute access named
+  ``workspace`` / ``sessions`` / ``registry`` / ``budget`` — outside a
+  ``with <store>.acquire(...):`` block.
+
+A trailing ``# tenancy: ok(<reason>)`` comment suppresses SV601 on that
+line — the reason is mandatory, mirroring the CC-family escape hatches.
+
+Like the other source families this is purely AST-based (nothing is
+executed) and runs automatically as part of
+:func:`~repro.analysis.codegen_lint.lint_program`, so
+``repro lint src/repro/server`` — and CI — checks the real handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from repro.analysis.diagnostics import (
+    Emitter,
+    LintConfig,
+    LintResult,
+    Severity,
+    register_rule,
+)
+
+register_rule(
+    "SV601", "tenant-state-outside-acquire",
+    "a server handler touches tenant state (RunRegistry/workspace/"
+    "sessions/budget) outside a 'with store.acquire(...)' block",
+    Severity.ERROR,
+)
+
+__all__ = ["lint_source_tenancy"]
+
+#: Function names treated as HTTP handlers (stdlib ``do_GET`` style and
+#: the routed ``_handle_*`` convention).
+_HANDLER_RE = re.compile(r"^(do_[A-Z]+|_?handle_\w+)$")
+
+#: Attribute names that reach into tenant state.
+_TENANT_ATTRS = frozenset({"workspace", "sessions", "registry", "budget"})
+
+
+def _pragma(source_lines: List[str], lineno: int) -> bool:
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    text = source_lines[lineno - 1]
+    return "# tenancy: ok(" in text or "# tenancy: ok " in text
+
+
+def _is_acquire_with(node: ast.With) -> bool:
+    """Does this ``with`` acquire tenant state (``<x>.acquire(...)``)?"""
+    for item in node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "acquire"):
+            return True
+    return False
+
+
+class _HandlerVisitor(ast.NodeVisitor):
+    """Walks one handler body tracking acquire-with nesting depth."""
+
+    def __init__(self, emitter: Emitter, source_lines: List[str],
+                 filename: str, handler: str):
+        self.emitter = emitter
+        self.source_lines = source_lines
+        self.filename = filename
+        self.handler = handler
+        self.depth = 0
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        if _pragma(self.source_lines, node.lineno):
+            return
+        self.emitter.emit(
+            "SV601",
+            f"handler {self.handler}() touches {what} outside "
+            "'with store.acquire(<tenant>)'; route all tenant state "
+            "through SessionStore acquisition (or annotate "
+            "'# tenancy: ok(<reason>)')",
+            location=f"{self.filename}:{node.lineno}",
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = _is_acquire_with(node)
+        if acquired:
+            self.depth += 1
+        self.generic_visit(node)
+        if acquired:
+            self.depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "RunRegistry" and self.depth == 0:
+            self._flag(node, "a RunRegistry directly")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _TENANT_ATTRS and self.depth == 0:
+            self._flag(node, f"tenant attribute '.{node.attr}'")
+        self.generic_visit(node)
+
+    # Nested function/class definitions get their own handler check
+    # (or none); don't double-report their bodies at this depth.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def run(self, node: ast.FunctionDef) -> None:
+        for statement in node.body:
+            self.visit(statement)
+
+
+def lint_source_tenancy(
+    source: str,
+    filename: str = "<source>",
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """Run the SV6xx analysis over one module's source text.
+
+    Only functions named like HTTP handlers are examined, so ordinary
+    code (including :mod:`repro.server.store` itself, whose methods
+    legitimately manage the locks) is never flagged.
+    """
+    result = result if result is not None else LintResult()
+    emitter = Emitter(result, config)
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return result
+    source_lines = source.splitlines()
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and _HANDLER_RE.match(node.name)):
+            visitor = _HandlerVisitor(
+                emitter, source_lines, filename, node.name)
+            visitor.run(node)
+    return result

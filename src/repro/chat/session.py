@@ -50,6 +50,13 @@ class PalimpChatSession:
             invocations nested beneath (``session_trace()`` finalizes it).
             Pipeline executions additionally record their own run trace
             into ``workspace.last_trace`` regardless of this flag.
+        on_event: session lifecycle hook — a callable receiving event
+            dicts as the session works: ``turn_start`` / ``turn_end``
+            around every :meth:`chat` call, with execution progress
+            events (``plan_start`` / ``record_processed`` / ...)
+            in between while a pipeline runs.  The serving layer points
+            this at a per-turn progress buffer; it is swappable at any
+            time via the ``on_event`` attribute.
     """
 
     def __init__(
@@ -59,10 +66,13 @@ class PalimpChatSession:
         sample_size: int = 0,
         title: str = "PalimpChat session",
         trace: bool = True,
+        on_event=None,
     ):
+        self.on_event = on_event
         self.workspace = PipelineWorkspace()
         self.workspace.max_workers = max_workers
         self.workspace.sample_size = sample_size
+        self.workspace.on_progress = self._emit_event
         self.registry = build_pz_tools(self.workspace)
         self.agent_ledger = UsageLedger()
         self.agent_clock = VirtualClock()
@@ -90,8 +100,19 @@ class PalimpChatSession:
 
     # -- conversation -----------------------------------------------------
 
+    def _emit_event(self, event: Dict[str, Any]) -> None:
+        """Forward one lifecycle/progress event to the hook (if any)."""
+        hook = self.on_event
+        if hook is not None:
+            hook(event)
+
     def chat(self, message: str) -> ChatResponse:
         """Process one user message through the ReAct agent."""
+        self._emit_event({
+            "type": "turn_start",
+            "turn": len(self.turns),
+            "message_chars": len(message),
+        })
         self.notebook.add_markdown(f"**User:** {message}")
         with self.tracer.span(
             "chat.turn", SpanKind.CHAT, clock=self.agent_clock,
@@ -124,6 +145,12 @@ class PalimpChatSession:
             snapshot_index=snapshot_index,
         )
         self.turns.append(response)
+        self._emit_event({
+            "type": "turn_end",
+            "turn": len(self.turns) - 1,
+            "tools": list(tool_sequence),
+            "reply_chars": len(result.answer),
+        })
         return response
 
     def restore(self, snapshot_index: int) -> None:

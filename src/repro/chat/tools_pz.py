@@ -235,6 +235,10 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
         """
         if workspace.current is None:
             raise ToolError("no dataset loaded yet; call load_dataset first")
+        if workspace.budget is not None:
+            # Pre-turn budget gate: a fully consumed quota rejects the
+            # execution before any optimization or LLM work is spent.
+            workspace.budget.precheck()
         from repro.analysis import lint_plan
 
         lint_result = lint_plan(
@@ -261,6 +265,8 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             trace=True,  # so explain_execution can answer "what took so long"
             provenance=True,  # so explain_record can answer "why is X here"
             capture_calls=True,  # so rerun_pipeline can replay unchanged docs
+            budget=workspace.budget,
+            on_event=workspace.on_progress,
         )
         workspace.last_records = records
         workspace.last_stats = stats
@@ -313,6 +319,8 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
                 "no prior run with a captured call log to re-run from; "
                 "call execute_pipeline first"
             )
+        if workspace.budget is not None:
+            workspace.budget.precheck()
         # See the updated corpus: if a new source was registered under
         # the same dataset id, swap it into the pipeline's root scan.
         workspace.current.refresh_source()
@@ -331,6 +339,8 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             provenance=True,
             incremental=True,
             base_run=base,
+            budget=workspace.budget,
+            on_event=workspace.on_progress,
         )
         workspace.last_records = records
         workspace.last_stats = stats

@@ -72,6 +72,19 @@ class PipelineWorkspace:
         #: Retention applied on reset(): how many runs (in memory, and on
         #: disk when runs_dir is set) survive a workspace reset.
         self.keep_runs: int = 8
+        #: State root this workspace lives under (e.g. a tenant's
+        #: ``.repro/tenants/<id>/``); ``attach_root`` derives runs_dir
+        #: from it.  None = no dedicated root (the historical global
+        #: ``.repro/`` behaviour).  Two workspaces with different roots
+        #: never share registries.
+        self.root: Optional[str] = None
+        #: Shared :class:`~repro.llm.usage.BudgetMeter` (tenant quota)
+        #: executions charge; None = unmetered.
+        self.budget: Optional[Any] = None
+        #: Progress callback executions forward executor events to
+        #: (``plan_start``/``record_processed``/.../``plan_end``) — the
+        #: hook a serving layer streams to clients.
+        self.on_progress: Optional[Any] = None
 
     # -- step log ----------------------------------------------------------
 
@@ -97,10 +110,31 @@ class PipelineWorkspace:
                 f"known schemas: {sorted(self.schemas)}"
             ) from None
 
+    # -- tenancy root -----------------------------------------------------
+
+    def attach_root(self, root) -> None:
+        """Pin this workspace's persistent state under ``root``.
+
+        Sets ``root`` and derives ``runs_dir`` (``<root>/runs``) from it,
+        so every workspace with a distinct root gets its own
+        :class:`~repro.obs.registry.RunRegistry` — two tenants in one
+        process never collide on the global ``.repro/`` default.
+        """
+        import os
+
+        self.root = os.fspath(root)
+        self.runs_dir = os.path.join(self.root, "runs")
+
     # -- snapshots (Beaker-style state restore) ---------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Capture enough state to restore this point of the conversation."""
+        """Capture enough state to restore this point of the conversation.
+
+        The registry attachment (``root``/``runs_dir``/``keep_runs``) is
+        part of the snapshot: restoring a snapshot into a fresh workspace
+        must keep pointing at the *same* per-tenant store, not fall back
+        to the global ``.repro/`` root.
+        """
         return {
             "current": self.current,          # Datasets are immutable chains
             "schemas": dict(self.schemas),
@@ -111,6 +145,9 @@ class PipelineWorkspace:
             "shards": self.shards,
             "sample_size": self.sample_size,
             "steps": copy.deepcopy(self.steps),
+            "root": self.root,
+            "runs_dir": self.runs_dir,
+            "keep_runs": self.keep_runs,
         }
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
@@ -123,11 +160,104 @@ class PipelineWorkspace:
         self.shards = snapshot.get("shards")
         self.sample_size = snapshot["sample_size"]
         self.steps = copy.deepcopy(snapshot["steps"])
+        if "root" in snapshot:
+            self.root = snapshot["root"]
+        if "runs_dir" in snapshot:
+            self.runs_dir = snapshot["runs_dir"]
+        if "keep_runs" in snapshot:
+            self.keep_runs = snapshot["keep_runs"]
         self.last_records = None
         self.last_stats = None
         self.last_trace = None
         self.last_provenance = None
         self.last_result = None
+
+    # -- disk persistence (service-layer session store) -------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-able snapshot: the step log plus execution settings.
+
+        Unlike :meth:`snapshot` (which holds live objects for in-process
+        restore), the payload survives a process restart: every step's
+        params are primitives, and :meth:`apply_payload` replays them to
+        rebuild the pipeline, schemas, and policy.
+        """
+        return {
+            "steps": [
+                {"kind": step.kind, "params": dict(step.params)}
+                for step in self.steps
+            ],
+            "policy": self.policy.describe(),
+            "max_workers": self.max_workers,
+            "executor": self.executor,
+            "batch_size": self.batch_size,
+            "shards": self.shards,
+            "sample_size": self.sample_size,
+            "keep_runs": self.keep_runs,
+        }
+
+    def apply_payload(self, payload: Dict[str, Any]) -> None:
+        """Rebuild workspace state from :meth:`to_payload` output.
+
+        Pipeline-building steps (load/schema/filter/convert/policy and
+        the execution-mode settings) are replayed to reconstruct the
+        live ``current`` dataset and schema registry; ``execute`` /
+        ``rerun`` steps are kept in the log (codegen still shows them)
+        but not re-run — their results live in the run registry.
+        """
+        from repro.core.cardinality import Cardinality
+        from repro.core.schemas import make_schema
+        from repro.optimizer.policies import parse_policy
+
+        self.max_workers = int(payload.get("max_workers", 1))
+        self.executor = payload.get("executor")
+        self.batch_size = int(payload.get("batch_size", 1))
+        self.shards = payload.get("shards")
+        self.sample_size = int(payload.get("sample_size", 0))
+        self.keep_runs = int(payload.get("keep_runs", self.keep_runs))
+        self.current = None
+        self.schemas = {}
+        self.steps = []
+        for entry in payload.get("steps", []):
+            kind = entry["kind"]
+            params = dict(entry.get("params", {}))
+            if kind == "load":
+                self.current = Dataset(source=params["source"])
+            elif kind == "schema":
+                self.add_schema(make_schema(
+                    params["name"],
+                    params.get("description", ""),
+                    list(params.get("field_names", [])),
+                    field_descriptions=list(
+                        params.get("field_descriptions", [])),
+                ))
+            elif kind == "filter" and self.current is not None:
+                self.current = self.current.filter(params["predicate"])
+            elif kind == "convert" and self.current is not None:
+                self.current = self.current.convert(
+                    self.get_schema(params["schema"]),
+                    cardinality=Cardinality.parse(
+                        params.get("cardinality", "one_to_one")),
+                )
+            elif kind == "policy":
+                self.policy = parse_policy(params["target"])
+            elif kind == "parallelism":
+                self.max_workers = int(params["workers"])
+            elif kind == "execution_mode":
+                self.executor = params.get("executor")
+                self.batch_size = int(params.get("batch_size", 1))
+                self.shards = params.get("shards")
+            # execute/rerun and unknown kinds: log-only (below).
+            self.steps.append(PipelineStep(kind=kind, params=params))
+        if "policy" in payload and not any(
+                s.kind == "policy" for s in self.steps):
+            try:
+                self.policy = parse_policy(payload["policy"])
+            except ValueError:
+                # Constrained policies (e.g. "max-quality@cost($1.00)")
+                # don't parse back from describe(); keep the default —
+                # a replayed "policy" step would have restored it above.
+                pass
 
     def reset(self) -> None:
         self.current = None

@@ -211,6 +211,39 @@ def _cmd_chat(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import serve
+
+    quota = float(args.quota) if args.quota is not None else None
+    server = serve(
+        host=args.host,
+        port=args.port,
+        root=args.root,
+        max_cost_usd=quota,
+        max_tokens=args.quota_tokens,
+        data_dir=args.data_dir,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address
+    root = server.store.root
+    caps = []
+    if quota is not None:
+        caps.append(f"${quota:.2f}")
+    if args.quota_tokens is not None:
+        caps.append(f"{args.quota_tokens} tokens")
+    print(f"repro serve: http://{host}:{port}  "
+          f"(tenants under {root}; default quota: "
+          f"{' / '.join(caps) if caps else 'unmetered'})")
+    print("POST /tenants/<id>/sessions to begin; Ctrl-C to stop.")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def _lint_paths(paths: List[str], config, result) -> None:
     """AST-lint ``.py`` files and validate ``.ipynb`` files (no execution)."""
     from repro.analysis import Diagnostic, Severity, lint_notebook, lint_program
@@ -287,6 +320,7 @@ _FAMILY_LABELS = {
     "CG": "codegen lint",
     "OB": "observability lint",
     "CC": "concurrency & determinism",
+    "SV": "server/tenancy lint",
 }
 
 
@@ -678,6 +712,31 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--export", default=None,
                       help="save the session notebook here on exit")
 
+    srv = sub.add_parser(
+        "serve",
+        help="multi-tenant PalimpChat HTTP service",
+        description="Serve chat sessions as HTTP/JSON resources "
+                    "(stdlib http.server; no extra dependencies). Each "
+                    "tenant gets an isolated workspace, run registry, "
+                    "and session store under <root>/<tenant-id>/, plus "
+                    "a token/cost quota enforced before and during "
+                    "every turn. See docs/server.md for the API.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8787,
+                     help="0 binds an ephemeral port")
+    srv.add_argument("--root", default=None,
+                     help="tenant state root (default: .repro/tenants)")
+    srv.add_argument("--quota", default=None, metavar="USD",
+                     help="default per-tenant cost cap in USD "
+                          "(default: unmetered)")
+    srv.add_argument("--quota-tokens", type=int, default=None,
+                     metavar="N", help="default per-tenant token cap")
+    srv.add_argument("--data-dir", default=None,
+                     help="where to generate/reuse the demo corpora")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log each request line to stderr")
+
     lint = sub.add_parser(
         "lint",
         help="statically analyze pipelines, tools, and programs",
@@ -879,6 +938,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "run": _cmd_run,
         "chat": _cmd_chat,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "runs": _cmd_runs,

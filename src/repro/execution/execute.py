@@ -88,6 +88,21 @@ class ExecutionEngine:
             recent run in ``runs_dir``.
         runs_dir: registry directory run-id strings resolve against
             (default ``.repro/runs``).
+        budget: a shared :class:`~repro.llm.usage.BudgetMeter` (e.g. a
+            tenant's quota) charged for every LLM call of the run.  A
+            call that pushes the spend strictly over a cap is recorded
+            first, then aborts the run with
+            :class:`~repro.llm.usage.QuotaExceededError` (partial usage
+            stays accounted); executors additionally poll a cooperative
+            checkpoint between operators so a budget exhausted by a
+            concurrent run aborts this one too.  Optimizer sentinel runs
+            never charge the budget.
+        on_event: progress callback receiving executor event dicts
+            (``plan_start`` / ``record_processed`` / ``operator_flush`` /
+            ``plan_end``) as the run advances.  Honored by the
+            sequential/parallel executors; the threaded and scale-out
+            executors ignore it (their progress is recoverable from the
+            trace).
         sanitize: run the plan under the lock sanitizer
             (:mod:`repro.analysis.sanitizer`): every lock created during
             the run is observed, the cross-thread lock-order graph is
@@ -122,6 +137,8 @@ class ExecutionEngine:
         incremental: bool = False,
         base_run=None,
         runs_dir: Optional[str] = None,
+        budget=None,
+        on_event=None,
         **candidate_options,
     ):
         if policy is None:
@@ -160,6 +177,8 @@ class ExecutionEngine:
         self.incremental = incremental
         self.base_run = base_run
         self.runs_dir = runs_dir
+        self.budget = budget
+        self.on_event = on_event
         self.candidate_options = candidate_options
 
     def _make_tracer(self):
@@ -311,6 +330,7 @@ class ExecutionEngine:
             tracer=tracer,
             provenance=recorder,
             replay=replay_log,
+            budget=self.budget,
         )
         if traced and tracer.default_clock is None:
             # Optimizer spans were recorded clockless (optimization is free
@@ -339,9 +359,12 @@ class ExecutionEngine:
                 context, fanout=plan_shards, batch_size=self.batch_size
             )
         elif name == "parallel":
-            executor = ParallelExecutor(context, max_workers=self.max_workers)
+            executor = ParallelExecutor(
+                context, max_workers=self.max_workers,
+                on_event=self.on_event,
+            )
         else:
-            executor = SequentialExecutor(context)
+            executor = SequentialExecutor(context, on_event=self.on_event)
         records, plan_stats = executor.execute(chosen_plan)
         if self.cache is not None:
             cache_hits = self.cache.stats.hits - cache_before[0]
@@ -415,6 +438,8 @@ def Execute(
     incremental: bool = False,
     base_run=None,
     runs_dir: Optional[str] = None,
+    budget=None,
+    on_event=None,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -488,6 +513,8 @@ def Execute(
         incremental=incremental,
         base_run=base_run,
         runs_dir=runs_dir,
+        budget=budget,
+        on_event=on_event,
         **candidate_options,
     )
     return engine.execute(dataset)

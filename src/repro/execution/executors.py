@@ -252,6 +252,10 @@ class SequentialExecutor:
             if index >= len(meters):
                 sink.append(current)
                 continue
+            # Cooperative quota-abort point: a shared budget breached by
+            # a concurrent run stops this one between operators, before
+            # the next operator spends anything.
+            self.context.checkpoint()
             outputs = meters[index].process(current)
             # Reversed so outputs are visited in their emitted order,
             # matching what the recursive formulation produced.
@@ -262,6 +266,7 @@ class SequentialExecutor:
         """Close operators in order, pushing flushed records downstream."""
         for index, meter in enumerate(meters):
             self._on_barrier(meter)
+            self.context.checkpoint()
             flushed = meter.close()
             if flushed and meter.op.is_blocking:
                 self._emit({

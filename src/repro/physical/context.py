@@ -8,7 +8,7 @@ from repro.llm.cache import CallCache
 from repro.llm.clock import VirtualClock
 from repro.llm.models import ModelRegistry, default_registry
 from repro.llm.oracle import GroundTruthRegistry, global_oracle
-from repro.llm.usage import UsageLedger
+from repro.llm.usage import BudgetMeter, QuotaExceededError, UsageLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import NULL_PROVENANCE
 from repro.obs.trace import NULL_TRACER
@@ -33,12 +33,20 @@ class ExecutionContext:
         metrics: Optional[MetricsRegistry] = None,
         provenance=None,
         replay=None,
+        budget: Optional[BudgetMeter] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self.clock = clock or VirtualClock(lanes=max_workers)
         self.ledger = ledger or UsageLedger()
+        #: Shared spend cap (e.g. a tenant's quota).  Every call the
+        #: run's ledger records is charged against it, and executors
+        #: poll :meth:`checkpoint` between operators so a budget another
+        #: session exhausted aborts this run cooperatively.
+        self.budget = budget
+        if budget is not None and self.ledger.budget is None:
+            self.ledger.attach_budget(budget)
         self.oracle = oracle if oracle is not None else global_oracle()
         self.models = models or default_registry()
         self.cache = cache
@@ -51,6 +59,23 @@ class ExecutionContext:
         #: clients capture fresh calls into it and serve replay hits from
         #: it (incremental execution).  Sentinel contexts never inherit it.
         self.replay = replay
+
+    def checkpoint(self) -> None:
+        """Cooperative quota-abort point (executors call this between
+        operators).  Raises :class:`~repro.llm.usage.QuotaExceededError`
+        when the shared budget has been strictly breached — typically by
+        a concurrent session of the same tenant; this run's own breaching
+        call raises directly from the ledger charge.  Free when no budget
+        is attached.
+        """
+        budget = self.budget
+        if budget is not None and budget.exceeded():
+            raise QuotaExceededError(
+                "quota exhausted (checkpoint): the shared budget was "
+                "breached; aborting between operators",
+                spent_cost_usd=budget.spent_cost_usd,
+                spent_tokens=budget.spent_tokens,
+            )
 
     def child(self) -> "ExecutionContext":
         """A fresh context sharing oracle/models but with its own meters.

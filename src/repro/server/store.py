@@ -1,0 +1,607 @@
+"""The multi-tenant session store behind ``repro serve``.
+
+Every tenant owns an isolated slice of state under
+``<root>/<tenant-id>/``::
+
+    <root>/<tenant-id>/
+        tenant.json           # quota caps + spent totals (restart restore)
+        runs/                 # the tenant's private RunRegistry
+        sessions/<sid>.json   # replayable workspace payload + turn log
+
+and an in-process :class:`TenantState` bundling the tenant's
+:class:`~repro.llm.usage.BudgetMeter`, its live chat sessions, and the
+re-entrant lock that serializes state access.  **All** handler access to
+a tenant's registry, workspace, or sessions goes through
+:meth:`SessionStore.acquire` — the contract pz-lint rule ``SV601``
+enforces over server source — so two tenants never share a registry, a
+budget, or a lock, and requests for different tenants proceed fully in
+parallel.
+
+Quota semantics (see ``docs/server.md``):
+
+* **pre-turn**: a turn against an exhausted budget is rejected before
+  any agent or pipeline spend (:meth:`BudgetMeter.precheck` —
+  ``spent >= cap`` rejects, so an *exactly-at-budget* meter is spent).
+* **mid-run**: every simulated LLM call charges the meter *after* the
+  ledger records it (no lost accounting), and the breach aborts the
+  pipeline at the next inter-operator checkpoint; the turn completes
+  with status ``quota_rejected`` and the partial spend stands.
+* **admin**: raising the caps via :meth:`SessionStore.set_quota`
+  unblocks the tenant immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.llm.usage import BudgetMeter, QuotaExceededError
+from repro.server.progress import ProgressBuffer, progress_events_from_trace
+
+__all__ = ["SessionStore", "TenantState", "ServerSession", "TurnState",
+           "DEFAULT_TENANTS_ROOT"]
+
+DEFAULT_TENANTS_ROOT = ".repro/tenants"
+
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: How many events a persisted turn keeps (the live stream is unbounded
+#: in memory for the turn's lifetime; disk keeps the tail).
+_PERSISTED_EVENTS = 500
+
+#: The marker every quota failure carries (``QuotaExceededError``
+#: messages all start with ``"quota exhausted (<stage>)"``); the store
+#: scans agent error observations for it to classify a turn that
+#: aborted mid-run inside a tool.
+_QUOTA_MARKER = "quota exhausted"
+
+
+def _check_id(kind: str, value: str) -> str:
+    if not _ID_RE.match(value or ""):
+        raise ValueError(
+            f"invalid {kind} id {value!r}: ids are 1-64 chars of "
+            "[A-Za-z0-9_.-] and start alphanumeric"
+        )
+    return value
+
+
+class TurnState:
+    """One chat turn: request, outcome, usage delta, progress events.
+
+    Written by the turn worker, read by HTTP threads — every mutable
+    field is guarded by the turn's own lock; the event stream lives in
+    its :class:`~repro.server.progress.ProgressBuffer` (which carries
+    its own condition variable).
+    """
+
+    _GUARDED_BY = {
+        "status": "_lock",
+        "reply": "_lock",
+        "tools": "_lock",
+        "error": "_lock",
+        "usage_delta": "_lock",
+    }
+
+    def __init__(self, turn_id: str, message: str):
+        self.turn_id = turn_id
+        self.message = message
+        self.events = ProgressBuffer()
+        self._lock = threading.Lock()
+        self.status = "running"  # running | ok | quota_rejected | error
+        self.reply: Optional[str] = None
+        self.tools: List[str] = []
+        self.error: Optional[str] = None
+        self.usage_delta: Dict[str, Any] = {}
+
+    def finish(
+        self,
+        status: str,
+        reply: Optional[str],
+        tools: List[str],
+        usage: Dict[str, Any],
+        error: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            self.status = status
+            self.reply = reply
+            self.tools = list(tools)
+            self.usage_delta = dict(usage)
+            self.error = error
+        self.events.close()
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "turn_id": self.turn_id,
+                "message": self.message,
+                "status": self.status,
+                "reply": self.reply,
+                "tools": list(self.tools),
+                "usage": dict(self.usage_delta),
+                "error": self.error,
+                "events": len(self.events),
+            }
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-able form persisted in the session file."""
+        payload = self.to_dict()
+        payload["events"] = self.events.snapshot()[-_PERSISTED_EVENTS:]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TurnState":
+        turn = cls(payload["turn_id"], payload.get("message", ""))
+        turn.events.extend(payload.get("events") or [])
+        turn.finish(
+            payload.get("status", "ok"),
+            payload.get("reply"),
+            list(payload.get("tools") or []),
+            dict(payload.get("usage") or {}),
+            payload.get("error"),
+        )
+        return turn
+
+
+class ServerSession:
+    """One tenant chat session: the live PalimpChat session + turn log.
+
+    ``turn_lock`` serializes turns *within* the session (two concurrent
+    POSTs to the same session run one after the other); sessions of the
+    same tenant — and of different tenants — run concurrently.
+    """
+
+    def __init__(self, session_id: str, chat_session, title: str):
+        self.session_id = session_id
+        self.chat = chat_session
+        self.title = title
+        self.turn_lock = threading.Lock()
+        #: Turn log, append-only under the owning tenant's lock.
+        self.turns: List[TurnState] = []
+
+    def next_turn_id(self) -> str:
+        return f"t-{len(self.turns) + 1:04d}"
+
+    def find_turn(self, turn_id: str) -> TurnState:
+        for turn in self.turns:
+            if turn.turn_id == turn_id:
+                return turn
+        raise KeyError(
+            f"no turn {turn_id!r} in session {self.session_id!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "title": self.title,
+            "turns": len(self.turns),
+            "pipeline": self.chat.workspace.describe_pipeline(),
+        }
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "title": self.title,
+            "workspace": self.chat.workspace.to_payload(),
+            "turns": [turn.to_payload() for turn in self.turns],
+        }
+
+
+class TenantState:
+    """One tenant's isolated state; mutate only under ``lock``.
+
+    :meth:`SessionStore.acquire` hands this out with ``lock`` held;
+    handlers keep their critical sections short (resolve a session,
+    build a registry handle) and never hold it across a chat turn —
+    otherwise streaming reads of an in-flight turn would deadlock.
+    """
+
+    _GUARDED_BY = {"sessions": "lock"}
+
+    def __init__(self, tenant_id: str, root: Path, budget: BudgetMeter):
+        self.tenant_id = tenant_id
+        self.root = root
+        self.budget = budget
+        self.lock = threading.RLock()
+        self.sessions: Dict[str, ServerSession] = {}
+
+    # All methods below assume ``lock`` is held (acquire() guarantees
+    # it for handlers; SessionStore internals re-enter the RLock).
+
+    def registry(self):
+        """The tenant's private run registry (``<root>/runs``)."""
+        from repro.obs.registry import RunRegistry
+
+        return RunRegistry(str(self.root / "runs"))
+
+    def get_session(self, session_id: str) -> ServerSession:
+        with self.lock:
+            try:
+                return self.sessions[session_id]
+            except KeyError:
+                raise KeyError(
+                    f"tenant {self.tenant_id!r} has no session "
+                    f"{session_id!r}") from None
+
+    def peek_session(self, session_id: str) -> Optional[ServerSession]:
+        with self.lock:
+            return self.sessions.get(session_id)
+
+    def put_session(self, session: ServerSession) -> None:
+        with self.lock:
+            self.sessions[session.session_id] = session
+
+    def pop_session(self, session_id: str) -> Optional[ServerSession]:
+        with self.lock:
+            return self.sessions.pop(session_id, None)
+
+    def session_ids(self) -> List[str]:
+        with self.lock:
+            return sorted(self.sessions)
+
+    def session_rows(self) -> List[Dict[str, Any]]:
+        with self.lock:
+            return [
+                self.sessions[sid].to_dict()
+                for sid in sorted(self.sessions)
+            ]
+
+    def sessions_dir(self) -> Path:
+        return self.root / "sessions"
+
+    def usage(self) -> Dict[str, Any]:
+        return self.budget.snapshot()
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self.lock:
+            session_count = len(self.sessions)
+        return {
+            "tenant_id": self.tenant_id,
+            "usage": self.usage(),
+            "sessions": session_count,
+            "runs": len(self.registry().list()),
+        }
+
+
+class SessionStore:
+    """Tenant registry + session lifecycle + quota accounting.
+
+    The single shared object behind the HTTP layer.  Its own lock only
+    guards the tenant map; everything tenant-scoped nests under the
+    tenant's lock, so the store never serializes two tenants against
+    each other.
+    """
+
+    _GUARDED_BY = {"_tenants": "_lock"}
+
+    def __init__(
+        self,
+        root: str = DEFAULT_TENANTS_ROOT,
+        default_max_cost_usd: Optional[float] = None,
+        default_max_tokens: Optional[int] = None,
+        agent_model: Optional[str] = "gpt-4o",
+    ):
+        self.root = Path(root)
+        self.default_max_cost_usd = default_max_cost_usd
+        self.default_max_tokens = default_max_tokens
+        self.agent_model = agent_model
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantState] = {}
+
+    # -- tenant lifecycle ----------------------------------------------
+
+    def acquire(self, tenant_id: str):
+        """Context manager: the tenant's state with its lock held.
+
+        The only sanctioned path to a tenant's registry, workspace, or
+        sessions (pz-lint ``SV601``).  Creates the tenant on first use
+        (restoring persisted quota/usage if ``tenant.json`` exists).
+        """
+        tenant = self._tenant(tenant_id)
+        return _AcquiredTenant(tenant)
+
+    def _tenant(self, tenant_id: str) -> TenantState:
+        _check_id("tenant", tenant_id)
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                tenant = self._load_tenant(tenant_id)
+                self._tenants[tenant_id] = tenant
+            return tenant
+
+    def _load_tenant(self, tenant_id: str) -> TenantState:
+        root = self.root / tenant_id
+        root.mkdir(parents=True, exist_ok=True)
+        budget = BudgetMeter(
+            max_cost_usd=self.default_max_cost_usd,
+            max_tokens=self.default_max_tokens,
+        )
+        meta_path = root / "tenant.json"
+        if meta_path.is_file():
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            quota = meta.get("quota") or {}
+            budget.set_limits(
+                max_cost_usd=quota.get("max_cost_usd"),
+                max_tokens=quota.get("max_tokens"),
+            )
+            spent = meta.get("usage") or {}
+            budget.charge_totals(
+                cost_usd=float(spent.get("cost_usd", 0.0)),
+                tokens=int(spent.get("tokens", 0)),
+                calls=int(spent.get("calls", 0)),
+            )
+        return TenantState(tenant_id, root, budget)
+
+    def tenant_ids(self) -> List[str]:
+        """Known tenants: in-memory plus any persisted on disk."""
+        with self._lock:
+            known = set(self._tenants)
+        if self.root.is_dir():
+            for entry in self.root.iterdir():
+                if entry.is_dir() and _ID_RE.match(entry.name):
+                    known.add(entry.name)
+        return sorted(known)
+
+    # -- sessions -------------------------------------------------------
+
+    def ensure_session(
+        self,
+        tenant_id: str,
+        session_id: Optional[str] = None,
+        title: str = "PalimpChat session",
+    ) -> Dict[str, Any]:
+        """Create a session — or resume one from memory or disk.
+
+        Returns the session row plus ``"resumed": bool``.  A fresh
+        session gets the next sequential id (``s-0001``, ...); naming
+        an id resumes it (from the persisted payload when the process
+        restarted since it was created).
+        """
+        with self.acquire(tenant_id) as tenant:
+            if session_id is not None:
+                _check_id("session", session_id)
+                existing = tenant.peek_session(session_id)
+                if existing is not None:
+                    return {**existing.to_dict(), "resumed": True}
+                persisted = tenant.sessions_dir() / f"{session_id}.json"
+                if persisted.is_file():
+                    session = self._resume_session(tenant, persisted)
+                    return {**session.to_dict(), "resumed": True}
+            sid = session_id or self._next_session_id(tenant)
+            session = ServerSession(
+                sid, self._new_chat_session(tenant), title)
+            tenant.put_session(session)
+            self._persist_session(tenant, session)
+            self._persist_tenant(tenant)
+            return {**session.to_dict(), "resumed": False}
+
+    def _new_chat_session(self, tenant: TenantState):
+        from repro.chat.session import PalimpChatSession
+
+        chat = PalimpChatSession(agent_model=self.agent_model)
+        chat.workspace.attach_root(tenant.root)
+        chat.workspace.budget = tenant.budget
+        # The agent's own reasoning spend counts against the tenant
+        # quota too, not just pipeline execution.
+        chat.agent_ledger.attach_budget(tenant.budget)
+        return chat
+
+    def _next_session_id(self, tenant: TenantState) -> str:
+        highest = 0
+        taken = set(tenant.session_ids())
+        sessions_dir = tenant.sessions_dir()
+        if sessions_dir.is_dir():
+            taken.update(p.stem for p in sessions_dir.glob("*.json"))
+        for sid in sorted(taken):
+            match = re.match(r"^s-(\d+)$", sid)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"s-{highest + 1:04d}"
+
+    def _resume_session(self, tenant: TenantState,
+                        path: Path) -> ServerSession:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        chat = self._new_chat_session(tenant)
+        chat.workspace.apply_payload(payload.get("workspace") or {})
+        session = ServerSession(
+            payload["session_id"], chat,
+            payload.get("title", "PalimpChat session"))
+        for turn_payload in payload.get("turns") or []:
+            session.turns.append(TurnState.from_payload(turn_payload))
+        tenant.put_session(session)
+        return session
+
+    def evict_session(self, tenant_id: str, session_id: str) -> bool:
+        """Drop a session from memory and disk; True if it existed."""
+        with self.acquire(tenant_id) as tenant:
+            existed = tenant.pop_session(session_id) is not None
+            persisted = tenant.sessions_dir() / f"{session_id}.json"
+            if persisted.is_file():
+                persisted.unlink()
+                existed = True
+            return existed
+
+    # -- turns ----------------------------------------------------------
+
+    def run_turn(
+        self,
+        tenant_id: str,
+        session_id: str,
+        message: str,
+        wait: bool = True,
+    ) -> TurnState:
+        """Run one chat turn against a tenant session.
+
+        Raises :class:`QuotaExceededError` *before* creating the turn
+        when the tenant's budget is already exhausted (the 429 path).
+        With ``wait=False`` the turn runs on a worker thread and the
+        returned :class:`TurnState` starts in status ``running`` — poll
+        the turn resource or stream its events.
+        """
+        with self.acquire(tenant_id) as tenant:
+            session = tenant.get_session(session_id)
+            tenant.budget.precheck()
+            turn = TurnState(session.next_turn_id(), message)
+            session.turns.append(turn)
+        if wait:
+            self._run_turn(tenant_id, session_id, turn)
+        else:
+            worker = threading.Thread(
+                target=self._run_turn,
+                args=(tenant_id, session_id, turn),
+                name=f"turn-{tenant_id}-{session_id}-{turn.turn_id}",
+                daemon=True,
+            )
+            worker.start()
+        return turn
+
+    def _run_turn(self, tenant_id: str, session_id: str,
+                  turn: TurnState) -> None:
+        with self.acquire(tenant_id) as tenant:
+            session = tenant.get_session(session_id)
+        budget = tenant.budget
+        spent_cost = budget.spent_cost_usd
+        spent_tokens = budget.spent_tokens
+        buffer = turn.events
+        with session.turn_lock:
+            chat = session.chat
+            chat.on_event = buffer.emit  # guarded-by: ok(chat is only driven while holding session.turn_lock)
+            ran_before = len(chat.workspace.run_history)
+            try:
+                response = chat.chat(turn.message)
+            except QuotaExceededError as exc:
+                status, reply, tools, error = (
+                    "quota_rejected", str(exc), [], str(exc))
+            except Exception as exc:  # surfaced as the turn's error
+                status = "error"
+                reply = error = f"{type(exc).__name__}: {exc}"
+                tools = []
+            else:
+                tools = list(response.tool_sequence)
+                reply, error = response.text, None
+                status = "ok"
+                if self._turn_hit_quota(response):
+                    status = "quota_rejected"
+            finally:
+                chat.on_event = None  # guarded-by: ok(chat is only driven while holding session.turn_lock)
+            # Span-derived tail: when this turn executed a pipeline,
+            # summarize its tracer spans into the event stream so late
+            # (and post-restart) readers see where the time went.
+            if len(chat.workspace.run_history) > ran_before:
+                trace = chat.workspace.last_trace
+                if trace is not None:
+                    from repro.obs.export import to_plain_json
+
+                    buffer.extend(
+                        progress_events_from_trace(to_plain_json(trace)))
+        usage = {
+            "cost_usd": round(budget.spent_cost_usd - spent_cost, 6),
+            "tokens": budget.spent_tokens - spent_tokens,
+        }
+        turn.finish(status, reply, tools, usage, error)
+        with self.acquire(tenant_id) as tenant:
+            self._persist_session(tenant, session)
+            self._persist_tenant(tenant)
+
+    @staticmethod
+    def _turn_hit_quota(response) -> bool:
+        """Did any agent step abort on the budget mid-turn?
+
+        The ReAct agent converts tool exceptions into error
+        observations; a quota breach inside ``execute_pipeline`` (or
+        the agent's own reasoning calls) surfaces there rather than
+        propagating, so the store scans for the canonical marker.
+        """
+        result = getattr(response, "result", None)
+        trace = getattr(result, "trace", None)
+        for step in getattr(trace, "steps", []) or []:
+            observation = getattr(step, "observation", "") or ""
+            if _QUOTA_MARKER in observation.lower():
+                return True
+        return False
+
+    # -- persistence ----------------------------------------------------
+
+    def _persist_tenant(self, tenant: TenantState) -> None:
+        snapshot = tenant.budget.snapshot()
+        meta = {
+            "tenant_id": tenant.tenant_id,
+            "quota": {
+                "max_cost_usd": snapshot["max_cost_usd"],
+                "max_tokens": snapshot["max_tokens"],
+            },
+            "usage": {
+                "cost_usd": snapshot["spent_cost_usd"],
+                "tokens": snapshot["spent_tokens"],
+                "calls": snapshot["calls"],
+            },
+        }
+        tenant.root.mkdir(parents=True, exist_ok=True)
+        with open(tenant.root / "tenant.json", "w",
+                  encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def _persist_session(self, tenant: TenantState,
+                         session: ServerSession) -> None:
+        sessions_dir = tenant.sessions_dir()
+        sessions_dir.mkdir(parents=True, exist_ok=True)
+        path = sessions_dir / f"{session.session_id}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(session.to_payload(), handle, indent=2,
+                      sort_keys=True, default=str)
+            handle.write("\n")
+
+    # -- admin ----------------------------------------------------------
+
+    def usage_rollup(self) -> Dict[str, Any]:
+        """Per-tenant budget snapshots plus the summed totals."""
+        tenants: Dict[str, Any] = {}
+        total_cost = 0.0
+        total_tokens = 0
+        total_calls = 0
+        for tenant_id in self.tenant_ids():
+            with self.acquire(tenant_id) as tenant:
+                snapshot = tenant.usage()
+            tenants[tenant_id] = snapshot
+            total_cost += snapshot["spent_cost_usd"]
+            total_tokens += snapshot["spent_tokens"]
+            total_calls += snapshot["calls"]
+        return {
+            "tenants": tenants,
+            "total": {
+                "spent_cost_usd": round(total_cost, 6),
+                "spent_tokens": total_tokens,
+                "calls": total_calls,
+            },
+        }
+
+    def set_quota(
+        self,
+        tenant_id: str,
+        max_cost_usd: Optional[float] = None,
+        max_tokens: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Admin quota edit; returns the new budget snapshot."""
+        with self.acquire(tenant_id) as tenant:
+            tenant.budget.set_limits(
+                max_cost_usd=max_cost_usd, max_tokens=max_tokens)
+            self._persist_tenant(tenant)
+            return tenant.usage()
+
+
+class _AcquiredTenant:
+    """``with store.acquire(tid) as tenant:`` — lock held inside."""
+
+    def __init__(self, tenant: TenantState):
+        self._tenant = tenant
+
+    def __enter__(self) -> TenantState:
+        self._tenant.lock.acquire()
+        return self._tenant
+
+    def __exit__(self, *exc_info) -> None:
+        self._tenant.lock.release()

@@ -185,10 +185,11 @@ class TestFamilyFilter:
     def test_list_rules_grouped_with_counts(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for family in ("PZ", "AG", "CG", "OB", "CC"):
+        for family in ("PZ", "AG", "CG", "OB", "CC", "SV"):
             assert f"{family} — " in out
         assert "CC501" in out and "CC507" in out
-        assert "rules in 5 families" in out
+        assert "SV601" in out
+        assert "rules in 6 families" in out
 
     def test_json_families_block(self, tmp_path, capsys):
         fixture = write(tmp_path, "cc_broken.py", self.CC_FIXTURE)

@@ -1,0 +1,437 @@
+"""The multi-tenant service layer: sessions, quotas, isolation, streaming.
+
+Covers the HTTP surface end-to-end against a live server on an
+ephemeral port, the :class:`SessionStore` quota edge cases at the store
+API, and the headline isolation guarantee: N concurrent tenants running
+the same script produce byte-identical run artifacts to a solo
+in-process session, with zero runtime sanitizer violations and ledgers
+that sum to the admin rollup.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis.sanitizer import sanitize
+from repro.llm.usage import QuotaExceededError
+from repro.server import ReproServer, SessionStore, run_in_thread
+
+#: The Fig. 3-5 script every tenant (and the solo baseline) runs.
+SCRIPT = [
+    "Load the papers from the sigmod-demo dataset",
+    "Keep only the papers about colorectal cancer",
+    "run the pipeline",
+]
+
+#: Run artifacts that must be byte-identical across tenants and solo.
+ARTIFACTS = ("records.json", "stats.json", "provenance.json")
+
+
+# -- plumbing -----------------------------------------------------------
+
+
+def request(server, method, path, body=None):
+    """One JSON request against a test server; returns (status, payload)."""
+    host, port = server.server_address
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def make_store(tmp_path, sigmod_demo):
+    """SessionStore factory rooted in the test tmp dir."""
+    counter = {"n": 0}
+
+    def _make(**kwargs):
+        counter["n"] += 1
+        root = tmp_path / f"tenants{counter['n']}"
+        return SessionStore(root=str(root), **kwargs)
+
+    return _make
+
+
+@pytest.fixture()
+def make_server(make_store):
+    """Live-server factory (ephemeral port); servers stop on teardown."""
+    servers = []
+
+    def _make(**kwargs):
+        server = ReproServer(("127.0.0.1", 0), make_store(**kwargs))
+        run_in_thread(server)
+        servers.append(server)
+        return server
+
+    yield _make
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def drive_script(server, tenant, script=SCRIPT):
+    """Create a session and run the script; returns the turn rows."""
+    status, session = request(
+        server, "POST", f"/tenants/{tenant}/sessions", {})
+    assert status == 201
+    sid = session["session_id"]
+    rows = []
+    for message in script:
+        status, row = request(
+            server, "POST", f"/tenants/{tenant}/sessions/{sid}/turns",
+            {"message": message})
+        assert status == 200, row
+        rows.append(row)
+    return sid, rows
+
+
+# -- HTTP surface -------------------------------------------------------
+
+
+class TestSessionsOverHTTP:
+    def test_health(self, make_server):
+        server = make_server()
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
+
+    def test_create_then_resume(self, make_server):
+        server = make_server()
+        status, row = request(server, "POST", "/tenants/acme/sessions", {})
+        assert status == 201
+        assert row["session_id"] == "s-0001" and row["resumed"] is False
+        status, row = request(
+            server, "POST", "/tenants/acme/sessions",
+            {"session_id": "s-0001"})
+        assert status == 200 and row["resumed"] is True
+        status, listing = request(server, "GET", "/tenants/acme/sessions")
+        assert [s["session_id"] for s in listing["sessions"]] == ["s-0001"]
+
+    def test_turn_runs_the_chat(self, make_server):
+        server = make_server()
+        sid, rows = drive_script(server, "acme", SCRIPT[:1])
+        turn = rows[0]
+        assert turn["status"] == "ok"
+        assert turn["tools"] == ["load_dataset"]
+        assert "11 records" in turn["reply"]
+        assert turn["usage"]["cost_usd"] > 0
+
+    def test_turn_events_stream(self, make_server):
+        server = make_server()
+        sid, rows = drive_script(server, "acme")
+        tid = rows[-1]["turn_id"]
+        status, payload = request(
+            server, "GET",
+            f"/tenants/acme/sessions/{sid}/turns/{tid}/events")
+        assert status == 200 and payload["done"] is True
+        kinds = [e.get("type") for e in payload["events"]]
+        assert "turn_start" in kinds and "turn_end" in kinds
+        assert "plan_start" in kinds and "plan_end" in kinds
+        assert "span" in kinds  # trace-derived tail
+
+    def test_async_turn_streams_to_done(self, make_server):
+        server = make_server()
+        status, session = request(
+            server, "POST", "/tenants/acme/sessions", {})
+        sid = session["session_id"]
+        status, row = request(
+            server, "POST", f"/tenants/acme/sessions/{sid}/turns",
+            {"message": SCRIPT[0], "wait": False})
+        # 202/running normally; a fast worker may finish the turn
+        # before the handler snapshots the row (then it's already 200).
+        assert status in (200, 202)
+        assert row["status"] in ("running", "ok")
+        tid = row["turn_id"]
+        offset, done, events = 0, False, []
+        while not done:
+            status, payload = request(
+                server, "GET",
+                f"/tenants/acme/sessions/{sid}/turns/{tid}/events"
+                f"?offset={offset}&wait=5")
+            assert status == 200
+            events.extend(payload["events"])
+            offset = payload["next_offset"]
+            done = payload["done"]
+        assert [e.get("type") for e in events].count("turn_end") == 1
+        status, turn = request(
+            server, "GET", f"/tenants/acme/sessions/{sid}/turns/{tid}")
+        assert turn["status"] == "ok"
+
+    def test_bad_requests(self, make_server):
+        server = make_server()
+        status, _ = request(
+            server, "POST", "/tenants/bad..id!/sessions", {})
+        assert status == 400
+        status, _ = request(
+            server, "GET", "/tenants/acme/sessions/s-9999")
+        assert status == 404
+        request(server, "POST", "/tenants/acme/sessions", {})
+        status, _ = request(
+            server, "POST", "/tenants/acme/sessions/s-0001/turns", {})
+        assert status == 400  # missing message
+
+    def test_admin_evict(self, make_server):
+        server = make_server()
+        request(server, "POST", "/tenants/acme/sessions", {})
+        status, payload = request(
+            server, "DELETE", "/admin/tenants/acme/sessions/s-0001")
+        assert status == 200 and payload["evicted"] == "s-0001"
+        status, _ = request(
+            server, "DELETE", "/admin/tenants/acme/sessions/s-0001")
+        assert status == 404
+
+
+class TestRunsAndResults:
+    def test_runs_trace_and_result_slice(self, make_server):
+        server = make_server()
+        drive_script(server, "acme")
+        status, listing = request(server, "GET", "/tenants/acme/runs")
+        assert status == 200
+        run_ids = [r["run_id"] for r in listing["runs"]]
+        assert run_ids == ["run-0001"]
+        status, run = request(
+            server, "GET", "/tenants/acme/runs/run-0001")
+        assert status == 200 and run["meta"]["run_id"] == "run-0001"
+        status, trace = request(
+            server, "GET", "/tenants/acme/traces/run-0001")
+        assert status == 200 and trace["trace"]["spans"]
+        status, sliced = request(
+            server, "GET",
+            "/tenants/acme/results/run-0001?offset=1&limit=2")
+        assert status == 200
+        assert sliced["result"]["count"] == 8
+        assert len(sliced["records"]) == 2
+
+    def test_cross_tenant_fetch_is_404(self, make_server):
+        server = make_server()
+        drive_script(server, "acme")
+        status, _ = request(
+            server, "GET", "/tenants/globex/runs/run-0001")
+        assert status == 404
+        status, _ = request(
+            server, "GET", "/tenants/globex/results/run-0001")
+        assert status == 404
+
+    def test_runs_live_under_tenant_root(self, make_server):
+        server = make_server()
+        drive_script(server, "acme")
+        root = server.store.root
+        assert (root / "acme" / "runs" / "run-0001" /
+                "records.json").is_file()
+
+
+# -- quotas (store API: the edge semantics) -----------------------------
+
+
+class TestQuotaEdges:
+    def _spend_of(self, store, tenant, script):
+        store.ensure_session(tenant)
+        spends = []
+        for message in script:
+            store.run_turn(tenant, "s-0001", message)
+            with store.acquire(tenant) as state:
+                spends.append(state.budget.spent_cost_usd)
+        return spends
+
+    def test_exactly_at_budget_succeeds_then_rejects(self, make_store):
+        probe = make_store()
+        total = self._spend_of(probe, "probe", SCRIPT)[-1]
+        assert total > 0
+        store = make_store(default_max_cost_usd=total)
+        store.ensure_session("acme")
+        for message in SCRIPT:  # lands exactly on the cap: all succeed
+            turn = store.run_turn("acme", "s-0001", message)
+            assert turn.status == "ok"
+        with store.acquire("acme") as tenant:
+            snap = tenant.usage()
+        assert snap["spent_cost_usd"] == pytest.approx(total)
+        assert snap["exhausted"] is True
+        with pytest.raises(QuotaExceededError):  # no headroom left
+            store.run_turn("acme", "s-0001", "run the pipeline")
+
+    def test_overbudget_aborts_midrun_with_partial_ledger(
+            self, make_store):
+        probe = make_store()
+        spends = self._spend_of(probe, "probe", SCRIPT)
+        # Cap between "after turn 2" and "after turn 3": the pipeline
+        # execution itself must be what breaches, mid-run.
+        cap = (spends[1] + spends[2]) / 2
+        store = make_store(default_max_cost_usd=cap)
+        store.ensure_session("acme")
+        for message in SCRIPT[:2]:
+            assert store.run_turn("acme", "s-0001", message).status == "ok"
+        turn = store.run_turn("acme", "s-0001", SCRIPT[2])
+        assert turn.status == "quota_rejected"
+        with store.acquire("acme") as tenant:
+            snap = tenant.usage()
+        # Partial spend is on the ledger: strictly over the cap (the
+        # breaching call is recorded first), but below a full cold run.
+        assert cap < snap["spent_cost_usd"] <= spends[2]
+        assert snap["exhausted"] is True
+
+    def test_admin_raise_unblocks(self, make_store):
+        store = make_store(default_max_cost_usd=0.0)
+        store.ensure_session("acme")
+        with pytest.raises(QuotaExceededError):
+            store.run_turn("acme", "s-0001", SCRIPT[0])
+        store.set_quota("acme", max_cost_usd=10.0)
+        turn = store.run_turn("acme", "s-0001", SCRIPT[0])
+        assert turn.status == "ok"
+
+    def test_http_429_carries_snapshot_and_admin_raise_unblocks(
+            self, make_server):
+        server = make_server(default_max_cost_usd=0.0)
+        request(server, "POST", "/tenants/acme/sessions", {})
+        status, payload = request(
+            server, "POST", "/tenants/acme/sessions/s-0001/turns",
+            {"message": SCRIPT[0]})
+        assert status == 429
+        assert payload["error"] == "quota_exhausted"
+        status, quota = request(
+            server, "POST", "/admin/tenants/acme/quota",
+            {"max_cost_usd": 10.0})
+        assert status == 200
+        assert quota["usage"]["max_cost_usd"] == 10.0
+        status, row = request(
+            server, "POST", "/tenants/acme/sessions/s-0001/turns",
+            {"message": SCRIPT[0]})
+        assert status == 200 and row["status"] == "ok"
+
+
+# -- persistence --------------------------------------------------------
+
+
+class TestRestartResume:
+    def test_sessions_and_ledger_survive_restart(self, make_store,
+                                                 tmp_path):
+        store = SessionStore(root=str(tmp_path / "persist"))
+        store.ensure_session("acme")
+        for message in SCRIPT:
+            store.run_turn("acme", "s-0001", message)
+        with store.acquire("acme") as tenant:
+            spent = tenant.budget.spent_cost_usd
+        assert spent > 0
+
+        reborn = SessionStore(root=str(tmp_path / "persist"))
+        row = reborn.ensure_session("acme", session_id="s-0001")
+        assert row["resumed"] is True
+        assert row["turns"] == len(SCRIPT)
+        with reborn.acquire("acme") as tenant:
+            assert tenant.budget.spent_cost_usd == pytest.approx(spent)
+            session = tenant.get_session("s-0001")
+            # The rebuilt pipeline replays the recorded steps.
+            assert "filter" in session.chat.workspace.describe_pipeline()
+        # A new run in the resumed store lands in the same registry.
+        reborn.run_turn("acme", "s-0001", "run the pipeline")
+        with reborn.acquire("acme") as tenant:
+            run_ids = [r["run_id"] for r in tenant.registry().list()]
+        assert run_ids == ["run-0001", "run-0002"]
+
+
+class TestWorkspaceRootPin:
+    def test_snapshot_restore_threads_the_root(self, tmp_path):
+        from repro.chat.workspace import PipelineWorkspace
+
+        workspace = PipelineWorkspace()
+        workspace.attach_root(tmp_path / "tenant-a")
+        snapshot = workspace.snapshot()
+        workspace.root = None
+        workspace.runs_dir = None
+        workspace.restore(snapshot)
+        assert workspace.root == str(tmp_path / "tenant-a")
+        assert workspace.runs_dir == str(tmp_path / "tenant-a" / "runs")
+
+    def test_attached_session_never_writes_global_root(
+            self, sigmod_demo, tmp_path, monkeypatch):
+        from repro.chat.session import PalimpChatSession
+
+        monkeypatch.chdir(tmp_path)
+        session = PalimpChatSession()
+        session.workspace.attach_root(tmp_path / "tenant-a")
+        for message in SCRIPT:
+            session.chat(message)
+        assert (tmp_path / "tenant-a" / "runs" / "run-0001").is_dir()
+        assert not (tmp_path / ".repro").exists()
+
+
+# -- the isolation pin --------------------------------------------------
+
+
+class TestConcurrentTenantIsolation:
+    def test_four_tenants_match_solo_byte_for_byte(
+            self, sigmod_demo, tmp_path):
+        from repro.chat.session import PalimpChatSession
+
+        # Solo baseline: one in-process session, no server, own root.
+        solo_root = tmp_path / "solo"
+        solo = PalimpChatSession()
+        solo.workspace.attach_root(solo_root)
+        for message in SCRIPT:
+            solo.chat(message)
+        solo_bytes = {
+            name: (solo_root / "runs" / "run-0001" / name).read_bytes()
+            for name in ARTIFACTS
+        }
+        assert json.loads(solo_bytes["records.json"])  # non-empty run
+
+        # Four tenants drive the same script concurrently through the
+        # HTTP layer, under the runtime lock sanitizer.
+        tenants = ["t1", "t2", "t3", "t4"]
+        with sanitize() as report:
+            store = SessionStore(root=str(tmp_path / "tenants"))
+            server = ReproServer(("127.0.0.1", 0), store)
+            run_in_thread(server)
+            try:
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    list(pool.map(
+                        lambda t: drive_script(server, t), tenants))
+            finally:
+                server.shutdown()
+                server.server_close()
+
+        assert report.violations == []
+        assert report.cycles() == []
+        assert report.guarded_writes > 0  # the check was not vacuous
+
+        for tenant in tenants:
+            run_dir = tmp_path / "tenants" / tenant / "runs" / "run-0001"
+            for name in ARTIFACTS:
+                assert (run_dir / name).read_bytes() == solo_bytes[name], (
+                    f"{tenant}/{name} diverged from the solo run")
+
+        # Ledgers: every tenant paid the same, and the rollup total is
+        # exactly the sum of the per-tenant snapshots.
+        rollup = store.usage_rollup()
+        per_tenant = [
+            rollup["tenants"][t]["spent_cost_usd"] for t in tenants]
+        assert len(set(per_tenant)) == 1
+        assert rollup["total"]["spent_cost_usd"] == pytest.approx(
+            sum(per_tenant))
+        assert rollup["total"]["spent_tokens"] == sum(
+            rollup["tenants"][t]["spent_tokens"] for t in tenants)
+
+
+class TestAdminRollup:
+    def test_rollup_sums_and_admin_tenants(self, make_server):
+        server = make_server()
+        drive_script(server, "acme", SCRIPT[:1])
+        drive_script(server, "globex", SCRIPT[:1])
+        status, rollup = request(server, "GET", "/admin/usage")
+        assert status == 200
+        total = sum(row["spent_cost_usd"]
+                    for row in rollup["tenants"].values())
+        assert rollup["total"]["spent_cost_usd"] == pytest.approx(total)
+        status, tenants = request(server, "GET", "/admin/tenants")
+        assert {row["tenant_id"] for row in tenants["tenants"]} == {
+            "acme", "globex"}
