@@ -1,6 +1,6 @@
 # Convenience targets for the PalimpChat reproduction.
 
-.PHONY: install test bench bench-exec bench-scale bench-incremental bench-server perf lint lint-concurrency serve server-smoke trace runs examples all clean
+.PHONY: install test bench bench-exec bench-scale bench-incremental bench-server perf lint lint-concurrency serve server-smoke telemetry trace runs examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -53,6 +53,12 @@ serve:
 # chat -> execute -> results, asserting isolation + quota semantics.
 server-smoke:
 	PYTHONPATH=src python scripts/server_smoke.py
+
+# Operational telemetry end-to-end: Prometheus exposition grammar,
+# the JSON metrics snapshot, /healthz SLO verdicts, /version, and
+# request-id correlation through the structured JSONL log.
+telemetry:
+	PYTHONPATH=src python scripts/validate_metrics.py
 
 # Static analysis: demo pipelines, registered chat tools, example programs.
 lint:

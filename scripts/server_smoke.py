@@ -14,7 +14,11 @@ the tenancy invariants:
   execution) while their session/run state never mixed;
 * the admin usage rollup equals the **sum** of the per-tenant ledgers;
 * an over-quota tenant is rejected with a 429 while others keep
-  working, and an admin quota raise unblocks it.
+  working, and an admin quota raise unblocks it;
+* every response carries a distinct ``X-Request-Id`` header and a
+  turn's row records the id of the request that ran it (the telemetry
+  correlation contract — see ``scripts/validate_metrics.py`` for the
+  deeper log/metrics checks).
 
 Run it from the repo root::
 
@@ -31,16 +35,23 @@ import urllib.error
 import urllib.request
 
 
-def call(base, method, path, body=None):
+def call_raw(base, method, path, body=None):
+    """Like ``call`` but also returns the response headers."""
     data = json.dumps(body).encode("utf-8") if body is not None else None
     request = urllib.request.Request(
         base + path, data=data, method=method,
         headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request) as response:
-            return response.status, json.loads(response.read())
+            return (response.status, dict(response.headers),
+                    json.loads(response.read()))
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def call(base, method, path, body=None):
+    status, _, payload = call_raw(base, method, path, body)
+    return status, payload
 
 
 TURNS = [
@@ -181,6 +192,27 @@ def main() -> int:
     assert status == 200 and row["status"] == "ok", (status, row)
     print("  quotas: starved tenant 429'd, neighbors unaffected, "
           "admin raise unblocked it")
+
+    # -- correlation: every response carries an X-Request-Id; a turn's
+    #    row records the id of the request that ran it, end to end.
+    status, headers, row = call_raw(
+        base, "POST", f"/tenants/acme/sessions/{a['session_id']}/turns",
+        {"message": "What does the pipeline look like?"})
+    assert status == 200, (status, row)
+    rid = headers.get("X-Request-Id")
+    assert rid, "turn response missing X-Request-Id header"
+    assert row.get("request_id") == rid, (
+        f"turn row carries {row.get('request_id')!r}, header says {rid!r}")
+    seen_ids = {rid}
+    for probe in ("/healthz", "/metrics?format=json",
+                  f"/tenants/acme/sessions/{a['session_id']}"):
+        status, headers, _ = call_raw(base, "GET", probe)
+        assert status == 200, (probe, status)
+        probe_id = headers.get("X-Request-Id")
+        assert probe_id and probe_id not in seen_ids, (probe, probe_id)
+        seen_ids.add(probe_id)
+    print(f"  correlation: turn {row['turn_id']} carries {rid}; "
+          f"{len(seen_ids)} distinct request ids across probes")
 
     server.shutdown()
     print("server_smoke: OK")

@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Schema-check the service tier's operational telemetry end to end.
+
+Boots the multi-tenant HTTP server on an ephemeral port with telemetry
+enabled, drives one tenant through a chat turn, then validates every
+operational surface:
+
+* ``GET /metrics`` parses as Prometheus text exposition 0.0.4 — every
+  non-comment line matches the sample grammar, every histogram ships
+  ``quantile`` samples plus ``_count``/``_sum``, and the required
+  metric names are present (``http_requests_total``,
+  ``turns_completed_total``, ``turn_wall_seconds`` quantiles,
+  ``repro_slo_ok``);
+* ``GET /metrics?format=json`` has the snapshot structure the
+  ``repro top`` dashboard consumes (counters/gauges/histograms with
+  labels, the SLO table, ``status``);
+* ``GET /healthz`` reports an SLO verdict and ``GET /version`` matches
+  the installed package metadata;
+* every line of the JSONL structured log parses as a JSON object, and
+  the turn's log lines carry the same ``request_id`` the HTTP response
+  returned in its ``X-Request-Id`` header.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python scripts/validate_metrics.py
+
+Exits non-zero on the first violation (CI's ``make telemetry``).
+"""
+
+import argparse
+import json
+import re
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+# One exposition sample: name{labels} value  — labels optional, value a
+# float/int (inf/nan allowed by the format, not expected here).
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+?Inf|NaN))$")
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+REQUIRED_METRICS = (
+    "http_requests_total",
+    "http_request_seconds",
+    "turns_completed_total",
+    "turn_wall_seconds",
+    "repro_slo_ok",
+)
+
+
+def call(base, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            status = response.status
+            raw = response.read()
+            headers = dict(response.headers)
+            ctype = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        headers = dict(error.headers)
+        return error.code, headers, json.loads(raw)
+    if ctype.startswith("application/json"):
+        return status, headers, json.loads(raw)
+    return status, headers, raw.decode("utf-8")
+
+
+def check_prometheus_text(text):
+    """Validate the exposition grammar; return {metric name: sample count}."""
+    seen = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ",
+                                line), f"line {lineno}: bad comment: {line!r}"
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"line {lineno}: not a valid sample: {line!r}"
+        labels = match.group("labels")
+        if labels:
+            for pair in labels[1:-1].split(","):
+                assert _LABEL.match(pair), (
+                    f"line {lineno}: bad label pair {pair!r} in {line!r}")
+        name = match.group("name")
+        base = re.sub(r"_(count|sum)$", "", name)
+        seen[base] = seen.get(base, 0) + 1
+        float(match.group("value").replace("Inf", "inf").replace("NaN", "nan"))
+    return seen
+
+
+def check_json_snapshot(payload):
+    for key in ("generated_at", "window_seconds", "status", "alerts",
+                "slos", "metrics"):
+        assert key in payload, f"/metrics?format=json missing {key!r}"
+    assert payload["status"] in ("ok", "degraded"), payload["status"]
+    metrics = payload["metrics"]
+    for family in ("counters", "gauges", "histograms"):
+        assert isinstance(metrics.get(family), list), family
+        for row in metrics[family]:
+            assert "name" in row and "labels" in row, (family, row)
+    for hist in metrics["histograms"]:
+        summary = hist["summary"]
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            assert key in summary, (hist["name"], key, summary)
+    for row in payload["slos"]:
+        for key in ("name", "kind", "threshold", "value", "ok"):
+            assert key in row, (row, key)
+    tenants = {tuple(sorted(c["labels"].items()))
+               for c in metrics["counters"]
+               if c["name"] == "turns.completed_total"}
+    assert tenants, "no turns.completed_total counter in the JSON snapshot"
+
+
+def check_log(log_dir, request_id):
+    files = sorted(log_dir.glob("events-*.jsonl"))
+    assert files, f"no JSONL log files under {log_dir}"
+    lines, correlated = 0, []
+    for path in files:
+        for raw in path.read_text().splitlines():
+            row = json.loads(raw)
+            assert isinstance(row, dict) and "event" in row and "ts" in row, (
+                path, raw)
+            lines += 1
+            if row.get("request_id") == request_id:
+                correlated.append(row["event"])
+    assert lines > 0
+    for expected in ("request_start", "turn_start", "turn_finish",
+                     "request_finish"):
+        assert expected in correlated, (
+            f"log lines for {request_id} missing {expected!r}: {correlated}")
+    return lines, correlated
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="tenant state root (default: a temp dir)")
+    args = parser.parse_args()
+
+    from pathlib import Path
+
+    from repro.cli import package_metadata
+    from repro.server import run_in_thread, serve
+
+    scratch = Path(args.root or tempfile.mkdtemp(prefix="repro-telemetry-"))
+    server = serve(port=0, root=str(scratch / "tenants"),
+                   data_dir=str(scratch / "data"), max_cost_usd=5.0,
+                   telemetry_root=str(scratch / "telemetry"))
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+    run_in_thread(server)
+    print(f"validate_metrics: serving {base}")
+
+    # -- drive one tenant through a turn, capturing its request id.
+    status, _, row = call(base, "POST", "/tenants/acme/sessions", {})
+    assert status == 201, (status, row)
+    sid = row["session_id"]
+    status, headers, turn = call(
+        base, "POST", f"/tenants/acme/sessions/{sid}/turns",
+        {"message": "Load the sigmod-demo dataset"})
+    assert status == 200 and turn["status"] == "ok", (status, turn)
+    request_id = headers.get("X-Request-Id")
+    assert request_id, "turn response missing X-Request-Id header"
+    assert turn.get("request_id") == request_id, (
+        "turn row request_id does not match the X-Request-Id header: "
+        f"{turn.get('request_id')} vs {request_id}")
+
+    # -- Prometheus text exposition.
+    status, headers, text = call(base, "GET", "/metrics")
+    assert status == 200, status
+    assert headers.get("Content-Type", "").startswith("text/plain"), headers
+    seen = check_prometheus_text(text)
+    for name in REQUIRED_METRICS:
+        assert name in seen, f"/metrics missing required metric {name!r}"
+    quantiles = [line for line in text.splitlines()
+                 if line.startswith("turn_wall_seconds{")
+                 and "quantile=" in line]
+    assert quantiles, "turn_wall_seconds ships no quantile samples"
+    print(f"  /metrics: {sum(seen.values())} samples across "
+          f"{len(seen)} metrics, grammar OK")
+
+    # -- JSON snapshot.
+    status, _, payload = call(base, "GET", "/metrics?format=json")
+    assert status == 200, status
+    check_json_snapshot(payload)
+    print(f"  /metrics?format=json: status={payload['status']}, "
+          f"{len(payload['slos'])} SLOs evaluated")
+
+    # -- health + version.
+    status, _, health = call(base, "GET", "/healthz")
+    assert status == 200 and health["status"] in ("ok", "degraded"), health
+    assert "slos" in health and "alerts" in health, health
+    status, _, version = call(base, "GET", "/version")
+    expected_version, _ = package_metadata()
+    assert version["version"] == expected_version, (version, expected_version)
+    print(f"  /healthz: {health['status']}; /version: {version['version']}")
+
+    # -- structured log: parseable, correlated to the turn's request id.
+    lines, correlated = check_log(scratch / "telemetry", request_id)
+    print(f"  log: {lines} JSONL lines parse; {request_id} correlates "
+          f"{len(correlated)} events ({', '.join(sorted(set(correlated)))})")
+
+    server.shutdown()
+    server.server_close()
+    server.store.close()
+    print("validate_metrics: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,10 @@ Three analyzer families share one diagnostics vocabulary:
 * ``CG3xx`` (:mod:`repro.analysis.codegen_lint`) — AST checks over
   generated programs and structural checks over exported notebooks.
 * ``OB4xx`` (:mod:`repro.analysis.obs_lint`) — span naming/attribute
-  conventions over finalized execution traces and event conventions
-  over finalized provenance graphs.
+  conventions over finalized execution traces, event conventions
+  over finalized provenance graphs, and the wall-clock layering rule
+  (engine source must route operational timing through
+  :mod:`repro.obs.telemetry`).
 * ``CC5xx`` (:mod:`repro.analysis.concurrency`) — guarded-by lock
   discipline (``_GUARDED_BY`` maps), worker-shared state, and
   nondeterminism sources (wall clock, entropy, ``id()`` leaks,
@@ -52,7 +54,11 @@ from repro.analysis.codegen_lint import (
     lint_program,
     lint_workspace_steps,
 )
-from repro.analysis.obs_lint import lint_provenance, lint_trace
+from repro.analysis.obs_lint import (
+    lint_provenance,
+    lint_source_wallclock,
+    lint_trace,
+)
 from repro.analysis.concurrency import lint_source_concurrency
 from repro.analysis.server_lint import lint_source_tenancy
 from repro.analysis.sanitizer import SanitizerReport, sanitize
@@ -78,6 +84,7 @@ __all__ = [
     "lint_provenance",
     "lint_source_concurrency",
     "lint_source_tenancy",
+    "lint_source_wallclock",
     "lint_trace",
     "lint_workspace_steps",
     "SanitizerReport",

@@ -20,6 +20,7 @@ instrumentation can't silently corrupt ``why``/``why_not`` answers.
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import Optional
 
@@ -45,6 +46,14 @@ register_rule(
     "reason, wrong parent/child arity, dead node reference, or a "
     "pass-through emit without evidence attributes)",
     Severity.WARNING,
+)
+
+register_rule(
+    "OB403", "telemetry-conventions",
+    "engine/executor source reads the wall clock directly instead of "
+    "going through repro.obs.telemetry (wall_now/wall_perf), blurring "
+    "the virtual-clock/wall-clock boundary",
+    Severity.ERROR,
 )
 
 #: ``layer.action`` (at least two dotted lowercase segments).
@@ -210,4 +219,121 @@ def lint_provenance(
                 "outputs",
                 hint="outputs must be finalized graph nodes",
             )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# OB403: the wall-clock boundary (telemetry conventions)
+# ---------------------------------------------------------------------------
+
+#: ``module.attr`` call targets that read the wall clock (same vocabulary
+#: as CC504, which flags them for *determinism*; OB403 flags them for
+#: *layering* — even deterministic-safe reads belong in the telemetry
+#: module so operational time stays in one place).
+_WALL_CLOCK_ATTRS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Bare names that read the wall clock when imported from ``time``
+#: (``from time import perf_counter``).
+_WALL_CLOCK_BARE = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "time_ns", "process_time",
+})
+
+#: Path fragments that put a file in OB403's jurisdiction (the package's
+#: own source, however the linter was pointed at it).
+_IN_SCOPE_FRAGMENT = "repro/"
+
+#: The one module sanctioned to read the wall clock: the telemetry layer
+#: itself (its reads carry ``# nondet: ok(...)`` for CC504 already).
+_EXEMPT_SUFFIX = "obs/telemetry.py"
+
+
+def _wallclock_pragma(source_lines, lineno: int) -> bool:
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    return "# wallclock: ok(" in source_lines[lineno - 1]
+
+
+def lint_source_wallclock(
+    source: str,
+    filename: str = "<program>",
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """OB403: direct wall-clock reads outside the telemetry layer.
+
+    Only the package's own modules are in scope (the normalized
+    ``filename`` contains ``repro/``) — generated programs and user
+    scripts are CC504's concern, not a layering question.  The
+    telemetry module itself is exempt, and any individual read can be
+    waived with a ``# wallclock: ok(<reason>)`` pragma on its line.
+    """
+    result = result if result is not None else LintResult()
+    normalized = filename.replace("\\", "/")
+    if _IN_SCOPE_FRAGMENT not in normalized:
+        return result
+    if normalized.endswith(_EXEMPT_SUFFIX):
+        return result
+    try:
+        module = ast.parse(source, filename=filename)
+    except SyntaxError:
+        return result  # CG301's problem, not ours
+    emitter = Emitter(result, config)
+    source_lines = source.splitlines()
+
+    from_time = {
+        alias.asname or alias.name
+        for node in ast.walk(module)
+        if isinstance(node, ast.ImportFrom) and node.module == "time"
+        for alias in node.names
+        if alias.name in _WALL_CLOCK_BARE | {"time"}
+    }
+    # ``import time as _time`` must not dodge the rule: resolve module
+    # aliases back to their canonical names before matching receivers.
+    module_aliases = {"time": "time", "datetime": "datetime",
+                      "date": "date"}
+    for node in ast.walk(module):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("time", "datetime"):
+                    module_aliases[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        module_aliases[alias.asname or alias.name] = (
+                            alias.name)
+
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            receiver = (module_aliases.get(base.id)
+                        if isinstance(base, ast.Name) else None)
+            if (receiver, func.attr) not in _WALL_CLOCK_ATTRS:
+                continue
+            read = f"{receiver}.{func.attr}()"
+        elif isinstance(func, ast.Name) and func.id in from_time:
+            read = f"{func.id}()"
+        else:
+            continue
+        if _wallclock_pragma(source_lines, node.lineno):
+            continue
+        emitter.emit(
+            "OB403",
+            f"direct wall-clock read {read} outside the telemetry layer",
+            location=f"{filename}:{node.lineno}",
+            hint="route operational timing through repro.obs.telemetry "
+                 "(wall_now/wall_perf) or waive with "
+                 "'# wallclock: ok(<reason>)'",
+        )
     return result

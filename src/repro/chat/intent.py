@@ -632,6 +632,15 @@ class PalimpChatBrain(Brain):
                     intent_span.set_attribute(
                         "tools", [call.tool_name for call in pending]
                     )
+            if self.workspace.on_progress is not None:
+                # Surface intent routing on the progress stream so the
+                # serving layer can correlate "what was planned" with
+                # the request that asked for it.
+                self.workspace.on_progress({
+                    "type": "intent",
+                    "planned_calls": len(pending),
+                    "tools": [call.tool_name for call in pending],
+                })
             context.state[_STATE_KEY] = pending
             if not pending:
                 return FinalAnswer(

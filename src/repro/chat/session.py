@@ -114,15 +114,26 @@ class PalimpChatSession:
             "message_chars": len(message),
         })
         self.notebook.add_markdown(f"**User:** {message}")
-        with self.tracer.span(
-            "chat.turn", SpanKind.CHAT, clock=self.agent_clock,
-            turn=len(self.turns), message_chars=len(message),
-        ) as turn_span:
-            result = self.agent.run(message, state={})
-            if self.tracer.enabled:
-                turn_span.set_attribute(
-                    "tools", result.trace.tool_sequence()
-                )
+        try:
+            with self.tracer.span(
+                "chat.turn", SpanKind.CHAT, clock=self.agent_clock,
+                turn=len(self.turns), message_chars=len(message),
+            ) as turn_span:
+                result = self.agent.run(message, state={})
+                if self.tracer.enabled:
+                    turn_span.set_attribute(
+                        "tools", result.trace.tool_sequence()
+                    )
+        except Exception as exc:
+            # Errored turns still close their lifecycle on the event
+            # stream (the serving layer logs and streams these); the
+            # exception itself propagates to the caller unchanged.
+            self._emit_event({
+                "type": "turn_error",
+                "turn": len(self.turns),
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            raise
 
         # Record generated code for pipeline-building turns.
         code = generate_program(self.workspace)

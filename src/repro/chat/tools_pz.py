@@ -267,6 +267,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             capture_calls=True,  # so rerun_pipeline can replay unchanged docs
             budget=workspace.budget,
             on_event=workspace.on_progress,
+            telemetry=workspace.telemetry,
         )
         workspace.last_records = records
         workspace.last_stats = stats
@@ -341,6 +342,7 @@ def build_pz_tools(workspace: PipelineWorkspace) -> ToolRegistry:
             base_run=base,
             budget=workspace.budget,
             on_event=workspace.on_progress,
+            telemetry=workspace.telemetry,
         )
         workspace.last_records = records
         workspace.last_stats = stats

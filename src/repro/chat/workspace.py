@@ -85,6 +85,13 @@ class PipelineWorkspace:
         #: (``plan_start``/``record_processed``/.../``plan_end``) — the
         #: hook a serving layer streams to clients.
         self.on_progress: Optional[Any] = None
+        #: Wall-clock operational telemetry
+        #: (:class:`~repro.obs.telemetry.Telemetry`) the serving layer
+        #: attaches; executions time optimize/execute phases into it.
+        #: None = no operational telemetry (the default, and the only
+        #: mode deterministic tests compare against — telemetry may
+        #: never influence records/stats/traces/provenance).
+        self.telemetry: Optional[Any] = None
 
     # -- step log ----------------------------------------------------------
 

@@ -7,6 +7,11 @@ Commands:
 * ``run`` — build and execute a pipeline over a folder from the shell.
 * ``chat`` — an interactive PalimpChat REPL (the demo's chat box, in a
   terminal).
+* ``serve`` — the multi-tenant HTTP service (sessions, turns, quotas,
+  ``/metrics``; see ``docs/server.md``).
+* ``top`` — a live terminal dashboard over a running server's
+  ``/metrics`` endpoint (per-tenant throughput, latency percentiles,
+  quota burn-down, SLO alerts).
 * ``lint`` — statically analyze pipelines, tools, programs, and notebooks
   (the pz-lint rules; see ``docs/diagnostics.md``).
 * ``trace`` — run a demo scenario with tracing on and analyze/export the
@@ -223,6 +228,10 @@ def _cmd_serve(args) -> int:
         max_tokens=args.quota_tokens,
         data_dir=args.data_dir,
         quiet=not args.verbose,
+        telemetry=(False if args.no_telemetry else None),
+        telemetry_root=args.telemetry_root,
+        async_workers=args.async_workers,
+        async_queue=args.async_queue,
     )
     host, port = server.server_address
     root = server.store.root
@@ -234,6 +243,10 @@ def _cmd_serve(args) -> int:
     print(f"repro serve: http://{host}:{port}  "
           f"(tenants under {root}; default quota: "
           f"{' / '.join(caps) if caps else 'unmetered'})")
+    if server.store.telemetry.enabled:
+        print(f"telemetry: GET /metrics (+ /healthz SLOs); "
+              f"logs under {server.store.telemetry.log.root}; "
+              f"watch live with 'repro top --url http://{host}:{port}'")
     print("POST /tenants/<id>/sessions to begin; Ctrl-C to stop.")
     try:
         server.serve_forever()
@@ -241,7 +254,46 @@ def _cmd_serve(args) -> int:
         print("\nshutting down")
     finally:
         server.server_close()
+        server.store.close()
     return 0
+
+
+def _cmd_top(args) -> int:
+    """Live per-tenant service dashboard: poll ``/metrics?format=json``."""
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.telemetry import render_dashboard
+
+    url = args.url.rstrip("/") + "/metrics?format=json"
+    previous = None
+    previous_at = None
+    iteration = 0
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                payload = _json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"repro top: cannot reach {args.url}: {exc}",
+                  file=sys.stderr)
+            return 2
+        now = _time.monotonic()  # wallclock: ok(dashboard poll cadence, client side only)
+        elapsed = (now - previous_at) if previous_at is not None else None
+        frame = render_dashboard(payload, previous=previous,
+                                 elapsed=elapsed)
+        if not args.no_clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(frame)
+        previous, previous_at = payload, now
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _lint_paths(paths: List[str], config, result) -> None:
@@ -736,6 +788,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where to generate/reuse the demo corpora")
     srv.add_argument("--verbose", action="store_true",
                      help="log each request line to stderr")
+    srv.add_argument("--no-telemetry", action="store_true",
+                     help="disable the wall-clock ops layer (no JSONL "
+                          "logs; /metrics and SLOs read as empty)")
+    srv.add_argument("--telemetry-root", default=None, metavar="DIR",
+                     help="structured-log directory "
+                          "(default: <root>/../telemetry)")
+    srv.add_argument("--async-workers", type=int, default=4, metavar="N",
+                     help="worker threads for wait=false turns "
+                          "(default: 4)")
+    srv.add_argument("--async-queue", type=int, default=16, metavar="N",
+                     help="queued wait=false turns beyond the workers "
+                          "before 503 (default: 16)")
+
+    top = sub.add_parser(
+        "top",
+        help="live per-tenant dashboard for a running server",
+        description="Poll a repro serve instance's /metrics endpoint and "
+                    "render a terminal dashboard: per-tenant turn "
+                    "throughput, in-flight turns, latency percentiles, "
+                    "quota burn-down, worker-pool occupancy, and firing "
+                    "SLO alerts.",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8787",
+                     help="server base URL (default: %(default)s)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default: 2)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="exit after N frames (default: run until ^C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
 
     lint = sub.add_parser(
         "lint",
@@ -939,6 +1021,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "chat": _cmd_chat,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "runs": _cmd_runs,

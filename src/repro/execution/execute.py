@@ -139,6 +139,7 @@ class ExecutionEngine:
         runs_dir: Optional[str] = None,
         budget=None,
         on_event=None,
+        telemetry=None,
         **candidate_options,
     ):
         if policy is None:
@@ -179,7 +180,21 @@ class ExecutionEngine:
         self.runs_dir = runs_dir
         self.budget = budget
         self.on_event = on_event
+        #: Optional wall-clock ops hook (duck-typed
+        #: :class:`~repro.obs.telemetry.Telemetry`).  Observation only:
+        #: it times optimize/execute phases and logs an ``engine_run``
+        #: event, and must never influence records/stats/traces —
+        #: telemetry-on runs are byte-identical to telemetry-off runs.
+        self.telemetry = telemetry
         self.candidate_options = candidate_options
+
+    def _phase(self, name: str):
+        """Telemetry phase timer; free (no-op context) when unhooked."""
+        if self.telemetry is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.telemetry.phase(name)
 
     def _make_tracer(self):
         """(tracer, traced?) for one run, honoring the ``trace`` setting."""
@@ -290,7 +305,8 @@ class ExecutionEngine:
     ) -> Tuple[List[DataRecord], ExecutionStats]:
         tracer, traced = self._make_tracer()
         recorder, recording = self._make_provenance()
-        report = self.optimize(dataset, tracer=tracer)
+        with self._phase("engine.optimize"):
+            report = self.optimize(dataset, tracer=tracer)
         replay_log = None
         live_manifest = None
         incremental_plan = None  # (base snapshot, delta, pricing, mode)
@@ -365,7 +381,13 @@ class ExecutionEngine:
             )
         else:
             executor = SequentialExecutor(context, on_event=self.on_event)
-        records, plan_stats = executor.execute(chosen_plan)
+        with self._phase("engine.execute"):
+            records, plan_stats = executor.execute(chosen_plan)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "engine_run", executor=name,
+                records=len(records), shards=plan_shards,
+            )
         if self.cache is not None:
             cache_hits = self.cache.stats.hits - cache_before[0]
             cache_misses = self.cache.stats.misses - cache_before[1]
@@ -440,6 +462,7 @@ def Execute(
     runs_dir: Optional[str] = None,
     budget=None,
     on_event=None,
+    telemetry=None,
     **candidate_options,
 ) -> Tuple[List[DataRecord], ExecutionStats]:
     """Optimize and execute ``dataset``'s pipeline; return (records, stats).
@@ -515,6 +538,7 @@ def Execute(
         runs_dir=runs_dir,
         budget=budget,
         on_event=on_event,
+        telemetry=telemetry,
         **candidate_options,
     )
     return engine.execute(dataset)

@@ -20,6 +20,12 @@ proper observability subsystem:
   ``why`` / ``why_not`` explanations, canonicalized like traces.
 * :mod:`repro.obs.registry` — the persistent run registry
   (``.repro/runs/``) with list/load/diff over recorded executions.
+* :mod:`repro.obs.telemetry` — the *wall-clock* operational layer for
+  the service tier: request-correlated structured JSONL logs, the
+  ``OpsMetrics`` registry behind ``GET /metrics``, sliding-window SLO
+  evaluation, and the ``repro top`` dashboard renderer.  Strictly
+  separate from the virtual-clock tracer above — it never feeds any
+  deterministic artifact (records, stats, traces, provenance).
 
 Tracing is zero-cost when disabled: every instrumented component defaults
 to the shared :data:`NULL_TRACER`, whose ``span()`` is a reusable no-op
@@ -70,6 +76,20 @@ from repro.obs.registry import (
     RunSnapshot,
     diff_runs,
 )
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    OpsMetrics,
+    SloEvaluator,
+    SloRule,
+    Telemetry,
+    TelemetryLog,
+    bind_context,
+    current_context,
+    render_dashboard,
+    wall_now,
+    wall_perf,
+)
 
 __all__ = [
     "NULL_TRACER",
@@ -107,4 +127,16 @@ __all__ = [
     "RunRegistry",
     "RunSnapshot",
     "diff_runs",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "OpsMetrics",
+    "SloEvaluator",
+    "SloRule",
+    "Telemetry",
+    "TelemetryLog",
+    "bind_context",
+    "current_context",
+    "render_dashboard",
+    "wall_now",
+    "wall_perf",
 ]

@@ -85,6 +85,19 @@ class Gauge:
 HISTOGRAM_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
 
+def nearest_rank(ordered: List[float], q: float) -> float:
+    """Exact nearest-rank quantile over pre-sorted samples.
+
+    1-based rank ``ceil(q * n)``, computed in integer arithmetic (q
+    quantized to 1e-6) so float rounding can't shift the rank.  Shared
+    by the run-scoped :class:`Histogram` and the wall-clock sliding
+    windows of :mod:`repro.obs.telemetry`, so both report the same
+    quantile definition.
+    """
+    rank = -(-len(ordered) * int(round(q * 1000000)) // 1000000)
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+
 class Histogram:
     """Summary statistics over observed samples, with quantiles.
 
@@ -144,10 +157,7 @@ class Histogram:
 
     @staticmethod
     def _nearest_rank(ordered: List[float], q: float) -> float:
-        # 1-based rank ceil(q * n), computed in integer arithmetic (q
-        # quantized to 1e-6) so float rounding can't shift the rank.
-        rank = -(-len(ordered) * int(round(q * 1000000)) // 1000000)
-        return ordered[min(max(rank, 1), len(ordered)) - 1]
+        return nearest_rank(ordered, q)
 
     def quantile(self, q: float) -> float:
         """Exact nearest-rank quantile (0 < q <= 1) over all samples."""

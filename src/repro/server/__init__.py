@@ -28,6 +28,8 @@ from repro.server.store import (
     SessionStore,
     TenantState,
     TurnState,
+    TurnWorkerPool,
+    WorkerPoolSaturated,
 )
 
 __all__ = [
@@ -38,6 +40,8 @@ __all__ = [
     "SessionStore",
     "TenantState",
     "TurnState",
+    "TurnWorkerPool",
+    "WorkerPoolSaturated",
     "progress_events_from_trace",
     "run_in_thread",
     "serve",

@@ -44,7 +44,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.llm.usage import QuotaExceededError
-from repro.server.store import SessionStore
+from repro.obs.telemetry import bind_context, wall_perf
+from repro.server.store import SessionStore, WorkerPoolSaturated
 
 __all__ = ["ReproServer", "ReproRequestHandler", "serve"]
 
@@ -53,6 +54,8 @@ _MAX_WAIT_SECONDS = 30.0
 
 _ROUTES = [
     ("GET", re.compile(r"^/healthz$"), "_handle_health"),
+    ("GET", re.compile(r"^/metrics$"), "_handle_metrics"),
+    ("GET", re.compile(r"^/version$"), "_handle_version"),
     ("POST", re.compile(r"^/tenants/([^/]+)/sessions$"),
      "_handle_create_session"),
     ("GET", re.compile(r"^/tenants/([^/]+)/sessions$"),
@@ -119,6 +122,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing -------------------------------------------------------
 
     def _dispatch(self, method: str) -> None:
+        telemetry = self.store.telemetry
+        request_id = telemetry.new_request_id()
+        self._request_id = request_id
         path, _, query = self.path.partition("?")
         params = _parse_query(query)
         for verb, pattern, name in _ROUTES:
@@ -127,34 +133,68 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             match = pattern.match(path)
             if match is None:
                 continue
-            body: Dict[str, Any] = {}
-            if method in ("POST", "PUT"):
+            route = name.replace("_handle_", "", 1)
+            tenant = (match.group(1)
+                      if pattern.pattern.startswith("^/tenants/")
+                      else None)
+            headers: Dict[str, str] = {}
+            started = wall_perf()
+            # Every log line and metric sample inside this scope carries
+            # the request's correlation id (and tenant, when routed).
+            with bind_context(request_id=request_id, tenant=tenant):
+                telemetry.event("request_start", method=method,
+                                route=route, path=path)
+                body: Dict[str, Any] = {}
                 try:
-                    body = self._read_body()
+                    if method in ("POST", "PUT"):
+                        body = self._read_body()
+                    status, payload = getattr(self, name)(
+                        *match.groups(), body=body, params=params)
+                except QuotaExceededError as exc:
+                    status, payload = 429, {
+                        "error": "quota_exhausted",
+                        "message": str(exc),
+                        "spent_cost_usd": exc.spent_cost_usd,
+                        "spent_tokens": exc.spent_tokens,
+                    }
+                except WorkerPoolSaturated as exc:
+                    headers["Retry-After"] = str(
+                        max(1, int(exc.retry_after)))
+                    status, payload = 503, {
+                        "error": "saturated",
+                        "message": str(exc),
+                        "retry_after": exc.retry_after,
+                    }
+                except (KeyError, FileNotFoundError) as exc:
+                    status, payload = 404, {
+                        "error": "not_found",
+                        "message": _exc_text(exc),
+                    }
                 except ValueError as exc:
-                    self._send_json(400, {"error": "bad_request",
-                                          "message": str(exc)})
-                    return
-            try:
-                status, payload = getattr(self, name)(
-                    *match.groups(), body=body, params=params)
-            except QuotaExceededError as exc:
-                status, payload = 429, {
-                    "error": "quota_exhausted",
-                    "message": str(exc),
-                    "spent_cost_usd": exc.spent_cost_usd,
-                    "spent_tokens": exc.spent_tokens,
-                }
-            except (KeyError, FileNotFoundError) as exc:
-                status, payload = 404, {
-                    "error": "not_found",
-                    "message": _exc_text(exc),
-                }
-            except ValueError as exc:
-                status, payload = 400, {"error": "bad_request",
-                                        "message": str(exc)}
-            self._send_json(status, payload)
+                    status, payload = 400, {"error": "bad_request",
+                                            "message": str(exc)}
+                except Exception as exc:  # defensive 500, logged
+                    telemetry.error("request_error", exc, route=route)
+                    status, payload = 500, {
+                        "error": "internal",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                seconds = wall_perf() - started
+                telemetry.ops.counter(
+                    "http.requests_total", method=method, route=route,
+                    status=str(status)).inc()
+                telemetry.ops.histogram(
+                    "http.request_seconds", route=route).observe(seconds)
+                telemetry.ops.histogram("http.availability").observe(
+                    0.0 if status >= 500 else 1.0)
+                telemetry.event("request_finish", method=method,
+                                route=route, status=status,
+                                seconds=round(seconds, 6))
+            self._send_json(status, payload, headers=headers)
             return
+        telemetry.ops.counter("http.requests_total", method=method,
+                              route="unrouted", status="404").inc()
+        telemetry.ops.histogram("http.availability").observe(1.0)
         self._send_json(404, {"error": "not_found",
                               "message": f"no route for {method} {path}"})
 
@@ -180,19 +220,50 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, indent=2, sort_keys=True,
-                          default=str).encode("utf-8")
+    def _send_json(self, status: int, payload,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        """Send a JSON (dict) or plain-text (str) response body."""
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, indent=2, sort_keys=True,
+                              default=str).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
-    # -- health ---------------------------------------------------------
+    # -- health / telemetry ---------------------------------------------
 
     def _handle_health(self, body=None, params=None):
-        return 200, {"ok": True, "service": "repro-serve"}
+        """Liveness + SLO verdicts: ``status`` is ``ok`` or ``degraded``
+        with the firing alerts as the reason payload."""
+        health = self.store.telemetry.health()
+        health["service"] = "repro-serve"
+        return 200, health
+
+    def _handle_metrics(self, body=None, params=None):
+        """Prometheus text exposition; ``?format=json`` for the JSON
+        variant the ``repro top`` dashboard polls."""
+        telemetry = self.store.telemetry
+        if (params or {}).get("format") == "json":
+            return 200, telemetry.metrics_payload()
+        return 200, telemetry.prometheus()
+
+    def _handle_version(self, body=None, params=None):
+        from repro.cli import package_metadata
+
+        version, description = package_metadata()
+        return 200, {"service": "repro-serve", "version": version,
+                     "description": description}
 
     # -- sessions -------------------------------------------------------
 
@@ -378,12 +449,21 @@ def serve(
     max_tokens: Optional[int] = None,
     data_dir: Optional[str] = None,
     quiet: bool = True,
+    telemetry=None,
+    telemetry_root: Optional[str] = None,
+    async_workers: int = 4,
+    async_queue: int = 16,
 ) -> ReproServer:
     """Build a ready-to-run server (demo datasets registered).
 
     Returns the server without starting it — call ``serve_forever()``
     (the CLI does) or drive it from a thread in tests.  ``port=0``
     binds an ephemeral port (see ``server.server_address``).
+
+    ``telemetry`` follows :class:`SessionStore` semantics: ``None`` /
+    ``True`` boots the wall-clock ops layer (JSONL logs under
+    ``telemetry_root``), ``False`` installs the no-op variant, and a
+    ready :class:`~repro.obs.telemetry.Telemetry` is used as-is.
     """
     from repro.corpora import register_demo_datasets
     from repro.server.store import DEFAULT_TENANTS_ROOT
@@ -393,6 +473,10 @@ def serve(
         root=root or DEFAULT_TENANTS_ROOT,
         default_max_cost_usd=max_cost_usd,
         default_max_tokens=max_tokens,
+        telemetry=telemetry,
+        telemetry_root=telemetry_root,
+        async_workers=async_workers,
+        async_queue=async_queue,
     )
     return ReproServer((host, port), store, quiet=quiet)
 

@@ -33,15 +33,24 @@ Quota semantics (see ``docs/server.md``):
 from __future__ import annotations
 
 import json
+import queue
 import re
 import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.llm.usage import BudgetMeter, QuotaExceededError
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    bind_context,
+    current_context,
+    wall_perf,
+)
 from repro.server.progress import ProgressBuffer, progress_events_from_trace
 
 __all__ = ["SessionStore", "TenantState", "ServerSession", "TurnState",
+           "TurnWorkerPool", "WorkerPoolSaturated",
            "DEFAULT_TENANTS_ROOT"]
 
 DEFAULT_TENANTS_ROOT = ".repro/tenants"
@@ -57,6 +66,101 @@ _PERSISTED_EVENTS = 500
 #: scans agent error observations for it to classify a turn that
 #: aborted mid-run inside a tool.
 _QUOTA_MARKER = "quota exhausted"
+
+
+class WorkerPoolSaturated(RuntimeError):
+    """The async-turn worker pool's bounded queue is full.
+
+    The HTTP layer maps this to ``503`` with a ``Retry-After`` header;
+    the store never queues unboundedly on behalf of ``wait=false``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TurnWorkerPool:
+    """Fixed-size worker pool with a bounded queue for async turns.
+
+    Replaces the unbounded thread-per-turn model: ``wait=false`` turns
+    are submitted here, at most ``workers`` run concurrently, at most
+    ``queue_size`` wait, and anything beyond that is rejected with
+    :class:`WorkerPoolSaturated` — back-pressure instead of thread
+    exhaustion.  Worker threads are lazy (a store that never sees an
+    async turn spawns none) and daemonized.
+    """
+
+    _GUARDED_BY = {"_threads": "_lock", "_active": "_lock"}
+
+    def __init__(self, workers: int = 4, queue_size: int = 16,
+                 name: str = "turn-worker"):
+        self.workers = max(1, int(workers))
+        self.queue_size = max(1, int(queue_size))
+        self.name = name
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_size)
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._active = 0
+
+    def submit(self, fn) -> None:
+        """Enqueue one job; raises :class:`WorkerPoolSaturated` when full."""
+        with self._lock:
+            while len(self._threads) < self.workers:
+                worker = threading.Thread(
+                    target=self._worker,
+                    name=f"{self.name}-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(worker)
+                worker.start()
+        try:
+            self._queue.put_nowait(fn)
+        except queue.Full:
+            raise WorkerPoolSaturated(
+                f"turn worker pool saturated ({self.workers} workers, "
+                f"{self.queue_size} queued); retry shortly",
+            ) from None
+
+    def _worker(self) -> None:
+        while True:
+            fn = self._queue.get()
+            if fn is None:
+                return
+            with self._lock:
+                self._active += 1
+            try:
+                fn()
+            finally:
+                with self._lock:
+                    self._active -= 1
+                self._queue.task_done()
+
+    def stats(self) -> Dict[str, Any]:
+        """Best-effort occupancy snapshot (feeds the saturation gauge)."""
+        with self._lock:
+            active = self._active
+            started = len(self._threads)
+        queued = self._queue.qsize()  # nondet: ok(best-effort pool occupancy for operational telemetry only)
+        capacity = self.workers + self.queue_size
+        return {
+            "workers": self.workers,
+            "started": started,
+            "active": active,
+            "queued": queued,
+            "capacity": capacity,
+            "saturation": round((active + queued) / capacity, 4),
+        }
+
+    def close(self) -> None:
+        """Stop accepting work and let idle workers drain out."""
+        with self._lock:
+            started = len(self._threads)
+        for _ in range(started):
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:  # workers will still exit on next get
+                break
 
 
 def _check_id(kind: str, value: str) -> str:
@@ -85,9 +189,14 @@ class TurnState:
         "usage_delta": "_lock",
     }
 
-    def __init__(self, turn_id: str, message: str):
+    def __init__(self, turn_id: str, message: str,
+                 request_id: Optional[str] = None):
         self.turn_id = turn_id
         self.message = message
+        #: Correlation id of the HTTP request that created the turn —
+        #: immutable after construction, shared with every telemetry
+        #: log line and progress event the turn produces.
+        self.request_id = request_id
         self.events = ProgressBuffer()
         self._lock = threading.Lock()
         self.status = "running"  # running | ok | quota_rejected | error
@@ -117,6 +226,7 @@ class TurnState:
             return {
                 "turn_id": self.turn_id,
                 "message": self.message,
+                "request_id": self.request_id,
                 "status": self.status,
                 "reply": self.reply,
                 "tools": list(self.tools),
@@ -133,7 +243,8 @@ class TurnState:
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "TurnState":
-        turn = cls(payload["turn_id"], payload.get("message", ""))
+        turn = cls(payload["turn_id"], payload.get("message", ""),
+                   request_id=payload.get("request_id"))
         turn.events.extend(payload.get("events") or [])
         turn.finish(
             payload.get("status", "ok"),
@@ -281,13 +392,32 @@ class SessionStore:
         default_max_cost_usd: Optional[float] = None,
         default_max_tokens: Optional[int] = None,
         agent_model: Optional[str] = "gpt-4o",
+        telemetry=None,
+        telemetry_root: Optional[str] = None,
+        async_workers: int = 4,
+        async_queue: int = 16,
     ):
+        """``telemetry`` accepts an explicit :class:`Telemetry`, ``None``
+        (construct one under ``telemetry_root``, default
+        ``<root>/../telemetry``), or ``False`` (fully off —
+        :data:`~repro.obs.telemetry.NULL_TELEMETRY`).  ``async_workers``
+        / ``async_queue`` bound the ``wait=false`` turn worker pool."""
         self.root = Path(root)
         self.default_max_cost_usd = default_max_cost_usd
         self.default_max_tokens = default_max_tokens
         self.agent_model = agent_model
+        if telemetry is None or telemetry is True:
+            telemetry = Telemetry(
+                root=telemetry_root or self.root.parent / "telemetry")
+        elif telemetry is False:
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
+        self.worker_pool = TurnWorkerPool(
+            workers=async_workers, queue_size=async_queue)
         self._lock = threading.Lock()
         self._tenants: Dict[str, TenantState] = {}
+        self.telemetry.ops.gauge("pool.workers").set(
+            self.worker_pool.workers)
 
     # -- tenant lifecycle ----------------------------------------------
 
@@ -383,6 +513,10 @@ class SessionStore:
         chat = PalimpChatSession(agent_model=self.agent_model)
         chat.workspace.attach_root(tenant.root)
         chat.workspace.budget = tenant.budget
+        # Wall-clock ops hook only — the engine times optimize/execute
+        # phases into OpsMetrics; deterministic artifacts are untouched.
+        chat.workspace.telemetry = (
+            self.telemetry if self.telemetry.enabled else None)
         # The agent's own reasoning spend counts against the tenant
         # quota too, not just pipeline execution.
         chat.agent_ledger.attach_budget(tenant.budget)
@@ -437,74 +571,168 @@ class SessionStore:
 
         Raises :class:`QuotaExceededError` *before* creating the turn
         when the tenant's budget is already exhausted (the 429 path).
-        With ``wait=False`` the turn runs on a worker thread and the
-        returned :class:`TurnState` starts in status ``running`` — poll
-        the turn resource or stream its events.
+        With ``wait=False`` the turn runs on the bounded
+        :class:`TurnWorkerPool` and the returned :class:`TurnState`
+        starts in status ``running`` — poll the turn resource or stream
+        its events; a saturated pool raises
+        :class:`WorkerPoolSaturated` (the 503 path) without creating a
+        turn.
         """
+        telemetry = self.telemetry
+        request_id = (current_context().get("request_id")
+                      or telemetry.new_request_id())
         with self.acquire(tenant_id) as tenant:
             session = tenant.get_session(session_id)
-            tenant.budget.precheck()
-            turn = TurnState(session.next_turn_id(), message)
+            try:
+                tenant.budget.precheck()
+            except QuotaExceededError:
+                telemetry.ops.counter(
+                    "quota.rejections_total", tenant=tenant_id).inc()
+                telemetry.ops.histogram("turn.quota_outcome").observe(1.0)
+                telemetry.event("quota_rejected", tenant=tenant_id,
+                                session=session_id, stage="pre_turn")
+                raise
+            turn = TurnState(session.next_turn_id(), message,
+                             request_id=request_id)
             session.turns.append(turn)
         if wait:
             self._run_turn(tenant_id, session_id, turn)
-        else:
-            worker = threading.Thread(
-                target=self._run_turn,
-                args=(tenant_id, session_id, turn),
-                name=f"turn-{tenant_id}-{session_id}-{turn.turn_id}",
-                daemon=True,
-            )
-            worker.start()
+            return turn
+        context_fields = dict(current_context())
+        context_fields.update(request_id=request_id, tenant=tenant_id,
+                              session=session_id, turn=turn.turn_id)
+
+        def job():  # pool thread: re-bind the submitter's correlation ids
+            with bind_context(**context_fields):
+                try:
+                    self._run_turn(tenant_id, session_id, turn)
+                finally:
+                    self._update_pool_gauges()
+
+        try:
+            self.worker_pool.submit(job)
+        except WorkerPoolSaturated:
+            with self.acquire(tenant_id) as tenant:
+                session = tenant.get_session(session_id)
+                if session.turns and session.turns[-1] is turn:
+                    session.turns.pop()
+            telemetry.ops.counter("pool.rejected_total").inc()
+            telemetry.ops.histogram(
+                "pool.saturation_rejections").observe(1.0)
+            telemetry.event("turn_rejected_saturated", tenant=tenant_id,
+                            session=session_id)
+            self._update_pool_gauges()
+            raise
+        self._update_pool_gauges()
         return turn
+
+    def _update_pool_gauges(self) -> None:
+        stats = self.worker_pool.stats()
+        ops = self.telemetry.ops
+        ops.gauge("pool.workers").set(stats["workers"])
+        ops.gauge("pool.active").set(stats["active"])
+        ops.gauge("pool.queued").set(stats["queued"])
+        ops.gauge("pool.saturation").set(stats["saturation"])
 
     def _run_turn(self, tenant_id: str, session_id: str,
                   turn: TurnState) -> None:
+        telemetry = self.telemetry
         with self.acquire(tenant_id) as tenant:
             session = tenant.get_session(session_id)
         budget = tenant.budget
         spent_cost = budget.spent_cost_usd
         spent_tokens = budget.spent_tokens
         buffer = turn.events
-        with session.turn_lock:
-            chat = session.chat
-            chat.on_event = buffer.emit  # guarded-by: ok(chat is only driven while holding session.turn_lock)
-            ran_before = len(chat.workspace.run_history)
-            try:
-                response = chat.chat(turn.message)
-            except QuotaExceededError as exc:
-                status, reply, tools, error = (
-                    "quota_rejected", str(exc), [], str(exc))
-            except Exception as exc:  # surfaced as the turn's error
-                status = "error"
-                reply = error = f"{type(exc).__name__}: {exc}"
-                tools = []
-            else:
-                tools = list(response.tool_sequence)
-                reply, error = response.text, None
-                status = "ok"
-                if self._turn_hit_quota(response):
-                    status = "quota_rejected"
-            finally:
-                chat.on_event = None  # guarded-by: ok(chat is only driven while holding session.turn_lock)
-            # Span-derived tail: when this turn executed a pipeline,
-            # summarize its tracer spans into the event stream so late
-            # (and post-restart) readers see where the time went.
-            if len(chat.workspace.run_history) > ran_before:
-                trace = chat.workspace.last_trace
-                if trace is not None:
-                    from repro.obs.export import to_plain_json
+        request_id = turn.request_id
 
-                    buffer.extend(
-                        progress_events_from_trace(to_plain_json(trace)))
-        usage = {
-            "cost_usd": round(budget.spent_cost_usd - spent_cost, 6),
-            "tokens": budget.spent_tokens - spent_tokens,
-        }
-        turn.finish(status, reply, tools, usage, error)
-        with self.acquire(tenant_id) as tenant:
-            self._persist_session(tenant, session)
-            self._persist_tenant(tenant)
+        def tee_event(event):
+            # Live progress events carry the turn's correlation id so a
+            # streaming client can join them back to its HTTP request.
+            tagged = dict(event)
+            tagged["request_id"] = request_id
+            buffer.emit(tagged)
+
+        with bind_context(request_id=request_id, tenant=tenant_id,
+                          session=session_id, turn=turn.turn_id):
+            telemetry.event("turn_start",
+                            message_chars=len(turn.message))
+            telemetry.ops.gauge("turns.in_flight", tenant=tenant_id).add(1)
+            started = wall_perf()
+            with session.turn_lock:
+                chat = session.chat
+                chat.on_event = tee_event  # guarded-by: ok(chat is only driven while holding session.turn_lock)
+                ran_before = len(chat.workspace.run_history)
+                try:
+                    response = chat.chat(turn.message)
+                except QuotaExceededError as exc:
+                    status, reply, tools, error = (
+                        "quota_rejected", str(exc), [], str(exc))
+                    telemetry.event("quota_rejected", stage="mid_run")
+                except Exception as exc:  # surfaced as the turn's error
+                    status = "error"
+                    reply = error = f"{type(exc).__name__}: {exc}"
+                    tools = []
+                    telemetry.error("turn_error", exc)  # guarded-by: ok(Telemetry.error is the structured-log method, not TurnState.error)
+                else:
+                    tools = list(response.tool_sequence)
+                    reply, error = response.text, None
+                    status = "ok"
+                    if self._turn_hit_quota(response):
+                        status = "quota_rejected"
+                        telemetry.event("quota_rejected",
+                                        stage="mid_run_tool")
+                finally:
+                    chat.on_event = None  # guarded-by: ok(chat is only driven while holding session.turn_lock)
+                # Span-derived tail: when this turn executed a pipeline,
+                # summarize its tracer spans into the event stream so late
+                # (and post-restart) readers see where the time went.
+                if len(chat.workspace.run_history) > ran_before:
+                    trace = chat.workspace.last_trace
+                    if trace is not None:
+                        from repro.obs.export import to_plain_json
+
+                        tail = progress_events_from_trace(
+                            to_plain_json(trace))
+                        for event in tail:
+                            event["request_id"] = request_id
+                        buffer.extend(tail)
+            elapsed = wall_perf() - started
+            usage = {
+                "cost_usd": round(budget.spent_cost_usd - spent_cost, 6),
+                "tokens": budget.spent_tokens - spent_tokens,
+            }
+            turn.finish(status, reply, tools, usage, error)
+            self._record_turn_metrics(tenant_id, status, elapsed, budget)
+            telemetry.event(
+                "turn_finish", status=status, tools=len(tools),
+                cost_usd=usage["cost_usd"], tokens=usage["tokens"],
+                seconds=round(elapsed, 6),
+            )
+            with self.acquire(tenant_id) as tenant:
+                self._persist_session(tenant, session)
+                self._persist_tenant(tenant)
+
+    def _record_turn_metrics(self, tenant_id: str, status: str,
+                             elapsed: float, budget: BudgetMeter) -> None:
+        """Feed one finished turn into the wall-clock metrics registry."""
+        ops = self.telemetry.ops
+        ops.counter("turns.completed_total", tenant=tenant_id,
+                    status=status).inc()
+        ops.gauge("turns.in_flight", tenant=tenant_id).add(-1)
+        ops.histogram("turn.wall_seconds").observe(elapsed)
+        ops.histogram("turn.wall_seconds", tenant=tenant_id).observe(elapsed)
+        rejected = 1.0 if status == "quota_rejected" else 0.0
+        ops.histogram("turn.quota_outcome").observe(rejected)
+        if rejected:
+            ops.counter("quota.rejections_total", tenant=tenant_id).inc()
+        snapshot = budget.snapshot()
+        ops.gauge("tenant.spent_cost_usd", tenant=tenant_id).set(
+            snapshot["spent_cost_usd"])
+        ops.gauge("tenant.spent_tokens", tenant=tenant_id).set(
+            snapshot["spent_tokens"])
+        if snapshot.get("max_cost_usd") is not None:
+            ops.gauge("tenant.quota_cost_usd", tenant=tenant_id).set(
+                snapshot["max_cost_usd"])
 
     @staticmethod
     def _turn_hit_quota(response) -> bool:
@@ -577,7 +805,16 @@ class SessionStore:
                 "spent_tokens": total_tokens,
                 "calls": total_calls,
             },
+            # The admin rollup surfaces the same SLO/alert table as
+            # /healthz, so one call answers "who spent what" and "is
+            # the service degraded".
+            "health": self.telemetry.health(),
         }
+
+    def close(self) -> None:
+        """Release the worker pool and telemetry log (tests/shutdown)."""
+        self.worker_pool.close()
+        self.telemetry.close()
 
     def set_quota(
         self,

@@ -143,3 +143,85 @@ class TestProvenanceGolden:
         result = lint_provenance(bad_graph())
         assert result.errors == []
         assert result.warnings
+
+
+# -- OB403: the wall-clock boundary -------------------------------------
+
+
+class TestWallclockBoundary:
+    def _lint(self, source, filename="src/repro/execution/fake.py"):
+        from repro.analysis import lint_source_wallclock
+
+        return lint_source_wallclock(source, filename=filename)
+
+    def test_direct_reads_flagged(self):
+        source = (
+            "import time\n"
+            "from datetime import datetime\n"
+            "started = time.perf_counter()\n"
+            "stamp = time.time()\n"
+            "when = datetime.now()\n"
+        )
+        result = self._lint(source)
+        assert len(result.diagnostics) == 3
+        assert all(d.code == "OB403" for d in result.diagnostics)
+        assert all(d.severity.value == "error" for d in result.diagnostics)
+
+    def test_import_alias_does_not_dodge(self):
+        source = "import time as _t\nx = _t.monotonic()\n"
+        result = self._lint(source)
+        assert len(result.diagnostics) == 1
+        assert "time.monotonic()" in result.diagnostics[0].message
+
+    def test_from_import_bare_name_flagged(self):
+        source = ("from time import perf_counter\n"
+                  "started = perf_counter()\n")
+        result = self._lint(source)
+        assert len(result.diagnostics) == 1
+
+    def test_pragma_waives_a_read(self):
+        source = (
+            "import time\n"
+            "x = time.time()  # wallclock: ok(client-side poll cadence)\n"
+        )
+        assert self._lint(source).diagnostics == []
+
+    def test_telemetry_module_is_exempt(self):
+        source = "import time\nx = time.time()\n"
+        result = self._lint(source,
+                            filename="src/repro/obs/telemetry.py")
+        assert result.diagnostics == []
+
+    def test_non_repro_paths_out_of_scope(self):
+        source = "import time\nx = time.time()\n"
+        for filename in ("<program>", "examples/demo.py",
+                         "/home/user/script.py"):
+            assert self._lint(source, filename=filename).diagnostics == []
+
+    def test_telemetry_helpers_are_clean(self):
+        source = (
+            "from repro.obs.telemetry import wall_now, wall_perf\n"
+            "started = wall_perf()\n"
+            "stamp = wall_now()\n"
+        )
+        assert self._lint(source).diagnostics == []
+
+    def test_lint_program_runs_it_on_repro_paths(self):
+        from repro.analysis import lint_program
+
+        source = "import time\nx = time.time()\n"
+        result = lint_program(source,
+                              filename="src/repro/execution/fake.py")
+        assert any(d.code == "OB403" for d in result.diagnostics)
+
+    def test_engine_source_sweep_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_source_wallclock
+
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        for path in sorted(src.rglob("*.py")):
+            result = lint_source_wallclock(path.read_text(),
+                                           filename=str(path))
+            assert result.diagnostics == [], (
+                f"{path}: {[str(d) for d in result.diagnostics]}")

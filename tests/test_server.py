@@ -36,6 +36,12 @@ ARTIFACTS = ("records.json", "stats.json", "provenance.json")
 
 def request(server, method, path, body=None):
     """One JSON request against a test server; returns (status, payload)."""
+    status, _, payload = request_raw(server, method, path, body)
+    return status, payload
+
+
+def request_raw(server, method, path, body=None):
+    """Like :func:`request` but also returns the response headers."""
     host, port = server.server_address
     data = None if body is None else json.dumps(body).encode("utf-8")
     req = urllib.request.Request(
@@ -46,9 +52,15 @@ def request(server, method, path, body=None):
     )
     try:
         with urllib.request.urlopen(req, timeout=60) as resp:
-            return resp.status, json.loads(resp.read().decode("utf-8"))
+            raw = resp.read().decode("utf-8")
+            status, headers = resp.status, dict(resp.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read().decode("utf-8"))
+        raw = exc.read().decode("utf-8")
+        status, headers = exc.code, dict(exc.headers)
+    content_type = headers.get("Content-Type", "")
+    payload = (json.loads(raw) if content_type.startswith("application/json")
+               else raw)
+    return status, headers, payload
 
 
 @pytest.fixture()
@@ -421,6 +433,34 @@ class TestConcurrentTenantIsolation:
         assert rollup["total"]["spent_tokens"] == sum(
             rollup["tenants"][t]["spent_tokens"] for t in tenants)
 
+        # The byte-identity above ran with telemetry ON (the store
+        # default) against a telemetry-off solo session — the zero
+        # observer effect pin.  Meanwhile the telemetry layer itself saw
+        # everything: per-tenant turn counters and latency percentiles.
+        payload = store.telemetry.metrics_payload()
+        turns_by_tenant = {}
+        for row in payload["metrics"]["counters"]:
+            if row["name"] == "turns.completed_total":
+                turns_by_tenant[row["labels"]["tenant"]] = row["value"]
+        assert turns_by_tenant == {t: float(len(SCRIPT)) for t in tenants}
+        latency_by_tenant = {
+            row["labels"]["tenant"]: row["summary"]
+            for row in payload["metrics"]["histograms"]
+            if (row["name"] == "turn.wall_seconds"
+                and "tenant" in row["labels"])
+        }
+        for tenant in tenants:
+            summary = latency_by_tenant[tenant]
+            assert summary["count"] == len(SCRIPT)
+            assert 0 < summary["p50"] <= summary["p95"] <= summary["p99"]
+        # Every turn-lifecycle log line carries a correlation id.
+        turn_lines = [
+            event for event in store.telemetry.log.read_events()
+            if event["event"] in ("turn_start", "turn_finish")
+        ]
+        assert len(turn_lines) == len(tenants) * len(SCRIPT) * 2
+        assert all(line.get("request_id") for line in turn_lines)
+
 
 class TestAdminRollup:
     def test_rollup_sums_and_admin_tenants(self, make_server):
@@ -432,6 +472,185 @@ class TestAdminRollup:
         total = sum(row["spent_cost_usd"]
                     for row in rollup["tenants"].values())
         assert rollup["total"]["spent_cost_usd"] == pytest.approx(total)
+        assert rollup["health"]["status"] in ("ok", "degraded")
         status, tenants = request(server, "GET", "/admin/tenants")
         assert {row["tenant_id"] for row in tenants["tenants"]} == {
             "acme", "globex"}
+
+
+# -- operational telemetry over HTTP ------------------------------------
+
+
+class TestTelemetryEndpoints:
+    def test_metrics_prometheus_text(self, make_server):
+        server = make_server()
+        drive_script(server, "acme", SCRIPT[:1])
+        status, headers, text = request_raw(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE http_requests_total counter" in text
+        assert 'turns_completed_total{status="ok",tenant="acme"} 1' in text
+        assert 'turn_wall_seconds{quantile="0.95",tenant="acme"}' in text
+        assert 'repro_slo_ok{slo="availability"} 1' in text
+
+    def test_metrics_json_variant(self, make_server):
+        server = make_server()
+        drive_script(server, "acme", SCRIPT[:1])
+        status, payload = request(server, "GET", "/metrics?format=json")
+        assert status == 200
+        assert payload["status"] == "ok"
+        names = {row["name"] for row in payload["metrics"]["counters"]}
+        assert "turns.completed_total" in names
+        assert "http.requests_total" in names
+
+    def test_version_endpoint(self, make_server):
+        from repro.cli import package_metadata
+
+        server = make_server()
+        status, payload = request(server, "GET", "/version")
+        version, description = package_metadata()
+        assert status == 200
+        assert payload["version"] == version
+        assert payload["description"] == description
+
+    def test_every_response_carries_a_request_id(self, make_server):
+        server = make_server()
+        seen = set()
+        for path in ("/healthz", "/metrics", "/version", "/nope"):
+            _, headers, _ = request_raw(server, "GET", path)
+            rid = headers.get("X-Request-Id")
+            assert rid and rid.startswith("req-")
+            seen.add(rid)
+        assert len(seen) == 4  # unique per request
+
+    def test_healthz_degrades_with_reason(self, make_server):
+        server = make_server()
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        # Pump 5xx availability samples into the window: the
+        # availability SLO (>= 0.99) must fire and name itself.
+        histogram = server.store.telemetry.ops.histogram(
+            "http.availability")
+        for _ in range(50):
+            histogram.observe(0.0)
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "degraded" and payload["ok"] is False
+        assert "availability" in {a["name"] for a in payload["alerts"]}
+
+    def test_telemetry_off_store_still_serves(self, make_server):
+        server = make_server(telemetry=False)
+        sid, rows = drive_script(server, "acme", SCRIPT[:1])
+        assert rows[0]["status"] == "ok"
+        status, _, text = request_raw(server, "GET", "/metrics")
+        assert status == 200
+        assert "turns_completed_total" not in text
+        status, payload = request(server, "GET", "/healthz")
+        assert payload["status"] == "ok" and payload["slos"] == []
+
+
+class TestRequestCorrelation:
+    def test_turn_and_log_lines_share_the_http_request_id(
+            self, make_server):
+        server = make_server()
+        request(server, "POST", "/tenants/acme/sessions", {})
+        status, headers, row = request_raw(
+            server, "POST", "/tenants/acme/sessions/s-0001/turns",
+            {"message": SCRIPT[0]})
+        assert status == 200
+        rid = headers["X-Request-Id"]
+        assert row["request_id"] == rid
+        # The persisted turn keeps it.
+        status, turn = request(
+            server, "GET",
+            f"/tenants/acme/sessions/s-0001/turns/{row['turn_id']}")
+        assert turn["request_id"] == rid
+        # Every JSONL log line of the turn's lifecycle carries it too.
+        events = server.store.telemetry.log.read_events()
+        for name in ("request_start", "turn_start", "turn_finish",
+                     "request_finish"):
+            matching = [e for e in events
+                        if e["event"] == name
+                        and e.get("request_id") == rid]
+            assert matching, f"no {name} line with request_id {rid}"
+        turn_lines = [e for e in events if e["event"] == "turn_start"
+                      and e.get("request_id") == rid]
+        assert turn_lines[0]["tenant"] == "acme"
+        assert turn_lines[0]["session"] == "s-0001"
+
+    def test_progress_events_carry_the_request_id(self, make_server):
+        server = make_server()
+        sid, rows = drive_script(server, "acme")
+        rid = rows[-1]["request_id"]
+        assert rid
+        status, payload = request(
+            server, "GET",
+            f"/tenants/acme/sessions/{sid}/turns/"
+            f"{rows[-1]['turn_id']}/events")
+        assert status == 200
+        tagged = [e for e in payload["events"]
+                  if e.get("request_id") == rid]
+        assert tagged  # live events and span tail are correlated
+
+
+class TestWorkerPoolSaturation:
+    def test_saturated_pool_returns_503_and_fires_the_slo(
+            self, make_server):
+        import time
+
+        server = make_server(async_workers=1, async_queue=1)
+        store = server.store
+        request(server, "POST", "/tenants/acme/sessions", {})
+        with store.acquire("acme") as tenant:
+            session = tenant.get_session("s-0001")
+
+        # Hold the session's turn lock: the one worker blocks on it,
+        # the one queue slot fills, and the third async turn must bounce.
+        session.turn_lock.acquire()
+        try:
+            status, row1 = request(
+                server, "POST", "/tenants/acme/sessions/s-0001/turns",
+                {"message": SCRIPT[0], "wait": False})
+            assert status == 202 and row1["status"] == "running"
+            deadline = time.monotonic() + 10
+            while store.worker_pool.stats()["active"] < 1:
+                assert time.monotonic() < deadline, "worker never started"
+                time.sleep(0.01)
+            status, row2 = request(
+                server, "POST", "/tenants/acme/sessions/s-0001/turns",
+                {"message": SCRIPT[0], "wait": False})
+            assert status == 202
+
+            status, headers, payload = request_raw(
+                server, "POST", "/tenants/acme/sessions/s-0001/turns",
+                {"message": SCRIPT[0], "wait": False})
+            assert status == 503
+            assert payload["error"] == "saturated"
+            assert int(headers["Retry-After"]) >= 1
+
+            # The rejection fired the saturation SLO: /healthz degrades
+            # and names the worker pool.
+            status, health = request(server, "GET", "/healthz")
+            assert health["status"] == "degraded"
+            assert "worker_pool_saturation" in {
+                a["name"] for a in health["alerts"]}
+            # The bounced turn left no orphan row behind.
+            status, detail = request(
+                server, "GET", "/tenants/acme/sessions/s-0001")
+            assert len(detail["turn_log"]) == 2
+        finally:
+            session.turn_lock.release()
+
+        # Released: both accepted turns drain to completion.
+        for row in (row1, row2):
+            deadline = time.monotonic() + 60
+            while True:
+                status, turn = request(
+                    server, "GET",
+                    f"/tenants/acme/sessions/s-0001/turns/"
+                    f"{row['turn_id']}")
+                if turn["status"] != "running":
+                    break
+                assert time.monotonic() < deadline, "turn never finished"
+                time.sleep(0.05)
+            assert turn["status"] == "ok"
