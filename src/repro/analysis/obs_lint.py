@@ -317,8 +317,19 @@ def lint_source_wallclock(
         func = node.func
         if isinstance(func, ast.Attribute):
             base = func.value
-            receiver = (module_aliases.get(base.id)
-                        if isinstance(base, ast.Name) else None)
+            if isinstance(base, ast.Name):
+                receiver = module_aliases.get(base.id)
+            elif (isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and module_aliases.get(base.value.id) == "datetime"
+                    and base.attr in ("datetime", "date")):
+                # Dotted receivers: ``import datetime`` followed by
+                # ``datetime.datetime.now()`` / ``datetime.date.today()``
+                # — the most common wall-clock spelling of all must not
+                # slip through the boundary.
+                receiver = base.attr
+            else:
+                receiver = None
             if (receiver, func.attr) not in _WALL_CLOCK_ATTRS:
                 continue
             read = f"{receiver}.{func.attr}()"

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 import traceback
@@ -614,8 +615,11 @@ class Telemetry:
         self._request_serial = 0
         # A per-process epoch keeps request ids unique across restarts
         # of the same telemetry root (ids are operational, never part of
-        # deterministic artifacts).
-        self._epoch = format(int(clock() * 1000) & 0xFFFFFF, "06x")
+        # deterministic artifacts): 40 bits of epoch-milliseconds (wraps
+        # every ~35 years, not hours) plus the pid, so two processes
+        # started in the same millisecond still mint distinct ids.
+        self._epoch = (f"{int(clock() * 1000) & 0xFFFFFFFFFF:010x}"
+                       f"-{os.getpid() & 0xFFFF:04x}")
 
     # -- correlation ----------------------------------------------------
 

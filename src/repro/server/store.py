@@ -33,6 +33,7 @@ Quota semantics (see ``docs/server.md``):
 from __future__ import annotations
 
 import json
+import logging
 import queue
 import re
 import threading
@@ -66,6 +67,10 @@ _PERSISTED_EVENTS = 500
 #: scans agent error observations for it to classify a turn that
 #: aborted mid-run inside a tool.
 _QUOTA_MARKER = "quota exhausted"
+
+#: Last-resort channel for worker-pool jobs that escape their own error
+#: handling — operational telemetry is per-store, the pool is not.
+_log = logging.getLogger(__name__)
 
 
 class WorkerPoolSaturated(RuntimeError):
@@ -131,6 +136,12 @@ class TurnWorkerPool:
                 self._active += 1
             try:
                 fn()
+            except Exception:
+                # A job that escapes its own error handling must not
+                # kill the worker: dead threads stay in ``_threads``,
+                # so submit() would never replace them and each failure
+                # would permanently shrink the pool by one.
+                _log.exception("%s: job raised", self.name)
             finally:
                 with self._lock:
                     self._active -= 1
@@ -220,6 +231,25 @@ class TurnState:
             self.usage_delta = dict(usage)
             self.error = error
         self.events.close()
+
+    def fail_if_running(self, error: str) -> bool:
+        """Error out a turn that never finished; no-op otherwise.
+
+        The infrastructure-failure path in
+        :meth:`SessionStore._run_turn` uses this so a turn whose worker
+        crashed outside the normal chat error handling (session evicted
+        mid-queue, persistence I/O error) is never left in ``running``
+        forever.  Returns whether this call performed the transition.
+        """
+        with self._lock:
+            if self.status != "running":
+                return False
+            self.status = "error"
+            self.reply = error
+            self.error = error
+            self.usage_delta = {"cost_usd": 0.0, "tokens": 0}
+        self.events.close()
+        return True
 
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
@@ -612,10 +642,16 @@ class SessionStore:
         try:
             self.worker_pool.submit(job)
         except WorkerPoolSaturated:
-            with self.acquire(tenant_id) as tenant:
-                session = tenant.get_session(session_id)
-                if session.turns and session.turns[-1] is turn:
-                    session.turns.pop()
+            with self.acquire(tenant_id):
+                # Remove by identity, not position: a concurrent POST
+                # may have appended another turn after ours, and the
+                # session itself may have been deleted in between —
+                # either way the rejected turn must not survive as a
+                # ghost "running" row.
+                try:
+                    session.turns.remove(turn)
+                except ValueError:
+                    pass
             telemetry.ops.counter("pool.rejected_total").inc()
             telemetry.ops.histogram(
                 "pool.saturation_rejections").observe(1.0)
@@ -636,6 +672,36 @@ class SessionStore:
 
     def _run_turn(self, tenant_id: str, session_id: str,
                   turn: TurnState) -> None:
+        """Run one turn without ever leaving it stuck in ``running``.
+
+        The chat call's own failures are handled inside
+        :meth:`_run_turn_body`; this wrapper catches *infrastructure*
+        failures around it (session evicted while the turn was queued,
+        persistence I/O errors, trace-export bugs), marks the turn
+        errored, keeps the in-flight gauge balanced, and re-raises —
+        synchronous callers still see the exception, and the worker
+        pool's barrier logs it for async turns instead of dying.
+        """
+        telemetry = self.telemetry
+        telemetry.ops.gauge("turns.in_flight", tenant=tenant_id).add(1)
+        try:
+            self._run_turn_body(tenant_id, session_id, turn)
+        except Exception as exc:
+            with bind_context(request_id=turn.request_id,
+                              tenant=tenant_id, session=session_id,
+                              turn=turn.turn_id):
+                telemetry.error("turn_infra_error", exc)  # guarded-by: ok(Telemetry.error is the structured-log method, not TurnState.error)
+                if turn.fail_if_running(f"{type(exc).__name__}: {exc}"):
+                    telemetry.ops.counter(
+                        "turns.completed_total", tenant=tenant_id,
+                        status="error").inc()
+            raise
+        finally:
+            telemetry.ops.gauge("turns.in_flight",
+                                tenant=tenant_id).add(-1)
+
+    def _run_turn_body(self, tenant_id: str, session_id: str,
+                       turn: TurnState) -> None:
         telemetry = self.telemetry
         with self.acquire(tenant_id) as tenant:
             session = tenant.get_session(session_id)
@@ -656,7 +722,6 @@ class SessionStore:
                           session=session_id, turn=turn.turn_id):
             telemetry.event("turn_start",
                             message_chars=len(turn.message))
-            telemetry.ops.gauge("turns.in_flight", tenant=tenant_id).add(1)
             started = wall_perf()
             with session.turn_lock:
                 chat = session.chat
@@ -718,7 +783,9 @@ class SessionStore:
         ops = self.telemetry.ops
         ops.counter("turns.completed_total", tenant=tenant_id,
                     status=status).inc()
-        ops.gauge("turns.in_flight", tenant=tenant_id).add(-1)
+        # turns.in_flight is owned by _run_turn's try/finally — never
+        # decremented here, so an exception anywhere in the body cannot
+        # leak the gauge.
         ops.histogram("turn.wall_seconds").observe(elapsed)
         ops.histogram("turn.wall_seconds", tenant=tenant_id).observe(elapsed)
         rejected = 1.0 if status == "quota_rejected" else 0.0

@@ -173,6 +173,32 @@ class TestWallclockBoundary:
         assert len(result.diagnostics) == 1
         assert "time.monotonic()" in result.diagnostics[0].message
 
+    def test_dotted_datetime_receivers_flagged(self):
+        source = (
+            "import datetime\n"
+            "now = datetime.datetime.now()\n"
+            "today = datetime.date.today()\n"
+            "utc = datetime.datetime.utcnow()\n"
+        )
+        result = self._lint(source)
+        assert len(result.diagnostics) == 3
+        assert "datetime.now()" in result.diagnostics[0].message
+        assert "date.today()" in result.diagnostics[1].message
+
+    def test_dotted_receiver_module_alias_does_not_dodge(self):
+        source = "import datetime as dt\nx = dt.datetime.now()\n"
+        result = self._lint(source)
+        assert len(result.diagnostics) == 1
+
+    def test_dotted_non_clock_attributes_clean(self):
+        source = (
+            "import datetime\n"
+            "delta = datetime.timedelta(days=1)\n"
+            "fixed = datetime.datetime(2020, 1, 1)\n"
+            "parsed = datetime.datetime.fromisoformat('2020-01-01')\n"
+        )
+        assert self._lint(source).diagnostics == []
+
     def test_from_import_bare_name_flagged(self):
         source = ("from time import perf_counter\n"
                   "started = perf_counter()\n")

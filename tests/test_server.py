@@ -654,3 +654,65 @@ class TestWorkerPoolSaturation:
                 assert time.monotonic() < deadline, "turn never finished"
                 time.sleep(0.05)
             assert turn["status"] == "ok"
+
+
+class TestWorkerPoolResilience:
+    def test_worker_survives_a_job_that_raises(self):
+        import time
+
+        from repro.server.store import TurnWorkerPool
+
+        pool = TurnWorkerPool(workers=1, queue_size=4)
+        done = threading.Event()
+
+        def bad():
+            raise RuntimeError("boom")
+
+        pool.submit(bad)
+        pool.submit(done.set)
+        assert done.wait(10), "worker died on the raising job"
+        deadline = time.monotonic() + 10
+        while pool.stats()["active"] or pool.stats()["queued"]:
+            assert time.monotonic() < deadline, "pool never drained"
+            time.sleep(0.01)
+        pool.close()
+
+    def test_saturation_rollback_removes_the_rejected_turn_by_identity(
+            self, make_store):
+        from repro.server.store import TurnState, WorkerPoolSaturated
+
+        store = make_store(telemetry=False)
+        store.ensure_session("acme")
+        with store.acquire("acme") as tenant:
+            session = tenant.get_session("s-0001")
+        sentinel = TurnState("t-sentinel", "appended concurrently")
+
+        def submit_then_reject(fn):
+            # A concurrent POST appends another turn between our append
+            # and the pool rejection: the rollback must still remove
+            # *our* turn, not whatever is last.
+            session.turns.append(sentinel)
+            raise WorkerPoolSaturated("full")
+
+        store.worker_pool.submit = submit_then_reject
+        with pytest.raises(WorkerPoolSaturated):
+            store.run_turn("acme", "s-0001", SCRIPT[0], wait=False)
+        assert [t.turn_id for t in session.turns] == ["t-sentinel"]
+
+    def test_infra_failure_marks_turn_errored_not_stuck(self, make_store):
+        from repro.server.store import TurnState
+
+        store = make_store()
+        store.ensure_session("acme")
+        with store.acquire("acme") as tenant:
+            del tenant.sessions["s-0001"]  # evicted while queued
+        turn = TurnState("t-0001", SCRIPT[0], request_id="req-x")
+        with pytest.raises(KeyError):
+            store._run_turn("acme", "s-0001", turn)
+        assert turn.status == "error"
+        assert "KeyError" in turn.error
+        assert turn.events.closed  # streaming readers unblock
+        in_flight = [g["value"]
+                     for g in store.telemetry.ops.snapshot()["gauges"]
+                     if g["name"] == "turns.in_flight"]
+        assert in_flight == [0.0]  # the gauge never leaks

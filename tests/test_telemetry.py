@@ -297,6 +297,15 @@ class TestTelemetryFacade:
         assert len(ids) == 100
         assert all(rid.startswith("req-") for rid in ids)
 
+    def test_request_id_epoch_survives_24bit_millisecond_wrap(
+            self, tmp_path):
+        first = Telemetry(root=tmp_path / "a", clock=FakeClock(0.0))
+        # A restart 2**24 ms later would collide under a 24-bit epoch;
+        # the wider timestamp keeps the two processes' ids distinct.
+        reborn = Telemetry(root=tmp_path / "b",
+                           clock=FakeClock(float(2 ** 24)))
+        assert first.new_request_id() != reborn.new_request_id()
+
     def test_error_logs_type_message_digest(self, tmp_path):
         telemetry = Telemetry(root=tmp_path, clock=FakeClock())
         try:
